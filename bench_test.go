@@ -1,0 +1,253 @@
+// Package repro's root benchmark suite regenerates every table and
+// figure of the paper (run with `go test -bench=. -benchmem`). Each
+// benchmark prints its table once and then measures the cost of
+// regenerating the underlying experiment, so the suite doubles as the
+// reproduction harness and a performance baseline.
+package repro
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/internal/detector/registry"
+	"repro/internal/experiments"
+	"repro/internal/generator"
+	"repro/internal/plant"
+)
+
+// printOnce guards the one-time table dumps so repeated benchmark
+// iterations do not flood the output.
+var printOnce sync.Map
+
+func dumpOnce(b *testing.B, key, title string, body fmt.Stringer) {
+	b.Helper()
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		b.Logf("%s\n%s", title, body)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1 — the 21-technique capability
+// matrix with conformance AUCs (experiment E1).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dumpOnce(b, "table1", "Table 1 — Categorization of Literature on Outliers", res)
+	}
+}
+
+// BenchmarkFig1 regenerates Fig. 1 — detection quality per outlier
+// type (experiment E2).
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig1(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dumpOnce(b, "fig1", "Fig. 1 — Outlier types, detection AUC", res)
+	}
+}
+
+// BenchmarkFig2 regenerates Fig. 2 — the hierarchy level census
+// (experiment E3).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dumpOnce(b, "fig2", "Fig. 2 — Hierarchy level census", res)
+	}
+}
+
+// BenchmarkFig3 regenerates Fig. 3 — the bibliometric counts through
+// the search-engine pipeline (experiment E5).
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dumpOnce(b, "fig3", "Fig. 3 — Research fields of outlier detection", res)
+	}
+}
+
+// BenchmarkAlgorithm1 regenerates the Algorithm 1 experiment — the
+// ⟨global score, outlierness, support⟩ triple on the simulated plant
+// (experiment E4).
+func BenchmarkAlgorithm1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunAlg1(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dumpOnce(b, "alg1", "Algorithm 1 — the hierarchical triple", res)
+	}
+}
+
+// BenchmarkAblationHierarchy regenerates E6 (flat vs hierarchical) and
+// the design ablations.
+func BenchmarkAblationHierarchy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fh, err := experiments.RunFlatVsHier(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ab, err := experiments.RunAblation(5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dumpOnce(b, "e6a", "E6 — flat vs hierarchical", fh)
+		dumpOnce(b, "e6b", "Ablations", ab)
+	}
+}
+
+// BenchmarkPlantSimulation measures the substrate cost: one full plant
+// simulation.
+func BenchmarkPlantSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := plant.Simulate(plant.Config{Seed: int64(i), FaultRate: 0.25, MeasurementErrorRate: 0.25}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHierarchicalRun measures one Algorithm 1 run over one
+// machine (plant held fixed).
+func BenchmarkHierarchicalRun(b *testing.B) {
+	p, err := plant.Simulate(plant.Config{Seed: 5, FaultRate: 0.25, MeasurementErrorRate: 0.25, JobsPerMachine: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	id := p.Machines()[0].ID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h, err := core.NewHierarchy(p, id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.FindHierarchicalOutliers(h, core.LevelPhase, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetectorsPoint measures per-detector point-scoring
+// throughput on the standard PTS workload (every PTS-capable,
+// unsupervised technique).
+func BenchmarkDetectorsPoint(b *testing.B) {
+	cfg := generator.Config{N: 4096, Phi: 0.5}
+	clean, err := generator.MixedWorkload(cfg, 0, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirty, err := generator.MixedWorkload(cfg, 10, 7, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, entry := range registry.All() {
+		if !entry.Info.Capability.Points || entry.Info.Supervised {
+			continue
+		}
+		entry := entry
+		b.Run(entry.Info.Name, func(b *testing.B) {
+			d := entry.New()
+			if f, ok := d.(detector.Fitter); ok {
+				if err := f.Fit(clean.Series.Values); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ps := d.(detector.PointScorer)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ps.ScorePoints(dirty.Series.Values); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.SetBytes(int64(8 * dirty.Series.Len()))
+		})
+	}
+}
+
+// BenchmarkDetectorsWindow measures per-detector window-scoring
+// throughput on the standard SSQ workload.
+func BenchmarkDetectorsWindow(b *testing.B) {
+	clean, err := generator.SubseqWorkload(4096, 48, 0, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirty, err := generator.SubseqWorkload(4096, 48, 5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, entry := range registry.All() {
+		if !entry.Info.Capability.Subsequences || entry.Info.Supervised {
+			continue
+		}
+		entry := entry
+		b.Run(entry.Info.Name, func(b *testing.B) {
+			d := entry.New()
+			if f, ok := d.(detector.Fitter); ok {
+				if err := f.Fit(clean.Series.Values); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ws, ok := d.(detector.WindowScorer)
+			if !ok {
+				b.Skip("symbol-only scorer")
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ws.ScoreWindows(dirty.Series.Values, 32, 8); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDetectorsSeries measures per-detector whole-series scoring
+// on the standard TSS workload.
+func BenchmarkDetectorsSeries(b *testing.B) {
+	lab, err := generator.SeriesWorkload(40, 8, 256, rand.New(rand.NewSource(1)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	var cleanConcat []float64
+	for i, s := range batch {
+		if !lab.Labels[i] {
+			cleanConcat = append(cleanConcat, s...)
+		}
+	}
+	for _, entry := range registry.All() {
+		if !entry.Info.Capability.Series || entry.Info.Supervised {
+			continue
+		}
+		entry := entry
+		b.Run(entry.Info.Name, func(b *testing.B) {
+			d := entry.New()
+			if f, ok := d.(detector.Fitter); ok {
+				if err := f.Fit(cleanConcat); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ss := d.(detector.SeriesScorer)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ss.ScoreSeries(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReadColumnPlain(t *testing.T) {
+	path := writeTemp(t, "1.5\n2.5\n3.5\n")
+	vals, err := readColumn(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[2] != 3.5 {
+		t.Fatalf("vals=%v", vals)
+	}
+}
+
+func TestReadColumnSkipsHeader(t *testing.T) {
+	path := writeTemp(t, "value\n1\n2\n")
+	vals, err := readColumn(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 {
+		t.Fatalf("vals=%v", vals)
+	}
+}
+
+func TestReadColumnSelectsColumn(t *testing.T) {
+	path := writeTemp(t, "a,b\n1,10\n2,20\n")
+	vals, err := readColumn(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[1] != 20 {
+		t.Fatalf("vals=%v", vals)
+	}
+}
+
+func TestReadColumnErrors(t *testing.T) {
+	if _, err := readColumn("/no/such/file.csv", 0); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	path := writeTemp(t, "h\n")
+	if _, err := readColumn(path, 0); err == nil {
+		t.Fatal("want error for no numeric data")
+	}
+	path = writeTemp(t, "1\n")
+	if _, err := readColumn(path, 5); err == nil {
+		t.Fatal("want error for out-of-range column")
+	}
+	path = writeTemp(t, "1\nx\n")
+	if _, err := readColumn(path, 0); err == nil {
+		t.Fatal("want error for bad value past header")
+	}
+}
+
+func TestCmdListRuns(t *testing.T) {
+	if err := cmdList(); err != nil {
+		t.Fatal(err)
+	}
+}

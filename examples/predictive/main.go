@@ -1,0 +1,76 @@
+// Predictive maintenance: a spindle drifts towards failure. An AR
+// forecaster watches the residuals, an OLAP-cube detector watches the
+// level, and the alert manager escalates by the degree of deviation —
+// "the degree of deviation from an expected value represents the
+// urgency to maintain a system" (paper §1).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector/ar"
+	"repro/internal/detector/olapcube"
+	"repro/internal/generator"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(5))
+
+	// Healthy reference: stationary vibration RMS around 1.0.
+	healthy := generator.Base(generator.Config{N: 2000, Level: 1, NoiseStd: 0.05, Phi: 0.4}, rng)
+
+	// Live signal: healthy for 1200 samples, then bearing wear — an
+	// accelerating upward drift plus occasional spikes.
+	live := generator.Base(generator.Config{N: 2000, Level: 1, NoiseStd: 0.05, Phi: 0.4}, rng)
+	for t := 1200; t < live.Len(); t++ {
+		wear := float64(t-1200) / 800
+		live.Values[t] += 0.6 * wear * wear // accelerating drift
+	}
+	if _, err := generator.Inject(live, generator.AdditiveOutlier, 1600, 10, 0.05, 0.4); err != nil {
+		log.Fatal(err)
+	}
+
+	// Forecast-based residual scoring.
+	forecaster := ar.New(ar.WithOrder(6))
+	if err := forecaster.Fit(healthy.Values); err != nil {
+		log.Fatal(err)
+	}
+	resScores, err := forecaster.ScorePoints(live.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Level scoring via the cube detector (time buckets vs consensus).
+	cube := olapcube.New(olapcube.WithBuckets(40))
+	lvlScores, err := cube.ScorePoints(live.Values)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alert management: escalate by combined urgency.
+	fmt.Println("t      value   residual  level   urgency  action")
+	lastAction := ""
+	for t := 0; t < live.Len(); t += 50 {
+		urgency := math.Max(resScores[t]/8, lvlScores[t]/12)
+		var action string
+		switch {
+		case urgency >= 1.0:
+			action = "STOP & SERVICE NOW"
+		case urgency >= 0.5:
+			action = "schedule maintenance"
+		case urgency >= 0.25:
+			action = "watch"
+		default:
+			action = "ok"
+		}
+		if action != lastAction {
+			fmt.Printf("%-6d %-7.3f %-9.2f %-7.2f %-8.2f %s\n",
+				t, live.Values[t], resScores[t], lvlScores[t], urgency, action)
+			lastAction = action
+		}
+	}
+	fmt.Println("\nwear onset was at t=1200; the spike at t=1600 is an instantaneous fault")
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tunes Algorithm 1.
+type Options struct {
+	// Thresholds per level, in robust-z-like units. An outlier is
+	// "detected in a level" when that level's score reaches the
+	// threshold. Zero values take the defaults below.
+	PhaseThreshold      float64
+	JobThreshold        float64
+	EnvThreshold        float64
+	LineThreshold       float64
+	ProductionThreshold float64
+	// MaxOutliers bounds the reported outlier list (default 64).
+	MaxOutliers int
+	// DisableDownPass turns off the downward recursion of Algorithm 1
+	// (exposed for the ablation benchmark).
+	DisableDownPass bool
+	// RawSupport reports the support count without dividing by the
+	// number of corresponding sensors (ablation of the paper's
+	// "support /= Number of Corresponding Sensors" step).
+	RawSupport bool
+	// SoftSensorSupport enables virtual redundancy (§5 soft sensor
+	// modelling): sensors without a physical twin get their support
+	// from a soft sensor predicting them out of the peer channels.
+	SoftSensorSupport bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PhaseThreshold <= 0 {
+		o.PhaseThreshold = 6
+	}
+	if o.JobThreshold <= 0 {
+		o.JobThreshold = 3.5
+	}
+	if o.EnvThreshold <= 0 {
+		o.EnvThreshold = 6
+	}
+	if o.LineThreshold <= 0 {
+		o.LineThreshold = 3
+	}
+	if o.ProductionThreshold <= 0 {
+		o.ProductionThreshold = 2.5
+	}
+	if o.MaxOutliers <= 0 {
+		o.MaxOutliers = 64
+	}
+	return o
+}
+
+// Outlier is the algorithm's result record: the paper's triple plus
+// the location of the finding.
+type Outlier struct {
+	Level       Level
+	Sensor      string // phase level only
+	Index       int    // position on the start level's axis
+	JobIndex    int    // the job the finding falls into
+	GlobalScore int
+	Outlierness float64
+	Support     float64
+	// SeenAt lists every level that confirmed the outlier during the
+	// global-score recursion (includes the start level).
+	SeenAt []Level
+}
+
+// Warning is a measurement-error warning from the downward pass: an
+// outlier visible at Level but absent at Below.
+type Warning struct {
+	Level    Level
+	Below    Level
+	JobIndex int
+	Sensor   string
+	Reason   string
+}
+
+// Report is the output of FindHierarchicalOutliers.
+type Report struct {
+	StartLevel Level
+	Outliers   []Outlier
+	Warnings   []Warning
+}
+
+// FindHierarchicalOutliers is Algorithm 1. It chooses the
+// level-appropriate detection algorithm, computes the outlier list at
+// the start level, derives the support from corresponding sensors, and
+// computes the global score by recursing up (outlier confirmed above ⇒
+// score++) and down (outlier absent below ⇒ measurement-error
+// warning).
+func FindHierarchicalOutliers(h *Hierarchy, startLevel Level, opts Options) (*Report, error) {
+	if !startLevel.Valid() {
+		return nil, fmt.Errorf("core: invalid start level %d", int(startLevel))
+	}
+	opts = opts.withDefaults()
+	rep := &Report{StartLevel: startLevel}
+
+	switch startLevel {
+	case LevelPhase:
+		if err := findPhaseOutliers(h, opts, rep); err != nil {
+			return nil, err
+		}
+	case LevelJob:
+		if err := findJobOutliers(h, opts, rep); err != nil {
+			return nil, err
+		}
+	case LevelEnvironment:
+		if err := findEnvOutliers(h, opts, rep); err != nil {
+			return nil, err
+		}
+	case LevelProductionLine:
+		if err := findLineOutliers(h, opts, rep); err != nil {
+			return nil, err
+		}
+	case LevelProduction:
+		if err := findProductionOutliers(h, opts, rep); err != nil {
+			return nil, err
+		}
+	}
+	// Deterministic ordering: strongest first, then by position.
+	sort.SliceStable(rep.Outliers, func(i, j int) bool {
+		a, b := rep.Outliers[i], rep.Outliers[j]
+		if a.GlobalScore != b.GlobalScore {
+			return a.GlobalScore > b.GlobalScore
+		}
+		if a.Outlierness != b.Outlierness {
+			return a.Outlierness > b.Outlierness
+		}
+		return a.Index < b.Index
+	})
+	if len(rep.Outliers) > opts.MaxOutliers {
+		rep.Outliers = rep.Outliers[:opts.MaxOutliers]
+	}
+	return rep, nil
+}
+
+// detectedAt reports whether the given level confirms an outlier for
+// the job at jobIdx (levels above phase resolve by job; production by
+// machine).
+func detectedAt(h *Hierarchy, level Level, jobIdx int, opts Options) (bool, error) {
+	switch level {
+	case LevelPhase:
+		scores, err := h.phaseLevelScores()
+		if err != nil {
+			return false, err
+		}
+		lo := jobIdx * h.perJob
+		hi := lo + h.perJob
+		for _, sensorScores := range scores {
+			if hi > len(sensorScores) {
+				hi = len(sensorScores)
+			}
+			for i := lo; i < hi; i++ {
+				if sensorScores[i] >= opts.PhaseThreshold {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	case LevelJob:
+		scores, err := h.jobLevelScores()
+		if err != nil {
+			return false, err
+		}
+		if jobIdx < 0 || jobIdx >= len(scores) {
+			return false, nil
+		}
+		return scores[jobIdx] >= opts.JobThreshold, nil
+	case LevelEnvironment:
+		scores, err := h.envLevelScores()
+		if err != nil {
+			return false, err
+		}
+		lo := jobIdx * h.perJob
+		hi := lo + h.perJob
+		if hi > len(scores) {
+			hi = len(scores)
+		}
+		for i := lo; i < hi; i++ {
+			if scores[i] >= opts.EnvThreshold {
+				return true, nil
+			}
+		}
+		return false, nil
+	case LevelProductionLine:
+		scores, err := h.lineLevelScores()
+		if err != nil {
+			return false, err
+		}
+		if jobIdx < 0 || jobIdx >= len(scores) {
+			return false, nil
+		}
+		return scores[jobIdx] >= opts.LineThreshold, nil
+	case LevelProduction:
+		scores, idx, err := h.productionLevelScores()
+		if err != nil {
+			return false, err
+		}
+		return scores[idx] >= opts.ProductionThreshold, nil
+	default:
+		return false, fmt.Errorf("core: invalid level %d", int(level))
+	}
+}
+
+// globalScore implements CalcGlobalScore of Algorithm 1: it counts the
+// levels confirming the outlier, walking up from the start level (the
+// start level itself counts 1), and runs the downward pass that emits
+// measurement-error warnings. It returns the score, the confirming
+// levels, and any warnings.
+func globalScore(h *Hierarchy, start Level, jobIdx int, sensor string, opts Options) (int, []Level, []Warning, error) {
+	score := 1
+	seen := []Level{start}
+	var warnings []Warning
+	// Upward pass: CalcGlobalScore(level++, true). The recursion of
+	// Algorithm 1 stops at the first level that does not confirm.
+	for lv := start + 1; lv <= MaxLevel; lv++ {
+		ok, err := detectedAt(h, lv, jobIdx, opts)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		score++
+		seen = append(seen, lv)
+	}
+	// Downward pass: CalcGlobalScore(level--, false). If a lower level
+	// shows no outlier while this level does, a measurement error must
+	// be assumed (§4).
+	if !opts.DisableDownPass {
+		for lv := start - 1; lv >= MinLevel; lv-- {
+			ok, err := detectedAt(h, lv, jobIdx, opts)
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			if !ok {
+				warnings = append(warnings, Warning{
+					Level:    start,
+					Below:    lv,
+					JobIndex: jobIdx,
+					Sensor:   sensor,
+					Reason: fmt.Sprintf("outlier at %s level not confirmed at %s level: possible wrong measurement",
+						start, lv),
+				})
+				break
+			}
+			score++
+			seen = append(seen, lv)
+		}
+	}
+	return score, seen, warnings, nil
+}

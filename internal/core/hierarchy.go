@@ -1,0 +1,314 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector/olapcube"
+	"repro/internal/plant"
+	"repro/internal/softsensor"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Hierarchy is one machine's aligned view over the five production
+// levels, extracted from a simulated (or recorded) plant. It caches
+// the per-level detection runs so the recursive global-score passes do
+// not recompute them.
+type Hierarchy struct {
+	Plant   *plant.Plant
+	Machine *plant.Machine
+
+	// NaivePhase switches the phase-level detector from the job-cycle
+	// profile to a plain global robust z — the "wrong algorithm for
+	// the level" ablation showing why Algorithm 1's ChooseAlgorithm
+	// step matters. Set before the first detection call.
+	NaivePhase bool
+
+	perPhase int // samples per phase
+	perJob   int // samples per job
+
+	// Per-level normalised scores, computed lazily.
+	phaseScores map[string][]float64 // sensor → per-sample z
+	jobScores   []float64            // per job index
+	envScores   []float64            // per environment sample
+	lineScores  []float64            // per job index
+	prodScores  []float64            // per machine index
+	prodIndex   int                  // this machine's index in prodScores
+
+	// Soft-sensor models for virtual redundancy, built lazily per
+	// target sensor.
+	softModels map[string]*softsensor.Model
+	softStream *timeseries.MultiSeries
+}
+
+// NewHierarchy builds the hierarchy view for one machine of the plant.
+func NewHierarchy(p *plant.Plant, machineID string) (*Hierarchy, error) {
+	m, err := p.MachineByID(machineID)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Jobs) == 0 || len(m.Jobs[0].Phases) == 0 {
+		return nil, fmt.Errorf("core: machine %s has no recorded jobs", machineID)
+	}
+	perPhase := m.Jobs[0].Phases[0].Sensors.Len()
+	return &Hierarchy{
+		Plant:    p,
+		Machine:  m,
+		perPhase: perPhase,
+		perJob:   perPhase * len(m.Jobs[0].Phases),
+	}, nil
+}
+
+// SamplesPerJob returns the number of level-1 samples a job spans.
+func (h *Hierarchy) SamplesPerJob() int { return h.perJob }
+
+// ---- Level detectors (ChooseAlgorithm of Algorithm 1) ----
+//
+// Each level carries a different data shape, so a different detector
+// family fits (§3): robust point scoring for the high-resolution phase
+// series, a multivariate density model for the high-dimensional job
+// vectors, a drift-following tracker for the environment, robust
+// scoring for the short line series, and a cross-machine cube
+// comparison at the production level. All scores are normalised to
+// robust z-like scales so thresholds compare across levels.
+
+// phaseLevelScores runs the level-1 detector: a profile-similarity
+// scorer exploiting the repetitive job cycle. Every job traverses the
+// same phase schedule, so position t within the job cycle has a
+// cross-job profile (median/MAD); the score of a sample is its robust
+// deviation from its position's profile. Temperature channels are
+// first referenced to the job's nozzle setpoint (a known setup
+// parameter), so per-job setpoint variation does not blur the profile
+// — exactly the kind of context variable the paper says production
+// levels contribute.
+func (h *Hierarchy) phaseLevelScores() (map[string][]float64, error) {
+	if h.phaseScores != nil {
+		return h.phaseScores, nil
+	}
+	stream, err := h.Machine.PhaseStream()
+	if err != nil {
+		return nil, err
+	}
+	jobs := h.Machine.Jobs
+	out := make(map[string][]float64, len(stream.Dims))
+	if h.NaivePhase {
+		for _, dim := range stream.Dims {
+			z := stats.RobustZScores(dim.Values)
+			scores := make([]float64, len(z))
+			for i, v := range z {
+				scores[i] = math.Abs(v)
+			}
+			out[dim.Name] = scores
+		}
+		h.phaseScores = out
+		return out, nil
+	}
+	for _, dim := range stream.Dims {
+		isTemp := dim.Name == "temp-a" || dim.Name == "temp-b"
+		n := dim.Len()
+		adj := make([]float64, n)
+		for i, v := range dim.Values {
+			if isTemp {
+				ji := i / h.perJob
+				if ji >= len(jobs) {
+					ji = len(jobs) - 1
+				}
+				v -= jobs[ji].Setup[2] // reference to the job setpoint
+			}
+			adj[i] = v
+		}
+		scores := make([]float64, n)
+		col := make([]float64, 0, len(jobs))
+		for pos := 0; pos < h.perJob && pos < n; pos++ {
+			col = col[:0]
+			for i := pos; i < n; i += h.perJob {
+				col = append(col, adj[i])
+			}
+			med := stats.Median(col)
+			mad := stats.MAD(col)
+			// Floor the spread: with few jobs the MAD of a quiet
+			// position underestimates the sensor noise.
+			if mad < 0.3 || mad != mad {
+				mad = 0.3
+			}
+			for i := pos; i < n; i += h.perJob {
+				d := adj[i] - med
+				if d < 0 {
+					d = -d
+				}
+				scores[i] = d / mad
+			}
+		}
+		out[dim.Name] = scores
+	}
+	h.phaseScores = out
+	return out, nil
+}
+
+// jobLevelScores runs the level-2 detector: per-column robust z over
+// the setup+CAQ vectors, taking each job's worst column. The
+// column-wise view keeps a single degraded quality metric visible even
+// when ten healthy columns would wash it out of a joint density — the
+// high-dimensional regime §5 discusses.
+func (h *Hierarchy) jobLevelScores() ([]float64, error) {
+	if h.jobScores != nil {
+		return h.jobScores, nil
+	}
+	rows := h.Machine.JobVectors()
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: machine %s has no job vectors", h.Machine.ID)
+	}
+	dims := len(rows[0])
+	out := make([]float64, len(rows))
+	col := make([]float64, len(rows))
+	for d := 0; d < dims; d++ {
+		for i, r := range rows {
+			col[i] = r[d]
+		}
+		z := robustStandardize(col)
+		for i := range out {
+			if z[i] > out[i] {
+				out[i] = z[i]
+			}
+		}
+	}
+	h.jobScores = out
+	return out, nil
+}
+
+// envLevelScores runs the level-3 detector: an EWMA drift tracker over
+// the room-temperature series.
+func (h *Hierarchy) envLevelScores() ([]float64, error) {
+	if h.envScores != nil {
+		return h.envScores, nil
+	}
+	room := h.Plant.Environment.Dim("room-temp")
+	if room == nil {
+		return nil, fmt.Errorf("core: environment series missing room-temp")
+	}
+	tr := stats.NewEWMATracker(0.05)
+	out := make([]float64, room.Len())
+	for i, v := range room.Values {
+		out[i] = tr.Add(v)
+	}
+	h.envScores = out
+	return out, nil
+}
+
+// lineLevelScores runs the level-4 detector: robust z over the per-job
+// aggregate series of the machine.
+func (h *Hierarchy) lineLevelScores() ([]float64, error) {
+	if h.lineScores != nil {
+		return h.lineScores, nil
+	}
+	ls, err := h.Machine.LineSeries()
+	if err != nil {
+		return nil, err
+	}
+	qs, err := h.Machine.QualitySeries()
+	if err != nil {
+		return nil, err
+	}
+	zTemp := stats.RobustZScores(ls.Values)
+	zQual := stats.RobustZScores(qs.Values)
+	out := make([]float64, len(zTemp))
+	for i := range out {
+		// A job is line-level anomalous when either its mean
+		// temperature or its quality deviates.
+		out[i] = math.Max(math.Abs(zTemp[i]), math.Abs(zQual[i]))
+	}
+	h.lineScores = out
+	return out, nil
+}
+
+// productionLevelScores runs the level-5 detector: the OLAP-cube
+// series scorer across every machine of the plant, standardised.
+func (h *Hierarchy) productionLevelScores() ([]float64, int, error) {
+	if h.prodScores != nil {
+		return h.prodScores, h.prodIndex, nil
+	}
+	series, err := h.Plant.ProductionSeries()
+	if err != nil {
+		return nil, 0, err
+	}
+	batch := make([][]float64, len(series))
+	idx := -1
+	machines := h.Plant.Machines()
+	for i, s := range series {
+		batch[i] = s.Values
+		if machines[i].ID == h.Machine.ID {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return nil, 0, fmt.Errorf("core: machine %s not in production view", h.Machine.ID)
+	}
+	var raw []float64
+	if len(batch) >= 3 {
+		d := olapcube.New()
+		raw, err = d.ScoreSeries(batch)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: production-level detector: %w", err)
+		}
+	} else {
+		raw = make([]float64, len(batch))
+	}
+	h.prodScores = raw
+	h.prodIndex = idx
+	return raw, idx, nil
+}
+
+// robustStandardize converts raw scores to |x−median|/MAD, falling
+// back to standard deviation for MAD-degenerate inputs.
+func robustStandardize(raw []float64) []float64 {
+	med := stats.Median(raw)
+	mad := stats.MAD(raw)
+	if mad == 0 || math.IsNaN(mad) {
+		_, sd := stats.MeanStd(raw)
+		if sd == 0 {
+			return make([]float64, len(raw))
+		}
+		mad = sd
+	}
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = math.Abs(v-med) / mad
+	}
+	return out
+}
+
+// softSupport reports whether a soft sensor (predicting the target
+// channel from its peers) confirms the measured value at sample idx —
+// virtual redundancy for channels without a physical twin. The model
+// is trained once per sensor on the machine's own stream.
+func (h *Hierarchy) softSupport(sensor string, idx int, threshold float64) (bool, error) {
+	if h.softStream == nil {
+		stream, err := h.Machine.PhaseStream()
+		if err != nil {
+			return false, err
+		}
+		h.softStream = stream
+		h.softModels = make(map[string]*softsensor.Model)
+	}
+	model, ok := h.softModels[sensor]
+	if !ok {
+		var err error
+		model, err = softsensor.Fit(h.softStream, sensor, 1e-3)
+		if err != nil {
+			return false, err
+		}
+		h.softModels[sensor] = model
+	}
+	return model.Support(h.softStream, idx, threshold)
+}
+
+// Outlierness converts a robust z-like score into the paper's [0, 1]
+// outlierness via a saturating map: 0.5 at the detection threshold,
+// approaching 1 for extreme deviations.
+func Outlierness(z, threshold float64) float64 {
+	if z < 0 {
+		z = 0
+	}
+	return z / (z + threshold)
+}

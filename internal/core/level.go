@@ -1,0 +1,71 @@
+// Package core implements the paper's primary contribution: the
+// five-level production hierarchy (Fig. 2) and Algorithm 1
+// (FindHierarchicalOutlier), which characterises every outlier by the
+// triple ⟨global score, outlierness, support⟩:
+//
+//   - global score — in how many hierarchy levels the outlier is
+//     visible; the higher, the more obvious the outlier (§4);
+//   - outlierness — the significance assigned by the level-appropriate
+//     detection algorithm, normalised to [0, 1];
+//   - support — the fraction of corresponding (redundant) sensors that
+//     confirm the outlier; low support flags measurement errors.
+//
+// The algorithm also performs the downward pass of Algorithm 1: an
+// outlier visible at a high level with no trace at the level below
+// raises a measurement-error warning.
+package core
+
+import "fmt"
+
+// Level enumerates the five production levels of Fig. 2, ordered from
+// the most detailed view (phase) to the most aggregated (production).
+type Level int
+
+const (
+	// LevelPhase (1) carries multi-dimensional high-resolution sensor
+	// series and discrete sequences per production phase.
+	LevelPhase Level = iota + 1
+	// LevelJob (2) carries the high-dimensional setup and CAQ vectors
+	// of whole jobs.
+	LevelJob
+	// LevelEnvironment (3) carries series measured alongside but not
+	// inside the process, e.g. room temperature.
+	LevelEnvironment
+	// LevelProductionLine (4) carries per-job aggregate series over
+	// the job sequence of a machine/line.
+	LevelProductionLine
+	// LevelProduction (5) spans machines — the most complex scenario.
+	LevelProduction
+)
+
+// MinLevel and MaxLevel bound the hierarchy.
+const (
+	MinLevel = LevelPhase
+	MaxLevel = LevelProduction
+)
+
+// String names the level like the paper does.
+func (l Level) String() string {
+	switch l {
+	case LevelPhase:
+		return "phase"
+	case LevelJob:
+		return "job"
+	case LevelEnvironment:
+		return "environment"
+	case LevelProductionLine:
+		return "production-line"
+	case LevelProduction:
+		return "production"
+	default:
+		return fmt.Sprintf("Level(%d)", int(l))
+	}
+}
+
+// Valid reports whether l is one of the five levels.
+func (l Level) Valid() bool { return l >= MinLevel && l <= MaxLevel }
+
+// Levels lists all five levels bottom-up.
+func Levels() []Level {
+	return []Level{LevelPhase, LevelJob, LevelEnvironment, LevelProductionLine, LevelProduction}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/plant"
+)
+
+func TestRankOrdering(t *testing.T) {
+	outliers := []Outlier{
+		{Index: 0, GlobalScore: 1, Support: 1, Outlierness: 0.9},
+		{Index: 1, GlobalScore: 3, Support: 0, Outlierness: 0.1},
+		{Index: 2, GlobalScore: 1, Support: 1, Outlierness: 0.5},
+		{Index: 3, GlobalScore: 1, Support: 0, Outlierness: 0.99},
+	}
+	ranked := Rank(outliers)
+	wantOrder := []int{1, 0, 2, 3}
+	for i, w := range wantOrder {
+		if ranked[i].Index != w {
+			t.Fatalf("rank %d = index %d, want %d", i, ranked[i].Index, w)
+		}
+	}
+	// Input untouched.
+	if outliers[0].Index != 0 {
+		t.Fatal("Rank mutated input")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if c := Classify(Outlier{Support: 1, GlobalScore: 2}); c != ClassFault {
+		t.Fatalf("fault class=%v", c)
+	}
+	if c := Classify(Outlier{Support: 0, Outlierness: 0.8, GlobalScore: 1}); c != ClassMeasurement {
+		t.Fatalf("meas class=%v", c)
+	}
+	if c := Classify(Outlier{Support: 0, Outlierness: 0.2, GlobalScore: 1}); c != ClassUnconfirmed {
+		t.Fatalf("unconfirmed class=%v", c)
+	}
+}
+
+func TestSummarizeAndRender(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, FaultRate: 0.4, MeasurementErrorRate: 0.3, JobsPerMachine: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var machine string
+	for _, e := range p.Events {
+		if e.Kind == plant.ProcessFault {
+			machine = e.Machine
+			break
+		}
+	}
+	if machine == "" {
+		t.Skip("no fault for this seed")
+	}
+	h, err := NewHierarchy(p, machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FindHierarchicalOutliers(h, LevelPhase, Options{MaxOutliers: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := Summarize(h, rep)
+	if sum.Machine != machine || len(sum.Jobs) == 0 {
+		t.Fatalf("summary=%+v", sum)
+	}
+	// Jobs sorted ascending.
+	for i := 1; i < len(sum.Jobs); i++ {
+		if sum.Jobs[i].JobIndex <= sum.Jobs[i-1].JobIndex {
+			t.Fatal("jobs not sorted")
+		}
+	}
+	// At least one job classified as a fault (the seed has faults).
+	foundFault := false
+	for _, j := range sum.Jobs {
+		if j.Class == ClassFault {
+			foundFault = true
+		}
+	}
+	if !foundFault {
+		t.Fatal("no job classified as fault")
+	}
+	text := sum.String()
+	if !strings.Contains(text, machine) || !strings.Contains(text, "process-fault") {
+		t.Fatalf("render incomplete:\n%s", text)
+	}
+	var buf bytes.Buffer
+	if err := sum.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Summary
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Machine != machine {
+		t.Fatal("JSON round trip lost machine")
+	}
+}

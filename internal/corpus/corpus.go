@@ -1,0 +1,228 @@
+// Package corpus implements a small in-memory bibliographic search
+// engine — inverted index, boolean AND queries over topic phrases,
+// category facets — plus a synthetic corpus generator calibrated to
+// the paper's Fig. 3. The paper built Fig. 3 by querying Web of
+// Science for eight outlier-detection synonyms, filtering each by
+// "time series" and then by the category "automation control systems";
+// this package reproduces that query pipeline over a corpus we can
+// ship.
+package corpus
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// ErrQuery is returned for malformed queries.
+var ErrQuery = errors.New("corpus: invalid query")
+
+// Document is one bibliographic record.
+type Document struct {
+	ID         int
+	Title      string
+	Topics     []string // topic phrases, e.g. "anomaly detection"
+	Categories []string // WoS-style subject categories
+	Year       int
+}
+
+// Engine is an inverted-index search engine over documents.
+type Engine struct {
+	docs []Document
+	// topic phrase → sorted doc IDs
+	topicIndex map[string][]int
+	// category → sorted doc IDs
+	categoryIndex map[string][]int
+}
+
+// NewEngine builds an engine over the given documents.
+func NewEngine(docs []Document) *Engine {
+	e := &Engine{
+		docs:          docs,
+		topicIndex:    make(map[string][]int),
+		categoryIndex: make(map[string][]int),
+	}
+	for _, d := range docs {
+		for _, t := range d.Topics {
+			key := normalize(t)
+			e.topicIndex[key] = append(e.topicIndex[key], d.ID)
+		}
+		for _, c := range d.Categories {
+			key := normalize(c)
+			e.categoryIndex[key] = append(e.categoryIndex[key], d.ID)
+		}
+	}
+	for _, idx := range []map[string][]int{e.topicIndex, e.categoryIndex} {
+		for k := range idx {
+			sort.Ints(idx[k])
+		}
+	}
+	return e
+}
+
+func normalize(s string) string {
+	return strings.Join(strings.Fields(strings.ToLower(s)), " ")
+}
+
+// Size returns the number of indexed documents.
+func (e *Engine) Size() int { return len(e.docs) }
+
+// Query is a conjunction of topic phrases with an optional category
+// facet — the WoS pipeline of Fig. 3.
+type Query struct {
+	Topics   []string // all must match
+	Category string   // optional facet
+}
+
+// Count returns the number of documents matching the query.
+func (e *Engine) Count(q Query) (int, error) {
+	ids, err := e.Search(q)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+// Search returns the sorted IDs of documents matching the query.
+func (e *Engine) Search(q Query) ([]int, error) {
+	if len(q.Topics) == 0 {
+		return nil, fmt.Errorf("%w: need at least one topic phrase", ErrQuery)
+	}
+	var result []int
+	for i, t := range q.Topics {
+		posting := e.topicIndex[normalize(t)]
+		if i == 0 {
+			result = append([]int(nil), posting...)
+		} else {
+			result = intersect(result, posting)
+		}
+		if len(result) == 0 {
+			return nil, nil
+		}
+	}
+	if q.Category != "" {
+		result = intersect(result, e.categoryIndex[normalize(q.Category)])
+	}
+	return result, nil
+}
+
+// intersect merges two sorted ID lists.
+func intersect(a, b []int) []int {
+	var out []int
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Fig3Term is one of the eight research-field terms of Fig. 3 together
+// with its calibrated article counts: articles mentioning the term AND
+// "time series", and the subset additionally categorised under
+// "automation control systems".
+type Fig3Term struct {
+	Term       string
+	TimeSeries int
+	Automation int
+}
+
+// Fig3Calibration transcribes the magnitudes visible in the paper's
+// Fig. 3 bar chart (heights read off the published figure; the
+// ordering and ratios are what the reproduction must preserve).
+var Fig3Calibration = []Fig3Term{
+	{"anomaly detection", 1950, 120},
+	{"outlier detection", 450, 30},
+	{"event detection", 570, 45},
+	{"novelty detection", 155, 10},
+	{"deviant discovery", 6, 1},
+	{"change point detection", 700, 25},
+	{"fault detection", 1050, 390},
+	{"intrusion detection", 300, 35},
+}
+
+// CategoryACS is the category facet of Fig. 3.
+const CategoryACS = "automation control systems"
+
+// TopicTimeSeries is the first filter of Fig. 3.
+const TopicTimeSeries = "time series"
+
+// GenerateFig3Corpus synthesises a bibliographic corpus whose query
+// counts reproduce the calibration exactly, plus distractor documents
+// (term without "time series", unrelated topics) so the boolean
+// pipeline is actually exercised.
+func GenerateFig3Corpus(rng *rand.Rand) []Document {
+	var docs []Document
+	id := 0
+	add := func(topics []string, cats []string) {
+		docs = append(docs, Document{
+			ID:         id,
+			Title:      fmt.Sprintf("synthetic article %d on %s", id, topics[0]),
+			Topics:     topics,
+			Categories: cats,
+			Year:       1990 + rng.Intn(29),
+		})
+		id++
+	}
+	otherCats := []string{"computer science", "engineering electrical", "statistics probability", "mathematics applied"}
+	for _, cal := range Fig3Calibration {
+		// Documents matching term AND time series AND the ACS category.
+		for i := 0; i < cal.Automation; i++ {
+			add([]string{cal.Term, TopicTimeSeries}, []string{CategoryACS, otherCats[rng.Intn(len(otherCats))]})
+		}
+		// Term AND time series, other categories.
+		for i := 0; i < cal.TimeSeries-cal.Automation; i++ {
+			add([]string{cal.Term, TopicTimeSeries}, []string{otherCats[rng.Intn(len(otherCats))]})
+		}
+		// Distractors: the term without the time-series topic (between
+		// 30% and 130% of the TS count, varying per term).
+		distractors := cal.TimeSeries/3 + rng.Intn(cal.TimeSeries+1)
+		for i := 0; i < distractors; i++ {
+			add([]string{cal.Term}, []string{otherCats[rng.Intn(len(otherCats))]})
+		}
+	}
+	// Unrelated noise documents.
+	noiseTopics := []string{"deep learning", "data mining", "signal processing", "control theory"}
+	for i := 0; i < 1500; i++ {
+		add([]string{noiseTopics[rng.Intn(len(noiseTopics))]}, []string{otherCats[rng.Intn(len(otherCats))]})
+	}
+	// Shuffle so index order is not generation order.
+	rng.Shuffle(len(docs), func(i, j int) { docs[i], docs[j] = docs[j], docs[i] })
+	return docs
+}
+
+// Fig3Row is one measured row of the reproduced Fig. 3.
+type Fig3Row struct {
+	Term       string
+	TimeSeries int
+	Automation int
+}
+
+// RunFig3 executes the Fig. 3 query pipeline — term AND "time series",
+// then the ACS category facet — against the engine and returns the
+// per-term counts in calibration order.
+func RunFig3(e *Engine) ([]Fig3Row, error) {
+	out := make([]Fig3Row, 0, len(Fig3Calibration))
+	for _, cal := range Fig3Calibration {
+		ts, err := e.Count(Query{Topics: []string{cal.Term, TopicTimeSeries}})
+		if err != nil {
+			return nil, err
+		}
+		acs, err := e.Count(Query{Topics: []string{cal.Term, TopicTimeSeries}, Category: CategoryACS})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig3Row{Term: cal.Term, TimeSeries: ts, Automation: acs})
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package corpus
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func engine() *Engine {
+	return NewEngine([]Document{
+		{ID: 0, Topics: []string{"anomaly detection", "time series"}, Categories: []string{"automation control systems"}},
+		{ID: 1, Topics: []string{"anomaly detection", "time series"}, Categories: []string{"computer science"}},
+		{ID: 2, Topics: []string{"anomaly detection"}, Categories: []string{"computer science"}},
+		{ID: 3, Topics: []string{"fault detection", "time series"}, Categories: []string{"automation control systems"}},
+	})
+}
+
+func TestSearchConjunction(t *testing.T) {
+	e := engine()
+	ids, err := e.Search(Query{Topics: []string{"anomaly detection", "time series"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != 0 || ids[1] != 1 {
+		t.Fatalf("ids=%v", ids)
+	}
+	n, err := e.Count(Query{Topics: []string{"anomaly detection"}})
+	if err != nil || n != 3 {
+		t.Fatalf("count=%d err=%v", n, err)
+	}
+}
+
+func TestCategoryFacet(t *testing.T) {
+	e := engine()
+	n, err := e.Count(Query{Topics: []string{"anomaly detection", "time series"}, Category: "automation control systems"})
+	if err != nil || n != 1 {
+		t.Fatalf("count=%d err=%v", n, err)
+	}
+}
+
+func TestNormalization(t *testing.T) {
+	e := engine()
+	n, err := e.Count(Query{Topics: []string{"  Anomaly   DETECTION "}})
+	if err != nil || n != 3 {
+		t.Fatalf("case/space-insensitive count=%d err=%v", n, err)
+	}
+}
+
+func TestEmptyQueryAndMisses(t *testing.T) {
+	e := engine()
+	if _, err := e.Search(Query{}); !errors.Is(err, ErrQuery) {
+		t.Fatal("want ErrQuery")
+	}
+	n, err := e.Count(Query{Topics: []string{"no such topic"}})
+	if err != nil || n != 0 {
+		t.Fatalf("miss count=%d err=%v", n, err)
+	}
+	// Early-exit path: first term matches, second doesn't.
+	n, _ = e.Count(Query{Topics: []string{"anomaly detection", "no such topic"}})
+	if n != 0 {
+		t.Fatalf("conjunction with miss=%d", n)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	got := intersect([]int{1, 3, 5, 7}, []int{2, 3, 5, 8})
+	if len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("intersect=%v", got)
+	}
+	if intersect(nil, []int{1}) != nil {
+		t.Fatal("empty intersect should be nil")
+	}
+}
+
+func TestFig3CorpusReproducesCalibration(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	docs := GenerateFig3Corpus(rng)
+	e := NewEngine(docs)
+	if e.Size() < 5000 {
+		t.Fatalf("corpus size=%d suspiciously small", e.Size())
+	}
+	rows, err := RunFig3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig3Calibration) {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	for i, row := range rows {
+		cal := Fig3Calibration[i]
+		if row.TimeSeries != cal.TimeSeries {
+			t.Fatalf("%s: TS=%d want %d", row.Term, row.TimeSeries, cal.TimeSeries)
+		}
+		if row.Automation != cal.Automation {
+			t.Fatalf("%s: ACS=%d want %d", row.Term, row.Automation, cal.Automation)
+		}
+	}
+}
+
+func TestFig3ShapeProperties(t *testing.T) {
+	// The qualitative shape of Fig. 3 that any reproduction must hold:
+	// anomaly detection dominates the time-series counts, fault
+	// detection dominates the automation-category counts, and deviant
+	// discovery is negligible in both.
+	rng := rand.New(rand.NewSource(2))
+	e := NewEngine(GenerateFig3Corpus(rng))
+	rows, err := RunFig3(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTerm := map[string]Fig3Row{}
+	for _, r := range rows {
+		byTerm[r.Term] = r
+	}
+	for _, r := range rows {
+		if r.Term != "anomaly detection" && r.TimeSeries >= byTerm["anomaly detection"].TimeSeries {
+			t.Fatalf("%s TS count %d >= anomaly detection", r.Term, r.TimeSeries)
+		}
+		if r.Term != "fault detection" && r.Automation >= byTerm["fault detection"].Automation {
+			t.Fatalf("%s ACS count %d >= fault detection", r.Term, r.Automation)
+		}
+	}
+	dd := byTerm["deviant discovery"]
+	if dd.TimeSeries > 20 {
+		t.Fatalf("deviant discovery should be negligible, got %d", dd.TimeSeries)
+	}
+}
+
+func TestDeterministicCorpusForSeed(t *testing.T) {
+	a := GenerateFig3Corpus(rand.New(rand.NewSource(3)))
+	b := GenerateFig3Corpus(rand.New(rand.NewSource(3)))
+	if len(a) != len(b) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a {
+		if a[i].Title != b[i].Title {
+			t.Fatal("same seed must reproduce the corpus")
+		}
+	}
+}

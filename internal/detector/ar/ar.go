@@ -1,0 +1,186 @@
+// Package ar implements the autoregressive predictive-model detector of
+// Hill & Minsker (2010) — Table 1 row "Autoregressive Model [15]",
+// family PM, granularities PTS and SSQ.
+//
+// An AR(p) model is estimated from reference data via the Yule-Walker
+// equations; the outlier score of a point is the magnitude of its
+// one-step-ahead prediction residual in residual standard deviations
+// (§3: "prediction models define the outlier score based on the delta
+// value to the predicted value").
+package ar
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/linalg"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is an AR(p) residual scorer.
+type Detector struct {
+	order  int
+	coeffs []float64
+	mean   float64
+	resStd float64
+	fitted bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithOrder sets the AR order p (default 4).
+func WithOrder(p int) Option {
+	return func(d *Detector) { d.order = p }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{order: 4}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "ar",
+		Title:      "Autoregressive Model",
+		Citation:   "[15]",
+		Family:     detector.FamilyPM,
+		Capability: detector.Capability{Points: true, Subsequences: true},
+	}
+}
+
+// Order returns the model order.
+func (d *Detector) Order() int { return d.order }
+
+// Coefficients returns the fitted AR coefficients (nil before Fit).
+func (d *Detector) Coefficients() []float64 {
+	return append([]float64(nil), d.coeffs...)
+}
+
+// Fit estimates the AR(p) model from reference values via Yule-Walker.
+func (d *Detector) Fit(values []float64) error {
+	p := d.order
+	if len(values) < 4*p || len(values) < 8 {
+		return fmt.Errorf("%w: need at least %d reference samples for AR(%d), have %d",
+			detector.ErrInput, max(4*p, 8), p, len(values))
+	}
+	acov := stats.Autocovariance(values, p)
+	if acov[0] == 0 {
+		// Constant reference: predict the mean, zero residual spread.
+		d.coeffs = make([]float64, p)
+		d.mean = stats.Mean(values)
+		d.resStd = 0
+		d.fitted = true
+		return nil
+	}
+	// Solve Toeplitz(acov[0..p-1]) · φ = acov[1..p]. Ridge the diagonal
+	// slightly so near-perfectly-correlated references stay solvable.
+	r := make([]float64, p)
+	copy(r, acov[:p])
+	r[0] *= 1 + 1e-9
+	toe := linalg.Toeplitz(r)
+	rhs := make([]float64, p)
+	copy(rhs, acov[1:p+1])
+	phi, err := linalg.SolveSPD(toe, rhs)
+	if err != nil {
+		return fmt.Errorf("ar: yule-walker solve: %w", err)
+	}
+	d.coeffs = phi
+	d.mean = stats.Mean(values)
+	// Residual spread from in-sample one-step predictions.
+	res := d.residuals(values)
+	d.resStd = stats.StdDev(res)
+	if d.resStd == 0 {
+		d.resStd = 1e-9
+	}
+	d.fitted = true
+	return nil
+}
+
+// residuals returns the one-step-ahead residuals for t >= order.
+func (d *Detector) residuals(values []float64) []float64 {
+	p := d.order
+	if len(values) <= p {
+		return nil
+	}
+	out := make([]float64, 0, len(values)-p)
+	for t := p; t < len(values); t++ {
+		pred := d.mean
+		for k := 0; k < p; k++ {
+			pred += d.coeffs[k] * (values[t-1-k] - d.mean)
+		}
+		out = append(out, values[t]-pred)
+	}
+	return out
+}
+
+// Predict returns the one-step-ahead forecast given the p most recent
+// values (most recent last).
+func (d *Detector) Predict(recent []float64) (float64, error) {
+	if !d.fitted {
+		return 0, detector.ErrNotFitted
+	}
+	if len(recent) < d.order {
+		return 0, fmt.Errorf("%w: need %d recent values, have %d", detector.ErrInput, d.order, len(recent))
+	}
+	pred := d.mean
+	for k := 0; k < d.order; k++ {
+		pred += d.coeffs[k] * (recent[len(recent)-1-k] - d.mean)
+	}
+	return pred, nil
+}
+
+// ScorePoints implements detector.PointScorer: |residual| / σ, with the
+// first p points scored 0 (no history to predict from).
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(values))
+	if len(values) <= d.order {
+		return out, nil
+	}
+	res := d.residuals(values)
+	for i, r := range res {
+		if d.resStd == 0 {
+			if r != 0 {
+				out[d.order+i] = math.Inf(1)
+			}
+			continue
+		}
+		out[d.order+i] = math.Abs(r) / d.resStd
+	}
+	return out, nil
+}
+
+// ScoreWindows implements detector.WindowScorer: the window score is the
+// maximum point score inside the window, locating bursty residuals.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	pts, err := d.ScorePoints(values)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(pts, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: stats.Max(w.Values)}
+	}
+	return out, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

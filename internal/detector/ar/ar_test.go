@@ -1,0 +1,190 @@
+package ar
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "ar" || info.Family != detector.FamilyPM {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "xx-" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfittedAndBadInput(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints(make([]float64, 10)); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if _, err := d.Predict([]float64{1, 2, 3, 4}); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted for Predict")
+	}
+	if err := d.Fit(make([]float64, 3)); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for tiny reference")
+	}
+}
+
+func TestRecoverAR1Coefficient(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 8192
+	vals := make([]float64, n)
+	for i := 1; i < n; i++ {
+		vals[i] = 0.7*vals[i-1] + rng.NormFloat64()
+	}
+	d := New(WithOrder(1))
+	if err := d.Fit(vals); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Coefficients()
+	if math.Abs(c[0]-0.7) > 0.05 {
+		t.Fatalf("phi=%v want ~0.7", c[0])
+	}
+	if d.Order() != 1 {
+		t.Fatalf("order=%d", d.Order())
+	}
+}
+
+func TestConstantReference(t *testing.T) {
+	d := New(WithOrder(2))
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = 5
+	}
+	if err := d.Fit(vals); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints([]float64{5, 5, 5, 5, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(scores[4], 1) {
+		t.Fatalf("deviation from constant process should be infinite surprise, got %v", scores[4])
+	}
+	if scores[2] != 0 {
+		t.Fatalf("constant continuation should score 0, got %v", scores[2])
+	}
+}
+
+func TestPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 2048)
+	for i := 1; i < len(vals); i++ {
+		vals[i] = 0.9*vals[i-1] + rng.NormFloat64()*0.1
+	}
+	d := New(WithOrder(1))
+	if err := d.Fit(vals); err != nil {
+		t.Fatal(err)
+	}
+	pred, err := d.Predict([]float64{2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred-1.8) > 0.15 {
+		t.Fatalf("pred=%v want ~1.8", pred)
+	}
+	if _, err := d.Predict(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short history")
+	}
+}
+
+func TestDetectsAdditiveOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean, _ := generator.Workload(generator.Config{N: 4096, Phi: 0.6}, generator.AdditiveOutlier, 0, 0, rng)
+	dirty, _ := generator.Workload(generator.Config{N: 4096, Phi: 0.6}, generator.AdditiveOutlier, 8, 7, rng)
+	d := New(WithOrder(4))
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Fatalf("AUC=%.3f, want >= 0.95 for AO under AR model", auc)
+	}
+}
+
+func TestDetectsLevelShiftOnset(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	clean, _ := generator.Workload(generator.Config{N: 4096, Phi: 0.5}, generator.LevelShift, 0, 0, rng)
+	dirty, _ := generator.Workload(generator.Config{N: 4096, Phi: 0.5}, generator.LevelShift, 4, 8, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := eval.Threshold(scores, 5)
+	rec, err := eval.EpisodeRecall(pred, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec < 0.75 {
+		t.Fatalf("episode recall=%.2f, want >= 0.75", rec)
+	}
+}
+
+func TestScoreWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	clean, _ := generator.Workload(generator.Config{N: 2048}, generator.AdditiveOutlier, 0, 0, rng)
+	dirty, _ := generator.Workload(generator.Config{N: 2048}, generator.AdditiveOutlier, 4, 8, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 64, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The best-scoring window must contain an injection.
+	best := 0
+	for i, w := range ws {
+		if w.Score > ws[best].Score {
+			best = i
+		}
+	}
+	found := false
+	for k := ws[best].Start; k < ws[best].Start+64; k++ {
+		if dirty.PointLabels[k] {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("best window does not cover any injected outlier")
+	}
+}
+
+func TestShortSeriesScoresZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	clean, _ := generator.Workload(generator.Config{N: 256}, generator.AdditiveOutlier, 0, 0, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints([]float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s != 0 {
+			t.Fatal("series shorter than order should score zeros")
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package detector
+
+import "fmt"
+
+// Binner maps numeric values to a small symbol alphabet using equal
+// width bins whose range is learned once on reference data. Unlike a
+// per-series discretisation, a fitted Binner keeps the symbol meaning
+// stable between the training and scoring series, which the window
+// database detectors (match count, LCS, NPD, NMD) rely on.
+type Binner struct {
+	Lo, Hi float64
+	K      int
+	fitted bool
+}
+
+// NewBinner builds a binner with k symbols (clamped to at least 2).
+func NewBinner(k int) *Binner {
+	if k < 2 {
+		k = 2
+	}
+	return &Binner{K: k}
+}
+
+// Fit learns the value range from reference values.
+func (b *Binner) Fit(values []float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("%w: binner fit on empty values", ErrInput)
+	}
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	b.Lo, b.Hi = lo, hi
+	b.fitted = true
+	return nil
+}
+
+// Fitted reports whether Fit has been called.
+func (b *Binner) Fitted() bool { return b.fitted }
+
+// Symbol maps a value to its bin symbol 0..K-1, clamping out-of-range
+// values into the edge bins (new data may exceed the training range).
+func (b *Binner) Symbol(v float64) byte {
+	span := b.Hi - b.Lo
+	idx := int((v - b.Lo) / span * float64(b.K))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= b.K {
+		idx = b.K - 1
+	}
+	return byte(idx)
+}
+
+// Symbolize maps a window of values to its symbol string.
+func (b *Binner) Symbolize(values []float64) []byte {
+	out := make([]byte, len(values))
+	for i, v := range values {
+		out[i] = b.Symbol(v)
+	}
+	return out
+}

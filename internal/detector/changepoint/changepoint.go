@@ -1,0 +1,244 @@
+// Package changepoint implements the unifying outlier/change-point
+// framework of Takeuchi & Yamanishi (2006), cited in the paper's
+// related work (§5 [39]) and motivating its "discover Concept Shifts"
+// use case (§1). A sequentially discounting AR (SDAR) model scores
+// each point by its log-loss; a second SDAR stage over smoothed
+// point scores yields the change-point score, so the detector
+// distinguishes isolated outliers (first stage only) from sustained
+// regime changes (both stages).
+package changepoint
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+)
+
+// Detector is a two-stage SDAR scorer.
+type Detector struct {
+	order    int
+	discount float64
+	smooth   int
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithOrder sets the SDAR order (default 2).
+func WithOrder(p int) Option {
+	return func(d *Detector) { d.order = p }
+}
+
+// WithDiscount sets the discounting factor r in (0, 1); larger forgets
+// faster (default 0.02).
+func WithDiscount(r float64) Option {
+	return func(d *Detector) { d.discount = r }
+}
+
+// WithSmoothing sets the smoothing window between the stages
+// (default 8).
+func WithSmoothing(w int) Option {
+	return func(d *Detector) { d.smooth = w }
+}
+
+// New builds the detector; SDAR learns online, so no fitting phase is
+// needed.
+func New(opts ...Option) *Detector {
+	d := &Detector{order: 2, discount: 0.02, smooth: 8}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.order < 1 {
+		d.order = 1
+	}
+	if d.discount <= 0 || d.discount >= 1 {
+		d.discount = 0.02
+	}
+	if d.smooth < 1 {
+		d.smooth = 1
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "changepoint",
+		Title:      "Unifying Change Point Framework",
+		Citation:   "(§5, [39])",
+		Family:     detector.FamilyPM,
+		Capability: detector.Capability{Points: true},
+	}
+}
+
+// sdar is a sequentially discounting AR estimator.
+type sdar struct {
+	order    int
+	discount float64
+	mu       float64
+	c        []float64 // autocovariance estimates c[0..order]
+	coeff    []float64
+	sigma2   float64
+	hist     []float64 // most recent `order` values, newest last
+	n        int
+}
+
+func newSDAR(order int, discount float64) *sdar {
+	return &sdar{
+		order:    order,
+		discount: discount,
+		c:        make([]float64, order+1),
+		coeff:    make([]float64, order),
+		sigma2:   1,
+	}
+}
+
+// update folds x and returns the log-loss of x under the model state
+// *before* the update.
+func (s *sdar) update(x float64) float64 {
+	var loss float64
+	if s.n >= s.order {
+		pred := s.predict()
+		res := x - pred
+		v := math.Max(s.sigma2, 1e-12)
+		loss = 0.5*math.Log(2*math.Pi*v) + res*res/(2*v)
+	}
+	// Discounted moment updates (Yule-Walker on discounted estimates).
+	r := s.discount
+	s.mu = (1-r)*s.mu + r*x
+	dx := x - s.mu
+	for k := 0; k <= s.order && k <= len(s.hist); k++ {
+		var past float64
+		if k == 0 {
+			past = dx
+		} else {
+			past = s.hist[len(s.hist)-k] - s.mu
+		}
+		s.c[k] = (1-r)*s.c[k] + r*dx*past
+	}
+	s.solve()
+	if s.n >= s.order {
+		res := x - s.predict()
+		s.sigma2 = (1-r)*s.sigma2 + r*res*res
+	}
+	s.hist = append(s.hist, x)
+	if len(s.hist) > s.order {
+		s.hist = s.hist[1:]
+	}
+	s.n++
+	return loss
+}
+
+// solve runs Levinson-Durbin on the current autocovariances.
+func (s *sdar) solve() {
+	c0 := s.c[0]
+	if c0 <= 1e-12 {
+		for i := range s.coeff {
+			s.coeff[i] = 0
+		}
+		return
+	}
+	a := make([]float64, s.order+1)
+	e := c0
+	for k := 1; k <= s.order; k++ {
+		acc := s.c[k]
+		for j := 1; j < k; j++ {
+			acc -= a[j] * s.c[k-j]
+		}
+		if e <= 1e-12 {
+			break
+		}
+		kappa := acc / e
+		// reflection clamp keeps the filter stable under discounted,
+		// noisy covariance estimates
+		if kappa > 0.999 {
+			kappa = 0.999
+		}
+		if kappa < -0.999 {
+			kappa = -0.999
+		}
+		aNew := make([]float64, s.order+1)
+		copy(aNew, a)
+		aNew[k] = kappa
+		for j := 1; j < k; j++ {
+			aNew[j] = a[j] - kappa*a[k-j]
+		}
+		a = aNew
+		e *= 1 - kappa*kappa
+	}
+	copy(s.coeff, a[1:])
+}
+
+// predict returns the one-step forecast from the current history.
+func (s *sdar) predict() float64 {
+	pred := s.mu
+	for k := 1; k <= s.order && k <= len(s.hist); k++ {
+		pred += s.coeff[k-1] * (s.hist[len(s.hist)-k] - s.mu)
+	}
+	return pred
+}
+
+// ScorePoints implements detector.PointScorer: the first-stage SDAR
+// log-loss per point (outlier score).
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: empty series", detector.ErrInput)
+	}
+	s1 := newSDAR(d.order, d.discount)
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = s1.update(v)
+	}
+	return out, nil
+}
+
+// ChangeScores returns the second-stage change-point score per point:
+// the SDAR log-loss of the smoothed first-stage losses. Sustained
+// shifts keep the smoothed loss elevated and re-surprise the second
+// stage; isolated spikes are averaged away.
+func (d *Detector) ChangeScores(values []float64) ([]float64, error) {
+	first, err := d.ScorePoints(values)
+	if err != nil {
+		return nil, err
+	}
+	// Compress the losses before smoothing: a single gigantic spike
+	// loss must not outweigh a sustained moderate elevation, which is
+	// what distinguishes a change point from an outlier.
+	for i, v := range first {
+		first[i] = math.Log1p(math.Max(v, 0))
+	}
+	// Moving average of the compressed first-stage losses.
+	smoothed := make([]float64, len(first))
+	var acc float64
+	for i, v := range first {
+		acc += v
+		if i >= d.smooth {
+			acc -= first[i-d.smooth]
+			smoothed[i] = acc / float64(d.smooth)
+		} else {
+			smoothed[i] = acc / float64(i+1)
+		}
+	}
+	s2 := newSDAR(d.order, d.discount)
+	second := make([]float64, len(values))
+	for i, v := range smoothed {
+		second[i] = math.Log1p(math.Max(s2.update(v), 0))
+	}
+	// Final step of the unifying framework: the change score is the
+	// windowed average of the second-stage losses, so an isolated
+	// spike's brief second-stage surprise averages away while a regime
+	// change keeps the loss elevated across the window.
+	out := make([]float64, len(values))
+	acc = 0
+	for i, v := range second {
+		acc += v
+		if i >= d.smooth {
+			acc -= second[i-d.smooth]
+			out[i] = acc / float64(d.smooth)
+		} else {
+			out[i] = acc / float64(i+1)
+		}
+	}
+	return out, nil
+}

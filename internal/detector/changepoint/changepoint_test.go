@@ -1,0 +1,128 @@
+package changepoint
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/generator"
+	"repro/internal/stats"
+)
+
+func TestInfoAndOptions(t *testing.T) {
+	d := New()
+	if d.Info().Name != "changepoint" || !d.Info().Capability.Points {
+		t.Fatalf("info=%+v", d.Info())
+	}
+	// Bad options clamp to sane values.
+	d = New(WithOrder(0), WithDiscount(2), WithSmoothing(0))
+	if d.order != 1 || d.discount != 0.02 || d.smooth != 1 {
+		t.Fatalf("clamping failed: %+v", d)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := New().ScorePoints(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if _, err := New().ChangeScores(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+}
+
+func TestSpikeScoresHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 10 + rng.NormFloat64()*0.5
+	}
+	vals[700] = 25
+	scores, err := New().ScorePoints(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The spike must be the highest-loss point in the settled region.
+	best := 100
+	for i := 100; i < len(scores); i++ {
+		if scores[i] > scores[best] {
+			best = i
+		}
+	}
+	if best != 700 {
+		t.Fatalf("top loss at %d, want 700", best)
+	}
+}
+
+func TestChangeScoreSeparatesShiftFromSpike(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 2000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.5
+	}
+	vals[600] += 12 // isolated spike
+	for i := 1400; i < n; i++ {
+		vals[i] += 6 // sustained level shift
+	}
+	d := New(WithSmoothing(16))
+	change, err := d.ChangeScores(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Change score around the shift onset must exceed the score around
+	// the spike: the two-stage smoothing suppresses isolated outliers.
+	spikeRegion := stats.Max(change[590:650])
+	shiftRegion := stats.Max(change[1400:1460])
+	if shiftRegion <= spikeRegion {
+		t.Fatalf("shift change-score %v should exceed spike %v", shiftRegion, spikeRegion)
+	}
+}
+
+func TestDetectsLevelShiftOnset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dirty, _ := generator.Workload(generator.Config{N: 3000, Phi: 0.3}, generator.LevelShift, 3, 8, rng)
+	change, err := New(WithSmoothing(12)).ChangeScores(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each injected shift onset should be covered by a high change
+	// score within a lag window.
+	const lag = 60
+	hits := 0
+	thresh := stats.Quantile(change, 0.99)
+	for _, inj := range dirty.Injections {
+		for i := inj.At; i < inj.At+lag && i < len(change); i++ {
+			if change[i] >= thresh {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 2 {
+		t.Fatalf("only %d/3 level shifts produced change-point peaks", hits)
+	}
+}
+
+func TestAdaptsAfterShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 3000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+		if i >= 1000 {
+			vals[i] += 8
+		}
+	}
+	scores, err := New().ScorePoints(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long after the shift the SDAR has re-learned the level: losses
+	// return to baseline.
+	pre := stats.Mean(scores[500:900])
+	late := stats.Mean(scores[2500:2900])
+	if late > 3*pre {
+		t.Fatalf("model failed to adapt: late loss %v vs pre %v", late, pre)
+	}
+}

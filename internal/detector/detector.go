@@ -1,0 +1,156 @@
+// Package detector defines the common contract every outlier detection
+// technique of the paper's Table 1 implements: capability metadata
+// (which granularity a technique scores — points, subsequences, or whole
+// time series), the scoring interfaces per granularity, and score
+// normalisation so the hierarchy level combiner (paper §4) can compare
+// outlierness across algorithms.
+package detector
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common error conditions shared by the detector implementations.
+var (
+	// ErrNotFitted is returned when scoring precedes training.
+	ErrNotFitted = errors.New("detector: not fitted")
+	// ErrInput is returned for malformed inputs (empty data, bad
+	// window sizes, label/value length mismatches).
+	ErrInput = errors.New("detector: invalid input")
+)
+
+// Family is the technique family taxonomy of Table 1.
+type Family string
+
+// The nine families of Table 1 plus the profile-similarity class that
+// §3 describes in prose.
+const (
+	FamilyDA  Family = "DA"  // discriminative approach
+	FamilyUPA Family = "UPA" // unsupervised parametric approach
+	FamilyUOA Family = "UOA" // unsupervised online (OLAP) approach
+	FamilySA  Family = "SA"  // supervised approach
+	FamilyNPD Family = "NPD" // normal pattern database
+	FamilyNMD Family = "NMD" // negative and mixed pattern database
+	FamilyOS  Family = "OS"  // outlier subsequence
+	FamilyPM  Family = "PM"  // predictive model
+	FamilyITM Family = "ITM" // information-theoretic model
+	FamilyPS  Family = "PS"  // profile similarity
+)
+
+// Capability records the granularities a technique applies to — the
+// three ✓ columns of Table 1.
+type Capability struct {
+	Points       bool // PTS
+	Subsequences bool // SSQ
+	Series       bool // TSS
+}
+
+// String renders the capability in Table 1 column order.
+func (c Capability) String() string {
+	mark := func(b bool) byte {
+		if b {
+			return 'x'
+		}
+		return '-'
+	}
+	return fmt.Sprintf("%c%c%c", mark(c.Points), mark(c.Subsequences), mark(c.Series))
+}
+
+// Info identifies a technique: its short name, the paper's citation
+// index, its family and capability row.
+type Info struct {
+	Name       string // stable identifier, e.g. "match-count"
+	Title      string // Table 1 row title
+	Citation   string // e.g. "[16]"
+	Family     Family
+	Capability Capability
+	Supervised bool // needs labelled training data (SA family)
+}
+
+// Detector is the minimal interface every technique implements.
+type Detector interface {
+	// Info returns the technique's static metadata.
+	Info() Info
+}
+
+// PointScorer scores every sample of a univariate series; higher means
+// more outlying. Implemented by techniques with a PTS ✓.
+type PointScorer interface {
+	Detector
+	// ScorePoints returns one score per input sample.
+	ScorePoints(values []float64) ([]float64, error)
+}
+
+// RowScorer scores multivariate observations (one score per row), the
+// PTS granularity for multidimensional data such as CAQ vectors.
+type RowScorer interface {
+	Detector
+	// ScoreRows returns one score per observation row.
+	ScoreRows(rows [][]float64) ([]float64, error)
+}
+
+// WindowScore couples a window position with its score.
+type WindowScore struct {
+	Start  int
+	Length int
+	Score  float64
+}
+
+// WindowScorer scores overlapping fixed-size windows of a univariate
+// series. Implemented by techniques with an SSQ ✓.
+type WindowScorer interface {
+	Detector
+	// ScoreWindows slides a window of the given size with the given
+	// stride and returns one score per window.
+	ScoreWindows(values []float64, size, stride int) ([]WindowScore, error)
+}
+
+// SymbolScorer scores positions of a discrete label sequence, the SSQ
+// granularity for event logs. The score at position i reflects the
+// surprise of the subsequence ending (or centred) there.
+type SymbolScorer interface {
+	Detector
+	// ScoreSymbols returns one score per label.
+	ScoreSymbols(labels []string) ([]float64, error)
+}
+
+// SeriesScorer scores whole series within a batch, the TSS granularity.
+type SeriesScorer interface {
+	Detector
+	// ScoreSeries returns one score per series in the batch.
+	ScoreSeries(batch [][]float64) ([]float64, error)
+}
+
+// SupervisedPoint is implemented by SA-family techniques that learn a
+// point scorer from labelled values.
+type SupervisedPoint interface {
+	Detector
+	// FitPoints trains on values with per-sample anomaly labels.
+	FitPoints(values []float64, labels []bool) error
+}
+
+// SupervisedWindow is implemented by SA-family techniques that learn a
+// window scorer from labelled windows.
+type SupervisedWindow interface {
+	Detector
+	// FitWindows trains on labelled fixed-size windows.
+	FitWindows(values []float64, labels []bool, size, stride int) error
+}
+
+// SupervisedSeries is implemented by SA-family techniques that learn a
+// whole-series classifier from labelled example series.
+type SupervisedSeries interface {
+	Detector
+	// FitSeries trains on a batch of series with per-series labels.
+	FitSeries(batch [][]float64, labels []bool) error
+}
+
+// Fitter is implemented by unsupervised techniques that build a model of
+// normal behaviour from (assumed mostly normal) reference values before
+// scoring. Techniques without a Fit phase score directly.
+type Fitter interface {
+	Detector
+	// Fit builds the normal-behaviour model from reference values.
+	Fit(values []float64) error
+}

@@ -1,0 +1,229 @@
+package detector
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCapabilityString(t *testing.T) {
+	c := Capability{Points: true, Series: true}
+	if c.String() != "x-x" {
+		t.Fatalf("String=%q", c.String())
+	}
+	if (Capability{}).String() != "---" {
+		t.Fatal("empty capability string")
+	}
+}
+
+func TestNormalizeMinMax(t *testing.T) {
+	out := NormalizeMinMax([]float64{2, 4, 6})
+	want := []float64{0, 0.5, 1}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Fatalf("out=%v", out)
+		}
+	}
+	for _, v := range NormalizeMinMax([]float64{3, 3, 3}) {
+		if v != 0 {
+			t.Fatal("constant scores should normalise to 0")
+		}
+	}
+	if len(NormalizeMinMax(nil)) != 0 {
+		t.Fatal("empty input")
+	}
+}
+
+func TestNormalizeRank(t *testing.T) {
+	out := NormalizeRank([]float64{10, 30, 20})
+	if out[1] != 1 {
+		t.Fatalf("highest score should rank 1, got %v", out)
+	}
+	if !(out[0] < out[2] && out[2] < out[1]) {
+		t.Fatalf("rank order wrong: %v", out)
+	}
+	// Ties share mean rank.
+	tied := NormalizeRank([]float64{5, 5})
+	if tied[0] != tied[1] || math.Abs(tied[0]-0.75) > 1e-12 {
+		t.Fatalf("tied ranks=%v", tied)
+	}
+}
+
+func TestNormalizeGaussian(t *testing.T) {
+	out := NormalizeGaussian([]float64{0, 0, 0, 10})
+	if out[3] <= out[0] {
+		t.Fatalf("extreme score must map higher: %v", out)
+	}
+	if out[3] <= 0.9 {
+		t.Fatalf("extreme score should saturate towards 1: %v", out[3])
+	}
+	for _, v := range NormalizeGaussian([]float64{1, 1}) {
+		if v != 0 {
+			t.Fatal("constant scores map to 0")
+		}
+	}
+}
+
+func TestSpreadWindowScores(t *testing.T) {
+	ws := []WindowScore{{Start: 0, Length: 3, Score: 1}, {Start: 2, Length: 3, Score: 5}}
+	pts := SpreadWindowScores(5, ws)
+	want := []float64{1, 1, 5, 5, 5}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("pts=%v", pts)
+		}
+	}
+	// Window overflowing the series is clipped.
+	pts2 := SpreadWindowScores(2, []WindowScore{{Start: 1, Length: 10, Score: 3}})
+	if pts2[0] != 0 || pts2[1] != 3 {
+		t.Fatalf("pts2=%v", pts2)
+	}
+}
+
+func TestBinnerFitAndClamp(t *testing.T) {
+	b := NewBinner(4)
+	if b.Fitted() {
+		t.Fatal("new binner should be unfitted")
+	}
+	if err := b.Fit(nil); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for empty fit")
+	}
+	if err := b.Fit([]float64{0, 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Fitted() {
+		t.Fatal("binner should be fitted")
+	}
+	if b.Symbol(-5) != 0 {
+		t.Fatal("below-range should clamp to 0")
+	}
+	if b.Symbol(99) != 3 {
+		t.Fatal("above-range should clamp to K-1")
+	}
+	if b.Symbol(2.4) != 0 || b.Symbol(2.6) != 1 {
+		t.Fatalf("bin boundaries wrong: %d %d", b.Symbol(2.4), b.Symbol(2.6))
+	}
+	syms := b.Symbolize([]float64{0, 9.99})
+	if syms[0] != 0 || syms[1] != 3 {
+		t.Fatalf("Symbolize=%v", syms)
+	}
+}
+
+func TestBinnerConstantRange(t *testing.T) {
+	b := NewBinner(4)
+	if err := b.Fit([]float64{7, 7, 7}); err != nil {
+		t.Fatal(err)
+	}
+	// Degenerate range widened; symbols stay in range.
+	if s := b.Symbol(7); s > 3 {
+		t.Fatalf("symbol=%d", s)
+	}
+	// Clamped alphabet.
+	if NewBinner(0).K != 2 {
+		t.Fatal("alphabet should clamp to 2")
+	}
+}
+
+func TestWindowFeatures(t *testing.T) {
+	f, err := WindowFeatures([]float64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 4 { // 2 PAA + mean + std
+		t.Fatalf("features=%v", f)
+	}
+	if _, err := WindowFeatures(nil, 2); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+}
+
+func TestSeriesFeatures(t *testing.T) {
+	f, err := SeriesFeatures([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f) != 6 {
+		t.Fatalf("features=%v", f)
+	}
+	if _, err := SeriesFeatures([]float64{1, 2}); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for tiny series")
+	}
+}
+
+func TestDelayEmbed(t *testing.T) {
+	rows, err := DelayEmbed([]float64{1, 2, 3, 4}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != 1 || rows[2][1] != 4 {
+		t.Fatalf("rows=%v", rows)
+	}
+	if _, err := DelayEmbed([]float64{1}, 2); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if _, err := DelayEmbed([]float64{1}, 0); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for dim 0")
+	}
+}
+
+// Property: NormalizeMinMax output is always within [0, 1] and preserves
+// the argmax.
+func TestPropertyMinMaxRange(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Bound magnitudes so hi-lo cannot overflow; real detector
+			// scores are nowhere near the float64 extremes.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e150 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		out := NormalizeMinMax(xs)
+		argRaw, argOut := 0, 0
+		for i := range xs {
+			if out[i] < 0 || out[i] > 1 {
+				return false
+			}
+			if xs[i] > xs[argRaw] {
+				argRaw = i
+			}
+			if out[i] > out[argOut] {
+				argOut = i
+			}
+		}
+		return xs[argRaw] == xs[argOut]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: rank normalisation is monotone — larger raw score never
+// gets a smaller rank.
+func TestPropertyRankMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		out := NormalizeRank(xs)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if xs[i] > xs[j] && out[i] <= out[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

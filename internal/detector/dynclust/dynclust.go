@@ -1,0 +1,216 @@
+// Package dynclust implements dynamic (incremental) clustering after
+// Sequeira & Zaki's ADMIT (2002) — Table 1 row "Dynamic Clustering
+// [37]", family DA, granularities SSQ and TSS.
+//
+// Items arrive in sequence order and are clustered greedily: an item
+// joins the nearest cluster within the radius threshold (updating its
+// centre) or founds a new cluster. Outlierness combines the distance to
+// the final cluster centre with an inverse-support penalty — small,
+// late-founded clusters are suspicious.
+package dynclust
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a dynamic-clustering scorer.
+type Detector struct {
+	radiusFactor float64
+	segments     int
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithRadiusFactor scales the automatic radius threshold, which is the
+// median pairwise distance of a data sample times this factor
+// (default 0.5).
+func WithRadiusFactor(f float64) Option {
+	return func(d *Detector) { d.radiusFactor = f }
+}
+
+// WithSegments sets the PAA length for window/series representations
+// (default 8).
+func WithSegments(m int) Option {
+	return func(d *Detector) { d.segments = m }
+}
+
+// New builds the detector; it clusters each scored batch directly.
+func New(opts ...Option) *Detector {
+	d := &Detector{radiusFactor: 0.5, segments: 8}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "dynamic-clustering",
+		Title:      "Dynamic Clustering",
+		Citation:   "[37]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Subsequences: true, Series: true},
+	}
+}
+
+type cluster struct {
+	centre []float64
+	size   int
+}
+
+// clusterItems runs the single-pass dynamic clustering and returns the
+// per-item score.
+func clusterItems(items [][]float64, radiusFactor float64) ([]float64, error) {
+	n := len(items)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no items", detector.ErrInput)
+	}
+	radius := autoRadius(items) * radiusFactor
+	if radius == 0 {
+		radius = 1e-9
+	}
+	var clusters []*cluster
+	assign := make([]int, n)
+	for i, it := range items {
+		best, bestD := -1, math.Inf(1)
+		for c, cl := range clusters {
+			dd := stats.Euclidean(it, cl.centre)
+			if dd < bestD {
+				bestD, best = dd, c
+			}
+		}
+		if best >= 0 && bestD <= radius {
+			cl := clusters[best]
+			cl.size++
+			// Running-mean centre update.
+			for j := range cl.centre {
+				cl.centre[j] += (it[j] - cl.centre[j]) / float64(cl.size)
+			}
+			assign[i] = best
+		} else {
+			clusters = append(clusters, &cluster{centre: append([]float64(nil), it...), size: 1})
+			assign[i] = len(clusters) - 1
+		}
+	}
+	// Score: support deficit relative to the largest cluster, plus a
+	// bounded distance term. Support relative to the *largest* cluster
+	// (not the item count) keeps a legitimately fragmented normal
+	// regime from looking rare.
+	maxSize := 0
+	for _, cl := range clusters {
+		if cl.size > maxSize {
+			maxSize = cl.size
+		}
+	}
+	out := make([]float64, n)
+	for i, it := range items {
+		cl := clusters[assign[i]]
+		dist := stats.Euclidean(it, cl.centre)
+		out[i] = (1 - float64(cl.size)/float64(maxSize)) + 0.2*dist/(dist+radius)
+	}
+	return out, nil
+}
+
+// autoRadius estimates a clustering radius as the median pairwise
+// distance over a bounded sample of the items — a yardstick for the
+// diameter of the dominant regime rather than its sampling density.
+func autoRadius(items [][]float64) float64 {
+	n := len(items)
+	if n < 2 {
+		return 1
+	}
+	sampleN := n
+	if sampleN > 100 {
+		sampleN = 100
+	}
+	stride := n / sampleN
+	if stride < 1 {
+		stride = 1
+	}
+	var ds []float64
+	for i := 0; i < n; i += stride {
+		for j := i + stride; j < n; j += stride {
+			ds = append(ds, stats.Euclidean(items[i], items[j]))
+		}
+	}
+	med := stats.Median(ds)
+	if math.IsNaN(med) || med == 0 {
+		return 1
+	}
+	return med
+}
+
+// ScoreWindows implements detector.WindowScorer: windows become
+// z-normalised PAA items clustered in arrival order.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("%w: series shorter than window", detector.ErrInput)
+	}
+	items := make([][]float64, len(ws))
+	for i, w := range ws {
+		cp := append([]float64(nil), w.Values...)
+		m, sd := stats.MeanStd(cp)
+		stats.Normalize(cp)
+		paa, err := timeseries.PAA(cp, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = append(paa, m*0.5, sd*0.5)
+	}
+	scores, err := clusterItems(items, d.radiusFactor)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: scores[i]}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer using summary features
+// per series.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	items := make([][]float64, len(batch))
+	for i, s := range batch {
+		f, err := seriesFeatures(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		items[i] = f
+	}
+	return clusterItems(items, d.radiusFactor)
+}
+
+// seriesFeatures mirrors em.SeriesFeatures without importing it (keeps
+// the detector packages independent).
+func seriesFeatures(values []float64) ([]float64, error) {
+	if len(values) < 4 {
+		return nil, fmt.Errorf("%w: series of %d samples", detector.ErrInput, len(values))
+	}
+	m, sd := stats.MeanStd(values)
+	lo, hi := stats.MinMax(values)
+	ac := stats.Autocorrelation(values, 1)
+	trend := (values[len(values)-1] - values[0]) / float64(len(values))
+	crossings := 0
+	for i := 1; i < len(values); i++ {
+		if (values[i-1] < m) != (values[i] < m) {
+			crossings++
+		}
+	}
+	return []float64{m, sd, hi - lo, ac[1], trend, float64(crossings) / float64(len(values))}, nil
+}

@@ -1,0 +1,118 @@
+package dynclust
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "dynamic-clustering" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "-xx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreSeries(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if _, err := d.ScoreWindows([]float64{1, 2}, 16, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short series")
+	}
+	if _, err := clusterItems(nil, 2); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for no items")
+	}
+}
+
+func TestSmallClustersScoreHigher(t *testing.T) {
+	// 50 items in a tight cluster, 2 isolated items.
+	items := make([][]float64, 0, 52)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		items = append(items, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+	}
+	items = append(items, []float64{5, 5}, []float64{-5, 5})
+	scores, err := clusterItems(items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if scores[i] >= scores[50] || scores[i] >= scores[51] {
+			t.Fatalf("cluster member %d (%.3f) outranks isolate (%.3f, %.3f)",
+				i, scores[i], scores[50], scores[51])
+		}
+	}
+}
+
+func TestScoreWindowsDetectsDiscords(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	ws, err := New().ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestScoreSeriesSeparatesRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lab, _ := generator.SeriesWorkload(30, 5, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("AUC=%.3f, want >= 0.8", auc)
+	}
+}
+
+func TestAutoRadiusDegenerate(t *testing.T) {
+	if r := autoRadius([][]float64{{1}}); r != 1 {
+		t.Fatalf("single item radius=%v want fallback 1", r)
+	}
+	// Identical items: radius 0 → clusterItems must still work.
+	items := [][]float64{{2, 2}, {2, 2}, {2, 2}}
+	scores, err := clusterItems(items, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s < 0 {
+			t.Fatal("scores must be non-negative")
+		}
+	}
+}

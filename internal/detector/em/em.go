@@ -1,0 +1,244 @@
+// Package em implements the expectation-maximisation Gaussian mixture
+// detector after Pan et al. (2008) — Table 1 row
+// "Expectation-Maximization [30]", family DA, granularities PTS, SSQ and
+// TSS.
+//
+// A diagonal-covariance Gaussian mixture is fitted to normal behaviour;
+// the outlier score of an observation is its negative log-likelihood
+// under the mixture ("an anomaly is discovered if a sequence is unlikely
+// to be generated from a specified summary model", §3 — here the model
+// is discriminative over feature vectors).
+package em
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a Gaussian-mixture NLL scorer.
+type Detector struct {
+	k         int
+	maxIter   int
+	seed      int64
+	reference []float64
+	// point-level 1-D mixture
+	pointModel *mixture
+	// window-level mixture, built lazily per window size
+	winModel *mixture
+	winSize  int
+	segments int
+	fitted   bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithComponents sets the number of mixture components (default 3).
+func WithComponents(k int) Option {
+	return func(d *Detector) { d.k = k }
+}
+
+// WithSeed fixes the initialisation seed (default 1).
+func WithSeed(s int64) Option {
+	return func(d *Detector) { d.seed = s }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{k: 3, maxIter: 60, seed: 1, segments: 8}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "em-gmm",
+		Title:      "Expectation-Maximization",
+		Citation:   "[30]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Points: true, Subsequences: true, Series: true},
+	}
+}
+
+// Fit trains the point-level mixture on reference values and stores the
+// reference for lazy window-level fitting.
+func (d *Detector) Fit(values []float64) error {
+	if len(values) < 2*d.k {
+		return fmt.Errorf("%w: need at least %d reference samples, have %d", detector.ErrInput, 2*d.k, len(values))
+	}
+	obs := make([][]float64, len(values))
+	for i, v := range values {
+		obs[i] = []float64{v}
+	}
+	m, err := fitMixture(obs, d.k, d.maxIter, rand.New(rand.NewSource(d.seed)))
+	if err != nil {
+		return err
+	}
+	d.pointModel = m
+	d.reference = append(d.reference[:0], values...)
+	d.winModel = nil
+	d.winSize = 0
+	d.fitted = true
+	return nil
+}
+
+// ScorePoints implements detector.PointScorer: per-sample NLL.
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(values))
+	for i, v := range values {
+		out[i] = -d.pointModel.logLikelihood([]float64{v})
+	}
+	return out, nil
+}
+
+// ScoreRows implements detector.RowScorer: a mixture is fitted to the
+// row batch itself (rows are assumed mostly normal) and each row scored
+// by NLL.
+func (d *Detector) ScoreRows(rows [][]float64) ([]float64, error) {
+	if len(rows) < 2*d.k {
+		return nil, fmt.Errorf("%w: need at least %d rows", detector.ErrInput, 2*d.k)
+	}
+	m, err := fitMixture(rows, d.k, d.maxIter, rand.New(rand.NewSource(d.seed)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = -m.robustLogLikelihood(r)
+	}
+	return out, nil
+}
+
+// ScoreWindows implements detector.WindowScorer: windows are reduced to
+// PAA feature vectors; the mixture of normal window shapes comes from
+// the fit reference.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if err := d.ensureWindowModel(size); err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		f, err := windowFeatures(w.Values, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: -d.winModel.logLikelihood(f)}
+	}
+	return out, nil
+}
+
+func (d *Detector) ensureWindowModel(size int) error {
+	if d.winModel != nil && d.winSize == size {
+		return nil
+	}
+	ws, err := timeseries.SlidingWindows(d.reference, size, maxInt(1, size/4))
+	if err != nil {
+		return err
+	}
+	if len(ws) < 2*d.k {
+		return fmt.Errorf("%w: reference yields %d windows, need %d", detector.ErrInput, len(ws), 2*d.k)
+	}
+	obs := make([][]float64, len(ws))
+	for i, w := range ws {
+		f, err := windowFeatures(w.Values, d.segments)
+		if err != nil {
+			return err
+		}
+		obs[i] = f
+	}
+	m, err := fitMixture(obs, d.k, d.maxIter, rand.New(rand.NewSource(d.seed)))
+	if err != nil {
+		return err
+	}
+	d.winModel = m
+	d.winSize = size
+	return nil
+}
+
+// ScoreSeries implements detector.SeriesScorer: each series becomes a
+// feature vector; a mixture over the batch scores each series by NLL.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	k := d.k
+	if len(batch) < 2*k {
+		k = maxInt(1, len(batch)/2)
+	}
+	obs := make([][]float64, len(batch))
+	for i, s := range batch {
+		f, err := SeriesFeatures(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		obs[i] = f
+	}
+	m, err := fitMixture(obs, k, d.maxIter, rand.New(rand.NewSource(d.seed)))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(obs))
+	for i, f := range obs {
+		out[i] = -m.robustLogLikelihood(f)
+	}
+	return out, nil
+}
+
+// windowFeatures reduces a window to its z-normalised PAA plus scale
+// features (mean, std), so both shape and level anomalies register.
+func windowFeatures(values []float64, segments int) ([]float64, error) {
+	m, sd := stats.MeanStd(values)
+	cp := append([]float64(nil), values...)
+	stats.Normalize(cp)
+	paa, err := timeseries.PAA(cp, segments)
+	if err != nil {
+		return nil, err
+	}
+	return append(paa, m, sd), nil
+}
+
+// SeriesFeatures summarises a whole series for TSS-granularity scoring:
+// level, spread, extremes, lag-1 autocorrelation, trend and dominant
+// oscillation rate (mean crossings). Shared by the feature-based TSS
+// detectors.
+func SeriesFeatures(values []float64) ([]float64, error) {
+	if len(values) < 4 {
+		return nil, fmt.Errorf("%w: series of %d samples", detector.ErrInput, len(values))
+	}
+	m, sd := stats.MeanStd(values)
+	lo, hi := stats.MinMax(values)
+	ac := stats.Autocorrelation(values, 1)
+	trend := (values[len(values)-1] - values[0]) / float64(len(values))
+	crossings := 0
+	for i := 1; i < len(values); i++ {
+		if (values[i-1] < m) != (values[i] < m) {
+			crossings++
+		}
+	}
+	rate := float64(crossings) / float64(len(values))
+	return []float64{m, sd, hi - lo, ac[1], trend, rate}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package em
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "em-gmm" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "xxx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfittedAndErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints([]float64{1}); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.Fit([]float64{1, 2}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for tiny reference")
+	}
+	if _, err := d.ScoreSeries(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for empty batch")
+	}
+	if _, err := d.ScoreRows([][]float64{{1}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for tiny row batch")
+	}
+}
+
+func TestMixtureRecoversBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	obs := make([][]float64, 0, 600)
+	for i := 0; i < 300; i++ {
+		obs = append(obs, []float64{rng.NormFloat64()*0.5 - 5})
+		obs = append(obs, []float64{rng.NormFloat64()*0.5 + 5})
+	}
+	m, err := fitMixture(obs, 2, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two component means should straddle ±5.
+	m0, m1 := m.means[0][0], m.means[1][0]
+	if m0 > m1 {
+		m0, m1 = m1, m0
+	}
+	if math.Abs(m0+5) > 0.5 || math.Abs(m1-5) > 0.5 {
+		t.Fatalf("means %v %v, want ~±5", m0, m1)
+	}
+	// Mid-point between the modes is less likely than the modes.
+	if m.logLikelihood([]float64{0}) >= m.logLikelihood([]float64{5}) {
+		t.Fatal("inter-mode point should be less likely than a mode")
+	}
+}
+
+func TestMixtureRaggedRows(t *testing.T) {
+	if _, err := fitMixture([][]float64{{1, 2}, {3}}, 2, 10, rand.New(rand.NewSource(1))); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for ragged observations")
+	}
+}
+
+func TestScorePointsFlagsOutOfDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := make([]float64, 2000)
+	for i := range ref {
+		ref[i] = 20 + rng.NormFloat64()*2
+	}
+	d := New()
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints([]float64{20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[1] <= scores[0] {
+		t.Fatalf("outlier NLL %v should exceed inlier %v", scores[1], scores[0])
+	}
+}
+
+func TestScoreWindowsDetectsDiscords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean, _ := generator.SubseqWorkload(2048, 48, 0, rng)
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.75 {
+		t.Fatalf("AUC=%.3f, want >= 0.75", auc)
+	}
+}
+
+func TestScoreSeriesSeparatesRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lab, _ := generator.SeriesWorkload(24, 4, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Fatalf("AUC=%.3f, want >= 0.9 for distinct regimes", auc)
+	}
+}
+
+func TestScoreRowsFlagsOutlierRow(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	rows := make([][]float64, 0, 201)
+	for i := 0; i < 200; i++ {
+		rows = append(rows, []float64{rng.NormFloat64(), rng.NormFloat64()})
+	}
+	rows = append(rows, []float64{8, 8})
+	scores, err := New().ScoreRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	if best != 200 {
+		t.Fatalf("outlier row not top-scored (got index %d)", best)
+	}
+}
+
+func TestSeriesFeaturesErrors(t *testing.T) {
+	if _, err := SeriesFeatures([]float64{1}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	f, err := SeriesFeatures([]float64{1, 2, 3, 4, 5, 6})
+	if err != nil || len(f) != 6 {
+		t.Fatalf("features=%v err=%v", f, err)
+	}
+}

@@ -1,0 +1,247 @@
+package em
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+)
+
+// mixture is a diagonal-covariance Gaussian mixture model.
+type mixture struct {
+	k, d    int
+	weights []float64
+	means   [][]float64
+	vars    [][]float64
+}
+
+const varFloor = 1e-6
+
+// fitMixture runs EM on the observations. Components are initialised by
+// k-means++-style seeding from the data.
+func fitMixture(obs [][]float64, k, maxIter int, rng *rand.Rand) (*mixture, error) {
+	n := len(obs)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no observations", detector.ErrInput)
+	}
+	d := len(obs[0])
+	for i, o := range obs {
+		if len(o) != d {
+			return nil, fmt.Errorf("%w: observation %d has %d dims, want %d", detector.ErrInput, i, len(o), d)
+		}
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	m := &mixture{k: k, d: d}
+	m.init(obs, rng)
+	resp := make([][]float64, n)
+	for i := range resp {
+		resp[i] = make([]float64, k)
+	}
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		// E-step: responsibilities via log-sum-exp.
+		var total float64
+		for i, o := range obs {
+			maxLog := math.Inf(-1)
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Log(m.weights[c]) + m.logGauss(o, c)
+				if resp[i][c] > maxLog {
+					maxLog = resp[i][c]
+				}
+			}
+			var sum float64
+			for c := 0; c < k; c++ {
+				resp[i][c] = math.Exp(resp[i][c] - maxLog)
+				sum += resp[i][c]
+			}
+			for c := 0; c < k; c++ {
+				resp[i][c] /= sum
+			}
+			total += maxLog + math.Log(sum)
+		}
+		// M-step.
+		for c := 0; c < k; c++ {
+			var nc float64
+			for i := range obs {
+				nc += resp[i][c]
+			}
+			if nc < 1e-9 {
+				// Dead component: re-seed on a random observation.
+				copy(m.means[c], obs[rng.Intn(n)])
+				for j := 0; j < d; j++ {
+					m.vars[c][j] = 1
+				}
+				m.weights[c] = 1 / float64(n)
+				continue
+			}
+			m.weights[c] = nc / float64(n)
+			for j := 0; j < d; j++ {
+				var mu float64
+				for i := range obs {
+					mu += resp[i][c] * obs[i][j]
+				}
+				mu /= nc
+				m.means[c][j] = mu
+				var v float64
+				for i := range obs {
+					dv := obs[i][j] - mu
+					v += resp[i][c] * dv * dv
+				}
+				v /= nc
+				if v < varFloor {
+					v = varFloor
+				}
+				m.vars[c][j] = v
+			}
+		}
+		if total-prevLL < 1e-6*(1+math.Abs(total)) && iter > 5 {
+			break
+		}
+		prevLL = total
+	}
+	return m, nil
+}
+
+func (m *mixture) init(obs [][]float64, rng *rand.Rand) {
+	n := len(obs)
+	m.weights = make([]float64, m.k)
+	m.means = make([][]float64, m.k)
+	m.vars = make([][]float64, m.k)
+	// k-means++ style seeding: first centre random, the rest by
+	// squared-distance weighting.
+	chosen := make([]int, 0, m.k)
+	chosen = append(chosen, rng.Intn(n))
+	dist := make([]float64, n)
+	for len(chosen) < m.k {
+		var sum float64
+		for i, o := range obs {
+			best := math.Inf(1)
+			for _, c := range chosen {
+				var ss float64
+				for j := range o {
+					dv := o[j] - obs[c][j]
+					ss += dv * dv
+				}
+				if ss < best {
+					best = ss
+				}
+			}
+			dist[i] = best
+			sum += best
+		}
+		if sum == 0 {
+			chosen = append(chosen, rng.Intn(n))
+			continue
+		}
+		r := rng.Float64() * sum
+		pick := 0
+		for i, dd := range dist {
+			r -= dd
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		chosen = append(chosen, pick)
+	}
+	// Shared initial variance: global per-dim variance.
+	globalVar := make([]float64, m.d)
+	mean := make([]float64, m.d)
+	for _, o := range obs {
+		for j, v := range o {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, o := range obs {
+		for j, v := range o {
+			dv := v - mean[j]
+			globalVar[j] += dv * dv
+		}
+	}
+	for j := range globalVar {
+		globalVar[j] /= float64(n)
+		if globalVar[j] < varFloor {
+			globalVar[j] = varFloor
+		}
+	}
+	for c := 0; c < m.k; c++ {
+		m.weights[c] = 1 / float64(m.k)
+		m.means[c] = append([]float64(nil), obs[chosen[c]]...)
+		m.vars[c] = append([]float64(nil), globalVar...)
+	}
+}
+
+// logGauss is the log density of component c at x.
+func (m *mixture) logGauss(x []float64, c int) float64 {
+	var ll float64
+	for j := 0; j < m.d; j++ {
+		v := m.vars[c][j]
+		dv := x[j] - m.means[c][j]
+		ll += -0.5*math.Log(2*math.Pi*v) - dv*dv/(2*v)
+	}
+	return ll
+}
+
+// robustLogLikelihood is the log density of x under the sub-mixture of
+// *heavy* components (weight ≥ half the largest weight, renormalised).
+// When a mixture is fitted to contaminated data, a small anomalous
+// regime captures its own light component and would otherwise look
+// likely; excluding light components restores the outlier signal.
+func (m *mixture) robustLogLikelihood(x []float64) float64 {
+	var maxW float64
+	for _, w := range m.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	thresh := 0.5 * maxW
+	var totalW float64
+	for _, w := range m.weights {
+		if w >= thresh {
+			totalW += w
+		}
+	}
+	maxLog := math.Inf(-1)
+	logs := make([]float64, 0, m.k)
+	for c := 0; c < m.k; c++ {
+		if m.weights[c] < thresh {
+			continue
+		}
+		l := math.Log(m.weights[c]/totalW) + m.logGauss(x, c)
+		logs = append(logs, l)
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	var sum float64
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	return maxLog + math.Log(sum)
+}
+
+// logLikelihood is the mixture log density at x.
+func (m *mixture) logLikelihood(x []float64) float64 {
+	maxLog := math.Inf(-1)
+	logs := make([]float64, m.k)
+	for c := 0; c < m.k; c++ {
+		logs[c] = math.Log(m.weights[c]) + m.logGauss(x, c)
+		if logs[c] > maxLog {
+			maxLog = logs[c]
+		}
+	}
+	var sum float64
+	for _, l := range logs {
+		sum += math.Exp(l - maxLog)
+	}
+	return maxLog + math.Log(sum)
+}

@@ -1,0 +1,130 @@
+// Package ensemble combines the scores of several detectors into one
+// outlierness — the "outlier vectors" and score-combination ideas of
+// the paper's related work (§5, [8] and [21]): scores from different
+// algorithms live on incompatible scales, so they are rank- or
+// gaussian-normalised before aggregation.
+package ensemble
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+)
+
+// Combine aggregates normalised score vectors.
+type Combine int
+
+const (
+	// Mean averages the normalised scores — robust default.
+	Mean Combine = iota
+	// Max takes the strongest voice — high recall, lower precision.
+	Max
+	// Median is the most outlier-resistant combiner.
+	Median
+)
+
+// PointEnsemble runs several point scorers and combines their
+// normalised scores.
+type PointEnsemble struct {
+	members []detector.PointScorer
+	combine Combine
+}
+
+// NewPoint builds an ensemble over the given members.
+func NewPoint(combine Combine, members ...detector.PointScorer) (*PointEnsemble, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("%w: empty ensemble", detector.ErrInput)
+	}
+	return &PointEnsemble{members: members, combine: combine}, nil
+}
+
+// Info implements detector.Detector.
+func (e *PointEnsemble) Info() detector.Info {
+	return detector.Info{
+		Name:       "ensemble",
+		Title:      "Score Ensemble",
+		Citation:   "(§5, [8][21])",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Points: true},
+	}
+}
+
+// Vector is one point's outlier vector: the per-member normalised
+// scores (§5: "outlierness scores can be combined to outlier
+// vectors").
+type Vector []float64
+
+// ScoreVectors returns the full outlier vector per point.
+func (e *PointEnsemble) ScoreVectors(values []float64) ([]Vector, error) {
+	perMember := make([][]float64, len(e.members))
+	for m, member := range e.members {
+		raw, err := member.ScorePoints(values)
+		if err != nil {
+			return nil, fmt.Errorf("ensemble member %d (%s): %w", m, member.Info().Name, err)
+		}
+		if len(raw) != len(values) {
+			return nil, fmt.Errorf("ensemble member %d (%s): %d scores for %d values",
+				m, member.Info().Name, len(raw), len(values))
+		}
+		perMember[m] = detector.NormalizeRank(raw)
+	}
+	out := make([]Vector, len(values))
+	for i := range values {
+		v := make(Vector, len(e.members))
+		for m := range e.members {
+			v[m] = perMember[m][i]
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// ScorePoints implements detector.PointScorer by collapsing the
+// outlier vectors with the configured combiner.
+func (e *PointEnsemble) ScorePoints(values []float64) ([]float64, error) {
+	vectors, err := e.ScoreVectors(values)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vectors))
+	for i, v := range vectors {
+		out[i] = collapse(v, e.combine)
+	}
+	return out, nil
+}
+
+func collapse(v Vector, c Combine) float64 {
+	switch c {
+	case Max:
+		best := math.Inf(-1)
+		for _, s := range v {
+			if s > best {
+				best = s
+			}
+		}
+		return best
+	case Median:
+		cp := append([]float64(nil), v...)
+		// insertion sort: ensembles are tiny
+		for i := 1; i < len(cp); i++ {
+			for j := i; j > 0 && cp[j] < cp[j-1]; j-- {
+				cp[j], cp[j-1] = cp[j-1], cp[j]
+			}
+		}
+		n := len(cp)
+		if n%2 == 1 {
+			return cp[n/2]
+		}
+		return (cp[n/2-1] + cp[n/2]) / 2
+	default: // Mean
+		var sum float64
+		for _, s := range v {
+			sum += s
+		}
+		return sum / float64(len(v))
+	}
+}
+
+// Members returns the member count.
+func (e *PointEnsemble) Members() int { return len(e.members) }

@@ -1,0 +1,138 @@
+package ensemble
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/detector/histdeviant"
+	"repro/internal/detector/olapcube"
+	"repro/internal/detector/singlelink"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func members() []detector.PointScorer {
+	return []detector.PointScorer{
+		histdeviant.New(),
+		olapcube.New(),
+		singlelink.New(),
+	}
+}
+
+func TestNewPointValidation(t *testing.T) {
+	if _, err := NewPoint(Mean); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for empty ensemble")
+	}
+	e, err := NewPoint(Mean, members()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Members() != 3 {
+		t.Fatalf("members=%d", e.Members())
+	}
+	if e.Info().Name != "ensemble" {
+		t.Fatal("info name")
+	}
+}
+
+func TestVectorsShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dirty, _ := generator.Workload(generator.Config{N: 500}, generator.AdditiveOutlier, 4, 8, rng)
+	e, _ := NewPoint(Mean, members()...)
+	vecs, err := e.ScoreVectors(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vecs) != 500 || len(vecs[0]) != 3 {
+		t.Fatalf("vector shape %dx%d", len(vecs), len(vecs[0]))
+	}
+	for _, v := range vecs {
+		for _, s := range v {
+			if s < 0 || s > 1 {
+				t.Fatalf("normalised score %v out of [0,1]", s)
+			}
+		}
+	}
+}
+
+func TestEnsembleBeatsWorstMember(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dirty, _ := generator.Workload(generator.Config{N: 2000}, generator.AdditiveOutlier, 8, 8, rng)
+	var worst float64 = 2
+	for _, m := range members() {
+		scores, err := m.ScorePoints(dirty.Series.Values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		auc, err := eval.ROCAUC(scores, dirty.PointLabels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if auc < worst {
+			worst = auc
+		}
+	}
+	e, _ := NewPoint(Mean, members()...)
+	scores, err := e.ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < worst {
+		t.Fatalf("ensemble AUC %.3f below worst member %.3f", auc, worst)
+	}
+	if auc < 0.9 {
+		t.Fatalf("ensemble AUC=%.3f", auc)
+	}
+}
+
+func TestCombiners(t *testing.T) {
+	v := Vector{0.2, 0.8, 0.5}
+	if got := collapse(v, Mean); got != 0.5 {
+		t.Fatalf("mean=%v", got)
+	}
+	if got := collapse(v, Max); got != 0.8 {
+		t.Fatalf("max=%v", got)
+	}
+	if got := collapse(v, Median); got != 0.5 {
+		t.Fatalf("median=%v", got)
+	}
+	if got := collapse(Vector{0.1, 0.9}, Median); got != 0.5 {
+		t.Fatalf("even median=%v", got)
+	}
+}
+
+// failingScorer helps test member error propagation.
+type failingScorer struct{}
+
+func (failingScorer) Info() detector.Info { return detector.Info{Name: "failing"} }
+func (failingScorer) ScorePoints([]float64) ([]float64, error) {
+	return nil, errors.New("boom")
+}
+
+func TestMemberErrorPropagates(t *testing.T) {
+	e, _ := NewPoint(Mean, failingScorer{})
+	if _, err := e.ScorePoints([]float64{1, 2, 3}); err == nil {
+		t.Fatal("want member error")
+	}
+}
+
+// shortScorer returns the wrong number of scores.
+type shortScorer struct{}
+
+func (shortScorer) Info() detector.Info { return detector.Info{Name: "short"} }
+func (shortScorer) ScorePoints(values []float64) ([]float64, error) {
+	return make([]float64, 1), nil
+}
+
+func TestLengthMismatchRejected(t *testing.T) {
+	e, _ := NewPoint(Mean, shortScorer{})
+	if _, err := e.ScorePoints([]float64{1, 2, 3}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+}

@@ -1,0 +1,63 @@
+package detector
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// WindowFeatures reduces a numeric window to a shape+scale vector: the
+// z-normalised PAA with the window mean and standard deviation appended
+// (half-weighted so shape dominates). Shared by the vector-space
+// detectors (SOM, one-class SVM, clustering families).
+func WindowFeatures(values []float64, segments int) ([]float64, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: empty window", ErrInput)
+	}
+	cp := append([]float64(nil), values...)
+	m, sd := stats.MeanStd(cp)
+	stats.Normalize(cp)
+	paa, err := timeseries.PAA(cp, segments)
+	if err != nil {
+		return nil, err
+	}
+	return append(paa, m*0.5, sd*0.5), nil
+}
+
+// SeriesFeatures summarises a whole series for TSS-granularity scoring:
+// level, spread, range, lag-1 autocorrelation, trend and mean-crossing
+// rate.
+func SeriesFeatures(values []float64) ([]float64, error) {
+	if len(values) < 4 {
+		return nil, fmt.Errorf("%w: series of %d samples", ErrInput, len(values))
+	}
+	m, sd := stats.MeanStd(values)
+	lo, hi := stats.MinMax(values)
+	ac := stats.Autocorrelation(values, 1)
+	trend := (values[len(values)-1] - values[0]) / float64(len(values))
+	crossings := 0
+	for i := 1; i < len(values); i++ {
+		if (values[i-1] < m) != (values[i] < m) {
+			crossings++
+		}
+	}
+	return []float64{m, sd, hi - lo, ac[1], trend, float64(crossings) / float64(len(values))}, nil
+}
+
+// DelayEmbed converts a univariate series into lagged vectors of the
+// given dimension: row t is (x[t], x[t+1], …, x[t+dim-1]). The vector at
+// row t describes the local context ending at sample t+dim-1.
+func DelayEmbed(values []float64, dim int) ([][]float64, error) {
+	if dim <= 0 {
+		return nil, fmt.Errorf("%w: embedding dim %d", ErrInput, dim)
+	}
+	if len(values) < dim {
+		return nil, fmt.Errorf("%w: %d samples for embedding dim %d", ErrInput, len(values), dim)
+	}
+	out := make([][]float64, len(values)-dim+1)
+	for t := range out {
+		out[t] = values[t : t+dim]
+	}
+	return out, nil
+}

@@ -1,0 +1,196 @@
+// Package fsa implements the finite-state-automaton detector of Marceau
+// (2005, multiple-length n-grams) — Table 1 row "Finite State Automata
+// [25]", family UPA, granularities SSQ and TSS.
+//
+// Normal behaviour is compiled into an automaton whose states are the
+// observed (n−1)-grams and whose transitions are the observed n-th
+// symbols. A sequence position is anomalous when its transition was
+// never (or rarely) observed; a whole series scores by its fraction of
+// anomalous transitions.
+package fsa
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// Detector is an n-gram automaton scorer.
+type Detector struct {
+	n        int
+	alphabet int
+	binner   *detector.Binner
+	// transitions maps state (joined (n-1)-gram) → next symbol → count.
+	transitions map[string]map[string]int
+	stateTotal  map[string]int
+	fitted      bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithN sets the n-gram length (default 3).
+func WithN(n int) Option {
+	return func(d *Detector) { d.n = n }
+}
+
+// WithAlphabet sets the discretisation alphabet for numeric input
+// (default 6).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{n: 3, alphabet: 6}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.n < 2 {
+		d.n = 2
+	}
+	d.binner = detector.NewBinner(d.alphabet)
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "fsa",
+		Title:      "Finite State Automata",
+		Citation:   "[25]",
+		Family:     detector.FamilyUPA,
+		Capability: detector.Capability{Subsequences: true, Series: true},
+	}
+}
+
+// FitSymbols compiles the automaton from a normal label sequence.
+func (d *Detector) FitSymbols(labels []string) error {
+	if len(labels) < d.n {
+		return fmt.Errorf("%w: sequence of %d labels for n=%d", detector.ErrInput, len(labels), d.n)
+	}
+	d.transitions = make(map[string]map[string]int)
+	d.stateTotal = make(map[string]int)
+	for i := 0; i+d.n <= len(labels); i++ {
+		state := strings.Join(labels[i:i+d.n-1], "\x00")
+		next := labels[i+d.n-1]
+		m := d.transitions[state]
+		if m == nil {
+			m = make(map[string]int)
+			d.transitions[state] = m
+		}
+		m[next]++
+		d.stateTotal[state]++
+	}
+	d.fitted = true
+	return nil
+}
+
+// Fit compiles the automaton from discretised numeric reference values.
+func (d *Detector) Fit(values []float64) error {
+	if err := d.binner.Fit(values); err != nil {
+		return err
+	}
+	return d.FitSymbols(d.symbolize(values))
+}
+
+func (d *Detector) symbolize(values []float64) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = string(rune('a' + int(d.binner.Symbol(v))))
+	}
+	return out
+}
+
+// transitionScore returns the surprise of observing next in state:
+// 1 for unknown states or unseen transitions fading towards 0 for
+// frequent ones.
+func (d *Detector) transitionScore(state, next string) float64 {
+	total, ok := d.stateTotal[state]
+	if !ok {
+		return 1
+	}
+	count := d.transitions[state][next]
+	if count == 0 {
+		return 1
+	}
+	// Rare transitions keep some suspicion: 1/(1+count) relative to the
+	// state's bulk.
+	return 1 - float64(count)/float64(total)
+}
+
+// ScoreSymbols implements detector.SymbolScorer: position i carries the
+// surprise of the transition ending at i (first n−1 positions score 0).
+func (d *Detector) ScoreSymbols(labels []string) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(labels))
+	for i := 0; i+d.n <= len(labels); i++ {
+		state := strings.Join(labels[i:i+d.n-1], "\x00")
+		next := labels[i+d.n-1]
+		out[i+d.n-1] = d.transitionScore(state, next)
+	}
+	return out, nil
+}
+
+// ScoreWindows implements detector.WindowScorer on discretised numeric
+// input: the window score is the mean transition surprise inside it.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	pts, err := d.ScoreSymbols(d.symbolize(values))
+	if err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(pts, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		var sum float64
+		for _, v := range w.Values {
+			sum += v
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: sum / float64(len(w.Values))}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer: each series is
+// discretised with its own automaton run; the score is the mean
+// transition surprise across the series, using an automaton trained on
+// the batch majority (leave-one-in: the batch itself is the model,
+// matching the unsupervised parametric setting).
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	// Train a shared automaton over the concatenated batch: anomalous
+	// minorities barely influence the transition mass.
+	shared := New(WithN(d.n), WithAlphabet(d.alphabet))
+	var all []float64
+	for _, s := range batch {
+		all = append(all, s...)
+	}
+	if err := shared.Fit(all); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(batch))
+	for i, s := range batch {
+		pts, err := shared.ScoreSymbols(shared.symbolize(s))
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, v := range pts {
+			sum += v
+		}
+		out[i] = sum / float64(len(pts))
+	}
+	return out, nil
+}

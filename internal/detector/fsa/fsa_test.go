@@ -1,0 +1,148 @@
+package fsa
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "fsa" || info.Family != detector.FamilyUPA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "-xx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfittedAndShortInput(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreSymbols([]string{"a"}); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.FitSymbols([]string{"a"}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short sequence")
+	}
+	if New(WithN(0)).n != 2 {
+		t.Fatal("n should clamp to 2")
+	}
+}
+
+func TestForeignTransitionsFlagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trainSym, _, err := generator.SymbolWorkload(2000, 8, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testSym, truth, err := generator.SymbolWorkload(2000, 8, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New()
+	if err := d.FitSymbols(trainSym.Labels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreSymbols(testSym.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Fatalf("AUC=%.3f, want >= 0.9 for foreign symbols", auc)
+	}
+}
+
+func TestKnownTransitionsScoreLow(t *testing.T) {
+	labels := make([]string, 400)
+	grammar := []string{"a", "b", "c", "d"}
+	for i := range labels {
+		labels[i] = grammar[i%4]
+	}
+	d := New()
+	if err := d.FitSymbols(labels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreSymbols(labels[:40])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < len(scores); i++ {
+		if scores[i] > 0.05 {
+			t.Fatalf("deterministic transition at %d scored %v", i, scores[i])
+		}
+	}
+}
+
+func TestNumericFitAndWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clean, _ := generator.SubseqWorkload(2048, 48, 0, rng)
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestScoreSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lab, _ := generator.SeriesWorkload(20, 4, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestUnknownStateScoresMax(t *testing.T) {
+	d := New()
+	if err := d.FitSymbols([]string{"a", "b", "a", "b", "a", "b", "a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreSymbols([]string{"z", "z", "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[2] != 1 {
+		t.Fatalf("unknown state should score 1, got %v", scores[2])
+	}
+}

@@ -1,0 +1,139 @@
+package histdeviant
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "hist-deviant" || info.Family != detector.FamilyITM {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "x--" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if _, err := New().ScorePoints(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+}
+
+func TestSpikeIsTopDeviant(t *testing.T) {
+	vals := make([]float64, 128)
+	for i := range vals {
+		vals[i] = 1
+	}
+	vals[77] = 50
+	d := New()
+	devs, err := d.Deviants(vals, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if devs[0] != 77 {
+		t.Fatalf("top deviant=%d want 77", devs[0])
+	}
+	if _, err := d.Deviants(vals, 0); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for k=0")
+	}
+	// k beyond n clamps.
+	all, err := d.Deviants(vals, 10_000)
+	if err != nil || len(all) != 128 {
+		t.Fatalf("clamped deviants len=%d err=%v", len(all), err)
+	}
+}
+
+func TestConstantBucketScoresZero(t *testing.T) {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = 3
+	}
+	scores, err := New().ScorePoints(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s != 0 {
+			t.Fatalf("constant series scored %v at %d", s, i)
+		}
+	}
+}
+
+func TestDetectsAdditiveOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dirty, _ := generator.Workload(generator.Config{N: 2048}, generator.AdditiveOutlier, 8, 8, rng)
+	scores, err := New().ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Fatalf("AUC=%.3f, want >= 0.95 for spikes", auc)
+	}
+}
+
+func TestEntropyGain(t *testing.T) {
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i % 4)
+	}
+	vals[10] = 1000
+	d := New()
+	gSpike, err := d.EntropyGain(vals, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gNormal, err := d.EntropyGain(vals, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Removing the spike should change representation entropy more than
+	// removing a normal point (in absolute terms).
+	if abs(gSpike) < abs(gNormal) {
+		t.Fatalf("spike gain %v should exceed normal gain %v", gSpike, gNormal)
+	}
+	if _, err := d.EntropyGain(vals, -1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if _, err := d.EntropyGain(vals, 64); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestShortSeriesAndTail(t *testing.T) {
+	// Series not divisible by bucket width: the tail must still be
+	// scored (no zero-length panic, every index covered).
+	vals := make([]float64, 37)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	scores, err := New(WithBuckets(8)).ScorePoints(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 37 {
+		t.Fatalf("scores len=%d", len(scores))
+	}
+	// Single sample series.
+	one, err := New().ScorePoints([]float64{42})
+	if err != nil || len(one) != 1 || one[0] != 0 {
+		t.Fatalf("single sample: %v %v", one, err)
+	}
+}

@@ -1,0 +1,406 @@
+// Package hmm implements the hidden-Markov-model detector of
+// Florez-Larrahondo et al. (2005) — Table 1 row "Hidden Markov Models
+// [7]", family UPA, granularities SSQ and TSS.
+//
+// A discrete-observation HMM is trained on normal sequences with
+// Baum-Welch; the outlier score of a window or series is its negative
+// per-symbol forward log-likelihood — sequences the model finds
+// improbable are anomalous.
+package hmm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// Detector is an HMM likelihood scorer.
+type Detector struct {
+	states   int
+	alphabet int
+	maxIter  int
+	seed     int64
+	binner   *detector.Binner
+	model    *hmmModel
+	symIndex map[string]int
+	fitted   bool
+}
+
+type hmmModel struct {
+	n, m  int         // states, observation symbols
+	pi    []float64   // initial distribution
+	trans [][]float64 // n×n
+	emit  [][]float64 // n×m
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithStates sets the hidden state count (default 4).
+func WithStates(n int) Option {
+	return func(d *Detector) { d.states = n }
+}
+
+// WithAlphabet sets the discretisation alphabet for numeric input
+// (default 6).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// WithSeed fixes the Baum-Welch initialisation (default 1).
+func WithSeed(s int64) Option {
+	return func(d *Detector) { d.seed = s }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{states: 4, alphabet: 6, maxIter: 30, seed: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	d.binner = detector.NewBinner(d.alphabet)
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "hmm",
+		Title:      "Hidden Markov Models",
+		Citation:   "[7]",
+		Family:     detector.FamilyUPA,
+		Capability: detector.Capability{Subsequences: true, Series: true},
+	}
+}
+
+// FitSymbols trains the HMM on a normal label sequence.
+func (d *Detector) FitSymbols(labels []string) error {
+	if len(labels) < 2*d.states {
+		return fmt.Errorf("%w: %d labels for %d states", detector.ErrInput, len(labels), d.states)
+	}
+	d.symIndex = make(map[string]int)
+	obs := make([]int, len(labels))
+	for i, l := range labels {
+		idx, ok := d.symIndex[l]
+		if !ok {
+			idx = len(d.symIndex)
+			d.symIndex[l] = idx
+		}
+		obs[i] = idx
+	}
+	m := len(d.symIndex)
+	model := newHMM(d.states, m, rand.New(rand.NewSource(d.seed)))
+	model.baumWelch(obs, d.maxIter)
+	d.model = model
+	d.fitted = true
+	return nil
+}
+
+// Fit trains the HMM on discretised numeric reference values.
+func (d *Detector) Fit(values []float64) error {
+	if err := d.binner.Fit(values); err != nil {
+		return err
+	}
+	return d.FitSymbols(d.symbolize(values))
+}
+
+func (d *Detector) symbolize(values []float64) []string {
+	out := make([]string, len(values))
+	for i, v := range values {
+		out[i] = string(rune('a' + int(d.binner.Symbol(v))))
+	}
+	return out
+}
+
+// observation index for a label; unseen labels map to -1 (maximum
+// surprise).
+func (d *Detector) obsIndex(label string) int {
+	if idx, ok := d.symIndex[label]; ok {
+		return idx
+	}
+	return -1
+}
+
+// ScoreSymbols implements detector.SymbolScorer: position i carries the
+// incremental negative log-likelihood of symbol i under the forward
+// recursion — exactly the "efficient modelling of discrete events"
+// online score of the cited work.
+func (d *Detector) ScoreSymbols(labels []string) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(labels))
+	if len(labels) == 0 {
+		return out, nil
+	}
+	n := d.model.n
+	alpha := make([]float64, n)
+	next := make([]float64, n)
+	// Initialise.
+	o0 := d.obsIndex(labels[0])
+	var norm float64
+	for s := 0; s < n; s++ {
+		e := d.model.emission(s, o0)
+		alpha[s] = d.model.pi[s] * e
+		norm += alpha[s]
+	}
+	out[0] = -math.Log(math.Max(norm, 1e-300))
+	scale(alpha, norm)
+	for t := 1; t < len(labels); t++ {
+		ot := d.obsIndex(labels[t])
+		norm = 0
+		for s := 0; s < n; s++ {
+			var a float64
+			for r := 0; r < n; r++ {
+				a += alpha[r] * d.model.trans[r][s]
+			}
+			next[s] = a * d.model.emission(s, ot)
+			norm += next[s]
+		}
+		out[t] = -math.Log(math.Max(norm, 1e-300))
+		scale(next, norm)
+		alpha, next = next, alpha
+	}
+	return out, nil
+}
+
+func scale(xs []float64, norm float64) {
+	if norm <= 0 {
+		// Dead end: reset to uniform so the recursion can continue;
+		// the huge score is already recorded.
+		for i := range xs {
+			xs[i] = 1 / float64(len(xs))
+		}
+		return
+	}
+	for i := range xs {
+		xs[i] /= norm
+	}
+}
+
+// ScoreWindows implements detector.WindowScorer on discretised numeric
+// input: mean per-symbol NLL inside the window.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	pts, err := d.ScoreSymbols(d.symbolize(values))
+	if err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(pts, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		var sum float64
+		for _, v := range w.Values {
+			sum += v
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: sum / float64(len(w.Values))}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer: an HMM trained on the
+// concatenated batch scores each series by mean per-symbol NLL.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	shared := New(WithStates(d.states), WithAlphabet(d.alphabet), WithSeed(d.seed))
+	var all []float64
+	for _, s := range batch {
+		all = append(all, s...)
+	}
+	if err := shared.Fit(all); err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(batch))
+	for i, s := range batch {
+		pts, err := shared.ScoreSymbols(shared.symbolize(s))
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, v := range pts {
+			sum += v
+		}
+		out[i] = sum / float64(len(pts))
+	}
+	return out, nil
+}
+
+// emission returns the probability of observation o in state s; unseen
+// observations (o < 0) get a tiny floor.
+func (m *hmmModel) emission(s, o int) float64 {
+	if o < 0 || o >= m.m {
+		return 1e-6
+	}
+	return m.emit[s][o]
+}
+
+func newHMM(n, m int, rng *rand.Rand) *hmmModel {
+	h := &hmmModel{n: n, m: m}
+	h.pi = randDist(n, rng)
+	h.trans = make([][]float64, n)
+	h.emit = make([][]float64, n)
+	for s := 0; s < n; s++ {
+		h.trans[s] = randDist(n, rng)
+		h.emit[s] = randDist(m, rng)
+	}
+	return h
+}
+
+func randDist(n int, rng *rand.Rand) []float64 {
+	out := make([]float64, n)
+	var sum float64
+	for i := range out {
+		out[i] = 0.5 + rng.Float64()
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// baumWelch runs scaled Baum-Welch re-estimation on a single observation
+// sequence.
+func (m *hmmModel) baumWelch(obs []int, maxIter int) {
+	T := len(obs)
+	n := m.n
+	alpha := make([][]float64, T)
+	beta := make([][]float64, T)
+	c := make([]float64, T) // scaling factors
+	for t := range alpha {
+		alpha[t] = make([]float64, n)
+		beta[t] = make([]float64, n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		// Forward (scaled).
+		var norm float64
+		for s := 0; s < n; s++ {
+			alpha[0][s] = m.pi[s] * m.emission(s, obs[0])
+			norm += alpha[0][s]
+		}
+		if norm == 0 {
+			norm = 1e-300
+		}
+		c[0] = norm
+		for s := 0; s < n; s++ {
+			alpha[0][s] /= norm
+		}
+		for t := 1; t < T; t++ {
+			norm = 0
+			for s := 0; s < n; s++ {
+				var a float64
+				for r := 0; r < n; r++ {
+					a += alpha[t-1][r] * m.trans[r][s]
+				}
+				alpha[t][s] = a * m.emission(s, obs[t])
+				norm += alpha[t][s]
+			}
+			if norm == 0 {
+				norm = 1e-300
+			}
+			c[t] = norm
+			for s := 0; s < n; s++ {
+				alpha[t][s] /= norm
+			}
+		}
+		// Backward (scaled with the same factors).
+		for s := 0; s < n; s++ {
+			beta[T-1][s] = 1
+		}
+		for t := T - 2; t >= 0; t-- {
+			for s := 0; s < n; s++ {
+				var b float64
+				for r := 0; r < n; r++ {
+					b += m.trans[s][r] * m.emission(r, obs[t+1]) * beta[t+1][r]
+				}
+				beta[t][s] = b / c[t+1]
+			}
+		}
+		// Re-estimation.
+		newPi := make([]float64, n)
+		newTrans := make([][]float64, n)
+		newEmit := make([][]float64, n)
+		for s := 0; s < n; s++ {
+			newTrans[s] = make([]float64, n)
+			newEmit[s] = make([]float64, m.m)
+		}
+		gammaSum := make([]float64, n)
+		for t := 0; t < T; t++ {
+			var gnorm float64
+			g := make([]float64, n)
+			for s := 0; s < n; s++ {
+				g[s] = alpha[t][s] * beta[t][s]
+				gnorm += g[s]
+			}
+			if gnorm == 0 {
+				continue
+			}
+			for s := 0; s < n; s++ {
+				g[s] /= gnorm
+				if t == 0 {
+					newPi[s] = g[s]
+				}
+				newEmit[s][obs[t]] += g[s]
+				if t < T-1 {
+					gammaSum[s] += g[s]
+				}
+			}
+			if t < T-1 {
+				for s := 0; s < n; s++ {
+					for r := 0; r < n; r++ {
+						xi := alpha[t][s] * m.trans[s][r] * m.emission(r, obs[t+1]) * beta[t+1][r] / c[t+1]
+						newTrans[s][r] += xi
+					}
+				}
+			}
+		}
+		// Normalise with smoothing floors.
+		for s := 0; s < n; s++ {
+			normalizeInto(newTrans[s], gammaSum[s])
+			var emitSum float64
+			for _, v := range newEmit[s] {
+				emitSum += v
+			}
+			normalizeInto(newEmit[s], emitSum)
+		}
+		normalizeInto(newPi, sum(newPi))
+		m.pi, m.trans, m.emit = newPi, newTrans, newEmit
+	}
+}
+
+func normalizeInto(xs []float64, total float64) {
+	const floor = 1e-6
+	if total <= 0 {
+		u := 1 / float64(len(xs))
+		for i := range xs {
+			xs[i] = u
+		}
+		return
+	}
+	var s float64
+	for i := range xs {
+		xs[i] = xs[i]/total + floor
+		s += xs[i]
+	}
+	for i := range xs {
+		xs[i] /= s
+	}
+}
+
+func sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

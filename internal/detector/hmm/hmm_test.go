@@ -1,0 +1,169 @@
+package hmm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "hmm" || info.Family != detector.FamilyUPA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "-xx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfittedAndShort(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreSymbols([]string{"a"}); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.FitSymbols([]string{"a", "b"}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short sequence")
+	}
+}
+
+func TestLikelihoodSeparatesForeignSymbols(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trainSym, _, _ := generator.SymbolWorkload(1500, 8, 0, rng)
+	testSym, truth, _ := generator.SymbolWorkload(1500, 8, 4, rng)
+	d := New(WithStates(3))
+	if err := d.FitSymbols(trainSym.Labels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreSymbols(testSym.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("AUC=%.3f, want >= 0.85", auc)
+	}
+}
+
+func TestBaumWelchLearnsCycle(t *testing.T) {
+	// Deterministic abab... cycle: trained model should assign the
+	// continuation much higher likelihood than a break in the cycle.
+	labels := make([]string, 200)
+	for i := range labels {
+		if i%2 == 0 {
+			labels[i] = "a"
+		} else {
+			labels[i] = "b"
+		}
+	}
+	d := New(WithStates(2))
+	if err := d.FitSymbols(labels); err != nil {
+		t.Fatal(err)
+	}
+	good, err := d.ScoreSymbols([]string{"a", "b", "a", "b", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := d.ScoreSymbols([]string{"a", "b", "a", "a", "a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad[3] <= good[3] {
+		t.Fatalf("cycle break NLL %v should exceed continuation %v", bad[3], good[3])
+	}
+}
+
+func TestScoreWindows(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clean, _ := generator.SubseqWorkload(2048, 48, 0, rng)
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestScoreSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lab, _ := generator.SeriesWorkload(20, 4, 200, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New(WithStates(3)).ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestUnseenSymbolHighSurprise(t *testing.T) {
+	labels := make([]string, 100)
+	for i := range labels {
+		labels[i] = "a"
+	}
+	d := New(WithStates(2))
+	if err := d.FitSymbols(labels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreSymbols([]string{"a", "a", "zzz"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[2] <= scores[1] {
+		t.Fatalf("unseen symbol NLL %v should exceed seen %v", scores[2], scores[1])
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	sym, _, _ := generator.SymbolWorkload(500, 5, 2, rng)
+	a, b := New(WithSeed(7)), New(WithSeed(7))
+	if err := a.FitSymbols(sym.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.FitSymbols(sym.Labels); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.ScoreSymbols(sym.Labels[:50])
+	sb, _ := b.ScoreSymbols(sym.Labels[:50])
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed must reproduce scores")
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package kmeans implements the phased k-means whole-series detector of
+// Rebbapragada et al. (2009, "Finding anomalous periodic time series")
+// — Table 1 row "Phased k-Means [36]", family DA, granularity TSS.
+//
+// Each series is z-normalised and reduced by PAA; distances are
+// *phase-invariant* (minimum over circular shifts), so periodic series
+// cluster by shape regardless of phase. The anomaly score of a series
+// is its phase-aligned distance to the nearest centroid.
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a phased k-means whole-series scorer.
+type Detector struct {
+	k        int
+	segments int
+	maxIter  int
+	seed     int64
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithClusters sets k (default 3).
+func WithClusters(k int) Option {
+	return func(d *Detector) { d.k = k }
+}
+
+// WithSegments sets the PAA length (default 16).
+func WithSegments(m int) Option {
+	return func(d *Detector) { d.segments = m }
+}
+
+// WithSeed fixes the centroid seeding (default 1).
+func WithSeed(s int64) Option {
+	return func(d *Detector) { d.seed = s }
+}
+
+// New builds the detector. Phased k-means clusters each scored batch
+// directly, so there is no separate fitting step.
+func New(opts ...Option) *Detector {
+	d := &Detector{k: 3, segments: 16, maxIter: 50, seed: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "phased-kmeans",
+		Title:      "Phased k-Means",
+		Citation:   "[36]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Series: true},
+	}
+}
+
+// ScoreSeries implements detector.SeriesScorer.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	n := len(batch)
+	if n < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	k := d.k
+	if k > n {
+		k = n
+	}
+	// Represent: z-norm + PAA, plus the scale features appended with a
+	// modest weight so amplitude regimes separate too.
+	reps := make([][]float64, n)
+	for i, s := range batch {
+		if len(s) < d.segments {
+			return nil, fmt.Errorf("%w: series %d has %d samples, need >= %d", detector.ErrInput, i, len(s), d.segments)
+		}
+		cp := append([]float64(nil), s...)
+		m, sd := stats.MeanStd(cp)
+		stats.Normalize(cp)
+		paa, err := timeseries.PAA(cp, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		reps[i] = append(paa, m*0.5, sd*0.5)
+	}
+	rng := rand.New(rand.NewSource(d.seed))
+	centroids := d.seedCentroids(reps, k, rng)
+	assign := make([]int, n)
+	for iter := 0; iter < d.maxIter; iter++ {
+		changed := false
+		for i, r := range reps {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				dist, _ := d.phasedDist(r, centroids[c])
+				if dist < bestD {
+					bestD, best = dist, c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Update: align each member to its centroid phase first.
+		for c := range centroids {
+			sum := make([]float64, len(centroids[c]))
+			cnt := 0
+			for i, r := range reps {
+				if assign[i] != c {
+					continue
+				}
+				_, shift := d.phasedDist(r, centroids[c])
+				aligned := d.shiftRep(r, shift)
+				for j := range sum {
+					sum[j] += aligned[j]
+				}
+				cnt++
+			}
+			if cnt == 0 {
+				centroids[c] = append([]float64(nil), reps[rng.Intn(n)]...)
+				continue
+			}
+			for j := range sum {
+				sum[j] /= float64(cnt)
+			}
+			centroids[c] = sum
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Score: phase-aligned distance to the assigned centroid plus the
+	// cluster's support deficit relative to the largest cluster — a
+	// singleton or minority cluster is suspicious even when its member
+	// sits exactly on the centroid.
+	sizes := make([]int, k)
+	for _, a := range assign {
+		sizes[a]++
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	out := make([]float64, n)
+	for i, r := range reps {
+		dist, _ := d.phasedDist(r, centroids[assign[i]])
+		out[i] = dist + (1 - float64(sizes[assign[i]])/float64(maxSize))
+	}
+	return out, nil
+}
+
+// seedCentroids picks k initial centroids k-means++ style.
+func (d *Detector) seedCentroids(reps [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(reps)
+	out := make([][]float64, 0, k)
+	out = append(out, append([]float64(nil), reps[rng.Intn(n)]...))
+	for len(out) < k {
+		dist := make([]float64, n)
+		var sum float64
+		for i, r := range reps {
+			best := math.Inf(1)
+			for _, c := range out {
+				dd, _ := d.phasedDist(r, c)
+				if dd < best {
+					best = dd
+				}
+			}
+			dist[i] = best * best
+			sum += dist[i]
+		}
+		if sum == 0 {
+			out = append(out, append([]float64(nil), reps[rng.Intn(n)]...))
+			continue
+		}
+		r := rng.Float64() * sum
+		pick := 0
+		for i, dd := range dist {
+			r -= dd
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		out = append(out, append([]float64(nil), reps[pick]...))
+	}
+	return out
+}
+
+// phasedDist returns the minimum Euclidean distance between two
+// representations over all circular shifts of the PAA part (the trailing
+// scale features do not rotate), and the best shift.
+func (d *Detector) phasedDist(a, b []float64) (float64, int) {
+	m := d.segments
+	best, bestShift := math.Inf(1), 0
+	for shift := 0; shift < m; shift++ {
+		var ss float64
+		for j := 0; j < m; j++ {
+			dv := a[(j+shift)%m] - b[j]
+			ss += dv * dv
+		}
+		for j := m; j < len(a); j++ {
+			dv := a[j] - b[j]
+			ss += dv * dv
+		}
+		if ss < best {
+			best, bestShift = ss, shift
+		}
+	}
+	return math.Sqrt(best), bestShift
+}
+
+// shiftRep rotates the PAA part of a representation by shift.
+func (d *Detector) shiftRep(r []float64, shift int) []float64 {
+	m := d.segments
+	out := make([]float64, len(r))
+	for j := 0; j < m; j++ {
+		out[j] = r[(j+shift)%m]
+	}
+	copy(out[m:], r[m:])
+	return out
+}

@@ -1,0 +1,128 @@
+package kmeans
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "phased-kmeans" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "--x" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreSeries(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for empty batch")
+	}
+	if _, err := d.ScoreSeries([][]float64{{1, 2}, {3, 4}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for series shorter than segments")
+	}
+}
+
+func TestSeparatesAnomalousRegime(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	lab, _ := generator.SeriesWorkload(30, 5, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New(WithClusters(2), WithSeed(7)).ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("AUC=%.3f, want >= 0.85", auc)
+	}
+}
+
+func TestPhaseInvariance(t *testing.T) {
+	// Identical shapes at different phases should cluster together:
+	// scores of phase-shifted copies stay low relative to a foreign
+	// shape.
+	// Phases are multiples of π/2 — one PAA segment (8 samples of a
+	// 32-sample period) — so the circular-shift alignment is exact.
+	n := 128
+	mk := func(phase float64) []float64 {
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = math.Sin(2*math.Pi*float64(i)/32 + phase)
+		}
+		return out
+	}
+	h := math.Pi / 2
+	batch := [][]float64{mk(0), mk(h), mk(2 * h), mk(3 * h), mk(0), mk(h)}
+	// Foreign: a ramp.
+	ramp := make([]float64, n)
+	for i := range ramp {
+		ramp[i] = float64(i) / float64(n)
+	}
+	batch = append(batch, ramp)
+	scores, err := New(WithClusters(2)).ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	if best != 6 {
+		t.Fatalf("foreign ramp should be top outlier, got index %d (scores=%v)", best, scores)
+	}
+}
+
+func TestPhasedDistShiftRoundTrip(t *testing.T) {
+	d := New(WithSegments(4))
+	a := []float64{1, 2, 3, 4, 0.5, 0.1} // 4 PAA + 2 scale features
+	// b is a circular shift of a's PAA part.
+	b := []float64{3, 4, 1, 2, 0.5, 0.1}
+	dist, shift := d.phasedDist(a, b)
+	if dist > 1e-9 {
+		t.Fatalf("shifted copy distance=%v", dist)
+	}
+	aligned := d.shiftRep(a, shift)
+	for j := 0; j < 4; j++ {
+		if math.Abs(aligned[j]-b[j]) > 1e-12 {
+			t.Fatalf("aligned=%v want %v", aligned, b)
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lab, _ := generator.SeriesWorkload(12, 2, 128, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	s1, err := New(WithSeed(5)).ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(WithSeed(5)).ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same seed must give identical scores")
+		}
+	}
+}

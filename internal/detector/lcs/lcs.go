@@ -1,0 +1,170 @@
+// Package lcs implements the longest-common-subsequence anomaly
+// detector of Budalakoti et al. (2006) — Table 1 row "Longest Common
+// Subsequence [2]", family DA, granularity SSQ.
+//
+// Windows are discretised and compared to a database of normal windows
+// by normalised LCS length; the outlier score of a window is one minus
+// its best similarity. Unlike positional match counting, LCS tolerates
+// time warping inside the window.
+package lcs
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// Detector is an LCS-similarity scorer.
+type Detector struct {
+	alphabet  int
+	dbStride  int
+	binner    *detector.Binner
+	reference []float64
+	db        [][]byte
+	dbSize    int
+	fitted    bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithAlphabet sets the discretisation alphabet size (default 8).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// WithDBStride sets the stride used when cutting the normal window
+// database (default half the window size, set at scoring time). A
+// denser database is more precise but LCS is quadratic per pair.
+func WithDBStride(s int) Option {
+	return func(d *Detector) { d.dbStride = s }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{alphabet: 8}
+	for _, o := range opts {
+		o(d)
+	}
+	d.binner = detector.NewBinner(d.alphabet)
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "lcs",
+		Title:      "Longest Common Subsequence",
+		Citation:   "[2]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Subsequences: true},
+	}
+}
+
+// Fit stores the normal reference data.
+func (d *Detector) Fit(values []float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("%w: empty reference", detector.ErrInput)
+	}
+	if err := d.binner.Fit(values); err != nil {
+		return err
+	}
+	d.reference = append(d.reference[:0], values...)
+	d.db = nil
+	d.dbSize = 0
+	d.fitted = true
+	return nil
+}
+
+func (d *Detector) ensureDB(size int) error {
+	if d.dbSize == size && d.db != nil {
+		return nil
+	}
+	stride := d.dbStride
+	if stride <= 0 {
+		stride = size / 2
+		if stride < 1 {
+			stride = 1
+		}
+	}
+	ws, err := timeseries.SlidingWindows(d.reference, size, stride)
+	if err != nil {
+		return err
+	}
+	if len(ws) == 0 {
+		return fmt.Errorf("%w: reference shorter than window size %d", detector.ErrInput, size)
+	}
+	seen := make(map[string]bool, len(ws))
+	d.db = d.db[:0]
+	for _, w := range ws {
+		sym := d.binner.Symbolize(w.Values)
+		if key := string(sym); !seen[key] {
+			seen[key] = true
+			d.db = append(d.db, sym)
+		}
+	}
+	d.dbSize = size
+	return nil
+}
+
+// ScoreWindows implements detector.WindowScorer.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if err := d.ensureDB(size); err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	// Reusable DP row buffers to avoid per-pair allocation.
+	prev := make([]int, size+1)
+	curr := make([]int, size+1)
+	for i, w := range ws {
+		sym := d.binner.Symbolize(w.Values)
+		best := 0
+		for _, ref := range d.db {
+			l := lcsLen(sym, ref, prev, curr)
+			if l > best {
+				best = l
+				if best == size {
+					break
+				}
+			}
+		}
+		out[i] = detector.WindowScore{
+			Start:  w.Start,
+			Length: size,
+			Score:  1 - float64(best)/float64(size),
+		}
+	}
+	return out, nil
+}
+
+// lcsLen computes the LCS length of equal-length byte strings using two
+// reusable DP rows.
+func lcsLen(a, b []byte, prev, curr []int) int {
+	for j := range prev {
+		prev[j] = 0
+	}
+	for i := 1; i <= len(a); i++ {
+		curr[0] = 0
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			switch {
+			case ai == b[j-1]:
+				curr[j] = prev[j-1] + 1
+			case prev[j] >= curr[j-1]:
+				curr[j] = prev[j]
+			default:
+				curr[j] = curr[j-1]
+			}
+		}
+		prev, curr = curr, prev
+	}
+	return prev[len(b)]
+}

@@ -1,0 +1,129 @@
+package lcs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "lcs" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "-x-" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestLcsLenKnown(t *testing.T) {
+	prev := make([]int, 6)
+	curr := make([]int, 6)
+	if got := lcsLen([]byte("abcde"), []byte("axcye"), prev, curr); got != 3 {
+		t.Fatalf("lcs=%d want 3 (ace)", got)
+	}
+	if got := lcsLen([]byte("aaaaa"), []byte("aaaaa"), prev, curr); got != 5 {
+		t.Fatalf("identical lcs=%d", got)
+	}
+	if got := lcsLen([]byte("abab"), []byte("cdcd"), make([]int, 5), make([]int, 5)); got != 0 {
+		t.Fatalf("disjoint lcs=%d", got)
+	}
+}
+
+func TestUnfittedAndBadInput(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreWindows(make([]float64, 64), 8, 1); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.Fit(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if err := d.Fit(make([]float64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ScoreWindows(make([]float64, 64), 8, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short reference")
+	}
+}
+
+func TestDetectsDiscords(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clean, _ := generator.SubseqWorkload(2048, 48, 0, rng)
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestLCSToleratesWarping(t *testing.T) {
+	// A slightly time-warped copy of the training pattern should score
+	// lower (more normal) under LCS than a completely foreign pattern.
+	base := make([]float64, 512)
+	for i := range base {
+		base[i] = float64(i % 32)
+	}
+	d := New()
+	if err := d.Fit(base); err != nil {
+		t.Fatal(err)
+	}
+	warped := make([]float64, 32)
+	for i := range warped {
+		j := i + i/8 // mild stretching
+		warped[i] = float64(j % 32)
+	}
+	foreign := make([]float64, 32)
+	for i := range foreign {
+		foreign[i] = float64((i * 13 % 32))
+	}
+	wWarp, err := d.ScoreWindows(warped, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wForeign, err := d.ScoreWindows(foreign, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wWarp[0].Score >= wForeign[0].Score {
+		t.Fatalf("warped score %v should be below foreign %v", wWarp[0].Score, wForeign[0].Score)
+	}
+}
+
+func TestDBStrideOption(t *testing.T) {
+	d := New(WithDBStride(1))
+	if err := d.Fit(make([]float64, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ScoreWindows(make([]float64, 64), 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.db) == 0 {
+		t.Fatal("db should be built")
+	}
+}

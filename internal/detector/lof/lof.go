@@ -1,0 +1,208 @@
+// Package lof implements the local outlier factor and a reverse
+// k-nearest-neighbour variant — the density- and hubness-aware methods
+// the paper's related work highlights for high-dimensional production
+// data (§5: PCA+LOF combinations [29], reverse nearest neighbours and
+// the hubness effect [34]).
+//
+// LOF compares a point's local reachability density with its
+// neighbours': values near 1 are inliers, values well above 1 are
+// outliers. The reverse-kNN score counts how rarely a point appears in
+// other points' neighbour lists — antihubs are outliers, and the count
+// is robust to the hubness distortion of plain kNN distances in high
+// dimensions.
+package lof
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+)
+
+// Detector scores multivariate rows (and univariate series through a
+// delay embedding) by LOF or reverse-kNN occurrence.
+type Detector struct {
+	k        int
+	embedDim int
+	useRKNN  bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithK sets the neighbourhood size (default 10).
+func WithK(k int) Option {
+	return func(d *Detector) { d.k = k }
+}
+
+// WithEmbedDim sets the delay-embedding dimension for univariate input
+// (default 6).
+func WithEmbedDim(m int) Option {
+	return func(d *Detector) { d.embedDim = m }
+}
+
+// WithReverseKNN switches to the antihub (reverse-kNN occurrence)
+// score of Radovanović et al.
+func WithReverseKNN() Option {
+	return func(d *Detector) { d.useRKNN = true }
+}
+
+// New builds the detector; it scores each batch directly (unsupervised
+// transductive, like the original formulations).
+func New(opts ...Option) *Detector {
+	d := &Detector{k: 10, embedDim: 6}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.k < 1 {
+		d.k = 1
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	name, title, cite := "lof", "Local Outlier Factor", "(§5, [29])"
+	if d.useRKNN {
+		name, title, cite = "rknn", "Reverse Nearest Neighbours", "(§5, [34])"
+	}
+	return detector.Info{
+		Name:       name,
+		Title:      title,
+		Citation:   cite,
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Points: true},
+	}
+}
+
+// ScoreRows implements detector.RowScorer.
+func (d *Detector) ScoreRows(rows [][]float64) ([]float64, error) {
+	n := len(rows)
+	if n < d.k+1 {
+		return nil, fmt.Errorf("%w: %d rows for k=%d", detector.ErrInput, n, d.k)
+	}
+	neigh, dist := d.neighbours(rows)
+	if d.useRKNN {
+		return d.antihubScores(neigh, n), nil
+	}
+	return d.lofScores(neigh, dist, n), nil
+}
+
+// neighbours returns, per row, the indexes of its k nearest neighbours
+// (ascending distance) and the corresponding distances.
+func (d *Detector) neighbours(rows [][]float64) ([][]int, [][]float64) {
+	n := len(rows)
+	neigh := make([][]int, n)
+	dist := make([][]float64, n)
+	type nd struct {
+		idx int
+		d   float64
+	}
+	buf := make([]nd, 0, n-1)
+	for i := range rows {
+		buf = buf[:0]
+		for j := range rows {
+			if i == j {
+				continue
+			}
+			buf = append(buf, nd{j, stats.Euclidean(rows[i], rows[j])})
+		}
+		sort.Slice(buf, func(a, b int) bool { return buf[a].d < buf[b].d })
+		k := d.k
+		if k > len(buf) {
+			k = len(buf)
+		}
+		ni := make([]int, k)
+		di := make([]float64, k)
+		for t := 0; t < k; t++ {
+			ni[t], di[t] = buf[t].idx, buf[t].d
+		}
+		neigh[i], dist[i] = ni, di
+	}
+	return neigh, dist
+}
+
+// lofScores computes the classic LOF from the neighbour lists.
+func (d *Detector) lofScores(neigh [][]int, dist [][]float64, n int) []float64 {
+	// k-distance per point = distance to its k-th neighbour.
+	kdist := make([]float64, n)
+	for i := range kdist {
+		kdist[i] = dist[i][len(dist[i])-1]
+	}
+	// Local reachability density.
+	lrd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for t, j := range neigh[i] {
+			reach := math.Max(kdist[j], dist[i][t])
+			sum += reach
+		}
+		if sum == 0 {
+			lrd[i] = math.Inf(1) // duplicated points: infinitely dense
+			continue
+		}
+		lrd[i] = float64(len(neigh[i])) / sum
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		cnt := 0
+		for _, j := range neigh[i] {
+			if math.IsInf(lrd[i], 1) {
+				continue
+			}
+			if math.IsInf(lrd[j], 1) {
+				sum += 10 // neighbour infinitely denser: strong outlier signal
+			} else {
+				sum += lrd[j] / lrd[i]
+			}
+			cnt++
+		}
+		if cnt == 0 {
+			out[i] = 1 // duplicate cluster member: plain inlier
+			continue
+		}
+		out[i] = sum / float64(cnt)
+	}
+	return out
+}
+
+// antihubScores counts reverse-kNN occurrences and returns a score
+// that grows as the occurrence count shrinks (antihubs are outliers).
+func (d *Detector) antihubScores(neigh [][]int, n int) []float64 {
+	occ := make([]int, n)
+	for i := range neigh {
+		for _, j := range neigh[i] {
+			occ[j]++
+		}
+	}
+	out := make([]float64, n)
+	for i, c := range occ {
+		out[i] = float64(d.k) / (1 + float64(c))
+	}
+	return out
+}
+
+// ScorePoints implements detector.PointScorer through the delay
+// embedding, spreading each row score over the samples it covers.
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return nil, err
+	}
+	rowScores, err := d.ScoreRows(rows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(values))
+	for t, s := range rowScores {
+		for i := t; i < t+d.embedDim; i++ {
+			if s > out[i] {
+				out[i] = s
+			}
+		}
+	}
+	return out, nil
+}

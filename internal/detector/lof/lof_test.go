@@ -1,0 +1,144 @@
+package lof
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfoVariants(t *testing.T) {
+	if New().Info().Name != "lof" {
+		t.Fatal("default should be lof")
+	}
+	if New(WithReverseKNN()).Info().Name != "rknn" {
+		t.Fatal("rknn variant name")
+	}
+	if !New().Info().Capability.Points {
+		t.Fatal("PTS capability expected")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New(WithK(10))
+	if _, err := d.ScoreRows([][]float64{{1}, {2}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for tiny batch")
+	}
+	if _, err := d.ScorePoints([]float64{1}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short series")
+	}
+	if New(WithK(0)).k != 1 {
+		t.Fatal("k should clamp to 1")
+	}
+}
+
+func TestLOFFlagsDensityOutlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 0, 203)
+	truth := make([]bool, 0, 203)
+	// Dense cluster + sparse cluster + isolates: LOF should flag only
+	// the isolates, not the sparse cluster members (that is its whole
+	// point vs plain distance).
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{rng.NormFloat64() * 0.1, rng.NormFloat64() * 0.1})
+		truth = append(truth, false)
+	}
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{10 + rng.NormFloat64(), 10 + rng.NormFloat64()})
+		truth = append(truth, false)
+	}
+	rows = append(rows, []float64{5, 5}, []float64{-3, 7}, []float64{15, -2})
+	truth = append(truth, true, true, true)
+	scores, err := New(WithK(8)).ScoreRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.99 {
+		t.Fatalf("LOF AUC=%.3f want ~1 for clear isolates", auc)
+	}
+}
+
+func TestLOFInlierNearOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows := make([][]float64, 200)
+	for i := range rows {
+		rows[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	scores, err := New(WithK(10)).ScoreRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform-ish Gaussian: the bulk should sit near LOF = 1.
+	inRange := 0
+	for _, s := range scores {
+		if s > 0.8 && s < 1.6 {
+			inRange++
+		}
+	}
+	if float64(inRange)/float64(len(scores)) < 0.8 {
+		t.Fatalf("only %d/200 LOF scores near 1", inRange)
+	}
+}
+
+func TestLOFHandlesDuplicates(t *testing.T) {
+	rows := make([][]float64, 30)
+	for i := range rows {
+		rows[i] = []float64{1, 2} // all identical
+	}
+	rows = append(rows, []float64{9, 9})
+	scores, err := New(WithK(5)).ScoreRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if scores[i] >= scores[30] {
+			t.Fatalf("duplicate member %d (%.2f) outranks isolate (%.2f)", i, scores[i], scores[30])
+		}
+	}
+}
+
+func TestRKNNAntihub(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := make([][]float64, 0, 102)
+	truth := make([]bool, 0, 102)
+	for i := 0; i < 100; i++ {
+		rows = append(rows, []float64{rng.NormFloat64(), rng.NormFloat64()})
+		truth = append(truth, false)
+	}
+	rows = append(rows, []float64{8, 8}, []float64{-8, 8})
+	truth = append(truth, true, true)
+	scores, err := New(WithK(10), WithReverseKNN()).ScoreRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Fatalf("rknn AUC=%.3f", auc)
+	}
+}
+
+func TestScorePointsSpike(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	dirty, _ := generator.Workload(generator.Config{N: 1200}, generator.AdditiveOutlier, 6, 8, rng)
+	scores, err := New(WithK(12)).ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Fatalf("point AUC=%.3f", auc)
+	}
+}

@@ -1,0 +1,142 @@
+// Package matchcount implements the match-count sequence similarity
+// detector of Lane & Brodley (1997) — Table 1 row "Match Count Sequence
+// Similarity [16]", family DA, granularity SSQ.
+//
+// Normal behaviour is captured as a database of discretised fixed-size
+// windows. A new window's similarity is the best positional match count
+// against the database; its outlier score is one minus that similarity.
+package matchcount
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// Detector is a match-count sequence similarity scorer.
+type Detector struct {
+	alphabet  int
+	binner    *detector.Binner
+	reference []float64 // fit data; the window DB is cut lazily per size
+	db        [][]byte
+	dbSize    int // window size the database was built with
+	fitted    bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithAlphabet sets the discretisation alphabet size (default 8).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{alphabet: 8}
+	for _, o := range opts {
+		o(d)
+	}
+	d.binner = detector.NewBinner(d.alphabet)
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "match-count",
+		Title:      "Match Count Sequence Similarity",
+		Citation:   "[16]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Subsequences: true},
+	}
+}
+
+// Fit builds the normal window database from reference values. The
+// database window size is fixed by the first ScoreWindows call; Fit
+// stores the raw reference so the database can be cut for any size.
+func (d *Detector) Fit(values []float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("%w: empty reference", detector.ErrInput)
+	}
+	if err := d.binner.Fit(values); err != nil {
+		return err
+	}
+	d.reference = append(d.reference[:0], values...)
+	d.db = nil
+	d.dbSize = 0
+	d.fitted = true
+	return nil
+}
+
+func (d *Detector) ensureDB(size int) error {
+	if d.dbSize == size && d.db != nil {
+		return nil
+	}
+	ws, err := timeseries.SlidingWindows(d.reference, size, 1)
+	if err != nil {
+		return err
+	}
+	if len(ws) == 0 {
+		return fmt.Errorf("%w: reference shorter than window size %d", detector.ErrInput, size)
+	}
+	seen := make(map[string]bool, len(ws))
+	d.db = d.db[:0]
+	for _, w := range ws {
+		sym := d.binner.Symbolize(w.Values)
+		key := string(sym)
+		if !seen[key] {
+			seen[key] = true
+			d.db = append(d.db, sym)
+		}
+	}
+	d.dbSize = size
+	return nil
+}
+
+// ScoreWindows implements detector.WindowScorer. Score is
+// 1 - max_similarity, where similarity is the fraction of positions
+// matching the closest database window.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if err := d.ensureDB(size); err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		sym := d.binner.Symbolize(w.Values)
+		best := 0
+		for _, ref := range d.db {
+			m := matches(sym, ref)
+			if m > best {
+				best = m
+				if best == size {
+					break
+				}
+			}
+		}
+		out[i] = detector.WindowScore{
+			Start:  w.Start,
+			Length: size,
+			Score:  1 - float64(best)/float64(size),
+		}
+	}
+	return out, nil
+}
+
+func matches(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] == b[i] {
+			n++
+		}
+	}
+	return n
+}

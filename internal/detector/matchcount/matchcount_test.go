@@ -1,0 +1,106 @@
+package matchcount
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "match-count" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.Points || !info.Capability.Subsequences || info.Capability.Series {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfittedErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreWindows(make([]float64, 100), 16, 1); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.Fit(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for empty fit")
+	}
+}
+
+func TestReferenceShorterThanWindow(t *testing.T) {
+	d := New()
+	if err := d.Fit(make([]float64, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ScoreWindows(make([]float64, 100), 16, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput when reference < window")
+	}
+}
+
+func TestDetectsForeignSubsequence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	clean, err := generator.SubseqWorkload(2048, 48, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := generator.SubseqWorkload(2048, 48, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("AUC=%.3f, want >= 0.8 for clear discord workload", auc)
+	}
+}
+
+func TestExactMatchScoresZero(t *testing.T) {
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = float64(i % 16)
+	}
+	d := New()
+	if err := d.Fit(vals); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(vals, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Score != 0 {
+			t.Fatalf("window at %d scored %v on training data", w.Start, w.Score)
+		}
+	}
+}
+
+func TestWithAlphabetOption(t *testing.T) {
+	d := New(WithAlphabet(3))
+	if d.binner.K != 3 {
+		t.Fatalf("alphabet=%d", d.binner.K)
+	}
+}

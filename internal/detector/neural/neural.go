@@ -1,0 +1,331 @@
+// Package neural implements the supervised neural-network detector of
+// Ghosh et al. (1999, program-behaviour profiles) — Table 1 row "Neural
+// Networks [10]", family SA, granularities PTS, SSQ and TSS.
+//
+// A single-hidden-layer feed-forward network with sigmoid output is
+// trained by backpropagation on labelled examples; the outlier score is
+// the network's anomaly probability.
+package neural
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// Detector is a feed-forward network scorer.
+type Detector struct {
+	hidden   int
+	epochs   int
+	lr       float64
+	segments int
+	embedDim int
+	seed     int64
+
+	pointNet  *network
+	windowNet *network
+	seriesNet *network
+	winSize   int
+}
+
+// network is a 1-hidden-layer MLP with sigmoid activations.
+type network struct {
+	in, hidden    int
+	w1            [][]float64 // hidden × (in+1), bias last
+	w2            []float64   // hidden+1, bias last
+	inMean, inStd []float64
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithHidden sets the hidden layer width (default 8).
+func WithHidden(h int) Option {
+	return func(d *Detector) { d.hidden = h }
+}
+
+// WithEpochs sets the training epochs (default 200).
+func WithEpochs(e int) Option {
+	return func(d *Detector) { d.epochs = e }
+}
+
+// WithEmbedDim sets the delay-embedding dimension for point scoring
+// (default 6).
+func WithEmbedDim(m int) Option {
+	return func(d *Detector) { d.embedDim = m }
+}
+
+// WithSeed fixes weight initialisation and shuffling (default 1).
+func WithSeed(s int64) Option {
+	return func(d *Detector) { d.seed = s }
+}
+
+// New builds an untrained detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{hidden: 8, epochs: 200, lr: 0.1, segments: 6, embedDim: 6, seed: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "neural-net",
+		Title:      "Neural Networks",
+		Citation:   "[10]",
+		Family:     detector.FamilySA,
+		Capability: detector.Capability{Points: true, Subsequences: true, Series: true},
+		Supervised: true,
+	}
+}
+
+// FitPoints implements detector.SupervisedPoint via delay embedding:
+// the vector ending at sample t carries t's label.
+func (d *Detector) FitPoints(values []float64, labels []bool) error {
+	if len(values) != len(labels) {
+		return fmt.Errorf("%w: %d values, %d labels", detector.ErrInput, len(values), len(labels))
+	}
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return err
+	}
+	ys := make([]bool, len(rows))
+	for t := range rows {
+		ys[t] = labels[t+d.embedDim-1]
+	}
+	net, err := d.train(rows, ys)
+	if err != nil {
+		return err
+	}
+	d.pointNet = net
+	return nil
+}
+
+// ScorePoints implements detector.PointScorer.
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if d.pointNet == nil {
+		return nil, detector.ErrNotFitted
+	}
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(values))
+	for t, row := range rows {
+		out[t+d.embedDim-1] = d.pointNet.forward(row)
+	}
+	for t := 0; t < d.embedDim-1 && t < len(out); t++ {
+		out[t] = out[d.embedDim-1]
+	}
+	return out, nil
+}
+
+// FitWindows implements detector.SupervisedWindow.
+func (d *Detector) FitWindows(values []float64, labels []bool, size, stride int) error {
+	if len(values) != len(labels) {
+		return fmt.Errorf("%w: %d values, %d labels", detector.ErrInput, len(values), len(labels))
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return err
+	}
+	var rows [][]float64
+	var ys []bool
+	for _, w := range ws {
+		f, err := detector.WindowFeatures(w.Values, d.segments)
+		if err != nil {
+			return err
+		}
+		anom := false
+		for i := w.Start; i < w.Start+size; i++ {
+			if labels[i] {
+				anom = true
+				break
+			}
+		}
+		rows = append(rows, f)
+		ys = append(ys, anom)
+	}
+	net, err := d.train(rows, ys)
+	if err != nil {
+		return err
+	}
+	d.windowNet = net
+	d.winSize = size
+	return nil
+}
+
+// ScoreWindows implements detector.WindowScorer.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if d.windowNet == nil {
+		return nil, detector.ErrNotFitted
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		f, err := detector.WindowFeatures(w.Values, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: d.windowNet.forward(f)}
+	}
+	return out, nil
+}
+
+// FitSeries implements detector.SupervisedSeries.
+func (d *Detector) FitSeries(batch [][]float64, labels []bool) error {
+	if len(batch) != len(labels) {
+		return fmt.Errorf("%w: %d series, %d labels", detector.ErrInput, len(batch), len(labels))
+	}
+	rows := make([][]float64, len(batch))
+	for i, s := range batch {
+		f, err := detector.SeriesFeatures(s)
+		if err != nil {
+			return fmt.Errorf("series %d: %w", i, err)
+		}
+		rows[i] = f
+	}
+	net, err := d.train(rows, labels)
+	if err != nil {
+		return err
+	}
+	d.seriesNet = net
+	return nil
+}
+
+// ScoreSeries implements detector.SeriesScorer.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if d.seriesNet == nil {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(batch))
+	for i, s := range batch {
+		f, err := detector.SeriesFeatures(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		out[i] = d.seriesNet.forward(f)
+	}
+	return out, nil
+}
+
+// train fits the MLP with plain SGD + momentum on log loss, weighting
+// the minority class up so rare anomalies are not ignored.
+func (d *Detector) train(rows [][]float64, ys []bool) (*network, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no training examples", detector.ErrInput)
+	}
+	pos := 0
+	for _, y := range ys {
+		if y {
+			pos++
+		}
+	}
+	if pos == 0 || pos == n {
+		return nil, fmt.Errorf("%w: training needs both classes (pos=%d of %d)", detector.ErrInput, pos, n)
+	}
+	in := len(rows[0])
+	rng := rand.New(rand.NewSource(d.seed))
+	net := &network{in: in, hidden: d.hidden}
+	net.inMean = make([]float64, in)
+	net.inStd = make([]float64, in)
+	for j := 0; j < in; j++ {
+		var m, ss float64
+		for _, r := range rows {
+			m += r[j]
+		}
+		m /= float64(n)
+		for _, r := range rows {
+			dv := r[j] - m
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(n))
+		if sd == 0 {
+			sd = 1
+		}
+		net.inMean[j], net.inStd[j] = m, sd
+	}
+	lim := math.Sqrt(6 / float64(in+d.hidden))
+	net.w1 = make([][]float64, d.hidden)
+	for h := range net.w1 {
+		net.w1[h] = make([]float64, in+1)
+		for j := range net.w1[h] {
+			net.w1[h][j] = (rng.Float64()*2 - 1) * lim
+		}
+	}
+	net.w2 = make([]float64, d.hidden+1)
+	for j := range net.w2 {
+		net.w2[j] = (rng.Float64()*2 - 1) * lim
+	}
+	posWeight := float64(n-pos) / float64(pos)
+	order := rng.Perm(n)
+	hid := make([]float64, d.hidden)
+	x := make([]float64, in)
+	for epoch := 0; epoch < d.epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			for j := 0; j < in; j++ {
+				x[j] = (rows[i][j] - net.inMean[j]) / net.inStd[j]
+			}
+			// Forward.
+			for h := 0; h < d.hidden; h++ {
+				s := net.w1[h][in] // bias
+				for j := 0; j < in; j++ {
+					s += net.w1[h][j] * x[j]
+				}
+				hid[h] = sigmoid(s)
+			}
+			o := net.w2[d.hidden]
+			for h := 0; h < d.hidden; h++ {
+				o += net.w2[h] * hid[h]
+			}
+			p := sigmoid(o)
+			target := 0.0
+			weight := 1.0
+			if ys[i] {
+				target = 1
+				weight = posWeight
+			}
+			// Backward (log-loss gradient through sigmoid = p-target).
+			delta := (p - target) * weight * d.lr
+			for h := 0; h < d.hidden; h++ {
+				gradHid := delta * net.w2[h] * hid[h] * (1 - hid[h])
+				net.w2[h] -= delta * hid[h]
+				for j := 0; j < in; j++ {
+					net.w1[h][j] -= gradHid * x[j]
+				}
+				net.w1[h][in] -= gradHid
+			}
+			net.w2[d.hidden] -= delta
+		}
+	}
+	return net, nil
+}
+
+// forward returns the anomaly probability of a raw feature vector.
+func (n *network) forward(row []float64) float64 {
+	x := make([]float64, n.in)
+	for j := 0; j < n.in; j++ {
+		x[j] = (row[j] - n.inMean[j]) / n.inStd[j]
+	}
+	o := n.w2[n.hidden]
+	for h := 0; h < n.hidden; h++ {
+		s := n.w1[h][n.in]
+		for j := 0; j < n.in; j++ {
+			s += n.w1[h][j] * x[j]
+		}
+		o += n.w2[h] * sigmoid(s)
+	}
+	return sigmoid(o)
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

@@ -1,0 +1,135 @@
+package neural
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "neural-net" || info.Family != detector.FamilySA || !info.Supervised {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "xxx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints(make([]float64, 20)); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.FitPoints(make([]float64, 10), make([]bool, 5)); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for label mismatch")
+	}
+	// Single-class training refused.
+	if err := d.FitSeries([][]float64{{1, 2, 3, 4}, {2, 3, 4, 5}}, []bool{false, false}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for single class")
+	}
+}
+
+func TestLearnsPointAnomalies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, _ := generator.Workload(generator.Config{N: 4096}, generator.AdditiveOutlier, 16, 8, rng)
+	test, _ := generator.Workload(generator.Config{N: 4096}, generator.AdditiveOutlier, 16, 8, rng)
+	d := New(WithEpochs(80))
+	if err := d.FitPoints(train.Series.Values, train.PointLabels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(test.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, test.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("AUC=%.3f, want >= 0.85", auc)
+	}
+}
+
+func TestLearnsWindowAnomalies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, _ := generator.SubseqWorkload(4096, 64, 6, rng)
+	test, _ := generator.SubseqWorkload(4096, 64, 6, rng)
+	d := New(WithEpochs(80))
+	if err := d.FitWindows(train.Series.Values, train.PointLabels, 32, 4); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(test.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if test.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("AUC=%.3f, want >= 0.8", auc)
+	}
+}
+
+func TestLearnsSeriesClassifier(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train, _ := generator.SeriesWorkload(60, 12, 256, rng)
+	test, _ := generator.SeriesWorkload(60, 12, 256, rng)
+	trainBatch := make([][]float64, len(train.Series))
+	for i, s := range train.Series {
+		trainBatch[i] = s.Values
+	}
+	testBatch := make([][]float64, len(test.Series))
+	for i, s := range test.Series {
+		testBatch[i] = s.Values
+	}
+	d := New(WithEpochs(300), WithHidden(6))
+	if err := d.FitSeries(trainBatch, train.Labels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreSeries(testBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, test.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Fatalf("AUC=%.3f, want >= 0.9 for cleanly separable regimes", auc)
+	}
+}
+
+func TestScoresAreProbabilities(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train, _ := generator.Workload(generator.Config{N: 1024}, generator.AdditiveOutlier, 8, 8, rng)
+	d := New(WithEpochs(20))
+	if err := d.FitPoints(train.Series.Values, train.PointLabels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(train.Series.Values[:100])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range scores {
+		if s < 0 || s > 1 {
+			t.Fatalf("score[%d]=%v out of [0,1]", i, s)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+// Package nmd implements the negative/mixed pattern database detector
+// of Cabrera et al. (2001) — Table 1 row "Anomaly Dictionary [3]",
+// family NMD, granularity SSQ.
+//
+// Dual to the normal pattern database: a dictionary of *known anomalous*
+// windows is stored, and a new window scores by its best similarity to a
+// dictionary entry — "test sequences are classified as anomalies if they
+// match a sequence from the database" (§3).
+package nmd
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// Detector is an anomaly-dictionary scorer.
+type Detector struct {
+	alphabet int
+	binner   *detector.Binner
+	dict     [][]byte
+	dictSize int
+	fitted   bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithAlphabet sets the discretisation alphabet size (default 6).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{alphabet: 6}
+	for _, o := range opts {
+		o(d)
+	}
+	d.binner = detector.NewBinner(d.alphabet)
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "nmd",
+		Title:      "Anomaly Dictionary",
+		Citation:   "[3]",
+		Family:     detector.FamilyNMD,
+		Capability: detector.Capability{Subsequences: true},
+		Supervised: true, // needs examples of known anomalies
+	}
+}
+
+// FitWindows implements detector.SupervisedWindow: windows of the
+// training series that overlap anomalous labels become dictionary
+// entries; the value range of the whole series calibrates the binner.
+func (d *Detector) FitWindows(values []float64, labels []bool, size, stride int) error {
+	if len(values) != len(labels) {
+		return fmt.Errorf("%w: %d values, %d labels", detector.ErrInput, len(values), len(labels))
+	}
+	if err := d.binner.Fit(values); err != nil {
+		return err
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return err
+	}
+	seen := make(map[string]bool)
+	d.dict = d.dict[:0]
+	for _, w := range ws {
+		anom := false
+		for i := w.Start; i < w.Start+size; i++ {
+			if labels[i] {
+				anom = true
+				break
+			}
+		}
+		if !anom {
+			continue
+		}
+		sym := d.binner.Symbolize(w.Values)
+		if key := string(sym); !seen[key] {
+			seen[key] = true
+			d.dict = append(d.dict, sym)
+		}
+	}
+	if len(d.dict) == 0 {
+		return fmt.Errorf("%w: no anomalous windows in training data", detector.ErrInput)
+	}
+	d.dictSize = size
+	d.fitted = true
+	return nil
+}
+
+// ScoreWindows implements detector.WindowScorer. Score is the best
+// similarity (1 - normalised Hamming distance) to any dictionary entry:
+// matching a known anomaly means being anomalous.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if size != d.dictSize {
+		return nil, fmt.Errorf("%w: dictionary built for window size %d, scoring with %d", detector.ErrInput, d.dictSize, size)
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		sym := d.binner.Symbolize(w.Values)
+		best := 0.0
+		for _, pat := range d.dict {
+			sim := 1 - float64(hamming(sym, pat))/float64(size)
+			if sim > best {
+				best = sim
+			}
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: best}
+	}
+	return out, nil
+}
+
+func hamming(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,115 @@
+package nmd
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "nmd" || info.Family != detector.FamilyNMD || !info.Supervised {
+		t.Fatalf("info=%+v", info)
+	}
+}
+
+func TestUnfittedAndErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreWindows(make([]float64, 64), 8, 1); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.FitWindows(make([]float64, 10), make([]bool, 5), 4, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for label mismatch")
+	}
+	// No anomalous windows at all.
+	if err := d.FitWindows(make([]float64, 64), make([]bool, 64), 8, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput when training has no anomalies")
+	}
+}
+
+func TestWindowSizeMustMatchDictionary(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	train, _ := generator.SubseqWorkload(1024, 32, 2, rng)
+	d := New()
+	if err := d.FitWindows(train.Series.Values, train.PointLabels, 32, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ScoreWindows(make([]float64, 128), 16, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for size mismatch")
+	}
+}
+
+// stuckAtWorkload builds a sine signal with stuck-sensor plateaus — the
+// recurring, *recognisable* fault pattern an anomaly dictionary is
+// designed for (unlike one-off discords, which are NPD territory).
+func stuckAtWorkload(n int, plateaus []int, rng *rand.Rand) ([]float64, []bool) {
+	vals := make([]float64, n)
+	labels := make([]bool, n)
+	for i := range vals {
+		vals[i] = 1.2*math.Sin(float64(i)/8) + rng.NormFloat64()*0.05
+	}
+	for _, at := range plateaus {
+		for i := at; i < at+20 && i < n; i++ {
+			vals[i] = 3.0 + rng.NormFloat64()*0.02
+			labels[i] = true
+		}
+	}
+	return vals, labels
+}
+
+func TestMatchesKnownAnomalies(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trainVals, trainLabels := stuckAtWorkload(2048, []int{300, 900, 1500}, rng)
+	testVals, testLabels := stuckAtWorkload(2048, []int{450, 1100, 1800}, rng)
+	d := New()
+	if err := d.FitWindows(trainVals, trainLabels, 32, 4); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(testVals, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if testLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("AUC=%.3f, want >= 0.85 on recurring stuck-at faults", auc)
+	}
+}
+
+func TestDictionaryDeduplicates(t *testing.T) {
+	// Identical anomaly repeated: dictionary should not grow per window.
+	vals := make([]float64, 256)
+	labels := make([]bool, 256)
+	for i := 100; i < 110; i++ {
+		vals[i] = 50
+		labels[i] = true
+	}
+	d := New()
+	if err := d.FitWindows(vals, labels, 16, 1); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.dict) == 0 {
+		t.Fatal("dictionary empty")
+	}
+	if len(d.dict) > 30 {
+		t.Fatalf("dictionary holds %d entries; dedupe failed", len(d.dict))
+	}
+}

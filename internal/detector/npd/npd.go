@@ -1,0 +1,163 @@
+// Package npd implements the normal pattern database detector of Lane &
+// Brodley (1997) — Table 1 row "Window Sequence [17]", family NPD,
+// granularity SSQ.
+//
+// The frequencies of overlapping normal windows are stored in a
+// database. A new window that matches a stored pattern exactly scores
+// (nearly) zero; otherwise its score is a *soft mismatch*: the minimum
+// per-position disagreement against the database, weighted towards
+// frequent patterns (§3: "not including only exact matches, but rather
+// compute soft mismatch scores").
+package npd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// Detector is a normal-pattern-database scorer.
+type Detector struct {
+	alphabet  int
+	binner    *detector.Binner
+	reference []float64
+	freq      map[string]int
+	patterns  [][]byte
+	dbSize    int
+	total     int
+	fitted    bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithAlphabet sets the discretisation alphabet size (default 6).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{alphabet: 6}
+	for _, o := range opts {
+		o(d)
+	}
+	d.binner = detector.NewBinner(d.alphabet)
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "npd",
+		Title:      "Window Sequence",
+		Citation:   "[17]",
+		Family:     detector.FamilyNPD,
+		Capability: detector.Capability{Subsequences: true},
+	}
+}
+
+// Fit stores the normal reference data.
+func (d *Detector) Fit(values []float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("%w: empty reference", detector.ErrInput)
+	}
+	if err := d.binner.Fit(values); err != nil {
+		return err
+	}
+	d.reference = append(d.reference[:0], values...)
+	d.freq = nil
+	d.dbSize = 0
+	d.fitted = true
+	return nil
+}
+
+func (d *Detector) ensureDB(size int) error {
+	if d.dbSize == size && d.freq != nil {
+		return nil
+	}
+	ws, err := timeseries.SlidingWindows(d.reference, size, 1)
+	if err != nil {
+		return err
+	}
+	if len(ws) == 0 {
+		return fmt.Errorf("%w: reference shorter than window size %d", detector.ErrInput, size)
+	}
+	d.freq = make(map[string]int, len(ws))
+	d.patterns = d.patterns[:0]
+	d.total = len(ws)
+	for _, w := range ws {
+		sym := d.binner.Symbolize(w.Values)
+		key := string(sym)
+		if d.freq[key] == 0 {
+			d.patterns = append(d.patterns, []byte(key))
+		}
+		d.freq[key]++
+	}
+	d.dbSize = size
+	return nil
+}
+
+// ScoreWindows implements detector.WindowScorer.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if err := d.ensureDB(size); err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		sym := d.binner.Symbolize(w.Values)
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: d.softMismatch(sym)}
+	}
+	return out, nil
+}
+
+// softMismatch returns the database mismatch of a symbol window in
+// [0, 1]. An exact match with frequency f scores 1/(1+f) scaled by a
+// small factor, so frequent patterns score ~0; otherwise the score is
+// the frequency-weighted minimum normalised Hamming distance.
+func (d *Detector) softMismatch(sym []byte) float64 {
+	key := string(sym)
+	if f := d.freq[key]; f > 0 {
+		// Frequent normal windows approach score 0.
+		return 0.1 / (1 + float64(f))
+	}
+	size := float64(len(sym))
+	best := math.Inf(1)
+	for _, pat := range d.patterns {
+		h := hamming(sym, pat)
+		// Distance discounted by pattern support: disagreeing with a
+		// frequent pattern matters less than being far from all.
+		f := float64(d.freq[string(pat)])
+		dist := float64(h) / size * (1 - 0.5*f/float64(d.total))
+		if dist < best {
+			best = dist
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 1
+	}
+	// Unseen patterns score at least the floor above any exact match.
+	if best < 0.15 {
+		best = 0.15
+	}
+	return best
+}
+
+func hamming(a, b []byte) int {
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}

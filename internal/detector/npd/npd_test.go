@@ -1,0 +1,122 @@
+package npd
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "npd" || info.Family != detector.FamilyNPD || info.Supervised {
+		t.Fatalf("info=%+v", info)
+	}
+}
+
+func TestUnfitted(t *testing.T) {
+	if _, err := New().ScoreWindows(make([]float64, 64), 8, 1); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+}
+
+func TestFrequentPatternsScoreLow(t *testing.T) {
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = float64(i % 8)
+	}
+	d := New()
+	if err := d.Fit(vals); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(vals, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Score > 0.05 {
+			t.Fatalf("training window at %d scored %v", w.Start, w.Score)
+		}
+	}
+}
+
+func TestUnseenPatternScoresAboveSeen(t *testing.T) {
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = float64(i % 8)
+	}
+	d := New()
+	if err := d.Fit(vals); err != nil {
+		t.Fatal(err)
+	}
+	// A window of constant max value never appears in the sawtooth.
+	foreign := make([]float64, 8)
+	for i := range foreign {
+		foreign[i] = 7
+	}
+	wf, err := d.ScoreWindows(foreign, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen, _ := d.ScoreWindows(vals[:8], 8, 1)
+	if wf[0].Score <= seen[0].Score {
+		t.Fatalf("foreign %v should beat seen %v", wf[0].Score, seen[0].Score)
+	}
+	if wf[0].Score < 0.15 {
+		t.Fatalf("unseen pattern floor violated: %v", wf[0].Score)
+	}
+}
+
+func TestSoftMismatchOrdersByDistance(t *testing.T) {
+	vals := make([]float64, 512)
+	for i := range vals {
+		vals[i] = float64(i % 8)
+	}
+	d := New()
+	if err := d.Fit(vals); err != nil {
+		t.Fatal(err)
+	}
+	// near: sawtooth with one corrupted position; far: constant.
+	near := []float64{0, 1, 2, 3, 7, 5, 6, 7}
+	far := []float64{7, 7, 7, 7, 7, 7, 7, 7}
+	wn, _ := d.ScoreWindows(near, 8, 1)
+	wfar, _ := d.ScoreWindows(far, 8, 1)
+	if wn[0].Score >= wfar[0].Score {
+		t.Fatalf("near-mismatch %v should score below far-mismatch %v", wn[0].Score, wfar[0].Score)
+	}
+}
+
+func TestDetectsDiscordWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean, _ := generator.SubseqWorkload(2048, 48, 0, rng)
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.75 {
+		t.Fatalf("AUC=%.3f, want >= 0.75", auc)
+	}
+}

@@ -1,0 +1,335 @@
+// Package ocsvm implements a one-class support vector machine after the
+// geometric framework of Eskin et al. (2002) — Table 1 row "Support
+// Vector Machine [6]", family DA, granularities PTS, SSQ and TSS.
+//
+// Inputs are mapped to a randomised Fourier feature space approximating
+// the RBF kernel; a ν-one-class SVM is trained in the primal by
+// stochastic subgradient descent. The outlier score of x is ρ − w·φ(x):
+// positive outside the learned normal region, negative inside.
+package ocsvm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a primal one-class SVM scorer.
+type Detector struct {
+	nuVal     float64
+	features  int
+	epochs    int
+	segments  int
+	embedDim  int
+	seed      int64
+	reference []float64
+
+	pointModel *model
+	winModel   *model
+	winSize    int
+	fitted     bool
+}
+
+// model is a trained primal machine with its random feature map and the
+// input standardisation learned from training data.
+type model struct {
+	w      []float64
+	rho    float64
+	omega  [][]float64 // features × inputDim frequency matrix
+	phase  []float64
+	dim    int // input dimension
+	inMean []float64
+	inStd  []float64
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithNu sets the ν parameter — the asymptotic fraction of training
+// points treated as outliers (default 0.1).
+func WithNu(nu float64) Option {
+	return func(d *Detector) { d.nuVal = nu }
+}
+
+// WithFeatures sets the random Fourier feature count (default 64).
+func WithFeatures(m int) Option {
+	return func(d *Detector) { d.features = m }
+}
+
+// WithEmbedDim sets the delay-embedding dimension for point scoring
+// (default 6).
+func WithEmbedDim(m int) Option {
+	return func(d *Detector) { d.embedDim = m }
+}
+
+// WithSeed fixes the feature map and SGD shuffling (default 1).
+func WithSeed(s int64) Option {
+	return func(d *Detector) { d.seed = s }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{nuVal: 0.1, features: 64, epochs: 30, segments: 8, embedDim: 6, seed: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	if d.nuVal <= 0 || d.nuVal > 1 {
+		d.nuVal = 0.1
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "one-class-svm",
+		Title:      "Support Vector Machine",
+		Citation:   "[6]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Points: true, Subsequences: true, Series: true},
+	}
+}
+
+// Fit trains the point-level machine on the delay embedding of the
+// reference and stores the reference for lazy window-level training.
+func (d *Detector) Fit(values []float64) error {
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return err
+	}
+	m, err := d.train(rows)
+	if err != nil {
+		return err
+	}
+	d.pointModel = m
+	d.reference = append(d.reference[:0], values...)
+	d.winModel, d.winSize = nil, 0
+	d.fitted = true
+	return nil
+}
+
+// ScorePoints implements detector.PointScorer.
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(values))
+	for t, row := range rows {
+		out[t+d.embedDim-1] = d.pointModel.score(row)
+	}
+	for t := 0; t < d.embedDim-1 && t < len(out); t++ {
+		out[t] = out[d.embedDim-1]
+	}
+	return out, nil
+}
+
+// ScoreWindows implements detector.WindowScorer on window features.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if d.winModel == nil || d.winSize != size {
+		ws, err := timeseries.SlidingWindows(d.reference, size, maxInt(1, size/4))
+		if err != nil {
+			return nil, err
+		}
+		if len(ws) < 8 {
+			return nil, fmt.Errorf("%w: reference yields only %d windows", detector.ErrInput, len(ws))
+		}
+		rows := make([][]float64, len(ws))
+		for i, w := range ws {
+			f, err := detector.WindowFeatures(w.Values, d.segments)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = f
+		}
+		m, err := d.train(rows)
+		if err != nil {
+			return nil, err
+		}
+		d.winModel, d.winSize = m, size
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		f, err := detector.WindowFeatures(w.Values, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: d.winModel.score(f)}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer: the machine is trained
+// on the batch's own feature vectors (assumed mostly normal), so the ν
+// fraction with the weakest membership surfaces as outliers.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 4 {
+		return nil, fmt.Errorf("%w: need at least 4 series", detector.ErrInput)
+	}
+	rows := make([][]float64, len(batch))
+	for i, s := range batch {
+		f, err := detector.SeriesFeatures(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		rows[i] = f
+	}
+	m, err := d.train(rows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = m.score(r)
+	}
+	return out, nil
+}
+
+// train fits the primal ν-one-class SVM on the rows.
+func (d *Detector) train(rows [][]float64) (*model, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no training rows", detector.ErrInput)
+	}
+	dim := len(rows[0])
+	rng := rand.New(rand.NewSource(d.seed))
+	// Standardise inputs per-dimension so the RBF bandwidth heuristic
+	// is meaningful across features of mixed scale.
+	mean := make([]float64, dim)
+	std := make([]float64, dim)
+	for j := 0; j < dim; j++ {
+		col := make([]float64, n)
+		for i := range rows {
+			col[i] = rows[i][j]
+		}
+		mean[j], std[j] = stats.MeanStd(col)
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	norm := make([][]float64, n)
+	for i, r := range rows {
+		v := make([]float64, dim)
+		for j := range r {
+			v[j] = (r[j] - mean[j]) / std[j]
+		}
+		norm[i] = v
+	}
+	// Bandwidth: median pairwise distance over a bounded sample.
+	sigma := medianPairwise(norm, rng)
+	if sigma == 0 {
+		sigma = 1
+	}
+	m := &model{dim: dim, inMean: mean, inStd: std}
+	m.omega = make([][]float64, d.features)
+	m.phase = make([]float64, d.features)
+	for f := 0; f < d.features; f++ {
+		w := make([]float64, dim)
+		for j := range w {
+			w[j] = rng.NormFloat64() / sigma
+		}
+		m.omega[f] = w
+		m.phase[f] = rng.Float64() * 2 * math.Pi
+	}
+	m.w = make([]float64, d.features)
+	// Pegasos-style SGD on the per-sample ν-one-class objective
+	// Lᵢ = ½‖w‖² − ρ + (1/ν)·max(0, ρ − w·φᵢ).
+	nu := d.nuVal
+	t := 0
+	order := rng.Perm(n)
+	phi := make([]float64, d.features)
+	for epoch := 0; epoch < d.epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			t++
+			eta := 1 / math.Sqrt(float64(t)+10)
+			m.phi(norm[i], phi)
+			violated := dot(m.w, phi) < m.rho
+			ind := 0.0
+			if violated {
+				ind = 1
+			}
+			for j := range m.w {
+				m.w[j] = m.w[j]*(1-eta) + eta*ind/nu*phi[j]
+			}
+			m.rho += eta * (1 - ind/nu)
+		}
+	}
+	// Calibrate ρ as the (1-ν) quantile of margins so exactly ~ν of the
+	// training data scores positive — the ν-property, enforced directly.
+	margins := make([]float64, n)
+	for i := range norm {
+		m.phi(norm[i], phi)
+		margins[i] = dot(m.w, phi)
+	}
+	m.rho = stats.Quantile(margins, nu)
+	return m, nil
+}
+
+func medianPairwise(rows [][]float64, rng *rand.Rand) float64 {
+	n := len(rows)
+	if n < 2 {
+		return 1
+	}
+	pairs := 200
+	ds := make([]float64, 0, pairs)
+	for k := 0; k < pairs; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		ds = append(ds, stats.Euclidean(rows[i], rows[j]))
+	}
+	if len(ds) == 0 {
+		return 1
+	}
+	return stats.Median(ds)
+}
+
+// phi fills out with the random Fourier features of x.
+func (m *model) phi(x []float64, out []float64) {
+	scale := math.Sqrt(2 / float64(len(m.omega)))
+	for f := range m.omega {
+		out[f] = scale * math.Cos(dot(m.omega[f], x)+m.phase[f])
+	}
+}
+
+// score returns ρ − w·φ(x) for a raw (unstandardised) input.
+func (m *model) score(x []float64) float64 {
+	v := make([]float64, m.dim)
+	for j := 0; j < m.dim; j++ {
+		v[j] = (x[j] - m.inMean[j]) / m.inStd[j]
+	}
+	phi := make([]float64, len(m.omega))
+	m.phi(v, phi)
+	return m.rho - dot(m.w, phi)
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,167 @@
+package ocsvm
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "one-class-svm" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "xxx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfittedAndBadNu(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints(make([]float64, 20)); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	// Invalid ν falls back to the default.
+	if New(WithNu(-1)).nuVal != 0.1 || New(WithNu(2)).nuVal != 0.1 {
+		t.Fatal("bad nu should fall back to default")
+	}
+	if _, err := d.ScoreSeries(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for empty batch")
+	}
+}
+
+func TestNuPropertyOnTrainingData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]float64, 3000)
+	for i := range ref {
+		ref[i] = 5 + rng.NormFloat64()
+	}
+	d := New(WithNu(0.1))
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Roughly ν of the training points should score positive (outside
+	// the learned region).
+	pos := 0
+	for _, s := range scores {
+		if s > 0 {
+			pos++
+		}
+	}
+	frac := float64(pos) / float64(len(scores))
+	if frac < 0.02 || frac > 0.3 {
+		t.Fatalf("positive fraction %.3f, want near ν=0.1", frac)
+	}
+}
+
+func TestDetectsPointOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clean, _ := generator.Workload(generator.Config{N: 3000}, generator.AdditiveOutlier, 0, 0, rng)
+	dirty, _ := generator.Workload(generator.Config{N: 3000}, generator.AdditiveOutlier, 8, 8, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Spread: the embedding assigns context scores; evaluate
+	// episode-style with point adjustment at a contamination-matched
+	// threshold.
+	pred := eval.Threshold(scores, eval.TopKThreshold(scores, 60))
+	adj, err := eval.PointAdjust(pred, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := eval.Confuse(adj, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Recall() < 0.6 {
+		t.Fatalf("recall=%.2f, want >= 0.6", c.Recall())
+	}
+}
+
+func TestScoreWindowsDiscords(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean, _ := generator.SubseqWorkload(2048, 48, 0, rng)
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestScoreSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	lab, _ := generator.SeriesWorkload(30, 4, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := make([]float64, 500)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	a := New(WithSeed(3))
+	b := New(WithSeed(3))
+	if err := a.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	sa, _ := a.ScorePoints(ref[:50])
+	sb, _ := b.ScorePoints(ref[:50])
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatal("same seed must reproduce scores")
+		}
+	}
+}

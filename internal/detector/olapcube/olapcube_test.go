@@ -1,0 +1,147 @@
+package olapcube
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+	"repro/internal/olap"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "olap-cube" || info.Family != detector.FamilyUOA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "x-x" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if _, err := d.ScoreSeries([][]float64{{1}, {2}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for tiny batch")
+	}
+	if _, err := d.ScoreSeries([][]float64{{1}, {}, {3}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for empty series")
+	}
+}
+
+func TestScoreCubeFlagsDeviantCell(t *testing.T) {
+	c, err := olap.New("machine", "shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []string{"m1", "m2", "m3", "m4"} {
+		for _, s := range []string{"day", "night"} {
+			base := 10.0
+			if m == "m3" && s == "night" {
+				base = 30 // the anomalous cell
+			}
+			for i := 0; i < 20; i++ {
+				c.AddFact([]string{m, s}, base+rng.NormFloat64())
+			}
+		}
+	}
+	scores, err := ScoreCube(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := TopK(scores, 3)
+	found := false
+	for _, cs := range top {
+		if len(cs.Coord) == 2 && cs.Coord[0] == "m3" && cs.Coord[1] == "night" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("m3/night not in top-3: %+v", top)
+	}
+	// TopK clamps.
+	if len(TopK(scores, 10_000)) != len(scores) {
+		t.Fatal("TopK should clamp to available cells")
+	}
+}
+
+func TestScorePointsLevelShift(t *testing.T) {
+	// A level shift moves whole time buckets away from the cube
+	// consensus: the shifted region's buckets must outscore the clean
+	// prefix on average (per-point labels mark only the onset, so AUC
+	// against them is not the right yardstick here).
+	rng := rand.New(rand.NewSource(2))
+	base := generator.Base(generator.Config{N: 2048}, rng)
+	const at = 1536 // late shift: the pre-shift level is the consensus
+	if _, err := generator.Inject(base, generator.LevelShift, at, 10, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := New().ScorePoints(base.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pre, post float64
+	for i, s := range scores {
+		if i < at {
+			pre += s
+		} else {
+			post += s
+		}
+	}
+	pre /= float64(at)
+	post /= float64(len(scores) - at)
+	if post < 1.5*pre {
+		t.Fatalf("post-shift mean score %.3f should clearly exceed pre-shift %.3f", post, pre)
+	}
+}
+
+func TestScorePointsSpike(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dirty, _ := generator.Workload(generator.Config{N: 2048}, generator.AdditiveOutlier, 8, 8, rng)
+	scores, err := New().ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.9 {
+		t.Fatalf("AUC=%.3f, want >= 0.9 with within-bucket refinement", auc)
+	}
+}
+
+func TestScoreSeriesDeviantMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	batch := make([][]float64, 8)
+	truth := make([]bool, 8)
+	for m := range batch {
+		vals := make([]float64, 256)
+		level := 10.0
+		if m == 5 {
+			level = 14 // deviant machine
+			truth[m] = true
+		}
+		for i := range vals {
+			vals[i] = level + rng.NormFloat64()
+		}
+		batch[m] = vals
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.99 {
+		t.Fatalf("AUC=%.3f, want ~1 for clear level deviation", auc)
+	}
+}

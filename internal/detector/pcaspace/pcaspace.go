@@ -1,0 +1,135 @@
+// Package pcaspace implements the principal-component-space detector of
+// Gupta & Singh (2013) — Table 1 row "Principal Component Space [13]",
+// family DA, granularity PTS.
+//
+// Normal behaviour spans a low-dimensional principal subspace; the
+// outlier score of an observation is its squared reconstruction
+// residual outside that subspace. Univariate series are scored through
+// a time-delay embedding, multivariate rows (CAQ vectors, sensor
+// blocks) directly.
+package pcaspace
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/linalg"
+)
+
+// Detector is a PCA reconstruction-error scorer.
+type Detector struct {
+	components int
+	embedDim   int
+	model      *linalg.PCA
+	fitted     bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithComponents sets the retained subspace dimension (default 3).
+func WithComponents(k int) Option {
+	return func(d *Detector) { d.components = k }
+}
+
+// WithEmbedDim sets the delay-embedding dimension for univariate input
+// (default 8).
+func WithEmbedDim(m int) Option {
+	return func(d *Detector) { d.embedDim = m }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{components: 3, embedDim: 8}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "pca-space",
+		Title:      "Principal Component Space",
+		Citation:   "[13]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Points: true},
+	}
+}
+
+// Fit learns the principal subspace from reference values through the
+// delay embedding.
+func (d *Detector) Fit(values []float64) error {
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return err
+	}
+	return d.FitRows(rows)
+}
+
+// FitRows learns the principal subspace from multivariate reference
+// rows.
+func (d *Detector) FitRows(rows [][]float64) error {
+	if len(rows) < 2 {
+		return fmt.Errorf("%w: need at least 2 reference rows", detector.ErrInput)
+	}
+	obs, err := linalg.FromRows(rows)
+	if err != nil {
+		return err
+	}
+	k := d.components
+	if k > obs.Cols {
+		k = obs.Cols
+	}
+	pca, err := linalg.FitPCA(obs, k)
+	if err != nil {
+		return err
+	}
+	d.model = pca
+	d.fitted = true
+	return nil
+}
+
+// ScorePoints implements detector.PointScorer: each embedded vector's
+// reconstruction error is spread over the samples it covers (max per
+// sample), so a point anomaly scores high at its exact position even
+// though several overlapping windows see it.
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(values))
+	for t, row := range rows {
+		e, err := d.model.ReconstructionError(row)
+		if err != nil {
+			return nil, err
+		}
+		for i := t; i < t+d.embedDim; i++ {
+			if e > out[i] {
+				out[i] = e
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScoreRows implements detector.RowScorer on multivariate observations.
+func (d *Detector) ScoreRows(rows [][]float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(rows))
+	for i, row := range rows {
+		e, err := d.model.ReconstructionError(row)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = e
+	}
+	return out, nil
+}

@@ -1,0 +1,115 @@
+package pcaspace
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "pca-space" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "x--" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfittedAndErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints(make([]float64, 20)); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if _, err := d.ScoreRows([][]float64{{1, 2}}); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted for rows")
+	}
+	if err := d.Fit([]float64{1, 2}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short reference")
+	}
+	if err := d.FitRows([][]float64{{1, 2}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for tiny row set")
+	}
+}
+
+func TestCorrelatedSensorsRowOutlier(t *testing.T) {
+	// Two redundant sensors: y ≈ x. A row violating the correlation is
+	// the outlier even though both coordinates are in range.
+	rng := rand.New(rand.NewSource(1))
+	rows := make([][]float64, 0, 300)
+	for i := 0; i < 300; i++ {
+		v := rng.NormFloat64() * 3
+		rows = append(rows, []float64{v, v + rng.NormFloat64()*0.1})
+	}
+	d := New(WithComponents(1))
+	if err := d.FitRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreRows([][]float64{{2, 2}, {2, -2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[1] < 100*scores[0]+1e-9 {
+		t.Fatalf("correlation-breaking row %v should dwarf conforming row %v", scores[1], scores[0])
+	}
+}
+
+func TestPointScoringViaEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clean, _ := generator.Workload(generator.Config{N: 4096, Phi: 0.8}, generator.AdditiveOutlier, 0, 0, rng)
+	dirty, _ := generator.Workload(generator.Config{N: 4096, Phi: 0.8}, generator.AdditiveOutlier, 8, 8, rng)
+	d := New(WithComponents(2), WithEmbedDim(8))
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(dirty.Series.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != dirty.Series.Len() {
+		t.Fatalf("scores len=%d", len(scores))
+	}
+	auc, err := eval.ROCAUC(scores, dirty.PointLabels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.95 {
+		t.Fatalf("AUC=%.3f, want >= 0.95", auc)
+	}
+}
+
+func TestEveryPointScored(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean, _ := generator.Workload(generator.Config{N: 512}, generator.AdditiveOutlier, 0, 0, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints(clean.Series.Values[:64])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != 64 {
+		t.Fatalf("scores len=%d", len(scores))
+	}
+	for i, s := range scores {
+		if s < 0 {
+			t.Fatalf("score[%d]=%v negative", i, s)
+		}
+	}
+}
+
+func TestDimensionMismatchAfterFit(t *testing.T) {
+	rows := [][]float64{{1, 2}, {2, 3}, {3, 4}}
+	d := New()
+	if err := d.FitRows(rows); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.ScoreRows([][]float64{{1, 2, 3}}); err == nil {
+		t.Fatal("want error for row dimension mismatch")
+	}
+}

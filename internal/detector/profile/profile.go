@@ -1,0 +1,127 @@
+// Package profile implements the profile-similarity detector described
+// in the paper's §3 prose ("compare a normal profile with new time
+// points ... denoted as profile similarity"), family PS, granularities
+// PTS and SSQ.
+//
+// For periodic production signals the profile is a per-position
+// mean/std template over the period; for aperiodic signals it falls
+// back to the global mean/std. A point's score is its deviation from
+// the profile position in profile standard deviations.
+package profile
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a normal-profile scorer.
+type Detector struct {
+	period  int
+	minStd  float64
+	means   []float64
+	stds    []float64
+	fitted  bool
+	gMean   float64
+	gStd    float64
+	samples int
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithPeriod sets the profile period in samples; 0 (default) disables
+// the periodic template and uses a global profile.
+func WithPeriod(p int) Option {
+	return func(d *Detector) { d.period = p }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{minStd: 1e-9}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "profile",
+		Title:      "Profile Similarity",
+		Citation:   "(§3)",
+		Family:     detector.FamilyPS,
+		Capability: detector.Capability{Points: true, Subsequences: true},
+	}
+}
+
+// Fit learns the profile from reference values.
+func (d *Detector) Fit(values []float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("%w: empty reference", detector.ErrInput)
+	}
+	d.gMean, d.gStd = stats.MeanStd(values)
+	d.samples = len(values)
+	if d.period > 1 && len(values) >= 2*d.period {
+		acc := make([]stats.Online, d.period)
+		for i, v := range values {
+			acc[i%d.period].Add(v)
+		}
+		d.means = make([]float64, d.period)
+		d.stds = make([]float64, d.period)
+		for i := range acc {
+			d.means[i] = acc[i].Mean()
+			d.stds[i] = acc[i].StdDev()
+			if d.stds[i] < d.minStd {
+				d.stds[i] = d.minStd
+			}
+		}
+	} else {
+		d.means, d.stds = nil, nil
+	}
+	if d.gStd < d.minStd {
+		d.gStd = d.minStd
+	}
+	d.fitted = true
+	return nil
+}
+
+// ScorePoints implements detector.PointScorer.
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(values))
+	for i, v := range values {
+		if d.means != nil {
+			p := i % d.period
+			out[i] = math.Abs(v-d.means[p]) / d.stds[p]
+		} else {
+			out[i] = math.Abs(v-d.gMean) / d.gStd
+		}
+	}
+	return out, nil
+}
+
+// ScoreWindows implements detector.WindowScorer: mean profile deviation
+// over the window, which smooths isolated noise while keeping sustained
+// departures visible.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	pts, err := d.ScorePoints(values)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(pts, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: stats.Mean(w.Values)}
+	}
+	return out, nil
+}

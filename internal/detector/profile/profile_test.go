@@ -1,0 +1,133 @@
+package profile
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "profile" || info.Family != detector.FamilyPS {
+		t.Fatalf("info=%+v", info)
+	}
+}
+
+func TestUnfittedAndEmpty(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints([]float64{1}); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.Fit(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+}
+
+func TestGlobalProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]float64, 1000)
+	for i := range ref {
+		ref[i] = 10 + rng.NormFloat64()
+	}
+	d := New()
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScorePoints([]float64{10, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] > 1 {
+		t.Fatalf("on-profile point scored %v", scores[0])
+	}
+	if scores[1] < 4 {
+		t.Fatalf("6σ point scored %v", scores[1])
+	}
+}
+
+func TestPeriodicProfileBeatsGlobal(t *testing.T) {
+	// A strong daily cycle: positional profile should flag a point
+	// normal in global terms but abnormal for its phase.
+	const period = 48
+	rng := rand.New(rand.NewSource(2))
+	ref := make([]float64, period*40)
+	for i := range ref {
+		ref[i] = 10*math.Sin(2*math.Pi*float64(i)/period) + rng.NormFloat64()*0.2
+	}
+	dP := New(WithPeriod(period))
+	dG := New()
+	if err := dP.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := dG.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	// Test point: value 0 at the cycle peak (phase period/4). Globally
+	// 0 is the mean → unremarkable; positionally it is way off.
+	test := make([]float64, period)
+	for i := range test {
+		test[i] = 10 * math.Sin(2*math.Pi*float64(i)/period)
+	}
+	test[period/4] = 0
+	sp, err := dP.ScorePoints(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := dG.ScorePoints(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[period/4] < 10 {
+		t.Fatalf("periodic profile score=%v, want large", sp[period/4])
+	}
+	if sg[period/4] > 1 {
+		t.Fatalf("global profile score=%v, should be blind to phase anomaly", sg[period/4])
+	}
+}
+
+func TestFallsBackWhenTooShortForPeriod(t *testing.T) {
+	d := New(WithPeriod(100))
+	if err := d.Fit(make([]float64, 150)); err != nil {
+		t.Fatal(err)
+	}
+	if d.means != nil {
+		t.Fatal("short reference should fall back to global profile")
+	}
+}
+
+func TestScoreWindowsSmoothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean, _ := generator.Workload(generator.Config{N: 2048}, generator.TemporaryChange, 0, 0, rng)
+	dirty, _ := generator.Workload(generator.Config{N: 2048}, generator.TemporaryChange, 4, 8, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("AUC=%.3f, want >= 0.85 for TC windows", auc)
+	}
+}

@@ -1,0 +1,137 @@
+package registry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/detector"
+)
+
+// TestTable1MatchesPaper asserts that the implemented capability matrix
+// reproduces the paper's Table 1 exactly — row order, family and the
+// three granularity columns.
+func TestTable1MatchesPaper(t *testing.T) {
+	if len(Table1) != len(PaperTable1) {
+		t.Fatalf("implemented %d techniques, paper lists %d", len(Table1), len(PaperTable1))
+	}
+	for i, want := range PaperTable1 {
+		got := Table1[i].Info
+		if got.Title != want.Title {
+			t.Errorf("row %d: title %q, want %q", i, got.Title, want.Title)
+		}
+		if got.Citation != want.Citation {
+			t.Errorf("row %d (%s): citation %q, want %q", i, want.Title, got.Citation, want.Citation)
+		}
+		if got.Family != want.Family {
+			t.Errorf("row %d (%s): family %q, want %q", i, want.Title, got.Family, want.Family)
+		}
+		if got.Capability.Points != want.PTS {
+			t.Errorf("row %d (%s): PTS=%v, want %v", i, want.Title, got.Capability.Points, want.PTS)
+		}
+		if got.Capability.Subsequences != want.SSQ {
+			t.Errorf("row %d (%s): SSQ=%v, want %v", i, want.Title, got.Capability.Subsequences, want.SSQ)
+		}
+		if got.Capability.Series != want.TSS {
+			t.Errorf("row %d (%s): TSS=%v, want %v", i, want.Title, got.Capability.Series, want.TSS)
+		}
+	}
+}
+
+// TestCapabilitiesBackedByInterfaces asserts every declared ✓ is backed
+// by the matching Go interface, so Table 1 cannot drift from the code.
+func TestCapabilitiesBackedByInterfaces(t *testing.T) {
+	for _, e := range All() {
+		d := e.New()
+		info := d.Info()
+		if info.Capability.Points {
+			_, pt := d.(detector.PointScorer)
+			_, row := d.(detector.RowScorer)
+			if !pt && !row {
+				t.Errorf("%s declares PTS but implements neither PointScorer nor RowScorer", info.Name)
+			}
+		}
+		if info.Capability.Subsequences {
+			_, win := d.(detector.WindowScorer)
+			_, sym := d.(detector.SymbolScorer)
+			if !win && !sym {
+				t.Errorf("%s declares SSQ but implements neither WindowScorer nor SymbolScorer", info.Name)
+			}
+		}
+		if info.Capability.Series {
+			if _, ok := d.(detector.SeriesScorer); !ok {
+				t.Errorf("%s declares TSS but does not implement SeriesScorer", info.Name)
+			}
+		}
+	}
+}
+
+// TestSupervisedFlagConsistent: every SA-family detector must be marked
+// supervised and implement a Fit* training interface; NMD requires known
+// anomalies too.
+func TestSupervisedFlagConsistent(t *testing.T) {
+	for _, e := range All() {
+		d := e.New()
+		info := d.Info()
+		if info.Family == detector.FamilySA && !info.Supervised {
+			t.Errorf("%s is SA but not marked supervised", info.Name)
+		}
+		if info.Supervised {
+			_, p := d.(detector.SupervisedPoint)
+			_, w := d.(detector.SupervisedWindow)
+			_, s := d.(detector.SupervisedSeries)
+			if !p && !w && !s {
+				t.Errorf("%s marked supervised but has no training interface", info.Name)
+			}
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	e, err := ByName("hmm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Info.Name != "hmm" {
+		t.Fatalf("got %q", e.Info.Name)
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Fatal("want error for unknown name")
+	}
+}
+
+func TestNamesUniqueAndSorted(t *testing.T) {
+	names := Names()
+	if len(names) != len(Table1)+len(Extras) {
+		t.Fatalf("names=%d", len(names))
+	}
+	seen := map[string]bool{}
+	for i, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if i > 0 && names[i-1] >= n {
+			t.Fatalf("names not sorted at %d: %v", i, names)
+		}
+	}
+}
+
+func TestRenderTable1(t *testing.T) {
+	out := RenderTable1()
+	if !strings.Contains(out, "Match Count Sequence Similarity [16]") {
+		t.Fatalf("render missing first row:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != len(Table1)+1 {
+		t.Fatalf("render has %d lines, want %d", lines, len(Table1)+1)
+	}
+}
+
+func TestConstructorsReturnFreshInstances(t *testing.T) {
+	for _, e := range All() {
+		a, b := e.New(), e.New()
+		if a == b {
+			t.Errorf("%s constructor returned a shared instance", e.Info.Name)
+		}
+	}
+}

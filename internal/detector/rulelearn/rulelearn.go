@@ -1,0 +1,353 @@
+// Package rulelearn implements supervised rule learning after Lee &
+// Stolfo (1998) — Table 1 row "Rule Learning [18]", family SA,
+// granularities SSQ and TSS.
+//
+// A sequential-covering learner induces conjunctive threshold rules
+// over window (or series) features from labelled training data. The
+// outlier score of a new window is the confidence of the best matching
+// anomaly rule, zero when no rule fires.
+package rulelearn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/timeseries"
+)
+
+// condition is one literal: feature[idx] {<=,>} threshold.
+type condition struct {
+	feature int
+	gt      bool
+	thresh  float64
+}
+
+func (c condition) matches(x []float64) bool {
+	if c.gt {
+		return x[c.feature] > c.thresh
+	}
+	return x[c.feature] <= c.thresh
+}
+
+// rule is a conjunction of conditions with a confidence estimate.
+type rule struct {
+	conds      []condition
+	confidence float64
+}
+
+func (r rule) matches(x []float64) bool {
+	for _, c := range r.conds {
+		if !c.matches(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// Detector is a sequential-covering rule learner.
+type Detector struct {
+	maxRules   int
+	maxConds   int
+	segments   int
+	rules      []rule
+	winSize    int
+	seriesMode bool
+	fitted     bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithMaxRules bounds the rule set size (default 8).
+func WithMaxRules(n int) Option {
+	return func(d *Detector) { d.maxRules = n }
+}
+
+// WithSegments sets the PAA length of window features (default 6).
+func WithSegments(m int) Option {
+	return func(d *Detector) { d.segments = m }
+}
+
+// New builds an untrained detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{maxRules: 8, maxConds: 3, segments: 6}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "rule-learning",
+		Title:      "Rule Learning",
+		Citation:   "[18]",
+		Family:     detector.FamilySA,
+		Capability: detector.Capability{Subsequences: true, Series: true},
+		Supervised: true,
+	}
+}
+
+// FitWindows implements detector.SupervisedWindow: windows overlapping
+// anomalous labels are positive examples.
+func (d *Detector) FitWindows(values []float64, labels []bool, size, stride int) error {
+	if len(values) != len(labels) {
+		return fmt.Errorf("%w: %d values, %d labels", detector.ErrInput, len(values), len(labels))
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return err
+	}
+	var feats [][]float64
+	var ys []bool
+	for _, w := range ws {
+		f, err := detector.WindowFeatures(w.Values, d.segments)
+		if err != nil {
+			return err
+		}
+		anom := false
+		for i := w.Start; i < w.Start+size; i++ {
+			if labels[i] {
+				anom = true
+				break
+			}
+		}
+		feats = append(feats, f)
+		ys = append(ys, anom)
+	}
+	if err := d.learn(feats, ys); err != nil {
+		return err
+	}
+	d.winSize = size
+	d.seriesMode = false
+	d.fitted = true
+	return nil
+}
+
+// FitSeries implements detector.SupervisedSeries.
+func (d *Detector) FitSeries(batch [][]float64, labels []bool) error {
+	if len(batch) != len(labels) {
+		return fmt.Errorf("%w: %d series, %d labels", detector.ErrInput, len(batch), len(labels))
+	}
+	feats := make([][]float64, len(batch))
+	for i, s := range batch {
+		f, err := detector.SeriesFeatures(s)
+		if err != nil {
+			return fmt.Errorf("series %d: %w", i, err)
+		}
+		feats[i] = f
+	}
+	if err := d.learn(feats, labels); err != nil {
+		return err
+	}
+	d.seriesMode = true
+	d.fitted = true
+	return nil
+}
+
+// learn runs sequential covering: repeatedly grow the rule with the best
+// FOIL-style gain on the remaining positives, then remove covered
+// positives.
+func (d *Detector) learn(feats [][]float64, ys []bool) error {
+	if len(feats) == 0 {
+		return fmt.Errorf("%w: no training examples", detector.ErrInput)
+	}
+	pos := 0
+	for _, y := range ys {
+		if y {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return fmt.Errorf("%w: no positive (anomalous) training examples", detector.ErrInput)
+	}
+	covered := make([]bool, len(feats))
+	d.rules = d.rules[:0]
+	for len(d.rules) < d.maxRules {
+		r, ok := d.growRule(feats, ys, covered)
+		if !ok {
+			break
+		}
+		d.rules = append(d.rules, r)
+		// Mark covered positives.
+		progress := false
+		for i, f := range feats {
+			if ys[i] && !covered[i] && r.matches(f) {
+				covered[i] = true
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+		remaining := 0
+		for i, y := range ys {
+			if y && !covered[i] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+	}
+	if len(d.rules) == 0 {
+		return fmt.Errorf("%w: rule learner found no discriminative rule", detector.ErrInput)
+	}
+	return nil
+}
+
+// growRule greedily adds the literal with the best precision×coverage
+// on uncovered positives.
+func (d *Detector) growRule(feats [][]float64, ys, covered []bool) (rule, bool) {
+	var r rule
+	active := make([]bool, len(feats))
+	for i := range active {
+		active[i] = true
+	}
+	dim := len(feats[0])
+	for len(r.conds) < d.maxConds {
+		bestGain := 0.0
+		var bestCond condition
+		found := false
+		for f := 0; f < dim; f++ {
+			for _, th := range candidateThresholds(feats, active, f) {
+				for _, gt := range []bool{true, false} {
+					c := condition{feature: f, gt: gt, thresh: th}
+					tp, fp := 0, 0
+					for i, x := range feats {
+						if !active[i] || !c.matches(x) {
+							continue
+						}
+						if ys[i] {
+							if !covered[i] {
+								tp++
+							}
+						} else {
+							fp++
+						}
+					}
+					if tp == 0 {
+						continue
+					}
+					precision := float64(tp) / float64(tp+fp)
+					gain := precision * math.Log1p(float64(tp))
+					if gain > bestGain {
+						bestGain, bestCond, found = gain, c, true
+					}
+				}
+			}
+		}
+		if !found {
+			break
+		}
+		r.conds = append(r.conds, bestCond)
+		// Restrict to matching examples.
+		perfect := true
+		for i, x := range feats {
+			if active[i] && !bestCond.matches(x) {
+				active[i] = false
+			}
+			if active[i] && !ys[i] {
+				perfect = false
+			}
+		}
+		if perfect {
+			break
+		}
+	}
+	if len(r.conds) == 0 {
+		return rule{}, false
+	}
+	tp, fp := 0, 0
+	for i, x := range feats {
+		if r.matches(x) {
+			if ys[i] {
+				tp++
+			} else {
+				fp++
+			}
+		}
+	}
+	if tp == 0 {
+		return rule{}, false
+	}
+	r.confidence = float64(tp) / float64(tp+fp)
+	return r, true
+}
+
+// candidateThresholds returns up to 8 quantile cut points of feature f
+// over the active examples.
+func candidateThresholds(feats [][]float64, active []bool, f int) []float64 {
+	var vals []float64
+	for i, x := range feats {
+		if active[i] {
+			vals = append(vals, x[f])
+		}
+	}
+	if len(vals) == 0 {
+		return nil
+	}
+	sort.Float64s(vals)
+	var out []float64
+	seen := map[float64]bool{}
+	for k := 1; k <= 8; k++ {
+		v := vals[(len(vals)-1)*k/9]
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ScoreWindows implements detector.WindowScorer.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted || d.seriesMode {
+		return nil, detector.ErrNotFitted
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		f, err := detector.WindowFeatures(w.Values, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: d.scoreVec(f)}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if !d.fitted || !d.seriesMode {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(batch))
+	for i, s := range batch {
+		f, err := detector.SeriesFeatures(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		out[i] = d.scoreVec(f)
+	}
+	return out, nil
+}
+
+func (d *Detector) scoreVec(f []float64) float64 {
+	best := 0.0
+	for _, r := range d.rules {
+		if r.confidence > best && r.matches(f) {
+			best = r.confidence
+		}
+	}
+	return best
+}
+
+// Rules returns the number of learned rules (0 before training).
+func (d *Detector) Rules() int { return len(d.rules) }

@@ -1,0 +1,118 @@
+package rulelearn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "rule-learning" || info.Family != detector.FamilySA || !info.Supervised {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "-xx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreWindows(make([]float64, 100), 16, 1); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.FitWindows(make([]float64, 10), make([]bool, 4), 4, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for label mismatch")
+	}
+	if err := d.FitWindows(make([]float64, 64), make([]bool, 64), 8, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput without positives")
+	}
+	if err := d.FitSeries([][]float64{{1, 2, 3, 4}}, []bool{true, false}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for series label mismatch")
+	}
+}
+
+func TestLearnsWindowRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, _ := generator.SubseqWorkload(4096, 64, 6, rng)
+	test, _ := generator.SubseqWorkload(4096, 64, 6, rng)
+	d := New()
+	if err := d.FitWindows(train.Series.Values, train.PointLabels, 32, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rules() == 0 {
+		t.Fatal("no rules learned")
+	}
+	ws, err := d.ScoreWindows(test.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if test.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestLearnsSeriesRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, _ := generator.SeriesWorkload(40, 8, 256, rng)
+	test, _ := generator.SeriesWorkload(40, 8, 256, rng)
+	trainBatch := make([][]float64, len(train.Series))
+	for i, s := range train.Series {
+		trainBatch[i] = s.Values
+	}
+	testBatch := make([][]float64, len(test.Series))
+	for i, s := range test.Series {
+		testBatch[i] = s.Values
+	}
+	d := New()
+	if err := d.FitSeries(trainBatch, train.Labels); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := d.ScoreSeries(testBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, test.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("AUC=%.3f, want >= 0.85 for learnable regimes", auc)
+	}
+}
+
+func TestModeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	train, _ := generator.SeriesWorkload(20, 4, 128, rng)
+	batch := make([][]float64, len(train.Series))
+	for i, s := range train.Series {
+		batch[i] = s.Values
+	}
+	d := New()
+	if err := d.FitSeries(batch, train.Labels); err != nil {
+		t.Fatal(err)
+	}
+	// Window scoring after series training must be refused.
+	if _, err := d.ScoreWindows(make([]float64, 100), 16, 1); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted for mode mismatch")
+	}
+}

@@ -1,0 +1,200 @@
+// Package rulemotif implements the rule- and motif-based classifier of
+// Li et al. (2007, ROAM) — Table 1 row "Rule Based Classifier [19]",
+// family SA, granularity TSS.
+//
+// Each series is decomposed into SAX motifs; a series becomes a bag of
+// motifs, and a one-R-style rule set over motif presence/absence is
+// learned from labelled examples. The outlier score of a new series is
+// the weighted vote of the anomaly rules its motif bag triggers.
+package rulemotif
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/sax"
+)
+
+// Detector is a motif-rule classifier.
+type Detector struct {
+	segments int
+	alphabet int
+	maxRules int
+	rules    []motifRule
+	enc      *sax.Encoder
+	fitted   bool
+}
+
+// motifRule votes for anomaly when a motif is present (or absent).
+type motifRule struct {
+	motif   string
+	present bool    // fire on presence (true) or absence (false)
+	weight  float64 // log-odds style weight
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithSegments sets the SAX word length (default 4).
+func WithSegments(m int) Option {
+	return func(d *Detector) { d.segments = m }
+}
+
+// WithAlphabet sets the SAX alphabet (default 4).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// WithMaxRules bounds the rule count (default 12).
+func WithMaxRules(n int) Option {
+	return func(d *Detector) { d.maxRules = n }
+}
+
+// New builds an untrained detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{segments: 4, alphabet: 4, maxRules: 12}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "rule-motif",
+		Title:      "Rule Based Classifier",
+		Citation:   "[19]",
+		Family:     detector.FamilySA,
+		Capability: detector.Capability{Series: true},
+		Supervised: true,
+	}
+}
+
+// motifBag extracts the set of SAX motifs of a series.
+func (d *Detector) motifBag(values []float64) (map[string]bool, error) {
+	if d.enc == nil {
+		enc, err := sax.NewEncoder(d.segments, d.alphabet)
+		if err != nil {
+			return nil, err
+		}
+		d.enc = enc
+	}
+	size := len(values) / 4
+	if size < d.segments {
+		size = d.segments
+	}
+	if size > len(values) {
+		return nil, fmt.Errorf("%w: series of %d samples too short", detector.ErrInput, len(values))
+	}
+	stride := size / 2
+	if stride < 1 {
+		stride = 1
+	}
+	words, _, err := d.enc.EncodeSeries(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	bag := make(map[string]bool, len(words))
+	for _, w := range words {
+		bag[w] = true
+	}
+	return bag, nil
+}
+
+// FitSeries implements detector.SupervisedSeries: every motif observed
+// in training becomes a candidate rule scored by its class log-odds;
+// the strongest rules are kept.
+func (d *Detector) FitSeries(batch [][]float64, labels []bool) error {
+	if len(batch) != len(labels) {
+		return fmt.Errorf("%w: %d series, %d labels", detector.ErrInput, len(batch), len(labels))
+	}
+	pos, neg := 0, 0
+	for _, y := range labels {
+		if y {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return fmt.Errorf("%w: training needs both classes", detector.ErrInput)
+	}
+	bags := make([]map[string]bool, len(batch))
+	motifs := map[string]bool{}
+	for i, s := range batch {
+		bag, err := d.motifBag(s)
+		if err != nil {
+			return fmt.Errorf("series %d: %w", i, err)
+		}
+		bags[i] = bag
+		for m := range bag {
+			motifs[m] = true
+		}
+	}
+	var candidates []motifRule
+	for m := range motifs {
+		posWith, negWith := 0, 0
+		for i, bag := range bags {
+			if bag[m] {
+				if labels[i] {
+					posWith++
+				} else {
+					negWith++
+				}
+			}
+		}
+		// Smoothed log-odds of anomaly given motif presence.
+		pAnom := (float64(posWith) + 0.5) / (float64(pos) + 1)
+		pNorm := (float64(negWith) + 0.5) / (float64(neg) + 1)
+		w := math.Log(pAnom / pNorm)
+		if w > 0 {
+			candidates = append(candidates, motifRule{motif: m, present: true, weight: w})
+		} else if w < 0 {
+			// Absence of a characteristic normal motif is suspicious.
+			candidates = append(candidates, motifRule{motif: m, present: false, weight: -w})
+		}
+	}
+	if len(candidates) == 0 {
+		return fmt.Errorf("%w: no discriminative motifs", detector.ErrInput)
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a].weight > candidates[b].weight })
+	if len(candidates) > d.maxRules {
+		candidates = candidates[:d.maxRules]
+	}
+	d.rules = candidates
+	d.fitted = true
+	return nil
+}
+
+// ScoreSeries implements detector.SeriesScorer: the normalised weighted
+// vote of firing rules.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	out := make([]float64, len(batch))
+	var totalWeight float64
+	for _, r := range d.rules {
+		totalWeight += r.weight
+	}
+	for i, s := range batch {
+		bag, err := d.motifBag(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		var vote float64
+		for _, r := range d.rules {
+			if bag[r.motif] == r.present {
+				vote += r.weight
+			}
+		}
+		out[i] = vote / totalWeight
+	}
+	return out, nil
+}
+
+// Rules returns the learned rule count.
+func (d *Detector) Rules() int { return len(d.rules) }

@@ -1,0 +1,90 @@
+package rulemotif
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "rule-motif" || info.Family != detector.FamilySA || !info.Supervised {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "--x" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreSeries([][]float64{{1, 2, 3, 4}}); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := d.FitSeries([][]float64{{1, 2, 3, 4}}, []bool{true, false}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for label mismatch")
+	}
+	if err := d.FitSeries([][]float64{{1, 2, 3, 4}, {2, 3, 4, 5}}, []bool{false, false}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for single class")
+	}
+}
+
+func TestLearnsMotifRules(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	train, _ := generator.SeriesWorkload(40, 8, 256, rng)
+	test, _ := generator.SeriesWorkload(40, 8, 256, rng)
+	trainBatch := make([][]float64, len(train.Series))
+	for i, s := range train.Series {
+		trainBatch[i] = s.Values
+	}
+	testBatch := make([][]float64, len(test.Series))
+	for i, s := range test.Series {
+		testBatch[i] = s.Values
+	}
+	d := New()
+	if err := d.FitSeries(trainBatch, train.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rules() == 0 {
+		t.Fatal("no rules learned")
+	}
+	scores, err := d.ScoreSeries(testBatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, test.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("AUC=%.3f, want >= 0.8", auc)
+	}
+}
+
+func TestMaxRulesBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	train, _ := generator.SeriesWorkload(30, 6, 256, rng)
+	batch := make([][]float64, len(train.Series))
+	for i, s := range train.Series {
+		batch[i] = s.Values
+	}
+	d := New(WithMaxRules(3))
+	if err := d.FitSeries(batch, train.Labels); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rules() > 3 {
+		t.Fatalf("rules=%d exceeds bound", d.Rules())
+	}
+}
+
+func TestShortSeriesRefused(t *testing.T) {
+	d := New()
+	err := d.FitSeries([][]float64{{1}, {2}}, []bool{true, false})
+	if !errors.Is(err, detector.ErrInput) {
+		t.Fatalf("want ErrInput, got %v", err)
+	}
+}

@@ -1,0 +1,112 @@
+package detector
+
+import (
+	"math"
+	"sort"
+)
+
+// NormalizeMinMax rescales raw scores into [0, 1] by min-max. Constant
+// score vectors map to all zeros (no evidence of outlierness). The paper
+// requires a comparable "outlierness" across algorithms; min-max keeps
+// the score's shape while fixing its range.
+func NormalizeMinMax(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	if len(scores) == 0 {
+		return out
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range scores {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		return out
+	}
+	for i, s := range scores {
+		out[i] = (s - lo) / (hi - lo)
+	}
+	return out
+}
+
+// NormalizeRank maps scores to their normalised ranks in (0, 1]: the
+// highest score gets 1, ties share the mean rank. Rank normalisation is
+// robust to the wildly different raw scales of, say, a log-likelihood
+// and a Euclidean distance.
+func NormalizeRank(scores []float64) []float64 {
+	n := len(scores)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+	i := 0
+	for i < n {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // mean 1-based rank of the tie group
+		for k := i; k < j; k++ {
+			out[idx[k]] = mid / float64(n)
+		}
+		i = j
+	}
+	return out
+}
+
+// NormalizeGaussian converts scores to outlierness via the probability
+// that a normal deviate stays below the score's z-value: an approximate
+// "probability of being an outlier" in [0, 1]. Scores at or below the
+// mean map to ~0.5 and below; extreme scores saturate towards 1.
+func NormalizeGaussian(scores []float64) []float64 {
+	out := make([]float64, len(scores))
+	if len(scores) == 0 {
+		return out
+	}
+	var mean float64
+	for _, s := range scores {
+		mean += s
+	}
+	mean /= float64(len(scores))
+	var ss float64
+	for _, s := range scores {
+		d := s - mean
+		ss += d * d
+	}
+	std := math.Sqrt(ss / float64(len(scores)))
+	if std == 0 {
+		return out
+	}
+	for i, s := range scores {
+		z := (s - mean) / std
+		out[i] = 0.5 * math.Erfc(-z/math.Sqrt2)
+	}
+	return out
+}
+
+// SpreadWindowScores converts window scores to per-point scores by
+// assigning each point the maximum score of any window covering it.
+// n is the length of the parent series.
+func SpreadWindowScores(n int, ws []WindowScore) []float64 {
+	out := make([]float64, n)
+	for _, w := range ws {
+		end := w.Start + w.Length
+		if end > n {
+			end = n
+		}
+		for i := w.Start; i < end; i++ {
+			if w.Score > out[i] {
+				out[i] = w.Score
+			}
+		}
+	}
+	return out
+}

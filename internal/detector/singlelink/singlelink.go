@@ -1,0 +1,251 @@
+// Package singlelink implements single-linkage clustering for intrusion
+// style outlier detection after Portnoy et al. (2001) — Table 1 row
+// "Single-linkage clustering [32]", family DA, granularities PTS, SSQ
+// and TSS.
+//
+// Items within the linkage radius ε are connected; the resulting
+// connected components are the single-linkage clusters at cut height ε.
+// Items in small components are outliers — Portnoy's rule that the
+// largest clusters model normal traffic.
+package singlelink
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a single-linkage component-size scorer.
+type Detector struct {
+	radiusFactor float64
+	segments     int
+	maxItems     int
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithRadiusFactor scales the automatic linkage radius (default 2).
+func WithRadiusFactor(f float64) Option {
+	return func(d *Detector) { d.radiusFactor = f }
+}
+
+// WithSegments sets the PAA length for window representations
+// (default 8).
+func WithSegments(m int) Option {
+	return func(d *Detector) { d.segments = m }
+}
+
+// New builds the detector. Clustering happens per scored batch.
+func New(opts ...Option) *Detector {
+	d := &Detector{radiusFactor: 2, segments: 8, maxItems: 4000}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "single-linkage",
+		Title:      "Single-linkage clustering",
+		Citation:   "[32]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Points: true, Subsequences: true, Series: true},
+	}
+}
+
+// ScorePoints implements detector.PointScorer on scalar values: sort,
+// link neighbours with gap ≤ ε, score by component size. Sorting makes
+// the scalar case O(n log n) instead of O(n²).
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty series", detector.ErrInput)
+	}
+	if n == 1 {
+		return []float64{0}, nil
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	// Gaps between sorted neighbours; ε = median gap × factor.
+	gaps := make([]float64, n-1)
+	for i := 0; i < n-1; i++ {
+		gaps[i] = values[idx[i+1]] - values[idx[i]]
+	}
+	eps := stats.Median(gaps) * d.radiusFactor
+	if eps == 0 {
+		eps = 1e-12
+	}
+	// Components = runs of sorted values with gap ≤ ε.
+	comp := make([]int, n) // component id per original index
+	sizes := []int{}
+	cur := 0
+	size := 1
+	comp[idx[0]] = 0
+	for i := 1; i < n; i++ {
+		if gaps[i-1] <= eps {
+			size++
+		} else {
+			sizes = append(sizes, size)
+			cur++
+			size = 1
+		}
+		comp[idx[i]] = cur
+	}
+	sizes = append(sizes, size)
+	// Range of the largest component: distance to it separates genuine
+	// isolates from fragmented tails of the main cluster.
+	largest := 0
+	for c, s := range sizes {
+		if s > sizes[largest] {
+			largest = c
+		}
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, v := range values {
+		if comp[i] == largest {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	scale := stats.MAD(values)
+	if scale == 0 || math.IsNaN(scale) {
+		scale = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		var dist float64
+		switch {
+		case values[i] < lo:
+			dist = lo - values[i]
+		case values[i] > hi:
+			dist = values[i] - hi
+		}
+		out[i] = (1 - float64(sizes[comp[i]])/float64(n)) + dist/scale
+	}
+	return out, nil
+}
+
+// ScoreWindows implements detector.WindowScorer via vector
+// single-linkage on window features.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	if len(ws) == 0 {
+		return nil, fmt.Errorf("%w: series shorter than window", detector.ErrInput)
+	}
+	if len(ws) > d.maxItems {
+		return nil, fmt.Errorf("%w: %d windows exceed single-linkage budget %d (increase stride)", detector.ErrInput, len(ws), d.maxItems)
+	}
+	items := make([][]float64, len(ws))
+	for i, w := range ws {
+		f, err := detector.WindowFeatures(w.Values, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = f
+	}
+	scores, err := d.scoreVectors(items)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: scores[i]}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer on summary features.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	items := make([][]float64, len(batch))
+	for i, s := range batch {
+		f, err := detector.SeriesFeatures(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		items[i] = f
+	}
+	return d.scoreVectors(items)
+}
+
+// scoreVectors links items within ε via union-find and scores by
+// component size, with a distance term separating borderline members.
+func (d *Detector) scoreVectors(items [][]float64) ([]float64, error) {
+	n := len(items)
+	if n == 1 {
+		return []float64{0}, nil
+	}
+	// ε from nearest-neighbour distances.
+	nn := make([]float64, n)
+	for i := range items {
+		best := math.Inf(1)
+		for j := range items {
+			if i == j {
+				continue
+			}
+			dd := stats.Euclidean(items[i], items[j])
+			if dd < best {
+				best = dd
+			}
+		}
+		nn[i] = best
+	}
+	eps := stats.Median(nn) * d.radiusFactor
+	if eps == 0 {
+		eps = 1e-12
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if stats.Euclidean(items[i], items[j]) <= eps {
+				union(i, j)
+			}
+		}
+	}
+	sizes := make(map[int]int, n)
+	for i := range items {
+		sizes[find(i)]++
+	}
+	out := make([]float64, n)
+	for i := range items {
+		frac := float64(sizes[find(i)]) / float64(n)
+		out[i] = (1 - frac) + nn[i]/(eps+nn[i])*0.1
+	}
+	return out, nil
+}

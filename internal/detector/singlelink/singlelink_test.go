@@ -1,0 +1,127 @@
+package singlelink
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "single-linkage" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "xxx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if _, err := d.ScoreSeries([][]float64{{1, 2, 3, 4}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for single series")
+	}
+	if _, err := d.ScoreWindows([]float64{1}, 8, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short series")
+	}
+	// Budget guard.
+	if _, err := d.ScoreWindows(make([]float64, 8000), 8, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for window budget")
+	}
+}
+
+func TestSinglePointAndSingleton(t *testing.T) {
+	s, err := New().ScorePoints([]float64{5})
+	if err != nil || len(s) != 1 || s[0] != 0 {
+		t.Fatalf("single point: %v %v", s, err)
+	}
+}
+
+func TestScalarOutliersInSmallComponents(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 0, 203)
+	truth := make([]bool, 0, 203)
+	for i := 0; i < 200; i++ {
+		vals = append(vals, 10+rng.NormFloat64())
+		truth = append(truth, false)
+	}
+	vals = append(vals, 30, 31, -10)
+	truth = append(truth, true, true, true)
+	scores, err := New().ScorePoints(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.99 {
+		t.Fatalf("AUC=%.3f, want >= 0.99 for clear scalar outliers", auc)
+	}
+}
+
+func TestScoreWindowsDetectsDiscords(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	ws, err := New().ScoreWindows(dirty.Series.Values, 32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestScoreSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lab, _ := generator.SeriesWorkload(30, 5, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("AUC=%.3f, want >= 0.8", auc)
+	}
+}
+
+func TestConstantValues(t *testing.T) {
+	scores, err := New().ScorePoints([]float64{4, 4, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range scores {
+		if s != scores[0] {
+			t.Fatal("identical values must share a score")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package som implements a self-organising map detector after González
+// & Dasgupta (2003) — Table 1 row "Self-Organizing Map [11]", family
+// DA, granularities PTS, SSQ and TSS.
+//
+// A rectangular SOM is trained on normal feature vectors; the outlier
+// score of a new vector is its quantisation error — the distance to its
+// best-matching unit. Vectors far from every learned prototype are
+// anomalous.
+package som
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a SOM quantisation-error scorer.
+type Detector struct {
+	gridW, gridH int
+	epochs       int
+	segments     int
+	embedDim     int
+	seed         int64
+	reference    []float64
+
+	pointMap *somGrid
+	winMap   *somGrid
+	winSize  int
+	fitted   bool
+}
+
+type somGrid struct {
+	w, h    int
+	weights [][]float64 // w*h prototype vectors
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithGrid sets the map dimensions (default 6×6).
+func WithGrid(w, h int) Option {
+	return func(d *Detector) { d.gridW, d.gridH = w, h }
+}
+
+// WithEmbedDim sets the delay-embedding dimension for point scoring
+// (default 6).
+func WithEmbedDim(m int) Option {
+	return func(d *Detector) { d.embedDim = m }
+}
+
+// WithSeed fixes the weight initialisation (default 1).
+func WithSeed(s int64) Option {
+	return func(d *Detector) { d.seed = s }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{gridW: 6, gridH: 6, epochs: 20, segments: 8, embedDim: 6, seed: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "som",
+		Title:      "Self-Organizing Map",
+		Citation:   "[11]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Points: true, Subsequences: true, Series: true},
+	}
+}
+
+// Fit trains the point-level map on the delay embedding of the
+// reference values.
+func (d *Detector) Fit(values []float64) error {
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return err
+	}
+	g, err := d.trainGrid(rows)
+	if err != nil {
+		return err
+	}
+	d.pointMap = g
+	d.reference = append(d.reference[:0], values...)
+	d.winMap, d.winSize = nil, 0
+	d.fitted = true
+	return nil
+}
+
+// ScorePoints implements detector.PointScorer.
+func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	rows, err := detector.DelayEmbed(values, d.embedDim)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(values))
+	for t, row := range rows {
+		out[t+d.embedDim-1] = d.pointMap.quantError(row)
+	}
+	for t := 0; t < d.embedDim-1 && t < len(out); t++ {
+		out[t] = out[d.embedDim-1]
+	}
+	return out, nil
+}
+
+// ScoreWindows implements detector.WindowScorer on window features,
+// training the window-level map lazily from the fit reference.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if d.winMap == nil || d.winSize != size {
+		ws, err := timeseries.SlidingWindows(d.reference, size, maxInt(1, size/4))
+		if err != nil {
+			return nil, err
+		}
+		if len(ws) < 4 {
+			return nil, fmt.Errorf("%w: reference yields only %d windows", detector.ErrInput, len(ws))
+		}
+		rows := make([][]float64, len(ws))
+		for i, w := range ws {
+			f, err := detector.WindowFeatures(w.Values, d.segments)
+			if err != nil {
+				return nil, err
+			}
+			rows[i] = f
+		}
+		g, err := d.trainGrid(rows)
+		if err != nil {
+			return nil, err
+		}
+		d.winMap, d.winSize = g, size
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		f, err := detector.WindowFeatures(w.Values, d.segments)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: d.winMap.quantError(f)}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer: a map is trained on the
+// batch's own feature vectors; rare regimes quantise poorly.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	rows := make([][]float64, len(batch))
+	for i, s := range batch {
+		f, err := detector.SeriesFeatures(s)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		rows[i] = f
+	}
+	g, err := d.trainGrid(rows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = g.quantError(r)
+	}
+	return out, nil
+}
+
+// trainGrid runs classic online SOM training with exponentially decaying
+// learning rate and neighbourhood radius.
+func (d *Detector) trainGrid(rows [][]float64) (*somGrid, error) {
+	n := len(rows)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no training rows", detector.ErrInput)
+	}
+	dim := len(rows[0])
+	rng := rand.New(rand.NewSource(d.seed))
+	g := &somGrid{w: d.gridW, h: d.gridH}
+	units := g.w * g.h
+	g.weights = make([][]float64, units)
+	for u := range g.weights {
+		// Initialise on random training vectors with tiny jitter.
+		src := rows[rng.Intn(n)]
+		wv := make([]float64, dim)
+		for j := range wv {
+			wv[j] = src[j] + rng.NormFloat64()*1e-3
+		}
+		g.weights[u] = wv
+	}
+	totalSteps := d.epochs * n
+	radius0 := float64(maxInt(g.w, g.h)) / 2
+	step := 0
+	order := rng.Perm(n)
+	for epoch := 0; epoch < d.epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			frac := float64(step) / float64(totalSteps)
+			lr := 0.5 * math.Exp(-3*frac)
+			radius := radius0*math.Exp(-3*frac) + 0.5
+			bmu := g.bmu(rows[i])
+			bx, by := bmu%g.w, bmu/g.w
+			for u := range g.weights {
+				ux, uy := u%g.w, u/g.w
+				dx, dy := float64(ux-bx), float64(uy-by)
+				gridDist2 := dx*dx + dy*dy
+				influence := math.Exp(-gridDist2 / (2 * radius * radius))
+				if influence < 1e-4 {
+					continue
+				}
+				wv := g.weights[u]
+				for j := range wv {
+					wv[j] += lr * influence * (rows[i][j] - wv[j])
+				}
+			}
+			step++
+		}
+	}
+	return g, nil
+}
+
+func (g *somGrid) bmu(x []float64) int {
+	best, bestD := 0, math.Inf(1)
+	for u, wv := range g.weights {
+		dd := stats.SquaredEuclidean(x, wv)
+		if dd < bestD {
+			bestD, best = dd, u
+		}
+	}
+	return best
+}
+
+func (g *somGrid) quantError(x []float64) float64 {
+	return math.Sqrt(stats.SquaredEuclidean(x, g.weights[g.bmu(x)]))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package som
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "som" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "xxx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestUnfitted(t *testing.T) {
+	d := New()
+	if _, err := d.ScorePoints(make([]float64, 20)); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if _, err := d.ScoreWindows(make([]float64, 100), 16, 1); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted for windows")
+	}
+}
+
+func TestQuantisationErrorSeparates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([]float64, 2000)
+	for i := range ref {
+		ref[i] = 10 + rng.NormFloat64()
+	}
+	d := New()
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	test := append(append([]float64{}, ref[:100]...), 40, 40, 40, 40, 40, 40)
+	scores, err := d.ScorePoints(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normalMax := 0.0
+	for _, s := range scores[:95] {
+		if s > normalMax {
+			normalMax = s
+		}
+	}
+	if scores[len(scores)-1] < 2*normalMax {
+		t.Fatalf("far regime score %v should dwarf normal max %v", scores[len(scores)-1], normalMax)
+	}
+}
+
+func TestScoreWindowsDiscords(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clean, _ := generator.SubseqWorkload(2048, 48, 0, rng)
+	dirty, _ := generator.SubseqWorkload(2048, 48, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+32; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestScoreSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lab, _ := generator.SeriesWorkload(30, 5, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.75 {
+		t.Fatalf("AUC=%.3f, want >= 0.75", auc)
+	}
+}
+
+func TestGridOptionAndDeterminism(t *testing.T) {
+	d := New(WithGrid(3, 2), WithSeed(9))
+	rng := rand.New(rand.NewSource(4))
+	ref := make([]float64, 400)
+	for i := range ref {
+		ref[i] = rng.NormFloat64()
+	}
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.pointMap.weights) != 6 {
+		t.Fatalf("grid units=%d want 6", len(d.pointMap.weights))
+	}
+	d2 := New(WithGrid(3, 2), WithSeed(9))
+	if err := d2.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := d.ScorePoints(ref[:50])
+	s2, _ := d2.ScorePoints(ref[:50])
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same seed must reproduce scores")
+		}
+	}
+}

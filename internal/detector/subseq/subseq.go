@@ -1,0 +1,218 @@
+// Package subseq implements the outlier-subsequence detector after Lin
+// et al. (2003) — Table 1 row "Symbolic Representation [22]", family
+// OS, granularities SSQ and TSS.
+//
+// Windows are converted to SAX words; each word's observed frequency is
+// compared with its expected frequency under a first-order Markov model
+// of the symbol stream (§3: "patterns are compared to their expected
+// frequency in the database"). Words much rarer than expected are
+// outlier subsequences — the discord notion of the cited work.
+package subseq
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/detector"
+	"repro/internal/sax"
+	"repro/internal/timeseries"
+)
+
+// Detector is a frequency-surprise scorer over SAX words.
+type Detector struct {
+	segments int
+	alphabet int
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithSegments sets the SAX word length (default 5).
+func WithSegments(m int) Option {
+	return func(d *Detector) { d.segments = m }
+}
+
+// WithAlphabet sets the SAX alphabet size (default 4).
+func WithAlphabet(k int) Option {
+	return func(d *Detector) { d.alphabet = k }
+}
+
+// New builds the detector; it models each scored input directly.
+func New(opts ...Option) *Detector {
+	d := &Detector{segments: 5, alphabet: 4}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "outlier-subsequence",
+		Title:      "Symbolic Representation",
+		Citation:   "[22]",
+		Family:     detector.FamilyOS,
+		Capability: detector.Capability{Subsequences: true, Series: true},
+	}
+}
+
+// ScoreWindows implements detector.WindowScorer.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	enc, err := sax.NewEncoder(d.segments, d.alphabet)
+	if err != nil {
+		return nil, err
+	}
+	words, starts, err := enc.EncodeSeries(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("%w: series shorter than window", detector.ErrInput)
+	}
+	scores := d.surprises(words)
+	out := make([]detector.WindowScore, len(words))
+	for i := range words {
+		out[i] = detector.WindowScore{Start: starts[i], Length: size, Score: scores[i]}
+	}
+	return out, nil
+}
+
+// surprises returns, per word, its frequency surprise within the word
+// population: the dominant term is the word's rarity
+// log(total/observed) / log(total) ∈ (0, 1] — a pattern occurring far
+// less often than the bulk is an outlier subsequence (the discord
+// notion). A secondary term rewards words that a first-order Markov
+// model of the characters expects to be frequent but which are not,
+// which is the "compared to their expected frequency" refinement of §3.
+func (d *Detector) surprises(words []string) []float64 {
+	total := len(words)
+	counts := make(map[string]int, total)
+	for _, w := range words {
+		counts[w]++
+	}
+	// First-order Markov model over word characters.
+	first := make(map[byte]int)
+	trans := make(map[[2]byte]int)
+	transTotal := make(map[byte]int)
+	for _, w := range words {
+		first[w[0]]++
+		for i := 1; i < len(w); i++ {
+			trans[[2]byte{w[i-1], w[i]}]++
+			transTotal[w[i-1]]++
+		}
+	}
+	out := make([]float64, len(words))
+	alpha := float64(d.alphabet)
+	logTotal := math.Log(float64(total) + 1)
+	for i, w := range words {
+		observed := float64(counts[w])
+		rarity := math.Log(float64(total)/observed) / logTotal
+		// Expected count of the word under the Markov model with
+		// Laplace smoothing.
+		logP := math.Log((float64(first[w[0]]) + 1) / (float64(total) + alpha))
+		for j := 1; j < len(w); j++ {
+			num := float64(trans[[2]byte{w[j-1], w[j]}]) + 1
+			den := float64(transTotal[w[j-1]]) + alpha
+			logP += math.Log(num / den)
+		}
+		expected := math.Exp(logP) * float64(total)
+		var deficit float64
+		if expected > observed {
+			deficit = math.Log((expected+1)/(observed+1)) / logTotal
+		}
+		out[i] = rarity + deficit
+	}
+	return out
+}
+
+// ScoreSymbols implements detector.SymbolScorer: n-gram (length =
+// segments) frequency surprise over a label sequence, spread to the
+// n-gram's last position.
+func (d *Detector) ScoreSymbols(labels []string) ([]float64, error) {
+	n := d.segments
+	if len(labels) < n {
+		return nil, fmt.Errorf("%w: %d labels for n-gram length %d", detector.ErrInput, len(labels), n)
+	}
+	sym := timeseries.NewSymbols("", labels)
+	grams := sym.NGrams(n)
+	words := make([]string, len(grams))
+	for i, g := range grams {
+		words[i] = join(g)
+	}
+	scores := d.surprises(words)
+	out := make([]float64, len(labels))
+	for i, s := range scores {
+		pos := i + n - 1
+		if s > out[pos] {
+			out[pos] = s
+		}
+	}
+	return out, nil
+}
+
+func join(g []string) string {
+	var b []byte
+	for i, s := range g {
+		if i > 0 {
+			b = append(b, 0)
+		}
+		b = append(b, s...)
+	}
+	return string(b)
+}
+
+// ScoreSeries implements detector.SeriesScorer: a series scores by the
+// mean surprise of its words measured against the pooled batch word
+// statistics — a series full of rare words is an outlier series.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	enc, err := sax.NewEncoder(d.segments, d.alphabet)
+	if err != nil {
+		return nil, err
+	}
+	var pooled []string
+	perSeries := make([][]string, len(batch))
+	for i, s := range batch {
+		size := len(s) / 4
+		if size < d.segments {
+			size = d.segments
+		}
+		if size > len(s) {
+			return nil, fmt.Errorf("%w: series %d too short", detector.ErrInput, i)
+		}
+		words, _, err := enc.EncodeSeries(s, size, maxInt(1, size/2))
+		if err != nil {
+			return nil, err
+		}
+		perSeries[i] = words
+		pooled = append(pooled, words...)
+	}
+	surprise := d.surprises(pooled)
+	scoreOf := make(map[string]float64, len(pooled))
+	for i, w := range pooled {
+		// Same word always gets the same surprise; last write wins.
+		scoreOf[w] = surprise[i]
+	}
+	out := make([]float64, len(batch))
+	for i, words := range perSeries {
+		if len(words) == 0 {
+			continue
+		}
+		var sum float64
+		for _, w := range words {
+			sum += scoreOf[w]
+		}
+		out[i] = sum / float64(len(words))
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

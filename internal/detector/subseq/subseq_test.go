@@ -1,0 +1,115 @@
+package subseq
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "outlier-subsequence" || info.Family != detector.FamilyOS {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "-xx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	d := New()
+	if _, err := d.ScoreWindows([]float64{1, 2}, 64, 1); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short series")
+	}
+	if _, err := d.ScoreSymbols([]string{"a"}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short sequence")
+	}
+	if _, err := d.ScoreSeries(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for empty batch")
+	}
+}
+
+func TestRareWordsScoreHigher(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	dirty, _ := generator.SubseqWorkload(4096, 64, 4, rng)
+	ws, err := New().ScoreWindows(dirty.Series.Values, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+64; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}
+
+func TestFrequentWordsScoreZero(t *testing.T) {
+	// Perfectly periodic series: every word is as frequent as expected,
+	// so no window should score much above zero.
+	vals := make([]float64, 1024)
+	for i := range vals {
+		vals[i] = float64(i % 16)
+	}
+	ws, err := New().ScoreWindows(vals, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		if w.Score > 1.0 {
+			t.Fatalf("periodic window at %d scored %v", w.Start, w.Score)
+		}
+	}
+}
+
+func TestScoreSymbolsForeignRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	sym, truth, _ := generator.SymbolWorkload(2000, 10, 4, rng)
+	scores, err := New().ScoreSymbols(sym.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.75 {
+		t.Fatalf("AUC=%.3f, want >= 0.75", auc)
+	}
+}
+
+func TestScoreSeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	lab, _ := generator.SeriesWorkload(24, 4, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.7 {
+		t.Fatalf("AUC=%.3f, want >= 0.7", auc)
+	}
+}

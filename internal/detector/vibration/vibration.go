@@ -1,0 +1,309 @@
+// Package vibration implements the vibration-signature detector of
+// Nairac et al. (1999, jet-engine vibration analysis) — Table 1 row
+// "Vibration Signature [28]", family DA, granularities SSQ and TSS.
+//
+// A signature is the signal's energy distribution over frequency bands,
+// computed with the Goertzel algorithm. Normal signatures are clustered
+// into prototypes; the outlier score of a window or series is the
+// distance of its signature to the nearest prototype.
+package vibration
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/detector"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// Detector is a spectral-signature scorer.
+type Detector struct {
+	bands      int
+	prototypes int
+	seed       int64
+	reference  []float64
+	protos     [][]float64 // prototype signatures (window level)
+	protoSize  int
+	fitted     bool
+}
+
+// Option configures a Detector.
+type Option func(*Detector)
+
+// WithBands sets the number of frequency bands in the signature
+// (default 8).
+func WithBands(b int) Option {
+	return func(d *Detector) { d.bands = b }
+}
+
+// WithPrototypes sets the number of normal prototypes (default 4).
+func WithPrototypes(p int) Option {
+	return func(d *Detector) { d.prototypes = p }
+}
+
+// WithSeed fixes prototype seeding (default 1).
+func WithSeed(s int64) Option {
+	return func(d *Detector) { d.seed = s }
+}
+
+// New builds an unfitted detector.
+func New(opts ...Option) *Detector {
+	d := &Detector{bands: 8, prototypes: 4, seed: 1}
+	for _, o := range opts {
+		o(d)
+	}
+	return d
+}
+
+// Info implements detector.Detector.
+func (d *Detector) Info() detector.Info {
+	return detector.Info{
+		Name:       "vibration-signature",
+		Title:      "Vibration Signature",
+		Citation:   "[28]",
+		Family:     detector.FamilyDA,
+		Capability: detector.Capability{Subsequences: true, Series: true},
+	}
+}
+
+// Signature returns the normalised band-energy vector of a window: the
+// total spectral power in each of bands equal slices of (0, π), computed
+// per-bin with Goertzel and aggregated.
+func Signature(values []float64, bands int) ([]float64, error) {
+	n := len(values)
+	if n < 2*bands {
+		return nil, fmt.Errorf("%w: window of %d samples for %d bands", detector.ErrInput, n, bands)
+	}
+	// Remove the mean so band 0 measures low-frequency content rather
+	// than the DC offset.
+	cp := append([]float64(nil), values...)
+	m := stats.Mean(cp)
+	for i := range cp {
+		cp[i] -= m
+	}
+	half := n / 2
+	sig := make([]float64, bands)
+	for k := 1; k <= half; k++ {
+		p := goertzelPower(cp, k)
+		band := (k - 1) * bands / half
+		if band >= bands {
+			band = bands - 1
+		}
+		sig[band] += p
+	}
+	var total float64
+	for _, v := range sig {
+		total += v
+	}
+	if total > 0 {
+		for i := range sig {
+			sig[i] /= total
+		}
+	}
+	// Append the overall RMS so amplitude anomalies register alongside
+	// spectral-shape anomalies.
+	var rms float64
+	for _, v := range cp {
+		rms += v * v
+	}
+	sig = append(sig, math.Sqrt(rms/float64(n)))
+	return sig, nil
+}
+
+// goertzelPower returns the power of DFT bin k of xs.
+func goertzelPower(xs []float64, k int) float64 {
+	n := len(xs)
+	w := 2 * math.Pi * float64(k) / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range xs {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	return s1*s1 + s2*s2 - coeff*s1*s2
+}
+
+// Fit stores the normal reference; window prototypes are built lazily
+// at the scoring window size.
+func (d *Detector) Fit(values []float64) error {
+	if len(values) < 4*d.bands {
+		return fmt.Errorf("%w: reference of %d samples", detector.ErrInput, len(values))
+	}
+	d.reference = append(d.reference[:0], values...)
+	d.protos, d.protoSize = nil, 0
+	d.fitted = true
+	return nil
+}
+
+func (d *Detector) ensureProtos(size int) error {
+	if d.protos != nil && d.protoSize == size {
+		return nil
+	}
+	ws, err := timeseries.SlidingWindows(d.reference, size, maxInt(1, size/4))
+	if err != nil {
+		return err
+	}
+	if len(ws) < d.prototypes {
+		return fmt.Errorf("%w: reference yields %d windows for %d prototypes", detector.ErrInput, len(ws), d.prototypes)
+	}
+	sigs := make([][]float64, len(ws))
+	for i, w := range ws {
+		s, err := Signature(w.Values, d.bands)
+		if err != nil {
+			return err
+		}
+		sigs[i] = s
+	}
+	d.protos = kmeansVectors(sigs, d.prototypes, 30, rand.New(rand.NewSource(d.seed)))
+	d.protoSize = size
+	return nil
+}
+
+// ScoreWindows implements detector.WindowScorer.
+func (d *Detector) ScoreWindows(values []float64, size, stride int) ([]detector.WindowScore, error) {
+	if !d.fitted {
+		return nil, detector.ErrNotFitted
+	}
+	if err := d.ensureProtos(size); err != nil {
+		return nil, err
+	}
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]detector.WindowScore, len(ws))
+	for i, w := range ws {
+		sig, err := Signature(w.Values, d.bands)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = detector.WindowScore{Start: w.Start, Length: size, Score: nearestDist(sig, d.protos)}
+	}
+	return out, nil
+}
+
+// ScoreSeries implements detector.SeriesScorer: signatures of the batch
+// are clustered and each series scores by distance to the nearest
+// prototype.
+func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
+	if len(batch) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 series", detector.ErrInput)
+	}
+	sigs := make([][]float64, len(batch))
+	for i, s := range batch {
+		sig, err := Signature(s, d.bands)
+		if err != nil {
+			return nil, fmt.Errorf("series %d: %w", i, err)
+		}
+		sigs[i] = sig
+	}
+	k := d.prototypes
+	if k > len(batch)/2 {
+		k = maxInt(1, len(batch)/2)
+	}
+	protos := kmeansVectors(sigs, k, 30, rand.New(rand.NewSource(d.seed)))
+	// Assign each signature to its nearest prototype; minority
+	// prototypes (captured by a rare regime) add a support-deficit
+	// penalty so anomalies cannot hide behind their own prototype.
+	assign := make([]int, len(sigs))
+	sizes := make([]int, len(protos))
+	for i, sig := range sigs {
+		best, bestD := 0, math.Inf(1)
+		for c, p := range protos {
+			dd := stats.Euclidean(sig, p)
+			if dd < bestD {
+				bestD, best = dd, c
+			}
+		}
+		assign[i] = best
+		sizes[best]++
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	out := make([]float64, len(sigs))
+	for i, sig := range sigs {
+		out[i] = stats.Euclidean(sig, protos[assign[i]]) +
+			(1 - float64(sizes[assign[i]])/float64(maxSize))
+	}
+	return out, nil
+}
+
+func nearestDist(x []float64, protos [][]float64) float64 {
+	best := math.Inf(1)
+	for _, p := range protos {
+		dd := stats.Euclidean(x, p)
+		if dd < best {
+			best = dd
+		}
+	}
+	return best
+}
+
+// kmeansVectors is a plain Lloyd k-means used for prototype extraction.
+func kmeansVectors(items [][]float64, k, iters int, rng *rand.Rand) [][]float64 {
+	n := len(items)
+	if k > n {
+		k = n
+	}
+	centroids := make([][]float64, k)
+	perm := rng.Perm(n)
+	for c := 0; c < k; c++ {
+		centroids[c] = append([]float64(nil), items[perm[c]]...)
+	}
+	assign := make([]int, n)
+	for it := 0; it < iters; it++ {
+		changed := false
+		for i, x := range items {
+			best, bestD := 0, math.Inf(1)
+			for c, ct := range centroids {
+				dd := stats.SquaredEuclidean(x, ct)
+				if dd < bestD {
+					bestD, best = dd, c
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		for c := range centroids {
+			sum := make([]float64, len(centroids[c]))
+			cnt := 0
+			for i, x := range items {
+				if assign[i] != c {
+					continue
+				}
+				for j := range sum {
+					sum[j] += x[j]
+				}
+				cnt++
+			}
+			if cnt == 0 {
+				centroids[c] = append([]float64(nil), items[rng.Intn(n)]...)
+				continue
+			}
+			for j := range sum {
+				sum[j] /= float64(cnt)
+			}
+			centroids[c] = sum
+		}
+		if !changed && it > 0 {
+			break
+		}
+	}
+	return centroids
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,142 @@
+package vibration
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/detector"
+	"repro/internal/eval"
+	"repro/internal/generator"
+)
+
+func TestInfo(t *testing.T) {
+	info := New().Info()
+	if info.Name != "vibration-signature" || info.Family != detector.FamilyDA {
+		t.Fatalf("info=%+v", info)
+	}
+	if info.Capability.String() != "-xx" {
+		t.Fatalf("capability=%v", info.Capability)
+	}
+}
+
+func TestSignatureBasics(t *testing.T) {
+	// A pure low-frequency tone puts its energy in the first band; a
+	// high-frequency tone in the last.
+	n := 256
+	low := make([]float64, n)
+	high := make([]float64, n)
+	for i := range low {
+		low[i] = math.Sin(2 * math.Pi * float64(i) * 2 / float64(n))
+		high[i] = math.Sin(2 * math.Pi * float64(i) * 120 / float64(n))
+	}
+	sl, err := Signature(low, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := Signature(high, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sl) != 9 { // 8 bands + RMS
+		t.Fatalf("signature len=%d", len(sl))
+	}
+	if sl[0] < 0.9 {
+		t.Fatalf("low tone band0=%v want ~1", sl[0])
+	}
+	if sh[7] < 0.9 {
+		t.Fatalf("high tone band7=%v want ~1", sh[7])
+	}
+	if _, err := Signature(make([]float64, 4), 8); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short window")
+	}
+}
+
+func TestSignatureDCInvariant(t *testing.T) {
+	n := 128
+	a := make([]float64, n)
+	b := make([]float64, n)
+	for i := range a {
+		v := math.Sin(2 * math.Pi * float64(i) / 16)
+		a[i] = v
+		b[i] = v + 100 // large DC offset
+	}
+	sa, _ := Signature(a, 8)
+	sb, _ := Signature(b, 8)
+	for i := range sa {
+		if math.Abs(sa[i]-sb[i]) > 1e-6 {
+			t.Fatalf("DC offset changed signature at band %d: %v vs %v", i, sa[i], sb[i])
+		}
+	}
+}
+
+func TestUnfitted(t *testing.T) {
+	if _, err := New().ScoreWindows(make([]float64, 256), 64, 8); !errors.Is(err, detector.ErrNotFitted) {
+		t.Fatal("want ErrNotFitted")
+	}
+	if err := New().Fit(make([]float64, 4)); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for tiny reference")
+	}
+}
+
+func TestDetectsFrequencyAnomaly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	clean, _ := generator.SubseqWorkload(4096, 64, 0, rng)
+	dirty, _ := generator.SubseqWorkload(4096, 64, 4, rng)
+	d := New()
+	if err := d.Fit(clean.Series.Values); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := d.ScoreWindows(dirty.Series.Values, 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores := make([]float64, len(ws))
+	truth := make([]bool, len(ws))
+	for i, w := range ws {
+		scores[i] = w.Score
+		for k := w.Start; k < w.Start+64; k++ {
+			if dirty.PointLabels[k] {
+				truth[i] = true
+				break
+			}
+		}
+	}
+	auc, err := eval.ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("AUC=%.3f, want >= 0.8 for spectral anomalies", auc)
+	}
+}
+
+func TestScoreSeriesSeparatesFrequencyRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	lab, _ := generator.SeriesWorkload(24, 4, 256, rng)
+	batch := make([][]float64, len(lab.Series))
+	for i, s := range lab.Series {
+		batch[i] = s.Values
+	}
+	scores, err := New().ScoreSeries(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auc, err := eval.ROCAUC(scores, lab.Labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.85 {
+		t.Fatalf("AUC=%.3f, want >= 0.85: anomalous regime differs in frequency", auc)
+	}
+}
+
+func TestScoreSeriesErrors(t *testing.T) {
+	if _, err := New().ScoreSeries(nil); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+	if _, err := New().ScoreSeries([][]float64{{1}, {2}}); !errors.Is(err, detector.ErrInput) {
+		t.Fatal("want ErrInput for short series")
+	}
+}

@@ -1,0 +1,281 @@
+// Package eval provides the detection-quality metrics used by the
+// experiment harness: confusion-matrix metrics, threshold-free ranking
+// metrics (ROC-AUC, PR-AUC, precision@k) and the point-adjusted protocol
+// for range anomalies.
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInput is returned for malformed metric inputs.
+var ErrInput = errors.New("eval: invalid input")
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Confuse tallies predictions against truth.
+func Confuse(pred, truth []bool) (Confusion, error) {
+	if len(pred) != len(truth) {
+		return Confusion{}, fmt.Errorf("%w: %d predictions, %d labels", ErrInput, len(pred), len(truth))
+	}
+	var c Confusion
+	for i := range pred {
+		switch {
+		case pred[i] && truth[i]:
+			c.TP++
+		case pred[i] && !truth[i]:
+			c.FP++
+		case !pred[i] && truth[i]:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}
+
+// Precision is TP / (TP + FP); 0 when nothing was predicted positive.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is TP / (TP + FN); 0 when there are no positives.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Accuracy is (TP + TN) / total.
+func (c Confusion) Accuracy() float64 {
+	total := c.TP + c.FP + c.TN + c.FN
+	if total == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(total)
+}
+
+func (c Confusion) String() string {
+	return fmt.Sprintf("TP=%d FP=%d TN=%d FN=%d P=%.3f R=%.3f F1=%.3f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.F1())
+}
+
+// ROCAUC returns the area under the ROC curve for scores (higher = more
+// anomalous) against boolean truth. Ties receive the standard half
+// credit (the Mann-Whitney formulation). It returns an error unless both
+// classes are present.
+func ROCAUC(scores []float64, truth []bool) (float64, error) {
+	if len(scores) != len(truth) {
+		return 0, fmt.Errorf("%w: %d scores, %d labels", ErrInput, len(scores), len(truth))
+	}
+	var pos, neg int
+	for _, b := range truth {
+		if b {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0, fmt.Errorf("%w: ROC needs both classes (pos=%d neg=%d)", ErrInput, pos, neg)
+	}
+	// Rank-sum with midranks for ties.
+	type sl struct {
+		s float64
+		y bool
+	}
+	items := make([]sl, len(scores))
+	for i := range scores {
+		items[i] = sl{scores[i], truth[i]}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].s < items[j].s })
+	var rankSum float64
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].s == items[i].s {
+			j++
+		}
+		// midrank of the tie group [i, j), 1-based ranks
+		mid := float64(i+j+1) / 2
+		for k := i; k < j; k++ {
+			if items[k].y {
+				rankSum += mid
+			}
+		}
+		i = j
+	}
+	p, n := float64(pos), float64(neg)
+	return (rankSum - p*(p+1)/2) / (p * n), nil
+}
+
+// PRAUC returns the area under the precision-recall curve using the
+// step-wise (average precision) estimator.
+func PRAUC(scores []float64, truth []bool) (float64, error) {
+	if len(scores) != len(truth) {
+		return 0, fmt.Errorf("%w: %d scores, %d labels", ErrInput, len(scores), len(truth))
+	}
+	var pos int
+	for _, b := range truth {
+		if b {
+			pos++
+		}
+	}
+	if pos == 0 {
+		return 0, fmt.Errorf("%w: PR-AUC needs positive labels", ErrInput)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	var tp, fp int
+	var ap float64
+	for _, i := range idx {
+		if truth[i] {
+			tp++
+			ap += float64(tp) / float64(tp+fp)
+		} else {
+			fp++
+		}
+	}
+	return ap / float64(pos), nil
+}
+
+// PrecisionAtK returns the fraction of the k highest-scored items that
+// are true anomalies. k is clamped to the sample size.
+func PrecisionAtK(scores []float64, truth []bool, k int) (float64, error) {
+	if len(scores) != len(truth) {
+		return 0, fmt.Errorf("%w: %d scores, %d labels", ErrInput, len(scores), len(truth))
+	}
+	if k <= 0 {
+		return 0, fmt.Errorf("%w: k=%d", ErrInput, k)
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	hit := 0
+	for _, i := range idx[:k] {
+		if truth[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(k), nil
+}
+
+// Threshold returns pred[i] = scores[i] >= thresh.
+func Threshold(scores []float64, thresh float64) []bool {
+	out := make([]bool, len(scores))
+	for i, s := range scores {
+		out[i] = s >= thresh
+	}
+	return out
+}
+
+// TopKThreshold returns the score value such that exactly the k highest
+// scores are at or above it (ties may admit more). Useful when the
+// expected contamination rate is known.
+func TopKThreshold(scores []float64, k int) float64 {
+	if len(scores) == 0 || k <= 0 {
+		return math.Inf(1)
+	}
+	if k > len(scores) {
+		k = len(scores)
+	}
+	cp := append([]float64(nil), scores...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(cp)))
+	return cp[k-1]
+}
+
+// PointAdjust expands predictions under the point-adjusted protocol:
+// when any point inside a true anomalous range is predicted, the whole
+// range counts as detected. Ranges are maximal runs of true labels.
+// This matches how operators consume alerts — one hit inside an episode
+// resolves the episode.
+func PointAdjust(pred, truth []bool) ([]bool, error) {
+	if len(pred) != len(truth) {
+		return nil, fmt.Errorf("%w: %d predictions, %d labels", ErrInput, len(pred), len(truth))
+	}
+	adj := append([]bool(nil), pred...)
+	i := 0
+	for i < len(truth) {
+		if !truth[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(truth) && truth[j] {
+			j++
+		}
+		hit := false
+		for k := i; k < j; k++ {
+			if pred[k] {
+				hit = true
+				break
+			}
+		}
+		if hit {
+			for k := i; k < j; k++ {
+				adj[k] = true
+			}
+		}
+		i = j
+	}
+	return adj, nil
+}
+
+// EpisodeRecall returns the fraction of maximal true-anomaly runs that
+// contain at least one predicted point.
+func EpisodeRecall(pred, truth []bool) (float64, error) {
+	if len(pred) != len(truth) {
+		return 0, fmt.Errorf("%w: %d predictions, %d labels", ErrInput, len(pred), len(truth))
+	}
+	episodes, hits := 0, 0
+	i := 0
+	for i < len(truth) {
+		if !truth[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < len(truth) && truth[j] {
+			j++
+		}
+		episodes++
+		for k := i; k < j; k++ {
+			if pred[k] {
+				hits++
+				break
+			}
+		}
+		i = j
+	}
+	if episodes == 0 {
+		return 0, fmt.Errorf("%w: no anomaly episodes in truth", ErrInput)
+	}
+	return float64(hits) / float64(episodes), nil
+}

@@ -1,0 +1,243 @@
+package eval
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func near(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestConfusionBasics(t *testing.T) {
+	pred := []bool{true, true, false, false, true}
+	truth := []bool{true, false, true, false, true}
+	c, err := Confuse(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TP != 2 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion=%+v", c)
+	}
+	near(t, c.Precision(), 2.0/3.0, 1e-12, "precision")
+	near(t, c.Recall(), 2.0/3.0, 1e-12, "recall")
+	near(t, c.F1(), 2.0/3.0, 1e-12, "f1")
+	near(t, c.Accuracy(), 0.6, 1e-12, "accuracy")
+	if _, err := Confuse(pred, truth[:2]); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+}
+
+func TestConfusionDegenerate(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 || c.Accuracy() != 0 {
+		t.Fatal("empty confusion should be all zeros")
+	}
+	if c.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestROCAUCPerfectAndRandom(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []bool{true, true, false, false}
+	auc, err := ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, auc, 1, 1e-12, "perfect AUC")
+	// Inverted ranking gives 0.
+	inv, _ := ROCAUC([]float64{0.1, 0.2, 0.8, 0.9}, truth)
+	near(t, inv, 0, 1e-12, "inverted AUC")
+	// All ties give 0.5.
+	tie, _ := ROCAUC([]float64{5, 5, 5, 5}, truth)
+	near(t, tie, 0.5, 1e-12, "tied AUC")
+}
+
+func TestROCAUCErrors(t *testing.T) {
+	if _, err := ROCAUC([]float64{1}, []bool{true, false}); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for length mismatch")
+	}
+	if _, err := ROCAUC([]float64{1, 2}, []bool{true, true}); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for single class")
+	}
+}
+
+func TestROCAUCLargeRandomNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	scores := make([]float64, n)
+	truth := make([]bool, n)
+	for i := range scores {
+		scores[i] = rng.Float64()
+		truth[i] = rng.Float64() < 0.3
+	}
+	auc, err := ROCAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, auc, 0.5, 0.02, "random AUC")
+}
+
+func TestPRAUC(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	truth := []bool{true, true, false, false}
+	ap, err := PRAUC(scores, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, ap, 1, 1e-12, "perfect AP")
+	// Worst ranking: positives last → AP = (1/3 + 2/4)/2.
+	worst, _ := PRAUC([]float64{0.1, 0.2, 0.8, 0.9}, truth)
+	near(t, worst, (1.0/3.0+0.5)/2, 1e-12, "worst AP")
+	if _, err := PRAUC(scores, []bool{false, false, false, false}); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput without positives")
+	}
+	if _, err := PRAUC(scores[:1], truth); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for mismatch")
+	}
+}
+
+func TestPrecisionAtK(t *testing.T) {
+	scores := []float64{10, 9, 8, 1, 0}
+	truth := []bool{true, false, true, false, true}
+	p, err := PrecisionAtK(scores, truth, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, p, 2.0/3.0, 1e-12, "P@3")
+	// k beyond n clamps.
+	p2, _ := PrecisionAtK(scores, truth, 100)
+	near(t, p2, 3.0/5.0, 1e-12, "P@n")
+	if _, err := PrecisionAtK(scores, truth, 0); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for k=0")
+	}
+	if _, err := PrecisionAtK(scores[:1], truth, 1); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for mismatch")
+	}
+}
+
+func TestThresholdAndTopK(t *testing.T) {
+	scores := []float64{1, 5, 3, 2}
+	pred := Threshold(scores, 3)
+	want := []bool{false, true, true, false}
+	for i := range want {
+		if pred[i] != want[i] {
+			t.Fatalf("pred=%v", pred)
+		}
+	}
+	th := TopKThreshold(scores, 2)
+	near(t, th, 3, 0, "TopK threshold")
+	if !math.IsInf(TopKThreshold(nil, 3), 1) {
+		t.Fatal("empty TopKThreshold should be +Inf")
+	}
+	near(t, TopKThreshold(scores, 100), 1, 0, "clamped k")
+}
+
+func TestPointAdjust(t *testing.T) {
+	truth := []bool{false, true, true, true, false, true, true, false}
+	pred := []bool{false, false, true, false, false, false, false, false}
+	adj, err := PointAdjust(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, true, true, false, false, false, false}
+	for i := range want {
+		if adj[i] != want[i] {
+			t.Fatalf("adj=%v want %v", adj, want)
+		}
+	}
+	// False positives outside ranges survive adjustment.
+	pred2 := []bool{true, false, false, false, false, false, false, false}
+	adj2, _ := PointAdjust(pred2, truth)
+	if !adj2[0] {
+		t.Fatal("FP outside episode must remain")
+	}
+	if _, err := PointAdjust(pred[:2], truth); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput")
+	}
+}
+
+func TestEpisodeRecall(t *testing.T) {
+	truth := []bool{false, true, true, false, true, false}
+	pred := []bool{false, true, false, false, false, false}
+	r, err := EpisodeRecall(pred, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near(t, r, 0.5, 1e-12, "episode recall")
+	if _, err := EpisodeRecall(pred, make([]bool, 6)); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput without episodes")
+	}
+	if _, err := EpisodeRecall(pred[:1], truth); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for mismatch")
+	}
+}
+
+// Property: AUC of scores equals 1 - AUC of negated scores.
+func TestPropertyAUCSymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		scores := make([]float64, n)
+		truth := make([]bool, n)
+		pos := 0
+		for i := range scores {
+			scores[i] = rng.NormFloat64()
+			truth[i] = rng.Float64() < 0.4
+			if truth[i] {
+				pos++
+			}
+		}
+		if pos == 0 || pos == n {
+			return true
+		}
+		neg := make([]float64, n)
+		for i, s := range scores {
+			neg[i] = -s
+		}
+		a, err1 := ROCAUC(scores, truth)
+		b, err2 := ROCAUC(neg, truth)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(a+b-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: point adjustment never reduces the predicted set and never
+// flips a prediction off.
+func TestPropertyPointAdjustMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		pred := make([]bool, n)
+		truth := make([]bool, n)
+		for i := range pred {
+			pred[i] = rng.Float64() < 0.2
+			truth[i] = rng.Float64() < 0.3
+		}
+		adj, err := PointAdjust(pred, truth)
+		if err != nil {
+			return false
+		}
+		for i := range pred {
+			if pred[i] && !adj[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

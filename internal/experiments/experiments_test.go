@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRunTable1AllCapabilitiesScored(t *testing.T) {
+	res, err := RunTable1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 21 {
+		t.Fatalf("rows=%d want 21", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		c := row.Info.Capability
+		if c.Points != !math.IsNaN(row.AUCPts) {
+			t.Errorf("%s: PTS declared=%v scored=%v", row.Info.Name, c.Points, !math.IsNaN(row.AUCPts))
+		}
+		if c.Subsequences != !math.IsNaN(row.AUCSsq) {
+			t.Errorf("%s: SSQ declared=%v scored=%v", row.Info.Name, c.Subsequences, !math.IsNaN(row.AUCSsq))
+		}
+		if c.Series != !math.IsNaN(row.AUCTss) {
+			t.Errorf("%s: TSS declared=%v scored=%v", row.Info.Name, c.Series, !math.IsNaN(row.AUCTss))
+		}
+		// Every conformance run must produce a valid AUC in [0, 1].
+		for _, auc := range []float64{row.AUCPts, row.AUCSsq, row.AUCTss} {
+			if !math.IsNaN(auc) && (auc < 0 || auc > 1) {
+				t.Errorf("%s: AUC %v out of range", row.Info.Name, auc)
+			}
+		}
+	}
+	out := res.String()
+	if !strings.Contains(out, "Match Count Sequence Similarity") {
+		t.Fatal("render missing rows")
+	}
+}
+
+func TestRunFig1ShapesAndSignal(t *testing.T) {
+	res, err := RunFig1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AUC) != 4 || len(res.AUC[0]) != len(Fig1Panel) {
+		t.Fatalf("matrix %dx%d", len(res.AUC), len(res.AUC[0]))
+	}
+	// The AR predictive model must be strong on additive outliers
+	// (row 0) — the shape every PM evaluation reports.
+	arIdx := -1
+	for i, n := range res.Detectors {
+		if n == "ar" {
+			arIdx = i
+		}
+	}
+	if res.AUC[0][arIdx] < 0.9 {
+		t.Fatalf("AR on AO AUC=%.3f want >= 0.9", res.AUC[0][arIdx])
+	}
+	if !strings.Contains(res.String(), "additive-outlier") {
+		t.Fatal("render missing outlier types")
+	}
+}
+
+func TestRunFig2Census(t *testing.T) {
+	res, err := RunFig2(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Levels) != 5 {
+		t.Fatalf("levels=%d", len(res.Levels))
+	}
+	// Level 1 must be the highest-resolution view.
+	if res.Levels[0].SamplesEach <= res.Levels[3].SamplesEach {
+		t.Fatal("phase level should out-resolve the line level")
+	}
+	// Level 2 must be the highest-dimensional per-item view.
+	if res.Levels[1].Dimensionality <= res.Levels[3].Dimensionality {
+		t.Fatal("job level should be higher-dimensional than line level")
+	}
+	if !strings.Contains(res.String(), "environment") {
+		t.Fatal("render missing levels")
+	}
+}
+
+func TestRunFig3ReproducesShape(t *testing.T) {
+	res, err := RunFig3(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	byTerm := map[string]int{}
+	for _, r := range res.Rows {
+		byTerm[r.Term] = r.TimeSeries
+	}
+	if byTerm["anomaly detection"] <= byTerm["outlier detection"] {
+		t.Fatal("anomaly detection must dominate outlier detection (Fig. 3 shape)")
+	}
+	if !strings.Contains(res.String(), "anomaly detection") {
+		t.Fatal("render missing terms")
+	}
+}
+
+func TestRunAlg1SupportSeparates(t *testing.T) {
+	res, err := RunAlg1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FaultSupport <= res.MeasSupport {
+		t.Fatalf("fault support %.3f must exceed measurement-error support %.3f",
+			res.FaultSupport, res.MeasSupport)
+	}
+	if res.SupportAUC < 0.9 {
+		t.Fatalf("support AUC=%.3f want >= 0.9", res.SupportAUC)
+	}
+	if res.FaultGlobalScore <= res.MeasGlobalScore {
+		t.Fatalf("fault global score %.3f must exceed measurement-error %.3f",
+			res.FaultGlobalScore, res.MeasGlobalScore)
+	}
+	if !strings.Contains(res.String(), "mean support") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunFlatVsHier(t *testing.T) {
+	res, err := RunFlatVsHier(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hierarchical rule must improve fault-identification
+	// precision over the flat baseline without collapsing recall.
+	if res.Hier.Precision <= res.Flat.Precision {
+		t.Fatalf("hierarchical precision %.3f must beat flat %.3f",
+			res.Hier.Precision, res.Flat.Precision)
+	}
+	if res.Hier.F1 <= res.Flat.F1 {
+		t.Fatalf("hierarchical F1 %.3f must beat flat %.3f", res.Hier.F1, res.Flat.F1)
+	}
+	if !strings.Contains(res.String(), "flat (single level)") {
+		t.Fatal("render incomplete")
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	res, err := RunAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Variants) != 4 {
+		t.Fatalf("variants=%d", len(res.Variants))
+	}
+	full := res.Variants[0]
+	noDown := res.Variants[2]
+	if noDown.Warnings != 0 {
+		t.Fatal("no-down-pass variant must not warn")
+	}
+	if full.SupportAUC < 0.85 {
+		t.Fatalf("full algorithm support AUC=%.3f", full.SupportAUC)
+	}
+	if !strings.Contains(res.String(), "naive phase detector") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/corpus"
+	"repro/internal/detector"
+	"repro/internal/detector/registry"
+	"repro/internal/eval"
+	"repro/internal/generator"
+	"repro/internal/plant"
+)
+
+// Fig1Result reproduces Fig. 1: for each of the four Fox outlier
+// types, the detection quality (ROC-AUC) of a panel of point
+// detectors.
+type Fig1Result struct {
+	Types     []generator.OutlierType
+	Detectors []string
+	// AUC[t][d] is the ROC-AUC of detector d on outlier type t.
+	AUC [][]float64
+}
+
+// Fig1Panel lists the point detectors exercised per outlier type.
+var Fig1Panel = []string{"ar", "em-gmm", "pca-space", "one-class-svm", "som", "single-linkage", "olap-cube", "hist-deviant", "profile"}
+
+// RunFig1 injects each Fig. 1 outlier type separately and measures how
+// well each PTS-capable detector recovers it.
+func RunFig1(seed int64) (*Fig1Result, error) {
+	res := &Fig1Result{Types: generator.AllOutlierTypes, Detectors: Fig1Panel}
+	cfg := generator.Config{N: 3000, Phi: 0.6}
+	for ti, typ := range generator.AllOutlierTypes {
+		clean, err := generator.Workload(cfg, typ, 0, 0, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		train, err := generator.Workload(cfg, typ, 8, 7, rand.New(rand.NewSource(seed+int64(ti)+1)))
+		if err != nil {
+			return nil, err
+		}
+		test, err := generator.Workload(cfg, typ, 8, 7, rand.New(rand.NewSource(seed+int64(ti)+100)))
+		if err != nil {
+			return nil, err
+		}
+		row := make([]float64, len(Fig1Panel))
+		for di, name := range Fig1Panel {
+			entry, err := registry.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			d := entry.New()
+			if sup, ok := d.(detector.SupervisedPoint); ok {
+				if err := sup.FitPoints(train.Series.Values, train.PointLabels); err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+			} else if f, ok := d.(detector.Fitter); ok {
+				if err := f.Fit(clean.Series.Values); err != nil {
+					return nil, fmt.Errorf("%s: %w", name, err)
+				}
+			}
+			ps, ok := d.(detector.PointScorer)
+			if !ok {
+				return nil, fmt.Errorf("%s: not a point scorer", name)
+			}
+			scores, err := ps.ScorePoints(test.Series.Values)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			auc, err := eval.ROCAUC(scores, test.PointLabels)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", name, err)
+			}
+			row[di] = auc
+		}
+		res.AUC = append(res.AUC, row)
+	}
+	return res, nil
+}
+
+// String renders the Fig. 1 detection matrix.
+func (r *Fig1Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-20s", "outlier type")
+	for _, d := range r.Detectors {
+		fmt.Fprintf(&b, " %-14s", d)
+	}
+	b.WriteByte('\n')
+	for ti, typ := range r.Types {
+		fmt.Fprintf(&b, "%-20s", typ)
+		for di := range r.Detectors {
+			fmt.Fprintf(&b, " %-14.3f", r.AUC[ti][di])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// LevelCensus describes one hierarchy level's data shape in the
+// simulated plant — the reproduction of Fig. 2's structural claims.
+type LevelCensus struct {
+	Level          string
+	DataKind       string
+	Series         int // number of series / vectors at this level
+	Dimensionality int
+	SamplesEach    int
+}
+
+// Fig2Result is the level census.
+type Fig2Result struct {
+	Levels []LevelCensus
+}
+
+// RunFig2 simulates the plant and reports, per hierarchy level, the
+// data shape the level provides.
+func RunFig2(seed int64) (*Fig2Result, error) {
+	p, err := plant.Simulate(plant.Config{Seed: seed, FaultRate: 0.2, MeasurementErrorRate: 0.2})
+	if err != nil {
+		return nil, err
+	}
+	machines := p.Machines()
+	m := machines[0]
+	stream, err := m.PhaseStream()
+	if err != nil {
+		return nil, err
+	}
+	jv := m.JobVectors()
+	ls, err := m.LineSeries()
+	if err != nil {
+		return nil, err
+	}
+	prod, err := p.ProductionSeries()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{Levels: []LevelCensus{
+		{Level: "1 phase", DataKind: "multi-dimensional high-resolution time series", Series: len(machines), Dimensionality: stream.Width(), SamplesEach: stream.Len()},
+		{Level: "2 job", DataKind: "high-dimensional setup + CAQ vectors", Series: len(machines), Dimensionality: len(jv[0]), SamplesEach: len(jv)},
+		{Level: "3 environment", DataKind: "co-measured climate time series", Series: 1, Dimensionality: p.Environment.Width(), SamplesEach: p.Environment.Len()},
+		{Level: "4 production line", DataKind: "per-job aggregate time series", Series: len(machines), Dimensionality: 1, SamplesEach: ls.Len()},
+		{Level: "5 production", DataKind: "cross-machine series batch", Series: 1, Dimensionality: len(prod), SamplesEach: prod[0].Len()},
+	}}
+	return res, nil
+}
+
+// String renders the level census.
+func (r *Fig2Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-48s %-8s %-6s %-10s\n", "level", "data kind", "series", "dims", "samples")
+	for _, l := range r.Levels {
+		fmt.Fprintf(&b, "%-18s %-48s %-8d %-6d %-10d\n", l.Level, l.DataKind, l.Series, l.Dimensionality, l.SamplesEach)
+	}
+	return b.String()
+}
+
+// Fig3Result wraps the reproduced bibliometric counts.
+type Fig3Result struct {
+	Rows []corpus.Fig3Row
+}
+
+// RunFig3 generates the calibrated corpus and executes the Fig. 3
+// query pipeline on the search engine.
+func RunFig3(seed int64) (*Fig3Result, error) {
+	e := corpus.NewEngine(corpus.GenerateFig3Corpus(rand.New(rand.NewSource(seed))))
+	rows, err := corpus.RunFig3(e)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{Rows: rows}, nil
+}
+
+// String renders the Fig. 3 bar data as a table with unit-scaled bars.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-12s %-12s %s\n", "term", "time series", "autom.ctrl", "")
+	max := 1
+	for _, row := range r.Rows {
+		if row.TimeSeries > max {
+			max = row.TimeSeries
+		}
+	}
+	for _, row := range r.Rows {
+		bar := strings.Repeat("#", row.TimeSeries*40/max)
+		fmt.Fprintf(&b, "%-24s %-12d %-12d %s\n", row.Term, row.TimeSeries, row.Automation, bar)
+	}
+	return b.String()
+}

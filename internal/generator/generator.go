@@ -1,0 +1,275 @@
+// Package generator synthesises labelled workloads for the detector
+// conformance runs and the paper's Fig. 1 experiment. It produces base
+// signals (AR noise, sinusoids, trends), injects the four temporal
+// outlier types of Fox (1972) shown in Fig. 1 — additive outlier,
+// innovative outlier, temporary change, level shift — and also
+// subsequence and whole-series anomalies, always together with exact
+// ground-truth labels.
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// OutlierType enumerates the four temporal outlier types of Fig. 1.
+type OutlierType int
+
+const (
+	// AdditiveOutlier is an isolated spike: one sample is displaced,
+	// the process itself is untouched.
+	AdditiveOutlier OutlierType = iota
+	// InnovativeOutlier is a shock entering the process dynamics: the
+	// disturbance feeds through the AR recursion and decays with the
+	// process memory.
+	InnovativeOutlier
+	// TemporaryChange shifts the level and decays geometrically back to
+	// normal.
+	TemporaryChange
+	// LevelShift permanently moves the process mean.
+	LevelShift
+)
+
+// String returns the conventional name of the outlier type.
+func (o OutlierType) String() string {
+	switch o {
+	case AdditiveOutlier:
+		return "additive-outlier"
+	case InnovativeOutlier:
+		return "innovative-outlier"
+	case TemporaryChange:
+		return "temporary-change"
+	case LevelShift:
+		return "level-shift"
+	default:
+		return fmt.Sprintf("OutlierType(%d)", int(o))
+	}
+}
+
+// AllOutlierTypes lists the four Fig. 1 types in paper order.
+var AllOutlierTypes = []OutlierType{AdditiveOutlier, InnovativeOutlier, TemporaryChange, LevelShift}
+
+// Injection records one injected anomaly: its type, onset index, the
+// indexes materially affected, and the magnitude in units of the base
+// noise standard deviation.
+type Injection struct {
+	Type      OutlierType
+	At        int
+	Affected  []int
+	Magnitude float64
+}
+
+// Labeled couples a generated series with its ground truth.
+type Labeled struct {
+	Series     *timeseries.Series
+	Injections []Injection
+	// PointLabels[i] is true when sample i belongs to an injected
+	// anomaly (the Affected set of any injection).
+	PointLabels []bool
+}
+
+// AnomalyIndexes returns the sorted affected indexes of all injections.
+func (l *Labeled) AnomalyIndexes() []int {
+	var out []int
+	for i, b := range l.PointLabels {
+		if b {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Config parameterises base-signal generation.
+type Config struct {
+	N        int           // number of samples
+	Step     time.Duration // sample period (default 1s)
+	Phi      float64       // AR(1) coefficient of the noise (0 = white)
+	NoiseStd float64       // innovation standard deviation (default 1)
+	Level    float64       // base level
+	// Seasonal component: amplitude × sin(2π t / Period). Period 0
+	// disables it.
+	SeasonAmp    float64
+	SeasonPeriod int
+	Trend        float64 // per-sample linear drift
+}
+
+func (c Config) withDefaults() Config {
+	if c.Step <= 0 {
+		c.Step = time.Second
+	}
+	if c.NoiseStd <= 0 {
+		c.NoiseStd = 1
+	}
+	return c
+}
+
+// Base generates the clean signal described by cfg using rng.
+func Base(cfg Config, rng *rand.Rand) *timeseries.Series {
+	cfg = cfg.withDefaults()
+	vs := make([]float64, cfg.N)
+	var ar float64
+	for t := 0; t < cfg.N; t++ {
+		ar = cfg.Phi*ar + rng.NormFloat64()*cfg.NoiseStd
+		v := cfg.Level + ar + cfg.Trend*float64(t)
+		if cfg.SeasonPeriod > 0 {
+			v += cfg.SeasonAmp * math.Sin(2*math.Pi*float64(t)/float64(cfg.SeasonPeriod))
+		}
+		vs[t] = v
+	}
+	return timeseries.New("synthetic", time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), cfg.Step, vs)
+}
+
+// Inject applies one outlier of the given type at index at with the
+// given magnitude (in noise standard deviations) to the series, and
+// returns the injection record. phi is the process memory used by the
+// innovative outlier and the temporary change decay (clamped to
+// [0, 0.95]); pass the Config.Phi used for the base signal.
+func Inject(s *timeseries.Series, typ OutlierType, at int, magnitudeSD, noiseStd, phi float64) (Injection, error) {
+	n := s.Len()
+	if at < 0 || at >= n {
+		return Injection{}, fmt.Errorf("generator: injection index %d out of [0,%d)", at, n)
+	}
+	if phi < 0 {
+		phi = 0
+	}
+	if phi > 0.95 {
+		phi = 0.95
+	}
+	amp := magnitudeSD * noiseStd
+	inj := Injection{Type: typ, At: at, Magnitude: magnitudeSD}
+	switch typ {
+	case AdditiveOutlier:
+		s.Values[at] += amp
+		inj.Affected = []int{at}
+	case InnovativeOutlier:
+		// The shock propagates through the AR dynamics: effect at
+		// t ≥ at is amp·φ^(t-at). Mark indexes until the effect decays
+		// below half a standard deviation.
+		effect := amp
+		for t := at; t < n && math.Abs(effect) >= 0.5*noiseStd; t++ {
+			s.Values[t] += effect
+			inj.Affected = append(inj.Affected, t)
+			effect *= phi
+		}
+		if len(inj.Affected) == 0 {
+			s.Values[at] += amp
+			inj.Affected = []int{at}
+		}
+	case TemporaryChange:
+		// Decay constant fixed at the conventional 0.8 unless the
+		// process memory is stronger.
+		delta := math.Max(0.8, phi)
+		effect := amp
+		for t := at; t < n && math.Abs(effect) >= 0.5*noiseStd; t++ {
+			s.Values[t] += effect
+			inj.Affected = append(inj.Affected, t)
+			effect *= delta
+		}
+		if len(inj.Affected) == 0 {
+			s.Values[at] += amp
+			inj.Affected = []int{at}
+		}
+	case LevelShift:
+		for t := at; t < n; t++ {
+			s.Values[t] += amp
+		}
+		// Only the onset region is labelled anomalous: after the shift
+		// the new level is the new normal. We mark a short onset run so
+		// point-adjusted evaluation has a target range.
+		run := 5
+		if at+run > n {
+			run = n - at
+		}
+		for t := at; t < at+run; t++ {
+			inj.Affected = append(inj.Affected, t)
+		}
+	default:
+		return Injection{}, fmt.Errorf("generator: unknown outlier type %d", int(typ))
+	}
+	return inj, nil
+}
+
+// Workload draws a base signal and injects count outliers of the given
+// type at well-separated positions. Magnitude is in noise standard
+// deviations.
+func Workload(cfg Config, typ OutlierType, count int, magnitudeSD float64, rng *rand.Rand) (*Labeled, error) {
+	cfg = cfg.withDefaults()
+	if count < 0 {
+		return nil, fmt.Errorf("generator: negative injection count %d", count)
+	}
+	s := Base(cfg, rng)
+	lab := &Labeled{Series: s, PointLabels: make([]bool, cfg.N)}
+	if count == 0 {
+		return lab, nil
+	}
+	positions, err := spacedPositions(cfg.N, count, rng)
+	if err != nil {
+		return nil, err
+	}
+	for _, at := range positions {
+		inj, err := Inject(s, typ, at, magnitudeSD, cfg.NoiseStd, cfg.Phi)
+		if err != nil {
+			return nil, err
+		}
+		lab.Injections = append(lab.Injections, inj)
+		for _, i := range inj.Affected {
+			lab.PointLabels[i] = true
+		}
+	}
+	return lab, nil
+}
+
+// MixedWorkload injects a mixture of all four types, cycling through
+// them, for the capability conformance runs.
+func MixedWorkload(cfg Config, count int, magnitudeSD float64, rng *rand.Rand) (*Labeled, error) {
+	cfg = cfg.withDefaults()
+	s := Base(cfg, rng)
+	lab := &Labeled{Series: s, PointLabels: make([]bool, cfg.N)}
+	if count <= 0 {
+		return lab, nil
+	}
+	positions, err := spacedPositions(cfg.N, count, rng)
+	if err != nil {
+		return nil, err
+	}
+	for k, at := range positions {
+		typ := AllOutlierTypes[k%len(AllOutlierTypes)]
+		inj, err := Inject(s, typ, at, magnitudeSD, cfg.NoiseStd, cfg.Phi)
+		if err != nil {
+			return nil, err
+		}
+		lab.Injections = append(lab.Injections, inj)
+		for _, i := range inj.Affected {
+			lab.PointLabels[i] = true
+		}
+	}
+	return lab, nil
+}
+
+// spacedPositions picks count injection positions, keeping a margin from
+// the edges and a minimum gap so injected anomalies do not overlap.
+func spacedPositions(n, count int, rng *rand.Rand) ([]int, error) {
+	margin := n / 10
+	if margin < 2 {
+		margin = 2
+	}
+	usable := n - 2*margin
+	if usable < count {
+		return nil, fmt.Errorf("generator: cannot place %d injections in %d samples", count, n)
+	}
+	gap := usable / count
+	out := make([]int, count)
+	for k := 0; k < count; k++ {
+		lo := margin + k*gap
+		jitterSpan := gap / 2
+		if jitterSpan < 1 {
+			jitterSpan = 1
+		}
+		out[k] = lo + rng.Intn(jitterSpan)
+	}
+	return out, nil
+}

@@ -1,0 +1,346 @@
+package generator
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestBaseShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := Base(Config{N: 1000, Level: 50, NoiseStd: 2}, rng)
+	if s.Len() != 1000 {
+		t.Fatalf("len=%d", s.Len())
+	}
+	m, sd := stats.MeanStd(s.Values)
+	if math.Abs(m-50) > 0.5 {
+		t.Fatalf("mean=%v want ~50", m)
+	}
+	if math.Abs(sd-2) > 0.3 {
+		t.Fatalf("std=%v want ~2", sd)
+	}
+}
+
+func TestBaseTrendAndSeason(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s := Base(Config{N: 2000, Trend: 0.1, NoiseStd: 0.01}, rng)
+	// End should be ~0.1*1999 above start.
+	if diff := s.Values[1999] - s.Values[0]; math.Abs(diff-199.9) > 1 {
+		t.Fatalf("trend diff=%v", diff)
+	}
+	s2 := Base(Config{N: 256, SeasonAmp: 10, SeasonPeriod: 64, NoiseStd: 0.01}, rng)
+	lo, hi := stats.MinMax(s2.Values)
+	if hi < 9 || lo > -9 {
+		t.Fatalf("season range [%v,%v]", lo, hi)
+	}
+}
+
+func TestBaseARMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := Base(Config{N: 8192, Phi: 0.8}, rng)
+	ac := stats.Autocorrelation(s.Values, 1)
+	if math.Abs(ac[1]-0.8) > 0.05 {
+		t.Fatalf("ac[1]=%v want ~0.8", ac[1])
+	}
+}
+
+func TestInjectAdditive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Base(Config{N: 100}, rng)
+	before := s.Values[50]
+	inj, err := Inject(s, AdditiveOutlier, 50, 6, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Affected) != 1 || inj.Affected[0] != 50 {
+		t.Fatalf("affected=%v", inj.Affected)
+	}
+	if math.Abs(s.Values[50]-before-6) > 1e-12 {
+		t.Fatalf("spike delta=%v", s.Values[50]-before)
+	}
+}
+
+func TestInjectInnovativeDecays(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := Base(Config{N: 200, Phi: 0.7}, rng)
+	inj, err := Inject(s, InnovativeOutlier, 100, 8, 1, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Affected) < 3 {
+		t.Fatalf("innovative outlier should affect several samples, got %d", len(inj.Affected))
+	}
+	// Effect decays: affected set is contiguous from the onset.
+	for i, idx := range inj.Affected {
+		if idx != 100+i {
+			t.Fatalf("affected not contiguous: %v", inj.Affected)
+		}
+	}
+}
+
+func TestInjectTemporaryChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := Base(Config{N: 300, NoiseStd: 0.5}, rng)
+	inj, err := Inject(s, TemporaryChange, 150, 8, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj.Affected) < 5 {
+		t.Fatalf("TC should persist several samples, got %d", len(inj.Affected))
+	}
+	last := inj.Affected[len(inj.Affected)-1]
+	if last >= 299 {
+		t.Fatal("TC should decay before series end")
+	}
+}
+
+func TestInjectLevelShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := Base(Config{N: 200, NoiseStd: 1}, rng)
+	preMean := stats.Mean(s.Values[:100])
+	inj, err := Inject(s, LevelShift, 100, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postMean := stats.Mean(s.Values[100:])
+	if math.Abs(postMean-preMean-5) > 1 {
+		t.Fatalf("shift=%v want ~5", postMean-preMean)
+	}
+	if len(inj.Affected) != 5 {
+		t.Fatalf("LS onset run=%d want 5", len(inj.Affected))
+	}
+}
+
+func TestInjectErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	s := Base(Config{N: 10}, rng)
+	if _, err := Inject(s, AdditiveOutlier, -1, 5, 1, 0); err == nil {
+		t.Fatal("want error for negative index")
+	}
+	if _, err := Inject(s, AdditiveOutlier, 10, 5, 1, 0); err == nil {
+		t.Fatal("want error for out-of-range index")
+	}
+	if _, err := Inject(s, OutlierType(99), 5, 5, 1, 0); err == nil {
+		t.Fatal("want error for unknown type")
+	}
+}
+
+func TestOutlierTypeString(t *testing.T) {
+	names := map[OutlierType]string{
+		AdditiveOutlier:   "additive-outlier",
+		InnovativeOutlier: "innovative-outlier",
+		TemporaryChange:   "temporary-change",
+		LevelShift:        "level-shift",
+	}
+	for typ, want := range names {
+		if typ.String() != want {
+			t.Fatalf("%d.String()=%q", int(typ), typ.String())
+		}
+	}
+	if OutlierType(42).String() != "OutlierType(42)" {
+		t.Fatal("unknown type string")
+	}
+}
+
+func TestWorkloadLabels(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lab, err := Workload(Config{N: 1000}, AdditiveOutlier, 10, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.Injections) != 10 {
+		t.Fatalf("injections=%d", len(lab.Injections))
+	}
+	anom := lab.AnomalyIndexes()
+	if len(anom) != 10 {
+		t.Fatalf("labelled points=%d want 10 for AO", len(anom))
+	}
+	// Positions are separated.
+	for i := 1; i < len(anom); i++ {
+		if anom[i]-anom[i-1] < 10 {
+			t.Fatalf("injections too close: %v", anom)
+		}
+	}
+}
+
+func TestWorkloadZeroCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	lab, err := Workload(Config{N: 100}, LevelShift, 0, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.Injections) != 0 || len(lab.AnomalyIndexes()) != 0 {
+		t.Fatal("zero-count workload should be clean")
+	}
+	if _, err := Workload(Config{N: 100}, LevelShift, -1, 6, rng); err == nil {
+		t.Fatal("want error for negative count")
+	}
+	if _, err := Workload(Config{N: 20}, LevelShift, 50, 6, rng); err == nil {
+		t.Fatal("want error when too many injections")
+	}
+}
+
+func TestMixedWorkloadCyclesTypes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	lab, err := MixedWorkload(Config{N: 2000}, 8, 6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[OutlierType]int{}
+	for _, inj := range lab.Injections {
+		counts[inj.Type]++
+	}
+	for _, typ := range AllOutlierTypes {
+		if counts[typ] != 2 {
+			t.Fatalf("type %v count=%d want 2", typ, counts[typ])
+		}
+	}
+}
+
+func TestSubseqWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	lab, err := SubseqWorkload(2048, 48, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lab.Anomalies) != 4 {
+		t.Fatalf("anomalies=%d", len(lab.Anomalies))
+	}
+	kinds := map[string]bool{}
+	labelled := 0
+	for _, b := range lab.PointLabels {
+		if b {
+			labelled++
+		}
+	}
+	for _, a := range lab.Anomalies {
+		kinds[a.Kind] = true
+		if a.Length != 48 {
+			t.Fatalf("length=%d", a.Length)
+		}
+	}
+	if labelled != 4*48 {
+		t.Fatalf("labelled=%d want %d", labelled, 4*48)
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("kinds=%v want all four", kinds)
+	}
+	if _, err := SubseqWorkload(0, 10, 1, rng); err == nil {
+		t.Fatal("want error for empty workload")
+	}
+}
+
+func TestSeriesWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	lab, err := SeriesWorkload(20, 4, 128, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var anom int
+	for _, b := range lab.Labels {
+		if b {
+			anom++
+		}
+	}
+	if anom != 4 || len(lab.Series) != 20 {
+		t.Fatalf("anom=%d series=%d", anom, len(lab.Series))
+	}
+	// Anomalous series differ in variance/level from normal ones.
+	var normStd, anomStd stats.Online
+	for i, s := range lab.Series {
+		_, sd := stats.MeanStd(s.Values)
+		if lab.Labels[i] {
+			anomStd.Add(sd)
+		} else {
+			normStd.Add(sd)
+		}
+	}
+	if anomStd.Mean() <= normStd.Mean() {
+		t.Fatalf("anomalous std %v should exceed normal %v", anomStd.Mean(), normStd.Mean())
+	}
+	if _, err := SeriesWorkload(3, 5, 10, rng); err == nil {
+		t.Fatal("want error when anomalous > total")
+	}
+}
+
+func TestSymbolWorkload(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	sym, truth, err := SymbolWorkload(1000, 10, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Len() != 1000 || len(truth) != 1000 {
+		t.Fatal("shape mismatch")
+	}
+	anom := 0
+	for i, b := range truth {
+		if b {
+			anom++
+			l := sym.Labels[i]
+			if l != "x" && l != "y" && l != "z" {
+				t.Fatalf("anomalous label %q", l)
+			}
+		}
+	}
+	if anom != 30 {
+		t.Fatalf("anomalous symbols=%d want 30", anom)
+	}
+	if _, _, err := SymbolWorkload(0, 1, 0, rng); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// Property: every labelled index of a workload lies within bounds and
+// matches the union of injection Affected sets.
+func TestPropertyWorkloadLabelConsistency(t *testing.T) {
+	f := func(seed int64, cnt uint8, typIdx uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(cnt)%5 + 1
+		typ := AllOutlierTypes[int(typIdx)%len(AllOutlierTypes)]
+		lab, err := Workload(Config{N: 500, Phi: 0.5}, typ, count, 7, rng)
+		if err != nil {
+			return false
+		}
+		want := map[int]bool{}
+		for _, inj := range lab.Injections {
+			for _, i := range inj.Affected {
+				if i < 0 || i >= 500 {
+					return false
+				}
+				want[i] = true
+			}
+		}
+		for i, b := range lab.PointLabels {
+			if b != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: generation is deterministic for a fixed seed.
+func TestPropertyDeterminism(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err1 := MixedWorkload(Config{N: 300, Phi: 0.3}, 4, 6, rand.New(rand.NewSource(seed)))
+		b, err2 := MixedWorkload(Config{N: 300, Phi: 0.3}, 4, 6, rand.New(rand.NewSource(seed)))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := range a.Series.Values {
+			if a.Series.Values[i] != b.Series.Values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

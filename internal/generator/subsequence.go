@@ -1,0 +1,161 @@
+package generator
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// SubseqAnomaly describes one injected anomalous subsequence.
+type SubseqAnomaly struct {
+	Start, Length int
+	Kind          string // "flatline", "noise-burst", "frequency", "inverted"
+}
+
+// LabeledSubseq couples a series with subsequence-level ground truth.
+type LabeledSubseq struct {
+	Series      *timeseries.Series
+	Anomalies   []SubseqAnomaly
+	PointLabels []bool
+}
+
+// SubseqKinds lists the anomalous-shape kinds the generator can inject.
+var SubseqKinds = []string{"flatline", "noise-burst", "frequency", "inverted"}
+
+// SubseqWorkload generates a strongly periodic base signal and replaces
+// count subsequences of the given length with anomalous shapes, cycling
+// through SubseqKinds. Such discord-style workloads exercise the
+// window/sequence detector families (NPD, NMD, OS, DA on windows).
+func SubseqWorkload(n, length, count int, rng *rand.Rand) (*LabeledSubseq, error) {
+	if length <= 0 || n <= 0 {
+		return nil, fmt.Errorf("generator: invalid subsequence workload n=%d length=%d", n, length)
+	}
+	const period = 32
+	vs := make([]float64, n)
+	for t := range vs {
+		vs[t] = math.Sin(2*math.Pi*float64(t)/period) + rng.NormFloat64()*0.08
+	}
+	s := timeseries.New("subseq", time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), time.Second, vs)
+	lab := &LabeledSubseq{Series: s, PointLabels: make([]bool, n)}
+	if count == 0 {
+		return lab, nil
+	}
+	positions, err := spacedPositions(n-length, count, rng)
+	if err != nil {
+		return nil, err
+	}
+	for k, at := range positions {
+		kind := SubseqKinds[k%len(SubseqKinds)]
+		applySubseq(vs, at, length, kind, rng)
+		lab.Anomalies = append(lab.Anomalies, SubseqAnomaly{Start: at, Length: length, Kind: kind})
+		for i := at; i < at+length && i < n; i++ {
+			lab.PointLabels[i] = true
+		}
+	}
+	return lab, nil
+}
+
+func applySubseq(vs []float64, at, length int, kind string, rng *rand.Rand) {
+	end := at + length
+	if end > len(vs) {
+		end = len(vs)
+	}
+	switch kind {
+	case "flatline":
+		level := vs[at]
+		for i := at; i < end; i++ {
+			vs[i] = level + rng.NormFloat64()*0.01
+		}
+	case "noise-burst":
+		for i := at; i < end; i++ {
+			vs[i] += rng.NormFloat64() * 1.5
+		}
+	case "frequency":
+		// Triple the local frequency.
+		for i := at; i < end; i++ {
+			vs[i] = math.Sin(2*math.Pi*float64(i)*3/32) + rng.NormFloat64()*0.08
+		}
+	case "inverted":
+		for i := at; i < end; i++ {
+			vs[i] = -vs[i]
+		}
+	}
+}
+
+// LabeledSeries is a collection of whole series, some anomalous — the
+// TSS-granularity workload for detectors that score entire series
+// (phased k-means, rule/motif classifiers, vibration signatures).
+type LabeledSeries struct {
+	Series []*timeseries.Series
+	Labels []bool // true = anomalous series
+}
+
+// SeriesWorkload generates total whole series of the given length; the
+// final anomalous count of them deviate in shape (frequency and phase
+// perturbation plus level offset). Normal series share one template
+// family with small jitter, mimicking repeated production jobs.
+func SeriesWorkload(total, anomalous, length int, rng *rand.Rand) (*LabeledSeries, error) {
+	if anomalous > total {
+		return nil, fmt.Errorf("generator: anomalous %d > total %d", anomalous, total)
+	}
+	out := &LabeledSeries{}
+	for k := 0; k < total; k++ {
+		isAnom := k >= total-anomalous
+		vs := make([]float64, length)
+		freq := 1.0 / 24
+		amp := 1.0
+		level := 0.0
+		if isAnom {
+			// Distinct regime: faster cycle, larger amplitude, offset.
+			freq *= 1.9
+			amp = 1.7
+			level = 1.2
+		}
+		phase := rng.Float64() * 2 * math.Pi
+		for t := range vs {
+			vs[t] = level + amp*math.Sin(2*math.Pi*freq*float64(t)+phase) + rng.NormFloat64()*0.12
+		}
+		name := fmt.Sprintf("job-%03d", k)
+		out.Series = append(out.Series, timeseries.New(name, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC), time.Second, vs))
+		out.Labels = append(out.Labels, isAnom)
+	}
+	// Shuffle so anomalies are not trivially at the end.
+	rng.Shuffle(total, func(i, j int) {
+		out.Series[i], out.Series[j] = out.Series[j], out.Series[i]
+		out.Labels[i], out.Labels[j] = out.Labels[j], out.Labels[i]
+	})
+	return out, nil
+}
+
+// SymbolWorkload produces a discrete label sequence from a repeating
+// grammar ("a b c d" cycles) with count anomalous runs of foreign
+// symbols — the PTS/SSQ workload for the symbolic detectors (FSA, HMM,
+// NPD, NMD).
+func SymbolWorkload(n, runLength, count int, rng *rand.Rand) (*timeseries.Symbols, []bool, error) {
+	if n <= 0 || runLength <= 0 {
+		return nil, nil, fmt.Errorf("generator: invalid symbol workload n=%d run=%d", n, runLength)
+	}
+	grammar := []string{"a", "b", "c", "d"}
+	labels := make([]string, n)
+	truth := make([]bool, n)
+	for i := range labels {
+		labels[i] = grammar[i%len(grammar)]
+	}
+	if count > 0 {
+		positions, err := spacedPositions(n-runLength, count, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, at := range positions {
+			for i := at; i < at+runLength && i < n; i++ {
+				// Foreign symbols x/y/z never occur in the grammar.
+				labels[i] = string(rune('x' + rng.Intn(3)))
+				truth[i] = true
+			}
+		}
+	}
+	return timeseries.NewSymbols("symbols", labels), truth, nil
+}

@@ -1,0 +1,224 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EigenSym computes the full eigendecomposition of a symmetric matrix
+// using the cyclic Jacobi method. Eigenvalues are returned in descending
+// order; vectors[k] is the unit eigenvector for values[k] (row-wise).
+//
+// Jacobi is quadratically convergent and unconditionally stable, which
+// matters more here than raw speed: covariance matrices of sensor blocks
+// are small (d ≤ a few dozen) but frequently near-singular when sensors
+// are redundant by design.
+func EigenSym(a *Matrix) (values []float64, vectors *Matrix, err error) {
+	if a.Rows != a.Cols {
+		return nil, nil, fmt.Errorf("%w: EigenSym needs a square matrix", ErrDimension)
+	}
+	if !a.Symmetric(1e-9 * (1 + maxAbs(a.Data))) {
+		return nil, nil, fmt.Errorf("%w: EigenSym needs a symmetric matrix", ErrDimension)
+	}
+	n := a.Rows
+	w := a.Clone()
+	v := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		v.Set(i, i, 1)
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := offDiagNorm(w)
+		if off < 1e-14*(1+frobenius(w)) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				rotate(w, v, p, q, c, s)
+			}
+		}
+	}
+	values = make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = w.At(i, i)
+	}
+	// Sort eigenpairs by descending eigenvalue.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return values[idx[i]] > values[idx[j]] })
+	sortedVals := make([]float64, n)
+	vectors = NewMatrix(n, n)
+	for k, id := range idx {
+		sortedVals[k] = values[id]
+		for i := 0; i < n; i++ {
+			vectors.Set(k, i, v.At(i, id)) // column id of v becomes row k
+		}
+	}
+	return sortedVals, vectors, nil
+}
+
+// rotate applies the Jacobi rotation (p, q, c, s) to w and accumulates it
+// into the eigenvector matrix v.
+func rotate(w, v *Matrix, p, q int, c, s float64) {
+	n := w.Rows
+	for i := 0; i < n; i++ {
+		wip, wiq := w.At(i, p), w.At(i, q)
+		w.Set(i, p, c*wip-s*wiq)
+		w.Set(i, q, s*wip+c*wiq)
+	}
+	for j := 0; j < n; j++ {
+		wpj, wqj := w.At(p, j), w.At(q, j)
+		w.Set(p, j, c*wpj-s*wqj)
+		w.Set(q, j, s*wpj+c*wqj)
+	}
+	for i := 0; i < n; i++ {
+		vip, viq := v.At(i, p), v.At(i, q)
+		v.Set(i, p, c*vip-s*viq)
+		v.Set(i, q, s*vip+c*viq)
+	}
+}
+
+func offDiagNorm(m *Matrix) float64 {
+	var s float64
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if i != j {
+				s += m.At(i, j) * m.At(i, j)
+			}
+		}
+	}
+	return math.Sqrt(s)
+}
+
+func frobenius(m *Matrix) float64 {
+	var s float64
+	for _, v := range m.Data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+func maxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// PCA holds a fitted principal component model: the column means of the
+// training observations, the principal axes (rows of Components, in
+// descending explained-variance order) and the per-axis variances.
+type PCA struct {
+	Means      []float64
+	Components *Matrix   // k × d, rows are unit axes
+	Variances  []float64 // k eigenvalues (>= 0, descending)
+}
+
+// FitPCA fits a PCA with k components to an observation matrix (rows are
+// observations). k is clamped to the number of columns.
+func FitPCA(obs *Matrix, k int) (*PCA, error) {
+	cov, means, err := Covariance(obs)
+	if err != nil {
+		return nil, err
+	}
+	vals, vecs, err := EigenSym(cov)
+	if err != nil {
+		return nil, err
+	}
+	if k <= 0 || k > obs.Cols {
+		k = obs.Cols
+	}
+	comp := NewMatrix(k, obs.Cols)
+	variances := make([]float64, k)
+	for i := 0; i < k; i++ {
+		copy(comp.Row(i), vecs.Row(i))
+		variances[i] = math.Max(vals[i], 0)
+	}
+	return &PCA{Means: means, Components: comp, Variances: variances}, nil
+}
+
+// Transform projects x onto the principal axes, returning the k scores.
+func (p *PCA) Transform(x []float64) ([]float64, error) {
+	if len(x) != len(p.Means) {
+		return nil, fmt.Errorf("%w: PCA transform of vec(%d), want %d", ErrDimension, len(x), len(p.Means))
+	}
+	centred := make([]float64, len(x))
+	for i := range x {
+		centred[i] = x[i] - p.Means[i]
+	}
+	return p.Components.MulVec(centred)
+}
+
+// ReconstructionError returns the squared residual of x after projecting
+// onto the retained axes — the classic PCA anomaly score.
+func (p *PCA) ReconstructionError(x []float64) (float64, error) {
+	scores, err := p.Transform(x)
+	if err != nil {
+		return 0, err
+	}
+	var total float64
+	for i := range x {
+		d := x[i] - p.Means[i]
+		total += d * d
+	}
+	var captured float64
+	for _, s := range scores {
+		captured += s * s
+	}
+	res := total - captured
+	if res < 0 {
+		res = 0 // numeric noise on fully-explained points
+	}
+	return res, nil
+}
+
+// MahalanobisT2 returns the Hotelling T² score of x in the retained
+// subspace: the sum of squared normalised scores. Axes with vanishing
+// variance are skipped so redundant-by-design sensors cannot blow up the
+// score.
+func (p *PCA) MahalanobisT2(x []float64) (float64, error) {
+	scores, err := p.Transform(x)
+	if err != nil {
+		return 0, err
+	}
+	var t2 float64
+	for i, s := range scores {
+		if p.Variances[i] < 1e-12 {
+			continue
+		}
+		t2 += s * s / p.Variances[i]
+	}
+	return t2, nil
+}
+
+// ExplainedVarianceRatio returns, per retained axis, the fraction of
+// total variance it carries.
+func (p *PCA) ExplainedVarianceRatio() []float64 {
+	var total float64
+	for _, v := range p.Variances {
+		total += v
+	}
+	out := make([]float64, len(p.Variances))
+	if total == 0 {
+		return out
+	}
+	for i, v := range p.Variances {
+		out[i] = v / total
+	}
+	return out
+}

@@ -1,0 +1,353 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 3 || m.Cols != 2 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	almost(t, m.At(1, 1), 4, 0, "At")
+	m.Set(1, 1, 9)
+	almost(t, m.At(1, 1), 9, 0, "Set")
+	col := m.Col(0)
+	if col[0] != 1 || col[1] != 3 || col[2] != 5 {
+		t.Fatalf("Col = %v", col)
+	}
+}
+
+func TestFromRowsErrors(t *testing.T) {
+	if _, err := FromRows(nil); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension for empty")
+	}
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension for ragged")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	c, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := range want {
+		for j := range want[i] {
+			almost(t, c.At(i, j), want[i][j], 1e-12, "Mul")
+		}
+	}
+	if _, err := a.Mul(NewMatrix(3, 3)); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension")
+	}
+}
+
+func TestMulVecAndTranspose(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	v, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, v[0], 6, 0, "MulVec[0]")
+	almost(t, v[1], 15, 0, "MulVec[1]")
+	tr := a.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 {
+		t.Fatalf("transpose wrong: %+v", tr)
+	}
+	if _, err := a.MulVec([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension")
+	}
+}
+
+func TestCovariance(t *testing.T) {
+	// Two perfectly correlated columns.
+	obs, _ := FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}, {4, 8}})
+	cov, means, err := Covariance(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, means[0], 2.5, 1e-12, "mean0")
+	almost(t, means[1], 5, 1e-12, "mean1")
+	almost(t, cov.At(0, 0), 5.0/3.0, 1e-12, "var0")
+	almost(t, cov.At(1, 1), 20.0/3.0, 1e-12, "var1")
+	almost(t, cov.At(0, 1), 10.0/3.0, 1e-12, "cov01")
+	if !cov.Symmetric(0) {
+		t.Fatal("covariance must be symmetric")
+	}
+	if _, _, err := Covariance(NewMatrix(1, 2)); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension for single observation")
+	}
+}
+
+func TestCholeskySolve(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L·Lᵀ must equal A.
+	lt := l.T()
+	prod, _ := l.Mul(lt)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			almost(t, prod.At(i, j), a.At(i, j), 1e-12, "LLt")
+		}
+	}
+	x, err := SolveSPD(a, []float64{10, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	b, _ := a.MulVec(x)
+	almost(t, b[0], 10, 1e-9, "Ax=b [0]")
+	almost(t, b[1], 9, 1e-9, "Ax=b [1]")
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := Cholesky(a); !errors.Is(err, ErrNotPositiveDefinite) {
+		t.Fatal("want ErrNotPositiveDefinite")
+	}
+	if _, err := Cholesky(NewMatrix(2, 3)); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension for non-square")
+	}
+}
+
+func TestToeplitz(t *testing.T) {
+	m := Toeplitz([]float64{1, 0.5, 0.25})
+	want := [][]float64{{1, 0.5, 0.25}, {0.5, 1, 0.5}, {0.25, 0.5, 1}}
+	for i := range want {
+		for j := range want[i] {
+			almost(t, m.At(i, j), want[i][j], 0, "Toeplitz")
+		}
+	}
+}
+
+func TestEigenSymDiagonal(t *testing.T) {
+	a, _ := FromRows([][]float64{{3, 0}, {0, 1}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, vals[0], 3, 1e-10, "λ0")
+	almost(t, vals[1], 1, 1e-10, "λ1")
+	// First eigenvector should be ±e1.
+	almost(t, math.Abs(vecs.At(0, 0)), 1, 1e-10, "v0")
+}
+
+func TestEigenSymKnown(t *testing.T) {
+	// [[2,1],[1,2]] has eigenvalues 3 and 1.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 2}})
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	almost(t, vals[0], 3, 1e-10, "λ0")
+	almost(t, vals[1], 1, 1e-10, "λ1")
+	// Check A·v = λ·v for each pair.
+	for k := 0; k < 2; k++ {
+		v := vecs.Row(k)
+		av, _ := a.MulVec(v)
+		for i := range v {
+			almost(t, av[i], vals[k]*v[i], 1e-9, "Av=λv")
+		}
+	}
+}
+
+func TestEigenSymRandomReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 6
+	// Random symmetric matrix.
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	vals, vecs, err := EigenSym(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eigenvalues descending.
+	for k := 1; k < n; k++ {
+		if vals[k] > vals[k-1]+1e-12 {
+			t.Fatalf("eigenvalues not sorted: %v", vals)
+		}
+	}
+	// Vectors orthonormal.
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var dot float64
+			for k := 0; k < n; k++ {
+				dot += vecs.At(i, k) * vecs.At(j, k)
+			}
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			almost(t, dot, want, 1e-8, "orthonormality")
+		}
+	}
+	// Reconstruction: A = Σ λ_k v_k v_kᵀ.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += vals[k] * vecs.At(k, i) * vecs.At(k, j)
+			}
+			almost(t, s, a.At(i, j), 1e-8, "spectral reconstruction")
+		}
+	}
+}
+
+func TestEigenSymRejectsAsymmetric(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	if _, _, err := EigenSym(a); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension for asymmetric input")
+	}
+}
+
+func TestPCARecoverDominantAxis(t *testing.T) {
+	// Points along the direction (1, 1)/√2 with small orthogonal noise.
+	rng := rand.New(rand.NewSource(11))
+	n := 400
+	obs := NewMatrix(n, 2)
+	for i := 0; i < n; i++ {
+		tt := rng.NormFloat64() * 5
+		noise := rng.NormFloat64() * 0.1
+		obs.Set(i, 0, tt+noise)
+		obs.Set(i, 1, tt-noise)
+	}
+	p, err := FitPCA(obs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	axis := p.Components.Row(0)
+	// Axis should be ±(1,1)/√2.
+	almost(t, math.Abs(axis[0]), math.Sqrt2/2, 0.02, "axis x")
+	almost(t, math.Abs(axis[1]), math.Sqrt2/2, 0.02, "axis y")
+	ratio := p.ExplainedVarianceRatio()
+	if ratio[0] < 0.99 {
+		t.Fatalf("dominant axis should explain >99%%, got %v", ratio[0])
+	}
+	// A point far off-axis has much larger reconstruction error than an
+	// on-axis point.
+	off, _ := p.ReconstructionError([]float64{5, -5})
+	on, _ := p.ReconstructionError([]float64{5, 5})
+	if off < 100*on+1 {
+		t.Fatalf("off-axis error %v should dwarf on-axis %v", off, on)
+	}
+}
+
+func TestPCAT2AndErrors(t *testing.T) {
+	obs := NewMatrix(10, 2)
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 10; i++ {
+		obs.Set(i, 0, rng.NormFloat64())
+		obs.Set(i, 1, rng.NormFloat64())
+	}
+	p, err := FitPCA(obs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Transform([]float64{1}); !errors.Is(err, ErrDimension) {
+		t.Fatal("want ErrDimension")
+	}
+	t2, err := p.MahalanobisT2([]float64{10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2c, _ := p.MahalanobisT2(p.Means)
+	if t2 <= t2c {
+		t.Fatalf("far point T2 %v should exceed centre %v", t2, t2c)
+	}
+}
+
+// Property: Cholesky solutions satisfy A·x = b for random SPD systems.
+func TestPropertyCholeskySolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(math.Abs(float64(seed%5)))
+		// SPD via GᵀG + n·I.
+		g := NewMatrix(n, n)
+		for i := range g.Data {
+			g.Data[i] = r.NormFloat64()
+		}
+		gt := g.T()
+		a, _ := gt.Mul(g)
+		for i := 0; i < n; i++ {
+			a.Set(i, i, a.At(i, i)+float64(n))
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		x, err := SolveSPD(a, b)
+		if err != nil {
+			return false
+		}
+		ax, _ := a.MulVec(x)
+		for i := range b {
+			if math.Abs(ax[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eigenvalue sum equals trace; product of eigenvalues of an SPD
+// matrix is positive.
+func TestPropertyEigenTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + int(math.Abs(float64(seed%6)))
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				v := r.NormFloat64()
+				a.Set(i, j, v)
+				a.Set(j, i, v)
+			}
+		}
+		vals, _, err := EigenSym(a)
+		if err != nil {
+			return false
+		}
+		var trace, sum float64
+		for i := 0; i < n; i++ {
+			trace += a.At(i, i)
+		}
+		for _, v := range vals {
+			sum += v
+		}
+		return math.Abs(trace-sum) < 1e-8*(1+math.Abs(trace))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

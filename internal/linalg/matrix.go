@@ -1,0 +1,264 @@
+// Package linalg implements the small dense linear algebra kernel the
+// detector library needs: matrices, covariance, Cholesky and Jacobi
+// eigendecomposition, and PCA. It is intentionally minimal — column
+// counts in this domain are sensor counts (tens), not thousands — and
+// uses only the standard library.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrDimension is returned when operand shapes do not conform.
+var ErrDimension = errors.New("linalg: dimension mismatch")
+
+// ErrNotPositiveDefinite is returned by Cholesky for singular or
+// indefinite inputs.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix not positive definite")
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols, row-major
+}
+
+// NewMatrix allocates a zero matrix with the given shape. It panics on
+// non-positive dimensions, which are always programming errors.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices; all rows must have equal
+// length.
+func FromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("%w: empty input", ErrDimension)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrDimension, i, len(r), m.Cols)
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m, nil
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view (not a copy) of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.At(i, j)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns the matrix product m × other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.Cols != other.Rows {
+		return nil, fmt.Errorf("%w: %dx%d × %dx%d", ErrDimension, m.Rows, m.Cols, other.Rows, other.Cols)
+	}
+	out := NewMatrix(m.Rows, other.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			ok := other.Row(k)
+			for j := range oi {
+				oi[j] += a * ok[j]
+			}
+		}
+	}
+	return out, nil
+}
+
+// MulVec returns m × v.
+func (m *Matrix) MulVec(v []float64) ([]float64, error) {
+	if m.Cols != len(v) {
+		return nil, fmt.Errorf("%w: %dx%d × vec(%d)", ErrDimension, m.Rows, m.Cols, len(v))
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		var s float64
+		for j, a := range ri {
+			s += a * v[j]
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Symmetric reports whether the matrix is square and symmetric within
+// tol.
+func (m *Matrix) Symmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Covariance returns the column-covariance matrix of the observation
+// matrix (rows are observations, columns are variables), using the
+// unbiased n-1 normalisation. The column means are returned too so
+// callers can centre new observations the same way.
+func Covariance(obs *Matrix) (cov *Matrix, means []float64, err error) {
+	if obs.Rows < 2 {
+		return nil, nil, fmt.Errorf("%w: need at least 2 observations, have %d", ErrDimension, obs.Rows)
+	}
+	d := obs.Cols
+	means = make([]float64, d)
+	for i := 0; i < obs.Rows; i++ {
+		ri := obs.Row(i)
+		for j, v := range ri {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(obs.Rows)
+	}
+	cov = NewMatrix(d, d)
+	for i := 0; i < obs.Rows; i++ {
+		ri := obs.Row(i)
+		for a := 0; a < d; a++ {
+			da := ri[a] - means[a]
+			row := cov.Row(a)
+			for b := a; b < d; b++ {
+				row[b] += da * (ri[b] - means[b])
+			}
+		}
+	}
+	norm := 1 / float64(obs.Rows-1)
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) * norm
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	return cov, means, nil
+}
+
+// Cholesky returns the lower-triangular factor L with A = L·Lᵀ.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("%w: Cholesky needs square matrix", ErrDimension)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			for k := 0; k < j; k++ {
+				sum -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if sum <= 0 {
+					return nil, ErrNotPositiveDefinite
+				}
+				l.Set(i, i, math.Sqrt(sum))
+			} else {
+				l.Set(i, j, sum/l.At(j, j))
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A by
+// forward then backward substitution.
+func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("%w: rhs length %d, want %d", ErrDimension, len(b), n)
+	}
+	// Forward: L·y = b
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.At(i, k) * y[k]
+		}
+		y[i] = s / l.At(i, i)
+	}
+	// Backward: Lᵀ·x = y
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.At(k, i) * x[k]
+		}
+		x[i] = s / l.At(i, i)
+	}
+	return x, nil
+}
+
+// SolveSPD solves A·x = b for a symmetric positive-definite A.
+func SolveSPD(a *Matrix, b []float64) ([]float64, error) {
+	l, err := Cholesky(a)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, b)
+}
+
+// Toeplitz builds the symmetric Toeplitz matrix whose first row is r
+// (r[0] on the diagonal). The AR detector uses it for the Yule-Walker
+// normal equations.
+func Toeplitz(r []float64) *Matrix {
+	n := len(r)
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			k := i - j
+			if k < 0 {
+				k = -k
+			}
+			m.Set(i, j, r[k])
+		}
+	}
+	return m
+}

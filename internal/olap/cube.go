@@ -1,0 +1,211 @@
+// Package olap implements a small in-memory OLAP cube — the substrate
+// the UOA detector family analyses ("an Online Analytical Processing
+// (OLAP) cube can be analyzed … with each cell as a measure", paper §3).
+// It supports dimensions with discrete members, measure aggregation,
+// roll-up, slicing and subspace (group-by) iteration.
+package olap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrSchema is returned for schema violations (unknown dimensions,
+// wrong coordinate arity).
+var ErrSchema = errors.New("olap: schema violation")
+
+// Cube is a dense-logical, sparse-physical OLAP cube: cells exist only
+// once a fact lands in them.
+type Cube struct {
+	dims  []string
+	index map[string]int
+	cells map[string]*Cell
+}
+
+// Cell aggregates the facts sharing one coordinate.
+type Cell struct {
+	Coord []string
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns the cell's mean measure.
+func (c *Cell) Mean() float64 {
+	if c.Count == 0 {
+		return 0
+	}
+	return c.Sum / float64(c.Count)
+}
+
+// New creates a cube with the given dimension names.
+func New(dims ...string) (*Cube, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("%w: cube needs at least one dimension", ErrSchema)
+	}
+	idx := make(map[string]int, len(dims))
+	for i, d := range dims {
+		if _, dup := idx[d]; dup {
+			return nil, fmt.Errorf("%w: duplicate dimension %q", ErrSchema, d)
+		}
+		idx[d] = i
+	}
+	return &Cube{dims: append([]string(nil), dims...), index: idx, cells: make(map[string]*Cell)}, nil
+}
+
+// Dims returns the dimension names in order.
+func (c *Cube) Dims() []string { return append([]string(nil), c.dims...) }
+
+// key joins a coordinate; members must not contain the separator.
+func key(coord []string) string { return strings.Join(coord, "\x1f") }
+
+// AddFact folds one measure value into the cell at coord.
+func (c *Cube) AddFact(coord []string, value float64) error {
+	if len(coord) != len(c.dims) {
+		return fmt.Errorf("%w: coordinate arity %d, want %d", ErrSchema, len(coord), len(c.dims))
+	}
+	k := key(coord)
+	cell, ok := c.cells[k]
+	if !ok {
+		cell = &Cell{Coord: append([]string(nil), coord...), Min: value, Max: value}
+		c.cells[k] = cell
+	}
+	cell.Count++
+	cell.Sum += value
+	if value < cell.Min {
+		cell.Min = value
+	}
+	if value > cell.Max {
+		cell.Max = value
+	}
+	return nil
+}
+
+// CellAt returns the cell at the exact coordinate, or nil.
+func (c *Cube) CellAt(coord []string) *Cell {
+	if len(coord) != len(c.dims) {
+		return nil
+	}
+	return c.cells[key(coord)]
+}
+
+// Cells returns all cells in deterministic coordinate order.
+func (c *Cube) Cells() []*Cell {
+	out := make([]*Cell, 0, len(c.cells))
+	for _, cell := range c.cells {
+		out = append(out, cell)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return key(out[i].Coord) < key(out[j].Coord)
+	})
+	return out
+}
+
+// Len returns the number of materialised cells.
+func (c *Cube) Len() int { return len(c.cells) }
+
+// Slice returns the cells whose coordinate matches all the given
+// dimension=member constraints.
+func (c *Cube) Slice(constraints map[string]string) ([]*Cell, error) {
+	for d := range constraints {
+		if _, ok := c.index[d]; !ok {
+			return nil, fmt.Errorf("%w: unknown dimension %q", ErrSchema, d)
+		}
+	}
+	var out []*Cell
+	for _, cell := range c.Cells() {
+		match := true
+		for d, m := range constraints {
+			if cell.Coord[c.index[d]] != m {
+				match = false
+				break
+			}
+		}
+		if match {
+			out = append(out, cell)
+		}
+	}
+	return out, nil
+}
+
+// RollUp aggregates the cube onto the given subset of dimensions,
+// returning a new cube whose cells merge all members of the dropped
+// dimensions.
+func (c *Cube) RollUp(keep ...string) (*Cube, error) {
+	if len(keep) == 0 {
+		return nil, fmt.Errorf("%w: roll-up must keep at least one dimension", ErrSchema)
+	}
+	keepIdx := make([]int, len(keep))
+	for i, d := range keep {
+		idx, ok := c.index[d]
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown dimension %q", ErrSchema, d)
+		}
+		keepIdx[i] = idx
+	}
+	out, err := New(keep...)
+	if err != nil {
+		return nil, err
+	}
+	for _, cell := range c.cells {
+		coord := make([]string, len(keepIdx))
+		for i, idx := range keepIdx {
+			coord[i] = cell.Coord[idx]
+		}
+		k := key(coord)
+		target, ok := out.cells[k]
+		if !ok {
+			target = &Cell{Coord: coord, Min: cell.Min, Max: cell.Max}
+			out.cells[k] = target
+		}
+		target.Count += cell.Count
+		target.Sum += cell.Sum
+		if cell.Min < target.Min {
+			target.Min = cell.Min
+		}
+		if cell.Max > target.Max {
+			target.Max = cell.Max
+		}
+	}
+	return out, nil
+}
+
+// Members returns the distinct members of a dimension in sorted order.
+func (c *Cube) Members(dim string) ([]string, error) {
+	idx, ok := c.index[dim]
+	if !ok {
+		return nil, fmt.Errorf("%w: unknown dimension %q", ErrSchema, dim)
+	}
+	set := map[string]bool{}
+	for _, cell := range c.cells {
+		set[cell.Coord[idx]] = true
+	}
+	out := make([]string, 0, len(set))
+	for m := range set {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Subspaces enumerates every non-empty subset of dimensions (the cuboid
+// lattice) ordered by ascending dimensionality — the search space of
+// "mining approximate top-k subspace anomalies".
+func (c *Cube) Subspaces() [][]string {
+	n := len(c.dims)
+	var out [][]string
+	for mask := 1; mask < 1<<n; mask++ {
+		var dims []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				dims = append(dims, c.dims[i])
+			}
+		}
+		out = append(out, dims)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return len(out[i]) < len(out[j]) })
+	return out
+}

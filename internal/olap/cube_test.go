@@ -1,0 +1,198 @@
+package olap
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustCube(t *testing.T, dims ...string) *Cube {
+	t.Helper()
+	c, err := New(dims...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(); !errors.Is(err, ErrSchema) {
+		t.Fatal("want ErrSchema for no dims")
+	}
+	if _, err := New("a", "a"); !errors.Is(err, ErrSchema) {
+		t.Fatal("want ErrSchema for duplicate dims")
+	}
+	c := mustCube(t, "machine", "sensor")
+	dims := c.Dims()
+	if len(dims) != 2 || dims[0] != "machine" {
+		t.Fatalf("dims=%v", dims)
+	}
+}
+
+func TestAddFactAndCellAt(t *testing.T) {
+	c := mustCube(t, "m", "s")
+	if err := c.AddFact([]string{"m1"}, 1); !errors.Is(err, ErrSchema) {
+		t.Fatal("want ErrSchema for wrong arity")
+	}
+	for _, v := range []float64{1, 3, 5} {
+		if err := c.AddFact([]string{"m1", "temp"}, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cell := c.CellAt([]string{"m1", "temp"})
+	if cell == nil {
+		t.Fatal("cell missing")
+	}
+	if cell.Count != 3 || cell.Sum != 9 || cell.Min != 1 || cell.Max != 5 {
+		t.Fatalf("cell=%+v", cell)
+	}
+	if math.Abs(cell.Mean()-3) > 1e-12 {
+		t.Fatalf("mean=%v", cell.Mean())
+	}
+	if c.CellAt([]string{"zz", "temp"}) != nil {
+		t.Fatal("missing cell should be nil")
+	}
+	if c.CellAt([]string{"m1"}) != nil {
+		t.Fatal("wrong arity should be nil")
+	}
+	if (&Cell{}).Mean() != 0 {
+		t.Fatal("empty cell mean should be 0")
+	}
+}
+
+func TestCellsDeterministicOrder(t *testing.T) {
+	c := mustCube(t, "m")
+	c.AddFact([]string{"b"}, 1)
+	c.AddFact([]string{"a"}, 2)
+	c.AddFact([]string{"c"}, 3)
+	cells := c.Cells()
+	if len(cells) != 3 || c.Len() != 3 {
+		t.Fatalf("cells=%d", len(cells))
+	}
+	if cells[0].Coord[0] != "a" || cells[2].Coord[0] != "c" {
+		t.Fatalf("order wrong: %v %v", cells[0].Coord, cells[2].Coord)
+	}
+}
+
+func TestSlice(t *testing.T) {
+	c := mustCube(t, "m", "s")
+	c.AddFact([]string{"m1", "temp"}, 1)
+	c.AddFact([]string{"m1", "vib"}, 2)
+	c.AddFact([]string{"m2", "temp"}, 3)
+	got, err := c.Slice(map[string]string{"m": "m1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("slice=%d cells", len(got))
+	}
+	if _, err := c.Slice(map[string]string{"nope": "x"}); !errors.Is(err, ErrSchema) {
+		t.Fatal("want ErrSchema")
+	}
+}
+
+func TestRollUp(t *testing.T) {
+	c := mustCube(t, "m", "s")
+	c.AddFact([]string{"m1", "temp"}, 1)
+	c.AddFact([]string{"m1", "vib"}, 3)
+	c.AddFact([]string{"m2", "temp"}, 10)
+	rolled, err := c.RollUp("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := rolled.CellAt([]string{"m1"})
+	if m1 == nil || m1.Count != 2 || m1.Sum != 4 || m1.Min != 1 || m1.Max != 3 {
+		t.Fatalf("m1=%+v", m1)
+	}
+	m2 := rolled.CellAt([]string{"m2"})
+	if m2 == nil || m2.Count != 1 || m2.Sum != 10 {
+		t.Fatalf("m2=%+v", m2)
+	}
+	if _, err := c.RollUp(); !errors.Is(err, ErrSchema) {
+		t.Fatal("want ErrSchema for empty roll-up")
+	}
+	if _, err := c.RollUp("zzz"); !errors.Is(err, ErrSchema) {
+		t.Fatal("want ErrSchema for unknown dim")
+	}
+}
+
+func TestMembers(t *testing.T) {
+	c := mustCube(t, "m", "s")
+	c.AddFact([]string{"m2", "temp"}, 1)
+	c.AddFact([]string{"m1", "temp"}, 1)
+	c.AddFact([]string{"m1", "vib"}, 1)
+	ms, err := c.Members("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || ms[0] != "m1" || ms[1] != "m2" {
+		t.Fatalf("members=%v", ms)
+	}
+	if _, err := c.Members("x"); !errors.Is(err, ErrSchema) {
+		t.Fatal("want ErrSchema")
+	}
+}
+
+func TestSubspacesLattice(t *testing.T) {
+	c := mustCube(t, "a", "b", "c")
+	subs := c.Subspaces()
+	if len(subs) != 7 { // 2³-1
+		t.Fatalf("subspaces=%d", len(subs))
+	}
+	// Ordered by ascending dimensionality.
+	for i := 1; i < len(subs); i++ {
+		if len(subs[i]) < len(subs[i-1]) {
+			t.Fatalf("lattice order broken at %d: %v", i, subs)
+		}
+	}
+}
+
+// Property: roll-up preserves total count and sum.
+func TestPropertyRollUpConservation(t *testing.T) {
+	f := func(vals []float64, members []uint8) bool {
+		if len(vals) == 0 || len(members) < len(vals) {
+			return true
+		}
+		c := mustCubeQuick()
+		var wantCount int
+		var wantSum float64
+		for i, v := range vals {
+			// Bound magnitudes so the conservation sum cannot overflow.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				continue
+			}
+			m := []string{string(rune('a' + members[i]%3)), string(rune('x' + members[i]%2))}
+			if err := c.AddFact(m, v); err != nil {
+				return false
+			}
+			wantCount++
+			wantSum += v
+		}
+		if wantCount == 0 {
+			return true
+		}
+		rolled, err := c.RollUp("d1")
+		if err != nil {
+			return false
+		}
+		var gotCount int
+		var gotSum float64
+		for _, cell := range rolled.Cells() {
+			gotCount += cell.Count
+			gotSum += cell.Sum
+		}
+		return gotCount == wantCount && math.Abs(gotSum-wantSum) < 1e-6*(1+math.Abs(wantSum))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCubeQuick() *Cube {
+	c, err := New("d1", "d2")
+	if err != nil {
+		panic(err)
+	}
+	return c
+}

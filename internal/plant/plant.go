@@ -1,0 +1,392 @@
+// Package plant simulates an additive-manufacturing (industrial
+// 3D-printing) production plant — the use case that motivates the
+// paper and the "real-life data of a company" its future-work
+// evaluation calls for. The simulator produces data for all five
+// hierarchy levels of Fig. 2:
+//
+//	level 1 (phase):           high-resolution multi-sensor series per
+//	                           production phase, with redundant
+//	                           temperature sensors
+//	level 2 (job):             setup parameter vectors and CAQ quality
+//	                           vectors per job
+//	level 3 (environment):     room climate series over the whole horizon
+//	level 4 (production line): per-job aggregate series per machine/line
+//	level 5 (production):      cross-machine comparison data
+//
+// Two ground-truth event kinds are injected: *process faults* (the
+// physical signal deviates — every redundant sensor sees it) and
+// *measurement errors* (one sensor lies — its redundant partner does
+// not confirm). Separating the two is exactly what the paper's support
+// value is for.
+package plant
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/timeseries"
+)
+
+// EventKind distinguishes the two injected ground-truth event types.
+type EventKind int
+
+const (
+	// ProcessFault is a real physical deviation (overheating, clog):
+	// all redundant sensors observe it and quality degrades.
+	ProcessFault EventKind = iota
+	// MeasurementError is a lying sensor: only one sensor of a
+	// redundant group shows the deviation and quality is unaffected.
+	MeasurementError
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case ProcessFault:
+		return "process-fault"
+	case MeasurementError:
+		return "measurement-error"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// PhaseNames lists the production phases of one print job in order
+// (§2: "preparation, warm-up, and calibration" plus the print itself
+// and cooldown).
+var PhaseNames = []string{"preparation", "warm-up", "calibration", "print", "cooldown"}
+
+// SensorNames lists the phase-level sensors. temp-a and temp-b are the
+// redundant pair measuring the same chamber temperature (§1: "machines
+// are often equipped with redundant sensors, e.g., to measure the
+// temperature of the same machine at different places").
+var SensorNames = []string{"temp-a", "temp-b", "vibration", "power"}
+
+// Correspondence maps each sensor to the sensors that corroborate it —
+// the paper's "corresponding sensors".
+var Correspondence = map[string][]string{
+	"temp-a": {"temp-b"},
+	"temp-b": {"temp-a"},
+}
+
+// Event is one injected ground-truth anomaly.
+type Event struct {
+	Kind    EventKind
+	Line    string
+	Machine string
+	Job     string
+	Phase   string
+	Sensor  string // affected sensor for measurement errors, "" for faults
+	Index   int    // sample offset within the phase
+	Length  int    // affected samples
+}
+
+// Phase is one production phase recording.
+type Phase struct {
+	Name    string
+	Sensors *timeseries.MultiSeries
+	Events  []Event
+}
+
+// Job is one print job: setup, phases, quality check.
+type Job struct {
+	ID      string
+	Machine string
+	Line    string
+	Start   time.Time
+	// Setup parameters chosen during job preparation (§2: "during the
+	// setup, parameters are selected and the job is prepared"):
+	// layer height (mm), print speed (mm/s), chamber setpoint (°C),
+	// extrusion multiplier, material batch viscosity index.
+	Setup []float64
+	// CAQ is the computer-aided quality vector measured after the job:
+	// dimensional error (mm), surface roughness (µm), porosity (%),
+	// tensile strength (MPa), warp (mm), completion ratio.
+	CAQ    []float64
+	Phases []*Phase
+	// Faulty reports whether any process fault hit this job.
+	Faulty bool
+}
+
+// Machine is one 3D printer running a sequence of jobs.
+type Machine struct {
+	ID   string
+	Line string
+	Jobs []*Job
+	// Bias models per-machine calibration offsets (°C).
+	Bias float64
+}
+
+// Line is one production line of machines.
+type Line struct {
+	ID       string
+	Machines []*Machine
+}
+
+// Plant is the full simulated production.
+type Plant struct {
+	Lines       []*Line
+	Environment *timeseries.MultiSeries // room-temp, humidity
+	Start       time.Time
+	Step        time.Duration
+	Events      []Event
+}
+
+// Config parameterises the simulation.
+type Config struct {
+	Lines           int
+	MachinesPerLine int
+	JobsPerMachine  int
+	PhaseSamples    int // samples per phase at level-1 resolution
+	Seed            int64
+	// FaultRate is the per-job probability of a process fault.
+	FaultRate float64
+	// MeasurementErrorRate is the per-job probability of a lying
+	// sensor.
+	MeasurementErrorRate float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lines <= 0 {
+		c.Lines = 2
+	}
+	if c.MachinesPerLine <= 0 {
+		c.MachinesPerLine = 3
+	}
+	if c.JobsPerMachine <= 0 {
+		c.JobsPerMachine = 8
+	}
+	if c.PhaseSamples <= 0 {
+		c.PhaseSamples = 120
+	}
+	if c.FaultRate < 0 {
+		c.FaultRate = 0
+	}
+	if c.MeasurementErrorRate < 0 {
+		c.MeasurementErrorRate = 0
+	}
+	return c
+}
+
+// Simulate runs the plant simulation.
+func Simulate(cfg Config) (*Plant, error) {
+	cfg = cfg.withDefaults()
+	if cfg.FaultRate > 1 || cfg.MeasurementErrorRate > 1 {
+		return nil, fmt.Errorf("plant: rates must be probabilities (fault=%v, meas=%v)",
+			cfg.FaultRate, cfg.MeasurementErrorRate)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Date(2026, 6, 1, 6, 0, 0, 0, time.UTC)
+	step := time.Second
+	p := &Plant{Start: start, Step: step}
+
+	jobSamples := cfg.PhaseSamples * len(PhaseNames)
+	horizon := cfg.JobsPerMachine * jobSamples
+
+	// Environment (level 3): slow daily-style cycle plus noise, shared
+	// by the whole shop floor.
+	room := make([]float64, horizon)
+	hum := make([]float64, horizon)
+	for t := range room {
+		cyc := math.Sin(2 * math.Pi * float64(t) / float64(horizon) * 2) // two slow cycles
+		room[t] = 22 + 1.5*cyc + rng.NormFloat64()*0.15
+		hum[t] = 45 - 4*cyc + rng.NormFloat64()*0.5
+	}
+	env, err := timeseries.NewMulti(
+		timeseries.New("room-temp", start, step, room),
+		timeseries.New("humidity", start, step, hum),
+	)
+	if err != nil {
+		return nil, err
+	}
+	p.Environment = env
+
+	for li := 0; li < cfg.Lines; li++ {
+		line := &Line{ID: fmt.Sprintf("line-%d", li+1)}
+		for mi := 0; mi < cfg.MachinesPerLine; mi++ {
+			m := &Machine{
+				ID:   fmt.Sprintf("%s/m%d", line.ID, mi+1),
+				Line: line.ID,
+				Bias: rng.NormFloat64() * 0.4,
+			}
+			for ji := 0; ji < cfg.JobsPerMachine; ji++ {
+				job := simulateJob(cfg, m, ji, start.Add(time.Duration(ji*jobSamples)*step), room, ji*jobSamples, rng)
+				m.Jobs = append(m.Jobs, job)
+				for _, ph := range job.Phases {
+					p.Events = append(p.Events, ph.Events...)
+				}
+			}
+			line.Machines = append(line.Machines, m)
+		}
+		p.Lines = append(p.Lines, line)
+	}
+	return p, nil
+}
+
+// simulateJob produces one job with its phases, setup and CAQ vector.
+func simulateJob(cfg Config, m *Machine, ji int, jobStart time.Time, room []float64, roomOffset int, rng *rand.Rand) *Job {
+	job := &Job{
+		ID:      fmt.Sprintf("%s/job-%02d", m.ID, ji+1),
+		Machine: m.ID,
+		Line:    m.Line,
+		Start:   jobStart,
+	}
+	// Setup vector: realistic additive-manufacturing parameters with
+	// small batch-to-batch variation.
+	setpoint := 210 + rng.NormFloat64()*2
+	job.Setup = []float64{
+		0.2 + rng.NormFloat64()*0.01, // layer height mm
+		55 + rng.NormFloat64()*3,     // print speed mm/s
+		setpoint,                     // nozzle setpoint °C
+		1 + rng.NormFloat64()*0.03,   // extrusion multiplier
+		100 + rng.NormFloat64()*5,    // material viscosity index
+	}
+
+	fault := rng.Float64() < cfg.FaultRate
+	measErr := rng.Float64() < cfg.MeasurementErrorRate
+	faultPhase := 3 // print phase carries process faults
+	measPhase := rng.Intn(len(PhaseNames))
+	measSensor := "temp-a"
+	if rng.Float64() < 0.5 {
+		measSensor = "temp-b"
+	}
+
+	var faultSeverity float64
+	for pi, phName := range PhaseNames {
+		phStart := jobStart.Add(time.Duration(pi*cfg.PhaseSamples) * time.Second)
+		ph, severity := simulatePhase(cfg, m, job, phName, pi, phStart,
+			room, roomOffset+pi*cfg.PhaseSamples,
+			fault && pi == faultPhase, measErr && pi == measPhase, measSensor, rng)
+		job.Phases = append(job.Phases, ph)
+		faultSeverity += severity
+	}
+	job.Faulty = fault
+
+	// CAQ vector (level 2): quality degrades with fault severity; a
+	// measurement error leaves quality untouched.
+	q := faultSeverity
+	job.CAQ = []float64{
+		0.05 + 0.10*q + math.Abs(rng.NormFloat64())*0.01, // dimensional error mm
+		6 + 14*q + rng.NormFloat64()*0.5,                 // roughness µm
+		1.5 + 6*q + math.Abs(rng.NormFloat64())*0.2,      // porosity %
+		48 - 16*q + rng.NormFloat64()*1.2,                // tensile MPa
+		0.1 + 0.5*q + math.Abs(rng.NormFloat64())*0.03,   // warp mm
+		1 - 0.25*q + rng.NormFloat64()*0.005,             // completion
+	}
+	return job
+}
+
+// simulatePhase synthesises the sensor block of one phase and returns
+// the fault severity contribution (0 when no process fault).
+func simulatePhase(cfg Config, m *Machine, job *Job, phName string, phaseIdx int, phStart time.Time,
+	room []float64, roomOffset int, injectFault, injectMeas bool, measSensor string, rng *rand.Rand) (*Phase, float64) {
+
+	n := cfg.PhaseSamples
+	setpoint := job.Setup[2]
+	phys := make([]float64, n) // true chamber temperature
+	vib := make([]float64, n)
+	pow := make([]float64, n)
+	for t := 0; t < n; t++ {
+		frac := float64(t) / float64(n)
+		roomT := room[clampIdx(roomOffset+t, len(room))]
+		var target, vibBase, powBase float64
+		switch phName {
+		case "preparation":
+			target = roomT + 5
+			vibBase, powBase = 0.2, 0.4
+		case "warm-up":
+			target = roomT + (setpoint-roomT)*frac
+			vibBase, powBase = 0.3, 2.5
+		case "calibration":
+			target = setpoint
+			vibBase, powBase = 0.8, 1.2
+		case "print":
+			target = setpoint + 1.5*math.Sin(2*math.Pi*frac*6)
+			vibBase, powBase = 1.6, 2.0
+		case "cooldown":
+			target = setpoint - (setpoint-roomT)*frac
+			vibBase, powBase = 0.2, 0.3
+		}
+		phys[t] = target + m.Bias + rng.NormFloat64()*0.3
+		vib[t] = vibBase + 0.15*math.Abs(rng.NormFloat64())
+		pow[t] = powBase + 0.05*phys[t]/10 + rng.NormFloat64()*0.05
+	}
+
+	ph := &Phase{Name: phName}
+	var severity float64
+
+	// Process fault: heater runaway during the print — the physical
+	// temperature drifts up and vibration grows. Every sensor sees it.
+	if injectFault {
+		at := n / 3
+		length := n / 3
+		severity = 0.5 + rng.Float64()*0.5
+		for t := at; t < at+length && t < n; t++ {
+			ramp := float64(t-at) / float64(length)
+			phys[t] += severity * 14 * ramp
+			vib[t] += severity * 2.4 * ramp
+			pow[t] += severity * 1.6 * ramp
+		}
+		ph.Events = append(ph.Events, Event{
+			Kind: ProcessFault, Line: job.Line, Machine: job.Machine,
+			Job: job.ID, Phase: phName, Index: at, Length: length,
+		})
+	}
+
+	// Redundant sensors read the same physical signal with independent
+	// noise and tiny mounting offsets.
+	ta := make([]float64, n)
+	tb := make([]float64, n)
+	for t := 0; t < n; t++ {
+		ta[t] = phys[t] + 0.2 + rng.NormFloat64()*0.15
+		tb[t] = phys[t] - 0.2 + rng.NormFloat64()*0.15
+	}
+
+	// Measurement error: one temperature sensor sticks at a bogus
+	// value for a stretch; its partner is unaffected.
+	if injectMeas {
+		at := n / 2
+		length := n / 6
+		if length < 4 {
+			length = 4
+		}
+		bogus := phys[at] + 18
+		target := ta
+		if measSensor == "temp-b" {
+			target = tb
+		}
+		for t := at; t < at+length && t < n; t++ {
+			target[t] = bogus + rng.NormFloat64()*0.05
+		}
+		ph.Events = append(ph.Events, Event{
+			Kind: MeasurementError, Line: job.Line, Machine: job.Machine,
+			Job: job.ID, Phase: phName, Sensor: measSensor, Index: at, Length: length,
+		})
+	}
+
+	ms, err := timeseries.NewMulti(
+		timeseries.New("temp-a", phStart, time.Second, ta),
+		timeseries.New("temp-b", phStart, time.Second, tb),
+		timeseries.New("vibration", phStart, time.Second, vib),
+		timeseries.New("power", phStart, time.Second, pow),
+	)
+	if err != nil {
+		// All four series share n samples by construction; a failure
+		// here is a programming error.
+		panic(err)
+	}
+	ph.Sensors = ms
+	return ph, severity
+}
+
+func clampIdx(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

@@ -1,0 +1,232 @@
+package plant
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func simulateT(t *testing.T, cfg Config) *Plant {
+	t.Helper()
+	p, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestDefaultsAndShape(t *testing.T) {
+	p := simulateT(t, Config{Seed: 1})
+	if len(p.Lines) != 2 {
+		t.Fatalf("lines=%d", len(p.Lines))
+	}
+	if len(p.Lines[0].Machines) != 3 {
+		t.Fatalf("machines=%d", len(p.Lines[0].Machines))
+	}
+	m := p.Lines[0].Machines[0]
+	if len(m.Jobs) != 8 {
+		t.Fatalf("jobs=%d", len(m.Jobs))
+	}
+	job := m.Jobs[0]
+	if len(job.Phases) != len(PhaseNames) {
+		t.Fatalf("phases=%d", len(job.Phases))
+	}
+	for i, ph := range job.Phases {
+		if ph.Name != PhaseNames[i] {
+			t.Fatalf("phase %d = %q", i, ph.Name)
+		}
+		if ph.Sensors.Width() != len(SensorNames) || ph.Sensors.Len() != 120 {
+			t.Fatalf("sensor block %dx%d", ph.Sensors.Width(), ph.Sensors.Len())
+		}
+	}
+	if len(job.Setup) != 5 || len(job.CAQ) != 6 {
+		t.Fatalf("setup=%d caq=%d", len(job.Setup), len(job.CAQ))
+	}
+	if p.Environment.Len() != 8*5*120 {
+		t.Fatalf("environment len=%d", p.Environment.Len())
+	}
+}
+
+func TestRateValidation(t *testing.T) {
+	if _, err := Simulate(Config{FaultRate: 2}); err == nil {
+		t.Fatal("want error for rate > 1")
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := simulateT(t, Config{Seed: 42, FaultRate: 0.3, MeasurementErrorRate: 0.3})
+	b := simulateT(t, Config{Seed: 42, FaultRate: 0.3, MeasurementErrorRate: 0.3})
+	va := a.Lines[0].Machines[0].Jobs[0].Phases[0].Sensors.Dims[0].Values
+	vb := b.Lines[0].Machines[0].Jobs[0].Phases[0].Sensors.Dims[0].Values
+	for i := range va {
+		if va[i] != vb[i] {
+			t.Fatal("same seed must reproduce the plant")
+		}
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatal("event streams differ")
+	}
+}
+
+func TestRedundantSensorsAgree(t *testing.T) {
+	p := simulateT(t, Config{Seed: 2})
+	ph := p.Lines[0].Machines[0].Jobs[0].Phases[3]
+	ta := ph.Sensors.Dim("temp-a").Values
+	tb := ph.Sensors.Dim("temp-b").Values
+	if r := stats.Correlation(ta, tb); r < 0.95 {
+		t.Fatalf("redundant sensors correlate %v, want > 0.95", r)
+	}
+	// The mounting offsets put them ~0.4 apart.
+	diff := stats.Mean(ta) - stats.Mean(tb)
+	if math.Abs(diff-0.4) > 0.2 {
+		t.Fatalf("mounting offset=%v want ~0.4", diff)
+	}
+}
+
+func TestProcessFaultVisibleOnBothSensorsAndCAQ(t *testing.T) {
+	p := simulateT(t, Config{Seed: 3, FaultRate: 1})
+	m := p.Lines[0].Machines[0]
+	job := m.Jobs[0]
+	if !job.Faulty {
+		t.Fatal("job should be faulty at rate 1")
+	}
+	ph := job.Phases[3] // print
+	var ev *Event
+	for i := range ph.Events {
+		if ph.Events[i].Kind == ProcessFault {
+			ev = &ph.Events[i]
+		}
+	}
+	if ev == nil {
+		t.Fatal("no fault event recorded")
+	}
+	ta := ph.Sensors.Dim("temp-a").Values
+	tb := ph.Sensors.Dim("temp-b").Values
+	end := ev.Index + ev.Length - 1
+	// Both sensors deviate upward at the end of the fault ramp.
+	pre := stats.Mean(ta[:ev.Index])
+	if ta[end] < pre+4 || tb[end] < pre+4 {
+		t.Fatalf("fault ramp not visible on both sensors: a=%v b=%v pre=%v", ta[end], tb[end], pre)
+	}
+	// Quality degrades vs a clean plant.
+	clean := simulateT(t, Config{Seed: 3, FaultRate: 0})
+	dirtyErr := job.CAQ[0]
+	cleanErr := clean.Lines[0].Machines[0].Jobs[0].CAQ[0]
+	if dirtyErr < cleanErr {
+		t.Fatalf("faulty dimensional error %v should exceed clean %v", dirtyErr, cleanErr)
+	}
+}
+
+func TestMeasurementErrorOnlyOneSensor(t *testing.T) {
+	p := simulateT(t, Config{Seed: 4, MeasurementErrorRate: 1})
+	var ev *Event
+	var phase *Phase
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			for _, ph := range job.Phases {
+				for i := range ph.Events {
+					if ph.Events[i].Kind == MeasurementError {
+						ev = &ph.Events[i]
+						phase = ph
+					}
+				}
+			}
+		}
+	}
+	if ev == nil {
+		t.Fatal("no measurement error at rate 1")
+	}
+	bad := phase.Sensors.Dim(ev.Sensor).Values
+	partner := Correspondence[ev.Sensor][0]
+	good := phase.Sensors.Dim(partner).Values
+	mid := ev.Index + ev.Length/2
+	if bad[mid]-good[mid] < 10 {
+		t.Fatalf("lying sensor should be far from its partner: %v vs %v", bad[mid], good[mid])
+	}
+}
+
+func TestViews(t *testing.T) {
+	p := simulateT(t, Config{Seed: 5})
+	m := p.Lines[0].Machines[0]
+	stream, err := m.PhaseStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Len() != 8*5*120 || stream.Width() != 4 {
+		t.Fatalf("stream %dx%d", stream.Width(), stream.Len())
+	}
+	jv := m.JobVectors()
+	if len(jv) != 8 || len(jv[0]) != 11 {
+		t.Fatalf("job vectors %dx%d", len(jv), len(jv[0]))
+	}
+	ls, err := m.LineSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Len() != 8 {
+		t.Fatalf("line series len=%d", ls.Len())
+	}
+	qs, err := m.QualitySeries()
+	if err != nil || qs.Len() != 8 {
+		t.Fatalf("quality series len err=%v", err)
+	}
+	ps, err := p.ProductionSeries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 6 {
+		t.Fatalf("production series=%d", len(ps))
+	}
+	if _, err := p.MachineByID("nope"); err == nil {
+		t.Fatal("want error for unknown machine")
+	}
+	got, err := p.MachineByID(m.ID)
+	if err != nil || got != m {
+		t.Fatal("MachineByID failed")
+	}
+}
+
+func TestOffsetsRoundTrip(t *testing.T) {
+	p := simulateT(t, Config{Seed: 6})
+	m := p.Lines[0].Machines[0]
+	off, err := m.PhaseOffset(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != 2*5*120+3*120 {
+		t.Fatalf("offset=%d", off)
+	}
+	ji, err := m.JobIndexOfSample(off)
+	if err != nil || ji != 2 {
+		t.Fatalf("job index=%d err=%v", ji, err)
+	}
+	if _, err := m.PhaseOffset(99, 0); err == nil {
+		t.Fatal("want error for bad job index")
+	}
+	if _, err := m.PhaseOffset(0, 99); err == nil {
+		t.Fatal("want error for bad phase index")
+	}
+	if _, err := m.JobIndexOfSample(-1); err == nil {
+		t.Fatal("want error for negative sample")
+	}
+	// Beyond the end clamps to the last job.
+	ji, _ = m.JobIndexOfSample(1 << 20)
+	if ji != 7 {
+		t.Fatalf("clamped job index=%d", ji)
+	}
+}
+
+func TestEventsFor(t *testing.T) {
+	p := simulateT(t, Config{Seed: 7, FaultRate: 0.5, MeasurementErrorRate: 0.5})
+	m := p.Lines[0].Machines[0]
+	evs := p.EventsFor(m.ID)
+	for _, e := range evs {
+		if e.Machine != m.ID {
+			t.Fatalf("foreign event %+v", e)
+		}
+	}
+	if len(p.EventsFor("nope")) != 0 {
+		t.Fatal("unknown machine should have no events")
+	}
+}

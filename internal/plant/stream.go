@@ -1,0 +1,53 @@
+package plant
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/stream"
+)
+
+// StreamSource replays a machine's concatenated phase recordings as a
+// live sample stream, interleaving all sensors in time order — the
+// bridge between the simulated plant and the online pipeline of
+// internal/stream.
+type StreamSource struct {
+	samples []stream.Sample
+	pos     int
+}
+
+// NewStreamSource builds the source for one machine of the plant.
+func NewStreamSource(p *Plant, machineID string) (*StreamSource, error) {
+	m, err := p.MachineByID(machineID)
+	if err != nil {
+		return nil, err
+	}
+	ms, err := m.PhaseStream()
+	if err != nil {
+		return nil, err
+	}
+	if ms.Len() == 0 {
+		return nil, fmt.Errorf("plant: machine %s has no samples", machineID)
+	}
+	samples := make([]stream.Sample, 0, ms.Len()*ms.Width())
+	for i := 0; i < ms.Len(); i++ {
+		at := ms.Dims[0].TimeAt(i)
+		for _, d := range ms.Dims {
+			samples = append(samples, stream.Sample{Sensor: d.Name, At: at, Value: d.Values[i]})
+		}
+	}
+	return &StreamSource{samples: samples}, nil
+}
+
+// Len returns the total number of samples the source will emit.
+func (s *StreamSource) Len() int { return len(s.samples) }
+
+// Next implements stream.Source.
+func (s *StreamSource) Next(ctx context.Context) (stream.Sample, bool) {
+	if ctx.Err() != nil || s.pos >= len(s.samples) {
+		return stream.Sample{}, false
+	}
+	out := s.samples[s.pos]
+	s.pos++
+	return out, true
+}

@@ -1,0 +1,59 @@
+package plant
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+func TestStreamSourceEmitsAllSamples(t *testing.T) {
+	p := simulateT(t, Config{Seed: 1, JobsPerMachine: 2})
+	m := p.Machines()[0]
+	src, err := NewStreamSource(p, m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * 5 * 120 * len(SensorNames)
+	if src.Len() != want {
+		t.Fatalf("Len=%d want %d", src.Len(), want)
+	}
+	got := stream.Collect(stream.Pump(context.Background(), src, 128))
+	if len(got) != want {
+		t.Fatalf("collected %d samples, want %d", len(got), want)
+	}
+	// Sensors interleave at each timestamp.
+	seen := map[string]bool{}
+	for _, s := range got[:len(SensorNames)] {
+		seen[s.Sensor] = true
+	}
+	if len(seen) != len(SensorNames) {
+		t.Fatalf("first tick sensors=%v", seen)
+	}
+	// Time is monotone non-decreasing.
+	for i := 1; i < len(got); i++ {
+		if got[i].At.Before(got[i-1].At) {
+			t.Fatal("timestamps not monotone")
+		}
+	}
+}
+
+func TestStreamSourceUnknownMachine(t *testing.T) {
+	p := simulateT(t, Config{Seed: 1})
+	if _, err := NewStreamSource(p, "nope"); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestStreamSourceRespectsCancel(t *testing.T) {
+	p := simulateT(t, Config{Seed: 1, JobsPerMachine: 1})
+	src, err := NewStreamSource(p, p.Machines()[0].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := src.Next(ctx); ok {
+		t.Fatal("cancelled source should stop")
+	}
+}

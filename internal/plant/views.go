@@ -1,0 +1,169 @@
+package plant
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// The view helpers below extract the level-specific data shapes of
+// Fig. 2 from a simulated plant, ready for the hierarchy algorithm.
+
+// MachineByID returns the machine with the given ID.
+func (p *Plant) MachineByID(id string) (*Machine, error) {
+	for _, l := range p.Lines {
+		for _, m := range l.Machines {
+			if m.ID == id {
+				return m, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("plant: unknown machine %q", id)
+}
+
+// Machines returns all machines in deterministic order.
+func (p *Plant) Machines() []*Machine {
+	var out []*Machine
+	for _, l := range p.Lines {
+		out = append(out, l.Machines...)
+	}
+	return out
+}
+
+// PhaseStream concatenates all phase recordings of a machine into one
+// aligned multi-series — the level-1 view over the machine's whole
+// history.
+func (m *Machine) PhaseStream() (*timeseries.MultiSeries, error) {
+	if len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("plant: machine %s has no jobs", m.ID)
+	}
+	concat := make(map[string][]float64, len(SensorNames))
+	for _, job := range m.Jobs {
+		for _, ph := range job.Phases {
+			for _, dim := range ph.Sensors.Dims {
+				concat[dim.Name] = append(concat[dim.Name], dim.Values...)
+			}
+		}
+	}
+	first := m.Jobs[0].Phases[0].Sensors
+	dims := make([]*timeseries.Series, 0, len(SensorNames))
+	for _, name := range SensorNames {
+		dims = append(dims, timeseries.New(name, first.Start, first.Step, concat[name]))
+	}
+	return timeseries.NewMulti(dims...)
+}
+
+// JobVectors returns, per job of the machine, the concatenated
+// setup+CAQ vector — the level-2 high-dimensional data.
+func (m *Machine) JobVectors() [][]float64 {
+	out := make([][]float64, len(m.Jobs))
+	for i, j := range m.Jobs {
+		v := make([]float64, 0, len(j.Setup)+len(j.CAQ))
+		v = append(v, j.Setup...)
+		v = append(v, j.CAQ...)
+		out[i] = v
+	}
+	return out
+}
+
+// LineSeries returns the level-4 view of a machine: the per-job mean
+// chamber temperature over job sequence — "if jobs over time are
+// investigated, the high-dimensional setup provides also a time
+// series" (§2).
+func (m *Machine) LineSeries() (*timeseries.Series, error) {
+	if len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("plant: machine %s has no jobs", m.ID)
+	}
+	vals := make([]float64, len(m.Jobs))
+	for i, j := range m.Jobs {
+		var o stats.Online
+		for _, ph := range j.Phases {
+			if d := ph.Sensors.Dim("temp-a"); d != nil {
+				o.AddAll(d.Values)
+			}
+		}
+		vals[i] = o.Mean()
+	}
+	jobDur := m.Jobs[0].Phases[0].Sensors.Step *
+		time.Duration(len(m.Jobs[0].Phases)*m.Jobs[0].Phases[0].Sensors.Len())
+	return timeseries.New(m.ID+"/job-mean-temp", m.Jobs[0].Start, jobDur, vals), nil
+}
+
+// QualitySeries returns the per-job CAQ dimensional-error series for a
+// machine — the quality trend the line level watches.
+func (m *Machine) QualitySeries() (*timeseries.Series, error) {
+	if len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("plant: machine %s has no jobs", m.ID)
+	}
+	vals := make([]float64, len(m.Jobs))
+	for i, j := range m.Jobs {
+		vals[i] = j.CAQ[0]
+	}
+	jobDur := m.Jobs[0].Phases[0].Sensors.Step *
+		time.Duration(len(m.Jobs[0].Phases)*m.Jobs[0].Phases[0].Sensors.Len())
+	return timeseries.New(m.ID+"/dim-error", m.Jobs[0].Start, jobDur, vals), nil
+}
+
+// ProductionSeries returns the level-5 view: one line series per
+// machine across the whole plant, aligned by job sequence.
+func (p *Plant) ProductionSeries() ([]*timeseries.Series, error) {
+	var out []*timeseries.Series
+	for _, m := range p.Machines() {
+		s, err := m.LineSeries()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("plant: no machines")
+	}
+	return out, nil
+}
+
+// EventsFor returns the ground-truth events of one machine.
+func (p *Plant) EventsFor(machineID string) []Event {
+	var out []Event
+	for _, e := range p.Events {
+		if e.Machine == machineID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PhaseOffset returns the sample offset of (jobIdx, phaseIdx) within
+// the machine's concatenated phase stream.
+func (m *Machine) PhaseOffset(jobIdx, phaseIdx int) (int, error) {
+	if jobIdx < 0 || jobIdx >= len(m.Jobs) {
+		return 0, fmt.Errorf("plant: job index %d out of range", jobIdx)
+	}
+	job := m.Jobs[jobIdx]
+	if phaseIdx < 0 || phaseIdx >= len(job.Phases) {
+		return 0, fmt.Errorf("plant: phase index %d out of range", phaseIdx)
+	}
+	perPhase := job.Phases[0].Sensors.Len()
+	perJob := perPhase * len(job.Phases)
+	return jobIdx*perJob + phaseIdx*perPhase, nil
+}
+
+// JobIndexOfSample maps a sample offset in the concatenated phase
+// stream back to the job sequence index — the level-1 → level-2/4
+// position mapping of the hierarchy.
+func (m *Machine) JobIndexOfSample(sample int) (int, error) {
+	if len(m.Jobs) == 0 {
+		return 0, fmt.Errorf("plant: machine %s has no jobs", m.ID)
+	}
+	perPhase := m.Jobs[0].Phases[0].Sensors.Len()
+	perJob := perPhase * len(m.Jobs[0].Phases)
+	if sample < 0 {
+		return 0, fmt.Errorf("plant: negative sample offset %d", sample)
+	}
+	idx := sample / perJob
+	if idx >= len(m.Jobs) {
+		idx = len(m.Jobs) - 1
+	}
+	return idx, nil
+}

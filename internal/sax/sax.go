@@ -1,0 +1,131 @@
+// Package sax implements the Symbolic Aggregate approXimation of Lin et
+// al. (2003) — the "symbolic representation of time series" row of the
+// paper's Table 1 and the discretisation backbone for the sequence
+// detectors. A series is z-normalised, reduced by piecewise aggregate
+// approximation (PAA) and mapped to symbols using breakpoints that make
+// the symbols equiprobable under a standard normal.
+package sax
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// MinAlphabet and MaxAlphabet bound supported alphabet sizes.
+const (
+	MinAlphabet = 2
+	MaxAlphabet = 20
+)
+
+// Encoder converts numeric windows into SAX words.
+type Encoder struct {
+	segments    int
+	alphabet    int
+	breakpoints []float64 // alphabet-1 ascending breakpoints
+}
+
+// NewEncoder builds an encoder producing words of the given number of
+// segments over the given alphabet size.
+func NewEncoder(segments, alphabet int) (*Encoder, error) {
+	if segments <= 0 {
+		return nil, fmt.Errorf("sax: segments must be positive, got %d", segments)
+	}
+	if alphabet < MinAlphabet || alphabet > MaxAlphabet {
+		return nil, fmt.Errorf("sax: alphabet %d out of [%d,%d]", alphabet, MinAlphabet, MaxAlphabet)
+	}
+	bp := make([]float64, alphabet-1)
+	for i := 1; i < alphabet; i++ {
+		bp[i-1] = stats.NormalQuantile(float64(i) / float64(alphabet))
+	}
+	return &Encoder{segments: segments, alphabet: alphabet, breakpoints: bp}, nil
+}
+
+// Segments returns the word length.
+func (e *Encoder) Segments() int { return e.segments }
+
+// Alphabet returns the alphabet size.
+func (e *Encoder) Alphabet() int { return e.alphabet }
+
+// Encode converts one window into a SAX word. The window is
+// z-normalised internally (a constant window maps to the middle
+// symbol).
+func (e *Encoder) Encode(values []float64) (string, error) {
+	if len(values) == 0 {
+		return "", fmt.Errorf("sax: empty window")
+	}
+	cp := append([]float64(nil), values...)
+	stats.Normalize(cp)
+	paa, err := timeseries.PAA(cp, e.segments)
+	if err != nil {
+		return "", err
+	}
+	word := make([]byte, len(paa))
+	for i, v := range paa {
+		word[i] = byte('a' + e.symbolOf(v))
+	}
+	return string(word), nil
+}
+
+func (e *Encoder) symbolOf(v float64) int {
+	// Linear scan: alphabets are tiny (≤ 20).
+	for i, bp := range e.breakpoints {
+		if v < bp {
+			return i
+		}
+	}
+	return e.alphabet - 1
+}
+
+// EncodeSeries slides a window of the given size and stride over the
+// series and returns the SAX word at each position.
+func (e *Encoder) EncodeSeries(values []float64, size, stride int) (words []string, starts []int, err error) {
+	ws, err := timeseries.SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, nil, err
+	}
+	words = make([]string, len(ws))
+	starts = make([]int, len(ws))
+	for i, w := range ws {
+		word, err := e.Encode(w.Values)
+		if err != nil {
+			return nil, nil, err
+		}
+		words[i] = word
+		starts[i] = w.Start
+	}
+	return words, starts, nil
+}
+
+// MinDist returns the MINDIST lower bound between two SAX words of equal
+// length, scaled for the original window length n. Adjacent symbols have
+// distance zero by construction.
+func (e *Encoder) MinDist(a, b string, n int) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("sax: MinDist on words of length %d and %d", len(a), len(b))
+	}
+	if len(a) == 0 {
+		return 0, fmt.Errorf("sax: MinDist on empty words")
+	}
+	var ss float64
+	for i := 0; i < len(a); i++ {
+		d := e.cellDist(int(a[i]-'a'), int(b[i]-'a'))
+		ss += d * d
+	}
+	scale := float64(n) / float64(len(a))
+	return math.Sqrt(scale * ss), nil
+}
+
+// cellDist is the breakpoint distance between symbols r and c: zero for
+// adjacent symbols, else the gap between the nearer breakpoints.
+func (e *Encoder) cellDist(r, c int) float64 {
+	if r > c {
+		r, c = c, r
+	}
+	if c-r <= 1 {
+		return 0
+	}
+	return e.breakpoints[c-1] - e.breakpoints[r]
+}

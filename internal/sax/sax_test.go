@@ -1,0 +1,178 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEncoderValidation(t *testing.T) {
+	if _, err := NewEncoder(0, 4); err == nil {
+		t.Fatal("want error for zero segments")
+	}
+	if _, err := NewEncoder(4, 1); err == nil {
+		t.Fatal("want error for tiny alphabet")
+	}
+	if _, err := NewEncoder(4, 99); err == nil {
+		t.Fatal("want error for huge alphabet")
+	}
+	e, err := NewEncoder(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Segments() != 8 || e.Alphabet() != 4 {
+		t.Fatal("accessor mismatch")
+	}
+}
+
+func TestEncodeRampAndConstant(t *testing.T) {
+	e, _ := NewEncoder(4, 4)
+	// A strictly increasing ramp must produce non-decreasing symbols
+	// from low to high.
+	ramp := make([]float64, 64)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	w, err := e.Encode(ramp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0] != 'a' || w[3] != 'd' {
+		t.Fatalf("ramp word %q should span alphabet", w)
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] < w[i-1] {
+			t.Fatalf("ramp word %q not monotone", w)
+		}
+	}
+	// Constant window z-normalises to zeros → middle symbols.
+	c, err := e.Encode([]float64{5, 5, 5, 5, 5, 5, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range c {
+		if ch != 'b' && ch != 'c' {
+			t.Fatalf("constant word %q should use middle symbols", c)
+		}
+	}
+	if _, err := e.Encode(nil); err == nil {
+		t.Fatal("want error for empty window")
+	}
+}
+
+func TestEncodeSeries(t *testing.T) {
+	e, _ := NewEncoder(4, 3)
+	vs := make([]float64, 100)
+	for i := range vs {
+		vs[i] = math.Sin(float64(i) / 5)
+	}
+	words, starts, err := e.EncodeSeries(vs, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(words) != len(starts) || len(words) != 9 {
+		t.Fatalf("words=%d starts=%d", len(words), len(starts))
+	}
+	for _, w := range words {
+		if len(w) != 4 {
+			t.Fatalf("word %q length", w)
+		}
+	}
+	if _, _, err := e.EncodeSeries(vs, 0, 1); err == nil {
+		t.Fatal("want error for bad window size")
+	}
+}
+
+func TestMinDistProperties(t *testing.T) {
+	e, _ := NewEncoder(4, 4)
+	// Identical and adjacent-symbol words have distance 0.
+	d, err := e.MinDist("abcd", "abcd", 32)
+	if err != nil || d != 0 {
+		t.Fatalf("identical dist=%v err=%v", d, err)
+	}
+	d, _ = e.MinDist("aaaa", "bbbb", 32)
+	if d != 0 {
+		t.Fatalf("adjacent symbols dist=%v want 0", d)
+	}
+	far, _ := e.MinDist("aaaa", "dddd", 32)
+	near, _ := e.MinDist("aaaa", "cccc", 32)
+	if far <= near || near <= 0 {
+		t.Fatalf("far=%v near=%v: distance must grow with symbol gap", far, near)
+	}
+	if _, err := e.MinDist("ab", "abc", 8); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	if _, err := e.MinDist("", "", 8); err == nil {
+		t.Fatal("want error for empty words")
+	}
+}
+
+func TestDissimilarShapesGetDistinctWords(t *testing.T) {
+	e, _ := NewEncoder(8, 5)
+	up := make([]float64, 64)
+	down := make([]float64, 64)
+	for i := range up {
+		up[i] = float64(i)
+		down[i] = float64(len(down) - i)
+	}
+	wu, _ := e.Encode(up)
+	wd, _ := e.Encode(down)
+	if wu == wd {
+		t.Fatalf("ramp up and down encode identically: %q", wu)
+	}
+	d, _ := e.MinDist(wu, wd, 64)
+	if d <= 0 {
+		t.Fatalf("opposite ramps should have positive MINDIST, got %v", d)
+	}
+}
+
+// Property: MinDist is symmetric and non-negative.
+func TestPropertyMinDistSymmetric(t *testing.T) {
+	e, _ := NewEncoder(6, 6)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		mk := func() string {
+			var sb strings.Builder
+			for i := 0; i < 6; i++ {
+				sb.WriteByte(byte('a' + rng.Intn(6)))
+			}
+			return sb.String()
+		}
+		a, b := mk(), mk()
+		d1, err1 := e.MinDist(a, b, 48)
+		d2, err2 := e.MinDist(b, a, 48)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: encoding is invariant to affine transforms (z-normalisation).
+func TestPropertyAffineInvariance(t *testing.T) {
+	e, _ := NewEncoder(4, 4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vs := make([]float64, 32)
+		for i := range vs {
+			vs[i] = rng.NormFloat64()
+		}
+		scaled := make([]float64, len(vs))
+		scale := 1 + rng.Float64()*10
+		shift := rng.NormFloat64() * 100
+		for i, v := range vs {
+			scaled[i] = v*scale + shift
+		}
+		w1, err1 := e.Encode(vs)
+		w2, err2 := e.Encode(scaled)
+		return err1 == nil && err2 == nil && w1 == w2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

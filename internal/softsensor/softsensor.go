@@ -1,0 +1,172 @@
+// Package softsensor implements soft sensor modelling — "sensors can
+// be simulated using software" (paper §5, [40]). A soft sensor
+// predicts one physical channel from the others by ridge-regularised
+// least squares; the prediction acts as a *virtual redundant sensor*,
+// giving the hierarchy a support signal for channels that have no
+// physical twin, and its residual is itself an outlier score (the
+// fusion of outlier detection and soft sensing the cited work
+// proposes).
+package softsensor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+// ErrInput is returned for malformed inputs.
+var ErrInput = errors.New("softsensor: invalid input")
+
+// Model predicts a target channel from the remaining channels.
+type Model struct {
+	Target  string
+	Inputs  []string
+	weights []float64 // per input
+	bias    float64
+	resStd  float64
+	fitted  bool
+}
+
+// Fit trains the soft sensor on a (mostly clean) multi-series: target
+// is the channel to virtualise, all other channels are inputs. Ridge
+// regularisation keeps near-collinear sensor blocks solvable.
+func Fit(ms *timeseries.MultiSeries, target string, ridge float64) (*Model, error) {
+	tgt := ms.Dim(target)
+	if tgt == nil {
+		return nil, fmt.Errorf("%w: unknown target %q", ErrInput, target)
+	}
+	if ms.Width() < 2 {
+		return nil, fmt.Errorf("%w: need at least one input channel", ErrInput)
+	}
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	var inputs []*timeseries.Series
+	var names []string
+	for _, d := range ms.Dims {
+		if d.Name != target {
+			inputs = append(inputs, d)
+			names = append(names, d.Name)
+		}
+	}
+	n := ms.Len()
+	k := len(inputs)
+	if n < 4*(k+1) {
+		return nil, fmt.Errorf("%w: %d samples for %d inputs", ErrInput, n, k)
+	}
+	// Normal equations with bias: solve (XᵀX + λI)w = Xᵀy where X has a
+	// trailing 1-column for the bias.
+	dim := k + 1
+	xtx := linalg.NewMatrix(dim, dim)
+	xty := make([]float64, dim)
+	row := make([]float64, dim)
+	for t := 0; t < n; t++ {
+		for j, in := range inputs {
+			row[j] = in.Values[t]
+		}
+		row[k] = 1
+		y := tgt.Values[t]
+		for a := 0; a < dim; a++ {
+			for b := a; b < dim; b++ {
+				xtx.Set(a, b, xtx.At(a, b)+row[a]*row[b])
+			}
+			xty[a] += row[a] * y
+		}
+	}
+	for a := 0; a < dim; a++ {
+		for b := 0; b < a; b++ {
+			xtx.Set(a, b, xtx.At(b, a))
+		}
+		xtx.Set(a, a, xtx.At(a, a)+ridge*float64(n))
+	}
+	w, err := linalg.SolveSPD(xtx, xty)
+	if err != nil {
+		return nil, fmt.Errorf("softsensor: normal equations: %w", err)
+	}
+	m := &Model{Target: target, Inputs: names, weights: w[:k], bias: w[k], fitted: true}
+	// Residual spread on the training data.
+	res := make([]float64, n)
+	for t := 0; t < n; t++ {
+		res[t] = tgt.Values[t] - m.predictAt(inputs, t)
+	}
+	m.resStd = stats.StdDev(res)
+	if m.resStd < 1e-9 {
+		m.resStd = 1e-9
+	}
+	return m, nil
+}
+
+func (m *Model) predictAt(inputs []*timeseries.Series, t int) float64 {
+	pred := m.bias
+	for j, in := range inputs {
+		pred += m.weights[j] * in.Values[t]
+	}
+	return pred
+}
+
+// Predict returns the virtual sensor series for a multi-series with
+// the same input channels.
+func (m *Model) Predict(ms *timeseries.MultiSeries) (*timeseries.Series, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("%w: model not fitted", ErrInput)
+	}
+	inputs := make([]*timeseries.Series, len(m.Inputs))
+	for j, name := range m.Inputs {
+		d := ms.Dim(name)
+		if d == nil {
+			return nil, fmt.Errorf("%w: input channel %q missing", ErrInput, name)
+		}
+		inputs[j] = d
+	}
+	vals := make([]float64, ms.Len())
+	for t := range vals {
+		vals[t] = m.predictAt(inputs, t)
+	}
+	return timeseries.New("soft:"+m.Target, ms.Start, ms.Step, vals), nil
+}
+
+// Residuals returns the standardised residuals |actual−predicted|/σ —
+// the fused outlier score of the soft-sensor approach. A channel that
+// departs from what its peers imply is either faulty or lying; cross
+// checking with the peers' own scores disambiguates (see Support).
+func (m *Model) Residuals(ms *timeseries.MultiSeries) ([]float64, error) {
+	pred, err := m.Predict(ms)
+	if err != nil {
+		return nil, err
+	}
+	tgt := ms.Dim(m.Target)
+	if tgt == nil {
+		return nil, fmt.Errorf("%w: target channel %q missing", ErrInput, m.Target)
+	}
+	out := make([]float64, ms.Len())
+	for t := range out {
+		out[t] = math.Abs(tgt.Values[t]-pred.Values[t]) / m.resStd
+	}
+	return out, nil
+}
+
+// Support reports, for an outlier at sample t on the target channel,
+// whether the virtual sensor *confirms* the measured value: true when
+// the measurement agrees with what the peer channels imply (small
+// standardised residual). A physically deviating process moves the
+// inputs too, so the prediction follows the measurement and support
+// holds; a lone lying sensor departs from its prediction and support
+// fails — virtual redundancy in the sense of the paper's support
+// value.
+func (m *Model) Support(ms *timeseries.MultiSeries, t int, threshold float64) (bool, error) {
+	if t < 0 || t >= ms.Len() {
+		return false, fmt.Errorf("%w: sample %d out of range", ErrInput, t)
+	}
+	if threshold <= 0 {
+		threshold = 4
+	}
+	res, err := m.Residuals(ms)
+	if err != nil {
+		return false, err
+	}
+	return res[t] < threshold, nil
+}

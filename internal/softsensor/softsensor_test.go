@@ -1,0 +1,204 @@
+package softsensor
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/plant"
+	"repro/internal/stats"
+	"repro/internal/timeseries"
+)
+
+var t0 = time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+
+// block builds a three-channel multiseries where target = 2*a - b + 1
+// plus noise.
+func block(t *testing.T, n int, rng *rand.Rand, corrupt func(i int, tgt []float64)) *timeseries.MultiSeries {
+	t.Helper()
+	a := make([]float64, n)
+	b := make([]float64, n)
+	tgt := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64() * 2
+		b[i] = rng.NormFloat64()
+		tgt[i] = 2*a[i] - b[i] + 1 + rng.NormFloat64()*0.05
+	}
+	if corrupt != nil {
+		for i := range tgt {
+			corrupt(i, tgt)
+		}
+	}
+	ms, err := timeseries.NewMulti(
+		timeseries.New("a", t0, time.Second, a),
+		timeseries.New("b", t0, time.Second, b),
+		timeseries.New("target", t0, time.Second, tgt),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestFitRecoversLinearModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ms := block(t, 500, rng, nil)
+	m, err := Fit(ms, "target", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, err := m.Predict(ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := ms.Dim("target")
+	if r := stats.Correlation(pred.Values, tgt.Values); r < 0.999 {
+		t.Fatalf("prediction correlation %v", r)
+	}
+	if pred.Name != "soft:target" {
+		t.Fatalf("name=%q", pred.Name)
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ms := block(t, 500, rng, nil)
+	if _, err := Fit(ms, "nope", 0); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for unknown target")
+	}
+	short := block(t, 8, rng, nil)
+	if _, err := Fit(short, "target", 0); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for too few samples")
+	}
+	single, _ := timeseries.NewMulti(timeseries.New("x", t0, time.Second, make([]float64, 50)))
+	if _, err := Fit(single, "x", 0); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput without inputs")
+	}
+}
+
+func TestResidualsFlagLyingSensor(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clean := block(t, 600, rng, nil)
+	m, err := Fit(clean, "target", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same generating law, but the target lies between 300 and 320.
+	rng2 := rand.New(rand.NewSource(4))
+	dirty := block(t, 600, rng2, func(i int, tgt []float64) {
+		if i >= 300 && i < 320 {
+			tgt[i] += 15
+		}
+	})
+	res, err := m.Residuals(dirty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inside, outside := 0.0, 0.0
+	for i, r := range res {
+		if i >= 300 && i < 320 {
+			if r > inside {
+				inside = r
+			}
+		} else if r > outside {
+			outside = r
+		}
+	}
+	if inside < 5*outside {
+		t.Fatalf("lying stretch residual %v should dwarf normal max %v", inside, outside)
+	}
+	// The virtual sensor does NOT support the deviation: inputs were
+	// calm, so this is a measurement error.
+	ok, err := m.Support(dirty, 310, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("virtual sensor must not support a lone lying target")
+	}
+}
+
+func TestSupportConfirmsPhysicalShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	clean := block(t, 600, rng, nil)
+	m, err := Fit(clean, "target", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A physical deviation: input a jumps, so the true target moves
+	// and the soft prediction moves with it.
+	a := make([]float64, 600)
+	bvals := make([]float64, 600)
+	tgt := make([]float64, 600)
+	rng2 := rand.New(rand.NewSource(6))
+	for i := range a {
+		a[i] = rng2.NormFloat64() * 2
+		if i >= 300 {
+			a[i] += 10 // physical input shift
+		}
+		bvals[i] = rng2.NormFloat64()
+		tgt[i] = 2*a[i] - bvals[i] + 1 + rng2.NormFloat64()*0.05
+	}
+	ms, err := timeseries.NewMulti(
+		timeseries.New("a", t0, time.Second, a),
+		timeseries.New("b", t0, time.Second, bvals),
+		timeseries.New("target", t0, time.Second, tgt),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := m.Support(ms, 300, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("virtual sensor should confirm a physical input shift")
+	}
+	if _, err := m.Support(ms, -1, 4); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for bad index")
+	}
+}
+
+func TestOnPlantVibrationChannel(t *testing.T) {
+	// The plant's vibration channel has no physical twin; the soft
+	// sensor predicts it from temperature and power, providing virtual
+	// redundancy.
+	p, err := plant.Simulate(plant.Config{Seed: 7, JobsPerMachine: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Machines()[0]
+	stream, err := m.PhaseStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Fit(stream, "vibration", 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := model.Residuals(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean plant: residuals stay moderate.
+	if q := stats.Quantile(res, 0.99); q > 6 {
+		t.Fatalf("clean-plant vibration residual q99=%v", q)
+	}
+}
+
+func TestPredictMissingChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ms := block(t, 500, rng, nil)
+	m, err := Fit(ms, "target", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	partial, _ := timeseries.NewMulti(timeseries.New("a", t0, time.Second, make([]float64, 10)))
+	if _, err := m.Predict(partial); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for missing input channel")
+	}
+	if _, err := (&Model{}).Predict(ms); !errors.Is(err, ErrInput) {
+		t.Fatal("want ErrInput for unfitted model")
+	}
+}

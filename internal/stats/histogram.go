@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Histogram is a fixed-width-bin histogram over a closed interval. It
+// backs the information-theoretic deviant detector and the plant
+// simulator's load summaries.
+type Histogram struct {
+	lo, hi float64
+	width  float64
+	counts []int
+	total  int
+	// out-of-range observations are clamped into the edge bins, but
+	// counted so callers can detect misconfigured ranges.
+	clamped int
+}
+
+// NewHistogram builds a histogram with the given number of bins over
+// [lo, hi]. It panics when bins <= 0 or hi <= lo: both are programmer
+// errors, not data conditions.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 {
+		panic("stats: histogram with no bins")
+	}
+	if hi <= lo {
+		panic("stats: histogram with empty range")
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(bins),
+		counts: make([]int, bins),
+	}
+}
+
+// HistogramFromData builds a histogram spanning the observed range of xs
+// and adds every observation.
+func HistogramFromData(xs []float64, bins int) *Histogram {
+	lo, hi := MinMax(xs)
+	if len(xs) == 0 || lo == hi {
+		// Degenerate sample: give the histogram a unit span around lo
+		// so Add and Density stay well-defined.
+		lo, hi = lo-0.5, lo+0.5
+		if len(xs) == 0 {
+			lo, hi = 0, 1
+		}
+	}
+	h := NewHistogram(lo, hi, bins)
+	for _, x := range xs {
+		h.Add(x)
+	}
+	return h
+}
+
+// Add folds one observation into the histogram.
+func (h *Histogram) Add(x float64) {
+	idx := h.binOf(x)
+	h.counts[idx]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if x < h.lo {
+		h.clamped++
+		return 0
+	}
+	if x >= h.hi {
+		if x > h.hi {
+			h.clamped++
+		}
+		return len(h.counts) - 1
+	}
+	idx := int((x - h.lo) / h.width)
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	return idx
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Total returns the number of observations added.
+func (h *Histogram) Total() int { return h.total }
+
+// Clamped reports how many observations fell outside [lo, hi].
+func (h *Histogram) Clamped() int { return h.clamped }
+
+// BinCenter returns the centre value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.lo + (float64(i)+0.5)*h.width
+}
+
+// Density returns the estimated probability of the bin containing x,
+// with add-one (Laplace) smoothing so unseen bins keep nonzero mass.
+func (h *Histogram) Density(x float64) float64 {
+	if h.total == 0 {
+		return 1 / float64(len(h.counts))
+	}
+	idx := h.binOf(x)
+	return (float64(h.counts[idx]) + 1) / (float64(h.total) + float64(len(h.counts)))
+}
+
+// Entropy returns the Shannon entropy (nats) of the bin distribution,
+// the quantity the ITM deviant detector tries to reduce by removing
+// points.
+func (h *Histogram) Entropy() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	var ent float64
+	for _, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(h.total)
+		ent -= p * math.Log(p)
+	}
+	return ent
+}
+
+// String renders a compact textual summary, useful in hodctl output.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("Histogram[%g,%g) bins=%d n=%d", h.lo, h.hi, len(h.counts), h.total)
+}
+
+// NormalPDF is the density of the normal distribution with the given
+// mean and standard deviation.
+func NormalPDF(x, mean, std float64) float64 {
+	if std <= 0 {
+		if x == mean {
+			return math.Inf(1)
+		}
+		return 0
+	}
+	z := (x - mean) / std
+	return math.Exp(-0.5*z*z) / (std * math.Sqrt(2*math.Pi))
+}
+
+// NormalCDF is the cumulative distribution of the normal distribution.
+func NormalCDF(x, mean, std float64) float64 {
+	if std <= 0 {
+		if x < mean {
+			return 0
+		}
+		return 1
+	}
+	return 0.5 * math.Erfc(-(x-mean)/(std*math.Sqrt2))
+}
+
+// NormalQuantile returns the q-quantile of the standard normal
+// distribution using the Acklam rational approximation (relative error
+// below 1.15e-9), enough for threshold calibration.
+func NormalQuantile(q float64) float64 {
+	if q <= 0 {
+		return math.Inf(-1)
+	}
+	if q >= 1 {
+		return math.Inf(1)
+	}
+	// Coefficients for the central and tail regions.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const plow = 0.02425
+	switch {
+	case q < plow:
+		u := math.Sqrt(-2 * math.Log(q))
+		return (((((c[0]*u+c[1])*u+c[2])*u+c[3])*u+c[4])*u + c[5]) /
+			((((d[0]*u+d[1])*u+d[2])*u+d[3])*u + 1)
+	case q > 1-plow:
+		u := math.Sqrt(-2 * math.Log(1-q))
+		return -(((((c[0]*u+c[1])*u+c[2])*u+c[3])*u+c[4])*u + c[5]) /
+			((((d[0]*u+d[1])*u+d[2])*u+d[3])*u + 1)
+	default:
+		u := q - 0.5
+		t := u * u
+		return (((((a[0]*t+a[1])*t+a[2])*t+a[3])*t+a[4])*t + a[5]) * u /
+			(((((b[0]*t+b[1])*t+b[2])*t+b[3])*t+b[4])*t + 1)
+	}
+}

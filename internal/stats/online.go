@@ -1,0 +1,147 @@
+package stats
+
+import "math"
+
+// Online accumulates count, mean and variance incrementally using
+// Welford's algorithm. The zero value is ready to use. It is the building
+// block for the streaming detectors, which cannot afford to buffer the
+// phase-level high-resolution series.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (o *Online) Add(x float64) {
+	if o.n == 0 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// AddAll folds a batch of observations.
+func (o *Online) AddAll(xs []float64) {
+	for _, x := range xs {
+		o.Add(x)
+	}
+}
+
+// N returns the number of observations folded so far.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean (0 when empty).
+func (o *Online) Mean() float64 { return o.mean }
+
+// Variance returns the unbiased running variance (0 when n < 2).
+func (o *Online) Variance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// StdDev returns the unbiased running standard deviation.
+func (o *Online) StdDev() float64 { return math.Sqrt(o.Variance()) }
+
+// Min returns the smallest observation (NaN when empty).
+func (o *Online) Min() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (o *Online) Max() float64 {
+	if o.n == 0 {
+		return math.NaN()
+	}
+	return o.max
+}
+
+// Merge combines another accumulator into o (parallel Welford merge),
+// used when fan-in collapses per-sensor partials at the job level.
+func (o *Online) Merge(other Online) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	n1, n2 := float64(o.n), float64(other.n)
+	delta := other.mean - o.mean
+	total := n1 + n2
+	o.mean += delta * n2 / total
+	o.m2 += other.m2 + delta*delta*n1*n2/total
+	o.n += other.n
+	if other.min < o.min {
+		o.min = other.min
+	}
+	if other.max > o.max {
+		o.max = other.max
+	}
+}
+
+// Reset returns the accumulator to its zero state.
+func (o *Online) Reset() { *o = Online{} }
+
+// EWMATracker maintains an exponentially weighted mean and variance,
+// which the environment-level detectors use to follow slow drifts such as
+// the daily room-temperature cycle while still flagging step changes.
+type EWMATracker struct {
+	alpha    float64
+	mean     float64
+	variance float64
+	started  bool
+}
+
+// NewEWMATracker builds a tracker with smoothing factor alpha in (0, 1].
+// Larger alpha adapts faster but forgets the normal profile sooner.
+func NewEWMATracker(alpha float64) *EWMATracker {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha out of (0,1]")
+	}
+	return &EWMATracker{alpha: alpha}
+}
+
+// Add folds one observation and returns the deviation of x from the mean
+// tracked *before* the update, in standard deviations (0 for the first
+// observation). Returning the pre-update deviation keeps an isolated
+// spike from suppressing its own score.
+func (e *EWMATracker) Add(x float64) float64 {
+	if !e.started {
+		e.started = true
+		e.mean = x
+		return 0
+	}
+	std := math.Sqrt(e.variance)
+	var score float64
+	if std > 0 {
+		score = math.Abs(x-e.mean) / std
+	}
+	diff := x - e.mean
+	incr := e.alpha * diff
+	e.mean += incr
+	e.variance = (1 - e.alpha) * (e.variance + diff*incr)
+	return score
+}
+
+// Mean returns the tracked mean.
+func (e *EWMATracker) Mean() float64 { return e.mean }
+
+// StdDev returns the tracked standard deviation.
+func (e *EWMATracker) StdDev() float64 { return math.Sqrt(e.variance) }

@@ -1,0 +1,375 @@
+// Package stats provides the descriptive, robust, and online statistics
+// used throughout the hierarchical outlier detection library.
+//
+// All functions operate on float64 slices and are allocation-conscious:
+// functions that need a sorted copy state so explicitly, and in-place
+// variants are provided where hot paths need them.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by functions that cannot produce a meaningful
+// result for an empty sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Sum returns the sum of xs using Kahan compensated summation, which keeps
+// aggregation error bounded even for the long, high-resolution sensor
+// series produced at the phase level.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1) sample variance of xs.
+// It returns 0 when len(xs) < 2.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss, comp float64
+	for _, x := range xs {
+		d := x - m
+		y := d*d - comp
+		t := ss + y
+		comp = (t - ss) - y
+		ss = t
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanStd returns both the mean and the sample standard deviation in a
+// single pass (Welford), which the windowed detectors use per window.
+func MeanStd(xs []float64) (mean, std float64) {
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	return o.Mean(), o.StdDev()
+}
+
+// Min returns the minimum of xs. It returns +Inf for an empty slice so
+// that fold-style aggregation remains well-defined.
+func Min(xs []float64) float64 {
+	min := math.Inf(1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Max returns the maximum of xs. It returns -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	max := math.Inf(-1)
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// MinMax returns both extremes in one pass.
+func MinMax(xs []float64) (min, max float64) {
+	min, max = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Median returns the median of xs. The input is not modified; a sorted
+// copy is made internally.
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return medianSorted(cp)
+}
+
+func medianSorted(sorted []float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// MAD returns the median absolute deviation of xs scaled by 1.4826 so
+// that it estimates the standard deviation for Gaussian data. Robust
+// detectors use it instead of StdDev to keep injected outliers from
+// inflating their own threshold.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return 1.4826 * Median(dev)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics (type-7, the numpy default).
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return QuantileSorted(cp, q)
+}
+
+// QuantileSorted is Quantile for an already-sorted sample.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// IQR returns the interquartile range of xs.
+func IQR(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return QuantileSorted(cp, 0.75) - QuantileSorted(cp, 0.25)
+}
+
+// ZScores returns (x - mean) / std for every element. If the standard
+// deviation is zero the scores are all zero, matching the convention that
+// a constant series contains no point outliers.
+func ZScores(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m, s := MeanStd(xs)
+	if s == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / s
+	}
+	return out
+}
+
+// RobustZScores returns (x - median) / MAD for every element, the robust
+// analogue of ZScores.
+func RobustZScores(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	med := Median(xs)
+	mad := MAD(xs)
+	if mad == 0 || math.IsNaN(mad) {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - med) / mad
+	}
+	return out
+}
+
+// Normalize z-normalizes xs in place and returns it. A constant window is
+// mapped to all zeros.
+func Normalize(xs []float64) []float64 {
+	m, s := MeanStd(xs)
+	if s == 0 {
+		for i := range xs {
+			xs[i] = 0
+		}
+		return xs
+	}
+	for i := range xs {
+		xs[i] = (xs[i] - m) / s
+	}
+	return xs
+}
+
+// Autocorrelation returns the lag-k autocorrelation coefficients for
+// k = 0..maxLag. The AR detectors use it for Yule-Walker estimation.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	m := Mean(xs)
+	out := make([]float64, maxLag+1)
+	var denom float64
+	for _, x := range xs {
+		d := x - m
+		denom += d * d
+	}
+	if denom == 0 {
+		out[0] = 1
+		return out
+	}
+	for k := 0; k <= maxLag; k++ {
+		var num float64
+		for t := k; t < n; t++ {
+			num += (xs[t] - m) * (xs[t-k] - m)
+		}
+		out[k] = num / denom
+	}
+	return out
+}
+
+// Autocovariance returns the lag-k autocovariances for k = 0..maxLag
+// using the biased (1/n) normalisation conventional for Yule-Walker.
+func Autocovariance(xs []float64, maxLag int) []float64 {
+	n := len(xs)
+	if maxLag >= n {
+		maxLag = n - 1
+	}
+	if maxLag < 0 {
+		return nil
+	}
+	m := Mean(xs)
+	out := make([]float64, maxLag+1)
+	for k := 0; k <= maxLag; k++ {
+		var num float64
+		for t := k; t < n; t++ {
+			num += (xs[t] - m) * (xs[t-k] - m)
+		}
+		out[k] = num / float64(n)
+	}
+	return out
+}
+
+// Diff returns the first difference x[t] - x[t-1]; the result has
+// len(xs)-1 elements.
+func Diff(xs []float64) []float64 {
+	if len(xs) < 2 {
+		return nil
+	}
+	out := make([]float64, len(xs)-1)
+	for i := 1; i < len(xs); i++ {
+		out[i-1] = xs[i] - xs[i-1]
+	}
+	return out
+}
+
+// EWMA returns the exponentially weighted moving average of xs with
+// smoothing factor alpha in (0, 1].
+func EWMA(xs []float64, alpha float64) []float64 {
+	if len(xs) == 0 {
+		return nil
+	}
+	out := make([]float64, len(xs))
+	out[0] = xs[0]
+	for i := 1; i < len(xs); i++ {
+		out[i] = alpha*xs[i] + (1-alpha)*out[i-1]
+	}
+	return out
+}
+
+// Correlation returns the Pearson correlation of two equal-length samples.
+// It returns 0 when either sample is constant or the lengths differ.
+func Correlation(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return 0
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Euclidean returns the Euclidean distance between two equal-length
+// vectors. It panics if the lengths differ, as that is always a
+// programming error in this library.
+func Euclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Euclidean on vectors of different length")
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+// SquaredEuclidean returns the squared Euclidean distance, avoiding the
+// sqrt for comparisons.
+func SquaredEuclidean(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: SquaredEuclidean on vectors of different length")
+	}
+	var ss float64
+	for i := range a {
+		d := a[i] - b[i]
+		ss += d * d
+	}
+	return ss
+}
+
+// Manhattan returns the L1 distance between two equal-length vectors.
+func Manhattan(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: Manhattan on vectors of different length")
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}

@@ -1,0 +1,420 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Fatalf("%s = %v, want %v (tol %v)", what, got, want, tol)
+	}
+}
+
+func TestSumKahan(t *testing.T) {
+	// A sum that naive accumulation gets wrong at float32-like scales.
+	xs := make([]float64, 0, 10001)
+	xs = append(xs, 1e9)
+	for i := 0; i < 10000; i++ {
+		xs = append(xs, 1e-3)
+	}
+	approx(t, Sum(xs), 1e9+10, 1e-6, "Sum")
+}
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	approx(t, Mean(xs), 5, 1e-12, "Mean")
+	approx(t, Variance(xs), 32.0/7.0, 1e-12, "Variance")
+	approx(t, StdDev(xs), math.Sqrt(32.0/7.0), 1e-12, "StdDev")
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if Variance([]float64{1}) != 0 {
+		t.Fatal("Variance of single element should be 0")
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	approx(t, Median([]float64{3, 1, 2}), 2, 0, "Median odd")
+	approx(t, Median([]float64{4, 1, 3, 2}), 2.5, 0, "Median even")
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("Median(nil) should be NaN")
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	// MAD of {1,1,2,2,4,6,9}: median 2, |x-2| = {1,1,0,0,2,4,7}, median 1.
+	approx(t, MAD([]float64{1, 1, 2, 2, 4, 6, 9}), 1.4826, 1e-9, "MAD")
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	approx(t, Quantile(xs, 0), 1, 0, "q0")
+	approx(t, Quantile(xs, 1), 5, 0, "q1")
+	approx(t, Quantile(xs, 0.5), 3, 0, "q0.5")
+	approx(t, Quantile(xs, 0.25), 2, 0, "q0.25")
+	approx(t, Quantile(xs, 0.1), 1.4, 1e-12, "q0.1")
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("Quantile(nil) should be NaN")
+	}
+}
+
+func TestIQR(t *testing.T) {
+	approx(t, IQR([]float64{1, 2, 3, 4, 5}), 2, 1e-12, "IQR")
+}
+
+func TestZScores(t *testing.T) {
+	z := ZScores([]float64{1, 2, 3})
+	approx(t, z[0], -1, 1e-12, "z[0]")
+	approx(t, z[1], 0, 1e-12, "z[1]")
+	approx(t, z[2], 1, 1e-12, "z[2]")
+	// Constant series yields zeros, not NaN.
+	for _, v := range ZScores([]float64{5, 5, 5}) {
+		if v != 0 {
+			t.Fatal("constant series should score 0")
+		}
+	}
+}
+
+func TestRobustZScoresResistOutlier(t *testing.T) {
+	xs := []float64{10, 10, 10, 10, 10, 10, 10, 1000}
+	rz := RobustZScores(xs)
+	// MAD of this sample is 0 so scores collapse to 0; use a sample with
+	// spread instead.
+	_ = rz
+	xs = []float64{9, 10, 11, 10, 9, 11, 10, 1000}
+	rz = RobustZScores(xs)
+	z := ZScores(xs)
+	if rz[7] <= z[7] {
+		t.Fatalf("robust score %v should exceed plain z %v for extreme outlier", rz[7], z[7])
+	}
+}
+
+func TestNormalizeConstant(t *testing.T) {
+	xs := []float64{7, 7, 7}
+	Normalize(xs)
+	for _, v := range xs {
+		if v != 0 {
+			t.Fatal("Normalize of constant should be zeros")
+		}
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// White noise: lag-0 is 1, higher lags near 0.
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 4096)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ac := Autocorrelation(xs, 3)
+	approx(t, ac[0], 1, 1e-12, "ac[0]")
+	for k := 1; k <= 3; k++ {
+		if math.Abs(ac[k]) > 0.06 {
+			t.Fatalf("white noise ac[%d]=%v too large", k, ac[k])
+		}
+	}
+	// AR(1) with phi=0.8 has ac[1] ~ 0.8.
+	ar := make([]float64, 8192)
+	for i := 1; i < len(ar); i++ {
+		ar[i] = 0.8*ar[i-1] + rng.NormFloat64()
+	}
+	ac = Autocorrelation(ar, 1)
+	if math.Abs(ac[1]-0.8) > 0.05 {
+		t.Fatalf("AR(1) ac[1]=%v want ~0.8", ac[1])
+	}
+}
+
+func TestAutocorrelationEdge(t *testing.T) {
+	if Autocorrelation(nil, 5) != nil {
+		t.Fatal("empty input should return nil")
+	}
+	ac := Autocorrelation([]float64{3, 3, 3}, 2)
+	approx(t, ac[0], 1, 0, "constant ac[0]")
+	approx(t, ac[1], 0, 0, "constant ac[1]")
+}
+
+func TestDiff(t *testing.T) {
+	d := Diff([]float64{1, 4, 9, 16})
+	want := []float64{3, 5, 7}
+	for i := range want {
+		approx(t, d[i], want[i], 0, "Diff")
+	}
+	if Diff([]float64{1}) != nil {
+		t.Fatal("Diff of single element should be nil")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := EWMA([]float64{1, 1, 10}, 0.5)
+	approx(t, e[0], 1, 0, "e[0]")
+	approx(t, e[1], 1, 0, "e[1]")
+	approx(t, e[2], 5.5, 1e-12, "e[2]")
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	approx(t, Correlation(xs, ys), 1, 1e-12, "perfect positive")
+	neg := []float64{8, 6, 4, 2}
+	approx(t, Correlation(xs, neg), -1, 1e-12, "perfect negative")
+	if Correlation(xs, []float64{5, 5, 5, 5}) != 0 {
+		t.Fatal("correlation with constant should be 0")
+	}
+	if Correlation(xs, []float64{1, 2}) != 0 {
+		t.Fatal("length mismatch should be 0")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 0}
+	b := []float64{3, 4}
+	approx(t, Euclidean(a, b), 5, 1e-12, "Euclidean")
+	approx(t, SquaredEuclidean(a, b), 25, 1e-12, "SquaredEuclidean")
+	approx(t, Manhattan(a, b), 7, 1e-12, "Manhattan")
+}
+
+func TestDistancePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Euclidean([]float64{1}, []float64{1, 2})
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 10
+	}
+	var o Online
+	o.AddAll(xs)
+	approx(t, o.Mean(), Mean(xs), 1e-9, "online mean")
+	approx(t, o.Variance(), Variance(xs), 1e-9, "online variance")
+	approx(t, o.Min(), Min(xs), 0, "online min")
+	approx(t, o.Max(), Max(xs), 0, "online max")
+	if o.N() != 1000 {
+		t.Fatalf("N=%d", o.N())
+	}
+}
+
+func TestOnlineMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	var a, b, whole Online
+	a.AddAll(xs[:200])
+	b.AddAll(xs[200:])
+	whole.AddAll(xs)
+	a.Merge(b)
+	approx(t, a.Mean(), whole.Mean(), 1e-9, "merged mean")
+	approx(t, a.Variance(), whole.Variance(), 1e-9, "merged variance")
+	if a.N() != whole.N() {
+		t.Fatalf("merged N=%d want %d", a.N(), whole.N())
+	}
+	// Merging into empty adopts other.
+	var empty Online
+	empty.Merge(whole)
+	approx(t, empty.Mean(), whole.Mean(), 0, "empty merge mean")
+	// Merging empty is a no-op.
+	before := whole.Mean()
+	whole.Merge(Online{})
+	approx(t, whole.Mean(), before, 0, "no-op merge")
+}
+
+func TestOnlineEmpty(t *testing.T) {
+	var o Online
+	if !math.IsNaN(o.Min()) || !math.IsNaN(o.Max()) {
+		t.Fatal("empty Online min/max should be NaN")
+	}
+	if o.Mean() != 0 || o.Variance() != 0 {
+		t.Fatal("empty Online mean/variance should be 0")
+	}
+}
+
+func TestEWMATrackerFlagsSpike(t *testing.T) {
+	tr := NewEWMATracker(0.1)
+	rng := rand.New(rand.NewSource(4))
+	var maxNormal float64
+	for i := 0; i < 500; i++ {
+		s := tr.Add(10 + rng.NormFloat64())
+		if i > 50 && s > maxNormal {
+			maxNormal = s
+		}
+	}
+	spike := tr.Add(30)
+	if spike < 3*maxNormal {
+		t.Fatalf("spike score %v should dominate normal max %v", spike, maxNormal)
+	}
+}
+
+func TestEWMATrackerPanicsOnBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEWMATracker(0)
+}
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, 10, 11, -1} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	if h.Count(0) != 3 { // 0, 1.9, and clamped -1
+		t.Fatalf("bin0=%d want 3", h.Count(0))
+	}
+	if h.Count(4) != 3 { // 9.99, clamped 10 boundary, clamped 11
+		t.Fatalf("bin4=%d want 3", h.Count(4))
+	}
+	if h.Clamped() != 2 { // -1 and 11; x == hi is a boundary, not clamped
+		t.Fatalf("clamped=%d want 2", h.Clamped())
+	}
+	approx(t, h.BinCenter(0), 1, 1e-12, "BinCenter")
+}
+
+func TestHistogramFromDataDegenerate(t *testing.T) {
+	h := HistogramFromData([]float64{5, 5, 5}, 4)
+	if h.Total() != 3 {
+		t.Fatalf("total=%d", h.Total())
+	}
+	h = HistogramFromData(nil, 4)
+	if h.Total() != 0 {
+		t.Fatal("empty data histogram should be empty")
+	}
+	if h.Density(0.5) <= 0 {
+		t.Fatal("density must stay positive under smoothing")
+	}
+}
+
+func TestHistogramEntropy(t *testing.T) {
+	h := NewHistogram(0, 4, 4)
+	for _, x := range []float64{0.5, 1.5, 2.5, 3.5} {
+		h.Add(x)
+	}
+	approx(t, h.Entropy(), math.Log(4), 1e-12, "uniform entropy")
+	h2 := NewHistogram(0, 4, 4)
+	h2.Add(0.5)
+	h2.Add(0.5)
+	approx(t, h2.Entropy(), 0, 1e-12, "degenerate entropy")
+}
+
+func TestNormalPDFCDF(t *testing.T) {
+	approx(t, NormalPDF(0, 0, 1), 1/math.Sqrt(2*math.Pi), 1e-12, "pdf(0)")
+	approx(t, NormalCDF(0, 0, 1), 0.5, 1e-12, "cdf(0)")
+	approx(t, NormalCDF(1.96, 0, 1), 0.975, 1e-3, "cdf(1.96)")
+	if NormalPDF(1, 0, 0) != 0 {
+		t.Fatal("degenerate pdf off-mean should be 0")
+	}
+	if NormalCDF(1, 0, 0) != 1 || NormalCDF(-1, 0, 0) != 0 {
+		t.Fatal("degenerate cdf should be a step")
+	}
+}
+
+func TestNormalQuantileRoundTrip(t *testing.T) {
+	for _, q := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		z := NormalQuantile(q)
+		back := NormalCDF(z, 0, 1)
+		approx(t, back, q, 1e-6, "quantile round trip")
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("edge quantiles should be infinite")
+	}
+}
+
+// Property: Online mean/variance always agree with batch computation.
+func TestPropertyOnlineEqualsBatch(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				continue
+			}
+			clean = append(clean, x)
+		}
+		if len(clean) < 2 {
+			return true
+		}
+		var o Online
+		o.AddAll(clean)
+		scale := math.Max(1, math.Abs(o.Mean()))
+		return math.Abs(o.Mean()-Mean(clean)) < 1e-6*scale &&
+			math.Abs(o.Variance()-Variance(clean)) < 1e-4*math.Max(1, Variance(clean))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		q1 = math.Abs(math.Mod(q1, 1))
+		q2 = math.Abs(math.Mod(q2, 1))
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		lo, hi := MinMax(xs)
+		a, b := Quantile(xs, q1), Quantile(xs, q2)
+		return a <= b && a >= lo && b <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: z-normalised data has mean ~0 and std ~1 (unless constant).
+func TestPropertyNormalize(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 3 {
+			return true
+		}
+		_, s := MeanStd(xs)
+		Normalize(xs)
+		m2, s2 := MeanStd(xs)
+		if s == 0 {
+			return m2 == 0 && s2 == 0
+		}
+		return math.Abs(m2) < 1e-6 && math.Abs(s2-1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,265 @@
+// Package stream provides the small streaming-pipeline substrate used
+// by the online examples and the plant simulator: typed sample streams
+// over channels, sliding-window operators, fan-out/fan-in, and an
+// online detector adapter. The paper's phase level produces
+// high-resolution live sensor data; this package is the plumbing that
+// carries it.
+package stream
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrClosed is returned by operations on a closed stream.
+var ErrClosed = errors.New("stream: closed")
+
+// Sample is one timestamped sensor observation.
+type Sample struct {
+	Sensor string
+	At     time.Time
+	Value  float64
+}
+
+// Source produces samples until its context is cancelled or it is
+// exhausted.
+type Source interface {
+	// Next returns the next sample; ok is false when the source is
+	// exhausted.
+	Next(ctx context.Context) (s Sample, ok bool)
+}
+
+// SliceSource replays a fixed sample slice, useful in tests and for
+// feeding recorded data through the online operators.
+type SliceSource struct {
+	samples []Sample
+	pos     int
+}
+
+// NewSliceSource builds a source over the given samples.
+func NewSliceSource(samples []Sample) *SliceSource {
+	return &SliceSource{samples: samples}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(ctx context.Context) (Sample, bool) {
+	if ctx.Err() != nil || s.pos >= len(s.samples) {
+		return Sample{}, false
+	}
+	out := s.samples[s.pos]
+	s.pos++
+	return out, true
+}
+
+// Pump drains a Source into a channel, closing it when the source is
+// exhausted or the context is cancelled. It returns the channel
+// immediately and runs in a goroutine.
+func Pump(ctx context.Context, src Source, buffer int) <-chan Sample {
+	ch := make(chan Sample, buffer)
+	go func() {
+		defer close(ch)
+		for {
+			s, ok := src.Next(ctx)
+			if !ok {
+				return
+			}
+			select {
+			case ch <- s:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return ch
+}
+
+// Map applies fn to every sample of in.
+func Map(ctx context.Context, in <-chan Sample, fn func(Sample) Sample) <-chan Sample {
+	out := make(chan Sample)
+	go func() {
+		defer close(out)
+		for s := range in {
+			select {
+			case out <- fn(s):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Filter forwards only the samples for which keep returns true.
+func Filter(ctx context.Context, in <-chan Sample, keep func(Sample) bool) <-chan Sample {
+	out := make(chan Sample)
+	go func() {
+		defer close(out)
+		for s := range in {
+			if !keep(s) {
+				continue
+			}
+			select {
+			case out <- s:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// FanOut duplicates in onto n output channels. Every output receives
+// every sample; a slow consumer backpressures the rest, matching the
+// lossless semantics production monitoring requires.
+func FanOut(ctx context.Context, in <-chan Sample, n int) []<-chan Sample {
+	outs := make([]chan Sample, n)
+	ros := make([]<-chan Sample, n)
+	for i := range outs {
+		outs[i] = make(chan Sample)
+		ros[i] = outs[i]
+	}
+	go func() {
+		defer func() {
+			for _, o := range outs {
+				close(o)
+			}
+		}()
+		for s := range in {
+			for _, o := range outs {
+				select {
+				case o <- s:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return ros
+}
+
+// Merge multiplexes several sample channels into one, closing the
+// output when all inputs are drained.
+func Merge(ctx context.Context, ins ...<-chan Sample) <-chan Sample {
+	out := make(chan Sample)
+	var wg sync.WaitGroup
+	wg.Add(len(ins))
+	for _, in := range ins {
+		go func(in <-chan Sample) {
+			defer wg.Done()
+			for s := range in {
+				select {
+				case out <- s:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(in)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// WindowEvent is one full sliding window emitted by Windower.
+type WindowEvent struct {
+	Sensor string
+	Start  time.Time
+	Values []float64
+}
+
+// Windower groups a sample stream into overlapping fixed-size windows
+// per sensor.
+type Windower struct {
+	size, stride int
+	buffers      map[string][]Sample
+}
+
+// NewWindower builds a windower with the given window size and stride.
+// It panics on non-positive parameters (programmer error).
+func NewWindower(size, stride int) *Windower {
+	if size <= 0 || stride <= 0 {
+		panic("stream: windower needs positive size and stride")
+	}
+	return &Windower{size: size, stride: stride, buffers: make(map[string][]Sample)}
+}
+
+// Feed adds one sample and returns any completed windows (usually zero
+// or one).
+func (w *Windower) Feed(s Sample) []WindowEvent {
+	buf := append(w.buffers[s.Sensor], s)
+	var out []WindowEvent
+	for len(buf) >= w.size {
+		vals := make([]float64, w.size)
+		for i := 0; i < w.size; i++ {
+			vals[i] = buf[i].Value
+		}
+		out = append(out, WindowEvent{Sensor: s.Sensor, Start: buf[0].At, Values: vals})
+		buf = buf[w.stride:]
+	}
+	w.buffers[s.Sensor] = buf
+	return out
+}
+
+// Windows transforms a sample stream into a window-event stream.
+func Windows(ctx context.Context, in <-chan Sample, size, stride int) <-chan WindowEvent {
+	out := make(chan WindowEvent)
+	go func() {
+		defer close(out)
+		w := NewWindower(size, stride)
+		for s := range in {
+			for _, ev := range w.Feed(s) {
+				select {
+				case out <- ev:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+	return out
+}
+
+// Alert is an online detection event.
+type Alert struct {
+	Sensor string
+	At     time.Time
+	Score  float64
+	Value  float64
+}
+
+// PointDetectorFunc scores one new observation given the sensor name.
+type PointDetectorFunc func(sensor string, value float64) float64
+
+// Detect runs fn over the stream and emits an Alert for every sample
+// whose score reaches threshold.
+func Detect(ctx context.Context, in <-chan Sample, fn PointDetectorFunc, threshold float64) <-chan Alert {
+	out := make(chan Alert)
+	go func() {
+		defer close(out)
+		for s := range in {
+			score := fn(s.Sensor, s.Value)
+			if score < threshold {
+				continue
+			}
+			select {
+			case out <- Alert{Sensor: s.Sensor, At: s.At, Score: score, Value: s.Value}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// Collect drains a channel into a slice (test/report helper).
+func Collect[T any](in <-chan T) []T {
+	var out []T
+	for v := range in {
+		out = append(out, v)
+	}
+	return out
+}

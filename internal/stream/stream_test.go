@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+var base = time.Date(2026, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func mkSamples(sensor string, vals ...float64) []Sample {
+	out := make([]Sample, len(vals))
+	for i, v := range vals {
+		out[i] = Sample{Sensor: sensor, At: base.Add(time.Duration(i) * time.Second), Value: v}
+	}
+	return out
+}
+
+func TestSliceSourceAndPump(t *testing.T) {
+	ctx := context.Background()
+	src := NewSliceSource(mkSamples("t", 1, 2, 3))
+	got := Collect(Pump(ctx, src, 0))
+	if len(got) != 3 || got[2].Value != 3 {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestPumpRespectsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	src := NewSliceSource(mkSamples("t", 1, 2, 3))
+	got := Collect(Pump(ctx, src, 0))
+	if len(got) != 0 {
+		t.Fatalf("cancelled pump delivered %d samples", len(got))
+	}
+}
+
+func TestMapFilter(t *testing.T) {
+	ctx := context.Background()
+	in := Pump(ctx, NewSliceSource(mkSamples("t", 1, 2, 3, 4)), 0)
+	doubled := Map(ctx, in, func(s Sample) Sample {
+		s.Value *= 2
+		return s
+	})
+	evens := Filter(ctx, doubled, func(s Sample) bool { return s.Value > 4 })
+	got := Collect(evens)
+	if len(got) != 2 || got[0].Value != 6 || got[1].Value != 8 {
+		t.Fatalf("got=%v", got)
+	}
+}
+
+func TestFanOutDeliversAll(t *testing.T) {
+	ctx := context.Background()
+	in := Pump(ctx, NewSliceSource(mkSamples("t", 1, 2, 3)), 0)
+	outs := FanOut(ctx, in, 3)
+	results := make([][]Sample, 3)
+	done := make(chan int)
+	for i, o := range outs {
+		go func(i int, o <-chan Sample) {
+			results[i] = Collect(o)
+			done <- i
+		}(i, o)
+	}
+	for range outs {
+		<-done
+	}
+	for i, r := range results {
+		if len(r) != 3 {
+			t.Fatalf("branch %d received %d samples", i, len(r))
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	ctx := context.Background()
+	a := Pump(ctx, NewSliceSource(mkSamples("a", 1, 2)), 0)
+	b := Pump(ctx, NewSliceSource(mkSamples("b", 3)), 0)
+	got := Collect(Merge(ctx, a, b))
+	if len(got) != 3 {
+		t.Fatalf("merged %d samples", len(got))
+	}
+	bySensor := map[string]int{}
+	for _, s := range got {
+		bySensor[s.Sensor]++
+	}
+	if bySensor["a"] != 2 || bySensor["b"] != 1 {
+		t.Fatalf("per-sensor=%v", bySensor)
+	}
+}
+
+func TestWindowerOverlap(t *testing.T) {
+	w := NewWindower(3, 1)
+	var events []WindowEvent
+	for _, s := range mkSamples("t", 0, 1, 2, 3, 4) {
+		events = append(events, w.Feed(s)...)
+	}
+	if len(events) != 3 {
+		t.Fatalf("events=%d want 3", len(events))
+	}
+	if events[0].Values[0] != 0 || events[2].Values[0] != 2 {
+		t.Fatalf("window contents wrong: %v", events)
+	}
+	// Stride 3 (tumbling).
+	w2 := NewWindower(3, 3)
+	events = nil
+	for _, s := range mkSamples("t", 0, 1, 2, 3, 4, 5) {
+		events = append(events, w2.Feed(s)...)
+	}
+	if len(events) != 2 {
+		t.Fatalf("tumbling events=%d want 2", len(events))
+	}
+}
+
+func TestWindowerPerSensorIsolation(t *testing.T) {
+	w := NewWindower(2, 2)
+	var events []WindowEvent
+	for i := 0; i < 2; i++ {
+		events = append(events, w.Feed(Sample{Sensor: "a", Value: float64(i)})...)
+		events = append(events, w.Feed(Sample{Sensor: "b", Value: float64(10 + i)})...)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events=%d want one per sensor", len(events))
+	}
+	for _, ev := range events {
+		switch ev.Sensor {
+		case "a":
+			if ev.Values[0] != 0 {
+				t.Fatalf("sensor a window=%v", ev.Values)
+			}
+		case "b":
+			if ev.Values[0] != 10 {
+				t.Fatalf("sensor b window=%v", ev.Values)
+			}
+		}
+	}
+}
+
+func TestWindowerPanicsOnBadParams(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWindower(0, 1)
+}
+
+func TestWindowsOperator(t *testing.T) {
+	ctx := context.Background()
+	in := Pump(ctx, NewSliceSource(mkSamples("t", 0, 1, 2, 3)), 0)
+	events := Collect(Windows(ctx, in, 2, 1))
+	if len(events) != 3 {
+		t.Fatalf("events=%d", len(events))
+	}
+}
+
+func TestDetectEmitsAlerts(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = 10 + rng.NormFloat64()
+	}
+	vals[250] = 30 // spike
+	in := Pump(ctx, NewSliceSource(mkSamples("temp", vals...)), 0)
+	trackers := map[string]*stats.EWMATracker{}
+	alerts := Collect(Detect(ctx, in, func(sensor string, v float64) float64 {
+		tr, ok := trackers[sensor]
+		if !ok {
+			tr = stats.NewEWMATracker(0.05)
+			trackers[sensor] = tr
+		}
+		return tr.Add(v)
+	}, 6))
+	if len(alerts) == 0 {
+		t.Fatal("no alerts for a 20σ spike")
+	}
+	found := false
+	for _, a := range alerts {
+		if a.Value == 30 && a.Sensor == "temp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spike alert missing: %+v", alerts)
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	// Source → fan-out → (window branch, detect branch) → merge results.
+	ctx := context.Background()
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i % 8)
+	}
+	in := Pump(ctx, NewSliceSource(mkSamples("s", vals...)), 8)
+	branches := FanOut(ctx, in, 2)
+	winDone := make(chan int)
+	go func() {
+		winDone <- len(Collect(Windows(ctx, branches[0], 8, 8)))
+	}()
+	alerts := Collect(Detect(ctx, branches[1], func(string, float64) float64 { return 0 }, 1))
+	if n := <-winDone; n != 8 {
+		t.Fatalf("windows=%d want 8", n)
+	}
+	if len(alerts) != 0 {
+		t.Fatalf("alerts=%d want 0", len(alerts))
+	}
+}

@@ -1,0 +1,85 @@
+package timeseries
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteCSV writes a multi-series as CSV with an RFC 3339 timestamp
+// column followed by one column per dimension.
+func WriteCSV(w io.Writer, m *MultiSeries) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, 1+len(m.Dims))
+	header = append(header, "timestamp")
+	for _, d := range m.Dims {
+		header = append(header, d.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i := 0; i < m.Len(); i++ {
+		rec := make([]string, 0, len(header))
+		rec = append(rec, m.Dims[0].TimeAt(i).Format(time.RFC3339Nano))
+		for _, d := range m.Dims {
+			rec = append(rec, strconv.FormatFloat(d.Values[i], 'g', -1, 64))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a multi-series written by WriteCSV. The time step is
+// inferred from the first two timestamps (one second for single-row
+// files).
+func ReadCSV(r io.Reader) (*MultiSeries, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("%w: CSV needs a header and at least one row", ErrMismatch)
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "timestamp" {
+		return nil, fmt.Errorf("%w: first column must be \"timestamp\"", ErrMismatch)
+	}
+	rows := records[1:]
+	start, err := time.Parse(time.RFC3339Nano, rows[0][0])
+	if err != nil {
+		return nil, fmt.Errorf("timeseries: bad timestamp %q: %w", rows[0][0], err)
+	}
+	step := time.Second
+	if len(rows) > 1 {
+		second, err := time.Parse(time.RFC3339Nano, rows[1][0])
+		if err != nil {
+			return nil, fmt.Errorf("timeseries: bad timestamp %q: %w", rows[1][0], err)
+		}
+		if d := second.Sub(start); d > 0 {
+			step = d
+		}
+	}
+	dims := make([]*Series, len(header)-1)
+	for j := range dims {
+		dims[j] = New(header[j+1], start, step, make([]float64, len(rows)))
+	}
+	for i, rec := range rows {
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("%w: row %d has %d fields, want %d", ErrMismatch, i+2, len(rec), len(header))
+		}
+		for j := range dims {
+			v, err := strconv.ParseFloat(rec[j+1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("timeseries: row %d column %q: %w", i+2, header[j+1], err)
+			}
+			dims[j].Values[i] = v
+		}
+	}
+	return NewMulti(dims...)
+}

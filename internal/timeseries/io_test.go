@@ -1,0 +1,71 @@
+package timeseries
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	a := New("temp", t0, 250*time.Millisecond, []float64{1.5, 2.25, -3})
+	b := New("vib", t0, 250*time.Millisecond, []float64{0.1, 0.2, 0.3})
+	m, err := NewMulti(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Width() != 2 || got.Len() != 3 {
+		t.Fatalf("shape %dx%d", got.Width(), got.Len())
+	}
+	if got.Step != 250*time.Millisecond {
+		t.Fatalf("step=%v", got.Step)
+	}
+	if !got.Start.Equal(t0) {
+		t.Fatalf("start=%v", got.Start)
+	}
+	for j, d := range m.Dims {
+		gd := got.Dims[j]
+		if gd.Name != d.Name {
+			t.Fatalf("dim %d name %q", j, gd.Name)
+		}
+		for i := range d.Values {
+			if gd.Values[i] != d.Values[i] {
+				t.Fatalf("dim %q[%d]=%v want %v", d.Name, i, gd.Values[i], d.Values[i])
+			}
+		}
+	}
+}
+
+func TestReadCSVSingleRowDefaultsStep(t *testing.T) {
+	in := "timestamp,x\n2026-06-12T00:00:00Z,5\n"
+	m, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Step != time.Second || m.Len() != 1 || m.Dims[0].Values[0] != 5 {
+		t.Fatalf("parsed %+v", m)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                      // empty
+		"timestamp,x\n",                         // header only
+		"time,x\n2026-06-12T00:00:00Z,1\n",      // wrong header
+		"timestamp,x\nnot-a-time,1\n",           // bad timestamp
+		"timestamp,x\n2026-06-12T00:00:00Z,?\n", // bad value
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d: want error", i)
+		}
+	}
+}

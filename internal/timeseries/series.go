@@ -1,0 +1,295 @@
+// Package timeseries defines the data shapes that flow between the
+// production levels of the paper's hierarchy (Fig. 2): regular numeric
+// time series (phase-level sensor values), discrete label sequences
+// (phase-level event logs), multi-dimensional series (sensor blocks) and
+// the aggregation ladders that turn a high-resolution phase series into
+// job- and line-level summaries.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ErrMismatch is returned when series lengths or shapes do not conform.
+var ErrMismatch = errors.New("timeseries: shape mismatch")
+
+// Series is a regular (evenly sampled) univariate time series: the
+// canonical phase-level signal. Start and Step fix the time axis;
+// Values carries the samples.
+type Series struct {
+	Name   string
+	Start  time.Time
+	Step   time.Duration
+	Values []float64
+}
+
+// New builds a Series over the given axis. A zero step is replaced by
+// one second so that a Series is always well-formed.
+func New(name string, start time.Time, step time.Duration, values []float64) *Series {
+	if step <= 0 {
+		step = time.Second
+	}
+	return &Series{Name: name, Start: start, Step: step, Values: values}
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// TimeAt returns the timestamp of sample i.
+func (s *Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Step)
+}
+
+// IndexAt returns the sample index holding timestamp t, clamped to the
+// series bounds, and false when the series is empty.
+func (s *Series) IndexAt(t time.Time) (int, bool) {
+	if len(s.Values) == 0 {
+		return 0, false
+	}
+	i := int(t.Sub(s.Start) / s.Step)
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Values) {
+		i = len(s.Values) - 1
+	}
+	return i, true
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	return &Series{
+		Name:   s.Name,
+		Start:  s.Start,
+		Step:   s.Step,
+		Values: append([]float64(nil), s.Values...),
+	}
+}
+
+// Slice returns a view-series over samples [lo, hi); the underlying
+// values are shared with the parent.
+func (s *Series) Slice(lo, hi int) (*Series, error) {
+	if lo < 0 || hi > len(s.Values) || lo > hi {
+		return nil, fmt.Errorf("%w: slice [%d,%d) of %d samples", ErrMismatch, lo, hi, len(s.Values))
+	}
+	return &Series{
+		Name:   s.Name,
+		Start:  s.TimeAt(lo),
+		Step:   s.Step,
+		Values: s.Values[lo:hi],
+	}, nil
+}
+
+// Stats returns the online summary of the series values.
+func (s *Series) Stats() stats.Online {
+	var o stats.Online
+	o.AddAll(s.Values)
+	return o
+}
+
+// ZNormalized returns a copy of the series with z-normalised values.
+func (s *Series) ZNormalized() *Series {
+	c := s.Clone()
+	stats.Normalize(c.Values)
+	return c
+}
+
+// Resample aggregates the series into buckets of the given factor using
+// agg (e.g. stats.Mean). This is the CAQ operation the paper describes:
+// data moves up a hierarchy level by dropping resolution. The tail
+// samples that do not fill a whole bucket are aggregated as a final
+// shorter bucket.
+func (s *Series) Resample(factor int, agg func([]float64) float64) (*Series, error) {
+	if factor <= 0 {
+		return nil, fmt.Errorf("%w: resample factor %d", ErrMismatch, factor)
+	}
+	if agg == nil {
+		agg = stats.Mean
+	}
+	n := (len(s.Values) + factor - 1) / factor
+	out := make([]float64, 0, n)
+	for i := 0; i < len(s.Values); i += factor {
+		hi := i + factor
+		if hi > len(s.Values) {
+			hi = len(s.Values)
+		}
+		out = append(out, agg(s.Values[i:hi]))
+	}
+	return &Series{
+		Name:   s.Name,
+		Start:  s.Start,
+		Step:   time.Duration(factor) * s.Step,
+		Values: out,
+	}, nil
+}
+
+// MultiSeries is an aligned block of series sharing one time axis — the
+// shape of a multi-sensor phase recording. Invariant: all Dims have the
+// same length, start and step.
+type MultiSeries struct {
+	Start time.Time
+	Step  time.Duration
+	Dims  []*Series
+}
+
+// NewMulti aligns the given series into a block. All series must share
+// length; the first series fixes the axis.
+func NewMulti(dims ...*Series) (*MultiSeries, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("%w: no dimensions", ErrMismatch)
+	}
+	n := dims[0].Len()
+	for _, d := range dims[1:] {
+		if d.Len() != n {
+			return nil, fmt.Errorf("%w: dim %q has %d samples, want %d", ErrMismatch, d.Name, d.Len(), n)
+		}
+	}
+	return &MultiSeries{Start: dims[0].Start, Step: dims[0].Step, Dims: dims}, nil
+}
+
+// Len returns the number of time points.
+func (m *MultiSeries) Len() int {
+	if len(m.Dims) == 0 {
+		return 0
+	}
+	return m.Dims[0].Len()
+}
+
+// Width returns the number of dimensions.
+func (m *MultiSeries) Width() int { return len(m.Dims) }
+
+// Row returns the cross-section vector at time index i.
+func (m *MultiSeries) Row(i int) []float64 {
+	out := make([]float64, len(m.Dims))
+	for j, d := range m.Dims {
+		out[j] = d.Values[i]
+	}
+	return out
+}
+
+// Rows materialises all cross-sections, the observation matrix consumed
+// by the multivariate detectors.
+func (m *MultiSeries) Rows() [][]float64 {
+	out := make([][]float64, m.Len())
+	for i := range out {
+		out[i] = m.Row(i)
+	}
+	return out
+}
+
+// Dim returns the series with the given name, or nil.
+func (m *MultiSeries) Dim(name string) *Series {
+	for _, d := range m.Dims {
+		if d.Name == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// Symbols is a discrete label sequence — the other phase-level data shape
+// (§2: "discrete value sequences ... made of labels").
+type Symbols struct {
+	Name   string
+	Labels []string
+}
+
+// NewSymbols builds a labelled sequence.
+func NewSymbols(name string, labels []string) *Symbols {
+	return &Symbols{Name: name, Labels: labels}
+}
+
+// Len returns the sequence length.
+func (s *Symbols) Len() int { return len(s.Labels) }
+
+// Alphabet returns the distinct labels in first-appearance order.
+func (s *Symbols) Alphabet() []string {
+	seen := make(map[string]bool, 8)
+	var out []string
+	for _, l := range s.Labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// NGrams returns all overlapping n-grams of the sequence as slices into
+// the label storage. It returns nil when n exceeds the length.
+func (s *Symbols) NGrams(n int) [][]string {
+	if n <= 0 || n > len(s.Labels) {
+		return nil
+	}
+	out := make([][]string, 0, len(s.Labels)-n+1)
+	for i := 0; i+n <= len(s.Labels); i++ {
+		out = append(out, s.Labels[i:i+n])
+	}
+	return out
+}
+
+// Discretize maps a numeric series to a Symbols sequence by equal-width
+// binning with the given alphabet size — the bridge from time series to
+// the sequence detectors (FSA, HMM, NPD, NMD).
+func Discretize(s *Series, alphabet int) *Symbols {
+	if alphabet < 2 {
+		alphabet = 2
+	}
+	lo, hi := stats.MinMax(s.Values)
+	labels := make([]string, len(s.Values))
+	span := hi - lo
+	for i, v := range s.Values {
+		var bin int
+		if span > 0 {
+			bin = int((v - lo) / span * float64(alphabet))
+			if bin >= alphabet {
+				bin = alphabet - 1
+			}
+			if bin < 0 {
+				bin = 0
+			}
+		}
+		labels[i] = string(rune('a' + bin))
+	}
+	return &Symbols{Name: s.Name, Labels: labels}
+}
+
+// Interpolate fills NaN gaps in the values by linear interpolation
+// between the nearest finite neighbours; leading/trailing gaps take the
+// nearest finite value. It reports how many samples were filled.
+func Interpolate(values []float64) int {
+	n := len(values)
+	filled := 0
+	prev := -1 // last finite index
+	for i := 0; i < n; i++ {
+		if !math.IsNaN(values[i]) {
+			if prev >= 0 && i-prev > 1 {
+				// fill (prev, i)
+				span := float64(i - prev)
+				for k := prev + 1; k < i; k++ {
+					frac := float64(k-prev) / span
+					values[k] = values[prev]*(1-frac) + values[i]*frac
+					filled++
+				}
+			} else if prev < 0 && i > 0 {
+				for k := 0; k < i; k++ {
+					values[k] = values[i]
+					filled++
+				}
+			}
+			prev = i
+		}
+	}
+	if prev >= 0 && prev < n-1 {
+		for k := prev + 1; k < n; k++ {
+			values[k] = values[prev]
+			filled++
+		}
+	}
+	return filled
+}

@@ -1,0 +1,349 @@
+package timeseries
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/stats"
+)
+
+var t0 = time.Date(2026, 6, 12, 8, 0, 0, 0, time.UTC)
+
+func TestSeriesAxis(t *testing.T) {
+	s := New("temp", t0, time.Second, []float64{1, 2, 3})
+	if s.Len() != 3 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if got := s.TimeAt(2); !got.Equal(t0.Add(2 * time.Second)) {
+		t.Fatalf("TimeAt=%v", got)
+	}
+	i, ok := s.IndexAt(t0.Add(1500 * time.Millisecond))
+	if !ok || i != 1 {
+		t.Fatalf("IndexAt=%d ok=%v", i, ok)
+	}
+	// Clamping.
+	if i, _ := s.IndexAt(t0.Add(-time.Hour)); i != 0 {
+		t.Fatalf("clamp low=%d", i)
+	}
+	if i, _ := s.IndexAt(t0.Add(time.Hour)); i != 2 {
+		t.Fatalf("clamp high=%d", i)
+	}
+	if _, ok := New("e", t0, time.Second, nil).IndexAt(t0); ok {
+		t.Fatal("empty series should report !ok")
+	}
+}
+
+func TestNewDefaultsStep(t *testing.T) {
+	s := New("x", t0, 0, []float64{1})
+	if s.Step != time.Second {
+		t.Fatalf("default step=%v", s.Step)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	s := New("x", t0, time.Second, []float64{1, 2})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestSlice(t *testing.T) {
+	s := New("x", t0, time.Second, []float64{0, 1, 2, 3, 4})
+	sub, err := s.Slice(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 || sub.Values[0] != 2 {
+		t.Fatalf("Slice=%v", sub.Values)
+	}
+	if !sub.Start.Equal(t0.Add(2 * time.Second)) {
+		t.Fatalf("Slice start=%v", sub.Start)
+	}
+	if _, err := s.Slice(3, 2); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch")
+	}
+	if _, err := s.Slice(0, 9); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch")
+	}
+}
+
+func TestResample(t *testing.T) {
+	s := New("x", t0, time.Second, []float64{1, 3, 5, 7, 9})
+	r, err := s.Resample(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 6, 9} // tail bucket has one sample
+	if len(r.Values) != len(want) {
+		t.Fatalf("resampled len=%d", len(r.Values))
+	}
+	for i := range want {
+		if r.Values[i] != want[i] {
+			t.Fatalf("r[%d]=%v want %v", i, r.Values[i], want[i])
+		}
+	}
+	if r.Step != 2*time.Second {
+		t.Fatalf("step=%v", r.Step)
+	}
+	if _, err := s.Resample(0, nil); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch")
+	}
+	// Max aggregation.
+	r2, _ := s.Resample(5, stats.Max)
+	if len(r2.Values) != 1 || r2.Values[0] != 9 {
+		t.Fatalf("max resample=%v", r2.Values)
+	}
+}
+
+func TestZNormalized(t *testing.T) {
+	s := New("x", t0, time.Second, []float64{1, 2, 3})
+	z := s.ZNormalized()
+	if s.Values[0] != 1 {
+		t.Fatal("ZNormalized must not mutate parent")
+	}
+	o := z.Stats()
+	if math.Abs(o.Mean()) > 1e-12 || math.Abs(o.StdDev()-1) > 1e-12 {
+		t.Fatalf("znorm mean=%v std=%v", o.Mean(), o.StdDev())
+	}
+}
+
+func TestMultiSeries(t *testing.T) {
+	a := New("a", t0, time.Second, []float64{1, 2, 3})
+	b := New("b", t0, time.Second, []float64{4, 5, 6})
+	m, err := NewMulti(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 || m.Width() != 2 {
+		t.Fatalf("shape %dx%d", m.Len(), m.Width())
+	}
+	row := m.Row(1)
+	if row[0] != 2 || row[1] != 5 {
+		t.Fatalf("Row=%v", row)
+	}
+	rows := m.Rows()
+	if len(rows) != 3 || rows[2][1] != 6 {
+		t.Fatalf("Rows=%v", rows)
+	}
+	if m.Dim("b") != b || m.Dim("zzz") != nil {
+		t.Fatal("Dim lookup failed")
+	}
+	if _, err := NewMulti(a, New("c", t0, time.Second, []float64{1})); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch")
+	}
+	if _, err := NewMulti(); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch for empty")
+	}
+}
+
+func TestSymbols(t *testing.T) {
+	s := NewSymbols("phase", []string{"a", "b", "a", "c", "b"})
+	if s.Len() != 5 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	al := s.Alphabet()
+	if len(al) != 3 || al[0] != "a" || al[1] != "b" || al[2] != "c" {
+		t.Fatalf("Alphabet=%v", al)
+	}
+	gs := s.NGrams(2)
+	if len(gs) != 4 || gs[0][0] != "a" || gs[0][1] != "b" {
+		t.Fatalf("NGrams=%v", gs)
+	}
+	if s.NGrams(6) != nil || s.NGrams(0) != nil {
+		t.Fatal("out-of-range NGrams should be nil")
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	s := New("x", t0, time.Second, []float64{0, 5, 10})
+	sym := Discretize(s, 2)
+	if sym.Labels[0] != "a" || sym.Labels[2] != "b" {
+		t.Fatalf("Discretize=%v", sym.Labels)
+	}
+	// Constant series maps to a single symbol.
+	c := Discretize(New("c", t0, time.Second, []float64{3, 3, 3}), 4)
+	for _, l := range c.Labels {
+		if l != "a" {
+			t.Fatalf("constant should be all 'a': %v", c.Labels)
+		}
+	}
+	// Alphabet below 2 is clamped.
+	d := Discretize(s, 1)
+	if d.Labels[2] != "b" {
+		t.Fatalf("clamped alphabet: %v", d.Labels)
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	nan := math.NaN()
+	vs := []float64{nan, 1, nan, nan, 4, nan}
+	n := Interpolate(vs)
+	if n != 4 {
+		t.Fatalf("filled=%d", n)
+	}
+	want := []float64{1, 1, 2, 3, 4, 4}
+	for i := range want {
+		if math.Abs(vs[i]-want[i]) > 1e-12 {
+			t.Fatalf("vs[%d]=%v want %v", i, vs[i], want[i])
+		}
+	}
+	// All-NaN stays NaN, zero filled counted as 0 since no anchor.
+	all := []float64{nan, nan}
+	if Interpolate(all) != 0 || !math.IsNaN(all[0]) {
+		t.Fatal("all-NaN should be untouched")
+	}
+}
+
+func TestSlidingWindows(t *testing.T) {
+	vs := []float64{0, 1, 2, 3, 4}
+	ws, err := SlidingWindows(vs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || ws[2].Start != 2 || ws[2].Values[0] != 2 {
+		t.Fatalf("windows=%v", ws)
+	}
+	ws2, _ := SlidingWindows(vs, 2, 2)
+	if len(ws2) != 2 {
+		t.Fatalf("stride-2 windows=%d", len(ws2))
+	}
+	tw, _ := TumblingWindows(vs, 2)
+	if len(tw) != 2 || tw[1].Start != 2 {
+		t.Fatalf("tumbling=%v", tw)
+	}
+	if ws3, _ := SlidingWindows(vs, 9, 1); ws3 != nil {
+		t.Fatal("oversize window should return nil")
+	}
+	if _, err := SlidingWindows(vs, 0, 1); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch")
+	}
+}
+
+func TestNormalizedWindows(t *testing.T) {
+	vs := []float64{0, 1, 2, 3, 4, 5}
+	ws, err := NormalizedWindows(vs, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range ws {
+		var o stats.Online
+		o.AddAll(w.Values)
+		if math.Abs(o.Mean()) > 1e-9 {
+			t.Fatalf("window mean=%v", o.Mean())
+		}
+	}
+	if vs[0] != 0 {
+		t.Fatal("NormalizedWindows must not mutate parent")
+	}
+}
+
+func TestSpreadPointScores(t *testing.T) {
+	ws := []Window{{Start: 0, Values: make([]float64, 3)}, {Start: 2, Values: make([]float64, 3)}}
+	pts, err := SpreadPointScores(5, ws, []float64{1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 5, 5, 5}
+	for i := range want {
+		if pts[i] != want[i] {
+			t.Fatalf("pts=%v", pts)
+		}
+	}
+	if _, err := SpreadPointScores(5, ws, []float64{1}); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch")
+	}
+}
+
+func TestPAA(t *testing.T) {
+	vs := []float64{1, 1, 5, 5}
+	p, err := PAA(vs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p[0] != 1 || p[1] != 5 {
+		t.Fatalf("PAA=%v", p)
+	}
+	// More segments than points: identity copy.
+	p2, _ := PAA(vs, 10)
+	if len(p2) != 4 {
+		t.Fatalf("identity PAA len=%d", len(p2))
+	}
+	p2[0] = 99
+	if vs[0] != 1 {
+		t.Fatal("identity PAA must copy")
+	}
+	if _, err := PAA(vs, 0); !errors.Is(err, ErrMismatch) {
+		t.Fatal("want ErrMismatch")
+	}
+	// Non-divisible lengths cover all points.
+	p3, _ := PAA([]float64{1, 2, 3, 4, 5}, 2)
+	if len(p3) != 2 {
+		t.Fatalf("PAA5/2 len=%d", len(p3))
+	}
+}
+
+// Property: resampling by factor f shortens the series to ceil(n/f) and
+// mean-resampling preserves the overall mean when f divides n.
+func TestPropertyResample(t *testing.T) {
+	f := func(raw []float64, fac uint8) bool {
+		factor := int(fac)%8 + 1
+		vs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) == 0 {
+			return true
+		}
+		s := New("p", t0, time.Second, vs)
+		r, err := s.Resample(factor, nil)
+		if err != nil {
+			return false
+		}
+		wantLen := (len(vs) + factor - 1) / factor
+		if r.Len() != wantLen {
+			return false
+		}
+		if len(vs)%factor == 0 {
+			if math.Abs(stats.Mean(r.Values)-stats.Mean(vs)) > 1e-6*(1+math.Abs(stats.Mean(vs))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sliding windows tile the series — every index in
+// [0, n-size] starts exactly one stride-1 window.
+func TestPropertyWindowsCover(t *testing.T) {
+	f := func(n uint8, sz uint8) bool {
+		length := int(n)%200 + 1
+		size := int(sz)%length + 1
+		vs := make([]float64, length)
+		ws, err := SlidingWindows(vs, size, 1)
+		if err != nil {
+			return false
+		}
+		if len(ws) != length-size+1 {
+			return false
+		}
+		for i, w := range ws {
+			if w.Start != i || len(w.Values) != size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,101 @@
+package timeseries
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Window is one extracted fixed-size window with its position in the
+// parent series. The window-based detector families of the paper (NPD,
+// NMD, OS and the discriminative clusterers) consume these.
+type Window struct {
+	Start  int // index of the first sample in the parent series
+	Values []float64
+}
+
+// SlidingWindows extracts overlapping fixed-size windows with the given
+// stride (stride=1 gives the "overlapping fixed size windows" of §3).
+// The returned windows alias the parent storage; callers that mutate
+// must copy first.
+func SlidingWindows(values []float64, size, stride int) ([]Window, error) {
+	if size <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("%w: window size %d stride %d", ErrMismatch, size, stride)
+	}
+	if size > len(values) {
+		return nil, nil
+	}
+	out := make([]Window, 0, (len(values)-size)/stride+1)
+	for i := 0; i+size <= len(values); i += stride {
+		out = append(out, Window{Start: i, Values: values[i : i+size]})
+	}
+	return out, nil
+}
+
+// TumblingWindows extracts non-overlapping windows of the given size;
+// the tail shorter than size is dropped (a partial window has different
+// statistics and would distort window-database frequencies).
+func TumblingWindows(values []float64, size int) ([]Window, error) {
+	return SlidingWindows(values, size, size)
+}
+
+// NormalizedWindows extracts sliding windows and z-normalises a copy of
+// each, the preprocessing shared by the shape-based detectors.
+func NormalizedWindows(values []float64, size, stride int) ([]Window, error) {
+	ws, err := SlidingWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Window, len(ws))
+	for i, w := range ws {
+		cp := append([]float64(nil), w.Values...)
+		stats.Normalize(cp)
+		out[i] = Window{Start: w.Start, Values: cp}
+	}
+	return out, nil
+}
+
+// SpreadPointScores converts per-window scores back to per-point scores
+// by assigning each point the maximum score over the windows covering
+// it. n is the parent length, size the window size. This is how
+// window-based detectors report "exact positions of anomalies" (§3).
+func SpreadPointScores(n int, windows []Window, scores []float64) ([]float64, error) {
+	if len(windows) != len(scores) {
+		return nil, fmt.Errorf("%w: %d windows, %d scores", ErrMismatch, len(windows), len(scores))
+	}
+	out := make([]float64, n)
+	for wi, w := range windows {
+		s := scores[wi]
+		for i := w.Start; i < w.Start+len(w.Values) && i < n; i++ {
+			if s > out[i] {
+				out[i] = s
+			}
+		}
+	}
+	return out, nil
+}
+
+// PAA computes the piecewise aggregate approximation of values with the
+// given number of segments — the dimensionality-reduction step shared by
+// SAX and the clustering detectors. Segment boundaries follow the exact
+// fractional scheme so all segments carry equal weight even when the
+// length is not divisible.
+func PAA(values []float64, segments int) ([]float64, error) {
+	n := len(values)
+	if segments <= 0 {
+		return nil, fmt.Errorf("%w: %d segments", ErrMismatch, segments)
+	}
+	if segments >= n {
+		return append([]float64(nil), values...), nil
+	}
+	out := make([]float64, segments)
+	for s := 0; s < segments; s++ {
+		lo := s * n / segments
+		hi := (s + 1) * n / segments
+		if hi <= lo {
+			hi = lo + 1
+		}
+		out[s] = stats.Mean(values[lo:hi])
+	}
+	return out, nil
+}
