@@ -16,8 +16,24 @@ import (
 	"repro/internal/detector/registry"
 	"repro/internal/experiments"
 	"repro/internal/generator"
+	"repro/internal/parallel"
 	"repro/internal/plant"
 )
+
+// genPair builds the clean/dirty workload pair of a detector benchmark
+// concurrently. Each generator owns its seed-derived RNG, so the pair
+// is identical to sequential generation.
+func genPair[T any](b *testing.B, genClean, genDirty func() (T, error)) (clean, dirty T) {
+	b.Helper()
+	gens := []func() (T, error){genClean, genDirty}
+	pair, err := parallel.Map(len(gens), 0, func(i int) (T, error) {
+		return gens[i]()
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pair[0], pair[1]
+}
 
 // printOnce guards the one-time table dumps so repeated benchmark
 // iterations do not flood the output.
@@ -143,14 +159,9 @@ func BenchmarkHierarchicalRun(b *testing.B) {
 // unsupervised technique).
 func BenchmarkDetectorsPoint(b *testing.B) {
 	cfg := generator.Config{N: 4096, Phi: 0.5}
-	clean, err := generator.MixedWorkload(cfg, 0, 0, rand.New(rand.NewSource(1)))
-	if err != nil {
-		b.Fatal(err)
-	}
-	dirty, err := generator.MixedWorkload(cfg, 10, 7, rand.New(rand.NewSource(2)))
-	if err != nil {
-		b.Fatal(err)
-	}
+	clean, dirty := genPair(b,
+		func() (*generator.Labeled, error) { return generator.MixedWorkload(cfg, 0, 0, rand.New(rand.NewSource(1))) },
+		func() (*generator.Labeled, error) { return generator.MixedWorkload(cfg, 10, 7, rand.New(rand.NewSource(2))) })
 	for _, entry := range registry.All() {
 		if !entry.Info.Capability.Points || entry.Info.Supervised {
 			continue
@@ -178,14 +189,9 @@ func BenchmarkDetectorsPoint(b *testing.B) {
 // BenchmarkDetectorsWindow measures per-detector window-scoring
 // throughput on the standard SSQ workload.
 func BenchmarkDetectorsWindow(b *testing.B) {
-	clean, err := generator.SubseqWorkload(4096, 48, 0, rand.New(rand.NewSource(1)))
-	if err != nil {
-		b.Fatal(err)
-	}
-	dirty, err := generator.SubseqWorkload(4096, 48, 5, rand.New(rand.NewSource(2)))
-	if err != nil {
-		b.Fatal(err)
-	}
+	clean, dirty := genPair(b,
+		func() (*generator.LabeledSubseq, error) { return generator.SubseqWorkload(4096, 48, 0, rand.New(rand.NewSource(1))) },
+		func() (*generator.LabeledSubseq, error) { return generator.SubseqWorkload(4096, 48, 5, rand.New(rand.NewSource(2))) })
 	for _, entry := range registry.All() {
 		if !entry.Info.Capability.Subsequences || entry.Info.Supervised {
 			continue
@@ -223,7 +229,15 @@ func BenchmarkDetectorsSeries(b *testing.B) {
 	for i, s := range lab.Series {
 		batch[i] = s.Values
 	}
-	var cleanConcat []float64
+	// Size the training concatenation up front — growing it by repeated
+	// append reallocates log(n) times for no benefit.
+	total := 0
+	for i, s := range batch {
+		if !lab.Labels[i] {
+			total += len(s)
+		}
+	}
+	cleanConcat := make([]float64, 0, total)
 	for i, s := range batch {
 		if !lab.Labels[i] {
 			cleanConcat = append(cleanConcat, s...)

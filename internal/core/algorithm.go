@@ -147,8 +147,10 @@ func detectedAt(h *Hierarchy, level Level, jobIdx int, opts Options) (bool, erro
 			return false, err
 		}
 		lo := jobIdx * h.perJob
-		hi := lo + h.perJob
 		for _, sensorScores := range scores {
+			// Clamp per sensor: a short sensor stream must not truncate
+			// the scan range of the sensors after it.
+			hi := lo + h.perJob
 			if hi > len(sensorScores) {
 				hi = len(sensorScores)
 			}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"sync"
+
+	"repro/internal/detector/olapcube"
+	"repro/internal/plant"
+	"repro/internal/stats"
+)
+
+var errMissingRoomTemp = errors.New("core: environment series missing room-temp")
+
+// PlantCache shares the plant-wide score computations across the
+// machine hierarchies of one plant. The environment tracker and the
+// production-level cube compare the whole shop floor, so without
+// sharing every machine's Hierarchy recomputes them from scratch —
+// once per machine for the experiments, and once per sibling lookup
+// inside lineSupport. All methods are safe for concurrent use; the
+// parallel experiment engine evaluates machines on one shared cache.
+type PlantCache struct {
+	plant *plant.Plant
+
+	envOnce sync.Once
+	env     []float64
+	envErr  error
+
+	prodOnce sync.Once
+	prod     []float64
+	prodIdx  map[string]int
+	prodErr  error
+
+	mu   sync.Mutex // guards the line map only; entries fill via their own Once
+	line map[string]*lineEntry
+}
+
+type lineEntry struct {
+	once   sync.Once
+	scores []float64
+	err    error
+}
+
+// NewPlantCache builds an empty cache for the plant. Hierarchies
+// constructed with NewHierarchyWithCache over the same cache share
+// every plant-level computation.
+func NewPlantCache(p *plant.Plant) *PlantCache {
+	return &PlantCache{plant: p, line: make(map[string]*lineEntry)}
+}
+
+// EnvScores returns the level-3 drift scores (EWMA tracker over the
+// room-temperature series), computed once per plant.
+func (c *PlantCache) EnvScores() ([]float64, error) {
+	c.envOnce.Do(func() { c.env, c.envErr = computeEnvScores(c.plant) })
+	return c.env, c.envErr
+}
+
+// ProductionScores returns the level-5 cube scores for every machine
+// plus the machine-ID → index mapping, computed once per plant.
+func (c *PlantCache) ProductionScores() ([]float64, map[string]int, error) {
+	c.prodOnce.Do(func() { c.prod, c.prodIdx, c.prodErr = computeProductionScores(c.plant) })
+	return c.prod, c.prodIdx, c.prodErr
+}
+
+// LineScores returns the level-4 robust scores of one machine,
+// computed once per machine — sibling-support lookups hit the cache
+// instead of rebuilding the series. Each entry fills under its own
+// Once, so concurrent fills for different machines never serialize.
+func (c *PlantCache) LineScores(m *plant.Machine) ([]float64, error) {
+	c.mu.Lock()
+	e, ok := c.line[m.ID]
+	if !ok {
+		e = &lineEntry{}
+		c.line[m.ID] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.scores, e.err = computeLineScores(m) })
+	return e.scores, e.err
+}
+
+func computeEnvScores(p *plant.Plant) ([]float64, error) {
+	room := p.Environment.Dim("room-temp")
+	if room == nil {
+		return nil, errMissingRoomTemp
+	}
+	tr := stats.NewEWMATracker(0.05)
+	out := make([]float64, room.Len())
+	for i, v := range room.Values {
+		out[i] = tr.Add(v)
+	}
+	return out, nil
+}
+
+func computeProductionScores(p *plant.Plant) ([]float64, map[string]int, error) {
+	series, err := p.ProductionSeries()
+	if err != nil {
+		return nil, nil, err
+	}
+	batch := make([][]float64, len(series))
+	machines := p.Machines()
+	idx := make(map[string]int, len(machines))
+	for i, s := range series {
+		batch[i] = s.Values
+		idx[machines[i].ID] = i
+	}
+	var raw []float64
+	if len(batch) >= 3 {
+		d := olapcube.New()
+		raw, err = d.ScoreSeries(batch)
+		if err != nil {
+			return nil, nil, err
+		}
+	} else {
+		raw = make([]float64, len(batch))
+	}
+	return raw, idx, nil
+}
+
+func computeLineScores(m *plant.Machine) ([]float64, error) {
+	ls, err := m.LineSeries()
+	if err != nil {
+		return nil, err
+	}
+	qs, err := m.QualitySeries()
+	if err != nil {
+		return nil, err
+	}
+	zTemp := stats.RobustZScores(ls.Values)
+	zQual := stats.RobustZScores(qs.Values)
+	out := make([]float64, len(zTemp))
+	for i := range out {
+		// A job is line-level anomalous when either its mean
+		// temperature or its quality deviates.
+		out[i] = math.Max(math.Abs(zTemp[i]), math.Abs(zQual[i]))
+	}
+	return out, nil
+}

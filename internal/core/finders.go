@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"repro/internal/plant"
 	"repro/internal/stats"
 )
@@ -13,7 +15,15 @@ func findPhaseOutliers(h *Hierarchy, opts Options, rep *Report) error {
 	if err != nil {
 		return err
 	}
-	for sensor, ss := range scores {
+	// Walk sensors in sorted order so the outlier and warning lists are
+	// deterministic — map iteration order must not leak into reports.
+	sensors := make([]string, 0, len(scores))
+	for sensor := range scores {
+		sensors = append(sensors, sensor)
+	}
+	sort.Strings(sensors)
+	for _, sensor := range sensors {
+		ss := scores[sensor]
 		for i, z := range ss {
 			if z < opts.PhaseThreshold {
 				continue
@@ -220,7 +230,9 @@ func lineSupport(h *Hierarchy, jobIdx int, opts Options) float64 {
 			continue
 		}
 		siblings++
-		sib, err := NewHierarchy(h.Plant, m.ID)
+		// Siblings share this hierarchy's plant cache, so their line
+		// scores are computed once per machine, not once per lookup.
+		sib, err := NewHierarchyWithCache(h.Plant, m.ID, h.cache)
 		if err != nil {
 			continue
 		}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/detector/olapcube"
 	"repro/internal/plant"
 	"repro/internal/softsensor"
 	"repro/internal/stats"
@@ -28,6 +27,11 @@ type Hierarchy struct {
 	perPhase int // samples per phase
 	perJob   int // samples per job
 
+	// cache shares plant-wide computations (environment tracker,
+	// production cube, per-machine line scores) with the other
+	// hierarchies of the same plant.
+	cache *PlantCache
+
 	// Per-level normalised scores, computed lazily.
 	phaseScores map[string][]float64 // sensor → per-sample z
 	jobScores   []float64            // per job index
@@ -42,8 +46,18 @@ type Hierarchy struct {
 	softStream *timeseries.MultiSeries
 }
 
-// NewHierarchy builds the hierarchy view for one machine of the plant.
+// NewHierarchy builds the hierarchy view for one machine of the plant
+// with a private plant cache. Callers inspecting several machines of
+// the same plant should share one cache via NewHierarchyWithCache.
 func NewHierarchy(p *plant.Plant, machineID string) (*Hierarchy, error) {
+	return NewHierarchyWithCache(p, machineID, NewPlantCache(p))
+}
+
+// NewHierarchyWithCache builds the hierarchy view for one machine,
+// sharing the given plant cache so environment, production, and
+// sibling line scores are computed once per plant instead of once per
+// machine hierarchy.
+func NewHierarchyWithCache(p *plant.Plant, machineID string, cache *PlantCache) (*Hierarchy, error) {
 	m, err := p.MachineByID(machineID)
 	if err != nil {
 		return nil, err
@@ -51,12 +65,16 @@ func NewHierarchy(p *plant.Plant, machineID string) (*Hierarchy, error) {
 	if len(m.Jobs) == 0 || len(m.Jobs[0].Phases) == 0 {
 		return nil, fmt.Errorf("core: machine %s has no recorded jobs", machineID)
 	}
+	if cache == nil {
+		cache = NewPlantCache(p)
+	}
 	perPhase := m.Jobs[0].Phases[0].Sensors.Len()
 	return &Hierarchy{
 		Plant:    p,
 		Machine:  m,
 		perPhase: perPhase,
 		perJob:   perPhase * len(m.Jobs[0].Phases),
+		cache:    cache,
 	}, nil
 }
 
@@ -120,16 +138,16 @@ func (h *Hierarchy) phaseLevelScores() (map[string][]float64, error) {
 		}
 		scores := make([]float64, n)
 		col := make([]float64, 0, len(jobs))
+		scratch := make([]float64, len(jobs))
 		for pos := 0; pos < h.perJob && pos < n; pos++ {
 			col = col[:0]
 			for i := pos; i < n; i += h.perJob {
 				col = append(col, adj[i])
 			}
-			med := stats.Median(col)
-			mad := stats.MAD(col)
+			med, mad := stats.MedianMAD(col, scratch)
 			// Floor the spread: with few jobs the MAD of a quiet
 			// position underestimates the sensor noise.
-			if mad < 0.3 || mad != mad {
+			if stats.DegenerateMAD(mad) || mad < 0.3 {
 				mad = 0.3
 			}
 			for i := pos; i < n; i += h.perJob {
@@ -178,81 +196,48 @@ func (h *Hierarchy) jobLevelScores() ([]float64, error) {
 }
 
 // envLevelScores runs the level-3 detector: an EWMA drift tracker over
-// the room-temperature series.
+// the room-temperature series, computed once per plant via the cache.
 func (h *Hierarchy) envLevelScores() ([]float64, error) {
 	if h.envScores != nil {
 		return h.envScores, nil
 	}
-	room := h.Plant.Environment.Dim("room-temp")
-	if room == nil {
-		return nil, fmt.Errorf("core: environment series missing room-temp")
-	}
-	tr := stats.NewEWMATracker(0.05)
-	out := make([]float64, room.Len())
-	for i, v := range room.Values {
-		out[i] = tr.Add(v)
+	out, err := h.cache.EnvScores()
+	if err != nil {
+		return nil, err
 	}
 	h.envScores = out
 	return out, nil
 }
 
 // lineLevelScores runs the level-4 detector: robust z over the per-job
-// aggregate series of the machine.
+// aggregate series of the machine, shared via the plant cache so
+// sibling-support lookups reuse it.
 func (h *Hierarchy) lineLevelScores() ([]float64, error) {
 	if h.lineScores != nil {
 		return h.lineScores, nil
 	}
-	ls, err := h.Machine.LineSeries()
+	out, err := h.cache.LineScores(h.Machine)
 	if err != nil {
 		return nil, err
-	}
-	qs, err := h.Machine.QualitySeries()
-	if err != nil {
-		return nil, err
-	}
-	zTemp := stats.RobustZScores(ls.Values)
-	zQual := stats.RobustZScores(qs.Values)
-	out := make([]float64, len(zTemp))
-	for i := range out {
-		// A job is line-level anomalous when either its mean
-		// temperature or its quality deviates.
-		out[i] = math.Max(math.Abs(zTemp[i]), math.Abs(zQual[i]))
 	}
 	h.lineScores = out
 	return out, nil
 }
 
 // productionLevelScores runs the level-5 detector: the OLAP-cube
-// series scorer across every machine of the plant, standardised.
+// series scorer across every machine of the plant, computed once per
+// plant via the cache.
 func (h *Hierarchy) productionLevelScores() ([]float64, int, error) {
 	if h.prodScores != nil {
 		return h.prodScores, h.prodIndex, nil
 	}
-	series, err := h.Plant.ProductionSeries()
+	raw, idxByID, err := h.cache.ProductionScores()
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, fmt.Errorf("core: production-level detector: %w", err)
 	}
-	batch := make([][]float64, len(series))
-	idx := -1
-	machines := h.Plant.Machines()
-	for i, s := range series {
-		batch[i] = s.Values
-		if machines[i].ID == h.Machine.ID {
-			idx = i
-		}
-	}
-	if idx < 0 {
+	idx, ok := idxByID[h.Machine.ID]
+	if !ok {
 		return nil, 0, fmt.Errorf("core: machine %s not in production view", h.Machine.ID)
-	}
-	var raw []float64
-	if len(batch) >= 3 {
-		d := olapcube.New()
-		raw, err = d.ScoreSeries(batch)
-		if err != nil {
-			return nil, 0, fmt.Errorf("core: production-level detector: %w", err)
-		}
-	} else {
-		raw = make([]float64, len(batch))
 	}
 	h.prodScores = raw
 	h.prodIndex = idx
@@ -262,9 +247,8 @@ func (h *Hierarchy) productionLevelScores() ([]float64, int, error) {
 // robustStandardize converts raw scores to |x−median|/MAD, falling
 // back to standard deviation for MAD-degenerate inputs.
 func robustStandardize(raw []float64) []float64 {
-	med := stats.Median(raw)
-	mad := stats.MAD(raw)
-	if mad == 0 || math.IsNaN(mad) {
+	med, mad := stats.MedianMAD(raw, nil)
+	if stats.DegenerateMAD(mad) {
 		_, sd := stats.MeanStd(raw)
 		if sd == 0 {
 			return make([]float64, len(raw))

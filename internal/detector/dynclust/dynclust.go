@@ -140,7 +140,7 @@ func autoRadius(items [][]float64) float64 {
 			ds = append(ds, stats.Euclidean(items[i], items[j]))
 		}
 	}
-	med := stats.Median(ds)
+	med := stats.MedianInPlace(ds) // ds is scratch — selection may reorder it
 	if math.IsNaN(med) || med == 0 {
 		return 1
 	}

@@ -297,7 +297,7 @@ func medianPairwise(rows [][]float64, rng *rand.Rand) float64 {
 	if len(ds) == 0 {
 		return 1
 	}
-	return stats.Median(ds)
+	return stats.MedianInPlace(ds) // ds is scratch — selection may reorder it
 }
 
 // phi fills out with the random Fourier features of x.

@@ -52,6 +52,24 @@ func (d *Detector) Info() detector.Info {
 	}
 }
 
+// medianBuf owns the two reusable buffers the per-subspace and
+// per-bucket robust statistics share, so the scoring loops allocate
+// once per call instead of once per group.
+type medianBuf struct {
+	vals    []float64
+	scratch []float64
+}
+
+// means returns a length-n value buffer and sizes the selection
+// scratch to match, reusing prior capacity.
+func (b *medianBuf) means(n int) []float64 {
+	if cap(b.vals) < n {
+		b.vals = make([]float64, n)
+		b.scratch = make([]float64, n)
+	}
+	return b.vals[:n]
+}
+
 // CellScore couples a cube cell with its subspace anomaly score.
 type CellScore struct {
 	Subspace []string
@@ -64,6 +82,7 @@ type CellScore struct {
 // scores sorted by the cube's deterministic cell order per subspace.
 func ScoreCube(c *olap.Cube) ([]CellScore, error) {
 	var out []CellScore
+	var buf medianBuf
 	for _, dims := range c.Subspaces() {
 		rolled, err := c.RollUp(dims...)
 		if err != nil {
@@ -73,13 +92,12 @@ func ScoreCube(c *olap.Cube) ([]CellScore, error) {
 		if len(cells) < 3 {
 			continue
 		}
-		means := make([]float64, len(cells))
+		means := buf.means(len(cells))
 		for i, cell := range cells {
 			means[i] = cell.Mean()
 		}
-		med := stats.Median(means)
-		mad := stats.MAD(means)
-		if mad == 0 || math.IsNaN(mad) {
+		med, mad := stats.MedianMAD(means, buf.scratch)
+		if stats.DegenerateMAD(mad) {
 			// Fall back to standard deviation for near-constant
 			// subspaces.
 			_, sd := stats.MeanStd(means)
@@ -150,16 +168,17 @@ func (d *Detector) ScorePoints(values []float64) ([]float64, error) {
 		out[i] = byBucket[bucketName(i/per)]
 	}
 	// Within-bucket refinement: scale each point by its local deviation
-	// so the anomalous point inside a flagged bucket stands out.
+	// so the anomalous point inside a flagged bucket stands out. One
+	// scratch buffer serves every bucket's median/MAD selection.
+	scratch := make([]float64, per)
 	for b := 0; b*per < n; b++ {
 		lo, hi := b*per, (b+1)*per
 		if hi > n {
 			hi = n
 		}
 		seg := values[lo:hi]
-		med := stats.Median(seg)
-		mad := stats.MAD(seg)
-		if mad == 0 || math.IsNaN(mad) {
+		med, mad := stats.MedianMAD(seg, scratch)
+		if stats.DegenerateMAD(mad) {
 			continue
 		}
 		for i := lo; i < hi; i++ {
@@ -199,6 +218,7 @@ func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
 	out := make([]float64, len(batch))
 	// For every time bucket, compare the series' cell means across the
 	// series dimension (siblings at fixed time).
+	var buf medianBuf
 	for t := 0; t < timeCells; t++ {
 		cells, err := cube.Slice(map[string]string{"time": bucketName(t)})
 		if err != nil {
@@ -207,13 +227,12 @@ func (d *Detector) ScoreSeries(batch [][]float64) ([]float64, error) {
 		if len(cells) < 3 {
 			continue
 		}
-		means := make([]float64, len(cells))
+		means := buf.means(len(cells))
 		for i, c := range cells {
 			means[i] = c.Mean()
 		}
-		med := stats.Median(means)
-		mad := stats.MAD(means)
-		if mad == 0 || math.IsNaN(mad) {
+		med, mad := stats.MedianMAD(means, buf.scratch)
+		if stats.DegenerateMAD(mad) {
 			continue
 		}
 		for i, c := range cells {

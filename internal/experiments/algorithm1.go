@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eval"
+	"repro/internal/parallel"
 	"repro/internal/plant"
 )
 
@@ -45,23 +46,55 @@ type alg1Observation struct {
 // temperature outliers to ground-truth events, and scores the triple's
 // discriminative power.
 func RunAlg1(seed int64) (*Alg1Result, error) {
-	obs, err := collectAlg1Observations(seed, core.Options{MaxOutliers: 1024})
+	obs, _, err := collectAlg1Observations(seed, core.Options{MaxOutliers: 1024}, nil)
 	if err != nil {
 		return nil, err
 	}
 	return summarizeAlg1(obs)
 }
 
-func collectAlg1Observations(seed int64, opts core.Options) ([]alg1Observation, error) {
+// machineSweep is the per-machine result of one Algorithm 1 pass.
+type machineSweep struct {
+	obs      []alg1Observation
+	warnings int
+}
+
+// simulateExperimentPlant builds the standard Algorithm 1 experiment
+// plant plus the shared score cache. The cache only holds
+// variant-independent plant-level scores (environment tracker,
+// production cube, line robust z), so ablation variants can share one
+// plant and one cache.
+func simulateExperimentPlant(seed int64) (*plant.Plant, *core.PlantCache, error) {
 	p, err := plant.Simulate(plant.Config{
 		Seed: seed, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 12,
 		FaultRate: 0.25, MeasurementErrorRate: 0.25,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var observations []alg1Observation
-	for _, m := range p.Machines() {
+	return p, core.NewPlantCache(p), nil
+}
+
+// collectAlg1Observations simulates the standard experiment plant and
+// sweeps it once.
+func collectAlg1Observations(seed int64, opts core.Options, mod func(*core.Hierarchy)) ([]alg1Observation, int, error) {
+	p, cache, err := simulateExperimentPlant(seed)
+	if err != nil {
+		return nil, 0, err
+	}
+	return sweepPlant(p, cache, opts, mod)
+}
+
+// sweepPlant runs Algorithm 1 on every machine from the phase level —
+// machines in parallel over one shared plant cache — and attributes
+// the reported temperature outliers to ground-truth events. The
+// optional mod hook adjusts each hierarchy before detection (the
+// ablations use it). Observations are concatenated in machine order,
+// so the result is identical to a sequential sweep.
+func sweepPlant(p *plant.Plant, cache *core.PlantCache, opts core.Options, mod func(*core.Hierarchy)) ([]alg1Observation, int, error) {
+	machines := p.Machines()
+	sweeps, err := parallel.Map(len(machines), Workers, func(mi int) (machineSweep, error) {
+		m := machines[mi]
 		// Ground truth per job: fault, measurement error, or both.
 		faultJobs := map[int]bool{}
 		measJobs := map[int]bool{}
@@ -77,14 +110,19 @@ func collectAlg1Observations(seed int64, opts core.Options) ([]alg1Observation, 
 				}
 			}
 		}
-		h, err := core.NewHierarchy(p, m.ID)
+		var sweep machineSweep
+		h, err := core.NewHierarchyWithCache(p, m.ID, cache)
 		if err != nil {
-			return nil, err
+			return sweep, err
+		}
+		if mod != nil {
+			mod(h)
 		}
 		rep, err := core.FindHierarchicalOutliers(h, core.LevelPhase, opts)
 		if err != nil {
-			return nil, err
+			return sweep, err
 		}
+		sweep.warnings = len(rep.Warnings)
 		for _, o := range rep.Outliers {
 			if o.Sensor != "temp-a" && o.Sensor != "temp-b" {
 				continue
@@ -94,14 +132,24 @@ func collectAlg1Observations(seed int64, opts core.Options) ([]alg1Observation, 
 			if isFault == isMeas {
 				continue // unattributable (both or neither) — skip
 			}
-			observations = append(observations, alg1Observation{
+			sweep.obs = append(sweep.obs, alg1Observation{
 				isFault:     isFault,
 				support:     o.Support,
 				globalScore: o.GlobalScore,
 			})
 		}
+		return sweep, nil
+	})
+	if err != nil {
+		return nil, 0, err
 	}
-	return observations, nil
+	var observations []alg1Observation
+	warnings := 0
+	for _, s := range sweeps {
+		observations = append(observations, s.obs...)
+		warnings += s.warnings
+	}
+	return observations, warnings, nil
 }
 
 func summarizeAlg1(observations []alg1Observation) (*Alg1Result, error) {
@@ -175,9 +223,11 @@ type AblationVariant struct {
 	Warnings   int
 }
 
-// RunAblation executes the ablation matrix on a fixed plant.
+// RunAblation executes the ablation matrix. The four variants evaluate
+// concurrently over one shared plant (they would each simulate an
+// identical one from the seed) and one shared score cache — only the
+// per-machine hierarchies, which the variants modify, stay private.
 func RunAblation(seed int64) (*AblationResult, error) {
-	res := &AblationResult{}
 	variants := []struct {
 		name string
 		opts core.Options
@@ -188,65 +238,29 @@ func RunAblation(seed int64) (*AblationResult, error) {
 		{"no downward pass", core.Options{MaxOutliers: 1024, DisableDownPass: true}, nil},
 		{"naive phase detector", core.Options{MaxOutliers: 1024}, func(h *core.Hierarchy) { h.NaivePhase = true }},
 	}
-	for _, v := range variants {
-		row, err := runAblationVariant(seed, v.opts, v.mod)
+	p, cache, err := simulateExperimentPlant(seed)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := parallel.Map(len(variants), Workers, func(i int) (AblationVariant, error) {
+		v := variants[i]
+		row, err := runAblationVariant(p, cache, v.opts, v.mod)
 		if err != nil {
-			return nil, fmt.Errorf("ablation %q: %w", v.name, err)
+			return AblationVariant{}, fmt.Errorf("ablation %q: %w", v.name, err)
 		}
 		row.Name = v.name
-		res.Variants = append(res.Variants, *row)
-	}
-	return res, nil
-}
-
-func runAblationVariant(seed int64, opts core.Options, mod func(*core.Hierarchy)) (*AblationVariant, error) {
-	p, err := plant.Simulate(plant.Config{
-		Seed: seed, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 12,
-		FaultRate: 0.25, MeasurementErrorRate: 0.25,
+		return *row, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	var observations []alg1Observation
-	warnings := 0
-	for _, m := range p.Machines() {
-		faultJobs := map[int]bool{}
-		measJobs := map[int]bool{}
-		for ji, j := range m.Jobs {
-			for _, ph := range j.Phases {
-				for _, e := range ph.Events {
-					if e.Kind == plant.ProcessFault {
-						faultJobs[ji] = true
-					} else {
-						measJobs[ji] = true
-					}
-				}
-			}
-		}
-		h, err := core.NewHierarchy(p, m.ID)
-		if err != nil {
-			return nil, err
-		}
-		if mod != nil {
-			mod(h)
-		}
-		rep, err := core.FindHierarchicalOutliers(h, core.LevelPhase, opts)
-		if err != nil {
-			return nil, err
-		}
-		warnings += len(rep.Warnings)
-		for _, o := range rep.Outliers {
-			if o.Sensor != "temp-a" && o.Sensor != "temp-b" {
-				continue
-			}
-			isFault := faultJobs[o.JobIndex]
-			if isFault == measJobs[o.JobIndex] {
-				continue
-			}
-			observations = append(observations, alg1Observation{
-				isFault: isFault, support: o.Support, globalScore: o.GlobalScore,
-			})
-		}
+	return &AblationResult{Variants: rows}, nil
+}
+
+func runAblationVariant(p *plant.Plant, cache *core.PlantCache, opts core.Options, mod func(*core.Hierarchy)) (*AblationVariant, error) {
+	observations, warnings, err := sweepPlant(p, cache, opts, mod)
+	if err != nil {
+		return nil, err
 	}
 	sum, err := summarizeAlg1(observations)
 	if err != nil {

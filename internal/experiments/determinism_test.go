@@ -1,0 +1,70 @@
+package experiments
+
+import "testing"
+
+// setWorkers temporarily pins the engine's fan-out width.
+func setWorkers(t *testing.T, n int) {
+	t.Helper()
+	old := Workers
+	Workers = n
+	t.Cleanup(func() { Workers = old })
+}
+
+// TestRunTable1DeterministicAcrossWorkers asserts the parallel engine
+// changes nothing but wall-clock: the rendered Table 1 of a strictly
+// sequential run (Workers=1 takes the no-goroutine fast path) must be
+// byte-identical to a heavily parallel run.
+func TestRunTable1DeterministicAcrossWorkers(t *testing.T) {
+	setWorkers(t, 1)
+	seq, err := RunTable1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setWorkers(t, 8)
+	par, err := RunTable1(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel Table 1 diverged from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq, par)
+	}
+}
+
+// TestRunAblationDeterministicAcrossWorkers covers the other parallel
+// path: machine fan-out with a shared plant cache plus variant fan-out.
+func TestRunAblationDeterministicAcrossWorkers(t *testing.T) {
+	setWorkers(t, 1)
+	seq, err := RunAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setWorkers(t, 8)
+	par, err := RunAblation(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel ablation diverged from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq, par)
+	}
+}
+
+// TestRunFig1DeterministicAcrossWorkers pins the grid fan-out of the
+// outlier-type sweep.
+func TestRunFig1DeterministicAcrossWorkers(t *testing.T) {
+	setWorkers(t, 1)
+	seq, err := RunFig1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setWorkers(t, 8)
+	par, err := RunFig1(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatalf("parallel Fig. 1 diverged from sequential run:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq, par)
+	}
+}

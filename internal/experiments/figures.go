@@ -10,6 +10,7 @@ import (
 	"repro/internal/detector/registry"
 	"repro/internal/eval"
 	"repro/internal/generator"
+	"repro/internal/parallel"
 	"repro/internal/plant"
 )
 
@@ -26,55 +27,76 @@ type Fig1Result struct {
 // Fig1Panel lists the point detectors exercised per outlier type.
 var Fig1Panel = []string{"ar", "em-gmm", "pca-space", "one-class-svm", "som", "single-linkage", "olap-cube", "hist-deviant", "profile"}
 
+// fig1Workload holds one outlier type's generated series triple.
+type fig1Workload struct {
+	clean, train, test *generator.Labeled
+}
+
 // RunFig1 injects each Fig. 1 outlier type separately and measures how
-// well each PTS-capable detector recovers it.
+// well each PTS-capable detector recovers it. The workloads per type
+// and then the full type × detector grid are evaluated concurrently;
+// every cell gets a fresh detector and reads the shared workloads
+// read-only, and RNGs are derived from the seed per workload, so the
+// matrix matches the sequential execution exactly.
 func RunFig1(seed int64) (*Fig1Result, error) {
 	res := &Fig1Result{Types: generator.AllOutlierTypes, Detectors: Fig1Panel}
 	cfg := generator.Config{N: 3000, Phi: 0.6}
-	for ti, typ := range generator.AllOutlierTypes {
-		clean, err := generator.Workload(cfg, typ, 0, 0, rand.New(rand.NewSource(seed)))
+	workloads, err := parallel.Map(len(generator.AllOutlierTypes), Workers, func(ti int) (fig1Workload, error) {
+		typ := generator.AllOutlierTypes[ti]
+		var w fig1Workload
+		var err error
+		if w.clean, err = generator.Workload(cfg, typ, 0, 0, rand.New(rand.NewSource(seed))); err != nil {
+			return w, err
+		}
+		if w.train, err = generator.Workload(cfg, typ, 8, 7, rand.New(rand.NewSource(seed+int64(ti)+1))); err != nil {
+			return w, err
+		}
+		if w.test, err = generator.Workload(cfg, typ, 8, 7, rand.New(rand.NewSource(seed+int64(ti)+100))); err != nil {
+			return w, err
+		}
+		return w, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cells, err := parallel.Map(len(workloads)*len(Fig1Panel), Workers, func(k int) (float64, error) {
+		w, name := workloads[k/len(Fig1Panel)], Fig1Panel[k%len(Fig1Panel)]
+		entry, err := registry.ByName(name)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		train, err := generator.Workload(cfg, typ, 8, 7, rand.New(rand.NewSource(seed+int64(ti)+1)))
+		d := entry.New()
+		if sup, ok := d.(detector.SupervisedPoint); ok {
+			if err := sup.FitPoints(w.train.Series.Values, w.train.PointLabels); err != nil {
+				return 0, fmt.Errorf("%s: %w", name, err)
+			}
+		} else if f, ok := d.(detector.Fitter); ok {
+			if err := f.Fit(w.clean.Series.Values); err != nil {
+				return 0, fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		ps, ok := d.(detector.PointScorer)
+		if !ok {
+			return 0, fmt.Errorf("%s: not a point scorer", name)
+		}
+		scores, err := ps.ScorePoints(w.test.Series.Values)
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("%s: %w", name, err)
 		}
-		test, err := generator.Workload(cfg, typ, 8, 7, rand.New(rand.NewSource(seed+int64(ti)+100)))
+		auc, err := eval.ROCAUC(scores, w.test.PointLabels)
 		if err != nil {
-			return nil, err
+			return 0, fmt.Errorf("%s: %w", name, err)
 		}
-		row := make([]float64, len(Fig1Panel))
-		for di, name := range Fig1Panel {
-			entry, err := registry.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			d := entry.New()
-			if sup, ok := d.(detector.SupervisedPoint); ok {
-				if err := sup.FitPoints(train.Series.Values, train.PointLabels); err != nil {
-					return nil, fmt.Errorf("%s: %w", name, err)
-				}
-			} else if f, ok := d.(detector.Fitter); ok {
-				if err := f.Fit(clean.Series.Values); err != nil {
-					return nil, fmt.Errorf("%s: %w", name, err)
-				}
-			}
-			ps, ok := d.(detector.PointScorer)
-			if !ok {
-				return nil, fmt.Errorf("%s: not a point scorer", name)
-			}
-			scores, err := ps.ScorePoints(test.Series.Values)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", name, err)
-			}
-			auc, err := eval.ROCAUC(scores, test.PointLabels)
-			if err != nil {
-				return nil, fmt.Errorf("%s: %w", name, err)
-			}
-			row[di] = auc
-		}
-		res.AUC = append(res.AUC, row)
+		return auc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ti := range workloads {
+		lo, hi := ti*len(Fig1Panel), (ti+1)*len(Fig1Panel)
+		// Cap each row's capacity so rows stay isolated despite the
+		// shared backing array.
+		res.AUC = append(res.AUC, cells[lo:hi:hi])
 	}
 	return res, nil
 }

@@ -25,7 +25,7 @@ type Quality struct {
 // process fault?) under the flat baseline and under Algorithm 1's
 // combined rule.
 func RunFlatVsHier(seed int64) (*FlatVsHierResult, error) {
-	obs, err := collectAlg1Observations(seed, core.Options{MaxOutliers: 1024})
+	obs, _, err := collectAlg1Observations(seed, core.Options{MaxOutliers: 1024}, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -17,7 +17,15 @@ import (
 	"repro/internal/detector/registry"
 	"repro/internal/eval"
 	"repro/internal/generator"
+	"repro/internal/parallel"
 )
+
+// Workers bounds the experiment engine's fan-out: 0 (the default) uses
+// GOMAXPROCS, 1 forces the strictly sequential reference execution.
+// Every work item draws from its own seed-derived RNG and results are
+// collected in index order, so the output is byte-identical at any
+// setting — Workers only trades wall-clock for cores.
+var Workers = 0
 
 // Table1Row is one measured row of the reproduced Table 1: the
 // technique's static capability columns plus, for every declared ✓, the
@@ -38,34 +46,52 @@ type Table1Result struct {
 // constructed from the registry, trained per its interface contract
 // (Fitter on clean data, Supervised* on labelled data) and scored on
 // held-out contaminated workloads at every granularity it declares.
+// Conformance runs are evaluated concurrently at (technique,
+// granularity) grain — finer than per-technique, so one heavy
+// technique cannot become the critical path of the whole table. Every
+// run constructs a fresh detector and derives its RNGs from the seed
+// alone, and results land in registry order, so the table is
+// byte-identical to a sequential run.
 func RunTable1(seed int64) (*Table1Result, error) {
-	res := &Table1Result{}
-	for _, entry := range registry.Table1 {
-		row := Table1Row{Info: entry.Info, AUCPts: math.NaN(), AUCSsq: math.NaN(), AUCTss: math.NaN()}
+	type conformance struct {
+		entry   registry.Entry
+		row     int
+		kind    string // PTS, SSQ, or TSS
+		run     func(registry.Entry, int64) (float64, error)
+		aucCell func(*Table1Row) *float64
+	}
+	rows := make([]Table1Row, len(registry.Table1))
+	var cells []conformance
+	for i, entry := range registry.Table1 {
+		rows[i] = Table1Row{Info: entry.Info, AUCPts: math.NaN(), AUCSsq: math.NaN(), AUCTss: math.NaN()}
 		if entry.Info.Capability.Points {
-			auc, err := conformPoints(entry, seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s/PTS: %w", entry.Info.Name, err)
-			}
-			row.AUCPts = auc
+			cells = append(cells, conformance{entry, i, "PTS", conformPoints,
+				func(r *Table1Row) *float64 { return &r.AUCPts }})
 		}
 		if entry.Info.Capability.Subsequences {
-			auc, err := conformWindows(entry, seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s/SSQ: %w", entry.Info.Name, err)
-			}
-			row.AUCSsq = auc
+			cells = append(cells, conformance{entry, i, "SSQ", conformWindows,
+				func(r *Table1Row) *float64 { return &r.AUCSsq }})
 		}
 		if entry.Info.Capability.Series {
-			auc, err := conformSeries(entry, seed)
-			if err != nil {
-				return nil, fmt.Errorf("%s/TSS: %w", entry.Info.Name, err)
-			}
-			row.AUCTss = auc
+			cells = append(cells, conformance{entry, i, "TSS", conformSeries,
+				func(r *Table1Row) *float64 { return &r.AUCTss }})
 		}
-		res.Rows = append(res.Rows, row)
 	}
-	return res, nil
+	aucs, err := parallel.Map(len(cells), Workers, func(k int) (float64, error) {
+		c := cells[k]
+		auc, err := c.run(c.entry, seed)
+		if err != nil {
+			return 0, fmt.Errorf("%s/%s: %w", c.entry.Info.Name, c.kind, err)
+		}
+		return auc, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range cells {
+		*c.aucCell(&rows[c.row]) = aucs[k]
+	}
+	return &Table1Result{Rows: rows}, nil
 }
 
 // conformPoints runs the PTS conformance workload: mixed Fox outliers

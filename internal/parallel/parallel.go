@@ -1,0 +1,73 @@
+// Package parallel provides the bounded worker pool and deterministic
+// ordered fan-out primitives the experiment engine runs on.
+//
+// Every fan-out collects its results by index, so callers observe
+// exactly the output a sequential loop would have produced — parallel
+// evaluation is an implementation detail, not a semantic change. RNG
+// discipline is the caller's job: each work item must derive its own
+// generator (e.g. rand.New(rand.NewSource(seed+i))) instead of sharing
+// one across items.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count knob: n > 0 is taken as-is, anything
+// else falls back to GOMAXPROCS, so a zero value always means "use the
+// hardware".
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn(0..n-1) on at most workers goroutines (0 =
+// GOMAXPROCS) and returns the results in index order. When calls fail,
+// the error of the lowest index wins — the same error a sequential
+// loop would have surfaced first. All n calls run to completion even
+// after a failure, keeping side effects (caches, RNG draws inside an
+// item) independent of scheduling.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers = Workers(workers)
+	if workers == 1 || n == 1 {
+		// Strictly sequential fast path: no goroutines at all, so a
+		// workers=1 run is bit-for-bit the reference execution.
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = fn(i)
+		}
+	} else {
+		if workers > n {
+			workers = n
+		}
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					out[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,71 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		got, err := Map(50, workers, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != 50 {
+			t.Fatalf("workers=%d: len=%d", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d]=%d want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil || got != nil {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestMapLowestIndexErrorWins(t *testing.T) {
+	want := errors.New("boom-3")
+	_, err := Map(20, 8, func(i int) (int, error) {
+		if i == 3 {
+			return 0, want
+		}
+		if i > 10 {
+			return 0, fmt.Errorf("boom-%d", i)
+		}
+		return i, nil
+	})
+	if err != want {
+		t.Fatalf("err=%v want %v", err, want)
+	}
+}
+
+func TestMapRunsEveryItemDespiteError(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(30, 4, func(i int) (int, error) {
+		calls.Add(1)
+		return 0, errors.New("always")
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 30 {
+		t.Fatalf("calls=%d want 30", calls.Load())
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(5) != 5 {
+		t.Fatal("explicit count must pass through")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Fatal("fallback must be at least 1")
+	}
+}

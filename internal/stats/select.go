@@ -1,0 +1,118 @@
+package stats
+
+import "math"
+
+// The selection-based robust statistics below replace the sort-based
+// Median/MAD on every hot path: one quickselect pass is O(n) expected
+// instead of O(n log n), and MedianMAD shares a single scratch buffer
+// between the two selections so per-window loops allocate nothing.
+//
+// Ordering matches sort.Float64s exactly (NaNs first, then ascending),
+// so the selection-based results are bit-identical to the sorted-copy
+// implementations they replace.
+
+// selLess is the sort.Float64s ordering: NaNs sort before everything.
+func selLess(a, b float64) bool {
+	return a < b || (math.IsNaN(a) && !math.IsNaN(b))
+}
+
+// SelectK partially reorders xs in place so that xs[k] holds the value
+// ascending sorting (NaNs first) would put at index k, every element
+// before index k compares ≤ it and every element after compares ≥ it.
+// It returns xs[k]. Expected O(len(xs)) via median-of-three Hoare
+// quickselect. It panics when k is out of range, as that is always a
+// programming error in this library.
+func SelectK(xs []float64, k int) float64 {
+	if k < 0 || k >= len(xs) {
+		panic("stats: SelectK index out of range")
+	}
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		// Median-of-three pivot guards against already-ordered inputs.
+		mid := lo + (hi-lo)/2
+		if selLess(xs[mid], xs[lo]) {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if selLess(xs[hi], xs[lo]) {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if selLess(xs[hi], xs[mid]) {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		pivot := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for selLess(xs[i], pivot) {
+				i++
+			}
+			for selLess(pivot, xs[j]) {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k]
+		}
+	}
+	return xs[k]
+}
+
+// MedianInPlace returns the median of xs, reordering xs in the
+// process. It matches Median exactly (including NaN propagation) in
+// expected O(n).
+func MedianInPlace(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	k := n / 2
+	upper := SelectK(xs, k)
+	if n%2 == 1 {
+		return upper
+	}
+	// Even n: the lower middle is the maximum of the left partition,
+	// which SelectK left holding the k smallest elements.
+	lower := xs[0]
+	for _, x := range xs[1:k] {
+		if selLess(lower, x) {
+			lower = x
+		}
+	}
+	return (lower + upper) / 2
+}
+
+// MedianMAD returns the median and the 1.4826-scaled median absolute
+// deviation of xs in one expected-O(n) pass pair, sharing the provided
+// scratch buffer between the two selections. xs is not modified.
+// scratch needs cap ≥ len(xs) to be reused; anything smaller (nil
+// included) allocates internally, so passing a reusable buffer is an
+// optimisation, never a requirement.
+func MedianMAD(xs, scratch []float64) (med, mad float64) {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	if cap(scratch) < n {
+		scratch = make([]float64, n)
+	}
+	buf := scratch[:n]
+	copy(buf, xs)
+	med = MedianInPlace(buf)
+	for i, x := range xs {
+		buf[i] = math.Abs(x - med)
+	}
+	return med, 1.4826 * MedianInPlace(buf)
+}
+
+// DegenerateMAD reports whether a MAD estimate cannot serve as a
+// divisor — the shared test behind every robust-scaling fallback.
+func DegenerateMAD(mad float64) bool { return mad == 0 || math.IsNaN(mad) }

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// sortMedian and sortMAD are the original sort-based implementations,
+// kept here as the reference the selection-based fast paths must match
+// bit-for-bit.
+func sortMedian(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	return medianSorted(cp)
+}
+
+func sortMAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	med := sortMedian(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return 1.4826 * sortMedian(dev)
+}
+
+func sameFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// randomSample draws length-n inputs from the regimes the detectors
+// feed in: random, constant, and NaN-bearing.
+func randomSample(rng *rand.Rand, n int) []float64 {
+	xs := make([]float64, n)
+	switch rng.Intn(3) {
+	case 0: // random
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+	case 1: // constant
+		c := rng.NormFloat64()
+		for i := range xs {
+			xs[i] = c
+		}
+	default: // random with NaN contamination
+		for i := range xs {
+			if rng.Float64() < 0.2 {
+				xs[i] = math.NaN()
+			} else {
+				xs[i] = rng.NormFloat64() * 10
+			}
+		}
+	}
+	return xs
+}
+
+func TestSelectKMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(40)
+		xs := randomSample(rng, n)
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		k := rng.Intn(n)
+		cp := append([]float64(nil), xs...)
+		got := SelectK(cp, k)
+		if !sameFloat(got, sorted[k]) {
+			t.Fatalf("trial %d: SelectK(%v, %d) = %v, sorted[%d] = %v", trial, xs, k, got, k, sorted[k])
+		}
+		// Partition invariant: nothing right of k compares below xs[k].
+		for i := k + 1; i < n; i++ {
+			if selLess(cp[i], cp[k]) {
+				t.Fatalf("trial %d: partition violated at %d: %v", trial, i, cp)
+			}
+		}
+	}
+}
+
+func TestSelectKPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range k")
+		}
+	}()
+	SelectK([]float64{1, 2}, 2)
+}
+
+func TestMedianMADMatchesSortBased(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	scratch := make([]float64, 64)
+	for trial := 0; trial < 1000; trial++ {
+		n := rng.Intn(45) // includes 0
+		xs := randomSample(rng, n)
+		orig := append([]float64(nil), xs...)
+		med, mad := MedianMAD(xs, scratch)
+		if !sameFloat(med, sortMedian(orig)) {
+			t.Fatalf("trial %d: median %v != sort-based %v for %v", trial, med, sortMedian(orig), orig)
+		}
+		if !sameFloat(mad, sortMAD(orig)) {
+			t.Fatalf("trial %d: MAD %v != sort-based %v for %v", trial, mad, sortMAD(orig), orig)
+		}
+		// MedianMAD must not touch its input.
+		for i := range xs {
+			if !sameFloat(xs[i], orig[i]) {
+				t.Fatalf("trial %d: input mutated at %d", trial, i)
+			}
+		}
+		// Public wrappers stay consistent with the combined call.
+		if !sameFloat(Median(orig), med) || !sameFloat(MAD(orig), mad) {
+			t.Fatalf("trial %d: Median/MAD disagree with MedianMAD", trial)
+		}
+	}
+}
+
+func TestMedianMADTinyInputs(t *testing.T) {
+	med, mad := MedianMAD(nil, nil)
+	if !math.IsNaN(med) || !math.IsNaN(mad) {
+		t.Fatalf("empty: got %v, %v", med, mad)
+	}
+	med, mad = MedianMAD([]float64{3}, nil)
+	if med != 3 || mad != 0 {
+		t.Fatalf("len-1: got %v, %v", med, mad)
+	}
+	med, mad = MedianMAD([]float64{1, 5}, nil)
+	if med != 3 || mad != 1.4826*2 {
+		t.Fatalf("len-2: got %v, %v", med, mad)
+	}
+}
+
+func TestMedianInPlaceAgreesWithMedian(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		xs := randomSample(rng, 1+rng.Intn(30))
+		want := sortMedian(xs)
+		if got := MedianInPlace(append([]float64(nil), xs...)); !sameFloat(got, want) {
+			t.Fatalf("trial %d: %v != %v for %v", trial, got, want, xs)
+		}
+	}
+}
+
+func BenchmarkMedianMAD(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	scratch := make([]float64, len(xs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MedianMAD(xs, scratch)
+	}
+}
+
+func BenchmarkMedianMADSortBased(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sortMedian(xs)
+		sortMAD(xs)
+	}
+}

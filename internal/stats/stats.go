@@ -107,15 +107,15 @@ func MinMax(xs []float64) (min, max float64) {
 	return min, max
 }
 
-// Median returns the median of xs. The input is not modified; a sorted
-// copy is made internally.
+// Median returns the median of xs. The input is not modified; a
+// scratch copy is selected in expected O(n). Hot paths that own their
+// slice should use MedianInPlace or MedianMAD to skip the copy.
 func Median(xs []float64) float64 {
 	if len(xs) == 0 {
 		return math.NaN()
 	}
 	cp := append([]float64(nil), xs...)
-	sort.Float64s(cp)
-	return medianSorted(cp)
+	return MedianInPlace(cp)
 }
 
 func medianSorted(sorted []float64) float64 {
@@ -134,15 +134,8 @@ func medianSorted(sorted []float64) float64 {
 // detectors use it instead of StdDev to keep injected outliers from
 // inflating their own threshold.
 func MAD(xs []float64) float64 {
-	if len(xs) == 0 {
-		return math.NaN()
-	}
-	med := Median(xs)
-	dev := make([]float64, len(xs))
-	for i, x := range xs {
-		dev[i] = math.Abs(x - med)
-	}
-	return 1.4826 * Median(dev)
+	_, mad := MedianMAD(xs, nil)
+	return mad
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
