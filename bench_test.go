@@ -160,8 +160,12 @@ func BenchmarkHierarchicalRun(b *testing.B) {
 func BenchmarkDetectorsPoint(b *testing.B) {
 	cfg := generator.Config{N: 4096, Phi: 0.5}
 	clean, dirty := genPair(b,
-		func() (*generator.Labeled, error) { return generator.MixedWorkload(cfg, 0, 0, rand.New(rand.NewSource(1))) },
-		func() (*generator.Labeled, error) { return generator.MixedWorkload(cfg, 10, 7, rand.New(rand.NewSource(2))) })
+		func() (*generator.Labeled, error) {
+			return generator.MixedWorkload(cfg, 0, 0, rand.New(rand.NewSource(1)))
+		},
+		func() (*generator.Labeled, error) {
+			return generator.MixedWorkload(cfg, 10, 7, rand.New(rand.NewSource(2)))
+		})
 	for _, entry := range registry.All() {
 		if !entry.Info.Capability.Points || entry.Info.Supervised {
 			continue
@@ -190,8 +194,12 @@ func BenchmarkDetectorsPoint(b *testing.B) {
 // throughput on the standard SSQ workload.
 func BenchmarkDetectorsWindow(b *testing.B) {
 	clean, dirty := genPair(b,
-		func() (*generator.LabeledSubseq, error) { return generator.SubseqWorkload(4096, 48, 0, rand.New(rand.NewSource(1))) },
-		func() (*generator.LabeledSubseq, error) { return generator.SubseqWorkload(4096, 48, 5, rand.New(rand.NewSource(2))) })
+		func() (*generator.LabeledSubseq, error) {
+			return generator.SubseqWorkload(4096, 48, 0, rand.New(rand.NewSource(1)))
+		},
+		func() (*generator.LabeledSubseq, error) {
+			return generator.SubseqWorkload(4096, 48, 5, rand.New(rand.NewSource(2)))
+		})
 	for _, entry := range registry.All() {
 		if !entry.Info.Capability.Subsequences || entry.Info.Supervised {
 			continue

@@ -1,0 +1,136 @@
+// Command benchguard compares a fresh `benchtab -json` timing run
+// against the committed baseline and fails (exit 1) when any
+// experiment regressed beyond the tolerance — the benchmark-regression
+// gate of the CI pipeline.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_baseline.json -current BENCH_current.json
+//	           [-tolerance 0.25] [-min-seconds 0.05]
+//
+// Experiments faster than -min-seconds in the baseline are ignored:
+// at that scale scheduler noise dwarfs any real regression. A missing
+// experiment in the current run fails the guard (a silently dropped
+// benchmark must not pass).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchRecord mirrors benchtab's -json schema.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Seconds    float64 `json:"seconds"`
+}
+
+type benchBaseline struct {
+	Records []benchRecord `json:"records"`
+}
+
+// verdict is one experiment's comparison outcome.
+type verdict struct {
+	Experiment string
+	Base, Cur  float64
+	Ratio      float64 // Cur/Base (0 when skipped)
+	Regressed  bool
+	Skipped    bool // under min-seconds, noise-dominated
+	Missing    bool // absent from the current run
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline timings")
+	curPath := flag.String("current", "", "fresh benchtab -json output (required)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed slowdown fraction (0.25 = +25%)")
+	minSeconds := flag.Float64("min-seconds", 0.05, "ignore baseline entries faster than this")
+	flag.Parse()
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchguard:", err)
+		os.Exit(2)
+	}
+	verdicts := compare(base, cur, *tolerance, *minSeconds)
+	failed := false
+	fmt.Printf("%-12s %10s %10s %8s  %s\n", "experiment", "base(s)", "cur(s)", "ratio", "verdict")
+	for _, v := range verdicts {
+		status := "ok"
+		switch {
+		case v.Missing:
+			status = "MISSING"
+			failed = true
+		case v.Skipped:
+			status = "skipped (noise floor)"
+		case v.Regressed:
+			status = fmt.Sprintf("REGRESSED (> +%.0f%%)", *tolerance*100)
+			failed = true
+		}
+		fmt.Printf("%-12s %10.3f %10.3f %8.2f  %s\n", v.Experiment, v.Base, v.Cur, v.Ratio, status)
+	}
+	if failed {
+		fmt.Println("benchguard: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("benchguard: PASS")
+}
+
+func load(path string) (map[string]float64, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b benchBaseline
+	if err := json.Unmarshal(buf, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(b.Records) == 0 {
+		return nil, fmt.Errorf("%s: no records", path)
+	}
+	out := make(map[string]float64, len(b.Records))
+	for _, r := range b.Records {
+		out[r.Experiment] = r.Seconds
+	}
+	return out, nil
+}
+
+// compare evaluates every baseline experiment against the current run,
+// in sorted order for stable output.
+func compare(base, cur map[string]float64, tolerance, minSeconds float64) []verdict {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]verdict, 0, len(names))
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		v := verdict{Experiment: name, Base: b, Cur: c}
+		switch {
+		case !ok:
+			v.Missing = true
+		case b < minSeconds:
+			v.Skipped = true
+			if b > 0 {
+				v.Ratio = c / b
+			}
+		default:
+			v.Ratio = c / b
+			v.Regressed = c > b*(1+tolerance)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestCompareVerdicts(t *testing.T) {
+	base := map[string]float64{
+		"table1":   2.0,
+		"fig1":     1.0,
+		"ablation": 0.5,
+		"tiny":     0.01,
+		"gone":     1.0,
+	}
+	cur := map[string]float64{
+		"table1":   2.4,  // +20% — within 25%
+		"fig1":     1.30, // +30% — regressed
+		"ablation": 0.4,  // improvement
+		"tiny":     5.0,  // huge ratio but under the noise floor
+	}
+	got := compare(base, cur, 0.25, 0.05)
+	want := map[string]struct {
+		regressed, skipped, missing bool
+	}{
+		"ablation": {},
+		"fig1":     {regressed: true},
+		"gone":     {missing: true},
+		"table1":   {},
+		"tiny":     {skipped: true},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d verdicts, want %d", len(got), len(want))
+	}
+	for _, v := range got {
+		w, ok := want[v.Experiment]
+		if !ok {
+			t.Fatalf("unexpected verdict for %q", v.Experiment)
+		}
+		if v.Regressed != w.regressed || v.Skipped != w.skipped || v.Missing != w.missing {
+			t.Errorf("%s: got regressed=%v skipped=%v missing=%v, want %+v",
+				v.Experiment, v.Regressed, v.Skipped, v.Missing, w)
+		}
+	}
+}
+
+func TestCompareBoundaryExactTolerance(t *testing.T) {
+	// Exactly +25% is allowed; only strictly beyond fails.
+	got := compare(map[string]float64{"x": 1.0}, map[string]float64{"x": 1.25}, 0.25, 0.05)
+	if got[0].Regressed {
+		t.Fatal("exactly-at-tolerance run must pass")
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	content := `{"seed":1,"records":[{"experiment":"table1","seconds":1.5}]}`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["table1"] != 1.5 {
+		t.Fatalf("m=%v", m)
+	}
+	if _, err := load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"records":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := load(empty); err == nil {
+		t.Fatal("want error for no records")
+	}
+}

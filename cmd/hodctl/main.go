@@ -6,6 +6,7 @@
 //
 //	hodctl detect  -detector ar -csv data.csv [-column 1] [-top 10]
 //	hodctl hier    [-seed N] [-machine id] [-level 1..5]
+//	hodctl replay  -addr http://host:8080 -plant id -sensors sensors.csv
 //	hodctl list
 package main
 
@@ -37,6 +38,8 @@ func main() {
 		err = cmdHier(os.Args[2:])
 	case "summary":
 		err = cmdSummary(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "list":
 		err = cmdList()
 	default:
@@ -54,6 +57,7 @@ func usage() {
   hodctl detect  -detector NAME -csv FILE [-column N] [-top K] [-fit-csv FILE]
   hodctl hier    [-seed N] [-machine ID] [-level 1..5]
   hodctl summary [-seed N] [-machine ID] [-json]
+  hodctl replay  -addr URL -plant ID -sensors FILE [-jobs FILE] [-env FILE] [-batch N] [-register]
   hodctl list`)
 }
 

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cmdReplay streams a plantsim trace (sensors.csv, optionally
+// jobs.csv and environment.csv) through a running hodserve ingest API,
+// honouring its 429 + Retry-After backpressure — the two CLIs compose
+// instead of duplicating CSV parsing: the server decodes the same
+// schemas plantsim writes.
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
+	plantID := fs.String("plant", "plant-1", "plant ID on the server")
+	sensors := fs.String("sensors", "", "plantsim sensors.csv to replay (required)")
+	jobs := fs.String("jobs", "", "plantsim jobs.csv with setup+CAQ vectors")
+	env := fs.String("env", "", "plantsim environment.csv")
+	batch := fs.Int("batch", 2000, "CSV rows per ingest request")
+	doRegister := fs.Bool("register", false, "derive the topology from sensors.csv and register the plant first")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sensors == "" {
+		return fmt.Errorf("replay: -sensors is required")
+	}
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	if *doRegister {
+		topo, err := deriveTopology(*plantID, *sensors)
+		if err != nil {
+			return err
+		}
+		if err := registerPlant(client, *addr, topo); err != nil {
+			return err
+		}
+		fmt.Printf("replay: registered plant %s\n", *plantID)
+	}
+
+	rows, err := replayCSV(client, *addr, *plantID, *sensors, *batch)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replay: streamed %d sensor rows from %s\n", rows, *sensors)
+
+	if *env != "" {
+		rows, err := replayCSV(client, *addr, *plantID, *env, *batch)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replay: streamed %d environment rows from %s\n", rows, *env)
+	}
+	if *jobs != "" {
+		n, err := uploadJobs(client, *addr, *plantID, *jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("replay: uploaded %d job vectors from %s\n", n, *jobs)
+	}
+	return nil
+}
+
+// deriveTopology scans a sensors.csv for the machine set (lines are
+// the ID prefix before the first '/') and sensor columns, building the
+// same wire type the server registers.
+func deriveTopology(plantID, path string) (server.Topology, error) {
+	topo := server.Topology{ID: plantID}
+	f, err := os.Open(path)
+	if err != nil {
+		return topo, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReader(f))
+	header, err := r.Read()
+	if err != nil {
+		return topo, fmt.Errorf("%s: missing header: %w", path, err)
+	}
+	if len(header) < 5 || header[0] != "machine" {
+		return topo, fmt.Errorf("%s: not a plantsim sensors.csv (header %q)", path, strings.Join(header, ","))
+	}
+	machines := map[string]bool{}
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return topo, err
+		}
+		machines[rec[0]] = true
+	}
+	byLine := map[string][]string{}
+	for m := range machines {
+		line := m
+		if i := strings.IndexByte(m, '/'); i > 0 {
+			line = m[:i]
+		}
+		byLine[line] = append(byLine[line], m)
+	}
+	lineIDs := make([]string, 0, len(byLine))
+	for l := range byLine {
+		lineIDs = append(lineIDs, l)
+	}
+	sort.Strings(lineIDs)
+	for _, l := range lineIDs {
+		ms := byLine[l]
+		sort.Strings(ms)
+		topo.Lines = append(topo.Lines, server.TopoLine{ID: l, Machines: ms})
+	}
+	topo.Sensors = header[4:]
+	return topo, nil
+}
+
+func registerPlant(client *http.Client, addr string, topo server.Topology) error {
+	buf, err := json.Marshal(topo)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(addr+"/v1/plants", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("register: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	return nil
+}
+
+// replayCSV streams one CSV file in row batches, re-sending a batch
+// whenever the server sheds load with 429.
+func replayCSV(client *http.Client, addr, plantID, path string, batchRows int) (int, error) {
+	if batchRows < 1 {
+		batchRows = 1
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		return 0, fmt.Errorf("%s: empty file", path)
+	}
+	header := sc.Text()
+	url := addr + "/v1/plants/" + plantID + "/ingest"
+
+	total := 0
+	rows := make([]string, 0, batchRows)
+	flush := func() error {
+		if len(rows) == 0 {
+			return nil
+		}
+		body := header + "\n" + strings.Join(rows, "\n") + "\n"
+		ack, err := postBatch(client, url, "text/csv", []byte(body))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if ack.Rejected > 0 {
+			// Rejected records never reach the store; silently
+			// "succeeding" would surface only as an empty report later.
+			return fmt.Errorf("%s: server rejected %d records (first: %s)",
+				path, ack.Rejected, ack.FirstRejection)
+		}
+		total += len(rows)
+		rows = rows[:0]
+		return nil
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		rows = append(rows, line)
+		if len(rows) >= batchRows {
+			if err := flush(); err != nil {
+				return total, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return total, err
+	}
+	return total, flush()
+}
+
+// ingestAck is the server's batch acknowledgement.
+type ingestAck struct {
+	Records        int    `json:"records"`
+	Rejected       int    `json:"rejected"`
+	FirstRejection string `json:"first_rejection"`
+}
+
+// postBatch POSTs one batch, retrying on 429 after the advertised
+// Retry-After (the server's idempotent store makes re-sending safe),
+// and returns the server's acknowledgement so callers can surface
+// per-record rejections.
+func postBatch(client *http.Client, url, contentType string, body []byte) (ingestAck, error) {
+	for attempt := 0; attempt < 120; attempt++ {
+		resp, err := client.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			return ingestAck{}, err
+		}
+		respBody, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
+			var ack ingestAck
+			if err := json.Unmarshal(respBody, &ack); err != nil {
+				return ingestAck{}, fmt.Errorf("bad acknowledgement: %w", err)
+			}
+			return ack, nil
+		case resp.StatusCode == http.StatusTooManyRequests:
+			delay := time.Second
+			if ra := resp.Header.Get("Retry-After"); ra != "" {
+				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+					delay = time.Duration(secs) * time.Second
+				}
+			}
+			time.Sleep(delay)
+		default:
+			return ingestAck{}, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(respBody)))
+		}
+	}
+	return ingestAck{}, fmt.Errorf("batch still shed after 120 retries")
+}
+
+// uploadJobs converts a plantsim jobs.csv (machine, job, faulty, 5
+// setup columns, 6 CAQ columns) into the JSON job-metadata payload.
+func uploadJobs(client *http.Client, addr, plantID, path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReader(f))
+	header, err := r.Read()
+	if err != nil {
+		return 0, fmt.Errorf("%s: missing header: %w", path, err)
+	}
+	if len(header) < 3 || header[0] != "machine" || header[1] != "job" {
+		return 0, fmt.Errorf("%s: not a plantsim jobs.csv", path)
+	}
+	var metas []server.JobMeta
+	line := 1
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return 0, err
+		}
+		line++
+		if len(rec) < 3+server.DefaultSetupDims {
+			return 0, fmt.Errorf("%s:%d: %d fields", path, line, len(rec))
+		}
+		m := server.JobMeta{Machine: rec[0], Job: rec[1], Faulty: rec[2] == "true"}
+		for i, s := range rec[3:] {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return 0, fmt.Errorf("%s:%d: bad value %q", path, line, s)
+			}
+			if i < server.DefaultSetupDims {
+				m.Setup = append(m.Setup, v)
+			} else {
+				m.CAQ = append(m.CAQ, v)
+			}
+		}
+		metas = append(metas, m)
+	}
+	buf, err := json.Marshal(metas)
+	if err != nil {
+		return 0, err
+	}
+	ack, err := postBatch(client, addr+"/v1/plants/"+plantID+"/jobs", "application/json", buf)
+	if err != nil {
+		return 0, err
+	}
+	if ack.Rejected > 0 {
+		return 0, fmt.Errorf("%s: server rejected %d job vectors (first: %s)",
+			path, ack.Rejected, ack.FirstRejection)
+	}
+	return len(metas), nil
+}

@@ -1,0 +1,192 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/plant"
+	"repro/internal/server"
+)
+
+// writeTrace writes a plantsim-schema sensors.csv + jobs.csv +
+// environment.csv for the given plant.
+func writeTrace(t *testing.T, dir string, p *plant.Plant) (sensors, jobs, env string) {
+	t.Helper()
+	sensors = filepath.Join(dir, "sensors.csv")
+	var sb strings.Builder
+	sb.WriteString("machine,job,phase,t," + strings.Join(plant.SensorNames, ",") + "\n")
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			for _, ph := range job.Phases {
+				for ti := 0; ti < ph.Sensors.Len(); ti++ {
+					fmt.Fprintf(&sb, "%s,%s,%s,%d", m.ID, job.ID, ph.Name, ti)
+					for _, v := range ph.Sensors.Row(ti) {
+						sb.WriteString("," + strconv.FormatFloat(v, 'g', -1, 64))
+					}
+					sb.WriteString("\n")
+				}
+			}
+		}
+	}
+	if err := os.WriteFile(sensors, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	jobs = filepath.Join(dir, "jobs.csv")
+	sb.Reset()
+	sb.WriteString("machine,job,faulty,layer_height,speed,setpoint,extrusion,viscosity,dim_error,roughness,porosity,tensile,warp,completion\n")
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			fmt.Fprintf(&sb, "%s,%s,%t", m.ID, job.ID, job.Faulty)
+			for _, v := range append(append([]float64(nil), job.Setup...), job.CAQ...) {
+				sb.WriteString("," + strconv.FormatFloat(v, 'g', -1, 64))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	if err := os.WriteFile(jobs, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	env = filepath.Join(dir, "environment.csv")
+	sb.Reset()
+	names := make([]string, len(p.Environment.Dims))
+	for i, d := range p.Environment.Dims {
+		names[i] = d.Name
+	}
+	sb.WriteString("t," + strings.Join(names, ",") + "\n")
+	for ti := 0; ti < p.Environment.Len(); ti++ {
+		sb.WriteString(strconv.Itoa(ti))
+		for _, v := range p.Environment.Row(ti) {
+			sb.WriteString("," + strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		sb.WriteString("\n")
+	}
+	if err := os.WriteFile(env, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return sensors, jobs, env
+}
+
+// TestReplayAgainstServer drives the replay path end to end: derive
+// the topology from the CSV, register, stream all three files, then
+// confirm the server has the data and serves a report.
+func TestReplayAgainstServer(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{
+		Seed: 6, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 3, PhaseSamples: 16,
+		FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors, jobs, env := writeTrace(t, t.TempDir(), p)
+
+	srv := server.New(server.Options{Shards: 2, QueueDepth: 4})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if err := cmdReplay([]string{
+		"-addr", ts.URL, "-plant", "replayed", "-register",
+		"-sensors", sensors, "-jobs", jobs, "-env", env, "-batch", "300",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The replay returns once every batch is admitted; wait for the
+	// shard pipelines to drain before asserting counts.
+	wantRecords := 0
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			for _, ph := range job.Phases {
+				wantRecords += ph.Sensors.Len() * len(ph.Sensors.Dims)
+			}
+		}
+	}
+	wantRecords += p.Environment.Len() * len(p.Environment.Dims)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(ts.URL + "/v1/plants/replayed/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Accepted int   `json:"accepted_records"`
+			Depths   []int `json:"queue_depths"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		idle := st.Accepted >= wantRecords
+		for _, d := range st.Depths {
+			if d > 0 {
+				idle = false
+			}
+		}
+		if idle {
+			if st.Accepted != wantRecords {
+				t.Fatalf("accepted %d records, want %d", st.Accepted, wantRecords)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never drained (accepted %d, want %d)", st.Accepted, wantRecords)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/plants/replayed/report?level=1&top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report status %s", resp.Status)
+	}
+	var rep struct {
+		Machines []string `json:"machines"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Machines) != len(p.Machines()) {
+		t.Fatalf("report machines %v, want %d", rep.Machines, len(p.Machines()))
+	}
+}
+
+func TestDeriveTopology(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sensors.csv")
+	content := "machine,job,phase,t,temp-a,temp-b\n" +
+		"line-2/m1,j,print,0,1,2\n" +
+		"line-1/m1,j,print,0,1,2\n" +
+		"line-1/m2,j,print,0,1,2\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := deriveTopology("pid", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.ID != "pid" {
+		t.Fatalf("id=%v", topo.ID)
+	}
+	if len(topo.Lines) != 2 || topo.Lines[0].ID != "line-1" || topo.Lines[1].ID != "line-2" {
+		t.Fatalf("lines=%v", topo.Lines)
+	}
+	if ms := topo.Lines[0].Machines; len(ms) != 2 || ms[0] != "line-1/m1" {
+		t.Fatalf("machines=%v", ms)
+	}
+	if ss := topo.Sensors; len(ss) != 2 || ss[1] != "temp-b" {
+		t.Fatalf("sensors=%v", ss)
+	}
+}

@@ -53,12 +53,45 @@ func run(seed int64, lines, machines, jobs int, faultRate, measRate float64, out
 	if err := writeJobs(p, filepath.Join(out, "jobs.csv")); err != nil {
 		return err
 	}
+	if err := writeEnvironment(p, filepath.Join(out, "environment.csv")); err != nil {
+		return err
+	}
 	if err := writeEvents(p, filepath.Join(out, "events.json")); err != nil {
 		return err
 	}
-	fmt.Printf("plantsim: wrote %s/{sensors.csv,jobs.csv,events.json} (%d machines, %d events)\n",
+	fmt.Printf("plantsim: wrote %s/{sensors.csv,jobs.csv,environment.csv,events.json} (%d machines, %d events)\n",
 		out, len(p.Machines()), len(p.Events))
 	return nil
+}
+
+// writeEnvironment emits the level-3 climate series in the wide "t,
+// sensor..." schema the hodserve ingest API accepts, so `hodctl replay
+// -env` can stream it back.
+func writeEnvironment(p *plant.Plant, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	header := []string{"t"}
+	for _, d := range p.Environment.Dims {
+		header = append(header, d.Name)
+	}
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	for t := 0; t < p.Environment.Len(); t++ {
+		rec := []string{strconv.Itoa(t)}
+		for _, v := range p.Environment.Row(t) {
+			rec = append(rec, strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return w.Error()
 }
 
 func writeSensors(p *plant.Plant, path string) error {

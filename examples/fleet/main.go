@@ -1,0 +1,321 @@
+// Example fleet: serve a simulated plant over HTTP and replay its
+// trace against the server — the full serving loop of the fleet layer.
+//
+// It starts an in-process hodserve on an ephemeral port, registers a
+// plant, then replays the plantsim trace machine-by-machine with one
+// uploader per production line: each machine's samples are pumped
+// through an internal/stream pipeline (Pump → Merge fan-in per line),
+// batched into NDJSON ingest requests, and retried on 429
+// backpressure. Once the pipelines drain it prints the incremental
+// roll-up and the fleet-ranked outlier report.
+//
+// Run with:
+//
+//	go run ./examples/fleet
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/plant"
+	"repro/internal/server"
+	"repro/internal/stream"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal("fleet: ", err)
+	}
+}
+
+func run() error {
+	p, err := plant.Simulate(plant.Config{
+		Seed: 42, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 6,
+		PhaseSamples: 60, FaultRate: 0.3, MeasurementErrorRate: 0.3,
+	})
+	if err != nil {
+		return err
+	}
+
+	// In-process server on an ephemeral port.
+	srv := server.New(server.Options{Shards: 3, QueueDepth: 8, Workers: 0})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("fleet: serving on", base)
+
+	if err := register(base, p); err != nil {
+		return err
+	}
+
+	// One uploader per production line; within a line the machines'
+	// sample streams are merged by an internal/stream fan-in, so the
+	// uploader sees one interleaved live feed — the shape a line
+	// gateway would produce.
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	total := 0
+	for _, line := range p.Lines {
+		chans := make([]<-chan stream.Sample, 0, len(line.Machines))
+		index := make(map[string]sampleMeta)
+		for _, m := range line.Machines {
+			src, meta, n := machineSource(m)
+			for k, v := range meta {
+				index[k] = v
+			}
+			total += n
+			chans = append(chans, stream.Pump(ctx, src, 256))
+		}
+		merged := stream.Merge(ctx, chans...)
+		wg.Add(1)
+		go func(lineID string) {
+			defer wg.Done()
+			if err := upload(base, merged, index); err != nil {
+				log.Printf("fleet: line %s uploader: %v", lineID, err)
+			}
+		}(line.ID)
+	}
+	// Environment riding on its own uploader.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var recs []server.Record
+		for _, dim := range p.Environment.Dims {
+			for t, v := range dim.Values {
+				recs = append(recs, server.Record{Env: true, Sensor: dim.Name, T: t, Value: v})
+			}
+		}
+		if err := postNDJSON(base+"/v1/plants/demo/ingest", recs); err != nil {
+			log.Printf("fleet: env uploader: %v", err)
+		}
+	}()
+	wg.Wait()
+	envTotal := p.Environment.Len() * len(p.Environment.Dims)
+
+	if err := uploadJobMeta(base, p); err != nil {
+		return err
+	}
+	if err := waitDrained(base, total+envTotal); err != nil {
+		return err
+	}
+	fmt.Printf("fleet: replayed %d samples across %d machines\n", total+envTotal, len(p.Machines()))
+
+	for _, path := range []string{
+		"/v1/plants/demo/rollup?level=line",
+		"/v1/plants/demo/rollup?level=machine",
+		"/v1/plants/demo/report?level=phase&top=8",
+		"/v1/plants/demo/alerts?limit=5",
+	} {
+		body, err := get(base + path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\n== GET %s ==\n%s\n", path, indent(body))
+	}
+	return nil
+}
+
+// sampleMeta carries the routing fields that stream.Sample (a pure
+// sensor sample) does not: which machine/job/phase a sample belongs
+// to. The stream's Sensor field carries an opaque key into this index.
+type sampleMeta struct {
+	machine, job, phase, sensor string
+}
+
+// machineSource flattens one machine's trace into a stream source.
+func machineSource(m *plant.Machine) (stream.Source, map[string]sampleMeta, int) {
+	var samples []stream.Sample
+	index := make(map[string]sampleMeta)
+	for _, job := range m.Jobs {
+		for _, ph := range job.Phases {
+			for _, dim := range ph.Sensors.Dims {
+				key := m.ID + "\x00" + job.ID + "\x00" + ph.Name + "\x00" + dim.Name
+				index[key] = sampleMeta{machine: m.ID, job: job.ID, phase: ph.Name, sensor: dim.Name}
+				for t, v := range dim.Values {
+					samples = append(samples, stream.Sample{
+						Sensor: key,
+						At:     dim.TimeAt(t),
+						Value:  v,
+					})
+				}
+			}
+		}
+	}
+	return stream.NewSliceSource(samples), index, len(samples)
+}
+
+// upload batches a merged sample stream into NDJSON ingest requests.
+func upload(base string, in <-chan stream.Sample, index map[string]sampleMeta) error {
+	const batch = 4000
+	recs := make([]server.Record, 0, batch)
+	counters := make(map[string]int) // per-series position = sample index t
+	flush := func() error {
+		if len(recs) == 0 {
+			return nil
+		}
+		err := postNDJSON(base+"/v1/plants/demo/ingest", recs)
+		recs = recs[:0]
+		return err
+	}
+	for s := range in {
+		meta := index[s.Sensor]
+		// The sample index within the phase is the series position:
+		// counters are keyed by the full (machine, job, phase, sensor)
+		// series key, and Merge preserves per-machine order.
+		t := counters[s.Sensor]
+		counters[s.Sensor] = t + 1
+		recs = append(recs, server.Record{
+			Machine: meta.machine, Job: meta.job, Phase: meta.phase,
+			Sensor: meta.sensor, T: t, Value: s.Value,
+		})
+		if len(recs) >= batch {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+func register(base string, p *plant.Plant) error {
+	topo := server.Topology{ID: "demo"}
+	for _, l := range p.Lines {
+		tl := server.TopoLine{ID: l.ID}
+		for _, m := range l.Machines {
+			tl.Machines = append(tl.Machines, m.ID)
+		}
+		topo.Lines = append(topo.Lines, tl)
+	}
+	buf, err := json.Marshal(topo)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/plants", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("register: %s: %s", resp.Status, body)
+	}
+	return nil
+}
+
+func uploadJobMeta(base string, p *plant.Plant) error {
+	var metas []server.JobMeta
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			metas = append(metas, server.JobMeta{
+				Machine: m.ID, Job: job.ID, Setup: job.Setup, CAQ: job.CAQ, Faulty: job.Faulty,
+			})
+		}
+	}
+	buf, err := json.Marshal(metas)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/v1/plants/demo/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("job metadata: %s: %s", resp.Status, body)
+	}
+	return nil
+}
+
+func postNDJSON(url string, recs []server.Record) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	for attempt := 0; attempt < 120; attempt++ {
+		resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
+			return nil
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return fmt.Errorf("ingest: %s", resp.Status)
+		}
+		time.Sleep(50 * time.Millisecond) // honour the backpressure
+	}
+	return fmt.Errorf("ingest: batch still shed after 120 retries")
+}
+
+func waitDrained(base string, want int) error {
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		body, err := get(base + "/v1/plants/demo/stats")
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Accepted int   `json:"accepted_records"`
+			Depths   []int `json:"queue_depths"`
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			return err
+		}
+		idle := st.Accepted >= want
+		for _, d := range st.Depths {
+			if d > 0 {
+				idle = false
+			}
+		}
+		if idle {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("pipelines did not drain in time")
+}
+
+func get(url string) ([]byte, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body, nil
+}
+
+func indent(raw []byte) string {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, bytes.TrimSpace(raw), "", "  "); err != nil {
+		return string(raw)
+	}
+	return buf.String()
+}

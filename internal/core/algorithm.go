@@ -53,28 +53,29 @@ func (o Options) withDefaults() Options {
 }
 
 // Outlier is the algorithm's result record: the paper's triple plus
-// the location of the finding.
+// the location of the finding. The JSON form (levels as 1..5) is what
+// the serving layer returns.
 type Outlier struct {
-	Level       Level
-	Sensor      string // phase level only
-	Index       int    // position on the start level's axis
-	JobIndex    int    // the job the finding falls into
-	GlobalScore int
-	Outlierness float64
-	Support     float64
+	Level       Level   `json:"level"`
+	Sensor      string  `json:"sensor,omitempty"` // phase level only
+	Index       int     `json:"index"`            // position on the start level's axis
+	JobIndex    int     `json:"job"`              // the job the finding falls into
+	GlobalScore int     `json:"global_score"`
+	Outlierness float64 `json:"outlierness"`
+	Support     float64 `json:"support"`
 	// SeenAt lists every level that confirmed the outlier during the
 	// global-score recursion (includes the start level).
-	SeenAt []Level
+	SeenAt []Level `json:"seen_at"`
 }
 
 // Warning is a measurement-error warning from the downward pass: an
 // outlier visible at Level but absent at Below.
 type Warning struct {
-	Level    Level
-	Below    Level
-	JobIndex int
-	Sensor   string
-	Reason   string
+	Level    Level  `json:"level"`
+	Below    Level  `json:"below"`
+	JobIndex int    `json:"job"`
+	Sensor   string `json:"sensor,omitempty"`
+	Reason   string `json:"reason"`
 }
 
 // Report is the output of FindHierarchicalOutliers.

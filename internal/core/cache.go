@@ -12,6 +12,38 @@ import (
 
 var errMissingRoomTemp = errors.New("core: environment series missing room-temp")
 
+// memo is a resettable once: each getter fills its entry exactly once
+// between invalidations, holding the entry lock across both the fill
+// and the read so a concurrent reset+refill can never race a reader.
+// Unlike sync.Once it can be reset, which is what lets the serving
+// layer roll new data into a live cache without rebuilding the
+// untouched entries. Refills always allocate fresh slices, so values
+// returned before a reset stay valid for their holders.
+type memo struct {
+	mu   sync.Mutex
+	done bool
+}
+
+// do runs fill once per validity window, then snap — both under the
+// entry lock, so the pattern that keeps readers safe from a concurrent
+// reset+refill lives in one place.
+func (m *memo) do(fill, snap func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.done {
+		fill()
+		m.done = true
+	}
+	snap()
+}
+
+// reset marks the entry stale so the next getter refills it.
+func (m *memo) reset() {
+	m.mu.Lock()
+	m.done = false
+	m.mu.Unlock()
+}
+
 // PlantCache shares the plant-wide score computations across the
 // machine hierarchies of one plant. The environment tracker and the
 // production-level cube compare the whole shop floor, so without
@@ -19,24 +51,30 @@ var errMissingRoomTemp = errors.New("core: environment series missing room-temp"
 // once per machine for the experiments, and once per sibling lookup
 // inside lineSupport. All methods are safe for concurrent use; the
 // parallel experiment engine evaluates machines on one shared cache.
+//
+// For incremental serving the cache is additionally *invalidatable*:
+// Rebind swaps in a new plant snapshot (dropping the plant-spanning
+// production entry), InvalidateEnv drops the environment tracker, and
+// InvalidateMachine drops one machine's line scores — so a roll-up
+// after fresh data never recomputes untouched subtrees.
 type PlantCache struct {
+	mu    sync.Mutex // guards plant pointer and the line map
 	plant *plant.Plant
 
-	envOnce sync.Once
+	envMemo memo
 	env     []float64
 	envErr  error
 
-	prodOnce sync.Once
+	prodMemo memo
 	prod     []float64
 	prodIdx  map[string]int
 	prodErr  error
 
-	mu   sync.Mutex // guards the line map only; entries fill via their own Once
 	line map[string]*lineEntry
 }
 
 type lineEntry struct {
-	once   sync.Once
+	memo   memo
 	scores []float64
 	err    error
 }
@@ -48,24 +86,63 @@ func NewPlantCache(p *plant.Plant) *PlantCache {
 	return &PlantCache{plant: p, line: make(map[string]*lineEntry)}
 }
 
+// Plant returns the plant snapshot the cache is currently bound to.
+func (c *PlantCache) Plant() *plant.Plant {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.plant
+}
+
+// Rebind points the cache at a new plant snapshot and drops the
+// production-level entry (it spans every machine, so any change
+// invalidates it). The environment and per-machine line entries are
+// kept: callers invalidate exactly the subtrees whose data changed via
+// InvalidateEnv and InvalidateMachine.
+func (c *PlantCache) Rebind(p *plant.Plant) {
+	c.mu.Lock()
+	c.plant = p
+	c.mu.Unlock()
+	c.prodMemo.reset()
+}
+
+// InvalidateEnv drops the cached environment scores; the next EnvScores
+// call recomputes them from the bound plant.
+func (c *PlantCache) InvalidateEnv() { c.envMemo.reset() }
+
+// InvalidateMachine drops one machine's cached line scores. The
+// production entry is left alone — pair with Rebind when machine data
+// changed, which drops it.
+func (c *PlantCache) InvalidateMachine(id string) {
+	c.mu.Lock()
+	e, ok := c.line[id]
+	c.mu.Unlock()
+	if ok {
+		e.memo.reset()
+	}
+}
+
 // EnvScores returns the level-3 drift scores (EWMA tracker over the
 // room-temperature series), computed once per plant.
-func (c *PlantCache) EnvScores() ([]float64, error) {
-	c.envOnce.Do(func() { c.env, c.envErr = computeEnvScores(c.plant) })
-	return c.env, c.envErr
+func (c *PlantCache) EnvScores() (scores []float64, err error) {
+	c.envMemo.do(
+		func() { c.env, c.envErr = computeEnvScores(c.Plant()) },
+		func() { scores, err = c.env, c.envErr })
+	return scores, err
 }
 
 // ProductionScores returns the level-5 cube scores for every machine
 // plus the machine-ID → index mapping, computed once per plant.
-func (c *PlantCache) ProductionScores() ([]float64, map[string]int, error) {
-	c.prodOnce.Do(func() { c.prod, c.prodIdx, c.prodErr = computeProductionScores(c.plant) })
-	return c.prod, c.prodIdx, c.prodErr
+func (c *PlantCache) ProductionScores() (scores []float64, idx map[string]int, err error) {
+	c.prodMemo.do(
+		func() { c.prod, c.prodIdx, c.prodErr = computeProductionScores(c.Plant()) },
+		func() { scores, idx, err = c.prod, c.prodIdx, c.prodErr })
+	return scores, idx, err
 }
 
 // LineScores returns the level-4 robust scores of one machine,
 // computed once per machine — sibling-support lookups hit the cache
 // instead of rebuilding the series. Each entry fills under its own
-// Once, so concurrent fills for different machines never serialize.
+// lock, so concurrent fills for different machines never serialize.
 func (c *PlantCache) LineScores(m *plant.Machine) ([]float64, error) {
 	c.mu.Lock()
 	e, ok := c.line[m.ID]
@@ -74,11 +151,18 @@ func (c *PlantCache) LineScores(m *plant.Machine) ([]float64, error) {
 		c.line[m.ID] = e
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.scores, e.err = computeLineScores(m) })
-	return e.scores, e.err
+	var scores []float64
+	var err error
+	e.memo.do(
+		func() { e.scores, e.err = computeLineScores(m) },
+		func() { scores, err = e.scores, e.err })
+	return scores, err
 }
 
 func computeEnvScores(p *plant.Plant) ([]float64, error) {
+	if p.Environment == nil {
+		return nil, errMissingRoomTemp
+	}
 	room := p.Environment.Dim("room-temp")
 	if room == nil {
 		return nil, errMissingRoomTemp

@@ -81,6 +81,42 @@ func NewHierarchyWithCache(p *plant.Plant, machineID string, cache *PlantCache) 
 // SamplesPerJob returns the number of level-1 samples a job spans.
 func (h *Hierarchy) SamplesPerJob() int { return h.perJob }
 
+// Rebind points the hierarchy at a new plant snapshot and cache,
+// dropping exactly the memos the snapshot invalidates. The plant-level
+// scores (environment, line, production) always re-pull from the cache
+// — which serves them memoized when their subtree is untouched. The
+// machine-local memos (phase profile scores, job scores, soft-sensor
+// models) survive when the snapshot reuses the same machine object,
+// which is how the serving layer avoids re-profiling machines that
+// received no new data.
+func (h *Hierarchy) Rebind(p *plant.Plant, cache *PlantCache) error {
+	m, err := p.MachineByID(h.Machine.ID)
+	if err != nil {
+		return err
+	}
+	if len(m.Jobs) == 0 || len(m.Jobs[0].Phases) == 0 {
+		return fmt.Errorf("core: machine %s has no recorded jobs", m.ID)
+	}
+	if cache == nil {
+		cache = NewPlantCache(p)
+	}
+	if m != h.Machine {
+		h.phaseScores = nil
+		h.jobScores = nil
+		h.softModels = nil
+		h.softStream = nil
+		h.perPhase = m.Jobs[0].Phases[0].Sensors.Len()
+		h.perJob = h.perPhase * len(m.Jobs[0].Phases)
+	}
+	h.Plant = p
+	h.Machine = m
+	h.cache = cache
+	h.envScores = nil
+	h.lineScores = nil
+	h.prodScores = nil
+	return nil
+}
+
 // ---- Level detectors (ChooseAlgorithm of Algorithm 1) ----
 //
 // Each level carries a different data shape, so a different detector

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/plant"
+)
+
+func simTwo(t *testing.T, seed int64) (*plant.Plant, *plant.Plant) {
+	t.Helper()
+	cfg := plant.Config{Seed: seed, FaultRate: 0.3, MeasurementErrorRate: 0.3, JobsPerMachine: 6, PhaseSamples: 40}
+	a, err := plant.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := plant.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+// TestPlantCacheRebindKeepsUntouchedSubtrees verifies the incremental
+// contract: after Rebind to a snapshot that reuses machine objects,
+// line scores come back from cache (same slice), while the
+// production entry is recomputed.
+func TestPlantCacheRebindKeepsUntouchedSubtrees(t *testing.T) {
+	p, _ := simTwo(t, 7)
+	c := NewPlantCache(p)
+	m := p.Machines()[0]
+	before, err := c.LineScores(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	envBefore, err := c.EnvScores()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A snapshot wrapping the same machines: line + env entries stay.
+	snap := &plant.Plant{Lines: p.Lines, Environment: p.Environment, Start: p.Start, Step: p.Step}
+	c.Rebind(snap)
+	after, err := c.LineScores(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &before[0] != &after[0] {
+		t.Fatal("Rebind dropped an untouched machine's line scores")
+	}
+	envAfter, err := c.EnvScores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &envBefore[0] != &envAfter[0] {
+		t.Fatal("Rebind dropped untouched environment scores")
+	}
+
+	// Explicit invalidation recomputes (equal values, fresh slice).
+	c.InvalidateMachine(m.ID)
+	fresh, err := c.LineScores(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &fresh[0] == &after[0] {
+		t.Fatal("InvalidateMachine did not drop the entry")
+	}
+	if !reflect.DeepEqual(fresh, after) {
+		t.Fatal("recomputed line scores differ from cached ones")
+	}
+	c.InvalidateEnv()
+	envFresh, err := c.EnvScores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &envFresh[0] == &envAfter[0] {
+		t.Fatal("InvalidateEnv did not drop the entry")
+	}
+}
+
+// TestHierarchyRebindMatchesFreshRun checks that a rebound hierarchy
+// produces exactly the report a from-scratch hierarchy over the same
+// snapshot would.
+func TestHierarchyRebindMatchesFreshRun(t *testing.T) {
+	p1, p2 := simTwo(t, 11)
+	id := p1.Machines()[1].ID
+
+	h, err := NewHierarchy(p1, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FindHierarchicalOutliers(h, LevelPhase, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebind to an independently simulated but identical plant: every
+	// machine object is different, so all memos must drop.
+	c2 := NewPlantCache(p2)
+	if err := h.Rebind(p2, c2); err != nil {
+		t.Fatal(err)
+	}
+	got, err := FindHierarchicalOutliers(h, LevelPhase, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewHierarchy(p2, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := FindHierarchicalOutliers(fresh, LevelPhase, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("rebound report differs from fresh run: got %d outliers, want %d",
+			len(got.Outliers), len(want.Outliers))
+	}
+}
+
+// TestHierarchyRebindSameMachineKeepsPhaseScores ensures the expensive
+// machine-local profile memo survives a rebind that reuses the machine.
+func TestHierarchyRebindSameMachineKeepsPhaseScores(t *testing.T) {
+	p, _ := simTwo(t, 3)
+	id := p.Machines()[0].ID
+	h, err := NewHierarchy(p, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := h.phaseLevelScores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &plant.Plant{Lines: p.Lines, Environment: p.Environment, Start: p.Start, Step: p.Step}
+	if err := h.Rebind(snap, NewPlantCache(snap)); err != nil {
+		t.Fatal(err)
+	}
+	after, err := h.phaseLevelScores()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameScoreMap(before, after) {
+		t.Fatal("rebind with an unchanged machine dropped the phase-score memo")
+	}
+}
+
+func sameScoreMap(a, b map[string][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, av := range a {
+		bv, ok := b[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		if len(av) > 0 && &av[0] != &bv[0] {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] && !(math.IsNaN(av[i]) && math.IsNaN(bv[i])) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -8,22 +8,26 @@ import (
 	"strings"
 )
 
-// Rank orders outliers by the paper's combined importance: global
-// score first (the more levels confirm, the more obvious), then
-// support (corroborated findings over lone voices), then outlierness.
-// It returns a new slice; the input is untouched.
+// RankLess is the paper's combined-importance order: global score
+// first (the more levels confirm, the more obvious), then support
+// (corroborated findings over lone voices), then outlierness. Exported
+// so fleet-level consumers can rank machine-tagged outlier lists with
+// exactly the same comparator.
+func RankLess(a, b Outlier) bool {
+	if a.GlobalScore != b.GlobalScore {
+		return a.GlobalScore > b.GlobalScore
+	}
+	if a.Support != b.Support {
+		return a.Support > b.Support
+	}
+	return a.Outlierness > b.Outlierness
+}
+
+// Rank orders outliers by RankLess. It returns a new slice; the input
+// is untouched.
 func Rank(outliers []Outlier) []Outlier {
 	out := append([]Outlier(nil), outliers...)
-	sort.SliceStable(out, func(i, j int) bool {
-		a, b := out[i], out[j]
-		if a.GlobalScore != b.GlobalScore {
-			return a.GlobalScore > b.GlobalScore
-		}
-		if a.Support != b.Support {
-			return a.Support > b.Support
-		}
-		return a.Outlierness > b.Outlierness
-	})
+	sort.SliceStable(out, func(i, j int) bool { return RankLess(out[i], out[j]) })
 	return out
 }
 

@@ -1,0 +1,167 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"strconv"
+	"strings"
+)
+
+// decodeRecords parses one ingest request body. Three wire formats are
+// accepted:
+//
+//   - NDJSON (default, application/x-ndjson): one Record object per line
+//   - JSON (application/json): a single array of Record objects
+//   - CSV (text/csv): the plantsim trace schemas — machine-sensor rows
+//     "machine,job,phase,t,<sensor...>" or environment rows
+//     "t,<env-sensor...>"
+//
+// so `hodctl replay` and `curl --data-binary @sensors.csv` both work
+// without client-side conversion.
+func decodeRecords(r io.Reader, contentType string) ([]Record, error) {
+	mt := contentType
+	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
+		mt = parsed
+	}
+	switch mt {
+	case "text/csv", "application/csv":
+		return decodeCSV(r)
+	case "application/json":
+		return decodeJSONArray(r)
+	default:
+		return decodeNDJSON(r)
+	}
+}
+
+func decodeJSONArray(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&out); err != nil {
+		return nil, fmt.Errorf("json array: %w", err)
+	}
+	if len(out) > maxBatchRecs {
+		return nil, fmt.Errorf("batch of %d records exceeds the %d cap", len(out), maxBatchRecs)
+	}
+	return out, nil
+}
+
+func decodeNDJSON(r io.Reader) ([]Record, error) {
+	var out []Record
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := bytes.TrimSpace(sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
+		}
+		out = append(out, rec)
+		if len(out) > maxBatchRecs {
+			return nil, fmt.Errorf("batch exceeds the %d-record cap", maxBatchRecs)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("ndjson: %w", err)
+	}
+	return out, nil
+}
+
+// decodeCSV handles both plantsim trace schemas, dispatching on the
+// header row.
+func decodeCSV(r io.Reader) ([]Record, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("csv: missing header: %w", err)
+	}
+	switch {
+	case len(header) >= 5 && header[0] == "machine" && header[1] == "job" &&
+		header[2] == "phase" && header[3] == "t":
+		return decodeMachineCSV(cr, header[4:])
+	case len(header) >= 2 && header[0] == "t":
+		return decodeEnvCSV(cr, header[1:])
+	default:
+		return nil, fmt.Errorf("csv: unrecognised header %q (want machine,job,phase,t,... or t,...)",
+			strings.Join(header, ","))
+	}
+}
+
+func decodeMachineCSV(cr *csv.Reader, sensors []string) ([]Record, error) {
+	var out []Record
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != 4+len(sensors) {
+			return nil, fmt.Errorf("csv line %d: %d fields, want %d", line, len(rec), 4+len(sensors))
+		}
+		t, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("csv line %d: bad t %q", line, rec[3])
+		}
+		for si, sensor := range sensors {
+			v, err := strconv.ParseFloat(rec[4+si], 64)
+			if err != nil {
+				return nil, fmt.Errorf("csv line %d: bad %s value %q", line, sensor, rec[4+si])
+			}
+			out = append(out, Record{
+				Machine: rec[0], Job: rec[1], Phase: rec[2],
+				Sensor: sensor, T: t, Value: v,
+			})
+		}
+		if len(out) > maxBatchRecs {
+			return nil, fmt.Errorf("batch exceeds the %d-record cap", maxBatchRecs)
+		}
+	}
+	return out, nil
+}
+
+func decodeEnvCSV(cr *csv.Reader, sensors []string) ([]Record, error) {
+	var out []Record
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("csv line %d: %w", line+1, err)
+		}
+		line++
+		if len(rec) != 1+len(sensors) {
+			return nil, fmt.Errorf("csv line %d: %d fields, want %d", line, len(rec), 1+len(sensors))
+		}
+		t, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("csv line %d: bad t %q", line, rec[0])
+		}
+		for si, sensor := range sensors {
+			v, err := strconv.ParseFloat(rec[1+si], 64)
+			if err != nil {
+				return nil, fmt.Errorf("csv line %d: bad %s value %q", line, sensor, rec[1+si])
+			}
+			out = append(out, Record{Env: true, Sensor: sensor, T: t, Value: v})
+		}
+		if len(out) > maxBatchRecs {
+			return nil, fmt.Errorf("batch exceeds the %d-record cap", maxBatchRecs)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,477 @@
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plant"
+	"repro/internal/stats"
+	"repro/internal/stream"
+	"repro/internal/timeseries"
+)
+
+// rollKey addresses one leaf of the roll-up tree: the accumulator of
+// one sensor within one phase of one machine. Shards keep their own
+// leaf maps; queries merge them (stats.Online.Merge) and then fold the
+// merged leaves up the sensor→phase→machine→line→plant levels.
+type rollKey struct {
+	machine, phase, sensor string
+}
+
+// shard is one ingest pipeline: a bounded queue feeding a single
+// worker goroutine that owns the stores of the machines hashed onto
+// it. Per-machine ordering is therefore free, and the worker can run
+// the online alert trackers without locks.
+type shard struct {
+	q *stream.Queue[[]Record]
+
+	rollMu sync.Mutex
+	roll   map[rollKey]*stats.Online
+
+	trackers map[rollKey]*stats.EWMATracker // worker-owned, no lock
+}
+
+// Alert is one streaming detection event raised at ingest time by the
+// per-sensor EWMA tracker — the live complement of the batch report.
+type Alert struct {
+	Machine string  `json:"machine"`
+	Phase   string  `json:"phase"`
+	Sensor  string  `json:"sensor"`
+	T       int     `json:"t"`
+	Value   float64 `json:"value"`
+	Score   float64 `json:"score"`
+}
+
+// plantState is the serving state of one registered plant: sharded
+// ingest on the write side, an incrementally maintained plant snapshot
+// plus hierarchy/report caches on the read side.
+type plantState struct {
+	topo        Topology
+	machineLine map[string]string
+	phaseSet    map[string]bool
+	sensorSet   map[string]bool
+	envSet      map[string]bool
+
+	machines map[string]*machineStore
+	env      *envStore
+	dataRev  atomic.Uint64
+
+	shards []*shard
+	wg     sync.WaitGroup
+
+	alertMu   sync.Mutex
+	alerts    []Alert
+	alertHead int
+
+	accepted atomic.Uint64 // records folded in
+	rejected atomic.Uint64 // records failing validation
+	shed     atomic.Uint64 // batches refused with 429
+
+	// Read side, all guarded by reportMu: the assembled snapshot, the
+	// revision it reflects, per-machine build revisions and built
+	// machine objects, the shared PlantCache, per-machine hierarchies,
+	// and the per-(machine, level) report cache.
+	reportMu     sync.Mutex
+	assembled    *plant.Plant
+	assembledRev uint64
+	machineRevAt map[string]uint64
+	envRevAt     uint64
+	built        map[string]*plant.Machine
+	cache        *core.PlantCache
+	hier         map[string]*core.Hierarchy
+	reports      map[reportKey]*core.Report
+}
+
+type reportKey struct {
+	machine string
+	level   core.Level
+}
+
+const alertRingCap = 512
+
+func newPlantState(topo Topology) *plantState {
+	ps := &plantState{
+		topo:         topo,
+		machineLine:  make(map[string]string),
+		phaseSet:     make(map[string]bool),
+		sensorSet:    make(map[string]bool),
+		envSet:       make(map[string]bool),
+		machines:     make(map[string]*machineStore),
+		env:          newEnvStore(),
+		machineRevAt: make(map[string]uint64),
+		built:        make(map[string]*plant.Machine),
+		hier:         make(map[string]*core.Hierarchy),
+		reports:      make(map[reportKey]*core.Report),
+	}
+	for _, l := range topo.Lines {
+		for _, m := range l.Machines {
+			ps.machineLine[m] = l.ID
+			ps.machines[m] = newMachineStore()
+		}
+	}
+	for _, p := range topo.Phases {
+		ps.phaseSet[p] = true
+	}
+	for _, s := range topo.Sensors {
+		ps.sensorSet[s] = true
+	}
+	for _, s := range topo.EnvSensors {
+		ps.envSet[s] = true
+	}
+	return ps
+}
+
+// makeShards builds the shard queues without workers (split out so
+// tests can exercise admission without a consumer).
+func (ps *plantState) makeShards(shards, queueDepth int) {
+	if shards < 1 {
+		shards = 1
+	}
+	if queueDepth < 1 {
+		queueDepth = 1
+	}
+	ps.shards = make([]*shard, shards)
+	for i := range ps.shards {
+		ps.shards[i] = &shard{
+			q:        stream.NewQueue[[]Record](queueDepth),
+			roll:     make(map[rollKey]*stats.Online),
+			trackers: make(map[rollKey]*stats.EWMATracker),
+		}
+	}
+}
+
+// start spins up the shard pipelines.
+func (ps *plantState) start(shards, queueDepth int, alertThreshold float64) {
+	ps.makeShards(shards, queueDepth)
+	for _, sh := range ps.shards {
+		ps.wg.Add(1)
+		go ps.work(sh, alertThreshold)
+	}
+}
+
+// close stops admission and drains every shard's backlog.
+func (ps *plantState) close() {
+	for _, sh := range ps.shards {
+		sh.q.Close()
+	}
+	ps.wg.Wait()
+}
+
+// shardFor routes a machine to its pipeline; environment records ride
+// on shard 0.
+func (ps *plantState) shardFor(machine string) *shard {
+	if len(ps.shards) == 1 || machine == "" {
+		return ps.shards[0]
+	}
+	h := fnv.New32a()
+	h.Write([]byte(machine))
+	return ps.shards[int(h.Sum32())%len(ps.shards)]
+}
+
+// work is the shard worker loop: fold records into the stores, the
+// roll-up accumulators, and the online alert trackers.
+func (ps *plantState) work(sh *shard, alertThreshold float64) {
+	defer ps.wg.Done()
+	for {
+		batch, ok := sh.q.Pop()
+		if !ok {
+			return
+		}
+		var wrote bool
+		for _, rec := range batch {
+			if rec.Env {
+				fresh, changed := ps.env.set(rec)
+				if fresh {
+					ps.accepted.Add(1)
+				}
+				wrote = wrote || changed
+				continue
+			}
+			ms := ps.machines[rec.Machine]
+			fresh, changed := ms.set(rec)
+			wrote = wrote || changed // corrections must reach the next snapshot
+			if !fresh {
+				// Idempotent replay of an already-seen cell: the store
+				// (and thus the report) carries any corrected value,
+				// but the streaming roll-up and alert trackers fold
+				// each cell's first-seen value only — Welford
+				// accumulators cannot retract an observation.
+				continue
+			}
+			ps.accepted.Add(1)
+			key := rollKey{rec.Machine, rec.Phase, rec.Sensor}
+			sh.rollMu.Lock()
+			o, ok := sh.roll[key]
+			if !ok {
+				o = &stats.Online{}
+				sh.roll[key] = o
+			}
+			o.Add(rec.Value)
+			sh.rollMu.Unlock()
+			tr, ok := sh.trackers[rollKey{machine: rec.Machine, sensor: rec.Sensor}]
+			if !ok {
+				tr = stats.NewEWMATracker(0.05)
+				sh.trackers[rollKey{machine: rec.Machine, sensor: rec.Sensor}] = tr
+			}
+			if score := tr.Add(rec.Value); score >= alertThreshold {
+				ps.pushAlert(Alert{
+					Machine: rec.Machine, Phase: rec.Phase, Sensor: rec.Sensor,
+					T: rec.T, Value: rec.Value, Score: score,
+				})
+			}
+		}
+		if wrote {
+			ps.dataRev.Add(1)
+		}
+	}
+}
+
+func (ps *plantState) pushAlert(a Alert) {
+	ps.alertMu.Lock()
+	defer ps.alertMu.Unlock()
+	if len(ps.alerts) < alertRingCap {
+		ps.alerts = append(ps.alerts, a)
+		return
+	}
+	ps.alerts[ps.alertHead] = a
+	ps.alertHead = (ps.alertHead + 1) % alertRingCap
+}
+
+// recentAlerts returns up to limit alerts, oldest first.
+func (ps *plantState) recentAlerts(limit int) []Alert {
+	ps.alertMu.Lock()
+	defer ps.alertMu.Unlock()
+	out := make([]Alert, 0, len(ps.alerts))
+	for i := 0; i < len(ps.alerts); i++ {
+		out = append(out, ps.alerts[(ps.alertHead+i)%len(ps.alerts)])
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// validate vets one decoded record against the topology.
+func (ps *plantState) validate(rec Record) error {
+	if rec.T < 0 || rec.T >= maxSampleIndex {
+		return fmt.Errorf("t %d out of [0, %d)", rec.T, maxSampleIndex)
+	}
+	if math.IsNaN(rec.Value) || math.IsInf(rec.Value, 0) {
+		return fmt.Errorf("non-finite value")
+	}
+	if rec.Env {
+		if !ps.envSet[rec.Sensor] {
+			return fmt.Errorf("unknown environment sensor %q", rec.Sensor)
+		}
+		return nil
+	}
+	if _, ok := ps.machineLine[rec.Machine]; !ok {
+		return fmt.Errorf("unregistered machine %q", rec.Machine)
+	}
+	if rec.Job == "" {
+		return fmt.Errorf("missing job id")
+	}
+	if !ps.phaseSet[rec.Phase] {
+		return fmt.Errorf("unknown phase %q", rec.Phase)
+	}
+	if !ps.sensorSet[rec.Sensor] {
+		return fmt.Errorf("unknown sensor %q", rec.Sensor)
+	}
+	return nil
+}
+
+// snapshot brings the assembled plant up to the current data revision,
+// rebuilding only machines whose stores advanced and invalidating
+// exactly the matching cache subtrees. Callers must hold reportMu.
+func (ps *plantState) snapshot() error {
+	cur := ps.dataRev.Load()
+	if ps.assembled != nil && cur == ps.assembledRev {
+		return nil
+	}
+
+	envChanged := false
+
+	var lines []*plant.Line
+	for _, tl := range ps.topo.Lines {
+		line := &plant.Line{ID: tl.ID}
+		for _, mID := range tl.Machines {
+			st := ps.machines[mID]
+			st.mu.Lock()
+			rev := st.rev
+			st.mu.Unlock()
+			if rev == 0 {
+				continue // no data yet
+			}
+			if prev, ok := ps.built[mID]; ok && ps.machineRevAt[mID] == rev {
+				line.Machines = append(line.Machines, prev)
+				continue
+			}
+			m, rev, err := buildMachine(ps.topo, tl.ID, mID, st)
+			if err != nil {
+				return err
+			}
+			if m == nil {
+				continue
+			}
+			ps.built[mID] = m
+			ps.machineRevAt[mID] = rev
+			if ps.cache != nil {
+				ps.cache.InvalidateMachine(mID)
+			}
+			line.Machines = append(line.Machines, m)
+		}
+		if len(line.Machines) > 0 {
+			lines = append(lines, line)
+		}
+	}
+
+	var env *timeseries.MultiSeries
+	if ps.assembled != nil {
+		env = ps.assembled.Environment
+	}
+	if envRev := ps.envRev(); env == nil || envRev != ps.envRevAt {
+		var err error
+		env, ps.envRevAt, err = ps.env.build(ps.topo)
+		if err != nil {
+			return err
+		}
+		envChanged = true
+	}
+
+	p := &plant.Plant{Lines: lines, Environment: env, Start: assemblyStart, Step: time.Second}
+	if ps.cache == nil {
+		ps.cache = core.NewPlantCache(p)
+	} else {
+		ps.cache.Rebind(p)
+	}
+	if envChanged {
+		ps.cache.InvalidateEnv()
+	}
+
+	// Rebind surviving hierarchies; drop ones whose machine vanished.
+	for id, h := range ps.hier {
+		if _, err := p.MachineByID(id); err != nil {
+			delete(ps.hier, id)
+			continue
+		}
+		if err := h.Rebind(p, ps.cache); err != nil {
+			delete(ps.hier, id)
+		}
+	}
+	// Any report depends on the cross-level upward pass, so any data
+	// change invalidates all of them.
+	ps.reports = make(map[reportKey]*core.Report)
+	ps.assembled = p
+	ps.assembledRev = cur
+	return nil
+}
+
+func (ps *plantState) envRev() uint64 {
+	ps.env.mu.Lock()
+	defer ps.env.mu.Unlock()
+	return ps.env.rev
+}
+
+// hierarchyFor returns (building if needed) the hierarchy of one
+// machine over the current snapshot. Callers must hold reportMu and
+// have called snapshot.
+func (ps *plantState) hierarchyFor(machineID string) (*core.Hierarchy, error) {
+	if h, ok := ps.hier[machineID]; ok {
+		return h, nil
+	}
+	h, err := core.NewHierarchyWithCache(ps.assembled, machineID, ps.cache)
+	if err != nil {
+		return nil, err
+	}
+	ps.hier[machineID] = h
+	return h, nil
+}
+
+// activeMachines lists the machines present in the current snapshot,
+// in topology order. Callers must hold reportMu and have called
+// snapshot.
+func (ps *plantState) activeMachines() []string {
+	var out []string
+	for _, l := range ps.assembled.Lines {
+		for _, m := range l.Machines {
+			out = append(out, m.ID)
+		}
+	}
+	return out
+}
+
+// rollup merges the shard-local leaf accumulators and folds them up to
+// the requested level: sensor, phase, machine, line, or plant.
+func (ps *plantState) rollup(level string) ([]RollupNode, error) {
+	keyFn, err := rollupKeyFn(level, ps.topo.ID, ps.machineLine)
+	if err != nil {
+		return nil, err
+	}
+	agg := make(map[string]stats.Online)
+	for _, sh := range ps.shards {
+		sh.rollMu.Lock()
+		for k, o := range sh.roll {
+			key := keyFn(k)
+			merged := agg[key]
+			merged.Merge(*o)
+			agg[key] = merged
+		}
+		sh.rollMu.Unlock()
+	}
+	keys := make([]string, 0, len(agg))
+	for k := range agg {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]RollupNode, 0, len(keys))
+	for _, k := range keys {
+		o := agg[k]
+		out = append(out, RollupNode{
+			Key: k, Count: o.N(), Mean: o.Mean(), Std: o.StdDev(),
+			Min: o.Min(), Max: o.Max(),
+		})
+	}
+	return out, nil
+}
+
+// RollupNode is one aggregate of the incremental roll-up tree.
+type RollupNode struct {
+	Key   string  `json:"key"`
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+func rollupKeyFn(level, plantID string, machineLine map[string]string) (func(rollKey) string, error) {
+	switch level {
+	case "sensor":
+		return func(k rollKey) string { return k.machine + "/" + k.phase + "/" + k.sensor }, nil
+	case "phase":
+		return func(k rollKey) string { return k.machine + "/" + k.phase }, nil
+	case "machine":
+		return func(k rollKey) string { return k.machine }, nil
+	case "line":
+		return func(k rollKey) string { return machineLine[k.machine] }, nil
+	case "plant", "":
+		return func(rollKey) string { return plantID }, nil
+	default:
+		return nil, fmt.Errorf("unknown rollup level %q (want sensor|phase|machine|line|plant)", level)
+	}
+}
+
+// queueDepths reports per-shard backlog for the stats endpoint.
+func (ps *plantState) queueDepths() []int {
+	out := make([]int, len(ps.shards))
+	for i, sh := range ps.shards {
+		out[i] = sh.q.Len()
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+)
+
+// FleetOutlier is one outlier of the fleet report, tagged with the
+// machine it belongs to.
+type FleetOutlier struct {
+	Machine string `json:"machine"`
+	core.Outlier
+}
+
+// FleetWarning is one measurement-error warning, machine-tagged.
+type FleetWarning struct {
+	Machine string `json:"machine"`
+	Reason  string `json:"reason"`
+}
+
+// ReportResponse is the fleet outlier report: per-machine Algorithm 1
+// runs over the incremental snapshot, ranked fleet-wide, top-K
+// truncated.
+type ReportResponse struct {
+	Plant         string         `json:"plant"`
+	Level         string         `json:"level"`
+	Machines      []string       `json:"machines"`
+	Missing       []string       `json:"missing,omitempty"`
+	TotalOutliers int            `json:"total_outliers"`
+	TopK          int            `json:"top_k"`
+	Outliers      []FleetOutlier `json:"outliers"`
+	Warnings      []FleetWarning `json:"warnings,omitempty"`
+	DataRevision  uint64         `json:"data_revision"`
+}
+
+// handleReport computes (or serves from cache) the hierarchical
+// outlier report. ?level=1..5 (or a level name) picks the start level,
+// ?top=K bounds the outlier list, ?machine=id restricts to one
+// machine's drill-down.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	level, err := parseLevel(r.URL.Query().Get("level"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	topK := queryInt(r, "top", 20)
+	machineFilter := r.URL.Query().Get("machine")
+
+	ps.reportMu.Lock()
+	defer ps.reportMu.Unlock()
+	if err := ps.snapshot(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "snapshot: "+err.Error())
+		return
+	}
+	if ps.assembled == nil || len(ps.assembled.Lines) == 0 {
+		writeErr(w, http.StatusConflict, "no data ingested yet")
+		return
+	}
+
+	machines := ps.activeMachines()
+	if machineFilter != "" {
+		found := false
+		for _, id := range machines {
+			if id == machineFilter {
+				found = true
+				break
+			}
+		}
+		if !found {
+			writeErr(w, http.StatusNotFound, fmt.Sprintf("machine %q has no data (or is unregistered)", machineFilter))
+			return
+		}
+		machines = []string{machineFilter}
+	}
+	var missing []string
+	for m := range ps.machineLine {
+		if _, err := ps.assembled.MachineByID(m); err != nil {
+			missing = append(missing, m)
+		}
+	}
+	sort.Strings(missing) // map iteration order must not leak into responses
+
+	reports, err := ps.reportsFor(machines, level, s.opts)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := ReportResponse{
+		Plant: ps.topo.ID, Level: level.String(), Machines: machines,
+		Missing: missing, TopK: topK, DataRevision: ps.assembledRev,
+	}
+	var tagged []FleetOutlier
+	for i, rep := range reports {
+		for _, o := range rep.Outliers {
+			tagged = append(tagged, FleetOutlier{Machine: machines[i], Outlier: o})
+		}
+		for _, warn := range rep.Warnings {
+			resp.Warnings = append(resp.Warnings, FleetWarning{Machine: machines[i], Reason: warn.Reason})
+		}
+	}
+	resp.TotalOutliers = len(tagged)
+	// Rank fleet-wide with the paper's comparator; the stable sort
+	// keeps topology order for equal triples — deterministic responses.
+	sort.SliceStable(tagged, func(i, j int) bool {
+		return core.RankLess(tagged[i].Outlier, tagged[j].Outlier)
+	})
+	if topK < len(tagged) {
+		tagged = tagged[:topK]
+	}
+	resp.Outliers = tagged
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// reportsFor runs Algorithm 1 for each machine (parallel fan-out via
+// internal/parallel, bounded by the -workers knob), serving untouched
+// machines from the per-revision report cache.
+func (ps *plantState) reportsFor(machines []string, level core.Level, opts Options) ([]*core.Report, error) {
+	coreOpts := core.Options{MaxOutliers: opts.MaxOutliers}
+	out := make([]*core.Report, len(machines))
+	var misses []int
+	for i, id := range machines {
+		if rep, ok := ps.reports[reportKey{id, level}]; ok {
+			out[i] = rep
+		} else {
+			misses = append(misses, i)
+		}
+	}
+	if len(misses) == 0 {
+		return out, nil
+	}
+	// Hierarchies must exist before the parallel section (map writes).
+	hs := make([]*core.Hierarchy, len(misses))
+	for k, i := range misses {
+		h, err := ps.hierarchyFor(machines[i])
+		if err != nil {
+			return nil, err
+		}
+		hs[k] = h
+	}
+	reps, err := parallel.Map(len(misses), opts.Workers, func(k int) (*core.Report, error) {
+		return core.FindHierarchicalOutliers(hs[k], level, coreOpts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for k, i := range misses {
+		out[i] = reps[k]
+		ps.reports[reportKey{machines[i], level}] = reps[k]
+	}
+	return out, nil
+}
+
+func parseLevel(s string) (core.Level, error) {
+	switch s {
+	case "", "1", "phase":
+		return core.LevelPhase, nil
+	case "2", "job":
+		return core.LevelJob, nil
+	case "3", "environment", "env":
+		return core.LevelEnvironment, nil
+	case "4", "production-line", "line":
+		return core.LevelProductionLine, nil
+	case "5", "production":
+		return core.LevelProduction, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil {
+		lv := core.Level(n)
+		if lv.Valid() {
+			return lv, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown level %q (want 1..5 or phase|job|environment|production-line|production)", s)
+}

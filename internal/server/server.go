@@ -1,0 +1,350 @@
+// Package server is the fleet serving layer: a stdlib-only HTTP
+// service that ingests live sensor samples for a registered fleet of
+// plants, shards them onto per-machine pipelines with bounded queues
+// (backpressure surfaces as 429 + Retry-After), maintains an
+// incremental roll-up of aggregates up the
+// sensor→phase→machine→line→plant levels, and serves hierarchical
+// outlier reports computed by Algorithm 1 over an incrementally
+// assembled plant snapshot — a roll-up never recomputes untouched
+// subtrees thanks to the invalidatable core.PlantCache.
+//
+// Endpoints (all JSON unless noted):
+//
+//	POST /v1/plants                          register a plant topology
+//	GET  /v1/plants                          list registered plants
+//	POST /v1/plants/{id}/ingest              samples: NDJSON, JSON array, or CSV
+//	POST /v1/plants/{id}/jobs                job metadata (setup + CAQ vectors)
+//	GET  /v1/plants/{id}/report              fleet outlier report (?level=&top=&machine=)
+//	GET  /v1/plants/{id}/rollup              incremental aggregates (?level=sensor|phase|machine|line|plant)
+//	GET  /v1/plants/{id}/alerts              recent streaming alerts (?limit=)
+//	GET  /v1/plants/{id}/stats               ingest counters + queue depths
+//	GET  /healthz                            liveness
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Options tunes the serving layer.
+type Options struct {
+	// Workers bounds the parallel fan-out of report computation across
+	// machines (0 = GOMAXPROCS), wired to internal/parallel.
+	Workers int
+	// Shards is the number of ingest pipelines per plant (default 4).
+	// Machines hash onto shards, so per-machine sample order is kept.
+	Shards int
+	// QueueDepth bounds each shard's admission queue in batches
+	// (default 64). A full queue sheds load with 429 + Retry-After.
+	QueueDepth int
+	// MaxBodyBytes caps one ingest request body (default 64 MiB).
+	MaxBodyBytes int64
+	// AlertThreshold is the robust-z score at which the streaming
+	// EWMA tracker raises a live alert (default 8).
+	AlertThreshold float64
+	// MaxOutliers bounds each machine's report (default 512).
+	MaxOutliers int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 4
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.AlertThreshold <= 0 {
+		o.AlertThreshold = 8
+	}
+	if o.MaxOutliers <= 0 {
+		o.MaxOutliers = 512
+	}
+	return o
+}
+
+// Server is the fleet serving layer. Create with New, expose via
+// Handler, stop with Close (drains all in-flight batches).
+type Server struct {
+	opts   Options
+	mux    *http.ServeMux
+	mu     sync.RWMutex
+	plants map[string]*plantState
+	closed atomic.Bool
+}
+
+// New builds a server with the given options.
+func New(opts Options) *Server {
+	s := &Server{
+		opts:   opts.withDefaults(),
+		mux:    http.NewServeMux(),
+		plants: make(map[string]*plantState),
+	}
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux.HandleFunc("POST /v1/plants", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/plants", s.handleList)
+	s.mux.HandleFunc("POST /v1/plants/{id}/ingest", s.withPlant(s.handleIngest))
+	s.mux.HandleFunc("POST /v1/plants/{id}/jobs", s.withPlant(s.handleJobs))
+	s.mux.HandleFunc("GET /v1/plants/{id}/report", s.withPlant(s.handleReport))
+	s.mux.HandleFunc("GET /v1/plants/{id}/rollup", s.withPlant(s.handleRollup))
+	s.mux.HandleFunc("GET /v1/plants/{id}/alerts", s.withPlant(s.handleAlerts))
+	s.mux.HandleFunc("GET /v1/plants/{id}/stats", s.withPlant(s.handleStats))
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close stops admission and drains every plant's shard queues; safe to
+// call once the HTTP listener has shut down (or is about to — new
+// ingests get 503).
+func (s *Server) Close() {
+	if !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, ps := range s.plants {
+		ps.close()
+	}
+}
+
+func (s *Server) plant(id string) (*plantState, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ps, ok := s.plants[id]
+	return ps, ok
+}
+
+func (s *Server) withPlant(fn func(http.ResponseWriter, *http.Request, *plantState)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		ps, ok := s.plant(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown plant %q", r.PathValue("id")))
+			return
+		}
+		fn(w, r, ps)
+	}
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var topo Topology
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&topo); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad topology: "+err.Error())
+		return
+	}
+	topo = topo.withDefaults()
+	if err := topo.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	// Re-check under the lock: Close() iterates s.plants under it, so
+	// a registration racing shutdown must not start workers Close will
+	// never drain.
+	if s.closed.Load() {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if _, exists := s.plants[topo.ID]; exists {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, fmt.Sprintf("plant %q already registered", topo.ID))
+		return
+	}
+	ps := newPlantState(topo)
+	ps.start(s.opts.Shards, s.opts.QueueDepth, s.opts.AlertThreshold)
+	s.plants[topo.ID] = ps
+	s.mu.Unlock()
+	machines := 0
+	for _, l := range topo.Lines {
+		machines += len(l.Machines)
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"id": topo.ID, "lines": len(topo.Lines), "machines": machines,
+		"shards": s.opts.Shards, "queue_depth": s.opts.QueueDepth,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.plants))
+	for id := range s.plants {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	writeJSON(w, http.StatusOK, map[string]any{"plants": ids})
+}
+
+// handleIngest admits one sample batch: decode, validate, shard, and
+// enqueue. A full shard queue rejects the whole batch with 429 — the
+// store is idempotent (set-at-index), so the client simply retries the
+// batch after Retry-After seconds.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	recs, err := decodeRecords(body, r.Header.Get("Content-Type"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(recs) == 0 {
+		writeJSON(w, http.StatusOK, map[string]any{"records": 0, "rejected": 0})
+		return
+	}
+	valid := recs[:0]
+	rejected := 0
+	var firstErr string
+	for _, rec := range recs {
+		if err := ps.validate(rec); err != nil {
+			rejected++
+			if firstErr == "" {
+				firstErr = err.Error()
+			}
+			continue
+		}
+		valid = append(valid, rec)
+	}
+	ps.rejected.Add(uint64(rejected))
+
+	// Partition onto shards preserving order within each machine.
+	chunks := make(map[*shard][]Record)
+	for _, rec := range valid {
+		sh := ps.shardFor(rec.Machine)
+		chunks[sh] = append(chunks[sh], rec)
+	}
+	// Admission is all-or-nothing per shard; a single overloaded shard
+	// sheds the batch. Chunks already admitted stay admitted — the
+	// idempotent store makes the client's full-batch retry safe.
+	for sh, chunk := range chunks {
+		if !sh.q.TryPush(chunk) {
+			ps.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests, "ingest queue full, retry the batch")
+			return
+		}
+	}
+	resp := map[string]any{"records": len(valid), "rejected": rejected}
+	if firstErr != "" {
+		resp["first_rejection"] = firstErr
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	var metas []JobMeta
+	if err := json.NewDecoder(body).Decode(&metas); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad job metadata: "+err.Error())
+		return
+	}
+	applied, rejected := 0, 0
+	var firstErr string
+	for _, m := range metas {
+		ms, ok := ps.machines[m.Machine]
+		switch {
+		case !ok:
+			rejected++
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("unregistered machine %q", m.Machine)
+			}
+		case m.Job == "":
+			rejected++
+			if firstErr == "" {
+				firstErr = "missing job id"
+			}
+		case len(m.Setup) > ps.topo.SetupDims || len(m.CAQ) > ps.topo.CAQDims:
+			rejected++
+			if firstErr == "" {
+				firstErr = fmt.Sprintf("job %s: setup/caq longer than registered dims (%d/%d)",
+					m.Job, ps.topo.SetupDims, ps.topo.CAQDims)
+			}
+		default:
+			ms.setMeta(m)
+			applied++
+		}
+	}
+	if applied > 0 {
+		ps.dataRev.Add(1)
+	}
+	resp := map[string]any{"jobs": applied, "rejected": rejected}
+	if firstErr != "" {
+		resp["first_rejection"] = firstErr
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	nodes, err := ps.rollup(r.URL.Query().Get("level"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	level := r.URL.Query().Get("level")
+	if level == "" {
+		level = "plant"
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"plant": ps.topo.ID, "level": level, "nodes": nodes})
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	limit := queryInt(r, "limit", 64)
+	alerts := ps.recentAlerts(limit)
+	writeJSON(w, http.StatusOK, map[string]any{"plant": ps.topo.ID, "alerts": alerts})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	depths := ps.queueDepths()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"plant":            ps.topo.ID,
+		"accepted_records": ps.accepted.Load(),
+		"rejected_records": ps.rejected.Load(),
+		"shed_batches":     ps.shed.Load(),
+		"data_revision":    ps.dataRev.Load(),
+		"shards":           len(ps.shards),
+		"queue_depths":     depths,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func queryInt(r *http.Request, key string, def int) int {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def
+	}
+	var n int
+	if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,682 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/plant"
+)
+
+func testConfig() plant.Config {
+	return plant.Config{
+		Seed: 5, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 6,
+		PhaseSamples: 40, FaultRate: 0.3, MeasurementErrorRate: 0.3,
+	}
+}
+
+func topoFromPlant(id string, p *plant.Plant) Topology {
+	topo := Topology{ID: id}
+	for _, l := range p.Lines {
+		tl := TopoLine{ID: l.ID}
+		for _, m := range l.Machines {
+			tl.Machines = append(tl.Machines, m.ID)
+		}
+		topo.Lines = append(topo.Lines, tl)
+	}
+	return topo
+}
+
+func machineRecords(p *plant.Plant) []Record {
+	var out []Record
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			for _, ph := range job.Phases {
+				for _, dim := range ph.Sensors.Dims {
+					for t, v := range dim.Values {
+						out = append(out, Record{
+							Machine: m.ID, Job: job.ID, Phase: ph.Name,
+							Sensor: dim.Name, T: t, Value: v,
+						})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func envRecords(p *plant.Plant) []Record {
+	var out []Record
+	for _, dim := range p.Environment.Dims {
+		for t, v := range dim.Values {
+			out = append(out, Record{Env: true, Sensor: dim.Name, T: t, Value: v})
+		}
+	}
+	return out
+}
+
+func jobMetas(p *plant.Plant) []JobMeta {
+	var out []JobMeta
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			out = append(out, JobMeta{
+				Machine: m.ID, Job: job.ID,
+				Setup: job.Setup, CAQ: job.CAQ, Faulty: job.Faulty,
+			})
+		}
+	}
+	return out
+}
+
+func ndjson(recs []Record) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		_ = enc.Encode(r)
+	}
+	return buf.Bytes()
+}
+
+// postRetry POSTs body, retrying on 429 with the advertised backoff —
+// the client contract the idempotent store makes safe.
+func postRetry(t *testing.T, url, contentType string, body []byte) *http.Response {
+	t.Helper()
+	for try := 0; try < 200; try++ {
+		resp, err := http.Post(url, contentType, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests {
+			return resp
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("batch never admitted after 200 retries")
+	return nil
+}
+
+func mustStatus(t *testing.T, resp *http.Response, want int) []byte {
+	t.Helper()
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != want {
+		t.Fatalf("status %d, want %d: %s", resp.StatusCode, want, body)
+	}
+	return body
+}
+
+// ingestPlant replays the whole plant (sensors in chunks, environment,
+// job metadata) through the HTTP API and waits for the pipelines to
+// drain.
+func ingestPlant(t *testing.T, base, plantID string, p *plant.Plant) {
+	t.Helper()
+	recs := machineRecords(p)
+	env := envRecords(p)
+	const chunk = 5000
+	for lo := 0; lo < len(recs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		resp := postRetry(t, base+"/v1/plants/"+plantID+"/ingest", "application/x-ndjson", ndjson(recs[lo:hi]))
+		mustStatus(t, resp, http.StatusAccepted)
+	}
+	resp := postRetry(t, base+"/v1/plants/"+plantID+"/ingest", "application/x-ndjson", ndjson(env))
+	mustStatus(t, resp, http.StatusAccepted)
+
+	metas, err := json.Marshal(jobMetas(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp = postRetry(t, base+"/v1/plants/"+plantID+"/jobs", "application/json", metas)
+	mustStatus(t, resp, http.StatusAccepted)
+
+	waitDrained(t, base, plantID, uint64(len(recs)+len(env)))
+}
+
+func waitDrained(t *testing.T, base, plantID string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/plants/" + plantID + "/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Accepted    uint64 `json:"accepted_records"`
+			QueueDepths []int  `json:"queue_depths"`
+		}
+		body := mustStatus(t, resp, http.StatusOK)
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		drained := st.Accepted >= want
+		for _, d := range st.QueueDepths {
+			if d > 0 {
+				drained = false
+			}
+		}
+		if drained {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("pipelines did not drain %d records in time", want)
+}
+
+func register(t *testing.T, base string, topo Topology) {
+	t.Helper()
+	buf, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/plants", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusCreated)
+}
+
+// TestEndToEndMatchesBatchPipeline is the acceptance test: replaying a
+// simulated trace through the ingest API yields exactly the outliers
+// the batch core pipeline computes on the same data — per machine and
+// fleet-ranked top-K.
+func TestEndToEndMatchesBatchPipeline(t *testing.T) {
+	p, err := plant.Simulate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batch reference: one shared cache, Algorithm 1 per machine.
+	cache := core.NewPlantCache(p)
+	batch := map[string]*core.Report{}
+	var fleet []FleetOutlier
+	for _, m := range p.Machines() {
+		h, err := core.NewHierarchyWithCache(p, m.ID, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.FindHierarchicalOutliers(h, core.LevelPhase, core.Options{MaxOutliers: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch[m.ID] = rep
+		for _, o := range rep.Outliers {
+			fleet = append(fleet, FleetOutlier{Machine: m.ID, Outlier: o})
+		}
+	}
+	sort.SliceStable(fleet, func(i, j int) bool { return core.RankLess(fleet[i].Outlier, fleet[j].Outlier) })
+
+	srv := New(Options{Shards: 3, QueueDepth: 16, Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	register(t, ts.URL, topoFromPlant("plant-e2e", p))
+	ingestPlant(t, ts.URL, "plant-e2e", p)
+
+	// Per-machine drill-down equality.
+	for _, m := range p.Machines() {
+		resp, err := http.Get(ts.URL + "/v1/plants/plant-e2e/report?level=phase&top=512&machine=" + m.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := mustStatus(t, resp, http.StatusOK)
+		var got ReportResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		// The serving layer ranks operator-facing output with the
+		// paper's combined-importance order (core.Rank); apply the same
+		// ranking to the batch report before comparing.
+		wantRanked := core.Rank(batch[m.ID].Outliers)
+		if len(got.Outliers) != len(wantRanked) {
+			t.Fatalf("machine %s: %d outliers via HTTP, %d via batch", m.ID, len(got.Outliers), len(wantRanked))
+		}
+		for i := range wantRanked {
+			if !reflect.DeepEqual(got.Outliers[i].Outlier, wantRanked[i]) {
+				t.Fatalf("machine %s outlier %d differs:\nhttp:  %+v\nbatch: %+v",
+					m.ID, i, got.Outliers[i].Outlier, wantRanked[i])
+			}
+		}
+		if len(got.Warnings) != len(batch[m.ID].Warnings) {
+			t.Fatalf("machine %s: %d warnings via HTTP, %d via batch", m.ID, len(got.Warnings), len(batch[m.ID].Warnings))
+		}
+	}
+
+	// Fleet-ranked top-K equality.
+	resp, err := http.Get(ts.URL + "/v1/plants/plant-e2e/report?level=1&top=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got ReportResponse
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &got); err != nil {
+		t.Fatal(err)
+	}
+	wantTop := fleet
+	if len(wantTop) > 10 {
+		wantTop = wantTop[:10]
+	}
+	if len(got.Outliers) != len(wantTop) {
+		t.Fatalf("fleet top-K: got %d, want %d", len(got.Outliers), len(wantTop))
+	}
+	for i := range wantTop {
+		if got.Outliers[i].Machine != wantTop[i].Machine ||
+			!reflect.DeepEqual(got.Outliers[i].Outlier, wantTop[i].Outlier) {
+			t.Fatalf("fleet outlier %d differs:\nhttp:  %+v\nbatch: %+v", i, got.Outliers[i], wantTop[i])
+		}
+	}
+	if got.TotalOutliers != len(fleet) {
+		t.Fatalf("total_outliers %d, want %d", got.TotalOutliers, len(fleet))
+	}
+
+	// Roll-up sanity: plant-level count equals every machine sample.
+	resp, err = http.Get(ts.URL + "/v1/plants/plant-e2e/rollup?level=plant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var roll struct {
+		Nodes []RollupNode `json:"nodes"`
+	}
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &roll); err != nil {
+		t.Fatal(err)
+	}
+	if len(roll.Nodes) != 1 {
+		t.Fatalf("plant rollup nodes = %d", len(roll.Nodes))
+	}
+	if want := len(machineRecords(p)); roll.Nodes[0].Count != want {
+		t.Fatalf("plant rollup count %d, want %d", roll.Nodes[0].Count, want)
+	}
+	resp, err = http.Get(ts.URL + "/v1/plants/plant-e2e/rollup?level=machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &roll); err != nil {
+		t.Fatal(err)
+	}
+	if len(roll.Nodes) != len(p.Machines()) {
+		t.Fatalf("machine rollup nodes = %d, want %d", len(roll.Nodes), len(p.Machines()))
+	}
+}
+
+// TestIncrementalSnapshotReusesUntouchedMachines checks the serving
+// contract behind "a roll-up never recomputes untouched subtrees":
+// after new data for one machine, the snapshot rebuilds only that
+// machine's view.
+func TestIncrementalSnapshotReusesUntouchedMachines(t *testing.T) {
+	p, err := plant.Simulate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Shards: 2, QueueDepth: 32})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-inc", p))
+	ingestPlant(t, ts.URL, "plant-inc", p)
+
+	resp, err := http.Get(ts.URL + "/v1/plants/plant-inc/report?level=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusOK)
+
+	ps, ok := srv.plant("plant-inc")
+	if !ok {
+		t.Fatal("plant state missing")
+	}
+	machines := p.Machines()
+	touched, untouched := machines[0].ID, machines[1].ID
+	ps.reportMu.Lock()
+	beforeTouched := ps.built[touched]
+	beforeUntouched := ps.built[untouched]
+	ps.reportMu.Unlock()
+
+	// One extra sample for the touched machine (a fresh cell).
+	extra := []Record{{
+		Machine: touched, Job: machines[0].Jobs[0].ID, Phase: "print",
+		Sensor: "temp-a", T: 40, Value: 123.0,
+	}}
+	stats0 := acceptedCount(t, ts.URL, "plant-inc")
+	mustStatus(t, postRetry(t, ts.URL+"/v1/plants/plant-inc/ingest", "application/x-ndjson", ndjson(extra)),
+		http.StatusAccepted)
+	waitDrained(t, ts.URL, "plant-inc", stats0+1)
+
+	resp, err = http.Get(ts.URL + "/v1/plants/plant-inc/report?level=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusOK)
+
+	ps.reportMu.Lock()
+	defer ps.reportMu.Unlock()
+	if ps.built[touched] == beforeTouched {
+		t.Fatal("touched machine was not rebuilt")
+	}
+	if ps.built[untouched] != beforeUntouched {
+		t.Fatal("untouched machine was rebuilt")
+	}
+}
+
+func acceptedCount(t *testing.T, base, plantID string) uint64 {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/plants/" + plantID + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Accepted uint64 `json:"accepted_records"`
+	}
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Accepted
+}
+
+// TestBackpressure429 fills a shard queue with no consumer and checks
+// the 429 + Retry-After contract.
+func TestBackpressure429(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 2, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topoFromPlant("plant-bp", p).withDefaults()
+	s := New(Options{})
+	ps := newPlantState(topo)
+	ps.makeShards(1, 1) // capacity 1 batch, and no worker draining it
+	s.plants["plant-bp"] = ps
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	rec := ndjson([]Record{{
+		Machine: p.Machines()[0].ID, Job: p.Machines()[0].Jobs[0].ID,
+		Phase: "print", Sensor: "temp-a", T: 0, Value: 1,
+	}})
+	resp, err := http.Post(ts.URL+"/v1/plants/plant-bp/ingest", "application/x-ndjson", bytes.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusAccepted)
+
+	resp, err = http.Post(ts.URL+"/v1/plants/plant-bp/ingest", "application/x-ndjson", bytes.NewReader(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 response missing Retry-After")
+	}
+	mustStatus(t, resp, http.StatusTooManyRequests)
+}
+
+// TestConcurrentClientsSmoke hammers one plant from many goroutines —
+// ingest, reports, rollups, alerts — and relies on -race in CI to
+// surface synchronization bugs.
+func TestConcurrentClientsSmoke(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{
+		Seed: 9, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 3,
+		PhaseSamples: 20, FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Shards: 2, QueueDepth: 4, Workers: 2})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-smoke", p))
+
+	recs := machineRecords(p)
+	env := envRecords(p)
+	var wg sync.WaitGroup
+	clients := 6
+	per := (len(recs) + clients - 1) / clients
+	for c := 0; c < clients; c++ {
+		lo := c * per
+		hi := lo + per
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(chunk []Record) {
+			defer wg.Done()
+			const sub = 500
+			for i := 0; i < len(chunk); i += sub {
+				j := i + sub
+				if j > len(chunk) {
+					j = len(chunk)
+				}
+				resp := postRetry(t, ts.URL+"/v1/plants/plant-smoke/ingest", "application/x-ndjson", ndjson(chunk[i:j]))
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}(recs[lo:hi])
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp := postRetry(t, ts.URL+"/v1/plants/plant-smoke/ingest", "application/x-ndjson", ndjson(env))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	// Readers race the writers.
+	for q := 0; q < 3; q++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for _, path := range []string{"/report?level=1&top=5", "/rollup?level=machine", "/alerts", "/stats"} {
+					resp, err := http.Get(ts.URL + "/v1/plants/plant-smoke" + path)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitDrained(t, ts.URL, "plant-smoke", uint64(len(recs)+len(env)))
+
+	resp, err := http.Get(ts.URL + "/v1/plants/plant-smoke/report?level=1&top=20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ReportResponse
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Machines) != len(p.Machines()) {
+		t.Fatalf("report covers %d machines, want %d", len(rep.Machines), len(p.Machines()))
+	}
+}
+
+// TestGracefulShutdownDrains verifies Close drains admitted batches
+// and subsequent ingests are refused.
+func TestGracefulShutdownDrains(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 4, Lines: 1, MachinesPerLine: 2, JobsPerMachine: 2, PhaseSamples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Shards: 2, QueueDepth: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-shut", p))
+
+	recs := machineRecords(p)
+	mustStatus(t, postRetry(t, ts.URL+"/v1/plants/plant-shut/ingest", "application/x-ndjson", ndjson(recs)),
+		http.StatusAccepted)
+	srv.Close() // must drain the admitted batch
+
+	ps, _ := srv.plant("plant-shut")
+	if got := ps.accepted.Load(); got != uint64(len(recs)) {
+		t.Fatalf("after Close accepted=%d, want %d (drain incomplete)", got, len(recs))
+	}
+	resp, err := http.Post(ts.URL+"/v1/plants/plant-shut/ingest", "application/x-ndjson", bytes.NewReader(ndjson(recs[:1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusServiceUnavailable)
+}
+
+// TestCSVIngest replays the plantsim wide-row schema.
+func TestCSVIngest(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 2, PhaseSamples: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-csv", p))
+
+	var b strings.Builder
+	b.WriteString("machine,job,phase,t," + strings.Join(plant.SensorNames, ",") + "\n")
+	m := p.Machines()[0]
+	rows := 0
+	for _, job := range m.Jobs {
+		for _, ph := range job.Phases {
+			for ti := 0; ti < ph.Sensors.Len(); ti++ {
+				fmt.Fprintf(&b, "%s,%s,%s,%d", m.ID, job.ID, ph.Name, ti)
+				for _, v := range ph.Sensors.Row(ti) {
+					fmt.Fprintf(&b, ",%g", v)
+				}
+				b.WriteString("\n")
+				rows++
+			}
+		}
+	}
+	resp := postRetry(t, ts.URL+"/v1/plants/plant-csv/ingest", "text/csv", []byte(b.String()))
+	var ack struct {
+		Records int `json:"records"`
+	}
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusAccepted), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if want := rows * len(plant.SensorNames); ack.Records != want {
+		t.Fatalf("csv ingest admitted %d records, want %d", ack.Records, want)
+	}
+	waitDrained(t, ts.URL, "plant-csv", uint64(rows*len(plant.SensorNames)))
+	resp, err = http.Get(ts.URL + "/v1/plants/plant-csv/report?level=1&top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusOK)
+}
+
+// TestValidationRejections counts bad records without failing a batch.
+func TestValidationRejections(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-val", p))
+
+	m := p.Machines()[0]
+	batch := []Record{
+		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 0, Value: 1},
+		{Machine: "ghost", Job: "j", Phase: "print", Sensor: "temp-a", T: 0, Value: 1},
+		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "melt", Sensor: "temp-a", T: 0, Value: 1},
+		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "nope", T: 0, Value: 1},
+		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: -1, Value: 1},
+	}
+	resp := postRetry(t, ts.URL+"/v1/plants/plant-val/ingest", "application/x-ndjson", ndjson(batch))
+	var ack struct {
+		Records  int `json:"records"`
+		Rejected int `json:"rejected"`
+	}
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusAccepted), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Records != 1 || ack.Rejected != 4 {
+		t.Fatalf("records=%d rejected=%d, want 1/4", ack.Records, ack.Rejected)
+	}
+}
+
+// TestCorrectedValueReachesSnapshot re-sends an existing cell with a
+// different value and checks the next snapshot serves the correction
+// (the streaming roll-up intentionally keeps first-seen values only).
+func TestCorrectedValueReachesSnapshot(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 8, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topoFromPlant("corr", p).withDefaults()
+	ps := newPlantState(topo)
+	ps.start(1, 8, 1e9)
+	defer ps.close()
+
+	m := p.Machines()[0]
+	cell := Record{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 0, Value: 100}
+	if !ps.shardFor(m.ID).q.TryPush([]Record{cell}) {
+		t.Fatal("push failed")
+	}
+	waitRev := func(min uint64) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for ps.dataRev.Load() < min {
+			if time.Now().After(deadline) {
+				t.Fatalf("dataRev stuck at %d, want >= %d", ps.dataRev.Load(), min)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitRev(1)
+	ps.reportMu.Lock()
+	if err := ps.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	am, err := ps.assembled.MachineByID(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := am.Jobs[0].Phases[0].Sensors.Dim("temp-a").Values[0]; got != 100 {
+		t.Fatalf("initial value %v, want 100", got)
+	}
+	ps.reportMu.Unlock()
+
+	// Correction: same cell, new value — not fresh, but must still
+	// reach the next snapshot.
+	cell.Value = 200
+	if !ps.shardFor(m.ID).q.TryPush([]Record{cell}) {
+		t.Fatal("push failed")
+	}
+	waitRev(2)
+	ps.reportMu.Lock()
+	defer ps.reportMu.Unlock()
+	if err := ps.snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	am, err = ps.assembled.MachineByID(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := am.Jobs[0].Phases[0].Sensors.Dim("temp-a").Values[0]; got != 200 {
+		t.Fatalf("corrected value %v did not reach the snapshot, want 200", got)
+	}
+}

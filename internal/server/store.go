@@ -1,0 +1,340 @@
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/plant"
+	"repro/internal/timeseries"
+)
+
+// Limits on a single ingested cell: they bound the memory one
+// malformed record can pin, not the fleet's total volume.
+const (
+	maxSampleIndex = 1 << 16 // samples per (job, phase, sensor)
+	maxBatchRecs   = 1 << 20 // records per ingest request
+)
+
+// Default level-2 vector widths — the simulator's setup (layer height,
+// speed, setpoint, extrusion, viscosity) and CAQ (dimensional error,
+// roughness, porosity, tensile, warp, completion) shapes. Exported so
+// clients converting plantsim jobs.csv rows split the columns with the
+// same constants the server registers by default.
+const (
+	DefaultSetupDims = 5
+	DefaultCAQDims   = 6
+)
+
+// Record is one ingested observation after decoding: either a machine
+// sensor sample (Machine/Job/Phase set) or an environment sample (Env
+// true).
+type Record struct {
+	Machine string  `json:"machine,omitempty"`
+	Job     string  `json:"job,omitempty"`
+	Phase   string  `json:"phase,omitempty"`
+	Sensor  string  `json:"sensor"`
+	T       int     `json:"t"`
+	Value   float64 `json:"value"`
+	Env     bool    `json:"env,omitempty"`
+}
+
+// JobMeta carries the level-2 vectors of one job (setup parameters and
+// the CAQ quality vector), ingested out of band of the sensor stream.
+type JobMeta struct {
+	Machine string    `json:"machine"`
+	Job     string    `json:"job"`
+	Setup   []float64 `json:"setup"`
+	CAQ     []float64 `json:"caq"`
+	Faulty  bool      `json:"faulty,omitempty"`
+}
+
+// Topology registers one plant: its line/machine layout plus the phase
+// schedule and sensor set every machine shares. Omitted phase, sensor
+// and dimension fields default to the simulator's shapes, so a
+// plantsim trace replays without ceremony.
+type Topology struct {
+	ID         string     `json:"id"`
+	Lines      []TopoLine `json:"lines"`
+	Phases     []string   `json:"phases,omitempty"`
+	Sensors    []string   `json:"sensors,omitempty"`
+	EnvSensors []string   `json:"env_sensors,omitempty"`
+	SetupDims  int        `json:"setup_dims,omitempty"`
+	CAQDims    int        `json:"caq_dims,omitempty"`
+}
+
+// TopoLine is one production line of the registered fleet.
+type TopoLine struct {
+	ID       string   `json:"id"`
+	Machines []string `json:"machines"`
+}
+
+func (t Topology) withDefaults() Topology {
+	if len(t.Phases) == 0 {
+		t.Phases = append([]string(nil), plant.PhaseNames...)
+	}
+	if len(t.Sensors) == 0 {
+		t.Sensors = append([]string(nil), plant.SensorNames...)
+	}
+	if len(t.EnvSensors) == 0 {
+		t.EnvSensors = []string{"room-temp", "humidity"}
+	}
+	if t.SetupDims <= 0 {
+		t.SetupDims = DefaultSetupDims
+	}
+	if t.CAQDims <= 0 {
+		t.CAQDims = DefaultCAQDims
+	}
+	return t
+}
+
+func (t Topology) validate() error {
+	if t.ID == "" {
+		return fmt.Errorf("server: topology needs an id")
+	}
+	if len(t.Lines) == 0 {
+		return fmt.Errorf("server: topology %s has no lines", t.ID)
+	}
+	seen := map[string]bool{}
+	for _, l := range t.Lines {
+		if l.ID == "" {
+			return fmt.Errorf("server: topology %s has a line without id", t.ID)
+		}
+		if len(l.Machines) == 0 {
+			return fmt.Errorf("server: line %s has no machines", l.ID)
+		}
+		for _, m := range l.Machines {
+			if m == "" {
+				return fmt.Errorf("server: line %s has an empty machine id", l.ID)
+			}
+			if seen[m] {
+				return fmt.Errorf("server: machine %s registered twice", m)
+			}
+			seen[m] = true
+		}
+	}
+	if t.SetupDims < 3 {
+		return fmt.Errorf("server: setup_dims must be >= 3 (index 2 is the setpoint)")
+	}
+	return nil
+}
+
+// cellGrid holds the per-sensor sample buffers of one (job, phase).
+// Cells are written set-at-index with NaN holes, so replayed batches
+// are idempotent — the retry story after a 429 needs no dedup state.
+type cellGrid struct {
+	cells map[string][]float64
+}
+
+// set writes one sample and reports whether the cell was previously
+// empty (a fresh observation rather than an idempotent overwrite) and
+// whether the stored value changed at all.
+func (g *cellGrid) set(sensor string, t int, v float64) (fresh, changed bool) {
+	buf := g.cells[sensor]
+	for len(buf) <= t {
+		buf = append(buf, math.NaN())
+	}
+	fresh = math.IsNaN(buf[t])
+	changed = fresh || buf[t] != v
+	buf[t] = v
+	g.cells[sensor] = buf
+	return fresh, changed
+}
+
+type jobStore struct {
+	setup, caq []float64
+	faulty     bool
+	hasMeta    bool
+	phases     map[string]*cellGrid
+}
+
+// machineStore buffers one machine's ingested data. Exactly one shard
+// worker writes it (machines hash onto shards), the lock exists for
+// the report-side snapshot reads.
+type machineStore struct {
+	mu   sync.Mutex
+	rev  uint64
+	jobs map[string]*jobStore
+}
+
+func newMachineStore() *machineStore {
+	return &machineStore{jobs: make(map[string]*jobStore)}
+}
+
+func (ms *machineStore) job(id string) *jobStore {
+	j, ok := ms.jobs[id]
+	if !ok {
+		j = &jobStore{phases: make(map[string]*cellGrid)}
+		ms.jobs[id] = j
+	}
+	return j
+}
+
+func (ms *machineStore) set(rec Record) (fresh, changed bool) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	j := ms.job(rec.Job)
+	g, ok := j.phases[rec.Phase]
+	if !ok {
+		g = &cellGrid{cells: make(map[string][]float64)}
+		j.phases[rec.Phase] = g
+	}
+	fresh, changed = g.set(rec.Sensor, rec.T, rec.Value)
+	if changed {
+		ms.rev++
+	}
+	return fresh, changed
+}
+
+func (ms *machineStore) setMeta(m JobMeta) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	j := ms.job(m.Job)
+	j.setup = append([]float64(nil), m.Setup...)
+	j.caq = append([]float64(nil), m.CAQ...)
+	j.faulty = m.Faulty
+	j.hasMeta = true
+	ms.rev++
+}
+
+// envStore buffers the shared shop-floor climate series.
+type envStore struct {
+	mu      sync.Mutex
+	rev     uint64
+	sensors map[string][]float64
+}
+
+func newEnvStore() *envStore {
+	return &envStore{sensors: make(map[string][]float64)}
+}
+
+func (es *envStore) set(rec Record) (fresh, changed bool) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	buf := es.sensors[rec.Sensor]
+	for len(buf) <= rec.T {
+		buf = append(buf, math.NaN())
+	}
+	fresh = math.IsNaN(buf[rec.T])
+	changed = fresh || buf[rec.T] != rec.Value
+	if changed {
+		es.rev++
+	}
+	buf[rec.T] = rec.Value
+	es.sensors[rec.Sensor] = buf
+	return fresh, changed
+}
+
+// assemblyStart anchors the assembled time axes. Detection never reads
+// wall-clock positions — only sample indices — so a fixed epoch keeps
+// snapshots reproducible.
+var assemblyStart = time.Date(2026, 6, 1, 6, 0, 0, 0, time.UTC)
+
+// buildMachine materialises one machine's plant view from its store:
+// jobs in ID order, phases in schedule order, sensors in registered
+// order, NaN holes linearly interpolated. Returns nil when the machine
+// has no complete phase yet.
+func buildMachine(topo Topology, lineID, machineID string, ms *machineStore) (*plant.Machine, uint64, error) {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if len(ms.jobs) == 0 {
+		return nil, ms.rev, nil
+	}
+	jobIDs := make([]string, 0, len(ms.jobs))
+	for id := range ms.jobs {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Strings(jobIDs)
+
+	m := &plant.Machine{ID: machineID, Line: lineID}
+	offset := 0
+	for _, jobID := range jobIDs {
+		js := ms.jobs[jobID]
+		job := &plant.Job{
+			ID:      jobID,
+			Machine: machineID,
+			Line:    lineID,
+			Start:   assemblyStart.Add(time.Duration(offset) * time.Second),
+			Faulty:  js.faulty,
+		}
+		job.Setup = padVector(js.setup, topo.SetupDims)
+		job.CAQ = padVector(js.caq, topo.CAQDims)
+		for _, phName := range topo.Phases {
+			g, ok := js.phases[phName]
+			if !ok {
+				continue
+			}
+			n := 0
+			for _, buf := range g.cells {
+				if len(buf) > n {
+					n = len(buf)
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			phStart := assemblyStart.Add(time.Duration(offset) * time.Second)
+			dims := make([]*timeseries.Series, 0, len(topo.Sensors))
+			for _, sensor := range topo.Sensors {
+				vals := make([]float64, n)
+				copy(vals, g.cells[sensor])
+				for i := len(g.cells[sensor]); i < n; i++ {
+					vals[i] = math.NaN()
+				}
+				timeseries.Interpolate(vals)
+				dims = append(dims, timeseries.New(sensor, phStart, time.Second, vals))
+			}
+			sensors, err := timeseries.NewMulti(dims...)
+			if err != nil {
+				return nil, ms.rev, fmt.Errorf("server: machine %s job %s phase %s: %w", machineID, jobID, phName, err)
+			}
+			job.Phases = append(job.Phases, &plant.Phase{Name: phName, Sensors: sensors})
+			offset += n
+		}
+		if len(job.Phases) == 0 {
+			continue
+		}
+		m.Jobs = append(m.Jobs, job)
+	}
+	if len(m.Jobs) == 0 {
+		return nil, ms.rev, nil
+	}
+	return m, ms.rev, nil
+}
+
+// buildEnvironment materialises the climate multi-series; sensors with
+// no data become empty series so the hierarchy's environment level
+// degrades to "nothing detected" instead of erroring.
+func (es *envStore) build(topo Topology) (*timeseries.MultiSeries, uint64, error) {
+	es.mu.Lock()
+	defer es.mu.Unlock()
+	dims := make([]*timeseries.Series, 0, len(topo.EnvSensors))
+	n := 0
+	for _, s := range topo.EnvSensors {
+		if len(es.sensors[s]) > n {
+			n = len(es.sensors[s])
+		}
+	}
+	for _, s := range topo.EnvSensors {
+		vals := make([]float64, n)
+		copy(vals, es.sensors[s])
+		for i := len(es.sensors[s]); i < n; i++ {
+			vals[i] = math.NaN()
+		}
+		timeseries.Interpolate(vals)
+		dims = append(dims, timeseries.New(s, assemblyStart, time.Second, vals))
+	}
+	ms, err := timeseries.NewMulti(dims...)
+	if err != nil {
+		return nil, es.rev, err
+	}
+	return ms, es.rev, nil
+}
+
+func padVector(v []float64, dims int) []float64 {
+	out := make([]float64, dims)
+	copy(out, v)
+	return out
+}

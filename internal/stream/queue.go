@@ -1,0 +1,64 @@
+package stream
+
+import "sync"
+
+// Queue is a bounded MPSC work queue with non-blocking admission — the
+// backpressure primitive of the ingest path. Producers TryPush and get
+// an immediate accept/reject (the HTTP layer turns a reject into 429 +
+// Retry-After); the consumer Pops until Close has been called and the
+// backlog is drained, which is exactly the graceful-shutdown draining
+// contract.
+type Queue[T any] struct {
+	mu     sync.Mutex
+	closed bool
+	ch     chan T
+}
+
+// NewQueue builds a queue holding at most capacity items (minimum 1).
+func NewQueue[T any](capacity int) *Queue[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[T]{ch: make(chan T, capacity)}
+}
+
+// TryPush admits v if the queue has room and is not closed. It never
+// blocks; false means "shed load now".
+func (q *Queue[T]) TryPush(v T) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// Pop blocks until an item is available or the queue is closed and
+// drained; ok is false only in the latter case.
+func (q *Queue[T]) Pop() (v T, ok bool) {
+	v, ok = <-q.ch
+	return v, ok
+}
+
+// Close rejects all future pushes. Items already admitted remain
+// poppable; the consumer drains them before Pop reports done.
+func (q *Queue[T]) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	close(q.ch)
+}
+
+// Len returns the current backlog.
+func (q *Queue[T]) Len() int { return len(q.ch) }
+
+// Cap returns the queue capacity.
+func (q *Queue[T]) Cap() int { return cap(q.ch) }

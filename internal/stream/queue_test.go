@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestQueueBoundedAdmission(t *testing.T) {
+	q := NewQueue[int](2)
+	if !q.TryPush(1) || !q.TryPush(2) {
+		t.Fatal("pushes within capacity must succeed")
+	}
+	if q.TryPush(3) {
+		t.Fatal("push beyond capacity must be rejected")
+	}
+	if q.Len() != 2 || q.Cap() != 2 {
+		t.Fatalf("len=%d cap=%d", q.Len(), q.Cap())
+	}
+	if v, ok := q.Pop(); !ok || v != 1 {
+		t.Fatalf("pop = %v,%v", v, ok)
+	}
+	if !q.TryPush(3) {
+		t.Fatal("push after pop must succeed")
+	}
+}
+
+func TestQueueCloseDrains(t *testing.T) {
+	q := NewQueue[int](4)
+	q.TryPush(10)
+	q.TryPush(11)
+	q.Close()
+	if q.TryPush(12) {
+		t.Fatal("push after close must be rejected")
+	}
+	var got []int
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		got = append(got, v)
+	}
+	if len(got) != 2 || got[0] != 10 || got[1] != 11 {
+		t.Fatalf("drained %v", got)
+	}
+	q.Close() // double close is a no-op
+}
+
+// TestQueueConcurrentProducers checks that under producer contention
+// every accepted item is delivered exactly once.
+func TestQueueConcurrentProducers(t *testing.T) {
+	q := NewQueue[int](64)
+	var wg sync.WaitGroup
+	var accepted atomic.Int64
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if q.TryPush(p*200 + i) {
+					accepted.Add(1)
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	var popped int64
+	go func() {
+		defer close(done)
+		for {
+			if _, ok := q.Pop(); !ok {
+				return
+			}
+			popped++
+		}
+	}()
+	wg.Wait()
+	q.Close()
+	<-done
+	if popped != accepted.Load() {
+		t.Fatalf("popped %d items, accepted %d", popped, accepted.Load())
+	}
+	if popped == 0 {
+		t.Fatal("no items made it through")
+	}
+}
