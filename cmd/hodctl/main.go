@@ -1,16 +1,21 @@
-// Command hodctl runs outlier detection over CSV time-series data or a
-// fresh plant simulation: a single detector from the registry, or the
-// full hierarchical algorithm (Algorithm 1).
+// Command hodctl drives outlier detection through the public hod SDK:
+// a single detection technique over CSV data, the full hierarchical
+// algorithm (Algorithm 1) on a simulated plant, or a running hodserve
+// fleet over its v1 HTTP API.
 //
 // Usage:
 //
 //	hodctl detect  -detector ar -csv data.csv [-column 1] [-top 10]
 //	hodctl hier    [-seed N] [-machine id] [-level 1..5]
+//	hodctl summary [-seed N] [-machine id] [-json]
 //	hodctl replay  -addr http://host:8080 -plant id -sensors sensors.csv
+//	hodctl report  -addr http://host:8080 -plant id [-level L] [-top K]
+//	hodctl alerts  -addr http://host:8080 -plant id [-limit N]
 //	hodctl list
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -20,9 +25,8 @@ import (
 	"strconv"
 
 	"repro/internal/core"
-	"repro/internal/detector"
-	"repro/internal/detector/registry"
 	"repro/internal/plant"
+	"repro/pkg/hod"
 )
 
 func main() {
@@ -40,6 +44,10 @@ func main() {
 		err = cmdSummary(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "alerts":
+		err = cmdAlerts(os.Args[2:])
 	case "list":
 		err = cmdList()
 	default:
@@ -58,19 +66,33 @@ func usage() {
   hodctl hier    [-seed N] [-machine ID] [-level 1..5]
   hodctl summary [-seed N] [-machine ID] [-json]
   hodctl replay  -addr URL -plant ID -sensors FILE [-jobs FILE] [-env FILE] [-batch N] [-register]
+  hodctl report  -addr URL -plant ID [-level L] [-top K] [-machine ID] [-json]
+  hodctl alerts  -addr URL -plant ID [-limit N] [-json]
   hodctl list`)
 }
 
 func cmdList() error {
-	for _, e := range registry.All() {
-		info := e.Info
+	for _, info := range hod.Techniques() {
 		sup := ""
 		if info.Supervised {
 			sup = " (supervised)"
 		}
-		fmt.Printf("%-22s %-4s %s %s%s\n", info.Name, info.Family, info.Capability, info.Title, sup)
+		caps := capString(info)
+		fmt.Printf("%-22s %-4s %s %s%s\n", info.Name, info.Family, caps, info.Title, sup)
 	}
 	return nil
+}
+
+// capString renders the capability ✓ columns in Table 1 order, the way
+// the registry prints them.
+func capString(info hod.TechniqueInfo) string {
+	mark := func(b bool) byte {
+		if b {
+			return 'x'
+		}
+		return '-'
+	}
+	return string([]byte{mark(info.Points), mark(info.Subsequences), mark(info.Series)})
 }
 
 func cmdDetect(args []string) error {
@@ -86,7 +108,7 @@ func cmdDetect(args []string) error {
 	if *csvPath == "" {
 		return fmt.Errorf("detect: -csv is required")
 	}
-	entry, err := registry.ByName(*name)
+	tech, err := hod.NewTechnique(*name)
 	if err != nil {
 		return err
 	}
@@ -94,24 +116,17 @@ func cmdDetect(args []string) error {
 	if err != nil {
 		return err
 	}
-	d := entry.New()
-	if f, ok := d.(detector.Fitter); ok {
-		ref := values
-		if *fitPath != "" {
-			ref, err = readColumn(*fitPath, *column)
-			if err != nil {
-				return err
-			}
-		}
-		if err := f.Fit(ref); err != nil {
-			return fmt.Errorf("fit: %w", err)
+	ref := values
+	if *fitPath != "" {
+		ref, err = readColumn(*fitPath, *column)
+		if err != nil {
+			return err
 		}
 	}
-	ps, ok := d.(detector.PointScorer)
-	if !ok {
-		return fmt.Errorf("detector %q cannot score points; pick a PTS-capable one", *name)
+	if err := tech.Fit(ref); err != nil {
+		return fmt.Errorf("fit: %w", err)
 	}
-	scores, err := ps.ScorePoints(values)
+	scores, err := tech.ScorePoints(values)
 	if err != nil {
 		return err
 	}
@@ -142,19 +157,19 @@ func cmdHier(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	p, err := plant.Simulate(plant.Config{Seed: *seed, FaultRate: 0.25, MeasurementErrorRate: 0.25, JobsPerMachine: 12})
+	p, err := hod.Simulate(hod.SimConfig{Seed: *seed, FaultRate: 0.25, MeasurementErrorRate: 0.25, JobsPerMachine: 12})
+	if err != nil {
+		return err
+	}
+	engine, err := hod.NewEngine(p, hod.WithMaxOutliers(20))
 	if err != nil {
 		return err
 	}
 	id := *machine
 	if id == "" {
-		id = p.Machines()[0].ID
+		id = p.Machines()[0]
 	}
-	h, err := core.NewHierarchy(p, id)
-	if err != nil {
-		return err
-	}
-	rep, err := core.FindHierarchicalOutliers(h, core.Level(*level), core.Options{MaxOutliers: 20})
+	rep, err := engine.Detect(context.Background(), id, hod.Level(*level))
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/pkg/hod"
+)
+
+// cmdReport fetches the fleet outlier report from a running hodserve
+// through the typed SDK client and renders it as a table (or raw
+// JSON).
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
+	plantID := fs.String("plant", "plant-1", "plant ID on the server")
+	level := fs.String("level", "phase", "start level 1..5 or name")
+	top := fs.Int("top", 20, "fleet-ranked top-K outliers")
+	machine := fs.String("machine", "", "restrict to one machine's drill-down")
+	asJSON := fs.Bool("json", false, "emit the raw wire response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	lv, err := hod.ParseLevel(*level)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	client := hod.NewClient(*addr)
+	rep, err := client.Report(ctx, *plantID, hod.ReportQuery{Level: lv, Top: *top, Machine: *machine})
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("plant %s, level %s: %d outliers total (top %d shown), %d machines reporting, revision %d\n",
+		rep.Plant, rep.Level, rep.TotalOutliers, len(rep.Outliers), len(rep.Machines), rep.DataRevision)
+	if len(rep.Missing) > 0 {
+		fmt.Printf("machines without data yet: %v\n", rep.Missing)
+	}
+	fmt.Printf("%-14s %-10s %-8s %-6s %-6s %-8s %-12s %-18s %s\n",
+		"machine", "sensor", "index", "job", "gscore", "support", "outlierness", "class", "seen-at")
+	for _, o := range rep.Outliers {
+		fmt.Printf("%-14s %-10s %-8d %-6d %-6d %-8.2f %-12.3f %-18s %v\n",
+			o.Machine, o.Sensor, o.Index, o.JobIndex, o.GlobalScore, o.Support, o.Outlierness,
+			hod.Classify(o.Outlier), o.SeenAt)
+	}
+	for _, w := range rep.Warnings {
+		fmt.Printf("WARNING: %s: %s\n", w.Machine, w.Reason)
+	}
+	return nil
+}
+
+// cmdAlerts fetches the recent streaming EWMA alerts of one plant.
+func cmdAlerts(args []string) error {
+	fs := flag.NewFlagSet("alerts", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
+	plantID := fs.String("plant", "plant-1", "plant ID on the server")
+	limit := fs.Int("limit", 20, "most recent alerts to fetch")
+	asJSON := fs.Bool("json", false, "emit the raw wire response")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx := context.Background()
+	client := hod.NewClient(*addr)
+	al, err := client.Alerts(ctx, *plantID, *limit)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(al)
+	}
+	fmt.Printf("plant %s: %d recent alerts\n", al.Plant, len(al.Alerts))
+	fmt.Printf("%-14s %-12s %-10s %-6s %-10s %s\n", "machine", "phase", "sensor", "t", "value", "score")
+	for _, a := range al.Alerts {
+		fmt.Printf("%-14s %-12s %-10s %-6d %-10.3f %.1f\n",
+			a.Machine, a.Phase, a.Sensor, a.T, a.Value, a.Score)
+	}
+	return nil
+}

@@ -2,27 +2,25 @@ package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/csv"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
-	"time"
 
-	"repro/internal/server"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
 )
 
 // cmdReplay streams a plantsim trace (sensors.csv, optionally
-// jobs.csv and environment.csv) through a running hodserve ingest API,
-// honouring its 429 + Retry-After backpressure — the two CLIs compose
-// instead of duplicating CSV parsing: the server decodes the same
-// schemas plantsim writes.
+// jobs.csv and environment.csv) through a running hodserve ingest API
+// via the typed SDK client — hod.Client owns the HTTP traffic and the
+// 429 + Retry-After backoff, so the CLI only batches CSV rows. The
+// summary reports how many shed batches the client had to re-send.
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
@@ -38,38 +36,42 @@ func cmdReplay(args []string) error {
 	if *sensors == "" {
 		return fmt.Errorf("replay: -sensors is required")
 	}
-	client := &http.Client{Timeout: 30 * time.Second}
+	ctx := context.Background()
+	client := hod.NewClient(*addr)
 
 	if *doRegister {
 		topo, err := deriveTopology(*plantID, *sensors)
 		if err != nil {
 			return err
 		}
-		if err := registerPlant(client, *addr, topo); err != nil {
+		if _, err := client.Register(ctx, topo); err != nil {
 			return err
 		}
 		fmt.Printf("replay: registered plant %s\n", *plantID)
 	}
 
-	rows, err := replayCSV(client, *addr, *plantID, *sensors, *batch)
+	rows, err := replayCSV(ctx, client, *plantID, *sensors, *batch)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("replay: streamed %d sensor rows from %s\n", rows, *sensors)
 
 	if *env != "" {
-		rows, err := replayCSV(client, *addr, *plantID, *env, *batch)
+		rows, err := replayCSV(ctx, client, *plantID, *env, *batch)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("replay: streamed %d environment rows from %s\n", rows, *env)
 	}
 	if *jobs != "" {
-		n, err := uploadJobs(client, *addr, *plantID, *jobs)
+		n, err := uploadJobs(ctx, client, *plantID, *jobs)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("replay: uploaded %d job vectors from %s\n", n, *jobs)
+	}
+	if retried := client.Retried(); retried > 0 {
+		fmt.Printf("replay: %d batches were shed by backpressure and re-sent\n", retried)
 	}
 	return nil
 }
@@ -77,8 +79,8 @@ func cmdReplay(args []string) error {
 // deriveTopology scans a sensors.csv for the machine set (lines are
 // the ID prefix before the first '/') and sensor columns, building the
 // same wire type the server registers.
-func deriveTopology(plantID, path string) (server.Topology, error) {
-	topo := server.Topology{ID: plantID}
+func deriveTopology(plantID, path string) (wire.Topology, error) {
+	topo := wire.Topology{ID: plantID}
 	f, err := os.Open(path)
 	if err != nil {
 		return topo, err
@@ -119,32 +121,16 @@ func deriveTopology(plantID, path string) (server.Topology, error) {
 	for _, l := range lineIDs {
 		ms := byLine[l]
 		sort.Strings(ms)
-		topo.Lines = append(topo.Lines, server.TopoLine{ID: l, Machines: ms})
+		topo.Lines = append(topo.Lines, wire.TopoLine{ID: l, Machines: ms})
 	}
 	topo.Sensors = header[4:]
 	return topo, nil
 }
 
-func registerPlant(client *http.Client, addr string, topo server.Topology) error {
-	buf, err := json.Marshal(topo)
-	if err != nil {
-		return err
-	}
-	resp, err := client.Post(addr+"/v1/plants", "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	body, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode != http.StatusCreated {
-		return fmt.Errorf("register: %s: %s", resp.Status, strings.TrimSpace(string(body)))
-	}
-	return nil
-}
-
-// replayCSV streams one CSV file in row batches, re-sending a batch
-// whenever the server sheds load with 429.
-func replayCSV(client *http.Client, addr, plantID, path string, batchRows int) (int, error) {
+// replayCSV streams one CSV file in row batches. Each chunk rides the
+// CSV wire format (the server decodes the same schemas plantsim
+// writes); hod.Client re-sends any batch the server sheds with 429.
+func replayCSV(ctx context.Context, client *hod.Client, plantID, path string, batchRows int) (int, error) {
 	if batchRows < 1 {
 		batchRows = 1
 	}
@@ -159,7 +145,6 @@ func replayCSV(client *http.Client, addr, plantID, path string, batchRows int) (
 		return 0, fmt.Errorf("%s: empty file", path)
 	}
 	header := sc.Text()
-	url := addr + "/v1/plants/" + plantID + "/ingest"
 
 	total := 0
 	rows := make([]string, 0, batchRows)
@@ -168,7 +153,7 @@ func replayCSV(client *http.Client, addr, plantID, path string, batchRows int) (
 			return nil
 		}
 		body := header + "\n" + strings.Join(rows, "\n") + "\n"
-		ack, err := postBatch(client, url, "text/csv", []byte(body))
+		ack, err := client.IngestBody(ctx, plantID, "text/csv", []byte(body))
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}
@@ -200,50 +185,9 @@ func replayCSV(client *http.Client, addr, plantID, path string, batchRows int) (
 	return total, flush()
 }
 
-// ingestAck is the server's batch acknowledgement.
-type ingestAck struct {
-	Records        int    `json:"records"`
-	Rejected       int    `json:"rejected"`
-	FirstRejection string `json:"first_rejection"`
-}
-
-// postBatch POSTs one batch, retrying on 429 after the advertised
-// Retry-After (the server's idempotent store makes re-sending safe),
-// and returns the server's acknowledgement so callers can surface
-// per-record rejections.
-func postBatch(client *http.Client, url, contentType string, body []byte) (ingestAck, error) {
-	for attempt := 0; attempt < 120; attempt++ {
-		resp, err := client.Post(url, contentType, bytes.NewReader(body))
-		if err != nil {
-			return ingestAck{}, err
-		}
-		respBody, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		switch {
-		case resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK:
-			var ack ingestAck
-			if err := json.Unmarshal(respBody, &ack); err != nil {
-				return ingestAck{}, fmt.Errorf("bad acknowledgement: %w", err)
-			}
-			return ack, nil
-		case resp.StatusCode == http.StatusTooManyRequests:
-			delay := time.Second
-			if ra := resp.Header.Get("Retry-After"); ra != "" {
-				if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-					delay = time.Duration(secs) * time.Second
-				}
-			}
-			time.Sleep(delay)
-		default:
-			return ingestAck{}, fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(respBody)))
-		}
-	}
-	return ingestAck{}, fmt.Errorf("batch still shed after 120 retries")
-}
-
 // uploadJobs converts a plantsim jobs.csv (machine, job, faulty, 5
-// setup columns, 6 CAQ columns) into the JSON job-metadata payload.
-func uploadJobs(client *http.Client, addr, plantID, path string) (int, error) {
+// setup columns, 6 CAQ columns) into wire job metadata and uploads it.
+func uploadJobs(ctx context.Context, client *hod.Client, plantID, path string) (int, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, err
@@ -257,7 +201,7 @@ func uploadJobs(client *http.Client, addr, plantID, path string) (int, error) {
 	if len(header) < 3 || header[0] != "machine" || header[1] != "job" {
 		return 0, fmt.Errorf("%s: not a plantsim jobs.csv", path)
 	}
-	var metas []server.JobMeta
+	var metas []wire.JobMeta
 	line := 1
 	for {
 		rec, err := r.Read()
@@ -268,16 +212,16 @@ func uploadJobs(client *http.Client, addr, plantID, path string) (int, error) {
 			return 0, err
 		}
 		line++
-		if len(rec) < 3+server.DefaultSetupDims {
+		if len(rec) < 3+wire.DefaultSetupDims {
 			return 0, fmt.Errorf("%s:%d: %d fields", path, line, len(rec))
 		}
-		m := server.JobMeta{Machine: rec[0], Job: rec[1], Faulty: rec[2] == "true"}
+		m := wire.JobMeta{Machine: rec[0], Job: rec[1], Faulty: rec[2] == "true"}
 		for i, s := range rec[3:] {
 			v, err := strconv.ParseFloat(s, 64)
 			if err != nil {
 				return 0, fmt.Errorf("%s:%d: bad value %q", path, line, s)
 			}
-			if i < server.DefaultSetupDims {
+			if i < wire.DefaultSetupDims {
 				m.Setup = append(m.Setup, v)
 			} else {
 				m.CAQ = append(m.CAQ, v)
@@ -285,11 +229,7 @@ func uploadJobs(client *http.Client, addr, plantID, path string) (int, error) {
 		}
 		metas = append(metas, m)
 	}
-	buf, err := json.Marshal(metas)
-	if err != nil {
-		return 0, err
-	}
-	ack, err := postBatch(client, addr+"/v1/plants/"+plantID+"/jobs", "application/json", buf)
+	ack, err := client.Jobs(ctx, plantID, metas)
 	if err != nil {
 		return 0, err
 	}

@@ -1,10 +1,9 @@
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"fmt"
-	"net/http"
-	"net/http/httptest"
+	"net"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -14,6 +13,7 @@ import (
 
 	"repro/internal/plant"
 	"repro/internal/server"
+	"repro/pkg/hod"
 )
 
 // writeTrace writes a plantsim-schema sensors.csv + jobs.csv +
@@ -76,9 +76,24 @@ func writeTrace(t *testing.T, dir string, p *plant.Plant) (sensors, jobs, env st
 	return sensors, jobs, env
 }
 
+// serveTest hosts an in-process fleet server on an ephemeral port.
+func serveTest(t *testing.T, opts server.Options) (base string) {
+	t.Helper()
+	srv := server.New(opts)
+	t.Cleanup(srv.Close)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := srv.ServeListener(ln)
+	t.Cleanup(stop)
+	return "http://" + ln.Addr().String()
+}
+
 // TestReplayAgainstServer drives the replay path end to end: derive
 // the topology from the CSV, register, stream all three files, then
-// confirm the server has the data and serves a report.
+// confirm the server has the data and serves a report — all through
+// the SDK client.
 func TestReplayAgainstServer(t *testing.T) {
 	p, err := plant.Simulate(plant.Config{
 		Seed: 6, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 3, PhaseSamples: 16,
@@ -89,13 +104,10 @@ func TestReplayAgainstServer(t *testing.T) {
 	}
 	sensors, jobs, env := writeTrace(t, t.TempDir(), p)
 
-	srv := server.New(server.Options{Shards: 2, QueueDepth: 4})
-	defer srv.Close()
-	ts := httptest.NewServer(srv.Handler())
-	defer ts.Close()
+	base := serveTest(t, server.Options{Shards: 2, QueueDepth: 4})
 
 	if err := cmdReplay([]string{
-		"-addr", ts.URL, "-plant", "replayed", "-register",
+		"-addr", base, "-plant", "replayed", "-register",
 		"-sensors", sensors, "-jobs", jobs, "-env", env, "-batch", "300",
 	}); err != nil {
 		t.Fatal(err)
@@ -112,54 +124,36 @@ func TestReplayAgainstServer(t *testing.T) {
 		}
 	}
 	wantRecords += p.Environment.Len() * len(p.Environment.Dims)
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		resp, err := http.Get(ts.URL + "/v1/plants/replayed/stats")
-		if err != nil {
-			t.Fatal(err)
-		}
-		var st struct {
-			Accepted int   `json:"accepted_records"`
-			Depths   []int `json:"queue_depths"`
-		}
-		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-			t.Fatal(err)
-		}
-		resp.Body.Close()
-		idle := st.Accepted >= wantRecords
-		for _, d := range st.Depths {
-			if d > 0 {
-				idle = false
-			}
-		}
-		if idle {
-			if st.Accepted != wantRecords {
-				t.Fatalf("accepted %d records, want %d", st.Accepted, wantRecords)
-			}
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("server never drained (accepted %d, want %d)", st.Accepted, wantRecords)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
 
-	resp, err := http.Get(ts.URL + "/v1/plants/replayed/report?level=1&top=5")
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	client := hod.NewClient(base)
+	if err := client.WaitDrained(ctx, "replayed", uint64(wantRecords)); err != nil {
+		t.Fatalf("server never drained: %v", err)
+	}
+	st, err := client.Stats(ctx, "replayed")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("report status %s", resp.Status)
+	if st.AcceptedRecords != uint64(wantRecords) {
+		t.Fatalf("accepted %d records, want %d", st.AcceptedRecords, wantRecords)
 	}
-	var rep struct {
-		Machines []string `json:"machines"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+
+	rep, err := client.Report(ctx, "replayed", hod.ReportQuery{Level: hod.LevelPhase, Top: 5})
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Machines) != len(p.Machines()) {
 		t.Fatalf("report machines %v, want %d", rep.Machines, len(p.Machines()))
+	}
+
+	// The query subcommands run against the same server through the
+	// SDK client.
+	if err := cmdReport([]string{"-addr", base, "-plant", "replayed", "-level", "phase", "-top", "5"}); err != nil {
+		t.Fatalf("hodctl report: %v", err)
+	}
+	if err := cmdAlerts([]string{"-addr", base, "-plant", "replayed", "-limit", "3"}); err != nil {
+		t.Fatalf("hodctl alerts: %v", err)
 	}
 }
 

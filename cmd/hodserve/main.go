@@ -7,10 +7,12 @@
 //	hodserve [-addr :8080] [-workers N] [-shards N] [-queue N]
 //	         [-alert-threshold Z] [-max-outliers N]
 //
-// Register a plant, replay a plantsim trace, query a report:
+// Register a plant, replay a plantsim trace, query a report — the
+// whole loop goes through the typed SDK client (pkg/hod.Client), and
+// the raw wire protocol (pkg/hod/wire) stays curl-able:
 //
-//	curl -X POST localhost:8080/v1/plants -d '{"id":"p1","lines":[{"id":"line-1","machines":["line-1/m1"]}]}'
-//	hodctl replay -addr http://localhost:8080 -plant p1 -sensors plant-out/sensors.csv
+//	hodctl replay -addr http://localhost:8080 -plant p1 -sensors plant-out/sensors.csv -register
+//	hodctl report -addr http://localhost:8080 -plant p1 -level phase -top 10
 //	curl 'localhost:8080/v1/plants/p1/report?level=phase&top=10'
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, then

@@ -1,13 +1,16 @@
 // Example fleet: serve a simulated plant over HTTP and replay its
-// trace against the server — the full serving loop of the fleet layer.
+// trace against the server — the full serving loop of the fleet layer,
+// driven end to end through the public SDK (pkg/hod).
 //
 // It starts an in-process hodserve on an ephemeral port, registers a
-// plant, then replays the plantsim trace machine-by-machine with one
-// uploader per production line: each machine's samples are pumped
-// through an internal/stream pipeline (Pump → Merge fan-in per line),
-// batched into NDJSON ingest requests, and retried on 429
-// backpressure. Once the pipelines drain it prints the incremental
-// roll-up and the fleet-ranked outlier report.
+// plant via hod.Client, then replays the plantsim trace
+// machine-by-machine with one uploader per production line: each
+// machine's samples are pumped through an internal/stream pipeline
+// (Pump → Merge fan-in per line) and batched into NDJSON ingest
+// requests by hod.Client's BatchStream, which re-sends any batch the
+// server sheds with 429 + Retry-After. Once the pipelines drain it
+// prints the incremental roll-up and the fleet-ranked outlier report —
+// all through the same typed client.
 //
 // Run with:
 //
@@ -15,20 +18,18 @@
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
-	"io"
 	"log"
 	"net"
-	"net/http"
 	"sync"
 	"time"
 
-	"repro/internal/plant"
 	"repro/internal/server"
 	"repro/internal/stream"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
 )
 
 func main() {
@@ -38,7 +39,7 @@ func main() {
 }
 
 func run() error {
-	p, err := plant.Simulate(plant.Config{
+	sim, err := hod.Simulate(hod.SimConfig{
 		Seed: 42, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 6,
 		PhaseSamples: 60, FaultRate: 0.3, MeasurementErrorRate: 0.3,
 	})
@@ -53,28 +54,31 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
-	go httpSrv.Serve(ln)
-	defer httpSrv.Close()
+	stop := srv.ServeListener(ln)
+	defer stop()
 	base := "http://" + ln.Addr().String()
 	fmt.Println("fleet: serving on", base)
 
-	if err := register(base, p); err != nil {
+	ctx := context.Background()
+	client := hod.NewClient(base)
+	if _, err := client.Register(ctx, sim.Topology("demo")); err != nil {
 		return err
 	}
 
 	// One uploader per production line; within a line the machines'
 	// sample streams are merged by an internal/stream fan-in, so the
 	// uploader sees one interleaved live feed — the shape a line
-	// gateway would produce.
-	ctx := context.Background()
+	// gateway would produce. Each uploader batches through the SDK's
+	// BatchStream, which owns the 429 retry loop.
+	machineRecs := splitByMachine(sim.Records())
 	var wg sync.WaitGroup
 	total := 0
-	for _, line := range p.Lines {
-		chans := make([]<-chan stream.Sample, 0, len(line.Machines))
-		index := make(map[string]sampleMeta)
-		for _, m := range line.Machines {
-			src, meta, n := machineSource(m)
+	uploadErrs := make(chan error, len(sim.Machines())+1)
+	for _, line := range linesOf(sim) {
+		chans := make([]<-chan stream.Sample, 0, len(line.machines))
+		index := make(map[string]wire.Record)
+		for _, m := range line.machines {
+			src, meta, n := machineSource(machineRecs[m])
 			for k, v := range meta {
 				index[k] = v
 			}
@@ -85,237 +89,134 @@ func run() error {
 		wg.Add(1)
 		go func(lineID string) {
 			defer wg.Done()
-			if err := upload(base, merged, index); err != nil {
-				log.Printf("fleet: line %s uploader: %v", lineID, err)
+			if err := upload(ctx, client, merged, index); err != nil {
+				uploadErrs <- fmt.Errorf("line %s uploader: %w", lineID, err)
 			}
-		}(line.ID)
+		}(line.id)
 	}
 	// Environment riding on its own uploader.
+	env := sim.EnvRecords()
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		var recs []server.Record
-		for _, dim := range p.Environment.Dims {
-			for t, v := range dim.Values {
-				recs = append(recs, server.Record{Env: true, Sensor: dim.Name, T: t, Value: v})
-			}
-		}
-		if err := postNDJSON(base+"/v1/plants/demo/ingest", recs); err != nil {
-			log.Printf("fleet: env uploader: %v", err)
+		if _, err := client.Ingest(ctx, "demo", env); err != nil {
+			uploadErrs <- fmt.Errorf("env uploader: %w", err)
 		}
 	}()
 	wg.Wait()
-	envTotal := p.Environment.Len() * len(p.Environment.Dims)
-
-	if err := uploadJobMeta(base, p); err != nil {
+	close(uploadErrs)
+	// A failed uploader means the drain target below is unreachable —
+	// fail now instead of polling for records that never arrived.
+	if err := <-uploadErrs; err != nil {
 		return err
 	}
-	if err := waitDrained(base, total+envTotal); err != nil {
+
+	if _, err := client.Jobs(ctx, "demo", sim.JobMetas()); err != nil {
 		return err
 	}
-	fmt.Printf("fleet: replayed %d samples across %d machines\n", total+envTotal, len(p.Machines()))
-
-	for _, path := range []string{
-		"/v1/plants/demo/rollup?level=line",
-		"/v1/plants/demo/rollup?level=machine",
-		"/v1/plants/demo/report?level=phase&top=8",
-		"/v1/plants/demo/alerts?limit=5",
-	} {
-		body, err := get(base + path)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("\n== GET %s ==\n%s\n", path, indent(body))
+	drainCtx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := client.WaitDrained(drainCtx, "demo", uint64(total+len(env))); err != nil {
+		return fmt.Errorf("pipelines did not drain: %w", err)
 	}
+	fmt.Printf("fleet: replayed %d samples across %d machines (%d batches re-sent on backpressure)\n",
+		total+len(env), len(sim.Machines()), client.Retried())
+
+	// Query the serving side through the same typed client.
+	lineRoll, err := client.Rollup(ctx, "demo", "line")
+	if err != nil {
+		return err
+	}
+	printJSON("rollup?level=line", lineRoll)
+	machineRoll, err := client.Rollup(ctx, "demo", "machine")
+	if err != nil {
+		return err
+	}
+	printJSON("rollup?level=machine", machineRoll)
+	report, err := client.Report(ctx, "demo", hod.ReportQuery{Level: hod.LevelPhase, Top: 8})
+	if err != nil {
+		return err
+	}
+	printJSON("report?level=phase&top=8", report)
+	alerts, err := client.Alerts(ctx, "demo", 5)
+	if err != nil {
+		return err
+	}
+	printJSON("alerts?limit=5", alerts)
 	return nil
 }
 
-// sampleMeta carries the routing fields that stream.Sample (a pure
-// sensor sample) does not: which machine/job/phase a sample belongs
-// to. The stream's Sensor field carries an opaque key into this index.
-type sampleMeta struct {
-	machine, job, phase, sensor string
+type lineGroup struct {
+	id       string
+	machines []string
 }
 
-// machineSource flattens one machine's trace into a stream source.
-func machineSource(m *plant.Machine) (stream.Source, map[string]sampleMeta, int) {
-	var samples []stream.Sample
-	index := make(map[string]sampleMeta)
-	for _, job := range m.Jobs {
-		for _, ph := range job.Phases {
-			for _, dim := range ph.Sensors.Dims {
-				key := m.ID + "\x00" + job.ID + "\x00" + ph.Name + "\x00" + dim.Name
-				index[key] = sampleMeta{machine: m.ID, job: job.ID, phase: ph.Name, sensor: dim.Name}
-				for t, v := range dim.Values {
-					samples = append(samples, stream.Sample{
-						Sensor: key,
-						At:     dim.TimeAt(t),
-						Value:  v,
-					})
-				}
-			}
+// linesOf lists the plant's lines with their machines, derived from
+// the wire topology.
+func linesOf(p *hod.Plant) []lineGroup {
+	var out []lineGroup
+	for _, tl := range p.Topology("demo").Lines {
+		out = append(out, lineGroup{id: tl.ID, machines: tl.Machines})
+	}
+	return out
+}
+
+// splitByMachine groups the flattened trace per machine, preserving
+// order.
+func splitByMachine(recs []wire.Record) map[string][]wire.Record {
+	out := map[string][]wire.Record{}
+	for _, r := range recs {
+		out[r.Machine] = append(out[r.Machine], r)
+	}
+	return out
+}
+
+// machineSource flattens one machine's records into a stream source.
+// stream.Sample carries a pure sensor sample, so the routing fields
+// (machine/job/phase/sensor/t) ride in an index keyed by an opaque
+// per-series key plus the per-series sample counter.
+func machineSource(recs []wire.Record) (stream.Source, map[string]wire.Record, int) {
+	samples := make([]stream.Sample, 0, len(recs))
+	index := make(map[string]wire.Record)
+	for _, rec := range recs {
+		key := rec.Machine + "\x00" + rec.Job + "\x00" + rec.Phase + "\x00" + rec.Sensor
+		if _, ok := index[key]; !ok {
+			index[key] = wire.Record{Machine: rec.Machine, Job: rec.Job, Phase: rec.Phase, Sensor: rec.Sensor}
 		}
+		samples = append(samples, stream.Sample{Sensor: key, Value: rec.Value})
 	}
 	return stream.NewSliceSource(samples), index, len(samples)
 }
 
-// upload batches a merged sample stream into NDJSON ingest requests.
-func upload(base string, in <-chan stream.Sample, index map[string]sampleMeta) error {
-	const batch = 4000
-	recs := make([]server.Record, 0, batch)
-	counters := make(map[string]int) // per-series position = sample index t
-	flush := func() error {
-		if len(recs) == 0 {
-			return nil
-		}
-		err := postNDJSON(base+"/v1/plants/demo/ingest", recs)
-		recs = recs[:0]
-		return err
-	}
+// upload drains a merged sample stream into the SDK's batching
+// uploader. The sample index within the phase is the series position:
+// counters are keyed by the full (machine, job, phase, sensor) series
+// key, and Merge preserves per-machine order.
+func upload(ctx context.Context, client *hod.Client, in <-chan stream.Sample, index map[string]wire.Record) error {
+	bs := client.BatchStream("demo", 4000)
+	counters := make(map[string]int)
 	for s := range in {
-		meta := index[s.Sensor]
-		// The sample index within the phase is the series position:
-		// counters are keyed by the full (machine, job, phase, sensor)
-		// series key, and Merge preserves per-machine order.
-		t := counters[s.Sensor]
-		counters[s.Sensor] = t + 1
-		recs = append(recs, server.Record{
-			Machine: meta.machine, Job: meta.job, Phase: meta.phase,
-			Sensor: meta.sensor, T: t, Value: s.Value,
-		})
-		if len(recs) >= batch {
-			if err := flush(); err != nil {
-				return err
-			}
+		rec := index[s.Sensor]
+		rec.T = counters[s.Sensor]
+		counters[s.Sensor] = rec.T + 1
+		rec.Value = s.Value
+		if err := bs.Add(ctx, rec); err != nil {
+			return err
 		}
 	}
-	return flush()
-}
-
-func register(base string, p *plant.Plant) error {
-	topo := server.Topology{ID: "demo"}
-	for _, l := range p.Lines {
-		tl := server.TopoLine{ID: l.ID}
-		for _, m := range l.Machines {
-			tl.Machines = append(tl.Machines, m.ID)
-		}
-		topo.Lines = append(topo.Lines, tl)
-	}
-	buf, err := json.Marshal(topo)
-	if err != nil {
+	if err := bs.Flush(ctx); err != nil {
 		return err
 	}
-	resp, err := http.Post(base+"/v1/plants", "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusCreated {
-		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("register: %s: %s", resp.Status, body)
+	if ack := bs.Ack(); ack.Rejected > 0 {
+		return fmt.Errorf("server rejected %d records (first: %s)", ack.Rejected, ack.FirstRejection)
 	}
 	return nil
 }
 
-func uploadJobMeta(base string, p *plant.Plant) error {
-	var metas []server.JobMeta
-	for _, m := range p.Machines() {
-		for _, job := range m.Jobs {
-			metas = append(metas, server.JobMeta{
-				Machine: m.ID, Job: job.ID, Setup: job.Setup, CAQ: job.CAQ, Faulty: job.Faulty,
-			})
-		}
-	}
-	buf, err := json.Marshal(metas)
+func printJSON(what string, v any) {
+	blob, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
-		return err
+		blob = []byte(err.Error())
 	}
-	resp, err := http.Post(base+"/v1/plants/demo/jobs", "application/json", bytes.NewReader(buf))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted {
-		body, _ := io.ReadAll(resp.Body)
-		return fmt.Errorf("job metadata: %s: %s", resp.Status, body)
-	}
-	return nil
-}
-
-func postNDJSON(url string, recs []server.Record) error {
-	var buf bytes.Buffer
-	enc := json.NewEncoder(&buf)
-	for _, r := range recs {
-		if err := enc.Encode(r); err != nil {
-			return err
-		}
-	}
-	for attempt := 0; attempt < 120; attempt++ {
-		resp, err := http.Post(url, "application/x-ndjson", bytes.NewReader(buf.Bytes()))
-		if err != nil {
-			return err
-		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode == http.StatusAccepted || resp.StatusCode == http.StatusOK {
-			return nil
-		}
-		if resp.StatusCode != http.StatusTooManyRequests {
-			return fmt.Errorf("ingest: %s", resp.Status)
-		}
-		time.Sleep(50 * time.Millisecond) // honour the backpressure
-	}
-	return fmt.Errorf("ingest: batch still shed after 120 retries")
-}
-
-func waitDrained(base string, want int) error {
-	deadline := time.Now().Add(60 * time.Second)
-	for time.Now().Before(deadline) {
-		body, err := get(base + "/v1/plants/demo/stats")
-		if err != nil {
-			return err
-		}
-		var st struct {
-			Accepted int   `json:"accepted_records"`
-			Depths   []int `json:"queue_depths"`
-		}
-		if err := json.Unmarshal(body, &st); err != nil {
-			return err
-		}
-		idle := st.Accepted >= want
-		for _, d := range st.Depths {
-			if d > 0 {
-				idle = false
-			}
-		}
-		if idle {
-			return nil
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
-	return fmt.Errorf("pipelines did not drain in time")
-}
-
-func get(url string) ([]byte, error) {
-	resp, err := http.Get(url)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("GET %s: %s: %s", url, resp.Status, body)
-	}
-	return body, nil
-}
-
-func indent(raw []byte) string {
-	var buf bytes.Buffer
-	if err := json.Indent(&buf, bytes.TrimSpace(raw), "", "  "); err != nil {
-		return string(raw)
-	}
-	return buf.String()
+	fmt.Printf("\n== %s ==\n%s\n", what, blob)
 }

@@ -1,8 +1,8 @@
 // Predictive maintenance: a spindle drifts towards failure. An AR
-// forecaster watches the residuals, an OLAP-cube detector watches the
-// level, and the alert manager escalates by the degree of deviation —
-// "the degree of deviation from an expected value represents the
-// urgency to maintain a system" (paper §1).
+// forecaster from the SDK registry watches the residuals, an OLAP-cube
+// technique watches the level, and the alert manager escalates by the
+// degree of deviation — "the degree of deviation from an expected
+// value represents the urgency to maintain a system" (paper §1).
 package main
 
 import (
@@ -11,9 +11,8 @@ import (
 	"math"
 	"math/rand"
 
-	"repro/internal/detector/ar"
-	"repro/internal/detector/olapcube"
 	"repro/internal/generator"
+	"repro/pkg/hod"
 )
 
 func main() {
@@ -33,8 +32,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Forecast-based residual scoring.
-	forecaster := ar.New(ar.WithOrder(6))
+	// Forecast-based residual scoring through the SDK technique
+	// facade.
+	forecaster, err := hod.NewTechnique("ar")
+	if err != nil {
+		log.Fatal(err)
+	}
 	if err := forecaster.Fit(healthy.Values); err != nil {
 		log.Fatal(err)
 	}
@@ -43,8 +46,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Level scoring via the cube detector (time buckets vs consensus).
-	cube := olapcube.New(olapcube.WithBuckets(40))
+	// Level scoring via the cube technique (time buckets vs consensus).
+	cube, err := hod.NewTechnique("olap-cube")
+	if err != nil {
+		log.Fatal(err)
+	}
 	lvlScores, err := cube.ScorePoints(live.Values)
 	if err != nil {
 		log.Fatal(err)

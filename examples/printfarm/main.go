@@ -1,42 +1,49 @@
-// Printfarm: the paper's motivating use case. A farm of industrial 3D
-// printers has redundant chamber thermistors. Two things go wrong:
-// real heater faults (both thermistors agree, quality drops) and lying
-// thermistors (one sensor sticks, the partner disagrees, quality is
-// fine). The support value of the hierarchical triple separates the
-// two — so maintenance is dispatched for faults and sensor swaps for
-// measurement errors.
+// Printfarm: the paper's motivating use case, driven through the
+// public SDK. A farm of industrial 3D printers has redundant chamber
+// thermistors. Two things go wrong: real heater faults (both
+// thermistors agree, quality drops) and lying thermistors (one sensor
+// sticks, the partner disagrees, quality is fine). The support value
+// of the hierarchical triple separates the two — hod.Classify encodes
+// the decision rule — so maintenance is dispatched for faults and
+// sensor swaps for measurement errors.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/plant"
+	"repro/pkg/hod"
 )
 
 func main() {
-	p, err := plant.Simulate(plant.Config{
+	p, err := hod.Simulate(hod.SimConfig{
 		Seed: 11, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 12,
 		FaultRate: 0.25, MeasurementErrorRate: 0.25,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("print farm: %d machines, %d ground-truth events\n\n", len(p.Machines()), len(p.Events))
+	events := p.Events()
+	fmt.Printf("print farm: %d machines, %d ground-truth events\n\n", len(p.Machines()), len(events))
 
+	// One engine over the whole farm: the shared plant cache computes
+	// the environment tracker and production cube once, not per
+	// machine.
+	engine, err := hod.NewEngine(p, hod.WithMaxOutliers(256))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
 	dispatch := map[string][]string{}
-	for _, m := range p.Machines() {
-		h, err := core.NewHierarchy(p, m.ID)
+	for _, machine := range engine.Machines() {
+		rep, err := engine.Detect(ctx, machine, hod.LevelPhase)
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := core.FindHierarchicalOutliers(h, core.LevelPhase, core.Options{MaxOutliers: 256})
-		if err != nil {
-			log.Fatal(err)
-		}
-		// One decision per affected job: support tells fault from
-		// sensor error.
+		// One decision per affected job: the classification of the
+		// strongest finding tells fault from sensor error.
 		decided := map[int]bool{}
 		for _, o := range rep.Outliers {
 			if o.Sensor != "temp-a" && o.Sensor != "temp-b" {
@@ -46,12 +53,12 @@ func main() {
 				continue
 			}
 			decided[o.JobIndex] = true
-			if o.Support >= 0.5 && o.GlobalScore >= 2 {
+			if hod.Classify(o) == hod.ClassFault {
 				dispatch["maintenance"] = append(dispatch["maintenance"],
-					fmt.Sprintf("%s job %d (support %.1f, global %d)", m.ID, o.JobIndex, o.Support, o.GlobalScore))
+					fmt.Sprintf("%s job %d (support %.1f, global %d)", machine, o.JobIndex, o.Support, o.GlobalScore))
 			} else {
 				dispatch["sensor-swap"] = append(dispatch["sensor-swap"],
-					fmt.Sprintf("%s job %d sensor %s (support %.1f)", m.ID, o.JobIndex, o.Sensor, o.Support))
+					fmt.Sprintf("%s job %d sensor %s (support %.1f)", machine, o.JobIndex, o.Sensor, o.Support))
 			}
 		}
 	}
@@ -67,8 +74,8 @@ func main() {
 
 	// Compare with ground truth.
 	faults, lies := 0, 0
-	for _, e := range p.Events {
-		if e.Kind == plant.ProcessFault {
+	for _, e := range events {
+		if e.Kind == "process-fault" {
 			faults++
 		} else {
 			lies++

@@ -1,17 +1,17 @@
 // Quickstart: generate a sensor series with an injected fault, score
-// it with one detector, then run the full hierarchical algorithm on a
-// simulated plant.
+// it with one detection technique from the public SDK, then run the
+// full hierarchical algorithm (Algorithm 1) on a simulated plant
+// through the embeddable engine.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/core"
-	"repro/internal/detector/ar"
 	"repro/internal/generator"
-	"repro/internal/plant"
+	"repro/pkg/hod"
 )
 
 func main() {
@@ -26,12 +26,15 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 2. Fit an autoregressive detector on clean data and score.
-	d := ar.New(ar.WithOrder(4))
-	if err := d.Fit(clean.Series.Values); err != nil {
+	// 2. Fit an autoregressive technique on clean data and score.
+	ar, err := hod.NewTechnique("ar")
+	if err != nil {
 		log.Fatal(err)
 	}
-	scores, err := d.ScorePoints(dirty.Series.Values)
+	if err := ar.Fit(clean.Series.Values); err != nil {
+		log.Fatal(err)
+	}
+	scores, err := ar.ScorePoints(dirty.Series.Values)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,20 +47,22 @@ func main() {
 	fmt.Printf("strongest point outlier: index %d (%.1f residual σ); injected at %v\n",
 		best, bestScore, dirty.AnomalyIndexes())
 
-	// 3. The paper's contribution: hierarchical detection on a plant.
-	p, err := plant.Simulate(plant.Config{Seed: 7, FaultRate: 0.3, MeasurementErrorRate: 0.3, JobsPerMachine: 10})
+	// 3. The paper's contribution: hierarchical detection on a plant,
+	// through the embeddable engine.
+	p, err := hod.Simulate(hod.SimConfig{Seed: 7, FaultRate: 0.3, MeasurementErrorRate: 0.3, JobsPerMachine: 10})
 	if err != nil {
 		log.Fatal(err)
 	}
-	h, err := core.NewHierarchy(p, p.Machines()[0].ID)
+	engine, err := hod.NewEngine(p, hod.WithMaxOutliers(5))
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := core.FindHierarchicalOutliers(h, core.LevelPhase, core.Options{MaxOutliers: 5})
+	machine := p.Machines()[0]
+	rep, err := engine.Detect(context.Background(), machine, hod.LevelPhase)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("hierarchical outliers on %s:\n", h.Machine.ID)
+	fmt.Printf("hierarchical outliers on %s:\n", machine)
 	for _, o := range rep.Outliers {
 		fmt.Printf("  %-8s sample %-5d ⟨global=%d outlierness=%.2f support=%.2f⟩ seen at %v\n",
 			o.Sensor, o.Index, o.GlobalScore, o.Outlierness, o.Support, o.SeenAt)

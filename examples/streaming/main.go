@@ -1,7 +1,8 @@
 // Streaming: online detection over a live sensor stream using the
 // stream substrate — fan-out into a window branch (shape discords via
-// the SAX-frequency detector) and a point branch (EWMA tracker), the
-// way a phase-level monitor would run next to the machine.
+// the SDK's SAX-frequency technique) and a point branch (EWMA
+// tracker), the way a phase-level monitor would run next to the
+// machine.
 package main
 
 import (
@@ -12,9 +13,9 @@ import (
 	"math/rand"
 	"time"
 
-	"repro/internal/detector/matchcount"
 	"repro/internal/stats"
 	"repro/internal/stream"
+	"repro/pkg/hod"
 )
 
 func main() {
@@ -53,12 +54,16 @@ func main() {
 	}, 8)
 
 	// Branch 2: windowed discord scoring against a normal-pattern
-	// database fitted on the first (clean) chunk.
+	// database fitted on the first (clean) chunk, via the SDK's
+	// match-count technique.
 	winCh := stream.Windows(ctx, branches[1], 512, 256)
 	discordDone := make(chan struct{})
 	go func() {
 		defer close(discordDone)
-		d := matchcount.New()
+		d, err := hod.NewTechnique("match-count")
+		if err != nil {
+			log.Fatal(err)
+		}
 		fitted := false
 		for ev := range winCh {
 			if !fitted {

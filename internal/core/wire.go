@@ -1,0 +1,55 @@
+package core
+
+import "repro/pkg/hod/wire"
+
+// Wire converts the result record to its shared wire shape — the one
+// conversion both the serving layer and the public SDK apply, so a new
+// field cannot silently reach one surface and not the other. Levels
+// are the same 1..5 integers on both sides.
+func (o Outlier) Wire() wire.Outlier {
+	seen := make([]wire.Level, len(o.SeenAt))
+	for i, lv := range o.SeenAt {
+		seen[i] = wire.Level(lv)
+	}
+	return wire.Outlier{
+		Level:       wire.Level(o.Level),
+		Sensor:      o.Sensor,
+		Index:       o.Index,
+		JobIndex:    o.JobIndex,
+		GlobalScore: o.GlobalScore,
+		Outlierness: o.Outlierness,
+		Support:     o.Support,
+		SeenAt:      seen,
+	}
+}
+
+// Wire converts the warning to its shared wire shape.
+func (w Warning) Wire() wire.Warning {
+	return wire.Warning{
+		Level:    wire.Level(w.Level),
+		Below:    wire.Level(w.Below),
+		JobIndex: w.JobIndex,
+		Sensor:   w.Sensor,
+		Reason:   w.Reason,
+	}
+}
+
+// FromWire rebuilds the core triple of a wire outlier — the inverse
+// direction consumers need to reuse core's comparators and decision
+// rules on wire data.
+func FromWire(o wire.Outlier) Outlier {
+	seen := make([]Level, len(o.SeenAt))
+	for i, lv := range o.SeenAt {
+		seen[i] = Level(lv)
+	}
+	return Outlier{
+		Level:       Level(o.Level),
+		Sensor:      o.Sensor,
+		Index:       o.Index,
+		JobIndex:    o.JobIndex,
+		GlobalScore: o.GlobalScore,
+		Outlierness: o.Outlierness,
+		Support:     o.Support,
+		SeenAt:      seen,
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/stream"
 	"repro/internal/timeseries"
+	"repro/pkg/hod/wire"
 )
 
 // rollKey addresses one leaf of the roll-up tree: the accumulator of
@@ -39,14 +40,8 @@ type shard struct {
 
 // Alert is one streaming detection event raised at ingest time by the
 // per-sensor EWMA tracker — the live complement of the batch report.
-type Alert struct {
-	Machine string  `json:"machine"`
-	Phase   string  `json:"phase"`
-	Sensor  string  `json:"sensor"`
-	T       int     `json:"t"`
-	Value   float64 `json:"value"`
-	Score   float64 `json:"score"`
-}
+// Its wire shape is shared with the typed client.
+type Alert = wire.Alert
 
 // plantState is the serving state of one registered plant: sharded
 // ingest on the write side, an incrementally maintained plant snapshot
@@ -184,11 +179,12 @@ func (ps *plantState) work(sh *shard, alertThreshold float64) {
 			return
 		}
 		var wrote bool
+		var freshRecs uint64
 		for _, rec := range batch {
 			if rec.Env {
 				fresh, changed := ps.env.set(rec)
 				if fresh {
-					ps.accepted.Add(1)
+					freshRecs++
 				}
 				wrote = wrote || changed
 				continue
@@ -204,7 +200,7 @@ func (ps *plantState) work(sh *shard, alertThreshold float64) {
 				// accumulators cannot retract an observation.
 				continue
 			}
-			ps.accepted.Add(1)
+			freshRecs++
 			key := rollKey{rec.Machine, rec.Phase, rec.Sensor}
 			sh.rollMu.Lock()
 			o, ok := sh.roll[key]
@@ -226,9 +222,15 @@ func (ps *plantState) work(sh *shard, alertThreshold float64) {
 				})
 			}
 		}
+		// Revision before counter: drain-watchers (Client.WaitDrained)
+		// poll accepted_records, so by the time the counter covers this
+		// batch the data revision must already reflect it — otherwise a
+		// report issued right after the drain could hit the snapshot
+		// fast path at the old revision and miss the final batch.
 		if wrote {
 			ps.dataRev.Add(1)
 		}
+		ps.accepted.Add(freshRecs)
 	}
 }
 
@@ -440,15 +442,9 @@ func (ps *plantState) rollup(level string) ([]RollupNode, error) {
 	return out, nil
 }
 
-// RollupNode is one aggregate of the incremental roll-up tree.
-type RollupNode struct {
-	Key   string  `json:"key"`
-	Count int     `json:"count"`
-	Mean  float64 `json:"mean"`
-	Std   float64 `json:"std"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-}
+// RollupNode is one aggregate of the incremental roll-up tree; the
+// wire shape is shared with the typed client.
+type RollupNode = wire.RollupNode
 
 func rollupKeyFn(level, plantID string, machineLine map[string]string) (func(rollKey) string, error) {
 	switch level {

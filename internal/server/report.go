@@ -4,39 +4,19 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
-	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/pkg/hod/wire"
 )
 
-// FleetOutlier is one outlier of the fleet report, tagged with the
-// machine it belongs to.
-type FleetOutlier struct {
-	Machine string `json:"machine"`
-	core.Outlier
-}
-
-// FleetWarning is one measurement-error warning, machine-tagged.
-type FleetWarning struct {
-	Machine string `json:"machine"`
-	Reason  string `json:"reason"`
-}
-
-// ReportResponse is the fleet outlier report: per-machine Algorithm 1
-// runs over the incremental snapshot, ranked fleet-wide, top-K
-// truncated.
-type ReportResponse struct {
-	Plant         string         `json:"plant"`
-	Level         string         `json:"level"`
-	Machines      []string       `json:"machines"`
-	Missing       []string       `json:"missing,omitempty"`
-	TotalOutliers int            `json:"total_outliers"`
-	TopK          int            `json:"top_k"`
-	Outliers      []FleetOutlier `json:"outliers"`
-	Warnings      []FleetWarning `json:"warnings,omitempty"`
-	DataRevision  uint64         `json:"data_revision"`
-}
+// The report wire shapes live in pkg/hod/wire, shared with the typed
+// client; the server only converts core results onto them.
+type (
+	FleetOutlier   = wire.FleetOutlier
+	FleetWarning   = wire.FleetWarning
+	ReportResponse = wire.ReportResponse
+)
 
 // handleReport computes (or serves from cache) the hierarchical
 // outlier report. ?level=1..5 (or a level name) picks the start level,
@@ -45,20 +25,24 @@ type ReportResponse struct {
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, ps *plantState) {
 	level, err := parseLevel(r.URL.Query().Get("level"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}
-	topK := queryInt(r, "top", 20)
+	topK, err := queryInt(r, "top", 20)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
 	machineFilter := r.URL.Query().Get("machine")
 
 	ps.reportMu.Lock()
 	defer ps.reportMu.Unlock()
 	if err := ps.snapshot(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "snapshot: "+err.Error())
+		writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "snapshot: "+err.Error())
 		return
 	}
 	if ps.assembled == nil || len(ps.assembled.Lines) == 0 {
-		writeErr(w, http.StatusConflict, "no data ingested yet")
+		writeErr(w, http.StatusConflict, wire.CodeNoData, "no data ingested yet")
 		return
 	}
 
@@ -72,7 +56,8 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, ps *plantS
 			}
 		}
 		if !found {
-			writeErr(w, http.StatusNotFound, fmt.Sprintf("machine %q has no data (or is unregistered)", machineFilter))
+			writeErr(w, http.StatusNotFound, wire.CodeUnknownMachine,
+				fmt.Sprintf("machine %q has no data (or is unregistered)", machineFilter))
 			return
 		}
 		machines = []string{machineFilter}
@@ -87,7 +72,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, ps *plantS
 
 	reports, err := ps.reportsFor(machines, level, s.opts)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, err.Error())
+		writeErr(w, http.StatusInternalServerError, wire.CodeInternal, err.Error())
 		return
 	}
 
@@ -95,25 +80,33 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request, ps *plantS
 		Plant: ps.topo.ID, Level: level.String(), Machines: machines,
 		Missing: missing, TopK: topK, DataRevision: ps.assembledRev,
 	}
-	var tagged []FleetOutlier
+	// Rank fleet-wide with the paper's comparator while still holding
+	// core.Outlier values; the stable sort keeps topology order for
+	// equal triples — deterministic responses.
+	type tagged struct {
+		machine string
+		outlier core.Outlier
+	}
+	var all []tagged
 	for i, rep := range reports {
 		for _, o := range rep.Outliers {
-			tagged = append(tagged, FleetOutlier{Machine: machines[i], Outlier: o})
+			all = append(all, tagged{machines[i], o})
 		}
 		for _, warn := range rep.Warnings {
 			resp.Warnings = append(resp.Warnings, FleetWarning{Machine: machines[i], Reason: warn.Reason})
 		}
 	}
-	resp.TotalOutliers = len(tagged)
-	// Rank fleet-wide with the paper's comparator; the stable sort
-	// keeps topology order for equal triples — deterministic responses.
-	sort.SliceStable(tagged, func(i, j int) bool {
-		return core.RankLess(tagged[i].Outlier, tagged[j].Outlier)
+	resp.TotalOutliers = len(all)
+	sort.SliceStable(all, func(i, j int) bool {
+		return core.RankLess(all[i].outlier, all[j].outlier)
 	})
-	if topK < len(tagged) {
-		tagged = tagged[:topK]
+	if topK < len(all) {
+		all = all[:topK]
 	}
-	resp.Outliers = tagged
+	resp.Outliers = make([]FleetOutlier, len(all))
+	for i, t := range all {
+		resp.Outliers[i] = FleetOutlier{Machine: t.machine, Outlier: t.outlier.Wire()}
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -156,24 +149,12 @@ func (ps *plantState) reportsFor(machines []string, level core.Level, opts Optio
 	return out, nil
 }
 
+// parseLevel maps the wire's level grammar onto the core enum — the
+// two packages use the same 1..5 integers.
 func parseLevel(s string) (core.Level, error) {
-	switch s {
-	case "", "1", "phase":
-		return core.LevelPhase, nil
-	case "2", "job":
-		return core.LevelJob, nil
-	case "3", "environment", "env":
-		return core.LevelEnvironment, nil
-	case "4", "production-line", "line":
-		return core.LevelProductionLine, nil
-	case "5", "production":
-		return core.LevelProduction, nil
+	lv, err := wire.ParseLevel(s)
+	if err != nil {
+		return 0, err
 	}
-	if n, err := strconv.Atoi(s); err == nil {
-		lv := core.Level(n)
-		if lv.Valid() {
-			return lv, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown level %q (want 1..5 or phase|job|environment|production-line|production)", s)
+	return core.Level(lv), nil
 }

@@ -24,10 +24,14 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"repro/pkg/hod/wire"
 )
 
 // Options tunes the serving layer.
@@ -103,6 +107,17 @@ func New(opts Options) *Server {
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// ServeListener serves the v1 API on ln in the background and returns
+// a stop function that closes the HTTP listener (the serving state
+// itself is stopped with Close). It lets in-process consumers — tests,
+// examples — host a fleet endpoint without touching net/http
+// themselves.
+func (s *Server) ServeListener(ln net.Listener) (stop func()) {
+	hs := &http.Server{Handler: s.mux}
+	go hs.Serve(ln)
+	return func() { hs.Close() }
+}
+
 // Close stops admission and drains every plant's shard queues; safe to
 // call once the HTTP listener has shut down (or is about to — new
 // ingests get 503).
@@ -128,7 +143,7 @@ func (s *Server) withPlant(fn func(http.ResponseWriter, *http.Request, *plantSta
 	return func(w http.ResponseWriter, r *http.Request) {
 		ps, ok := s.plant(r.PathValue("id"))
 		if !ok {
-			writeErr(w, http.StatusNotFound, fmt.Sprintf("unknown plant %q", r.PathValue("id")))
+			writeErr(w, http.StatusNotFound, wire.CodeUnknownPlant, fmt.Sprintf("unknown plant %q", r.PathValue("id")))
 			return
 		}
 		fn(w, r, ps)
@@ -137,18 +152,18 @@ func (s *Server) withPlant(fn func(http.ResponseWriter, *http.Request, *plantSta
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
 		return
 	}
 	var topo Topology
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&topo); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad topology: "+err.Error())
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "bad topology: "+err.Error())
 		return
 	}
-	topo = topo.withDefaults()
-	if err := topo.validate(); err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+	topo = topoWithDefaults(topo)
+	if err := topo.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}
 	s.mu.Lock()
@@ -157,12 +172,12 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	// never drain.
 	if s.closed.Load() {
 		s.mu.Unlock()
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
 		return
 	}
 	if _, exists := s.plants[topo.ID]; exists {
 		s.mu.Unlock()
-		writeErr(w, http.StatusConflict, fmt.Sprintf("plant %q already registered", topo.ID))
+		writeErr(w, http.StatusConflict, wire.CodeAlreadyRegistered, fmt.Sprintf("plant %q already registered", topo.ID))
 		return
 	}
 	ps := newPlantState(topo)
@@ -173,9 +188,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	for _, l := range topo.Lines {
 		machines += len(l.Machines)
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
-		"id": topo.ID, "lines": len(topo.Lines), "machines": machines,
-		"shards": s.opts.Shards, "queue_depth": s.opts.QueueDepth,
+	writeJSON(w, http.StatusCreated, wire.RegisterAck{
+		ID: topo.ID, Lines: len(topo.Lines), Machines: machines,
+		Shards: s.opts.Shards, QueueDepth: s.opts.QueueDepth,
 	})
 }
 
@@ -187,7 +202,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.RUnlock()
 	sort.Strings(ids)
-	writeJSON(w, http.StatusOK, map[string]any{"plants": ids})
+	writeJSON(w, http.StatusOK, wire.PlantList{Plants: ids})
 }
 
 // handleIngest admits one sample batch: decode, validate, shard, and
@@ -196,17 +211,17 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 // batch after Retry-After seconds.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ps *plantState) {
 	if s.closed.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	recs, err := decodeRecords(body, r.Header.Get("Content-Type"))
+	recs, err := wire.DecodeRecords(body, r.Header.Get("Content-Type"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}
 	if len(recs) == 0 {
-		writeJSON(w, http.StatusOK, map[string]any{"records": 0, "rejected": 0})
+		writeJSON(w, http.StatusOK, wire.IngestAck{})
 		return
 	}
 	valid := recs[:0]
@@ -237,26 +252,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ps *plantS
 		if !sh.q.TryPush(chunk) {
 			ps.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
-			writeErr(w, http.StatusTooManyRequests, "ingest queue full, retry the batch")
+			writeErr(w, http.StatusTooManyRequests, wire.CodeBackpressure, "ingest queue full, retry the batch")
 			return
 		}
 	}
-	resp := map[string]any{"records": len(valid), "rejected": rejected}
-	if firstErr != "" {
-		resp["first_rejection"] = firstErr
-	}
-	writeJSON(w, http.StatusAccepted, resp)
+	writeJSON(w, http.StatusAccepted, wire.IngestAck{
+		Records: len(valid), Rejected: rejected, FirstRejection: firstErr,
+	})
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, ps *plantState) {
 	if s.closed.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	var metas []JobMeta
 	if err := json.NewDecoder(body).Decode(&metas); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad job metadata: "+err.Error())
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "bad job metadata: "+err.Error())
 		return
 	}
 	applied, rejected := 0, 0
@@ -288,42 +301,43 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, ps *plantSta
 	if applied > 0 {
 		ps.dataRev.Add(1)
 	}
-	resp := map[string]any{"jobs": applied, "rejected": rejected}
-	if firstErr != "" {
-		resp["first_rejection"] = firstErr
-	}
-	writeJSON(w, http.StatusAccepted, resp)
+	writeJSON(w, http.StatusAccepted, wire.JobsAck{
+		Jobs: applied, Rejected: rejected, FirstRejection: firstErr,
+	})
 }
 
 func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request, ps *plantState) {
 	nodes, err := ps.rollup(r.URL.Query().Get("level"))
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err.Error())
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}
 	level := r.URL.Query().Get("level")
 	if level == "" {
 		level = "plant"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"plant": ps.topo.ID, "level": level, "nodes": nodes})
+	writeJSON(w, http.StatusOK, wire.RollupResponse{Plant: ps.topo.ID, Level: level, Nodes: nodes})
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request, ps *plantState) {
-	limit := queryInt(r, "limit", 64)
+	limit, err := queryInt(r, "limit", 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
 	alerts := ps.recentAlerts(limit)
-	writeJSON(w, http.StatusOK, map[string]any{"plant": ps.topo.ID, "alerts": alerts})
+	writeJSON(w, http.StatusOK, wire.AlertsResponse{Plant: ps.topo.ID, Alerts: alerts})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ps *plantState) {
-	depths := ps.queueDepths()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"plant":            ps.topo.ID,
-		"accepted_records": ps.accepted.Load(),
-		"rejected_records": ps.rejected.Load(),
-		"shed_batches":     ps.shed.Load(),
-		"data_revision":    ps.dataRev.Load(),
-		"shards":           len(ps.shards),
-		"queue_depths":     depths,
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		Plant:           ps.topo.ID,
+		AcceptedRecords: ps.accepted.Load(),
+		RejectedRecords: ps.rejected.Load(),
+		ShedBatches:     ps.shed.Load(),
+		DataRevision:    ps.dataRev.Load(),
+		Shards:          len(ps.shards),
+		QueueDepths:     ps.queueDepths(),
 	})
 }
 
@@ -333,18 +347,26 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// writeErr emits the structured error envelope of the v1 protocol:
+// {"error":{"code":"...","message":"..."}}. The code is one of the
+// wire.Code* constants, which the typed client maps onto errors.Is-able
+// sentinel errors.
+func writeErr(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, wire.ErrorEnvelope{Err: wire.ErrorBody{Code: code, Message: msg}})
 }
 
-func queryInt(r *http.Request, key string, def int) int {
+// queryInt parses a non-negative integer query parameter. A missing or
+// empty value yields the default; a malformed or negative value is an
+// error — callers turn it into a 400 instead of silently serving the
+// default for a query the client plainly did not mean.
+func queryInt(r *http.Request, key string, def int) (int, error) {
 	v := r.URL.Query().Get(key)
 	if v == "" {
-		return def
+		return def, nil
 	}
-	var n int
-	if _, err := fmt.Sscanf(v, "%d", &n); err != nil || n < 0 {
-		return def
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad %s value %q (want a non-negative integer)", key, v)
 	}
-	return n
+	return n, nil
 }

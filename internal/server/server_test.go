@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/plant"
+	"repro/pkg/hod/wire"
 )
 
 func testConfig() plant.Config {
@@ -203,10 +204,16 @@ func TestEndToEndMatchesBatchPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Batch reference: one shared cache, Algorithm 1 per machine.
+	// Batch reference: one shared cache, Algorithm 1 per machine. The
+	// serving layer answers in wire shapes, so the expectation converts
+	// through the same core Wire() conversion the server uses.
 	cache := core.NewPlantCache(p)
 	batch := map[string]*core.Report{}
-	var fleet []FleetOutlier
+	type taggedOutlier struct {
+		machine string
+		outlier core.Outlier
+	}
+	var ranked []taggedOutlier
 	for _, m := range p.Machines() {
 		h, err := core.NewHierarchyWithCache(p, m.ID, cache)
 		if err != nil {
@@ -218,10 +225,14 @@ func TestEndToEndMatchesBatchPipeline(t *testing.T) {
 		}
 		batch[m.ID] = rep
 		for _, o := range rep.Outliers {
-			fleet = append(fleet, FleetOutlier{Machine: m.ID, Outlier: o})
+			ranked = append(ranked, taggedOutlier{m.ID, o})
 		}
 	}
-	sort.SliceStable(fleet, func(i, j int) bool { return core.RankLess(fleet[i].Outlier, fleet[j].Outlier) })
+	sort.SliceStable(ranked, func(i, j int) bool { return core.RankLess(ranked[i].outlier, ranked[j].outlier) })
+	fleet := make([]FleetOutlier, len(ranked))
+	for i, to := range ranked {
+		fleet[i] = FleetOutlier{Machine: to.machine, Outlier: to.outlier.Wire()}
+	}
 
 	srv := New(Options{Shards: 3, QueueDepth: 16, Workers: 2})
 	defer srv.Close()
@@ -250,7 +261,7 @@ func TestEndToEndMatchesBatchPipeline(t *testing.T) {
 			t.Fatalf("machine %s: %d outliers via HTTP, %d via batch", m.ID, len(got.Outliers), len(wantRanked))
 		}
 		for i := range wantRanked {
-			if !reflect.DeepEqual(got.Outliers[i].Outlier, wantRanked[i]) {
+			if !reflect.DeepEqual(got.Outliers[i].Outlier, wantRanked[i].Wire()) {
 				t.Fatalf("machine %s outlier %d differs:\nhttp:  %+v\nbatch: %+v",
 					m.ID, i, got.Outliers[i].Outlier, wantRanked[i])
 			}
@@ -396,7 +407,7 @@ func TestBackpressure429(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	topo := topoFromPlant("plant-bp", p).withDefaults()
+	topo := topoWithDefaults(topoFromPlant("plant-bp", p))
 	s := New(Options{})
 	ps := newPlantState(topo)
 	ps.makeShards(1, 1) // capacity 1 batch, and no worker draining it
@@ -618,6 +629,79 @@ func TestValidationRejections(t *testing.T) {
 	}
 }
 
+// TestErrorEnvelopeAndStrictQueries pins satellite behaviour of the
+// v1 protocol: every error body is the structured envelope
+// {"error":{"code","message"}}, and malformed query integers are a 400
+// instead of a silent fall-back to the default.
+func TestErrorEnvelopeAndStrictQueries(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-env", p))
+
+	envelope := func(t *testing.T, resp *http.Response, wantStatus int, wantCode string) {
+		t.Helper()
+		body := mustStatus(t, resp, wantStatus)
+		var env wire.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			t.Fatalf("error body is not the envelope: %v (%s)", err, body)
+		}
+		if env.Err.Code != wantCode {
+			t.Fatalf("error code %q, want %q (%s)", env.Err.Code, wantCode, body)
+		}
+		if env.Err.Message == "" {
+			t.Fatalf("empty error message: %s", body)
+		}
+	}
+
+	// Unknown plant → unknown_plant.
+	resp, err := http.Get(ts.URL + "/v1/plants/ghost/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope(t, resp, http.StatusNotFound, wire.CodeUnknownPlant)
+
+	// Malformed ?top and ?limit → bad_request, not the default.
+	for _, path := range []string{
+		"/v1/plants/plant-env/report?top=banana",
+		"/v1/plants/plant-env/report?top=-3",
+		"/v1/plants/plant-env/alerts?limit=1.5",
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		envelope(t, resp, http.StatusBadRequest, wire.CodeBadRequest)
+	}
+
+	// Double registration → already_registered.
+	buf, _ := json.Marshal(topoFromPlant("plant-env", p))
+	resp, err = http.Post(ts.URL+"/v1/plants", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope(t, resp, http.StatusConflict, wire.CodeAlreadyRegistered)
+
+	// Report before any data → no_data.
+	resp, err = http.Get(ts.URL + "/v1/plants/plant-env/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope(t, resp, http.StatusConflict, wire.CodeNoData)
+
+	// Undecodable ingest body → bad_request.
+	resp, err = http.Post(ts.URL+"/v1/plants/plant-env/ingest", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope(t, resp, http.StatusBadRequest, wire.CodeBadRequest)
+}
+
 // TestCorrectedValueReachesSnapshot re-sends an existing cell with a
 // different value and checks the next snapshot serves the correction
 // (the streaming roll-up intentionally keeps first-seen values only).
@@ -626,7 +710,7 @@ func TestCorrectedValueReachesSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	topo := topoFromPlant("corr", p).withDefaults()
+	topo := topoWithDefaults(topoFromPlant("corr", p))
 	ps := newPlantState(topo)
 	ps.start(1, 8, 1e9)
 	defer ps.close()

@@ -9,69 +9,26 @@ import (
 
 	"repro/internal/plant"
 	"repro/internal/timeseries"
+	"repro/pkg/hod/wire"
 )
 
-// Limits on a single ingested cell: they bound the memory one
-// malformed record can pin, not the fleet's total volume.
-const (
-	maxSampleIndex = 1 << 16 // samples per (job, phase, sensor)
-	maxBatchRecs   = 1 << 20 // records per ingest request
+// maxSampleIndex limits a single ingested cell: it bounds the memory
+// one malformed record can pin, not the fleet's total volume.
+const maxSampleIndex = 1 << 16 // samples per (job, phase, sensor)
+
+// The server compiles against the shared wire package — pkg/hod/wire
+// is the single source of truth for the v1 protocol, shared with the
+// typed client (pkg/hod.Client).
+type (
+	Record   = wire.Record
+	JobMeta  = wire.JobMeta
+	Topology = wire.Topology
+	TopoLine = wire.TopoLine
 )
 
-// Default level-2 vector widths — the simulator's setup (layer height,
-// speed, setpoint, extrusion, viscosity) and CAQ (dimensional error,
-// roughness, porosity, tensile, warp, completion) shapes. Exported so
-// clients converting plantsim jobs.csv rows split the columns with the
-// same constants the server registers by default.
-const (
-	DefaultSetupDims = 5
-	DefaultCAQDims   = 6
-)
-
-// Record is one ingested observation after decoding: either a machine
-// sensor sample (Machine/Job/Phase set) or an environment sample (Env
-// true).
-type Record struct {
-	Machine string  `json:"machine,omitempty"`
-	Job     string  `json:"job,omitempty"`
-	Phase   string  `json:"phase,omitempty"`
-	Sensor  string  `json:"sensor"`
-	T       int     `json:"t"`
-	Value   float64 `json:"value"`
-	Env     bool    `json:"env,omitempty"`
-}
-
-// JobMeta carries the level-2 vectors of one job (setup parameters and
-// the CAQ quality vector), ingested out of band of the sensor stream.
-type JobMeta struct {
-	Machine string    `json:"machine"`
-	Job     string    `json:"job"`
-	Setup   []float64 `json:"setup"`
-	CAQ     []float64 `json:"caq"`
-	Faulty  bool      `json:"faulty,omitempty"`
-}
-
-// Topology registers one plant: its line/machine layout plus the phase
-// schedule and sensor set every machine shares. Omitted phase, sensor
-// and dimension fields default to the simulator's shapes, so a
-// plantsim trace replays without ceremony.
-type Topology struct {
-	ID         string     `json:"id"`
-	Lines      []TopoLine `json:"lines"`
-	Phases     []string   `json:"phases,omitempty"`
-	Sensors    []string   `json:"sensors,omitempty"`
-	EnvSensors []string   `json:"env_sensors,omitempty"`
-	SetupDims  int        `json:"setup_dims,omitempty"`
-	CAQDims    int        `json:"caq_dims,omitempty"`
-}
-
-// TopoLine is one production line of the registered fleet.
-type TopoLine struct {
-	ID       string   `json:"id"`
-	Machines []string `json:"machines"`
-}
-
-func (t Topology) withDefaults() Topology {
+// topoWithDefaults fills the omitted topology fields with the
+// simulator's shapes, so a plantsim trace replays without ceremony.
+func topoWithDefaults(t Topology) Topology {
 	if len(t.Phases) == 0 {
 		t.Phases = append([]string(nil), plant.PhaseNames...)
 	}
@@ -82,43 +39,12 @@ func (t Topology) withDefaults() Topology {
 		t.EnvSensors = []string{"room-temp", "humidity"}
 	}
 	if t.SetupDims <= 0 {
-		t.SetupDims = DefaultSetupDims
+		t.SetupDims = wire.DefaultSetupDims
 	}
 	if t.CAQDims <= 0 {
-		t.CAQDims = DefaultCAQDims
+		t.CAQDims = wire.DefaultCAQDims
 	}
 	return t
-}
-
-func (t Topology) validate() error {
-	if t.ID == "" {
-		return fmt.Errorf("server: topology needs an id")
-	}
-	if len(t.Lines) == 0 {
-		return fmt.Errorf("server: topology %s has no lines", t.ID)
-	}
-	seen := map[string]bool{}
-	for _, l := range t.Lines {
-		if l.ID == "" {
-			return fmt.Errorf("server: topology %s has a line without id", t.ID)
-		}
-		if len(l.Machines) == 0 {
-			return fmt.Errorf("server: line %s has no machines", l.ID)
-		}
-		for _, m := range l.Machines {
-			if m == "" {
-				return fmt.Errorf("server: line %s has an empty machine id", l.ID)
-			}
-			if seen[m] {
-				return fmt.Errorf("server: machine %s registered twice", m)
-			}
-			seen[m] = true
-		}
-	}
-	if t.SetupDims < 3 {
-		return fmt.Errorf("server: setup_dims must be >= 3 (index 2 is the setpoint)")
-	}
-	return nil
 }
 
 // cellGrid holds the per-sensor sample buffers of one (job, phase).

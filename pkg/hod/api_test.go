@@ -1,0 +1,206 @@
+package hod_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateSurface = flag.Bool("update-surface", false, "rewrite testdata/api_surface.txt from the current exported API")
+
+// TestAPISurface is the API guard of the public SDK: it derives the
+// exported surface (funcs, methods, types with exported fields,
+// consts, vars) of pkg/hod and pkg/hod/wire from the source and
+// compares it to the checked-in snapshot. Changing the public API —
+// adding, removing, or re-signing anything exported — fails this test
+// until the snapshot is regenerated with
+//
+//	go test ./pkg/hod -run TestAPISurface -update-surface
+//
+// which turns every surface change into an explicit, reviewable diff.
+func TestAPISurface(t *testing.T) {
+	var b strings.Builder
+	for _, pkg := range []struct{ dir, name string }{
+		{".", "hod"},
+		{"wire", "wire"},
+	} {
+		fmt.Fprintf(&b, "package %s\n\n", pkg.name)
+		for _, line := range surfaceLines(t, pkg.dir, pkg.name) {
+			b.WriteString(line)
+			b.WriteString("\n")
+		}
+		b.WriteString("\n")
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "api_surface.txt")
+	if *updateSurface {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing API snapshot (run `go test ./pkg/hod -run TestAPISurface -update-surface` once): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("the exported API surface changed without updating the snapshot.\n"+
+			"If the change is intended, regenerate with:\n"+
+			"  go test ./pkg/hod -run TestAPISurface -update-surface\n"+
+			"and review the diff.\n\n--- snapshot ---\n%s\n--- current ---\n%s", want, got)
+	}
+}
+
+// surfaceLines renders one package's exported identifiers as sorted,
+// deterministic text lines.
+func surfaceLines(t *testing.T, dir, pkgName string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs[pkgName]
+	if !ok {
+		t.Fatalf("package %q not found in %s (got %v)", pkgName, dir, pkgs)
+	}
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if line, ok := funcLine(fset, d); ok {
+					lines = append(lines, line)
+				}
+			case *ast.GenDecl:
+				lines = append(lines, genLines(d)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// funcLine renders one exported function or method signature. Methods
+// on unexported receiver types are skipped.
+func funcLine(fset *token.FileSet, d *ast.FuncDecl) (string, bool) {
+	if !d.Name.IsExported() {
+		return "", false
+	}
+	if d.Recv != nil && !ast.IsExported(receiverTypeName(d.Recv)) {
+		return "", false
+	}
+	clone := *d
+	clone.Body = nil
+	clone.Doc = nil
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, &clone); err != nil {
+		return "", false
+	}
+	// Collapse any multi-line signature into one canonical line.
+	return strings.Join(strings.Fields(buf.String()), " "), true
+}
+
+func receiverTypeName(recv *ast.FieldList) string {
+	if recv == nil || len(recv.List) == 0 {
+		return ""
+	}
+	expr := recv.List[0].Type
+	for {
+		switch e := expr.(type) {
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.Ident:
+			return e.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// genLines renders the exported parts of one const/var/type block.
+func genLines(d *ast.GenDecl) []string {
+	var out []string
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.ValueSpec:
+			for _, name := range s.Names {
+				if !name.IsExported() {
+					continue
+				}
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				line := kind + " " + name.Name
+				if s.Type != nil {
+					line += " " + types.ExprString(s.Type)
+				}
+				out = append(out, line)
+			}
+		case *ast.TypeSpec:
+			if !s.Name.IsExported() {
+				continue
+			}
+			out = append(out, typeLines(s)...)
+		}
+	}
+	return out
+}
+
+// typeLines renders one exported type: aliases with their target,
+// structs with their exported fields, interfaces with their methods,
+// everything else with its underlying type expression.
+func typeLines(s *ast.TypeSpec) []string {
+	name := s.Name.Name
+	if s.Assign != 0 {
+		return []string{"type " + name + " = " + types.ExprString(s.Type)}
+	}
+	switch u := s.Type.(type) {
+	case *ast.StructType:
+		out := []string{"type " + name + " struct"}
+		for _, f := range u.Fields.List {
+			ftype := types.ExprString(f.Type)
+			if len(f.Names) == 0 { // embedded
+				if ast.IsExported(strings.TrimPrefix(ftype, "*")) {
+					out = append(out, "  "+name+" embeds "+ftype)
+				}
+				continue
+			}
+			for _, fn := range f.Names {
+				if fn.IsExported() {
+					out = append(out, "  "+name+"."+fn.Name+" "+ftype)
+				}
+			}
+		}
+		return out
+	case *ast.InterfaceType:
+		out := []string{"type " + name + " interface"}
+		for _, m := range u.Methods.List {
+			for _, mn := range m.Names {
+				if mn.IsExported() {
+					out = append(out, "  "+name+"."+mn.Name+" "+types.ExprString(m.Type))
+				}
+			}
+		}
+		return out
+	default:
+		return []string{"type " + name + " " + types.ExprString(s.Type)}
+	}
+}

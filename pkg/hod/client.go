@@ -1,0 +1,380 @@
+package hod
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/pkg/hod/wire"
+)
+
+// Client is the typed client of the v1 HTTP API served by hodserve.
+// Every request and response body is a pkg/hod/wire type — the same
+// structs the server compiles against. Ingest and job uploads retry
+// automatically when the server sheds load with 429, sleeping the
+// advertised Retry-After (the server's idempotent set-at-index store
+// makes re-sending a whole batch safe). A Client is safe for
+// concurrent use.
+type Client struct {
+	base       string
+	hc         *http.Client
+	maxRetries int
+	retryCap   time.Duration
+	retried    atomic.Uint64
+}
+
+// ClientOption tunes a Client at construction time.
+type ClientOption func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transport, instrumentation).
+func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// WithMaxRetries bounds how often one batch is re-sent after a 429
+// before the client gives up with ErrBackpressure (default 120).
+func WithMaxRetries(n int) ClientOption { return func(c *Client) { c.maxRetries = n } }
+
+// WithRetryCap clamps the per-attempt backoff sleep, whatever
+// Retry-After advertises (default 30s).
+func WithRetryCap(d time.Duration) ClientOption { return func(c *Client) { c.retryCap = d } }
+
+// NewClient builds a client for the server at baseURL (e.g.
+// "http://localhost:8080").
+func NewClient(baseURL string, opts ...ClientOption) *Client {
+	c := &Client{
+		base:       strings.TrimRight(baseURL, "/"),
+		hc:         &http.Client{Timeout: 60 * time.Second},
+		maxRetries: 120,
+		retryCap:   30 * time.Second,
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Retried reports how many 429-shed batches this client has re-sent
+// over its lifetime — the backpressure cost of an upload session.
+func (c *Client) Retried() uint64 { return c.retried.Load() }
+
+// APIError is a non-2xx response decoded from the server's structured
+// error envelope. errors.Is matches it against the package sentinels
+// (ErrUnknownPlant, ErrBackpressure, ...) via its machine-readable
+// Code.
+type APIError struct {
+	Status  int    // HTTP status code
+	Code    string // wire error code, e.g. wire.CodeUnknownPlant
+	Message string
+}
+
+// Error renders the status, code, and server message.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hod: server returned %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// Is maps the machine-readable error code onto the package sentinels,
+// so errors.Is(err, hod.ErrUnknownPlant) works on client errors.
+func (e *APIError) Is(target error) bool {
+	switch target {
+	case ErrBadRequest:
+		return e.Code == wire.CodeBadRequest
+	case ErrUnknownPlant:
+		return e.Code == wire.CodeUnknownPlant
+	case ErrUnknownMachine:
+		return e.Code == wire.CodeUnknownMachine
+	case ErrAlreadyRegistered:
+		return e.Code == wire.CodeAlreadyRegistered
+	case ErrBackpressure:
+		return e.Code == wire.CodeBackpressure
+	case ErrShuttingDown:
+		return e.Code == wire.CodeShuttingDown
+	case ErrNoData:
+		return e.Code == wire.CodeNoData
+	}
+	return false
+}
+
+func apiError(status int, body []byte) error {
+	var env wire.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Err.Code != "" {
+		return &APIError{Status: status, Code: env.Err.Code, Message: env.Err.Message}
+	}
+	return &APIError{Status: status, Code: wire.CodeInternal, Message: strings.TrimSpace(string(body))}
+}
+
+// retryAfter reads the advertised backoff, defaulting to one second.
+func retryAfter(resp *http.Response) time.Duration {
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+			return time.Duration(secs) * time.Second
+		}
+	}
+	return time.Second
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// do issues one request, retrying 429s with the advertised backoff,
+// and decodes a 2xx body into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+		if err != nil {
+			return err
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		if err != nil {
+			return err
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		switch {
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			if out == nil {
+				return nil
+			}
+			if err := json.Unmarshal(data, out); err != nil {
+				return fmt.Errorf("hod: bad response body: %w", err)
+			}
+			return nil
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries:
+			c.retried.Add(1)
+			delay := retryAfter(resp)
+			if delay > c.retryCap {
+				delay = c.retryCap
+			}
+			if err := sleepCtx(ctx, delay); err != nil {
+				return err
+			}
+		default:
+			return apiError(resp.StatusCode, data)
+		}
+	}
+}
+
+// Health checks the server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", "", nil, nil)
+}
+
+// Register registers a plant topology.
+func (c *Client) Register(ctx context.Context, topo wire.Topology) (wire.RegisterAck, error) {
+	buf, err := json.Marshal(topo)
+	if err != nil {
+		return wire.RegisterAck{}, err
+	}
+	var ack wire.RegisterAck
+	err = c.do(ctx, http.MethodPost, "/v1/plants", "application/json", buf, &ack)
+	return ack, err
+}
+
+// Plants lists the registered plant ids.
+func (c *Client) Plants(ctx context.Context) ([]string, error) {
+	var list wire.PlantList
+	if err := c.do(ctx, http.MethodGet, "/v1/plants", "", nil, &list); err != nil {
+		return nil, err
+	}
+	return list.Plants, nil
+}
+
+// Ingest streams one batch of records as NDJSON, retrying on 429
+// backpressure until admitted (or the retry budget runs out).
+func (c *Client) Ingest(ctx context.Context, plantID string, recs []wire.Record) (wire.IngestAck, error) {
+	body, err := wire.EncodeNDJSON(recs)
+	if err != nil {
+		return wire.IngestAck{}, err
+	}
+	return c.IngestBody(ctx, plantID, "application/x-ndjson", body)
+}
+
+// IngestBody posts a raw pre-encoded ingest body (NDJSON, JSON array,
+// or plantsim CSV — see wire.DecodeRecords for the accepted formats)
+// with the same 429 retry behaviour as Ingest.
+func (c *Client) IngestBody(ctx context.Context, plantID, contentType string, body []byte) (wire.IngestAck, error) {
+	var ack wire.IngestAck
+	err := c.do(ctx, http.MethodPost, "/v1/plants/"+url.PathEscape(plantID)+"/ingest", contentType, body, &ack)
+	return ack, err
+}
+
+// Jobs uploads job metadata (level-2 setup + CAQ vectors).
+func (c *Client) Jobs(ctx context.Context, plantID string, metas []wire.JobMeta) (wire.JobsAck, error) {
+	buf, err := json.Marshal(metas)
+	if err != nil {
+		return wire.JobsAck{}, err
+	}
+	var ack wire.JobsAck
+	err = c.do(ctx, http.MethodPost, "/v1/plants/"+url.PathEscape(plantID)+"/jobs", "application/json", buf, &ack)
+	return ack, err
+}
+
+// ReportQuery selects what a Report call asks for. The zero value
+// means: default start level (phase), the server's default top-K, all
+// machines.
+type ReportQuery struct {
+	Level   Level  // 0 = server default (phase)
+	Top     int    // 0 = server default (20)
+	Machine string // non-empty = single-machine drill-down
+}
+
+// Report fetches the fleet outlier report.
+func (c *Client) Report(ctx context.Context, plantID string, q ReportQuery) (wire.ReportResponse, error) {
+	vals := url.Values{}
+	if q.Level != 0 {
+		vals.Set("level", strconv.Itoa(int(q.Level)))
+	}
+	if q.Top > 0 {
+		vals.Set("top", strconv.Itoa(q.Top))
+	}
+	if q.Machine != "" {
+		vals.Set("machine", q.Machine)
+	}
+	path := "/v1/plants/" + url.PathEscape(plantID) + "/report"
+	if len(vals) > 0 {
+		path += "?" + vals.Encode()
+	}
+	var rep wire.ReportResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &rep)
+	return rep, err
+}
+
+// Rollup fetches the incremental aggregates at the given level
+// (sensor|phase|machine|line|plant; empty = plant).
+func (c *Client) Rollup(ctx context.Context, plantID, level string) (wire.RollupResponse, error) {
+	path := "/v1/plants/" + url.PathEscape(plantID) + "/rollup"
+	if level != "" {
+		path += "?level=" + url.QueryEscape(level)
+	}
+	var roll wire.RollupResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &roll)
+	return roll, err
+}
+
+// Alerts fetches up to limit recent streaming alerts (0 = server
+// default).
+func (c *Client) Alerts(ctx context.Context, plantID string, limit int) (wire.AlertsResponse, error) {
+	path := "/v1/plants/" + url.PathEscape(plantID) + "/alerts"
+	if limit > 0 {
+		path += "?limit=" + strconv.Itoa(limit)
+	}
+	var al wire.AlertsResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &al)
+	return al, err
+}
+
+// Stats fetches one plant's ingest counters and queue depths.
+func (c *Client) Stats(ctx context.Context, plantID string) (wire.StatsResponse, error) {
+	var st wire.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/plants/"+url.PathEscape(plantID)+"/stats", "", nil, &st)
+	return st, err
+}
+
+// WaitDrained polls the stats endpoint until at least records samples
+// were folded in and every shard queue is empty — the point where a
+// report reflects everything uploaded so far. Cancel or deadline the
+// context to bound the wait.
+func (c *Client) WaitDrained(ctx context.Context, plantID string, records uint64) error {
+	for {
+		st, err := c.Stats(ctx, plantID)
+		if err != nil {
+			return err
+		}
+		drained := st.AcceptedRecords >= records
+		for _, d := range st.QueueDepths {
+			if d > 0 {
+				drained = false
+			}
+		}
+		if drained {
+			return nil
+		}
+		if err := sleepCtx(ctx, 10*time.Millisecond); err != nil {
+			return err
+		}
+	}
+}
+
+// BatchStream accumulates records and flushes them through Ingest in
+// fixed-size NDJSON batches — the shape uploader loops want. Not safe
+// for concurrent use; run one stream per uploader goroutine.
+type BatchStream struct {
+	c       *Client
+	plantID string
+	size    int
+	buf     []wire.Record
+	ack     wire.IngestAck // accumulated totals
+	batches int
+}
+
+// BatchStream starts a batching uploader for one plant. batchSize <= 0
+// defaults to 2000 records per request.
+func (c *Client) BatchStream(plantID string, batchSize int) *BatchStream {
+	if batchSize <= 0 {
+		batchSize = 2000
+	}
+	return &BatchStream{c: c, plantID: plantID, size: batchSize, buf: make([]wire.Record, 0, batchSize)}
+}
+
+// Add buffers one record, flushing automatically when the batch fills.
+func (b *BatchStream) Add(ctx context.Context, rec wire.Record) error {
+	b.buf = append(b.buf, rec)
+	if len(b.buf) >= b.size {
+		return b.Flush(ctx)
+	}
+	return nil
+}
+
+// Flush sends the buffered records (if any) as one batch.
+func (b *BatchStream) Flush(ctx context.Context) error {
+	if len(b.buf) == 0 {
+		return nil
+	}
+	ack, err := b.c.Ingest(ctx, b.plantID, b.buf)
+	if err != nil {
+		return err
+	}
+	b.buf = b.buf[:0]
+	b.batches++
+	b.ack.Records += ack.Records
+	b.ack.Rejected += ack.Rejected
+	if b.ack.FirstRejection == "" {
+		b.ack.FirstRejection = ack.FirstRejection
+	}
+	return nil
+}
+
+// Ack returns the accumulated acknowledgement totals of every flushed
+// batch so far.
+func (b *BatchStream) Ack() wire.IngestAck { return b.ack }
+
+// Batches reports how many batches were flushed so far.
+func (b *BatchStream) Batches() int { return b.batches }

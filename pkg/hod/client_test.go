@@ -1,0 +1,254 @@
+package hod_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+func newTestServer(t *testing.T, opts server.Options) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv := server.New(opts)
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestClientRoundTrip drives every client method against the real
+// internal/server over HTTP: register → ingest (NDJSON + CSV) → jobs →
+// stats → rollup → report → alerts, and checks the typed responses
+// line up with what the embedded engine computes on the same plant.
+func TestClientRoundTrip(t *testing.T) {
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: 5, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 4,
+		PhaseSamples: 24, FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Options{Shards: 2, QueueDepth: 16, Workers: 2, MaxOutliers: 512})
+	client := hod.NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("health: %v", err)
+	}
+
+	ack, err := client.Register(ctx, p.Topology("rt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID != "rt" || ack.Machines != len(p.Machines()) {
+		t.Fatalf("register ack %+v", ack)
+	}
+	plants, err := client.Plants(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plants, []string{"rt"}) {
+		t.Fatalf("plants = %v", plants)
+	}
+
+	// Stream the machine trace through the batching uploader, the
+	// environment as one NDJSON batch.
+	recs := p.Records()
+	bs := client.BatchStream("rt", 3000)
+	for _, r := range recs {
+		if err := bs.Add(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bs.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := bs.Ack(); got.Records != len(recs) || got.Rejected != 0 {
+		t.Fatalf("batch stream ack %+v, want %d records", got, len(recs))
+	}
+	if bs.Batches() != (len(recs)+2999)/3000 {
+		t.Fatalf("batches = %d", bs.Batches())
+	}
+	env := p.EnvRecords()
+	if _, err := client.Ingest(ctx, "rt", env); err != nil {
+		t.Fatal(err)
+	}
+	jack, err := client.Jobs(ctx, "rt", p.JobMetas())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jack.Jobs != len(p.JobMetas()) || jack.Rejected != 0 {
+		t.Fatalf("jobs ack %+v", jack)
+	}
+	if err := client.WaitDrained(ctx, "rt", uint64(len(recs)+len(env))); err != nil {
+		t.Fatal(err)
+	}
+	st, err := client.Stats(ctx, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AcceptedRecords != uint64(len(recs)+len(env)) || st.RejectedRecords != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+
+	roll, err := client.Rollup(ctx, "rt", "machine")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roll.Nodes) != len(p.Machines()) {
+		t.Fatalf("machine rollup has %d nodes, want %d", len(roll.Nodes), len(p.Machines()))
+	}
+
+	// The served report must equal the embedded engine's fleet run on
+	// the same data — SDK client and SDK engine are two views of one
+	// algorithm.
+	engine, err := hod.NewEngine(p, hod.WithMaxOutliers(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.DetectFleet(ctx, hod.LevelPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.Report(ctx, "rt", hod.ReportQuery{Level: hod.LevelPhase, Top: len(want.Outliers)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalOutliers != want.TotalOutliers {
+		t.Fatalf("served %d outliers total, engine found %d", rep.TotalOutliers, want.TotalOutliers)
+	}
+	if !reflect.DeepEqual(rep.Outliers, want.Outliers) {
+		t.Fatalf("served outliers differ from embedded engine:\nhttp:   %+v\nengine: %+v",
+			rep.Outliers, want.Outliers)
+	}
+
+	if _, err := client.Alerts(ctx, "rt", 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientRetriesAfter429 pins the backoff contract: a batch shed
+// with 429 + Retry-After is re-sent automatically and eventually
+// succeeds, with the retry count surfaced via Retried().
+func TestClientRetriesAfter429(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{Shards: 1, QueueDepth: 4})
+	var sheds atomic.Int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && sheds.Add(1) <= 3 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"backpressure","message":"queue full"}}`))
+			return
+		}
+		// Past the synthetic shedding, proxy to the real server.
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, ts.URL+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		for k, vs := range resp.Header {
+			for _, v := range vs {
+				w.Header().Add(k, v)
+			}
+		}
+		w.WriteHeader(resp.StatusCode)
+		buf := make([]byte, 32*1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			if n > 0 {
+				w.Write(buf[:n])
+			}
+			if err != nil {
+				return
+			}
+		}
+	}))
+	defer front.Close()
+
+	p, err := hod.Simulate(hod.SimConfig{Seed: 2, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := hod.NewClient(front.URL)
+	ctx := context.Background()
+	if _, err := client.Register(ctx, p.Topology("bp")); err != nil {
+		t.Fatal(err)
+	}
+	// The register itself burned the first synthetic 429s; reset so the
+	// ingest sees a clean 429-then-success sequence.
+	sheds.Store(0)
+	ack, err := client.Ingest(ctx, "bp", p.Records()[:8])
+	if err != nil {
+		t.Fatalf("ingest never recovered from 429s: %v", err)
+	}
+	if ack.Records != 8 {
+		t.Fatalf("ack %+v, want 8 records", ack)
+	}
+	if client.Retried() < 3 {
+		t.Fatalf("client retried %d times, want >= 3", client.Retried())
+	}
+
+	// A client with no retry budget surfaces the typed backpressure
+	// error instead.
+	sheds.Store(0)
+	strict := hod.NewClient(front.URL, hod.WithMaxRetries(0))
+	if _, err := strict.Ingest(ctx, "bp", p.Records()[:1]); !errors.Is(err, hod.ErrBackpressure) {
+		t.Fatalf("no-retry client: got %v, want ErrBackpressure", err)
+	}
+}
+
+// TestClientTypedErrors maps the server's machine-readable error codes
+// onto the package sentinels.
+func TestClientTypedErrors(t *testing.T) {
+	p, err := hod.Simulate(hod.SimConfig{Seed: 2, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Options{})
+	client := hod.NewClient(ts.URL)
+	ctx := context.Background()
+
+	if _, err := client.Stats(ctx, "ghost"); !errors.Is(err, hod.ErrUnknownPlant) {
+		t.Fatalf("unknown plant: got %v", err)
+	}
+	if _, err := client.Register(ctx, p.Topology("tp")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Register(ctx, p.Topology("tp")); !errors.Is(err, hod.ErrAlreadyRegistered) {
+		t.Fatalf("double register: got %v", err)
+	}
+	if _, err := client.Report(ctx, "tp", hod.ReportQuery{}); !errors.Is(err, hod.ErrNoData) {
+		t.Fatalf("report before data: got %v", err)
+	}
+	if _, err := client.Rollup(ctx, "tp", "galaxy"); !errors.Is(err, hod.ErrBadRequest) {
+		t.Fatalf("bad rollup level: got %v", err)
+	}
+	if _, err := client.Report(ctx, "tp", hod.ReportQuery{Level: hod.Level(9)}); !errors.Is(err, hod.ErrBadRequest) {
+		t.Fatalf("bad report level: got %v", err)
+	}
+
+	var apiErr *hod.APIError
+	_, err = client.Stats(ctx, "ghost")
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("error is not *APIError: %v", err)
+	}
+	if apiErr.Status != http.StatusNotFound || apiErr.Code != wire.CodeUnknownPlant {
+		t.Fatalf("APIError %+v", apiErr)
+	}
+}

@@ -1,0 +1,263 @@
+package hod
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func simTestPlant(t *testing.T) *Plant {
+	t.Helper()
+	p, err := Simulate(SimConfig{
+		Seed: 5, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 4,
+		PhaseSamples: 24, FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestEngineMatchesCore proves the public engine is a faithful wrapper:
+// Detect returns exactly the converted output of the internal
+// Algorithm 1 pipeline on the same plant.
+func TestEngineMatchesCore(t *testing.T) {
+	p := simTestPlant(t)
+	e, err := NewEngine(p, WithMaxOutliers(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, id := range p.Machines() {
+		got, err := e.Detect(ctx, id, LevelPhase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := core.NewHierarchy(p.p, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := core.FindHierarchicalOutliers(h, core.LevelPhase, core.Options{MaxOutliers: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Outliers) != len(rep.Outliers) {
+			t.Fatalf("machine %s: %d outliers via SDK, %d via core", id, len(got.Outliers), len(rep.Outliers))
+		}
+		for i, o := range rep.Outliers {
+			if !reflect.DeepEqual(got.Outliers[i], o.Wire()) {
+				t.Fatalf("machine %s outlier %d differs:\nsdk:  %+v\ncore: %+v", id, i, got.Outliers[i], o)
+			}
+		}
+		if len(got.Warnings) != len(rep.Warnings) {
+			t.Fatalf("machine %s: %d warnings via SDK, %d via core", id, len(got.Warnings), len(rep.Warnings))
+		}
+	}
+}
+
+// TestDetectFleetDeterministicAcrossWorkers runs the fleet detection
+// at two parallelism widths and demands identical ranked output.
+func TestDetectFleetDeterministicAcrossWorkers(t *testing.T) {
+	p := simTestPlant(t)
+	ctx := context.Background()
+	var reports []*FleetReport
+	for _, workers := range []int{1, 8} {
+		e, err := NewEngine(p, WithWorkers(workers), WithMaxOutliers(64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fr, err := e.DetectFleet(ctx, LevelPhase)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, fr)
+	}
+	if !reflect.DeepEqual(reports[0], reports[1]) {
+		t.Fatal("fleet report differs between Workers=1 and Workers=8")
+	}
+	if reports[0].TotalOutliers == 0 {
+		t.Fatal("fleet report found nothing on a faulty plant")
+	}
+	if len(reports[0].Machines) != len(p.Machines()) {
+		t.Fatalf("fleet covered %d machines, want %d", len(reports[0].Machines), len(p.Machines()))
+	}
+}
+
+// TestEngineSharedCacheAcrossEngines runs two engines over one shared
+// cache and checks results stay identical to a private-cache engine.
+func TestEngineSharedCacheAcrossEngines(t *testing.T) {
+	p := simTestPlant(t)
+	cache := NewCache(p)
+	ctx := context.Background()
+	e1, err := NewEngine(p, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := NewEngine(p, WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.Machines()[0]
+	a, err := e1.Detect(ctx, id, LevelProductionLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e2.Detect(ctx, id, LevelProductionLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := private.Detect(ctx, id, LevelProductionLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) || !reflect.DeepEqual(a, c) {
+		t.Fatal("shared-cache detection differs from private-cache detection")
+	}
+
+	// A cache built for a different plant must be rejected.
+	other := simTestPlant(t)
+	if _, err := NewEngine(other, WithCache(cache)); err == nil {
+		t.Fatal("NewEngine accepted a cache built for a different plant")
+	}
+}
+
+// TestEngineTypedErrors pins the errors.Is surface of the engine.
+func TestEngineTypedErrors(t *testing.T) {
+	p := simTestPlant(t)
+	e, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := e.Detect(ctx, "ghost", LevelPhase); !errors.Is(err, ErrUnknownMachine) {
+		t.Fatalf("unknown machine: got %v, want ErrUnknownMachine", err)
+	}
+	if _, err := e.Detect(ctx, p.Machines()[0], Level(9)); !errors.Is(err, ErrInvalidLevel) {
+		t.Fatalf("invalid level: got %v, want ErrInvalidLevel", err)
+	}
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := e.Detect(cancelled, p.Machines()[0], LevelPhase); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled ctx: got %v, want context.Canceled", err)
+	}
+
+	if _, err := NewEngine(p, WithTechniques("no-such-technique")); !errors.Is(err, ErrUnknownTechnique) {
+		t.Fatalf("unknown technique at construction: got %v", err)
+	}
+	restricted, err := NewEngine(p, WithTechniques("ar"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restricted.Technique("lof"); !errors.Is(err, ErrUnknownTechnique) {
+		t.Fatalf("restricted technique: got %v", err)
+	}
+	if _, err := restricted.Technique("ar"); err != nil {
+		t.Fatalf("allowed technique: %v", err)
+	}
+}
+
+// TestEngineNaivePhaseAblation checks WithNaivePhase actually changes
+// the detector (the ablation must not silently no-op).
+func TestEngineNaivePhaseAblation(t *testing.T) {
+	p := simTestPlant(t)
+	ctx := context.Background()
+	normal, err := NewEngine(p, WithMaxOutliers(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := NewEngine(p, WithNaivePhase(), WithMaxOutliers(512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := p.Machines()[0]
+	a, err := normal.Detect(ctx, id, LevelPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := naive.Detect(ctx, id, LevelPhase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Outliers, b.Outliers) {
+		t.Fatal("naive-phase ablation produced identical output to the profile detector")
+	}
+}
+
+// TestTechniqueFacade exercises the registry through the public
+// Technique type: fit/score, capability errors, not-fitted errors.
+func TestTechniqueFacade(t *testing.T) {
+	infos := Techniques()
+	if len(infos) < 21 {
+		t.Fatalf("registry lists %d techniques, want >= 21", len(infos))
+	}
+	if _, err := NewTechnique("no-such"); !errors.Is(err, ErrUnknownTechnique) {
+		t.Fatalf("unknown name: got %v", err)
+	}
+
+	ar, err := NewTechnique("ar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Info().Points {
+		t.Fatal("ar lost its Points capability")
+	}
+	if _, err := ar.ScorePoints([]float64{1, 2, 3}); !errors.Is(err, ErrNotFitted) {
+		t.Fatalf("scoring before Fit: got %v, want ErrNotFitted", err)
+	}
+	ref := make([]float64, 256)
+	for i := range ref {
+		ref[i] = float64(i % 7)
+	}
+	if err := ar.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := ar.ScorePoints(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(ref) {
+		t.Fatalf("got %d scores for %d samples", len(scores), len(ref))
+	}
+
+	// Every capability flag must match what the instance implements:
+	// a technique without Points must refuse ScorePoints with the
+	// granularity sentinel.
+	for _, info := range infos {
+		if info.Points {
+			continue
+		}
+		tech, err := NewTechnique(info.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tech.ScorePoints(ref); !errors.Is(err, ErrUnsupportedGranularity) {
+			t.Fatalf("%s: non-PTS technique scored points (err=%v)", info.Name, err)
+		}
+		break
+	}
+}
+
+// TestClassifyMatchesCore pins the public decision rule to the
+// internal one.
+func TestClassifyMatchesCore(t *testing.T) {
+	cases := []Outlier{
+		{Support: 1, GlobalScore: 3, Outlierness: 0.8},
+		{Support: 0, GlobalScore: 1, Outlierness: 0.9},
+		{Support: 0.4, GlobalScore: 1, Outlierness: 0.2},
+		{Support: 1, GlobalScore: 1, Outlierness: 0.6},
+	}
+	for _, o := range cases {
+		want := core.Classify(core.Outlier{Support: o.Support, GlobalScore: o.GlobalScore, Outlierness: o.Outlierness})
+		if got := Classify(o); string(got) != string(want) {
+			t.Errorf("Classify(%+v) = %s, core says %s", o, got, want)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package hod_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+
+	"repro/internal/server"
+	"repro/pkg/hod"
+)
+
+func listen() (net.Listener, error) { return net.Listen("tcp", "127.0.0.1:0") }
+
+// ExampleEngine embeds Algorithm 1: simulate a plant, detect
+// hierarchical outliers on one machine, and classify the strongest
+// finding with the support-based decision rule.
+func ExampleEngine() {
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: 5, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 4,
+		PhaseSamples: 24, FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := hod.NewEngine(p, hod.WithWorkers(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := p.Machines()[0]
+	rep, err := engine.Detect(context.Background(), machine, hod.LevelPhase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	top := rep.Outliers[0]
+	fmt.Printf("machine %s: %d outliers\n", machine, len(rep.Outliers))
+	fmt.Printf("strongest: global=%d support=%.1f class=%s\n",
+		top.GlobalScore, top.Support, hod.Classify(top))
+	// Output:
+	// machine line-1/m1: 32 outliers
+	// strongest: global=4 support=1.0 class=process-fault
+}
+
+// ExampleEngine_DetectFleet ranks findings across every machine of the
+// plant with the paper's combined-importance order.
+func ExampleEngine_DetectFleet() {
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: 5, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 4,
+		PhaseSamples: 24, FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engine, err := hod.NewEngine(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fleet, err := engine.DetectFleet(context.Background(), hod.LevelPhase)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d machines, %d outliers fleet-wide\n", len(fleet.Machines), fleet.TotalOutliers)
+	fmt.Printf("worst machine: %s\n", fleet.Outliers[0].Machine)
+	// Output:
+	// 4 machines, 58 outliers fleet-wide
+	// worst machine: line-1/m1
+}
+
+// ExampleNewTechnique scores a series with one of the 21 Table-1
+// techniques through the registry facade.
+func ExampleNewTechnique() {
+	tech, err := hod.NewTechnique("ar")
+	if err != nil {
+		log.Fatal(err)
+	}
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = float64(i % 4)
+	}
+	values[40] = 50 // injected spike
+	if err := tech.Fit(values[:32]); err != nil {
+		log.Fatal(err)
+	}
+	scores, err := tech.ScorePoints(values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := 0
+	for i, s := range scores {
+		if s > scores[best] {
+			best = i
+		}
+	}
+	fmt.Printf("%s flags index %d\n", tech.Info().Name, best)
+	// Output:
+	// ar flags index 40
+}
+
+// ExampleClient talks to a fleet server over its v1 HTTP API: register
+// a plant, stream its trace with automatic backpressure retries, wait
+// for the pipelines to drain, and fetch the fleet-ranked report.
+func ExampleClient() {
+	// An in-process server stands in for a remote hodserve here.
+	srv := server.New(server.Options{Shards: 2, QueueDepth: 16})
+	defer srv.Close()
+	ln, err := listen()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stop := srv.ServeListener(ln)
+	defer stop()
+
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: 5, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 4,
+		PhaseSamples: 24, FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	client := hod.NewClient("http://" + ln.Addr().String())
+	if _, err := client.Register(ctx, p.Topology("demo")); err != nil {
+		log.Fatal(err)
+	}
+	recs := p.Records()
+	if _, err := client.Ingest(ctx, "demo", recs); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := client.Jobs(ctx, "demo", p.JobMetas()); err != nil {
+		log.Fatal(err)
+	}
+	if err := client.WaitDrained(ctx, "demo", uint64(len(recs))); err != nil {
+		log.Fatal(err)
+	}
+	rep, err := client.Report(ctx, "demo", hod.ReportQuery{Level: hod.LevelPhase, Top: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plant %s: %d machines reporting, top %d of %d outliers\n",
+		rep.Plant, len(rep.Machines), len(rep.Outliers), rep.TotalOutliers)
+	// Output:
+	// plant demo: 4 machines reporting, top 3 of 58 outliers
+}

@@ -1,0 +1,141 @@
+// Package hod is the public SDK of the hierarchical outlier detection
+// system (a reproduction of Hoppenstedt et al., EDBT 2019, grown into
+// a serving stack). It has two faces:
+//
+//   - Engine — embed Algorithm 1 in-process: simulate or bind a plant,
+//     then detect hierarchical outliers per machine or fleet-wide, with
+//     functional options for workers, technique restriction, phase
+//     ablation, and cache sharing. The 21 Table-1 detection techniques
+//     are available through Technique.
+//
+//   - Client — a typed client for the v1 HTTP API served by hodserve:
+//     register plants, stream sample batches (with automatic
+//     429 + Retry-After backoff over the idempotent ingest store),
+//     upload job metadata, and query reports, roll-ups, alerts, and
+//     stats. Request and response bodies are the shared wire types of
+//     pkg/hod/wire — the same structs the server compiles against.
+//
+// Errors carry errors.Is-able sentinels (ErrUnknownMachine,
+// ErrBackpressure, ErrNotFitted, ...) whether they surface from the
+// embedded engine or from the HTTP API's structured error envelope.
+package hod
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/detector"
+	"repro/pkg/hod/wire"
+)
+
+// Level is one of the five production levels of the paper's Fig. 2.
+// It is the shared wire type, so engine results and HTTP responses
+// speak the same enum.
+type Level = wire.Level
+
+// The five hierarchy levels, bottom-up.
+const (
+	LevelPhase          = wire.LevelPhase
+	LevelJob            = wire.LevelJob
+	LevelEnvironment    = wire.LevelEnvironment
+	LevelProductionLine = wire.LevelProductionLine
+	LevelProduction     = wire.LevelProduction
+)
+
+// ParseLevel accepts a level by number ("1".."5") or by name.
+func ParseLevel(s string) (Level, error) { return wire.ParseLevel(s) }
+
+// Outlier is one finding of Algorithm 1: the paper's triple
+// ⟨global score, outlierness, support⟩ plus its location.
+type Outlier = wire.Outlier
+
+// Warning is a measurement-error warning from Algorithm 1's downward
+// pass.
+type Warning = wire.Warning
+
+// Report is the outcome of one hierarchical detection run on one
+// machine.
+type Report struct {
+	Machine    string
+	StartLevel Level
+	Outliers   []Outlier
+	Warnings   []Warning
+}
+
+// FleetReport aggregates per-machine runs across a plant, ranked
+// fleet-wide by the paper's combined-importance order.
+type FleetReport struct {
+	Level         Level
+	Machines      []string
+	TotalOutliers int
+	Outliers      []wire.FleetOutlier
+	Warnings      []wire.FleetWarning
+}
+
+// Classification is the decision rule over the outlier triple: an
+// outlier with corroboration (support ≥ 0.5) that propagates upward
+// (global score ≥ 2) is a process fault; an uncorroborated one is a
+// suspected measurement error; everything else stays unconfirmed.
+type Classification string
+
+// The three outcome classes of Classify.
+const (
+	ClassFault       Classification = "process-fault"
+	ClassMeasurement Classification = "measurement-error"
+	ClassUnconfirmed Classification = "unconfirmed"
+)
+
+// Classify labels one outlier with the decision rule above.
+func Classify(o Outlier) Classification {
+	return Classification(core.Classify(core.FromWire(o)))
+}
+
+// Rank orders outliers by the paper's combined-importance order:
+// global score first, then support, then outlierness. It returns a new
+// slice; the input is untouched.
+func Rank(outliers []Outlier) []Outlier {
+	out := append([]Outlier(nil), outliers...)
+	sort.SliceStable(out, func(i, j int) bool { return rankLess(out[i], out[j]) })
+	return out
+}
+
+// rankLess delegates to the one comparator (core.RankLess) the fleet
+// report and the server also rank with, so client-side re-ranking can
+// never drift from server ranking.
+func rankLess(a, b Outlier) bool {
+	return core.RankLess(core.FromWire(a), core.FromWire(b))
+}
+
+// Sentinel errors of the SDK. Engine and Client both return wrapped
+// values that errors.Is matches against these.
+var (
+	// ErrUnknownMachine — the machine id is not part of the plant (or,
+	// via the client, has no data on the server).
+	ErrUnknownMachine = errors.New("hod: unknown machine")
+	// ErrUnknownPlant — the plant id is not registered on the server.
+	ErrUnknownPlant = errors.New("hod: unknown plant")
+	// ErrAlreadyRegistered — a plant with this id already exists.
+	ErrAlreadyRegistered = errors.New("hod: plant already registered")
+	// ErrBackpressure — the server shed the batch with 429 and the
+	// client exhausted its retry budget.
+	ErrBackpressure = errors.New("hod: server backpressure")
+	// ErrShuttingDown — the server refuses new work while draining.
+	ErrShuttingDown = errors.New("hod: server shutting down")
+	// ErrNoData — detection was requested before any data arrived.
+	ErrNoData = errors.New("hod: no data")
+	// ErrBadRequest — the server rejected the request as malformed.
+	ErrBadRequest = errors.New("hod: bad request")
+	// ErrInvalidLevel — the level is outside 1..5.
+	ErrInvalidLevel = errors.New("hod: invalid level")
+	// ErrUnknownTechnique — no registry technique has this name (or it
+	// is outside the engine's WithTechniques set).
+	ErrUnknownTechnique = errors.New("hod: unknown technique")
+	// ErrUnsupportedGranularity — the technique does not score the
+	// requested granularity (see TechniqueInfo's capability flags).
+	ErrUnsupportedGranularity = errors.New("hod: technique does not score this granularity")
+)
+
+// ErrNotFitted is returned when scoring precedes training on a
+// technique that needs a Fit call.
+var ErrNotFitted = detector.ErrNotFitted

@@ -1,0 +1,149 @@
+package hod
+
+import (
+	"fmt"
+
+	"repro/internal/detector"
+	"repro/internal/detector/registry"
+)
+
+// TechniqueInfo describes one detection technique of the registry: the
+// paper's Table 1 row (family, citation) and which granularities it
+// scores.
+type TechniqueInfo struct {
+	Name     string // stable identifier, e.g. "match-count"
+	Title    string // Table 1 row title
+	Citation string // e.g. "[16]"
+	Family   string // technique family, e.g. "PM"
+	// The three ✓ columns of Table 1.
+	Points       bool
+	Subsequences bool
+	Series       bool
+	// Supervised techniques need labelled training data.
+	Supervised bool
+}
+
+func infoFrom(i detector.Info) TechniqueInfo {
+	return TechniqueInfo{
+		Name: i.Name, Title: i.Title, Citation: i.Citation, Family: string(i.Family),
+		Points:       i.Capability.Points,
+		Subsequences: i.Capability.Subsequences,
+		Series:       i.Capability.Series,
+		Supervised:   i.Supervised,
+	}
+}
+
+// Techniques lists every implemented technique: the paper's 21 Table-1
+// rows first (in row order), then the extras (profile similarity, LOF,
+// reverse-kNN, changepoint).
+func Techniques() []TechniqueInfo {
+	all := registry.All()
+	out := make([]TechniqueInfo, len(all))
+	for i, e := range all {
+		out[i] = infoFrom(e.Info)
+	}
+	return out
+}
+
+// WindowScore couples a window position with its score.
+type WindowScore struct {
+	Start  int
+	Length int
+	Score  float64
+}
+
+// Technique is one detection technique instance. A Technique carries
+// model state (Fit trains it), so instances are not safe for
+// concurrent use — construct one per goroutine.
+type Technique struct {
+	d detector.Detector
+}
+
+func lookupTechnique(name string) (registry.Entry, error) {
+	e, err := registry.ByName(name)
+	if err != nil {
+		return registry.Entry{}, fmt.Errorf("%w: %q", ErrUnknownTechnique, name)
+	}
+	return e, nil
+}
+
+// NewTechnique constructs a fresh instance of the named registry
+// technique (see Techniques for the names).
+func NewTechnique(name string) (*Technique, error) {
+	e, err := lookupTechnique(name)
+	if err != nil {
+		return nil, err
+	}
+	return &Technique{d: e.New()}, nil
+}
+
+// Technique constructs a fresh instance of the named technique,
+// honouring the engine's WithTechniques restriction.
+func (e *Engine) Technique(name string) (*Technique, error) {
+	if e.allowed != nil && !e.allowed[name] {
+		return nil, fmt.Errorf("%w: %q is outside the engine's technique set", ErrUnknownTechnique, name)
+	}
+	return NewTechnique(name)
+}
+
+// Info returns the technique's static metadata.
+func (t *Technique) Info() TechniqueInfo { return infoFrom(t.d.Info()) }
+
+// Fit builds the technique's normal-behaviour model from (assumed
+// mostly clean) reference values. Techniques without a training phase
+// accept any input and score directly — Fit is then a no-op.
+func (t *Technique) Fit(ref []float64) error {
+	if f, ok := t.d.(detector.Fitter); ok {
+		return f.Fit(ref)
+	}
+	return nil
+}
+
+// ScorePoints returns one outlier score per sample; higher means more
+// outlying. Only techniques with the Points capability implement it.
+func (t *Technique) ScorePoints(values []float64) ([]float64, error) {
+	ps, ok := t.d.(detector.PointScorer)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s cannot score points", ErrUnsupportedGranularity, t.d.Info().Name)
+	}
+	return ps.ScorePoints(values)
+}
+
+// ScoreWindows slides a window of the given size with the given stride
+// and returns one score per window. Only techniques with the
+// Subsequences capability implement it.
+func (t *Technique) ScoreWindows(values []float64, size, stride int) ([]WindowScore, error) {
+	ws, ok := t.d.(detector.WindowScorer)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s cannot score windows", ErrUnsupportedGranularity, t.d.Info().Name)
+	}
+	raw, err := ws.ScoreWindows(values, size, stride)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WindowScore, len(raw))
+	for i, w := range raw {
+		out[i] = WindowScore{Start: w.Start, Length: w.Length, Score: w.Score}
+	}
+	return out, nil
+}
+
+// ScoreSeries scores whole series within a batch, one score per
+// series. Only techniques with the Series capability implement it.
+func (t *Technique) ScoreSeries(batch [][]float64) ([]float64, error) {
+	ss, ok := t.d.(detector.SeriesScorer)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s cannot score series", ErrUnsupportedGranularity, t.d.Info().Name)
+	}
+	return ss.ScoreSeries(batch)
+}
+
+// ScoreRows scores multivariate observations (one score per row), the
+// point granularity for multidimensional data such as CAQ vectors.
+func (t *Technique) ScoreRows(rows [][]float64) ([]float64, error) {
+	rs, ok := t.d.(detector.RowScorer)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s cannot score rows", ErrUnsupportedGranularity, t.d.Info().Name)
+	}
+	return rs.ScoreRows(rows)
+}

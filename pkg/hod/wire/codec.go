@@ -1,4 +1,4 @@
-package server
+package wire
 
 import (
 	"bufio"
@@ -12,7 +12,7 @@ import (
 	"strings"
 )
 
-// decodeRecords parses one ingest request body. Three wire formats are
+// DecodeRecords parses one ingest request body. Three wire formats are
 // accepted:
 //
 //   - NDJSON (default, application/x-ndjson): one Record object per line
@@ -23,34 +23,51 @@ import (
 //
 // so `hodctl replay` and `curl --data-binary @sensors.csv` both work
 // without client-side conversion.
-func decodeRecords(r io.Reader, contentType string) ([]Record, error) {
+func DecodeRecords(r io.Reader, contentType string) ([]Record, error) {
 	mt := contentType
 	if parsed, _, err := mime.ParseMediaType(contentType); err == nil {
 		mt = parsed
 	}
 	switch mt {
 	case "text/csv", "application/csv":
-		return decodeCSV(r)
+		return DecodeCSV(r)
 	case "application/json":
-		return decodeJSONArray(r)
+		return DecodeJSONArray(r)
 	default:
-		return decodeNDJSON(r)
+		return DecodeNDJSON(r)
 	}
 }
 
-func decodeJSONArray(r io.Reader) ([]Record, error) {
+// EncodeNDJSON renders records in the default ingest format: one JSON
+// object per line.
+func EncodeNDJSON(recs []Record) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeJSONArray parses an application/json ingest body: one array of
+// Record objects.
+func DecodeJSONArray(r io.Reader) ([]Record, error) {
 	var out []Record
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&out); err != nil {
 		return nil, fmt.Errorf("json array: %w", err)
 	}
-	if len(out) > maxBatchRecs {
-		return nil, fmt.Errorf("batch of %d records exceeds the %d cap", len(out), maxBatchRecs)
+	if len(out) > MaxBatchRecords {
+		return nil, fmt.Errorf("batch of %d records exceeds the %d cap", len(out), MaxBatchRecords)
 	}
 	return out, nil
 }
 
-func decodeNDJSON(r io.Reader) ([]Record, error) {
+// DecodeNDJSON parses the default ingest body: one Record object per
+// line, blank lines skipped.
+func DecodeNDJSON(r io.Reader) ([]Record, error) {
 	var out []Record
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -66,8 +83,8 @@ func decodeNDJSON(r io.Reader) ([]Record, error) {
 			return nil, fmt.Errorf("ndjson line %d: %w", line, err)
 		}
 		out = append(out, rec)
-		if len(out) > maxBatchRecs {
-			return nil, fmt.Errorf("batch exceeds the %d-record cap", maxBatchRecs)
+		if len(out) > MaxBatchRecords {
+			return nil, fmt.Errorf("batch exceeds the %d-record cap", MaxBatchRecords)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -76,9 +93,9 @@ func decodeNDJSON(r io.Reader) ([]Record, error) {
 	return out, nil
 }
 
-// decodeCSV handles both plantsim trace schemas, dispatching on the
+// DecodeCSV handles both plantsim trace schemas, dispatching on the
 // header row.
-func decodeCSV(r io.Reader) ([]Record, error) {
+func DecodeCSV(r io.Reader) ([]Record, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	header, err := cr.Read()
@@ -126,8 +143,8 @@ func decodeMachineCSV(cr *csv.Reader, sensors []string) ([]Record, error) {
 				Sensor: sensor, T: t, Value: v,
 			})
 		}
-		if len(out) > maxBatchRecs {
-			return nil, fmt.Errorf("batch exceeds the %d-record cap", maxBatchRecs)
+		if len(out) > MaxBatchRecords {
+			return nil, fmt.Errorf("batch exceeds the %d-record cap", MaxBatchRecords)
 		}
 	}
 	return out, nil
@@ -159,8 +176,8 @@ func decodeEnvCSV(cr *csv.Reader, sensors []string) ([]Record, error) {
 			}
 			out = append(out, Record{Env: true, Sensor: sensor, T: t, Value: v})
 		}
-		if len(out) > maxBatchRecs {
-			return nil, fmt.Errorf("batch exceeds the %d-record cap", maxBatchRecs)
+		if len(out) > MaxBatchRecords {
+			return nil, fmt.Errorf("batch exceeds the %d-record cap", MaxBatchRecords)
 		}
 	}
 	return out, nil
