@@ -1,0 +1,91 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/hod"
+)
+
+// serveIngestResult reports the durable ingest benchmark: a WAL-on
+// hodserve instance (fsync=always, the production default) fed a full
+// simulated trace over HTTP through the SDK client. The wall clock is
+// recorded by the runner in the benchguard baseline as "serveingest",
+// so WAL overhead on the ingest path is gated like any other hot path;
+// the printed line carries only deterministic facts — benchtab stdout
+// must stay byte-identical across runs and parallelism settings.
+type serveIngestResult struct {
+	records     int
+	batches     int
+	walSegments int
+}
+
+func (r serveIngestResult) String() string {
+	return fmt.Sprintf("durable ingest: %d records in %d batches, %d wal segments, fsync=always (timing in the -json baseline)",
+		r.records, r.batches, r.walSegments)
+}
+
+func runServeIngest(seed int64) (fmt.Stringer, error) {
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: seed, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 12,
+		PhaseSamples: 80, FaultRate: 0.3, MeasurementErrorRate: 0.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "hod-bench-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	srv := server.New(server.Options{
+		Shards: 2, QueueDepth: 64,
+		DataDir: dir, Fsync: "always", SnapshotInterval: time.Hour,
+	})
+	if err := srv.Open(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	stop := srv.ServeListener(ln)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	client := hod.NewClient("http://" + ln.Addr().String())
+	if _, err := client.Register(ctx, p.Topology("bench")); err != nil {
+		return nil, err
+	}
+
+	recs := p.Records()
+	const batch = 2000
+	batches := 0
+	for lo := 0; lo < len(recs); lo += batch {
+		hi := lo + batch
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if _, err := client.Ingest(ctx, "bench", recs[lo:hi]); err != nil {
+			return nil, err
+		}
+		batches++
+	}
+	if err := client.WaitDrained(ctx, "bench", uint64(len(recs))); err != nil {
+		return nil, err
+	}
+	st, err := client.Stats(ctx, "bench")
+	if err != nil {
+		return nil, err
+	}
+	return serveIngestResult{
+		records: len(recs), batches: batches, walSegments: st.WALSegments,
+	}, nil
+}

@@ -11,6 +11,8 @@
 //	hodctl replay  -addr http://host:8080 -plant id -sensors sensors.csv
 //	hodctl report  -addr http://host:8080 -plant id [-level L] [-top K]
 //	hodctl alerts  -addr http://host:8080 -plant id [-limit N]
+//	hodctl backup  -addr http://host:8080 -plant id -out plant.bak
+//	hodctl restore -addr http://host:8080 -plant id -in plant.bak
 //	hodctl list
 package main
 
@@ -48,6 +50,10 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "alerts":
 		err = cmdAlerts(os.Args[2:])
+	case "backup":
+		err = cmdBackup(os.Args[2:])
+	case "restore":
+		err = cmdRestore(os.Args[2:])
 	case "list":
 		err = cmdList()
 	default:
@@ -68,6 +74,8 @@ func usage() {
   hodctl replay  -addr URL -plant ID -sensors FILE [-jobs FILE] [-env FILE] [-batch N] [-register]
   hodctl report  -addr URL -plant ID [-level L] [-top K] [-machine ID] [-json]
   hodctl alerts  -addr URL -plant ID [-limit N] [-json]
+  hodctl backup  -addr URL -plant ID -out FILE
+  hodctl restore -addr URL -plant ID -in FILE
   hodctl list`)
 }
 

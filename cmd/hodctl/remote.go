@@ -57,6 +57,59 @@ func cmdReport(args []string) error {
 	return nil
 }
 
+// cmdBackup downloads a consistent snapshot of one plant — the
+// durability layer's framed format — to a local file, restorable on
+// any hodserve with `hodctl restore`.
+func cmdBackup(args []string) error {
+	fs := flag.NewFlagSet("backup", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
+	plantID := fs.String("plant", "plant-1", "plant ID on the server")
+	out := fs.String("out", "", "backup file to write (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *out == "" {
+		return fmt.Errorf("backup: -out is required")
+	}
+	client := hod.NewClient(*addr)
+	data, err := client.Backup(context.Background(), *plantID)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("backup: wrote %d bytes of plant %s to %s\n", len(data), *plantID, *out)
+	return nil
+}
+
+// cmdRestore uploads a backup file to a server where the plant id is
+// not registered yet; the topology rides inside the backup.
+func cmdRestore(args []string) error {
+	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
+	plantID := fs.String("plant", "plant-1", "plant ID to restore as")
+	in := fs.String("in", "", "backup file to upload (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("restore: -in is required")
+	}
+	data, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	client := hod.NewClient(*addr)
+	ack, err := client.Restore(context.Background(), *plantID, data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("restore: plant %s is serving again (%d machines, %d records, snapshot rev %d)\n",
+		ack.ID, ack.Machines, ack.Records, ack.SnapshotRev)
+	return nil
+}
+
 // cmdAlerts fetches the recent streaming EWMA alerts of one plant.
 func cmdAlerts(args []string) error {
 	fs := flag.NewFlagSet("alerts", flag.ExitOnError)

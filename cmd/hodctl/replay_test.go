@@ -184,3 +184,62 @@ func TestDeriveTopology(t *testing.T) {
 		t.Fatalf("sensors=%v", ss)
 	}
 }
+
+// TestBackupRestoreSubcommands drives the operator loop end to end:
+// replay a trace into one server, `hodctl backup` it to a file,
+// `hodctl restore` it into a second server, and check the reports
+// agree.
+func TestBackupRestoreSubcommands(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{
+		Seed: 9, Lines: 1, MachinesPerLine: 2, JobsPerMachine: 2, PhaseSamples: 10,
+		FaultRate: 0.4, MeasurementErrorRate: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sensors, jobs, env := writeTrace(t, t.TempDir(), p)
+	srcBase := serveTest(t, server.Options{Shards: 2, QueueDepth: 8})
+	dstBase := serveTest(t, server.Options{Shards: 2, QueueDepth: 8})
+
+	if err := cmdReplay([]string{
+		"-addr", srcBase, "-plant", "bk", "-register",
+		"-sensors", sensors, "-jobs", jobs, "-env", env, "-batch", "200",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wantRecords := 0
+	for _, m := range p.Machines() {
+		for _, job := range m.Jobs {
+			for _, ph := range job.Phases {
+				wantRecords += ph.Sensors.Len() * len(ph.Sensors.Dims)
+			}
+		}
+	}
+	wantRecords += p.Environment.Len() * len(p.Environment.Dims)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hod.NewClient(srcBase).WaitDrained(ctx, "bk", uint64(wantRecords)); err != nil {
+		t.Fatal(err)
+	}
+
+	bak := filepath.Join(t.TempDir(), "bk.snap")
+	if err := cmdBackup([]string{"-addr", srcBase, "-plant", "bk", "-out", bak}); err != nil {
+		t.Fatalf("hodctl backup: %v", err)
+	}
+	if err := cmdRestore([]string{"-addr", dstBase, "-plant", "bk", "-in", bak}); err != nil {
+		t.Fatalf("hodctl restore: %v", err)
+	}
+
+	want, err := hod.NewClient(srcBase).Report(ctx, "bk", hod.ReportQuery{Top: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := hod.NewClient(dstBase).Report(ctx, "bk", hod.ReportQuery{Top: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Outliers) != len(want.Outliers) || got.TotalOutliers != want.TotalOutliers {
+		t.Fatalf("restored report differs: %d/%d outliers vs %d/%d",
+			len(got.Outliers), got.TotalOutliers, len(want.Outliers), want.TotalOutliers)
+	}
+}

@@ -6,6 +6,15 @@
 //
 //	hodserve [-addr :8080] [-workers N] [-shards N] [-queue N]
 //	         [-alert-threshold Z] [-max-outliers N]
+//	         [-data-dir DIR] [-fsync always|interval|none]
+//	         [-snapshot-interval 30s]
+//
+// With -data-dir the ingest path is durable: every accepted batch is
+// appended to a per-shard CRC-checksummed WAL before it is
+// acknowledged (group-committed fsync per -fsync), the serving state
+// is snapshotted and the WAL compacted every -snapshot-interval, and a
+// restart replays snapshot + WAL tail through the ingest path — so a
+// crash mid-trace loses nothing that was acknowledged.
 //
 // Register a plant, replay a plantsim trace, query a report — the
 // whole loop goes through the typed SDK client (pkg/hod.Client), and
@@ -41,11 +50,15 @@ func main() {
 	alertThreshold := flag.Float64("alert-threshold", 8, "streaming alert robust-z threshold")
 	maxOutliers := flag.Int("max-outliers", 512, "per-machine report cap")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown budget")
+	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
+	fsync := flag.String("fsync", "always", "WAL fsync policy: always|interval|none")
+	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "compacting snapshot cadence")
 	flag.Parse()
 
 	if err := run(*addr, server.Options{
 		Workers: *workers, Shards: *shards, QueueDepth: *queue,
 		AlertThreshold: *alertThreshold, MaxOutliers: *maxOutliers,
+		DataDir: *dataDir, Fsync: *fsync, SnapshotInterval: *snapInterval,
 	}, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "hodserve:", err)
 		os.Exit(1)
@@ -54,12 +67,19 @@ func main() {
 
 func run(addr string, opts server.Options, drainTimeout time.Duration) error {
 	srv := server.New(opts)
+	if err := srv.Open(); err != nil {
+		return fmt.Errorf("recovering %s: %w", opts.DataDir, err)
+	}
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
 
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("hodserve: listening on %s (shards=%d queue=%d workers=%d)\n",
-			addr, opts.Shards, opts.QueueDepth, opts.Workers)
+		durable := "off"
+		if opts.DataDir != "" {
+			durable = fmt.Sprintf("%s (fsync=%s)", opts.DataDir, opts.Fsync)
+		}
+		fmt.Printf("hodserve: listening on %s (shards=%d queue=%d workers=%d durability=%s)\n",
+			addr, opts.Shards, opts.QueueDepth, opts.Workers, durable)
 		errc <- httpSrv.ListenAndServe()
 	}()
 

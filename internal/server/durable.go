@@ -1,0 +1,697 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/wal"
+	"repro/pkg/hod/wire"
+)
+
+// The durability layer makes the ingest path survive crashes and
+// restarts. Every accepted shard chunk is appended to a per-shard
+// segmented WAL (internal/wal) before it is enqueued, and a background
+// loop periodically snapshots the whole serving state of a plant —
+// stores, roll-up leaves, alert ring, trackers, counters — compacting
+// WAL segments the snapshot covers. On startup the state is rebuilt by
+// applying the snapshot and replaying the WAL tail through the regular
+// fold path; the idempotent set-at-index store makes over-replay
+// harmless, so the recovery boundary only has to be conservative.
+
+// walEntry is one durable unit: a shard chunk of validated records, or
+// a batch of applied job metadata (shard 0's log). Encoded with gob —
+// unlike JSON it round-trips the NaN-free floats and needs no escaping.
+type walEntry struct {
+	Recs []wire.Record
+	Jobs []wire.JobMeta
+}
+
+func encodeEntry(e walEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(e); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeEntry(p []byte) (walEntry, error) {
+	var e walEntry
+	err := gob.NewDecoder(bytes.NewReader(p)).Decode(&e)
+	return e, err
+}
+
+// Snapshot payload: the full serving state of one plant, captured at a
+// shard batch boundary. ShardSeqs pins the WAL position the capture
+// covers per shard — replay starts after it, compaction ends at it.
+type (
+	snapJob struct {
+		Setup, CAQ      []float64
+		Faulty, HasMeta bool
+		Phases          map[string]map[string][]float64 // phase → sensor → samples
+	}
+	snapMachine struct {
+		Rev  uint64
+		Jobs map[string]snapJob
+	}
+	snapLeaf struct {
+		Machine, Phase, Sensor string
+		Roll                   stats.OnlineState
+	}
+	snapTracker struct {
+		Machine, Sensor string
+		EWMA            stats.EWMAState
+	}
+	snapState struct {
+		Topo     wire.Topology
+		Machines map[string]snapMachine
+		Env      map[string][]float64
+		EnvRev   uint64
+
+		DataRev, Accepted, Received, Rejected, Shed uint64
+
+		Leaves   []snapLeaf
+		Trackers []snapTracker
+		Alerts   []wire.Alert // oldest first
+
+		ShardSeqs   []uint64
+		SnapshotRev uint64
+	}
+)
+
+func encodeState(st *snapState) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeState(p []byte) (*snapState, error) {
+	var st snapState
+	if err := gob.NewDecoder(bytes.NewReader(p)).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// plantDur is one plant's durability attachment: its directory, the
+// per-shard WALs, and the snapshot bookkeeping.
+type plantDur struct {
+	dir         string
+	logs        []*wal.Log
+	syncOnAdmit bool       // fsync policy is SyncAlways: sync before the 202 ack
+	snapMu      sync.Mutex // one snapshot/compaction at a time
+	snapRev     atomic.Uint64
+	stop        chan struct{}
+	done        chan struct{}
+}
+
+func (d *plantDur) close() {
+	if d.stop != nil {
+		close(d.stop)
+		<-d.done
+		d.stop = nil
+	}
+	for _, l := range d.logs {
+		_ = l.Close()
+	}
+}
+
+func (d *plantDur) segments() int {
+	n := 0
+	for _, l := range d.logs {
+		n += l.Segments()
+	}
+	return n
+}
+
+const (
+	plantMetaName = "meta.json"
+	walDirPrefix  = "wal-shard-"
+
+	// maxRestoreBytes is the floor of the restore body cap — a backup
+	// carries a whole plant, not one ingest batch.
+	maxRestoreBytes = 1 << 30
+)
+
+// validateState applies the ingest path's job-vector gate to a decoded
+// backup: oversized vectors would be silently truncated by padVector at
+// report-build time and non-finite ones would poison the level-2
+// detectors — exactly what handleJobs rejects with 400.
+func validateState(st *snapState) error {
+	for machineID, sm := range st.Machines {
+		for jobID, sj := range sm.Jobs {
+			if len(sj.Setup) > st.Topo.SetupDims || len(sj.CAQ) > st.Topo.CAQDims {
+				return fmt.Errorf("backup: machine %s job %s: setup/caq vector longer than the topology dims (%d/%d)",
+					machineID, jobID, st.Topo.SetupDims, st.Topo.CAQDims)
+			}
+			for _, v := range sj.Setup {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("backup: machine %s job %s: non-finite setup value", machineID, jobID)
+				}
+			}
+			for _, v := range sj.CAQ {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("backup: machine %s job %s: non-finite caq value", machineID, jobID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func walDirName(i int) string { return fmt.Sprintf("%s%03d", walDirPrefix, i) }
+
+// plantDirName maps a plant id onto a filesystem-safe directory name.
+func plantDirName(id string) string { return url.PathEscape(id) }
+
+func (s *Server) walOptions() (wal.Options, error) {
+	pol, err := wal.ParseSyncPolicy(s.opts.Fsync)
+	if err != nil {
+		return wal.Options{}, err
+	}
+	return wal.Options{Policy: pol, SegmentBytes: s.opts.SegmentBytes}, nil
+}
+
+// attachDur opens (creating if needed) the plant's durability
+// directory: one WAL per shard. Shards must already be made.
+func (ps *plantState) attachDur(dir string, wopts wal.Options) error {
+	d := &plantDur{dir: dir, syncOnAdmit: wopts.Policy == wal.SyncAlways}
+	for i := range ps.shards {
+		l, err := wal.Open(filepath.Join(dir, walDirName(i)), wopts)
+		if err != nil {
+			d.close()
+			return err
+		}
+		d.logs = append(d.logs, l)
+	}
+	ps.dur = d
+	return nil
+}
+
+// persistMeta writes the registered topology so a restart can rebuild
+// the plant before any snapshot exists.
+func persistMeta(dir string, topo Topology) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(topo, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, plantMetaName), append(buf, '\n'), 0o644)
+}
+
+// startSnapshotLoop snapshots the plant every interval until close.
+func (ps *plantState) startSnapshotLoop(interval time.Duration) {
+	d := ps.dur
+	d.stop = make(chan struct{})
+	d.done = make(chan struct{})
+	go func() {
+		defer close(d.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stop:
+				return
+			case <-t.C:
+				if err := ps.writeSnapshot(); err != nil {
+					// Swallowing this would mean unbounded WAL growth
+					// with no operator signal; the next tick retries.
+					log.Printf("server: snapshot of plant %s failed: %v", ps.topo.ID, err)
+				}
+			}
+		}
+	}()
+}
+
+// admit makes one shard chunk durable (when a WAL is attached) and
+// enqueues it. admitMu keeps enqueue order equal to WAL sequence
+// order, which is what lets foldedSeq act as the compaction boundary:
+// every WAL entry at or below it is folded into memory. The fsync
+// happens *after* admitMu is released: concurrent batches on a shard
+// then share one group-committed fsync (wal.SyncTo) instead of
+// serializing on the disk. If the fsync fails the caller returns 500
+// — the batch may already be folding in memory, but the client never
+// gets a 202 for data that is not on disk, and its retry is
+// idempotent.
+func (ps *plantState) admit(idx int, chunk []Record) (bool, error) {
+	sh := ps.shards[idx]
+	if ps.dur == nil {
+		return sh.q.TryPush(shardBatch{recs: chunk}), nil
+	}
+	payload, err := encodeEntry(walEntry{Recs: chunk})
+	if err != nil {
+		return false, err
+	}
+	log := ps.dur.logs[idx]
+	sh.admitMu.Lock()
+	seq, err := log.AppendBuffered(payload)
+	if err != nil {
+		sh.admitMu.Unlock()
+		return false, err
+	}
+	// A full queue still sheds the batch with 429 even though its WAL
+	// entry was written: depending on when the next snapshot compacts
+	// past it, a crash-recovery may or may not fold it. Both outcomes
+	// are within the 429 contract — the client was told the batch was
+	// NOT admitted and must re-send, and its retry is idempotent
+	// whether or not the shed entry resurfaced.
+	admitted := sh.q.TryPush(shardBatch{seq: seq, recs: chunk})
+	sh.admitMu.Unlock()
+	if ps.dur.syncOnAdmit {
+		if err := log.SyncTo(seq); err != nil {
+			return admitted, err
+		}
+	}
+	return admitted, nil
+}
+
+// appendJobs logs applied job metadata on shard 0's WAL. Metadata is
+// applied to the store *before* this append: if the entry reaches the
+// log, replaying it is idempotent; if the process dies in between, the
+// client never got an ack and re-sends.
+func (ps *plantState) appendJobs(metas []JobMeta) error {
+	if ps.dur == nil || len(metas) == 0 {
+		return nil
+	}
+	payload, err := encodeEntry(walEntry{Jobs: metas})
+	if err != nil {
+		return err
+	}
+	_, err = ps.dur.logs[0].Append(payload)
+	return err
+}
+
+// captureState stops every shard worker at a batch boundary and copies
+// the full serving state — the consistent cut that makes snapshot +
+// WAL-tail replay reproduce exactly what an uninterrupted run holds.
+func (ps *plantState) captureState() *snapState {
+	for _, sh := range ps.shards {
+		sh.foldMu.Lock()
+	}
+	defer func() {
+		for _, sh := range ps.shards {
+			sh.foldMu.Unlock()
+		}
+	}()
+
+	st := &snapState{
+		Topo:     ps.topo,
+		Machines: make(map[string]snapMachine, len(ps.machines)),
+		DataRev:  ps.dataRev.Load(),
+		Accepted: ps.accepted.Load(),
+		Received: ps.received.Load(),
+		Rejected: ps.rejected.Load(),
+		Shed:     ps.shed.Load(),
+	}
+	st.ShardSeqs = make([]uint64, len(ps.shards))
+	for i, sh := range ps.shards {
+		st.ShardSeqs[i] = sh.foldedSeq.Load()
+	}
+	for id, ms := range ps.machines {
+		ms.mu.Lock()
+		sm := snapMachine{Rev: ms.rev, Jobs: make(map[string]snapJob, len(ms.jobs))}
+		for jid, js := range ms.jobs {
+			sj := snapJob{
+				Setup:   append([]float64(nil), js.setup...),
+				CAQ:     append([]float64(nil), js.caq...),
+				Faulty:  js.faulty,
+				HasMeta: js.hasMeta,
+				Phases:  make(map[string]map[string][]float64, len(js.phases)),
+			}
+			for ph, g := range js.phases {
+				cells := make(map[string][]float64, len(g.cells))
+				for sensor, buf := range g.cells {
+					cells[sensor] = append([]float64(nil), buf...)
+				}
+				sj.Phases[ph] = cells
+			}
+			sm.Jobs[jid] = sj
+		}
+		ms.mu.Unlock()
+		st.Machines[id] = sm
+	}
+	ps.env.mu.Lock()
+	st.EnvRev = ps.env.rev
+	st.Env = make(map[string][]float64, len(ps.env.sensors))
+	for sensor, buf := range ps.env.sensors {
+		st.Env[sensor] = append([]float64(nil), buf...)
+	}
+	ps.env.mu.Unlock()
+	for _, sh := range ps.shards {
+		sh.rollMu.Lock()
+		for k, o := range sh.roll {
+			st.Leaves = append(st.Leaves, snapLeaf{Machine: k.machine, Phase: k.phase, Sensor: k.sensor, Roll: o.State()})
+		}
+		for k, tr := range sh.trackers {
+			st.Trackers = append(st.Trackers, snapTracker{Machine: k.machine, Sensor: k.sensor, EWMA: tr.State()})
+		}
+		sh.rollMu.Unlock()
+	}
+	st.Alerts = ps.recentAlerts(0)
+	return st
+}
+
+// applyState loads a captured snapshot into a quiescent plantState
+// (shards made, workers not yet spawned). Roll-up leaves and trackers
+// are routed by the *current* machine→shard hash, so a restart with a
+// different shard count still lands them where the worker expects.
+func (ps *plantState) applyState(st *snapState) {
+	for id, sm := range st.Machines {
+		ms := ps.machines[id]
+		if ms == nil {
+			continue // machine no longer in the registered topology
+		}
+		ms.rev = sm.Rev
+		for jid, sj := range sm.Jobs {
+			js := &jobStore{
+				setup:   append([]float64(nil), sj.Setup...),
+				caq:     append([]float64(nil), sj.CAQ...),
+				faulty:  sj.Faulty,
+				hasMeta: sj.HasMeta,
+				phases:  make(map[string]*cellGrid, len(sj.Phases)),
+			}
+			for ph, cells := range sj.Phases {
+				g := &cellGrid{cells: make(map[string][]float64, len(cells))}
+				for sensor, buf := range cells {
+					g.cells[sensor] = append([]float64(nil), buf...)
+				}
+				js.phases[ph] = g
+			}
+			ms.jobs[jid] = js
+		}
+	}
+	ps.env.rev = st.EnvRev
+	for sensor, buf := range st.Env {
+		ps.env.sensors[sensor] = append([]float64(nil), buf...)
+	}
+	ps.dataRev.Store(st.DataRev)
+	ps.accepted.Store(st.Accepted)
+	ps.received.Store(st.Received)
+	ps.rejected.Store(st.Rejected)
+	ps.shed.Store(st.Shed)
+	for _, lf := range st.Leaves {
+		sh := ps.shardFor(lf.Machine)
+		o := stats.OnlineFromState(lf.Roll)
+		sh.roll[rollKey{machine: lf.Machine, phase: lf.Phase, sensor: lf.Sensor}] = &o
+	}
+	for _, tk := range st.Trackers {
+		sh := ps.shardFor(tk.Machine)
+		sh.trackers[rollKey{machine: tk.Machine, sensor: tk.Sensor}] = stats.EWMAFromState(tk.EWMA)
+	}
+	alerts := st.Alerts
+	if len(alerts) > alertRingCap {
+		alerts = alerts[len(alerts)-alertRingCap:]
+	}
+	ps.alerts = append([]Alert(nil), alerts...)
+	ps.alertHead = 0
+}
+
+// writeSnapshot captures, persists, and compacts: the snapshot file is
+// replaced atomically, then every WAL segment it fully covers is
+// deleted.
+func (ps *plantState) writeSnapshot() error {
+	d := ps.dur
+	if d == nil {
+		return nil
+	}
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	st := ps.captureState()
+	rev := d.snapRev.Load() + 1
+	st.SnapshotRev = rev
+	payload, err := encodeState(st)
+	if err != nil {
+		return err
+	}
+	if err := wal.SaveSnapshot(d.dir, rev, payload); err != nil {
+		return err
+	}
+	d.snapRev.Store(rev)
+	var firstErr error
+	for i, l := range d.logs {
+		if i >= len(st.ShardSeqs) {
+			break
+		}
+		if err := l.CompactThrough(st.ShardSeqs[i]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// recover rebuilds the serving state from snapshot + WAL tail, replays
+// through the regular fold path, then re-baselines: a fresh snapshot
+// is written and fully covered segments are compacted away, so the
+// next restart starts from a short tail.
+func (ps *plantState) recover() error {
+	d := ps.dur
+	rev, payload, err := wal.LoadSnapshot(d.dir)
+	if err != nil {
+		return err
+	}
+	var shardSeqs []uint64
+	if payload != nil {
+		st, err := decodeState(payload)
+		if err != nil {
+			return err
+		}
+		ps.applyState(st)
+		d.snapRev.Store(rev)
+		shardSeqs = st.ShardSeqs
+	}
+	// If the shard count changed since the snapshot, the per-shard
+	// boundaries no longer line up — replay everything; over-replay is
+	// idempotent.
+	aligned := len(shardSeqs) == len(d.logs)
+	for i, l := range d.logs {
+		var after uint64
+		if aligned {
+			after = shardSeqs[i]
+		}
+		if err := l.Replay(after, func(seq uint64, p []byte) error {
+			ent, err := decodeEntry(p)
+			if err != nil {
+				return err
+			}
+			ps.replayEntry(ent)
+			ps.shards[i].foldedSeq.Store(seq)
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	// WAL directories beyond the current shard count (the previous run
+	// used more shards): replay them fully, then drop them after the
+	// re-baseline snapshot has captured their contents.
+	strays, err := ps.strayWalDirs()
+	if err != nil {
+		return err
+	}
+	for _, dir := range strays {
+		l, err := wal.Open(dir, wal.Options{Policy: wal.SyncNone})
+		if err != nil {
+			return err
+		}
+		err = l.Replay(0, func(_ uint64, p []byte) error {
+			ent, err := decodeEntry(p)
+			if err != nil {
+				return err
+			}
+			ps.replayEntry(ent)
+			return nil
+		})
+		l.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if err := ps.writeSnapshot(); err != nil {
+		return err
+	}
+	for _, dir := range strays {
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayEntry folds one WAL entry through the regular ingest path.
+func (ps *plantState) replayEntry(ent walEntry) {
+	if len(ent.Recs) > 0 {
+		chunks := make(map[int][]Record)
+		for _, rec := range ent.Recs {
+			idx := ps.shardIndexFor(rec.Machine)
+			chunks[idx] = append(chunks[idx], rec)
+		}
+		for idx, recs := range chunks {
+			ps.foldBatch(ps.shards[idx], recs)
+		}
+	}
+	if len(ent.Jobs) > 0 {
+		ps.applyJobMetas(ent.Jobs)
+	}
+}
+
+// applyJobMetas applies already-validated job metadata, advancing the
+// data revision once if anything changed — shared by the HTTP handler
+// and WAL replay.
+func (ps *plantState) applyJobMetas(metas []JobMeta) {
+	changed := false
+	for _, m := range metas {
+		ms := ps.machines[m.Machine]
+		if ms == nil {
+			continue // topology drift in a replayed entry
+		}
+		if ms.setMeta(m) {
+			changed = true
+		}
+	}
+	if changed {
+		ps.dataRev.Add(1)
+	}
+}
+
+func (ps *plantState) strayWalDirs() ([]string, error) {
+	ents, err := os.ReadDir(ps.dur.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, walDirPrefix) {
+			continue
+		}
+		idx, err := strconv.Atoi(strings.TrimPrefix(name, walDirPrefix))
+		if err != nil || idx < len(ps.shards) {
+			continue
+		}
+		out = append(out, filepath.Join(ps.dur.dir, name))
+	}
+	return out, nil
+}
+
+// Open loads every plant persisted under Options.DataDir: topology
+// from meta.json, state from snapshot + WAL replay. Call it once after
+// New and before serving traffic; without a data dir it is a no-op.
+func (s *Server) Open() error {
+	if s.opts.DataDir == "" {
+		return nil
+	}
+	if _, err := s.walOptions(); err != nil {
+		return err // surface a bad -fsync value before first ingest
+	}
+	if err := os.MkdirAll(s.opts.DataDir, 0o755); err != nil {
+		return err
+	}
+	ents, err := os.ReadDir(s.opts.DataDir)
+	if err != nil {
+		return err
+	}
+	for _, e := range ents {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.opts.DataDir, e.Name(), plantMetaName)); err != nil {
+			continue
+		}
+		if err := s.loadPlant(e.Name()); err != nil {
+			return fmt.Errorf("server: recovering plant dir %s: %w", e.Name(), err)
+		}
+	}
+	return nil
+}
+
+// persistNewPlant sets up the durability directory of a freshly
+// registered plant: meta.json, empty WALs, and the snapshot loop.
+// Called with s.mu held, before the plant becomes visible. On error —
+// its own or a later one reported through the returned cleanup — the
+// directory is removed again (when this call created it), so a restart
+// cannot resurrect an empty ghost plant from a half-written meta.json
+// and then refuse the operator's retry with 409.
+func (s *Server) persistNewPlant(ps *plantState, topo Topology) (cleanup func(), err error) {
+	wopts, err := s.walOptions()
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Join(s.opts.DataDir, plantDirName(topo.ID))
+	_, statErr := os.Stat(dir)
+	created := os.IsNotExist(statErr)
+	cleanup = func() {
+		if ps.dur != nil {
+			ps.dur.close()
+			ps.dur = nil
+		}
+		if created {
+			_ = os.RemoveAll(dir)
+		}
+	}
+	if err := persistMeta(dir, topo); err != nil {
+		cleanup()
+		return nil, err
+	}
+	if err := ps.attachDur(dir, wopts); err != nil {
+		cleanup()
+		return nil, err
+	}
+	ps.startSnapshotLoop(s.opts.SnapshotInterval)
+	return cleanup, nil
+}
+
+// loadPlant recovers one persisted plant directory into the registry.
+func (s *Server) loadPlant(dirName string) error {
+	dir := filepath.Join(s.opts.DataDir, dirName)
+	buf, err := os.ReadFile(filepath.Join(dir, plantMetaName))
+	if err != nil {
+		return err
+	}
+	var topo Topology
+	if err := json.Unmarshal(buf, &topo); err != nil {
+		return err
+	}
+	topo = topoWithDefaults(topo)
+	if err := topo.Validate(); err != nil {
+		return err
+	}
+	wopts, err := s.walOptions()
+	if err != nil {
+		return err
+	}
+	ps := newPlantState(topo)
+	ps.makeShards(s.opts.Shards, s.opts.QueueDepth)
+	ps.alertThreshold = s.opts.AlertThreshold
+	if err := ps.attachDur(dir, wopts); err != nil {
+		return err
+	}
+	if err := ps.recover(); err != nil {
+		ps.dur.close()
+		return err
+	}
+	ps.spawn()
+	ps.startSnapshotLoop(s.opts.SnapshotInterval)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.plants[topo.ID]; exists {
+		ps.kill()
+		return fmt.Errorf("plant %q loaded twice", topo.ID)
+	}
+	s.plants[topo.ID] = ps
+	return nil
+}

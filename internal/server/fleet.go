@@ -25,17 +25,38 @@ type rollKey struct {
 	machine, phase, sensor string
 }
 
+// shardBatch is one admitted unit of work: the validated records plus
+// the WAL sequence they were logged under (0 when durability is off).
+type shardBatch struct {
+	seq  uint64
+	recs []Record
+}
+
 // shard is one ingest pipeline: a bounded queue feeding a single
 // worker goroutine that owns the stores of the machines hashed onto
-// it. Per-machine ordering is therefore free, and the worker can run
-// the online alert trackers without locks.
+// it. Per-machine ordering is therefore free. The roll-up leaves and
+// alert trackers are folded under rollMu (one lock round per fresh
+// record) so the read side — roll-up queries and durability snapshots
+// — can copy them consistently.
 type shard struct {
-	q *stream.Queue[[]Record]
+	q *stream.Queue[shardBatch]
 
-	rollMu sync.Mutex
-	roll   map[rollKey]*stats.Online
+	// admitMu serializes WAL-append + enqueue so queue order equals
+	// WAL sequence order — the invariant that makes foldedSeq a valid
+	// compaction boundary. Only taken when durability is on.
+	admitMu sync.Mutex
 
-	trackers map[rollKey]*stats.EWMATracker // worker-owned, no lock
+	// foldMu is held by the worker around each batch fold; the
+	// snapshotter takes every shard's foldMu to capture a consistent
+	// cut of stores + roll-ups + trackers at a batch boundary.
+	foldMu    sync.Mutex
+	foldedSeq atomic.Uint64 // newest WAL seq folded into memory
+
+	dead atomic.Bool // kill(): drop queued batches instead of folding
+
+	rollMu   sync.Mutex
+	roll     map[rollKey]*stats.Online
+	trackers map[rollKey]*stats.EWMATracker
 }
 
 // Alert is one streaming detection event raised at ingest time by the
@@ -64,9 +85,16 @@ type plantState struct {
 	alerts    []Alert
 	alertHead int
 
-	accepted atomic.Uint64 // records folded in
+	accepted atomic.Uint64 // fresh records folded in
+	received atomic.Uint64 // valid records folded, incl. idempotent replays
 	rejected atomic.Uint64 // records failing validation
 	shed     atomic.Uint64 // batches refused with 429
+
+	alertThreshold float64
+
+	// dur is the durability attachment (nil when the server runs
+	// without a data dir): per-shard WALs plus snapshot state.
+	dur *plantDur
 
 	// Read side, all guarded by reportMu: the assembled snapshot, the
 	// revision it reflects, per-machine build revisions and built
@@ -134,7 +162,7 @@ func (ps *plantState) makeShards(shards, queueDepth int) {
 	ps.shards = make([]*shard, shards)
 	for i := range ps.shards {
 		ps.shards[i] = &shard{
-			q:        stream.NewQueue[[]Record](queueDepth),
+			q:        stream.NewQueue[shardBatch](queueDepth),
 			roll:     make(map[rollKey]*stats.Online),
 			trackers: make(map[rollKey]*stats.EWMATracker),
 		}
@@ -144,94 +172,157 @@ func (ps *plantState) makeShards(shards, queueDepth int) {
 // start spins up the shard pipelines.
 func (ps *plantState) start(shards, queueDepth int, alertThreshold float64) {
 	ps.makeShards(shards, queueDepth)
+	ps.alertThreshold = alertThreshold
+	ps.spawn()
+}
+
+// spawn starts the shard workers over already-made shards — split from
+// start so the durable open path can replay the WAL into quiescent
+// shards first.
+func (ps *plantState) spawn() {
 	for _, sh := range ps.shards {
 		ps.wg.Add(1)
-		go ps.work(sh, alertThreshold)
+		go ps.work(sh)
 	}
 }
 
-// close stops admission and drains every shard's backlog.
+// close stops admission, drains every shard's backlog, and — when
+// durability is on — writes a final snapshot, compacts the WAL, and
+// closes it.
 func (ps *plantState) close() {
 	for _, sh := range ps.shards {
 		sh.q.Close()
 	}
 	ps.wg.Wait()
+	if ps.dur != nil {
+		_ = ps.writeSnapshot()
+		ps.dur.close()
+	}
 }
 
-// shardFor routes a machine to its pipeline; environment records ride
-// on shard 0.
-func (ps *plantState) shardFor(machine string) *shard {
+// kill abandons the plant the way a crash would: queued batches are
+// dropped unfolded and no final snapshot is taken, so recovery must
+// come from snapshot + WAL replay alone. Test hook for the
+// kill-and-restart recovery contract.
+func (ps *plantState) kill() {
+	for _, sh := range ps.shards {
+		sh.dead.Store(true)
+		sh.q.Close()
+	}
+	ps.wg.Wait()
+	if ps.dur != nil {
+		ps.dur.close()
+	}
+}
+
+// shardIndexFor routes a machine to its pipeline index; environment
+// records ride on shard 0.
+func (ps *plantState) shardIndexFor(machine string) int {
 	if len(ps.shards) == 1 || machine == "" {
-		return ps.shards[0]
+		return 0
 	}
 	h := fnv.New32a()
 	h.Write([]byte(machine))
-	return ps.shards[int(h.Sum32())%len(ps.shards)]
+	return int(h.Sum32()) % len(ps.shards)
 }
 
-// work is the shard worker loop: fold records into the stores, the
-// roll-up accumulators, and the online alert trackers.
-func (ps *plantState) work(sh *shard, alertThreshold float64) {
+func (ps *plantState) shardFor(machine string) *shard {
+	return ps.shards[ps.shardIndexFor(machine)]
+}
+
+// work is the shard worker loop: fold each admitted batch into the
+// stores, the roll-up accumulators, and the online alert trackers.
+func (ps *plantState) work(sh *shard) {
 	defer ps.wg.Done()
 	for {
 		batch, ok := sh.q.Pop()
 		if !ok {
 			return
 		}
-		var wrote bool
-		var freshRecs uint64
-		for _, rec := range batch {
-			if rec.Env {
-				fresh, changed := ps.env.set(rec)
-				if fresh {
-					freshRecs++
-				}
-				wrote = wrote || changed
-				continue
-			}
-			ms := ps.machines[rec.Machine]
-			fresh, changed := ms.set(rec)
-			wrote = wrote || changed // corrections must reach the next snapshot
-			if !fresh {
-				// Idempotent replay of an already-seen cell: the store
-				// (and thus the report) carries any corrected value,
-				// but the streaming roll-up and alert trackers fold
-				// each cell's first-seen value only — Welford
-				// accumulators cannot retract an observation.
-				continue
-			}
-			freshRecs++
-			key := rollKey{rec.Machine, rec.Phase, rec.Sensor}
-			sh.rollMu.Lock()
-			o, ok := sh.roll[key]
-			if !ok {
-				o = &stats.Online{}
-				sh.roll[key] = o
-			}
-			o.Add(rec.Value)
-			sh.rollMu.Unlock()
-			tr, ok := sh.trackers[rollKey{machine: rec.Machine, sensor: rec.Sensor}]
-			if !ok {
-				tr = stats.NewEWMATracker(0.05)
-				sh.trackers[rollKey{machine: rec.Machine, sensor: rec.Sensor}] = tr
-			}
-			if score := tr.Add(rec.Value); score >= alertThreshold {
-				ps.pushAlert(Alert{
-					Machine: rec.Machine, Phase: rec.Phase, Sensor: rec.Sensor,
-					T: rec.T, Value: rec.Value, Score: score,
-				})
-			}
+		if sh.dead.Load() {
+			continue // killed: simulate losing the backlog
 		}
-		// Revision before counter: drain-watchers (Client.WaitDrained)
-		// poll accepted_records, so by the time the counter covers this
-		// batch the data revision must already reflect it — otherwise a
-		// report issued right after the drain could hit the snapshot
-		// fast path at the old revision and miss the final batch.
-		if wrote {
-			ps.dataRev.Add(1)
+		sh.foldMu.Lock()
+		ps.foldBatch(sh, batch.recs)
+		if batch.seq > 0 {
+			sh.foldedSeq.Store(batch.seq)
 		}
-		ps.accepted.Add(freshRecs)
+		sh.foldMu.Unlock()
 	}
+}
+
+// foldBatch folds one validated batch into a shard's state. It is the
+// single ingest fold path: the shard workers run it live, and the
+// durable open path replays snapshot-uncovered WAL entries through it
+// — replay is idempotent by construction because the store reports
+// replayed cells as not fresh, which skips the roll-up and tracker
+// side effects exactly like a client's 429 retry does.
+func (ps *plantState) foldBatch(sh *shard, batch []Record) {
+	var wrote bool
+	var freshRecs uint64
+	for _, rec := range batch {
+		if rec.Env {
+			fresh, changed := ps.env.set(rec)
+			if fresh {
+				freshRecs++
+			}
+			wrote = wrote || changed
+			continue
+		}
+		ms := ps.machines[rec.Machine]
+		if ms == nil {
+			// Validation precedes admission, but a record can still
+			// surface here without a store — e.g. replayed from a WAL
+			// written under a different topology. A worker panic would
+			// take the whole process down; count it as rejected
+			// instead.
+			ps.rejected.Add(1)
+			continue
+		}
+		fresh, changed := ms.set(rec)
+		wrote = wrote || changed // corrections must reach the next snapshot
+		if !fresh {
+			// Idempotent replay of an already-seen cell: the store
+			// (and thus the report) carries any corrected value,
+			// but the streaming roll-up and alert trackers fold
+			// each cell's first-seen value only — Welford
+			// accumulators cannot retract an observation.
+			continue
+		}
+		freshRecs++
+		key := rollKey{rec.Machine, rec.Phase, rec.Sensor}
+		trKey := rollKey{machine: rec.Machine, sensor: rec.Sensor}
+		sh.rollMu.Lock()
+		o, ok := sh.roll[key]
+		if !ok {
+			o = &stats.Online{}
+			sh.roll[key] = o
+		}
+		o.Add(rec.Value)
+		tr, ok := sh.trackers[trKey]
+		if !ok {
+			tr = stats.NewEWMATracker(0.05)
+			sh.trackers[trKey] = tr
+		}
+		score := tr.Add(rec.Value)
+		sh.rollMu.Unlock()
+		if score >= ps.alertThreshold {
+			ps.pushAlert(Alert{
+				Machine: rec.Machine, Phase: rec.Phase, Sensor: rec.Sensor,
+				T: rec.T, Value: rec.Value, Score: score,
+			})
+		}
+	}
+	// Revision before counters: drain-watchers (Client.WaitDrained)
+	// poll received_records, so by the time the counter covers this
+	// batch the data revision must already reflect it — otherwise a
+	// report issued right after the drain could hit the snapshot
+	// fast path at the old revision and miss the final batch.
+	if wrote {
+		ps.dataRev.Add(1)
+	}
+	ps.accepted.Add(freshRecs)
+	ps.received.Add(uint64(len(batch)))
 }
 
 func (ps *plantState) pushAlert(a Alert) {
@@ -409,22 +500,44 @@ func (ps *plantState) activeMachines() []string {
 }
 
 // rollup merges the shard-local leaf accumulators and folds them up to
-// the requested level: sensor, phase, machine, line, or plant.
+// the requested level: sensor, phase, machine, line, or plant. Leaves
+// are merged in sorted key order — the parallel Welford merge is not
+// floating-point associative, so map iteration order would otherwise
+// leak last-ulp jitter into responses (and break the byte-identical
+// crash-recovery contract).
 func (ps *plantState) rollup(level string) ([]RollupNode, error) {
 	keyFn, err := rollupKeyFn(level, ps.topo.ID, ps.machineLine)
 	if err != nil {
 		return nil, err
 	}
-	agg := make(map[string]stats.Online)
+	type leafPair struct {
+		k rollKey
+		o stats.Online
+	}
+	var leaves []leafPair
 	for _, sh := range ps.shards {
 		sh.rollMu.Lock()
 		for k, o := range sh.roll {
-			key := keyFn(k)
-			merged := agg[key]
-			merged.Merge(*o)
-			agg[key] = merged
+			leaves = append(leaves, leafPair{k, *o})
 		}
 		sh.rollMu.Unlock()
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		a, b := leaves[i].k, leaves[j].k
+		if a.machine != b.machine {
+			return a.machine < b.machine
+		}
+		if a.phase != b.phase {
+			return a.phase < b.phase
+		}
+		return a.sensor < b.sensor
+	})
+	agg := make(map[string]stats.Online)
+	for _, lp := range leaves {
+		key := keyFn(lp.k)
+		merged := agg[key]
+		merged.Merge(lp.o)
+		agg[key] = merged
 	}
 	keys := make([]string, 0, len(agg))
 	for k := range agg {

@@ -17,20 +17,32 @@
 //	GET  /v1/plants/{id}/report              fleet outlier report (?level=&top=&machine=)
 //	GET  /v1/plants/{id}/rollup              incremental aggregates (?level=sensor|phase|machine|line|plant)
 //	GET  /v1/plants/{id}/alerts              recent streaming alerts (?limit=)
-//	GET  /v1/plants/{id}/stats               ingest counters + queue depths
+//	GET  /v1/plants/{id}/stats               ingest counters, queue depths, durability gauges
+//	GET  /v1/plants/{id}/backup              consistent snapshot of the plant (binary)
+//	POST /v1/plants/{id}/restore             recreate a plant from a backup
 //	GET  /healthz                            liveness
+//
+// With Options.DataDir set, every accepted ingest batch is appended to
+// a CRC-checksummed per-shard WAL before it is acknowledged and the
+// serving state is periodically snapshotted; Open() recovers the fleet
+// after a crash or restart by replaying snapshot + WAL tail through
+// the same ingest path (safe because the store is idempotent).
 package server
 
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"math"
 	"net"
 	"net/http"
 	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/wal"
 	"repro/pkg/hod/wire"
 )
 
@@ -52,6 +64,18 @@ type Options struct {
 	AlertThreshold float64
 	// MaxOutliers bounds each machine's report (default 512).
 	MaxOutliers int
+	// DataDir enables durability: per-plant WAL + snapshots live under
+	// it, and Open() recovers the registered fleet from it. Empty means
+	// in-memory only (the pre-durability behaviour).
+	DataDir string
+	// Fsync is the WAL fsync policy: "always" (default, group-committed
+	// before the ingest ack), "interval" (background flush), or "none".
+	Fsync string
+	// SnapshotInterval is the cadence of the background compacting
+	// snapshot (default 30s).
+	SnapshotInterval time.Duration
+	// SegmentBytes rotates WAL segments at this size (default 8 MiB).
+	SegmentBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -69,6 +93,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxOutliers <= 0 {
 		o.MaxOutliers = 512
+	}
+	if o.SnapshotInterval <= 0 {
+		o.SnapshotInterval = 30 * time.Second
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
 	}
 	return o
 }
@@ -101,6 +131,8 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/plants/{id}/rollup", s.withPlant(s.handleRollup))
 	s.mux.HandleFunc("GET /v1/plants/{id}/alerts", s.withPlant(s.handleAlerts))
 	s.mux.HandleFunc("GET /v1/plants/{id}/stats", s.withPlant(s.handleStats))
+	s.mux.HandleFunc("GET /v1/plants/{id}/backup", s.withPlant(s.handleBackup))
+	s.mux.HandleFunc("POST /v1/plants/{id}/restore", s.handleRestore)
 	return s
 }
 
@@ -181,7 +213,16 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ps := newPlantState(topo)
-	ps.start(s.opts.Shards, s.opts.QueueDepth, s.opts.AlertThreshold)
+	ps.makeShards(s.opts.Shards, s.opts.QueueDepth)
+	ps.alertThreshold = s.opts.AlertThreshold
+	if s.opts.DataDir != "" {
+		if _, err := s.persistNewPlant(ps, topo); err != nil {
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "persisting plant: "+err.Error())
+			return
+		}
+	}
+	ps.spawn()
 	s.plants[topo.ID] = ps
 	s.mu.Unlock()
 	machines := 0
@@ -240,16 +281,24 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ps *plantS
 	ps.rejected.Add(uint64(rejected))
 
 	// Partition onto shards preserving order within each machine.
-	chunks := make(map[*shard][]Record)
+	chunks := make(map[int][]Record)
 	for _, rec := range valid {
-		sh := ps.shardFor(rec.Machine)
-		chunks[sh] = append(chunks[sh], rec)
+		idx := ps.shardIndexFor(rec.Machine)
+		chunks[idx] = append(chunks[idx], rec)
 	}
 	// Admission is all-or-nothing per shard; a single overloaded shard
 	// sheds the batch. Chunks already admitted stay admitted — the
-	// idempotent store makes the client's full-batch retry safe.
-	for sh, chunk := range chunks {
-		if !sh.q.TryPush(chunk) {
+	// idempotent store makes the client's full-batch retry safe. With
+	// durability on, each chunk is WAL-appended (group-committed per
+	// shard) before it is enqueued, so a 202 means the data survives a
+	// crash.
+	for idx, chunk := range chunks {
+		admitted, err := ps.admit(idx, chunk)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "wal append: "+err.Error())
+			return
+		}
+		if !admitted {
 			ps.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			writeErr(w, http.StatusTooManyRequests, wire.CodeBackpressure, "ingest queue full, retry the batch")
@@ -272,12 +321,38 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, ps *plantSta
 		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "bad job metadata: "+err.Error())
 		return
 	}
-	applied, rejected := 0, 0
-	var firstErr string
+	// Vector validation rejects the whole batch with a machine-readable
+	// 400: a too-long setup/CAQ vector would otherwise be silently
+	// truncated by the padVector materialisation, and a non-finite one
+	// would poison the level-2 detectors and the report encoder.
 	for _, m := range metas {
-		ms, ok := ps.machines[m.Machine]
+		if len(m.Setup) > ps.topo.SetupDims || len(m.CAQ) > ps.topo.CAQDims {
+			writeErr(w, http.StatusBadRequest, wire.CodeVectorDims, fmt.Sprintf(
+				"job %s: setup/caq vector longer than the registered dims (%d/%d); refusing to truncate",
+				m.Job, ps.topo.SetupDims, ps.topo.CAQDims))
+			return
+		}
+		for _, v := range m.Setup {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeErr(w, http.StatusBadRequest, wire.CodeBadRequest,
+					fmt.Sprintf("job %s: non-finite setup value", m.Job))
+				return
+			}
+		}
+		for _, v := range m.CAQ {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				writeErr(w, http.StatusBadRequest, wire.CodeBadRequest,
+					fmt.Sprintf("job %s: non-finite caq value", m.Job))
+				return
+			}
+		}
+	}
+	rejected := 0
+	var firstErr string
+	valid := metas[:0]
+	for _, m := range metas {
 		switch {
-		case !ok:
+		case ps.machines[m.Machine] == nil:
 			rejected++
 			if firstErr == "" {
 				firstErr = fmt.Sprintf("unregistered machine %q", m.Machine)
@@ -287,22 +362,17 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, ps *plantSta
 			if firstErr == "" {
 				firstErr = "missing job id"
 			}
-		case len(m.Setup) > ps.topo.SetupDims || len(m.CAQ) > ps.topo.CAQDims:
-			rejected++
-			if firstErr == "" {
-				firstErr = fmt.Sprintf("job %s: setup/caq longer than registered dims (%d/%d)",
-					m.Job, ps.topo.SetupDims, ps.topo.CAQDims)
-			}
 		default:
-			ms.setMeta(m)
-			applied++
+			valid = append(valid, m)
 		}
 	}
-	if applied > 0 {
-		ps.dataRev.Add(1)
+	ps.applyJobMetas(valid)
+	if err := ps.appendJobs(valid); err != nil {
+		writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "wal append: "+err.Error())
+		return
 	}
 	writeJSON(w, http.StatusAccepted, wire.JobsAck{
-		Jobs: applied, Rejected: rejected, FirstRejection: firstErr,
+		Jobs: len(valid), Rejected: rejected, FirstRejection: firstErr,
 	})
 }
 
@@ -330,14 +400,139 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request, ps *plantS
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	walSegments := 0
+	var snapRev uint64
+	if ps.dur != nil {
+		walSegments = ps.dur.segments()
+		snapRev = ps.dur.snapRev.Load()
+	}
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
 		Plant:           ps.topo.ID,
 		AcceptedRecords: ps.accepted.Load(),
+		ReceivedRecords: ps.received.Load(),
 		RejectedRecords: ps.rejected.Load(),
 		ShedBatches:     ps.shed.Load(),
 		DataRevision:    ps.dataRev.Load(),
 		Shards:          len(ps.shards),
 		QueueDepths:     ps.queueDepths(),
+		WALSegments:     walSegments,
+		SnapshotRev:     snapRev,
+	})
+}
+
+// handleBackup streams a consistent snapshot of the plant — the same
+// framed format the durability layer persists, so a backup taken from
+// a diskless server can still seed a restore elsewhere.
+func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	st := ps.captureState()
+	if ps.dur != nil {
+		st.SnapshotRev = ps.dur.snapRev.Load()
+	}
+	// A backup re-seeds fresh WALs on restore; per-shard positions of
+	// *this* server's logs would be poison there.
+	st.ShardSeqs = nil
+	payload, err := encodeState(st)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "encoding snapshot: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(wal.EncodeSnapshot(st.SnapshotRev, payload))
+}
+
+// handleRestore recreates a plant from a backup body. The plant id
+// must not be registered yet; the topology rides inside the backup.
+func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if s.closed.Load() {
+		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
+		return
+	}
+	// A backup holds the whole plant, not one ingest batch — cap it
+	// well above MaxBodyBytes or Backup output could never round-trip.
+	restoreCap := s.opts.MaxBodyBytes
+	if restoreCap < maxRestoreBytes {
+		restoreCap = maxRestoreBytes
+	}
+	buf, err := io.ReadAll(http.MaxBytesReader(w, r.Body, restoreCap))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "reading backup: "+err.Error())
+		return
+	}
+	rev, payload, err := wal.DecodeSnapshot(buf)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	st, err := decodeState(payload)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "decoding backup state: "+err.Error())
+		return
+	}
+	id := r.PathValue("id")
+	if st.Topo.ID != id {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest,
+			fmt.Sprintf("backup holds plant %q, not %q", st.Topo.ID, id))
+		return
+	}
+	if err := st.Topo.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	if err := validateState(st); err != nil {
+		// The ingest path rejects oversized and non-finite job vectors
+		// with 400; a backup must not smuggle them past the same gate.
+		writeErr(w, http.StatusBadRequest, wire.CodeVectorDims, err.Error())
+		return
+	}
+	st.ShardSeqs = nil // positions of the source server's WALs, if any
+	// The rebased snapshot the data dir will hold; encoded before the
+	// registry lock so the gob pass doesn't stall unrelated requests.
+	st.SnapshotRev = rev
+	rebased, err := encodeState(st)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "encoding snapshot: "+err.Error())
+		return
+	}
+
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
+		return
+	}
+	if _, exists := s.plants[id]; exists {
+		s.mu.Unlock()
+		writeErr(w, http.StatusConflict, wire.CodeAlreadyRegistered,
+			fmt.Sprintf("plant %q already registered; restore needs a fresh id", id))
+		return
+	}
+	ps := newPlantState(st.Topo)
+	ps.makeShards(s.opts.Shards, s.opts.QueueDepth)
+	ps.alertThreshold = s.opts.AlertThreshold
+	ps.applyState(st)
+	if s.opts.DataDir != "" {
+		cleanup, err := s.persistNewPlant(ps, st.Topo)
+		if err != nil {
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "persisting plant: "+err.Error())
+			return
+		}
+		// Make the restored baseline itself durable: the fresh WALs are
+		// empty, so everything must come from the snapshot file.
+		if err := wal.SaveSnapshot(ps.dur.dir, rev, rebased); err != nil {
+			cleanup()
+			s.mu.Unlock()
+			writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "persisting snapshot: "+err.Error())
+			return
+		}
+		ps.dur.snapRev.Store(rev)
+	}
+	ps.spawn()
+	s.plants[id] = ps
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, wire.RestoreAck{
+		ID: id, Machines: len(st.Machines), Records: st.Received, SnapshotRev: rev,
 	})
 }
 

@@ -160,14 +160,14 @@ func waitDrained(t *testing.T, base, plantID string, want uint64) {
 			t.Fatal(err)
 		}
 		var st struct {
-			Accepted    uint64 `json:"accepted_records"`
+			Received    uint64 `json:"received_records"`
 			QueueDepths []int  `json:"queue_depths"`
 		}
 		body := mustStatus(t, resp, http.StatusOK)
 		if err := json.Unmarshal(body, &st); err != nil {
 			t.Fatal(err)
 		}
-		drained := st.Accepted >= want
+		drained := st.Received >= want
 		for _, d := range st.QueueDepths {
 			if d > 0 {
 				drained = false
@@ -717,7 +717,7 @@ func TestCorrectedValueReachesSnapshot(t *testing.T) {
 
 	m := p.Machines()[0]
 	cell := Record{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 0, Value: 100}
-	if !ps.shardFor(m.ID).q.TryPush([]Record{cell}) {
+	if !ps.shardFor(m.ID).q.TryPush(shardBatch{recs: []Record{cell}}) {
 		t.Fatal("push failed")
 	}
 	waitRev := func(min uint64) {
@@ -747,7 +747,7 @@ func TestCorrectedValueReachesSnapshot(t *testing.T) {
 	// Correction: same cell, new value — not fresh, but must still
 	// reach the next snapshot.
 	cell.Value = 200
-	if !ps.shardFor(m.ID).q.TryPush([]Record{cell}) {
+	if !ps.shardFor(m.ID).q.TryPush(shardBatch{recs: []Record{cell}}) {
 		t.Fatal("push failed")
 	}
 	waitRev(2)
@@ -762,5 +762,177 @@ func TestCorrectedValueReachesSnapshot(t *testing.T) {
 	}
 	if got := am.Jobs[0].Phases[0].Sensors.Dim("temp-a").Values[0]; got != 200 {
 		t.Fatalf("corrected value %v did not reach the snapshot, want 200", got)
+	}
+}
+
+// TestWorkerSurvivesUnknownMachine is the regression test for the
+// shard-worker crash: a queued record for a machine without a store
+// (validation bypassed, topology drift in a replayed WAL, ...) used to
+// nil-deref and take the whole process down. It must count as rejected
+// and leave the worker alive for the next batch.
+func TestWorkerSurvivesUnknownMachine(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 2, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topoWithDefaults(topoFromPlant("plant-ghost", p))
+	ps := newPlantState(topo)
+	ps.start(1, 8, 1e9)
+	defer ps.close()
+
+	m := p.Machines()[0]
+	batch := []Record{
+		{Machine: "ghost", Job: "j", Phase: "print", Sensor: "temp-a", T: 0, Value: 1},
+		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 0, Value: 1},
+	}
+	if !ps.shards[0].q.TryPush(shardBatch{recs: batch}) {
+		t.Fatal("push failed")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ps.received.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker died on unknown machine: received=%d", ps.received.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := ps.rejected.Load(); got != 1 {
+		t.Fatalf("rejected = %d, want 1", got)
+	}
+	if got := ps.accepted.Load(); got != 1 {
+		t.Fatalf("accepted = %d, want 1", got)
+	}
+	// The worker is still alive: a second batch folds too.
+	if !ps.shards[0].q.TryPush(shardBatch{recs: []Record{
+		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 1, Value: 2},
+	}}) {
+		t.Fatal("second push failed")
+	}
+	for ps.accepted.Load() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker did not fold the follow-up batch")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestVectorDimsRejected pins the oversized setup/CAQ contract: the
+// batch is refused with the structured 400 envelope and the dedicated
+// vector_dims code instead of being silently truncated by padVector.
+func TestVectorDimsRejected(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-dims", p))
+
+	m := p.Machines()[0]
+	long := make([]float64, wire.DefaultSetupDims+1)
+	metas, _ := json.Marshal([]JobMeta{{Machine: m.ID, Job: m.Jobs[0].ID, Setup: long}})
+	resp, err := http.Post(ts.URL+"/v1/plants/plant-dims/jobs", "application/json", bytes.NewReader(metas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := mustStatus(t, resp, http.StatusBadRequest)
+	var env wire.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatalf("not the error envelope: %s", body)
+	}
+	if env.Err.Code != wire.CodeVectorDims {
+		t.Fatalf("error code %q, want %q", env.Err.Code, wire.CodeVectorDims)
+	}
+	// Oversized CAQ trips the same gate.
+	metas, _ = json.Marshal([]JobMeta{{Machine: m.ID, Job: m.Jobs[0].ID, CAQ: make([]float64, wire.DefaultCAQDims+1)}})
+	resp, err = http.Post(ts.URL+"/v1/plants/plant-dims/jobs", "application/json", bytes.NewReader(metas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusBadRequest)
+	// An exact-width vector is still welcome.
+	metas, _ = json.Marshal([]JobMeta{{Machine: m.ID, Job: m.Jobs[0].ID,
+		Setup: make([]float64, wire.DefaultSetupDims), CAQ: make([]float64, wire.DefaultCAQDims)}})
+	resp, err = http.Post(ts.URL+"/v1/plants/plant-dims/jobs", "application/json", bytes.NewReader(metas))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustStatus(t, resp, http.StatusAccepted)
+}
+
+// TestAlertRingWraparound pins recentAlerts ordering across the ring's
+// wrap: oldest first, newest last, and a limit keeps the newest.
+func TestAlertRingWraparound(t *testing.T) {
+	ps := &plantState{}
+	const extra = 100
+	for i := 0; i < alertRingCap+extra; i++ {
+		ps.pushAlert(Alert{T: i})
+	}
+	all := ps.recentAlerts(0)
+	if len(all) != alertRingCap {
+		t.Fatalf("ring holds %d alerts, want %d", len(all), alertRingCap)
+	}
+	if all[0].T != extra {
+		t.Fatalf("oldest alert T=%d, want %d (ring did not evict oldest-first)", all[0].T, extra)
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].T != all[i-1].T+1 {
+			t.Fatalf("alerts out of order at %d: T=%d after T=%d", i, all[i].T, all[i-1].T)
+		}
+	}
+	last := ps.recentAlerts(10)
+	if len(last) != 10 || last[9].T != alertRingCap+extra-1 || last[0].T != alertRingCap+extra-10 {
+		t.Fatalf("limit window wrong: first T=%d last T=%d", last[0].T, last[9].T)
+	}
+	// Before the ring fills, order is insertion order.
+	small := &plantState{}
+	for i := 0; i < 5; i++ {
+		small.pushAlert(Alert{T: i})
+	}
+	got := small.recentAlerts(0)
+	if len(got) != 5 || got[0].T != 0 || got[4].T != 4 {
+		t.Fatalf("unfilled ring order wrong: %+v", got)
+	}
+}
+
+// TestReceivedRecordsCountsIdempotentReplay pins the drain-watcher
+// contract: re-sending an already-ingested trace advances
+// received_records (accepted_records stays put), so WaitDrained-style
+// polling terminates on replays.
+func TestReceivedRecordsCountsIdempotentReplay(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 4, Lines: 1, MachinesPerLine: 2, JobsPerMachine: 2, PhaseSamples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{Shards: 2, QueueDepth: 16})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-replay", p))
+
+	recs := machineRecords(p)
+	mustStatus(t, postRetry(t, ts.URL+"/v1/plants/plant-replay/ingest", "application/x-ndjson", ndjson(recs)),
+		http.StatusAccepted)
+	waitDrained(t, ts.URL, "plant-replay", uint64(len(recs)))
+
+	// Replay the identical trace: every record is an idempotent
+	// overwrite, yet the drain target is still reached.
+	mustStatus(t, postRetry(t, ts.URL+"/v1/plants/plant-replay/ingest", "application/x-ndjson", ndjson(recs)),
+		http.StatusAccepted)
+	waitDrained(t, ts.URL, "plant-replay", uint64(2*len(recs)))
+
+	var st struct {
+		Accepted uint64 `json:"accepted_records"`
+		Received uint64 `json:"received_records"`
+	}
+	if err := json.Unmarshal(getBody(t, ts.URL+"/v1/plants/plant-replay/stats"), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Accepted != uint64(len(recs)) {
+		t.Fatalf("accepted = %d, want %d (replay must not double-count fresh cells)", st.Accepted, len(recs))
+	}
+	if st.Received != uint64(2*len(recs)) {
+		t.Fatalf("received = %d, want %d", st.Received, 2*len(recs))
 	}
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -114,15 +115,23 @@ func (ms *machineStore) set(rec Record) (fresh, changed bool) {
 	return fresh, changed
 }
 
-func (ms *machineStore) setMeta(m JobMeta) {
+// setMeta applies one job's metadata and reports whether anything
+// changed. Re-applying identical metadata — a client retry or a WAL
+// replay — must not advance the revision, or a recovered server would
+// drift from an uninterrupted one.
+func (ms *machineStore) setMeta(m JobMeta) (changed bool) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
 	j := ms.job(m.Job)
+	if j.hasMeta && j.faulty == m.Faulty && slices.Equal(j.setup, m.Setup) && slices.Equal(j.caq, m.CAQ) {
+		return false
+	}
 	j.setup = append([]float64(nil), m.Setup...)
 	j.caq = append([]float64(nil), m.CAQ...)
 	j.faulty = m.Faulty
 	j.hasMeta = true
 	ms.rev++
+	return true
 }
 
 // envStore buffers the shared shop-floor climate series.

@@ -99,6 +99,23 @@ func (o *Online) Merge(other Online) {
 // Reset returns the accumulator to its zero state.
 func (o *Online) Reset() { *o = Online{} }
 
+// OnlineState is the exported, serializable mirror of Online — the
+// durability layer checkpoints roll-up accumulators through it.
+type OnlineState struct {
+	N                  int
+	Mean, M2, Min, Max float64
+}
+
+// State captures the accumulator for serialization.
+func (o *Online) State() OnlineState {
+	return OnlineState{N: o.n, Mean: o.mean, M2: o.m2, Min: o.min, Max: o.max}
+}
+
+// OnlineFromState rebuilds an accumulator from a captured state.
+func OnlineFromState(s OnlineState) Online {
+	return Online{n: s.N, mean: s.Mean, m2: s.M2, min: s.Min, max: s.Max}
+}
+
 // EWMATracker maintains an exponentially weighted mean and variance,
 // which the environment-level detectors use to follow slow drifts such as
 // the daily room-temperature cycle while still flagging step changes.
@@ -145,3 +162,19 @@ func (e *EWMATracker) Mean() float64 { return e.mean }
 
 // StdDev returns the tracked standard deviation.
 func (e *EWMATracker) StdDev() float64 { return math.Sqrt(e.variance) }
+
+// EWMAState is the exported, serializable mirror of EWMATracker.
+type EWMAState struct {
+	Alpha, Mean, Variance float64
+	Started               bool
+}
+
+// State captures the tracker for serialization.
+func (e *EWMATracker) State() EWMAState {
+	return EWMAState{Alpha: e.alpha, Mean: e.mean, Variance: e.variance, Started: e.started}
+}
+
+// EWMAFromState rebuilds a tracker from a captured state.
+func EWMAFromState(s EWMAState) *EWMATracker {
+	return &EWMATracker{alpha: s.Alpha, mean: s.Mean, variance: s.Variance, started: s.Started}
+}

@@ -418,3 +418,106 @@ func TestPropertyNormalize(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: Merge matches the sequential reference for any split of
+// any input — N exactly, min/max exactly, mean/variance to numerical
+// tolerance. Min/max deserve the property treatment because Merge
+// takes them through a different path than Add (no first-observation
+// special case).
+func TestPropertyOnlineMergeMatchesSequential(t *testing.T) {
+	f := func(raw []float64, splitRaw uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		split := int(splitRaw) % (len(xs) + 1)
+		var a, b, whole Online
+		a.AddAll(xs[:split])
+		b.AddAll(xs[split:])
+		whole.AddAll(xs)
+		a.Merge(b)
+		if a.N() != whole.N() {
+			return false
+		}
+		if a.Min() != whole.Min() || a.Max() != whole.Max() {
+			// Empty sides surface as NaN on both.
+			if !(math.IsNaN(a.Min()) && math.IsNaN(whole.Min())) {
+				return false
+			}
+		}
+		scale := math.Max(1, math.Abs(whole.Mean()))
+		return math.Abs(a.Mean()-whole.Mean()) < 1e-6*scale &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-4*math.Max(1, whole.Variance())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging many shard-partials in any order preserves N and
+// the min/max extrema exactly — the roll-up tree's correctness
+// condition.
+func TestPropertyOnlineMergeManyParts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(400)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(6)-3))
+		}
+		parts := 1 + rng.Intn(8)
+		accs := make([]Online, parts)
+		for _, x := range xs {
+			accs[rng.Intn(parts)].Add(x)
+		}
+		var merged, whole Online
+		for _, a := range accs {
+			merged.Merge(a)
+		}
+		whole.AddAll(xs)
+		if merged.N() != whole.N() {
+			t.Fatalf("trial %d: N %d != %d", trial, merged.N(), whole.N())
+		}
+		if merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+			t.Fatalf("trial %d: min/max (%v,%v) != (%v,%v)",
+				trial, merged.Min(), merged.Max(), whole.Min(), whole.Max())
+		}
+		approx(t, merged.Mean(), whole.Mean(), 1e-9, "many-part merged mean")
+		approx(t, merged.Variance(), whole.Variance(), 1e-6, "many-part merged variance")
+	}
+}
+
+// TestOnlineStateRoundTrip pins the serialization mirror used by the
+// durability snapshots.
+func TestOnlineStateRoundTrip(t *testing.T) {
+	var o Online
+	o.AddAll([]float64{3, 1, 4, 1, 5, 9, 2, 6})
+	back := OnlineFromState(o.State())
+	if back != o {
+		t.Fatalf("Online state round trip changed the accumulator: %+v vs %+v", back, o)
+	}
+	// The rebuilt accumulator keeps accumulating identically.
+	o.Add(7)
+	back.Add(7)
+	if back != o {
+		t.Fatal("Online diverged after post-restore Add")
+	}
+
+	tr := NewEWMATracker(0.2)
+	for _, x := range []float64{1, 2, 3, 10, 2} {
+		tr.Add(x)
+	}
+	tb := EWMAFromState(tr.State())
+	if *tb != *tr {
+		t.Fatalf("EWMA state round trip changed the tracker: %+v vs %+v", *tb, *tr)
+	}
+	if tb.Add(42) != tr.Add(42) {
+		t.Fatal("EWMA diverged after post-restore Add")
+	}
+}

@@ -1,0 +1,106 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file format: [magic u32][rev u64][len u64][crc u32][payload].
+// The file is written to a temp name, fsynced, and renamed over the
+// previous snapshot, so a crash mid-write leaves the old one intact.
+
+const snapMagic = 0x484f4453 // "HODS"
+
+const snapHeader = 4 + 8 + 8 + 4
+
+// SnapshotName is the file name snapshots live under inside a plant's
+// durability directory.
+const SnapshotName = "snapshot.snap"
+
+// EncodeSnapshot frames a snapshot payload with its revision and CRC —
+// the same bytes SaveSnapshot persists, reusable as a backup wire
+// format.
+func EncodeSnapshot(rev uint64, payload []byte) []byte {
+	buf := make([]byte, snapHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], snapMagic)
+	binary.LittleEndian.PutUint64(buf[4:12], rev)
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[20:24], crc32.Checksum(payload, crcTable))
+	copy(buf[snapHeader:], payload)
+	return buf
+}
+
+// DecodeSnapshot verifies a framed snapshot and returns its revision
+// and payload.
+func DecodeSnapshot(buf []byte) (rev uint64, payload []byte, err error) {
+	if len(buf) < snapHeader {
+		return 0, nil, fmt.Errorf("wal: snapshot too short (%d bytes)", len(buf))
+	}
+	if binary.LittleEndian.Uint32(buf[0:4]) != snapMagic {
+		return 0, nil, fmt.Errorf("wal: not a snapshot (bad magic)")
+	}
+	rev = binary.LittleEndian.Uint64(buf[4:12])
+	n := binary.LittleEndian.Uint64(buf[12:20])
+	if n != uint64(len(buf)-snapHeader) {
+		return 0, nil, fmt.Errorf("wal: snapshot length %d does not match payload %d", n, len(buf)-snapHeader)
+	}
+	payload = buf[snapHeader:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(buf[20:24]) {
+		return 0, nil, fmt.Errorf("wal: snapshot CRC mismatch")
+	}
+	return rev, payload, nil
+}
+
+// SaveSnapshot atomically replaces dir/snapshot.snap with the framed
+// payload: temp file, fsync, rename, directory fsync.
+func SaveSnapshot(dir string, rev uint64, payload []byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	final := filepath.Join(dir, SnapshotName)
+	tmp, err := os.CreateTemp(dir, SnapshotName+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { _ = os.Remove(tmpName) }
+	if _, err := tmp.Write(EncodeSnapshot(rev, payload)); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		cleanup()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return err
+	}
+	if err := os.Rename(tmpName, final); err != nil {
+		cleanup()
+		return err
+	}
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// LoadSnapshot reads dir/snapshot.snap. A missing file is not an error
+// — it returns rev 0 and a nil payload (fresh directory).
+func LoadSnapshot(dir string) (rev uint64, payload []byte, err error) {
+	buf, err := os.ReadFile(filepath.Join(dir, SnapshotName))
+	if os.IsNotExist(err) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return DecodeSnapshot(buf)
+}

@@ -1,0 +1,521 @@
+// Package wal is the durability layer of the serving stack: a
+// segmented, CRC-checksummed append-only log plus atomically replaced
+// snapshot files. The serving layer appends every accepted ingest
+// batch before acknowledging it and periodically compacts the log
+// against a snapshot of the in-memory stores; on startup it replays
+// snapshot + log tail through the regular ingest path, which is safe
+// because the ingest store is idempotent (set-at-index).
+//
+// On-disk layout of one log directory:
+//
+//	seg-<first-seq>.wal    frames: [len u32][crc u32][seq u64][payload]
+//
+// The CRC (Castagnoli) covers seq + payload. A torn tail — a partial
+// or corrupt frame at the end of the newest segment, the signature of
+// a crash mid-write — is truncated away on open; corruption anywhere
+// else is an error, because data the caller believed fsynced would be
+// silently lost.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy says when appended frames are fsynced to disk.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs before Append returns — group-committed, so
+	// concurrent appenders share one fsync. Survives power loss.
+	SyncAlways SyncPolicy = iota
+	// SyncInterval fsyncs on a background ticker (default 200ms). A
+	// crash of the process alone loses nothing (the data is in the OS
+	// page cache); power loss can lose the last interval.
+	SyncInterval
+	// SyncNone never fsyncs explicitly; the OS flushes on its own
+	// schedule. Fastest, weakest.
+	SyncNone
+)
+
+// ParseSyncPolicy maps the -fsync flag grammar onto a policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "always":
+		return SyncAlways, nil
+	case "interval":
+		return SyncInterval, nil
+	case "none", "off":
+		return SyncNone, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always|interval|none)", s)
+}
+
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncNone:
+		return "none"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// Options tunes one log.
+type Options struct {
+	// Policy is the fsync policy (default SyncAlways).
+	Policy SyncPolicy
+	// SegmentBytes rotates to a fresh segment once the active one
+	// grows past this size (default 8 MiB).
+	SegmentBytes int64
+	// SyncEvery is the background fsync cadence under SyncInterval
+	// (default 200ms).
+	SyncEvery time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 200 * time.Millisecond
+	}
+	return o
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const frameHeader = 4 + 4 + 8 // len + crc + seq
+
+// maxFrameBytes bounds one payload so a corrupt length field cannot
+// make replay allocate gigabytes.
+const maxFrameBytes = 256 << 20
+
+// segment is one on-disk log file and the seq range it holds.
+type segment struct {
+	path        string
+	first, last uint64 // last == first-1 when empty
+	bytes       int64
+}
+
+// Log is a segmented append-only log. Appends are safe for concurrent
+// use; Replay and Compact must not race Append (the serving layer
+// replays before it starts accepting traffic and compacts under its
+// snapshot lock).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex // guards file writes, rotation, segment list
+	f        *os.File
+	segs     []segment // segs[len-1] is the active one
+	nextSeq  uint64
+	appended uint64 // last appended seq, 0 when none
+
+	// Group commit: the first waiter to take syncMu fsyncs everything
+	// appended so far; later waiters observe synced >= their seq and
+	// return without touching the disk.
+	syncMu sync.Mutex
+	synced uint64
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+}
+
+// Open scans dir (created if missing) and opens the newest segment for
+// appending, truncating a torn tail if the process died mid-write.
+func Open(dir string, opts Options) (*Log, error) {
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextSeq: 1}
+	if err := l.scan(); err != nil {
+		return nil, err
+	}
+	if len(l.segs) == 0 {
+		if err := l.rotateLocked(); err != nil {
+			return nil, err
+		}
+	} else {
+		active := &l.segs[len(l.segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		l.f = f
+	}
+	if opts.Policy == SyncInterval {
+		l.tickStop = make(chan struct{})
+		l.tickDone = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+func segName(firstSeq uint64) string { return fmt.Sprintf("seg-%016x.wal", firstSeq) }
+
+// scan reads every segment in seq order, verifying frames and learning
+// the seq ranges; the newest segment is truncated at the first bad
+// frame (torn tail), older segments must be fully intact.
+func (l *Log) scan() error {
+	ents, err := os.ReadDir(l.dir)
+	if err != nil {
+		return err
+	}
+	var firsts []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		n, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"), 16, 64)
+		if err != nil {
+			return fmt.Errorf("wal: alien file %s in %s", name, l.dir)
+		}
+		firsts = append(firsts, n)
+	}
+	sort.Slice(firsts, func(i, j int) bool { return firsts[i] < firsts[j] })
+	for i, first := range firsts {
+		seg := segment{path: filepath.Join(l.dir, segName(first)), first: first, last: first - 1}
+		last := i == len(firsts)-1
+		validBytes, lastSeq, err := verifySegment(seg.path, first, last)
+		if err != nil {
+			return err
+		}
+		seg.bytes = validBytes
+		seg.last = lastSeq
+		if last {
+			if fi, err := os.Stat(seg.path); err == nil && fi.Size() > validBytes {
+				if err := os.Truncate(seg.path, validBytes); err != nil {
+					return fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+				}
+			}
+			l.nextSeq = lastSeq + 1
+			l.appended = lastSeq
+			l.synced = lastSeq
+		}
+		l.segs = append(l.segs, seg)
+	}
+	return nil
+}
+
+// verifySegment walks one segment's frames. For the newest segment a
+// bad or partial frame marks the valid prefix (torn tail); for older
+// segments it is corruption.
+func verifySegment(path string, firstSeq uint64, tolerateTail bool) (validBytes int64, lastSeq uint64, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	lastSeq = firstSeq - 1
+	var off int64
+	hdr := make([]byte, frameHeader)
+	var payload []byte
+	for {
+		if _, err := io.ReadFull(f, hdr); err != nil {
+			if err == io.EOF {
+				return off, lastSeq, nil
+			}
+			if tolerateTail {
+				return off, lastSeq, nil
+			}
+			return 0, 0, fmt.Errorf("wal: %s: torn frame header at %d in a non-final segment", path, off)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if n > maxFrameBytes {
+			if tolerateTail {
+				return off, lastSeq, nil
+			}
+			return 0, 0, fmt.Errorf("wal: %s: frame at %d claims %d bytes", path, off, n)
+		}
+		if cap(payload) < int(n) {
+			payload = make([]byte, n)
+		}
+		payload = payload[:n]
+		if _, err := io.ReadFull(f, payload); err != nil {
+			if tolerateTail {
+				return off, lastSeq, nil
+			}
+			return 0, 0, fmt.Errorf("wal: %s: torn payload at %d in a non-final segment", path, off)
+		}
+		if got := frameCRC(seq, payload); got != crc {
+			if tolerateTail {
+				return off, lastSeq, nil
+			}
+			return 0, 0, fmt.Errorf("wal: %s: CRC mismatch at %d (frame seq %d)", path, off, seq)
+		}
+		if seq != lastSeq+1 {
+			return 0, 0, fmt.Errorf("wal: %s: seq %d after %d (gap)", path, seq, lastSeq)
+		}
+		lastSeq = seq
+		off += frameHeader + int64(n)
+	}
+}
+
+func frameCRC(seq uint64, payload []byte) uint32 {
+	var seqb [8]byte
+	binary.LittleEndian.PutUint64(seqb[:], seq)
+	crc := crc32.Update(0, crcTable, seqb[:])
+	return crc32.Update(crc, crcTable, payload)
+}
+
+// rotateLocked opens a fresh segment. Callers hold l.mu (or own the
+// log exclusively during Open).
+func (l *Log) rotateLocked() error {
+	if l.f != nil {
+		if err := l.f.Sync(); err != nil {
+			return err
+		}
+		if err := l.f.Close(); err != nil {
+			return err
+		}
+	}
+	seg := segment{path: filepath.Join(l.dir, segName(l.nextSeq)), first: l.nextSeq, last: l.nextSeq - 1}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	l.f = f
+	l.segs = append(l.segs, seg)
+	return nil
+}
+
+// Append writes one frame and returns its sequence number. Under
+// SyncAlways the frame (and, by group commit, every earlier one) is
+// durable when Append returns.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	seq, err := l.AppendBuffered(payload)
+	if err != nil {
+		return 0, err
+	}
+	if l.opts.Policy == SyncAlways {
+		if err := l.SyncTo(seq); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// AppendBuffered writes one frame without applying the sync policy.
+// Callers that hold an admission lock pair it with SyncTo *after*
+// releasing the lock, so concurrent appenders genuinely share one
+// group-committed fsync instead of serializing on it.
+func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
+	if len(payload) > maxFrameBytes {
+		return 0, fmt.Errorf("wal: payload of %d bytes exceeds the %d cap", len(payload), maxFrameBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	seq := l.nextSeq
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], frameCRC(seq, payload))
+	binary.LittleEndian.PutUint64(frame[8:16], seq)
+	copy(frame[frameHeader:], payload)
+	active := &l.segs[len(l.segs)-1]
+	if _, err := l.f.Write(frame); err != nil {
+		// A partial write leaves garbage mid-segment; if it stayed, the
+		// next successful append would land *after* it and a restart
+		// would truncate everything from the garbage on — losing acked,
+		// fsynced frames to the torn-tail rule. Rewind to the last good
+		// frame boundary; if even that fails, seal the log so no ack
+		// can ever be issued past the corruption.
+		if terr := l.f.Truncate(active.bytes); terr != nil {
+			l.f.Close()
+			l.f = nil
+			return 0, fmt.Errorf("wal: write failed (%v) and rewind failed (%v); log sealed", err, terr)
+		}
+		return 0, err
+	}
+	l.nextSeq++
+	l.appended = seq
+	active.last = seq
+	active.bytes += int64(len(frame))
+	if active.bytes >= l.opts.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return seq, nil
+}
+
+// SyncTo makes every frame up to (at least) seq durable, sharing one
+// fsync among concurrent callers: the first waiter syncs everything
+// appended so far, later waiters observe their seq already covered and
+// return without touching the disk.
+func (l *Log) SyncTo(seq uint64) error {
+	l.syncMu.Lock()
+	defer l.syncMu.Unlock()
+	if l.synced >= seq {
+		return nil
+	}
+	l.mu.Lock()
+	f := l.f
+	covered := l.appended
+	l.mu.Unlock()
+	if f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	l.synced = covered
+	return nil
+}
+
+// Sync flushes everything appended so far to disk.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	seq := l.appended
+	l.mu.Unlock()
+	if seq == 0 {
+		return nil
+	}
+	return l.SyncTo(seq)
+}
+
+func (l *Log) syncLoop() {
+	defer close(l.tickDone)
+	t := time.NewTicker(l.opts.SyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.tickStop:
+			return
+		case <-t.C:
+			_ = l.Sync()
+		}
+	}
+}
+
+// Replay streams every retained frame in seq order to fn. Frames with
+// seq <= afterSeq are skipped without decoding — the caller passes the
+// snapshot's covered boundary.
+func (l *Log) Replay(afterSeq uint64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	for _, seg := range segs {
+		if seg.last < seg.first || seg.last <= afterSeq {
+			continue
+		}
+		if err := replaySegment(seg, afterSeq, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func replaySegment(seg segment, afterSeq uint64, fn func(uint64, []byte) error) error {
+	f, err := os.Open(seg.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := io.LimitReader(f, seg.bytes) // never read past the verified prefix
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return fmt.Errorf("wal: %s: %w", seg.path, err)
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return fmt.Errorf("wal: %s: truncated frame seq %d: %w", seg.path, seq, err)
+		}
+		if frameCRC(seq, payload) != crc {
+			return fmt.Errorf("wal: %s: CRC mismatch on frame seq %d", seg.path, seq)
+		}
+		if seq <= afterSeq {
+			continue
+		}
+		if err := fn(seq, payload); err != nil {
+			return err
+		}
+	}
+}
+
+// CompactThrough deletes full segments whose every frame has
+// seq <= coveredSeq. The active segment always survives, so appends
+// continue uninterrupted.
+func (l *Log) CompactThrough(coveredSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var firstErr error
+	keep := make([]segment, 0, len(l.segs))
+	for i, seg := range l.segs {
+		active := i == len(l.segs)-1
+		if active || seg.last > coveredSeq {
+			keep = append(keep, seg)
+			continue
+		}
+		if err := os.Remove(seg.path); err != nil && !os.IsNotExist(err) {
+			// An undeletable segment stays listed and is retried on the
+			// next compaction.
+			keep = append(keep, seg)
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	l.segs = keep
+	return firstErr
+}
+
+// LastSeq returns the newest appended sequence number (0 when empty).
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.appended
+}
+
+// Segments reports how many segment files the log currently holds.
+func (l *Log) Segments() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.segs)
+}
+
+// Close flushes and closes the active segment. Further Appends fail.
+func (l *Log) Close() error {
+	if l.tickStop != nil {
+		close(l.tickStop)
+		<-l.tickDone
+		l.tickStop = nil
+	}
+	if err := l.Sync(); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

@@ -98,6 +98,8 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == wire.CodeShuttingDown
 	case ErrNoData:
 		return e.Code == wire.CodeNoData
+	case ErrVectorDims:
+		return e.Code == wire.CodeVectorDims
 	}
 	return false
 }
@@ -299,16 +301,20 @@ func (c *Client) Stats(ctx context.Context, plantID string) (wire.StatsResponse,
 }
 
 // WaitDrained polls the stats endpoint until at least records samples
-// were folded in and every shard queue is empty — the point where a
-// report reflects everything uploaded so far. Cancel or deadline the
-// context to bound the wait.
+// were folded through the pipeline and every shard queue is empty —
+// the point where a report reflects everything uploaded so far. It
+// watches received_records, which counts idempotent replays too:
+// re-sending an already-ingested trace (the 429-retry and restart
+// replay stories) still drains, where the fresh-cells-only
+// accepted_records would never advance and the wait would hang.
+// Cancel or deadline the context to bound the wait.
 func (c *Client) WaitDrained(ctx context.Context, plantID string, records uint64) error {
 	for {
 		st, err := c.Stats(ctx, plantID)
 		if err != nil {
 			return err
 		}
-		drained := st.AcceptedRecords >= records
+		drained := st.ReceivedRecords >= records
 		for _, d := range st.QueueDepths {
 			if d > 0 {
 				drained = false
@@ -321,6 +327,39 @@ func (c *Client) WaitDrained(ctx context.Context, plantID string, records uint64
 			return err
 		}
 	}
+}
+
+// Backup downloads a consistent snapshot of one plant — the binary
+// format `hodctl restore` (POST /restore) accepts.
+func (c *Client) Backup(ctx context.Context, plantID string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/plants/"+url.PathEscape(plantID)+"/backup", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp.StatusCode, data)
+	}
+	return data, nil
+}
+
+// Restore recreates a plant from a Backup payload. The id must not be
+// registered on the target server yet; the topology rides inside the
+// backup.
+func (c *Client) Restore(ctx context.Context, plantID string, backup []byte) (wire.RestoreAck, error) {
+	var ack wire.RestoreAck
+	err := c.do(ctx, http.MethodPost, "/v1/plants/"+url.PathEscape(plantID)+"/restore",
+		"application/octet-stream", backup, &ack)
+	return ack, err
 }
 
 // BatchStream accumulates records and flushes them through Ingest in

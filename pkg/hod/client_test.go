@@ -252,3 +252,126 @@ func TestClientTypedErrors(t *testing.T) {
 		t.Fatalf("APIError %+v", apiErr)
 	}
 }
+
+// TestWaitDrainedOnIdempotentReplay pins the fixed drain contract:
+// re-sending an already-ingested trace — the documented 429-retry and
+// replay story — still reaches the drain target, because WaitDrained
+// watches received_records rather than the fresh-cells-only
+// accepted_records (which a replay never advances).
+func TestWaitDrainedOnIdempotentReplay(t *testing.T) {
+	p, err := hod.Simulate(hod.SimConfig{Seed: 7, Lines: 1, MachinesPerLine: 2, JobsPerMachine: 2, PhaseSamples: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Options{Shards: 2, QueueDepth: 16})
+	client := hod.NewClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := client.Register(ctx, p.Topology("drain")); err != nil {
+		t.Fatal(err)
+	}
+	recs := p.Records()
+	if _, err := client.Ingest(ctx, "drain", recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WaitDrained(ctx, "drain", uint64(len(recs))); err != nil {
+		t.Fatal(err)
+	}
+	// Full replay of the same batch: before the received_records
+	// counter this wait hung until its deadline.
+	if _, err := client.Ingest(ctx, "drain", recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WaitDrained(ctx, "drain", uint64(2*len(recs))); err != nil {
+		t.Fatalf("drain on idempotent replay did not terminate: %v", err)
+	}
+	st, err := client.Stats(ctx, "drain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.AcceptedRecords != uint64(len(recs)) || st.ReceivedRecords != uint64(2*len(recs)) {
+		t.Fatalf("accepted=%d received=%d, want %d/%d", st.AcceptedRecords, st.ReceivedRecords, len(recs), 2*len(recs))
+	}
+}
+
+// TestClientVectorDimsSentinel maps the vector_dims 400 onto the
+// errors.Is-able sentinel.
+func TestClientVectorDimsSentinel(t *testing.T) {
+	p, err := hod.Simulate(hod.SimConfig{Seed: 2, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, server.Options{})
+	client := hod.NewClient(ts.URL)
+	ctx := context.Background()
+	if _, err := client.Register(ctx, p.Topology("vd")); err != nil {
+		t.Fatal(err)
+	}
+	meta := p.JobMetas()[0]
+	meta.Setup = append(meta.Setup, 1, 2, 3) // longer than the registered dims
+	if _, err := client.Jobs(ctx, "vd", []wire.JobMeta{meta}); !errors.Is(err, hod.ErrVectorDims) {
+		t.Fatalf("oversized setup: got %v, want ErrVectorDims", err)
+	}
+}
+
+// TestClientBackupRestore moves a plant between two servers through
+// the typed Backup/Restore methods the hodctl subcommands use.
+func TestClientBackupRestore(t *testing.T) {
+	p, err := hod.Simulate(hod.SimConfig{Seed: 8, Lines: 1, MachinesPerLine: 2, JobsPerMachine: 3, PhaseSamples: 16, FaultRate: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tsA := newTestServer(t, server.Options{Shards: 2, QueueDepth: 16})
+	_, tsB := newTestServer(t, server.Options{Shards: 2, QueueDepth: 16})
+	src := hod.NewClient(tsA.URL)
+	dst := hod.NewClient(tsB.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	if _, err := src.Register(ctx, p.Topology("mv")); err != nil {
+		t.Fatal(err)
+	}
+	recs := p.Records()
+	if _, err := src.Ingest(ctx, "mv", recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Jobs(ctx, "mv", p.JobMetas()); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.WaitDrained(ctx, "mv", uint64(len(recs))); err != nil {
+		t.Fatal(err)
+	}
+
+	backup, err := src.Backup(ctx, "mv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := dst.Restore(ctx, "mv", backup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.ID != "mv" || ack.Records != uint64(len(recs)) {
+		t.Fatalf("restore ack %+v", ack)
+	}
+
+	want, err := src.Report(ctx, "mv", hod.ReportQuery{Top: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.Report(ctx, "mv", hod.ReportQuery{Top: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("restored report differs:\nsource:   %+v\nrestored: %+v", want, got)
+	}
+
+	// Restore over an existing plant maps to the sentinel.
+	if _, err := dst.Restore(ctx, "mv", backup); !errors.Is(err, hod.ErrAlreadyRegistered) {
+		t.Fatalf("double restore: got %v, want ErrAlreadyRegistered", err)
+	}
+	// Backup of an unknown plant maps too.
+	if _, err := src.Backup(ctx, "ghost"); !errors.Is(err, hod.ErrUnknownPlant) {
+		t.Fatalf("backup of ghost: got %v, want ErrUnknownPlant", err)
+	}
+}

@@ -126,6 +126,9 @@ var (
 	ErrNoData = errors.New("hod: no data")
 	// ErrBadRequest — the server rejected the request as malformed.
 	ErrBadRequest = errors.New("hod: bad request")
+	// ErrVectorDims — a job's setup/CAQ vector is longer than the
+	// registered dims; the server refuses to truncate it.
+	ErrVectorDims = errors.New("hod: vector exceeds registered dims")
 	// ErrInvalidLevel — the level is outside 1..5.
 	ErrInvalidLevel = errors.New("hod: invalid level")
 	// ErrUnknownTechnique — no registry technique has this name (or it

@@ -274,15 +274,32 @@ type AlertsResponse struct {
 	Alerts []Alert `json:"alerts"`
 }
 
-// StatsResponse reports one plant's ingest counters and queue depths.
+// StatsResponse reports one plant's ingest counters, queue depths,
+// and durability gauges. ReceivedRecords counts every valid record
+// folded through the pipeline — fresh or idempotent replay — which is
+// what drain-watchers must poll (AcceptedRecords counts only fresh
+// cells, so a re-sent trace never advances it). WALSegments and
+// SnapshotRev are zero when the server runs without a data dir.
 type StatsResponse struct {
 	Plant           string `json:"plant"`
 	AcceptedRecords uint64 `json:"accepted_records"`
+	ReceivedRecords uint64 `json:"received_records"`
 	RejectedRecords uint64 `json:"rejected_records"`
 	ShedBatches     uint64 `json:"shed_batches"`
 	DataRevision    uint64 `json:"data_revision"`
 	Shards          int    `json:"shards"`
 	QueueDepths     []int  `json:"queue_depths"`
+	WALSegments     int    `json:"wal_segments"`
+	SnapshotRev     uint64 `json:"snapshot_rev"`
+}
+
+// RestoreAck acknowledges a POST restore: the plant now serves the
+// backup's state.
+type RestoreAck struct {
+	ID          string `json:"id"`
+	Machines    int    `json:"machines"`
+	Records     uint64 `json:"records"` // received_records carried by the backup
+	SnapshotRev uint64 `json:"snapshot_rev"`
 }
 
 // Machine-readable error codes of the v1 API. The typed client maps
@@ -295,6 +312,7 @@ const (
 	CodeBackpressure      = "backpressure"
 	CodeShuttingDown      = "shutting_down"
 	CodeNoData            = "no_data"
+	CodeVectorDims        = "vector_dims"
 	CodeInternal          = "internal"
 )
 

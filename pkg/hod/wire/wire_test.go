@@ -52,7 +52,8 @@ func goldenCases() []struct {
 		{"rollup_response", RollupResponse{Plant: "p1", Level: "machine", Nodes: []RollupNode{{Key: "line-1/m1", Count: 2, Mean: 3, Std: 0, Min: 3, Max: 3}}}},
 		{"alert", Alert{Machine: "line-1/m1", Phase: "print", Sensor: "vibration", T: 99, Value: 6.5, Score: 11.25}},
 		{"alerts_response", AlertsResponse{Plant: "p1", Alerts: []Alert{{Machine: "m", Phase: "p", Sensor: "s", T: 1, Value: 2, Score: 9}}}},
-		{"stats_response", StatsResponse{Plant: "p1", AcceptedRecords: 1000, RejectedRecords: 4, ShedBatches: 2, DataRevision: 17, Shards: 4, QueueDepths: []int{0, 1, 0, 0}}},
+		{"stats_response", StatsResponse{Plant: "p1", AcceptedRecords: 1000, ReceivedRecords: 1010, RejectedRecords: 4, ShedBatches: 2, DataRevision: 17, Shards: 4, QueueDepths: []int{0, 1, 0, 0}, WALSegments: 3, SnapshotRev: 2}},
+		{"restore_ack", RestoreAck{ID: "p1", Machines: 6, Records: 1010, SnapshotRev: 2}},
 		{"error_envelope", ErrorEnvelope{Err: ErrorBody{Code: CodeBackpressure, Message: "ingest queue full, retry the batch"}}},
 	}
 }
