@@ -11,6 +11,7 @@
 //	hodctl replay  -addr http://host:8080 -plant id -sensors sensors.csv
 //	hodctl report  -addr http://host:8080 -plant id [-level L] [-top K]
 //	hodctl alerts  -addr http://host:8080 -plant id [-limit N]
+//	hodctl cube    -addr http://host:8080 -plant id [-op slice|rollup|members|drilldown]
 //	hodctl backup  -addr http://host:8080 -plant id -out plant.bak
 //	hodctl restore -addr http://host:8080 -plant id -in plant.bak
 //	hodctl list
@@ -50,6 +51,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "alerts":
 		err = cmdAlerts(os.Args[2:])
+	case "cube":
+		err = cmdCube(os.Args[2:])
 	case "backup":
 		err = cmdBackup(os.Args[2:])
 	case "restore":
@@ -74,6 +77,7 @@ func usage() {
   hodctl replay  -addr URL -plant ID -sensors FILE [-jobs FILE] [-env FILE] [-batch N] [-register]
   hodctl report  -addr URL -plant ID [-level L] [-top K] [-machine ID] [-json]
   hodctl alerts  -addr URL -plant ID [-limit N] [-json]
+  hodctl cube    -addr URL -plant ID [-op slice|rollup|members|drilldown] [-where dim=member,...] [-keep dims] [-dim D] [-json]
   hodctl backup  -addr URL -plant ID -out FILE
   hodctl restore -addr URL -plant ID -in FILE
   hodctl list`)

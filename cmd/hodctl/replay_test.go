@@ -155,6 +155,19 @@ func TestReplayAgainstServer(t *testing.T) {
 	if err := cmdAlerts([]string{"-addr", base, "-plant", "replayed", "-limit", "3"}); err != nil {
 		t.Fatalf("hodctl alerts: %v", err)
 	}
+	for _, args := range [][]string{
+		{"-op", "slice", "-where", "machine=" + p.Machines()[0].ID},
+		{"-op", "rollup", "-keep", "line,sensor"},
+		{"-op", "members", "-dim", "phase"},
+		{"-op", "drilldown", "-dim", "machine", "-where", "line=" + p.Lines[0].ID, "-json"},
+	} {
+		if err := cmdCube(append([]string{"-addr", base, "-plant", "replayed"}, args...)); err != nil {
+			t.Fatalf("hodctl cube %v: %v", args, err)
+		}
+	}
+	if err := cmdCube([]string{"-addr", base, "-plant", "replayed", "-where", "machine"}); err == nil {
+		t.Fatal("hodctl cube accepted a malformed -where constraint")
+	}
 }
 
 func TestDeriveTopology(t *testing.T) {

@@ -1,0 +1,136 @@
+package olap
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/pkg/hod/wire"
+)
+
+// Query is one cube question: an operation plus its operands. The
+// zero value of everything but Op is legal where the op allows it.
+//
+//	slice      Where (optional)           cells at full dimensionality
+//	rollup     Keep (required), Where     aggregate onto the kept dims
+//	members    Dim (required)             distinct members of one dim
+//	drilldown  Dim (required), Where      expand one dim within a slice
+type Query struct {
+	Op    string            // wire.CubeOp*; "" means slice
+	Where map[string]string // dimension=member constraints
+	Keep  []string          // rollup: dimensions to keep
+	Dim   string            // members/drilldown: target dimension
+}
+
+// Result is the evaluated answer, already in wire shape minus the
+// plant id (the serving layer and the embedded SDK cube both wrap it
+// into a wire.CubeResponse, so the two paths are provably equal).
+type Result struct {
+	Op         string
+	Dims       []string
+	Where      []string
+	Members    []string
+	Cells      []wire.CubeCell
+	TotalCells int
+}
+
+// Answer evaluates one query against the cube. Cells are returned in
+// deterministic coordinate order; Where echoes the constraints sorted
+// by dimension name.
+func (c *Cube) Answer(q Query) (Result, error) {
+	res := Result{Op: q.Op, TotalCells: c.Len(), Where: EchoWhere(q.Where)}
+	if res.Op == "" {
+		res.Op = wire.CubeOpSlice
+	}
+	switch res.Op {
+	case wire.CubeOpSlice:
+		if len(q.Keep) > 0 || q.Dim != "" {
+			return Result{}, fmt.Errorf("%w: slice takes only where constraints", ErrSchema)
+		}
+		cells, err := c.Slice(q.Where)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Dims = c.Dims()
+		res.Cells = WireCells(cells)
+	case wire.CubeOpRollup:
+		if q.Dim != "" {
+			return Result{}, fmt.Errorf("%w: rollup takes keep dims, not a target dim", ErrSchema)
+		}
+		rolled, err := c.GroupBy(q.Where, q.Keep)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Dims = rolled.Dims()
+		res.Cells = WireCells(rolled.Cells())
+	case wire.CubeOpMembers:
+		if len(q.Where) > 0 || len(q.Keep) > 0 {
+			return Result{}, fmt.Errorf("%w: members takes only a dim", ErrSchema)
+		}
+		members, err := c.Members(q.Dim)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Dims = c.Dims()
+		res.Members = members
+	case wire.CubeOpDrilldown:
+		if len(q.Keep) > 0 {
+			return Result{}, fmt.Errorf("%w: drilldown takes a dim plus where constraints", ErrSchema)
+		}
+		if _, ok := c.index[q.Dim]; !ok {
+			return Result{}, fmt.Errorf("%w: unknown dimension %q", ErrSchema, q.Dim)
+		}
+		if _, pinned := q.Where[q.Dim]; pinned {
+			return Result{}, fmt.Errorf("%w: drilldown dimension %q is pinned by a where constraint", ErrSchema, q.Dim)
+		}
+		// Expand along Dim inside the slice: keep the constrained
+		// dimensions (self-describing coordinates) plus the drill
+		// target, in cube dimension order.
+		var keep []string
+		for _, d := range c.dims {
+			if _, ok := q.Where[d]; ok || d == q.Dim {
+				keep = append(keep, d)
+			}
+		}
+		grouped, err := c.GroupBy(q.Where, keep)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Dims = grouped.Dims()
+		res.Cells = WireCells(grouped.Cells())
+	default:
+		return Result{}, fmt.Errorf("%w: unknown cube op %q (want slice|rollup|members|drilldown)", ErrSchema, res.Op)
+	}
+	return res, nil
+}
+
+// EchoWhere renders a constraint set as sorted "dim=member" strings —
+// the canonical echo both the server response and the embedded cube
+// use.
+func EchoWhere(where map[string]string) []string {
+	if len(where) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(where))
+	for d, m := range where {
+		out = append(out, d+"="+m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WireCells converts cells (already in deterministic order) to the
+// shared wire shape.
+func WireCells(cells []*Cell) []wire.CubeCell {
+	if len(cells) == 0 {
+		return nil
+	}
+	out := make([]wire.CubeCell, len(cells))
+	for i, cell := range cells {
+		out[i] = wire.CubeCell{
+			Coord: append([]string(nil), cell.Coord...),
+			Count: cell.Count, Sum: cell.Sum, Mean: cell.Mean(),
+			Min: cell.Min, Max: cell.Max,
+		}
+	}
+	return out
+}

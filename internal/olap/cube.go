@@ -8,6 +8,7 @@ package olap
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -15,6 +16,13 @@ import (
 // ErrSchema is returned for schema violations (unknown dimensions,
 // wrong coordinate arity).
 var ErrSchema = errors.New("olap: schema violation")
+
+// ErrNonFinite is returned when a fact's measure is NaN or ±Inf. A
+// single non-finite measure would poison a cell's Sum/Min/Max forever
+// (aggregates cannot retract an observation), so the cube refuses it
+// at the door — the same policy the serving layer's ingest validation
+// applies to sample values.
+var ErrNonFinite = errors.New("olap: non-finite measure")
 
 // Cube is a dense-logical, sparse-physical OLAP cube: cells exist only
 // once a fact lands in them.
@@ -41,6 +49,36 @@ func (c *Cell) Mean() float64 {
 	return c.Sum / float64(c.Count)
 }
 
+// Observe folds one measure into the cell in place — the fast path
+// for callers streaming runs of samples into one cell (they look the
+// cell up once and skip the per-fact coordinate key join). The same
+// ErrNonFinite gate as AddFact applies.
+func (c *Cell) Observe(value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: %v at %v", ErrNonFinite, value, c.Coord)
+	}
+	sum := c.Sum + value
+	if math.IsInf(sum, 0) {
+		// Finite inputs can still overflow the accumulated sum; folding
+		// it would poison the cell forever, so refuse the observation
+		// and keep the every-cell-holds-finite-aggregates invariant.
+		return fmt.Errorf("%w: sum overflow at %v", ErrNonFinite, c.Coord)
+	}
+	if c.Count == 0 {
+		c.Min, c.Max = value, value
+	} else {
+		if value < c.Min {
+			c.Min = value
+		}
+		if value > c.Max {
+			c.Max = value
+		}
+	}
+	c.Count++
+	c.Sum = sum
+	return nil
+}
+
 // New creates a cube with the given dimension names.
 func New(dims ...string) (*Cube, error) {
 	if len(dims) == 0 {
@@ -59,27 +97,62 @@ func New(dims ...string) (*Cube, error) {
 // Dims returns the dimension names in order.
 func (c *Cube) Dims() []string { return append([]string(nil), c.dims...) }
 
-// key joins a coordinate; members must not contain the separator.
-func key(coord []string) string { return strings.Join(coord, "\x1f") }
+// keySep joins coordinate members inside cell keys; AddAggregate
+// rejects members containing it, or two distinct coordinates could
+// collide on one joined key and silently merge their cells.
+const keySep = '\x1f'
 
-// AddFact folds one measure value into the cell at coord.
+// key joins a coordinate; members must not contain the separator.
+func key(coord []string) string { return strings.Join(coord, string(keySep)) }
+
+// AddFact folds one measure value into the cell at coord. Non-finite
+// measures are rejected with ErrNonFinite.
 func (c *Cube) AddFact(coord []string, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: %v at %v", ErrNonFinite, value, coord)
+	}
+	return c.AddAggregate(coord, 1, value, value, value)
+}
+
+// AddAggregate merges one pre-aggregated cell into the cube — the
+// primitive behind AddFact, cube merging, and snapshot restore. The
+// aggregate must be finite and hold at least one observation.
+func (c *Cube) AddAggregate(coord []string, count int, sum, min, max float64) error {
 	if len(coord) != len(c.dims) {
 		return fmt.Errorf("%w: coordinate arity %d, want %d", ErrSchema, len(coord), len(c.dims))
+	}
+	for _, m := range coord {
+		if strings.ContainsRune(m, keySep) {
+			return fmt.Errorf("%w: member %q contains the reserved key separator", ErrSchema, m)
+		}
+	}
+	if count <= 0 {
+		return fmt.Errorf("%w: aggregate count %d at %v", ErrSchema, count, coord)
+	}
+	for _, v := range []float64{sum, min, max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %v at %v", ErrNonFinite, v, coord)
+		}
 	}
 	k := key(coord)
 	cell, ok := c.cells[k]
 	if !ok {
-		cell = &Cell{Coord: append([]string(nil), coord...), Min: value, Max: value}
+		cell = &Cell{Coord: append([]string(nil), coord...), Min: min, Max: max}
 		c.cells[k] = cell
 	}
-	cell.Count++
-	cell.Sum += value
-	if value < cell.Min {
-		cell.Min = value
+	// A fresh cell cannot overflow (its sum is the vetted input); an
+	// existing one can — refuse the merge rather than poison the cell.
+	merged := cell.Sum + sum
+	if math.IsInf(merged, 0) {
+		return fmt.Errorf("%w: sum overflow at %v", ErrNonFinite, coord)
 	}
-	if value > cell.Max {
-		cell.Max = value
+	cell.Count += count
+	cell.Sum = merged
+	if min < cell.Min {
+		cell.Min = min
+	}
+	if max > cell.Max {
+		cell.Max = max
 	}
 	return nil
 }
@@ -92,6 +165,19 @@ func (c *Cube) CellAt(coord []string) *Cell {
 	return c.cells[key(coord)]
 }
 
+// coordLess orders equal-arity coordinates element-wise — the same
+// total order as comparing the joined cell keys (the separator sorts
+// below every allowed member character), without re-joining strings
+// inside a sort comparator.
+func coordLess(a, b []string) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
 // Cells returns all cells in deterministic coordinate order.
 func (c *Cube) Cells() []*Cell {
 	out := make([]*Cell, 0, len(c.cells))
@@ -99,7 +185,7 @@ func (c *Cube) Cells() []*Cell {
 		out = append(out, cell)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return key(out[i].Coord) < key(out[j].Coord)
+		return coordLess(out[i].Coord, out[j].Coord)
 	})
 	return out
 }
@@ -107,27 +193,56 @@ func (c *Cube) Cells() []*Cell {
 // Len returns the number of materialised cells.
 func (c *Cube) Len() int { return len(c.cells) }
 
-// Slice returns the cells whose coordinate matches all the given
-// dimension=member constraints.
-func (c *Cube) Slice(constraints map[string]string) ([]*Cell, error) {
+// matcher compiles a dimension=member constraint set into (index,
+// member) pairs, rejecting unknown dimensions.
+func (c *Cube) matcher(constraints map[string]string) ([][2]int, []string, error) {
+	if len(constraints) == 0 {
+		return nil, nil, nil
+	}
+	dims := make([]string, 0, len(constraints))
 	for d := range constraints {
 		if _, ok := c.index[d]; !ok {
-			return nil, fmt.Errorf("%w: unknown dimension %q", ErrSchema, d)
+			return nil, nil, fmt.Errorf("%w: unknown dimension %q", ErrSchema, d)
+		}
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	pairs := make([][2]int, 0, len(dims))
+	members := make([]string, 0, len(dims))
+	for i, d := range dims {
+		pairs = append(pairs, [2]int{c.index[d], i})
+		members = append(members, constraints[d])
+	}
+	return pairs, members, nil
+}
+
+func matches(cell *Cell, pairs [][2]int, members []string) bool {
+	for _, p := range pairs {
+		if cell.Coord[p[0]] != members[p[1]] {
+			return false
 		}
 	}
+	return true
+}
+
+// Slice returns the cells whose coordinate matches all the given
+// dimension=member constraints, in deterministic coordinate order.
+// Only the matching cells are collected and sorted, so the per-query
+// cost scales with the answer, not with the whole cube.
+func (c *Cube) Slice(constraints map[string]string) ([]*Cell, error) {
+	pairs, members, err := c.matcher(constraints)
+	if err != nil {
+		return nil, err
+	}
 	var out []*Cell
-	for _, cell := range c.Cells() {
-		match := true
-		for d, m := range constraints {
-			if cell.Coord[c.index[d]] != m {
-				match = false
-				break
-			}
-		}
-		if match {
+	for _, cell := range c.cells {
+		if matches(cell, pairs, members) {
 			out = append(out, cell)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool {
+		return coordLess(out[i].Coord, out[j].Coord)
+	})
 	return out, nil
 }
 
@@ -135,8 +250,18 @@ func (c *Cube) Slice(constraints map[string]string) ([]*Cell, error) {
 // returning a new cube whose cells merge all members of the dropped
 // dimensions.
 func (c *Cube) RollUp(keep ...string) (*Cube, error) {
+	return c.GroupBy(nil, keep)
+}
+
+// GroupBy filters the cube by the dimension=member constraints and
+// aggregates the matching cells onto the keep dimensions — the shared
+// engine behind roll-up (no constraints) and drill-down (constraints
+// plus one expanded dimension). Matching cells are folded in sorted
+// coordinate order: a float sum is not associative, so map iteration
+// order would otherwise leak last-ulp jitter into equal queries.
+func (c *Cube) GroupBy(constraints map[string]string, keep []string) (*Cube, error) {
 	if len(keep) == 0 {
-		return nil, fmt.Errorf("%w: roll-up must keep at least one dimension", ErrSchema)
+		return nil, fmt.Errorf("%w: group-by must keep at least one dimension", ErrSchema)
 	}
 	keepIdx := make([]int, len(keep))
 	for i, d := range keep {
@@ -146,28 +271,21 @@ func (c *Cube) RollUp(keep ...string) (*Cube, error) {
 		}
 		keepIdx[i] = idx
 	}
+	matched, err := c.Slice(constraints)
+	if err != nil {
+		return nil, err
+	}
 	out, err := New(keep...)
 	if err != nil {
 		return nil, err
 	}
-	for _, cell := range c.cells {
+	for _, cell := range matched {
 		coord := make([]string, len(keepIdx))
 		for i, idx := range keepIdx {
 			coord[i] = cell.Coord[idx]
 		}
-		k := key(coord)
-		target, ok := out.cells[k]
-		if !ok {
-			target = &Cell{Coord: coord, Min: cell.Min, Max: cell.Max}
-			out.cells[k] = target
-		}
-		target.Count += cell.Count
-		target.Sum += cell.Sum
-		if cell.Min < target.Min {
-			target.Min = cell.Min
-		}
-		if cell.Max > target.Max {
-			target.Max = cell.Max
+		if err := out.AddAggregate(coord, cell.Count, cell.Sum, cell.Min, cell.Max); err != nil {
+			return nil, err
 		}
 	}
 	return out, nil

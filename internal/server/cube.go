@@ -1,0 +1,123 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"repro/internal/olap"
+	"repro/pkg/hod/wire"
+)
+
+// The serving layer maintains one OLAP cube per plant over the machine
+// sensor stream — dimensions line × machine × job × phase × sensor,
+// one fact per first-seen sample — updated incrementally inside the
+// per-shard fold path (foldBatch, under foldMu/rollMu). Because the
+// cube is folded exactly where the roll-up leaves are, it rides the
+// WAL + snapshot recovery contract for free: replayed batches rebuild
+// it through the same path, and captureState/applyState carry its
+// cells across restarts, backups, and restores.
+
+// cubeDims are the fixed dimensions of the per-plant serving cube —
+// the wire package owns the list, shared with the SDK's batch builder.
+var cubeDims = wire.CubeDims()
+
+// newServeCube builds an empty cube with the serving dimensions. The
+// dims are a package constant, so New cannot fail.
+func newServeCube() *olap.Cube {
+	c, err := olap.New(cubeDims...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// mergedCube assembles one queryable cube from the shard-local slices.
+// Machines hash onto exactly one shard, so shard cubes never hold the
+// same coordinate; merging in shard order over sorted cells is
+// deterministic regardless. Shard cells always hold finite aggregates
+// (Observe/AddAggregate refuse sum overflow), and distinct coordinates
+// never merge, so AddAggregate failing here should be impossible — but
+// a query handler must not be able to panic the plant, so a failing
+// cell is logged and skipped instead.
+func (ps *plantState) mergedCube() *olap.Cube {
+	out := newServeCube()
+	for _, sh := range ps.shards {
+		sh.rollMu.Lock()
+		for _, cell := range sh.cube.Cells() {
+			if err := out.AddAggregate(cell.Coord, cell.Count, cell.Sum, cell.Min, cell.Max); err != nil {
+				log.Printf("server: plant %s: cube query skipping cell %v: %v", ps.topo.ID, cell.Coord, err)
+			}
+		}
+		sh.rollMu.Unlock()
+	}
+	return out
+}
+
+// queryCube returns the merged cube at the current data revision,
+// re-merging the shard cubes only when ingest has advanced it. The
+// cached cube is immutable once built (queries only read it), so it is
+// shared across concurrent handlers.
+func (ps *plantState) queryCube() *olap.Cube {
+	rev := ps.dataRev.Load()
+	ps.cubeMu.Lock()
+	defer ps.cubeMu.Unlock()
+	if ps.cubeCache == nil || ps.cubeCacheRev != rev {
+		ps.cubeCache = ps.mergedCube()
+		ps.cubeCacheRev = rev
+	}
+	return ps.cubeCache
+}
+
+// handleCube answers one OLAP query over the plant's cube:
+//
+//	GET /v1/plants/{id}/cube?op=slice&where=machine=line-0/m-0&where=phase=print
+//	GET /v1/plants/{id}/cube?op=rollup&keep=line,sensor
+//	GET /v1/plants/{id}/cube?op=members&dim=phase
+//	GET /v1/plants/{id}/cube?op=drilldown&dim=machine&where=line=line-0
+//
+// op defaults to slice. where repeats as dim=member pairs; keep is a
+// comma-separated dimension list. Cells come back in deterministic
+// coordinate order, so equal queries yield byte-identical bodies.
+func (s *Server) handleCube(w http.ResponseWriter, r *http.Request, ps *plantState) {
+	q := r.URL.Query()
+	query := olap.Query{Op: q.Get("op"), Dim: q.Get("dim")}
+	if keep := q.Get("keep"); keep != "" {
+		query.Keep = strings.Split(keep, ",")
+	}
+	where, err := parseWhere(q["where"])
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	query.Where = where
+	res, err := ps.queryCube().Answer(query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CubeResponse{
+		Plant: ps.topo.ID, Op: res.Op, Dims: res.Dims, Where: res.Where,
+		Members: res.Members, Cells: res.Cells, TotalCells: res.TotalCells,
+	})
+}
+
+// parseWhere decodes repeated where=dim=member query values.
+func parseWhere(raw []string) (map[string]string, error) {
+	if len(raw) == 0 {
+		return nil, nil
+	}
+	out := make(map[string]string, len(raw))
+	for _, w := range raw {
+		dim, member, ok := strings.Cut(w, "=")
+		if !ok || dim == "" || member == "" {
+			return nil, fmt.Errorf("bad where constraint %q (want where=dim=member)", w)
+		}
+		if _, dup := out[dim]; dup {
+			return nil, fmt.Errorf("duplicate where constraint for dimension %q", dim)
+		}
+		out[dim] = member
+	}
+	return out, nil
+}

@@ -1,0 +1,380 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/plant"
+	"repro/internal/wal"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+// plantCSVBodies renders the whole machine trace as plantsim-schema CSV
+// bodies, one per machine — "the same CSVs" both the HTTP replay and
+// the offline cube are built from.
+func plantCSVBodies(p *plant.Plant) []string {
+	var out []string
+	for _, m := range p.Machines() {
+		var b strings.Builder
+		b.WriteString("machine,job,phase,t," + strings.Join(plant.SensorNames, ",") + "\n")
+		for _, job := range m.Jobs {
+			for _, ph := range job.Phases {
+				for ti := 0; ti < ph.Sensors.Len(); ti++ {
+					fmt.Fprintf(&b, "%s,%s,%s,%d", m.ID, job.ID, ph.Name, ti)
+					for _, v := range ph.Sensors.Row(ti) {
+						fmt.Fprintf(&b, ",%g", v)
+					}
+					b.WriteString("\n")
+				}
+			}
+		}
+		out = append(out, b.String())
+	}
+	return out
+}
+
+// cubeQueries is the query battery every cube equality check runs:
+// full slice, per-dimension constraints, roll-ups, drill-downs, and a
+// members listing.
+func cubeQueries(p *plant.Plant) []string {
+	m0 := p.Machines()[0].ID
+	return []string{
+		"/cube",
+		"/cube?op=slice&where=" + url.QueryEscape("machine="+m0),
+		"/cube?op=slice&where=" + url.QueryEscape("phase=print") + "&where=" + url.QueryEscape("sensor=temp-a"),
+		"/cube?op=rollup&keep=line,sensor",
+		"/cube?op=rollup&keep=machine",
+		"/cube?op=rollup&keep=phase&where=" + url.QueryEscape("line="+p.Lines[0].ID),
+		"/cube?op=drilldown&dim=machine&where=" + url.QueryEscape("line="+p.Lines[0].ID),
+		"/cube?op=drilldown&dim=phase&where=" + url.QueryEscape("machine="+m0),
+		"/cube?op=members&dim=sensor",
+	}
+}
+
+// offlineCubeResponse evaluates one /cube query string against a
+// batch-built SDK cube and renders it exactly like the server does —
+// the byte-identical expectation.
+func offlineCubeResponse(t *testing.T, cube *hod.Cube, plantID, query string) []byte {
+	t.Helper()
+	u, err := url.Parse(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := u.Query()
+	q := hod.CubeQuery{Op: vals.Get("op"), Dim: vals.Get("dim")}
+	if keep := vals.Get("keep"); keep != "" {
+		q.Keep = strings.Split(keep, ",")
+	}
+	if raw := vals["where"]; len(raw) > 0 {
+		q.Where = map[string]string{}
+		for _, w := range raw {
+			dim, member, _ := strings.Cut(w, "=")
+			q.Where[dim] = member
+		}
+	}
+	resp, err := cube.Query(q)
+	if err != nil {
+		t.Fatalf("offline %s: %v", query, err)
+	}
+	resp.Plant = plantID
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(resp); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCubeE2ECrashRecoveryMatchesOffline is the cube acceptance test:
+// a plantsim-schema CSV trace replayed over HTTP — with the server
+// killed and restarted from its data dir mid-trace — must answer every
+// cube query byte-identical to a cube built offline from the same
+// CSVs.
+func TestCubeE2ECrashRecoveryMatchesOffline(t *testing.T) {
+	p, err := plant.Simulate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const plantID = "plant-cube"
+	topo := topoWithDefaults(topoFromPlant(plantID, p))
+	bodies := plantCSVBodies(p)
+
+	// Offline reference: decode the same CSV bodies and batch-build the
+	// SDK cube.
+	var recs []wire.Record
+	for _, body := range bodies {
+		part, err := wire.DecodeRecords(strings.NewReader(body), "text/csv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, part...)
+	}
+	offline, err := hod.CubeFromRecords(topo, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Victim: durable, killed after the first 60% of the machines'
+	// CSVs; the tail is ingested after recovery, so the final cube
+	// mixes snapshot/WAL-recovered cells with live-folded ones.
+	dataDir := t.TempDir()
+	victim := New(durableOptions(dataDir))
+	if err := victim.Open(); err != nil {
+		t.Fatal(err)
+	}
+	tsV := httptest.NewServer(victim.Handler())
+	register(t, tsV.URL, topo)
+	cut := len(bodies) * 6 / 10
+	for _, body := range bodies[:cut] {
+		mustStatus(t, postRetry(t, tsV.URL+"/v1/plants/"+plantID+"/ingest", "text/csv", []byte(body)),
+			http.StatusAccepted)
+	}
+	tsV.Close()
+	victim.kill() // no drain, no final snapshot
+
+	restarted := New(durableOptions(dataDir))
+	if err := restarted.Open(); err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	defer restarted.Close()
+	tsR := httptest.NewServer(restarted.Handler())
+	defer tsR.Close()
+	total := 0
+	for _, body := range bodies {
+		part, _ := wire.DecodeRecords(strings.NewReader(body), "text/csv")
+		total += len(part)
+	}
+	for _, body := range bodies[cut:] {
+		mustStatus(t, postRetry(t, tsR.URL+"/v1/plants/"+plantID+"/ingest", "text/csv", []byte(body)),
+			http.StatusAccepted)
+	}
+	waitDrained(t, tsR.URL, plantID, uint64(total))
+
+	for _, q := range cubeQueries(p) {
+		want := offlineCubeResponse(t, offline, plantID, q)
+		got := getBody(t, tsR.URL+"/v1/plants/"+plantID+q)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs from the offline cube:\noffline: %s\nserved:  %s", q, want, got)
+		}
+	}
+
+	// A second restart serves from the re-baselined snapshot (Close
+	// compacted the WAL) and still matches offline, byte for byte.
+	restarted.Close()
+	third := New(durableOptions(dataDir))
+	if err := third.Open(); err != nil {
+		t.Fatalf("second recovery failed: %v", err)
+	}
+	defer third.Close()
+	tsT := httptest.NewServer(third.Handler())
+	defer tsT.Close()
+	for _, q := range cubeQueries(p) {
+		want := offlineCubeResponse(t, offline, plantID, q)
+		got := getBody(t, tsT.URL+"/v1/plants/"+plantID+q)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("%s differs after snapshot-based restart", q)
+		}
+	}
+}
+
+// TestCubeQueryValidation pins the 400 envelope for malformed cube
+// queries.
+func TestCubeQueryValidation(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-cq", p))
+
+	for name, q := range map[string]string{
+		"unknown op":        "?op=pivot",
+		"unknown where dim": "?where=galaxy%3Dg",
+		"bad where":         "?where=machine",
+		"dup where":         "?where=phase%3Dprint&where=phase%3Dmelt",
+		"rollup no keep":    "?op=rollup",
+		"unknown keep":      "?op=rollup&keep=galaxy",
+		"members no dim":    "?op=members",
+		"drill pinned dim":  "?op=drilldown&dim=line&where=line%3Dl",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/plants/plant-cq/cube" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := mustStatus(t, resp, http.StatusBadRequest)
+		var env wire.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Err.Code != wire.CodeBadRequest {
+			t.Fatalf("%s: error body %s", name, body)
+		}
+	}
+
+	// An empty plant answers with an empty cube, not an error.
+	resp, err := http.Get(ts.URL + "/v1/plants/plant-cq/cube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cr wire.CubeResponse
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusOK), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if cr.TotalCells != 0 || len(cr.Cells) != 0 || cr.Op != wire.CubeOpSlice {
+		t.Fatalf("empty cube response %+v", cr)
+	}
+}
+
+// TestCubeSkipsNonFiniteRecords: a NaN sample in a CSV batch is
+// rejected by ingest validation (the PR 4 non-finite policy) and never
+// reaches the cube — the cube's own ErrNonFinite gate is the second
+// line of defence.
+func TestCubeSkipsNonFiniteRecords(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-nan", p))
+
+	m := p.Machines()[0]
+	csv := "machine,job,phase,t,temp-a\n" +
+		fmt.Sprintf("%s,%s,print,0,1.5\n", m.ID, m.Jobs[0].ID) +
+		fmt.Sprintf("%s,%s,print,1,NaN\n", m.ID, m.Jobs[0].ID)
+	resp := postRetry(t, ts.URL+"/v1/plants/plant-nan/ingest", "text/csv", []byte(csv))
+	var ack wire.IngestAck
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusAccepted), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Records != 1 || ack.Rejected != 1 {
+		t.Fatalf("ack %+v, want 1 admitted / 1 rejected", ack)
+	}
+	waitDrained(t, ts.URL, "plant-nan", 1)
+
+	var cr wire.CubeResponse
+	if err := json.Unmarshal(getBody(t, ts.URL+"/v1/plants/plant-nan/cube"), &cr); err != nil {
+		t.Fatal(err)
+	}
+	if len(cr.Cells) != 1 || cr.Cells[0].Count != 1 || cr.Cells[0].Sum != 1.5 {
+		t.Fatalf("cube cells %+v, want the single finite sample", cr.Cells)
+	}
+}
+
+// TestRestoreRejectsMalformedCubeCells: a forged backup cannot smuggle
+// a malformed cube cell past the gate — non-finite aggregates, empty
+// cells, wrong arity, and coordinate members carrying control
+// characters are all refused with the generic bad_request code (the
+// cube-fed flavour of the non-finite 400 policy), never silently
+// dropped by applyState.
+func TestRestoreRejectsMalformedCubeCells(t *testing.T) {
+	topo := topoWithDefaults(Topology{ID: "cube-bad", Lines: []TopoLine{{ID: "l", Machines: []string{"l/m1"}}}})
+	goodCoord := []string{"l", "l/m1", "j1", "print", "temp-a"}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for name, cell := range map[string]snapCubeCell{
+		"non-finite sum": {Coord: goodCoord, Count: 1, Sum: math.Inf(1)},
+		"empty cell":     {Coord: goodCoord, Count: 0, Sum: 1, Min: 1, Max: 1},
+		"wrong arity":    {Coord: goodCoord[:3], Count: 1, Sum: 1, Min: 1, Max: 1},
+		"key separator":  {Coord: []string{"l", "l/m1", "j\x1fprint", "x", "temp-a"}, Count: 1, Sum: 1, Min: 1, Max: 1},
+	} {
+		st := &snapState{Topo: topo, Machines: map[string]snapMachine{}, CubeCells: []snapCubeCell{cell}}
+		payload, err := encodeState(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+"/v1/plants/cube-bad/restore", "application/octet-stream",
+			bytes.NewReader(wal.EncodeSnapshot(1, payload)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := mustStatus(t, resp, http.StatusBadRequest)
+		var env wire.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Err.Code != wire.CodeBadRequest {
+			t.Fatalf("%s: error body %s, want code %s", name, body, wire.CodeBadRequest)
+		}
+	}
+}
+
+// TestControlCharIdentifiersRejected: cube coordinates are built from
+// registered identifiers and the free-form job id; a member carrying
+// the cube's reserved 0x1f key separator could collide two distinct
+// coordinates onto one cell, so both registration and ingest refuse
+// control characters.
+func TestControlCharIdentifiersRejected(t *testing.T) {
+	// Registration: a phase with the separator is a 400.
+	bad := topoWithDefaults(Topology{ID: "ctl", Lines: []TopoLine{{ID: "l", Machines: []string{"l/m1"}}}})
+	bad.Phases = append(bad.Phases, "print\x1fx")
+	if err := bad.Validate(); err == nil {
+		t.Fatal("topology with a control-character phase validated")
+	}
+
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	register(t, ts.URL, topoFromPlant("plant-ctl", p))
+
+	// Ingest: a job id with the separator is rejected per-record.
+	m := p.Machines()[0]
+	batch := []Record{{Machine: m.ID, Job: "j\x1fx", Phase: "print", Sensor: "temp-a", T: 0, Value: 1}}
+	resp := postRetry(t, ts.URL+"/v1/plants/plant-ctl/ingest", "application/x-ndjson", ndjson(batch))
+	var ack wire.IngestAck
+	if err := json.Unmarshal(mustStatus(t, resp, http.StatusAccepted), &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Records != 0 || ack.Rejected != 1 {
+		t.Fatalf("ack %+v, want the control-character job rejected", ack)
+	}
+}
+
+// TestRollupLevelEchoesComputed pins the resolved-level contract: the
+// echoed Level is the one rollup computed, including the default.
+func TestRollupLevelEchoesComputed(t *testing.T) {
+	p, err := plant.Simulate(plant.Config{Seed: 3, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := topoWithDefaults(topoFromPlant("plant-echo", p))
+	ps := newPlantState(topo)
+	ps.makeShards(1, 1)
+	level, _, err := ps.rollup("")
+	if err != nil || level != "plant" {
+		t.Fatalf("rollup(\"\") resolved to %q, %v; want plant", level, err)
+	}
+	level, _, err = ps.rollup("sensor")
+	if err != nil || level != "sensor" {
+		t.Fatalf("rollup(sensor) resolved to %q, %v", level, err)
+	}
+
+	srv := New(Options{})
+	defer srv.Close()
+	srv.plants["plant-echo"] = ps
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for query, want := range map[string]string{"": "plant", "?level=machine": "machine"} {
+		var rr wire.RollupResponse
+		if err := json.Unmarshal(getBody(t, ts.URL+"/v1/plants/plant-echo/rollup"+query), &rr); err != nil {
+			t.Fatal(err)
+		}
+		if rr.Level != want {
+			t.Fatalf("rollup%s echoed level %q, want %q", query, rr.Level, want)
+		}
+	}
+}

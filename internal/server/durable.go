@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/olap"
 	"repro/internal/stats"
 	"repro/internal/wal"
 	"repro/pkg/hod/wire"
@@ -74,6 +75,11 @@ type (
 		Machine, Sensor string
 		EWMA            stats.EWMAState
 	}
+	snapCubeCell struct {
+		Coord         []string // line, machine, job, phase, sensor
+		Count         int
+		Sum, Min, Max float64
+	}
 	snapState struct {
 		Topo     wire.Topology
 		Machines map[string]snapMachine
@@ -82,9 +88,10 @@ type (
 
 		DataRev, Accepted, Received, Rejected, Shed uint64
 
-		Leaves   []snapLeaf
-		Trackers []snapTracker
-		Alerts   []wire.Alert // oldest first
+		Leaves    []snapLeaf
+		Trackers  []snapTracker
+		CubeCells []snapCubeCell
+		Alerts    []wire.Alert // oldest first
 
 		ShardSeqs   []uint64
 		SnapshotRev uint64
@@ -167,6 +174,32 @@ func validateState(st *snapState) error {
 				if math.IsNaN(v) || math.IsInf(v, 0) {
 					return fmt.Errorf("backup: machine %s job %s: non-finite caq value", machineID, jobID)
 				}
+			}
+		}
+	}
+	// Cube cells are fed back through olap.AddAggregate on apply; a
+	// forged backup must not smuggle past the gates the live ingest
+	// path enforces — non-finite aggregates (ErrNonFinite), wrong
+	// arity, empty cells, or coordinate members carrying control
+	// characters (which could collide with the cube's reserved key
+	// separator). Rejecting here keeps applyState's apply loop
+	// infallible for vetted state.
+	for _, cc := range st.CubeCells {
+		if len(cc.Coord) != len(cubeDims) {
+			return fmt.Errorf("backup: cube cell %v: %w: coordinate arity %d, want %d",
+				cc.Coord, olap.ErrSchema, len(cc.Coord), len(cubeDims))
+		}
+		if cc.Count <= 0 {
+			return fmt.Errorf("backup: cube cell %v: %w: count %d", cc.Coord, olap.ErrSchema, cc.Count)
+		}
+		for _, m := range cc.Coord {
+			if err := wire.ValidIdent("cube member", m); err != nil {
+				return fmt.Errorf("backup: %w: %v", olap.ErrSchema, err)
+			}
+		}
+		for _, v := range []float64{cc.Sum, cc.Min, cc.Max} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("backup: cube cell %v: %w", cc.Coord, olap.ErrNonFinite)
 			}
 		}
 	}
@@ -361,6 +394,12 @@ func (ps *plantState) captureState() *snapState {
 		for k, tr := range sh.trackers {
 			st.Trackers = append(st.Trackers, snapTracker{Machine: k.machine, Sensor: k.sensor, EWMA: tr.State()})
 		}
+		for _, cell := range sh.cube.Cells() {
+			st.CubeCells = append(st.CubeCells, snapCubeCell{
+				Coord: append([]string(nil), cell.Coord...),
+				Count: cell.Count, Sum: cell.Sum, Min: cell.Min, Max: cell.Max,
+			})
+		}
 		sh.rollMu.Unlock()
 	}
 	st.Alerts = ps.recentAlerts(0)
@@ -413,6 +452,20 @@ func (ps *plantState) applyState(st *snapState) {
 	for _, tk := range st.Trackers {
 		sh := ps.shardFor(tk.Machine)
 		sh.trackers[rollKey{machine: tk.Machine, sensor: tk.Sensor}] = stats.EWMAFromState(tk.EWMA)
+	}
+	for _, cc := range st.CubeCells {
+		if len(cc.Coord) != len(cubeDims) {
+			continue // cube schema drift in an old snapshot
+		}
+		// Coord[1] is the machine: route the cell to the shard whose
+		// worker folds that machine under the current shard count.
+		// AddAggregate cannot fail on vetted state: our own snapshots
+		// hold only cells the fold path accepted, and restore bodies
+		// passed validateState (arity, count, finiteness, separator).
+		sh := ps.shardFor(cc.Coord[1])
+		if err := sh.cube.AddAggregate(cc.Coord, cc.Count, cc.Sum, cc.Min, cc.Max); err != nil {
+			log.Printf("server: plant %s: dropping malformed snapshot cube cell %v: %v", ps.topo.ID, cc.Coord, err)
+		}
 	}
 	alerts := st.Alerts
 	if len(alerts) > alertRingCap {

@@ -7,6 +7,7 @@ import (
 	"math"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"os"
 	"path/filepath"
 	"testing"
@@ -142,6 +143,9 @@ func TestCrashRecoveryKillRestart(t *testing.T) {
 		"/report?level=4",
 		"/rollup?level=sensor",
 		"/rollup?level=plant",
+		"/cube?op=slice",
+		"/cube?op=rollup&keep=machine,sensor",
+		"/cube?op=drilldown&dim=phase&where=machine%3D" + url.QueryEscape(p.Machines()[0].ID),
 	}
 	for _, q := range queries {
 		want := getBody(t, tsC.URL+"/v1/plants/"+plantID+q)
@@ -292,7 +296,7 @@ func TestBackupRestoreRoundTrip(t *testing.T) {
 		t.Fatalf("restore ack %+v", ack)
 	}
 
-	for _, q := range []string{"/report?level=1&top=512", "/rollup?level=machine"} {
+	for _, q := range []string{"/report?level=1&top=512", "/rollup?level=machine", "/cube?op=rollup&keep=line,sensor"} {
 		want := getBody(t, tsS.URL+"/v1/plants/plant-bk"+q)
 		got := getBody(t, tsD.URL+"/v1/plants/plant-bk"+q)
 		if !bytes.Equal(want, got) {

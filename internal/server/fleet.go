@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math"
 	"sort"
 	"sync"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/olap"
 	"repro/internal/plant"
 	"repro/internal/stats"
 	"repro/internal/stream"
@@ -57,6 +59,18 @@ type shard struct {
 	rollMu   sync.Mutex
 	roll     map[rollKey]*stats.Online
 	trackers map[rollKey]*stats.EWMATracker
+
+	// cube holds this shard's slice of the plant's OLAP cube (the
+	// machines hashed here), folded alongside the roll-up leaves under
+	// rollMu; queries merge the shard cubes. cubeLast memoises the
+	// last-touched cell: consecutive trace records almost always land
+	// in the same cell (t varies fastest), so the hot path skips the
+	// coordinate key join. Guarded by rollMu like the cube itself.
+	cube     *olap.Cube
+	cubeLast struct {
+		machine, job, phase, sensor string
+		cell                        *olap.Cell
+	}
 }
 
 // Alert is one streaming detection event raised at ingest time by the
@@ -95,6 +109,14 @@ type plantState struct {
 	// dur is the durability attachment (nil when the server runs
 	// without a data dir): per-shard WALs plus snapshot state.
 	dur *plantDur
+
+	// Cube query cache: the shard cubes merged at one data revision.
+	// Rebuilt only when ingest advances the revision, so a burst of
+	// queries against a quiescent plant merges once (same pattern as
+	// the report-side snapshot cache). Guarded by cubeMu.
+	cubeMu       sync.Mutex
+	cubeCache    *olap.Cube
+	cubeCacheRev uint64
 
 	// Read side, all guarded by reportMu: the assembled snapshot, the
 	// revision it reflects, per-machine build revisions and built
@@ -165,6 +187,7 @@ func (ps *plantState) makeShards(shards, queueDepth int) {
 			q:        stream.NewQueue[shardBatch](queueDepth),
 			roll:     make(map[rollKey]*stats.Online),
 			trackers: make(map[rollKey]*stats.EWMATracker),
+			cube:     newServeCube(),
 		}
 	}
 }
@@ -299,6 +322,31 @@ func (ps *plantState) foldBatch(sh *shard, batch []Record) {
 			sh.roll[key] = o
 		}
 		o.Add(rec.Value)
+		// The OLAP cube folds each cell's first-seen value, exactly
+		// like the roll-up leaves: its aggregates cannot retract an
+		// observation. Live traffic cannot fail these folds (validation
+		// guarantees finite values and clean identifiers, the arity is
+		// fixed) — but a WAL written before identifier validation
+		// existed can replay a record the cube refuses. The store and
+		// roll-up still folded it, so log the divergence instead of
+		// dropping it silently: /v1/cube would otherwise undercount
+		// against /v1/rollup with no operator signal.
+		cl := &sh.cubeLast
+		var cubeErr error
+		if cl.cell != nil && cl.machine == rec.Machine && cl.job == rec.Job &&
+			cl.phase == rec.Phase && cl.sensor == rec.Sensor {
+			cubeErr = cl.cell.Observe(rec.Value)
+		} else {
+			coord := []string{ps.machineLine[rec.Machine], rec.Machine, rec.Job, rec.Phase, rec.Sensor}
+			if cubeErr = sh.cube.AddFact(coord, rec.Value); cubeErr == nil {
+				cl.machine, cl.job, cl.phase, cl.sensor = rec.Machine, rec.Job, rec.Phase, rec.Sensor
+				cl.cell = sh.cube.CellAt(coord)
+			}
+		}
+		if cubeErr != nil {
+			log.Printf("server: plant %s: cube fold dropped sample (machine %s job %s phase %s sensor %s t %d): %v",
+				ps.topo.ID, rec.Machine, rec.Job, rec.Phase, rec.Sensor, rec.T, cubeErr)
+		}
 		tr, ok := sh.trackers[trKey]
 		if !ok {
 			tr = stats.NewEWMATracker(0.05)
@@ -369,6 +417,12 @@ func (ps *plantState) validate(rec Record) error {
 	}
 	if rec.Job == "" {
 		return fmt.Errorf("missing job id")
+	}
+	// Job ids are the one free-form cube coordinate (the others are
+	// vetted at registration): a control character could collide with
+	// the cube's reserved key separator and silently merge cells.
+	if err := wire.ValidIdent("job", rec.Job); err != nil {
+		return err
 	}
 	if !ps.phaseSet[rec.Phase] {
 		return fmt.Errorf("unknown phase %q", rec.Phase)
@@ -500,15 +554,17 @@ func (ps *plantState) activeMachines() []string {
 }
 
 // rollup merges the shard-local leaf accumulators and folds them up to
-// the requested level: sensor, phase, machine, line, or plant. Leaves
-// are merged in sorted key order — the parallel Welford merge is not
-// floating-point associative, so map iteration order would otherwise
-// leak last-ulp jitter into responses (and break the byte-identical
-// crash-recovery contract).
-func (ps *plantState) rollup(level string) ([]RollupNode, error) {
-	keyFn, err := rollupKeyFn(level, ps.topo.ID, ps.machineLine)
+// the requested level: sensor, phase, machine, line, or plant. It
+// returns the resolved level (the empty string defaults to "plant") so
+// the handler echoes exactly what was computed instead of re-deriving
+// the default. Leaves are merged in sorted key order — the parallel
+// Welford merge is not floating-point associative, so map iteration
+// order would otherwise leak last-ulp jitter into responses (and break
+// the byte-identical crash-recovery contract).
+func (ps *plantState) rollup(level string) (string, []RollupNode, error) {
+	resolved, keyFn, err := rollupKeyFn(level, ps.topo.ID, ps.machineLine)
 	if err != nil {
-		return nil, err
+		return "", nil, err
 	}
 	type leafPair struct {
 		k rollKey
@@ -552,27 +608,29 @@ func (ps *plantState) rollup(level string) ([]RollupNode, error) {
 			Min: o.Min(), Max: o.Max(),
 		})
 	}
-	return out, nil
+	return resolved, out, nil
 }
 
 // RollupNode is one aggregate of the incremental roll-up tree; the
 // wire shape is shared with the typed client.
 type RollupNode = wire.RollupNode
 
-func rollupKeyFn(level, plantID string, machineLine map[string]string) (func(rollKey) string, error) {
+// rollupKeyFn resolves a requested level name (empty = plant) into the
+// canonical level it computes plus the leaf-grouping function.
+func rollupKeyFn(level, plantID string, machineLine map[string]string) (string, func(rollKey) string, error) {
 	switch level {
 	case "sensor":
-		return func(k rollKey) string { return k.machine + "/" + k.phase + "/" + k.sensor }, nil
+		return level, func(k rollKey) string { return k.machine + "/" + k.phase + "/" + k.sensor }, nil
 	case "phase":
-		return func(k rollKey) string { return k.machine + "/" + k.phase }, nil
+		return level, func(k rollKey) string { return k.machine + "/" + k.phase }, nil
 	case "machine":
-		return func(k rollKey) string { return k.machine }, nil
+		return level, func(k rollKey) string { return k.machine }, nil
 	case "line":
-		return func(k rollKey) string { return machineLine[k.machine] }, nil
+		return level, func(k rollKey) string { return machineLine[k.machine] }, nil
 	case "plant", "":
-		return func(rollKey) string { return plantID }, nil
+		return "plant", func(rollKey) string { return plantID }, nil
 	default:
-		return nil, fmt.Errorf("unknown rollup level %q (want sensor|phase|machine|line|plant)", level)
+		return "", nil, fmt.Errorf("unknown rollup level %q (want sensor|phase|machine|line|plant)", level)
 	}
 }
 

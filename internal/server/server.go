@@ -16,6 +16,7 @@
 //	POST /v1/plants/{id}/jobs                job metadata (setup + CAQ vectors)
 //	GET  /v1/plants/{id}/report              fleet outlier report (?level=&top=&machine=)
 //	GET  /v1/plants/{id}/rollup              incremental aggregates (?level=sensor|phase|machine|line|plant)
+//	GET  /v1/plants/{id}/cube                OLAP cube queries (?op=slice|rollup|members|drilldown)
 //	GET  /v1/plants/{id}/alerts              recent streaming alerts (?limit=)
 //	GET  /v1/plants/{id}/stats               ingest counters, queue depths, durability gauges
 //	GET  /v1/plants/{id}/backup              consistent snapshot of the plant (binary)
@@ -31,6 +32,7 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -42,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/olap"
 	"repro/internal/wal"
 	"repro/pkg/hod/wire"
 )
@@ -129,6 +132,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/plants/{id}/jobs", s.withPlant(s.handleJobs))
 	s.mux.HandleFunc("GET /v1/plants/{id}/report", s.withPlant(s.handleReport))
 	s.mux.HandleFunc("GET /v1/plants/{id}/rollup", s.withPlant(s.handleRollup))
+	s.mux.HandleFunc("GET /v1/plants/{id}/cube", s.withPlant(s.handleCube))
 	s.mux.HandleFunc("GET /v1/plants/{id}/alerts", s.withPlant(s.handleAlerts))
 	s.mux.HandleFunc("GET /v1/plants/{id}/stats", s.withPlant(s.handleStats))
 	s.mux.HandleFunc("GET /v1/plants/{id}/backup", s.withPlant(s.handleBackup))
@@ -377,14 +381,13 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request, ps *plantSta
 }
 
 func (s *Server) handleRollup(w http.ResponseWriter, r *http.Request, ps *plantState) {
-	nodes, err := ps.rollup(r.URL.Query().Get("level"))
+	// rollup returns the level it resolved the request to, so the
+	// echoed Level is by construction the one that was computed —
+	// resolving the default twice let the two drift.
+	level, nodes, err := ps.rollup(r.URL.Query().Get("level"))
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
-	}
-	level := r.URL.Query().Get("level")
-	if level == "" {
-		level = "plant"
 	}
 	writeJSON(w, http.StatusOK, wire.RollupResponse{Plant: ps.topo.ID, Level: level, Nodes: nodes})
 }
@@ -482,7 +485,13 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if err := validateState(st); err != nil {
 		// The ingest path rejects oversized and non-finite job vectors
 		// with 400; a backup must not smuggle them past the same gate.
-		writeErr(w, http.StatusBadRequest, wire.CodeVectorDims, err.Error())
+		// Malformed or non-finite cube cells are the cube-fed flavour
+		// of the same policy and carry the generic bad_request code.
+		code := wire.CodeVectorDims
+		if errors.Is(err, olap.ErrNonFinite) || errors.Is(err, olap.ErrSchema) {
+			code = wire.CodeBadRequest
+		}
+		writeErr(w, http.StatusBadRequest, code, err.Error())
 		return
 	}
 	st.ShardSeqs = nil // positions of the source server's WALs, if any

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -53,7 +54,7 @@ func NewClient(baseURL string, opts ...ClientOption) *Client {
 		base:       strings.TrimRight(baseURL, "/"),
 		hc:         &http.Client{Timeout: 60 * time.Second},
 		maxRetries: 120,
-		retryCap:   30 * time.Second,
+		retryCap:   MaxRetryAfter,
 	}
 	for _, opt := range opts {
 		opt(c)
@@ -112,14 +113,39 @@ func apiError(status int, body []byte) error {
 	return &APIError{Status: status, Code: wire.CodeInternal, Message: strings.TrimSpace(string(body))}
 }
 
+// MaxRetryAfter caps how long a single Retry-After header can make the
+// client sleep, whatever the server advertises — and is the default
+// per-attempt backoff cap (override with WithRetryCap).
+const MaxRetryAfter = 30 * time.Second
+
 // retryAfter reads the advertised backoff, defaulting to one second.
-func retryAfter(resp *http.Response) time.Duration {
+// RFC 9110 allows both forms — delta-seconds and an HTTP-date — so the
+// date form is parsed too (it used to fall back to the 1s default
+// silently). The result is clamped to limit, the client's WithRetryCap
+// bound (MaxRetryAfter unless overridden), so a far-future date cannot
+// park an uploader.
+func retryAfter(resp *http.Response, now time.Time, limit time.Duration) time.Duration {
+	d := time.Second // missing or unparseable header
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
-			return time.Duration(secs) * time.Second
+			// Compare in seconds before multiplying: a huge
+			// delta-seconds value would overflow the Duration to a
+			// negative and turn the backoff into a hot loop.
+			if time.Duration(secs) >= limit/time.Second {
+				return limit
+			}
+			d = time.Duration(secs) * time.Second
+		} else if when, err := http.ParseTime(ra); err == nil {
+			d = when.Sub(now)
+			if d < 0 {
+				d = 0
+			}
 		}
 	}
-	return time.Second
+	if d > limit {
+		d = limit
+	}
+	return d
 }
 
 func sleepCtx(ctx context.Context, d time.Duration) error {
@@ -171,11 +197,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 			return nil
 		case resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries:
 			c.retried.Add(1)
-			delay := retryAfter(resp)
-			if delay > c.retryCap {
-				delay = c.retryCap
-			}
-			if err := sleepCtx(ctx, delay); err != nil {
+			if err := sleepCtx(ctx, retryAfter(resp, time.Now(), c.retryCap)); err != nil {
 				return err
 			}
 		default:
@@ -279,6 +301,70 @@ func (c *Client) Rollup(ctx context.Context, plantID, level string) (wire.Rollup
 	var roll wire.RollupResponse
 	err := c.do(ctx, http.MethodGet, path, "", nil, &roll)
 	return roll, err
+}
+
+// CubeQuery selects one OLAP question for the Cube call. The zero
+// value is a full-cube slice.
+type CubeQuery struct {
+	Op    string            // wire.CubeOp*; "" = slice
+	Where map[string]string // dimension=member constraints
+	Keep  []string          // rollup: dimensions to keep
+	Dim   string            // members/drilldown: target dimension
+}
+
+// Cube runs one OLAP query — slice, rollup, members, or drilldown —
+// against the plant's incrementally maintained cube (dimensions
+// line × machine × job × phase × sensor). Cells come back in
+// deterministic coordinate order.
+func (c *Client) Cube(ctx context.Context, plantID string, q CubeQuery) (wire.CubeResponse, error) {
+	vals := url.Values{}
+	if q.Op != "" {
+		vals.Set("op", q.Op)
+	}
+	if len(q.Keep) > 0 {
+		vals.Set("keep", strings.Join(q.Keep, ","))
+	}
+	if q.Dim != "" {
+		vals.Set("dim", q.Dim)
+	}
+	dims := make([]string, 0, len(q.Where))
+	for d := range q.Where {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	for _, d := range dims {
+		vals.Add("where", d+"="+q.Where[d])
+	}
+	path := "/v1/plants/" + url.PathEscape(plantID) + "/cube"
+	if len(vals) > 0 {
+		path += "?" + vals.Encode()
+	}
+	var resp wire.CubeResponse
+	err := c.do(ctx, http.MethodGet, path, "", nil, &resp)
+	return resp, err
+}
+
+// CubeSlice fetches the cells matching the dimension=member
+// constraints at full dimensionality (nil = every materialised cell).
+func (c *Client) CubeSlice(ctx context.Context, plantID string, where map[string]string) (wire.CubeResponse, error) {
+	return c.Cube(ctx, plantID, CubeQuery{Op: wire.CubeOpSlice, Where: where})
+}
+
+// CubeRollup aggregates the cube onto the kept dimensions, optionally
+// within a where-constrained slice.
+func (c *Client) CubeRollup(ctx context.Context, plantID string, keep []string, where map[string]string) (wire.CubeResponse, error) {
+	return c.Cube(ctx, plantID, CubeQuery{Op: wire.CubeOpRollup, Keep: keep, Where: where})
+}
+
+// CubeMembers lists the distinct members of one dimension.
+func (c *Client) CubeMembers(ctx context.Context, plantID, dim string) (wire.CubeResponse, error) {
+	return c.Cube(ctx, plantID, CubeQuery{Op: wire.CubeOpMembers, Dim: dim})
+}
+
+// CubeDrilldown expands one dimension inside a where-constrained
+// slice: one aggregate cell per member of dim.
+func (c *Client) CubeDrilldown(ctx context.Context, plantID, dim string, where map[string]string) (wire.CubeResponse, error) {
+	return c.Cube(ctx, plantID, CubeQuery{Op: wire.CubeOpDrilldown, Dim: dim, Where: where})
 }
 
 // Alerts fetches up to limit recent streaming alerts (0 = server

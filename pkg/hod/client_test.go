@@ -3,6 +3,7 @@ package hod_test
 import (
 	"context"
 	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
@@ -210,6 +211,64 @@ func TestClientRetriesAfter429(t *testing.T) {
 	strict := hod.NewClient(front.URL, hod.WithMaxRetries(0))
 	if _, err := strict.Ingest(ctx, "bp", p.Records()[:1]); !errors.Is(err, hod.ErrBackpressure) {
 		t.Fatalf("no-retry client: got %v, want ErrBackpressure", err)
+	}
+}
+
+// TestClientRetriesDateForm429 is the regression test for the
+// RFC 9110 HTTP-date Retry-After form: a proxy shedding with a
+// date-form header (here: dates already in the past, i.e. "retry now")
+// must be honoured as ~zero backoff instead of the silent 1s-default
+// fallback the delta-seconds-only parser used — three sheds used to
+// cost three seconds of sleep.
+func TestClientRetriesDateForm429(t *testing.T) {
+	_, ts := newTestServer(t, server.Options{Shards: 1, QueueDepth: 4})
+	var sheds atomic.Int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && sheds.Add(1) <= 3 {
+			w.Header().Set("Retry-After", time.Now().Add(-10*time.Second).UTC().Format(http.TimeFormat))
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":{"code":"backpressure","message":"queue full"}}`))
+			return
+		}
+		req, err := http.NewRequestWithContext(r.Context(), r.Method, ts.URL+r.URL.RequestURI(), r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		req.Header = r.Header
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		defer resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body)
+	}))
+	defer front.Close()
+
+	p, err := hod.Simulate(hod.SimConfig{Seed: 2, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := hod.NewClient(front.URL)
+	ctx := context.Background()
+	if _, err := client.Register(ctx, p.Topology("dt")); err != nil {
+		t.Fatal(err)
+	}
+	sheds.Store(0)
+	began := time.Now()
+	ack, err := client.Ingest(ctx, "dt", p.Records()[:8])
+	if err != nil {
+		t.Fatalf("ingest never recovered from date-form 429s: %v", err)
+	}
+	if ack.Records != 8 || client.Retried() < 3 {
+		t.Fatalf("ack %+v retried %d, want 8 records after >= 3 retries", ack, client.Retried())
+	}
+	// A past date means "retry immediately"; the old 1s fallback made
+	// these three sheds cost >= 3s.
+	if elapsed := time.Since(began); elapsed > 2*time.Second {
+		t.Fatalf("date-form Retry-After not honoured: 3 retries took %v", elapsed)
 	}
 }
 

@@ -1,0 +1,47 @@
+package hod
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestRetryAfterForms pins the Retry-After grammar: RFC 9110 allows
+// delta-seconds and an HTTP-date, and both must parse — the date form
+// used to fall back to the 1s default silently. Everything is clamped
+// to the client's retry cap (MaxRetryAfter by default).
+func TestRetryAfterForms(t *testing.T) {
+	now := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	resp := func(ra string) *http.Response {
+		h := http.Header{}
+		if ra != "" {
+			h.Set("Retry-After", ra)
+		}
+		return &http.Response{Header: h}
+	}
+	cases := []struct {
+		name, ra string
+		limit    time.Duration
+		want     time.Duration
+	}{
+		{"missing", "", MaxRetryAfter, time.Second},
+		{"missing under tight cap", "", 100 * time.Millisecond, 100 * time.Millisecond},
+		{"garbage under tight cap", "soon", 100 * time.Millisecond, 100 * time.Millisecond},
+		{"delta seconds", "5", MaxRetryAfter, 5 * time.Second},
+		{"delta zero", "0", MaxRetryAfter, 0},
+		{"delta negative", "-3", MaxRetryAfter, time.Second},
+		{"delta beyond cap", "3600", MaxRetryAfter, MaxRetryAfter},
+		{"delta overflowing duration", "10000000000", MaxRetryAfter, MaxRetryAfter},
+		{"delta within raised cap", "120", 5 * time.Minute, 2 * time.Minute},
+		{"http date future", now.Add(10 * time.Second).UTC().Format(http.TimeFormat), MaxRetryAfter, 10 * time.Second},
+		{"http date past", now.Add(-time.Minute).UTC().Format(http.TimeFormat), MaxRetryAfter, 0},
+		{"http date beyond cap", now.Add(time.Hour).UTC().Format(http.TimeFormat), MaxRetryAfter, MaxRetryAfter},
+		{"http date within raised cap", now.Add(2 * time.Minute).UTC().Format(http.TimeFormat), 5 * time.Minute, 2 * time.Minute},
+		{"garbage", "soon", MaxRetryAfter, time.Second},
+	}
+	for _, c := range cases {
+		if got := retryAfter(resp(c.ra), now, c.limit); got != c.want {
+			t.Errorf("%s: retryAfter(%q, limit %v) = %v, want %v", c.name, c.ra, c.limit, got, c.want)
+		}
+	}
+}

@@ -123,8 +123,9 @@ type TopoLine struct {
 }
 
 // Validate checks the parts of a topology the server will reject:
-// missing ids, empty lines, duplicate machines, too-narrow setup
-// vectors.
+// missing ids, empty lines, duplicate machines, control characters in
+// identifiers (reserved by the cube's coordinate keys), too-narrow
+// setup vectors.
 func (t Topology) Validate() error {
 	if t.ID == "" {
 		return fmt.Errorf("wire: topology needs an id")
@@ -137,6 +138,9 @@ func (t Topology) Validate() error {
 		if l.ID == "" {
 			return fmt.Errorf("wire: topology %s has a line without id", t.ID)
 		}
+		if err := ValidIdent("line", l.ID); err != nil {
+			return err
+		}
 		if len(l.Machines) == 0 {
 			return fmt.Errorf("wire: line %s has no machines", l.ID)
 		}
@@ -144,14 +148,44 @@ func (t Topology) Validate() error {
 			if m == "" {
 				return fmt.Errorf("wire: line %s has an empty machine id", l.ID)
 			}
+			if err := ValidIdent("machine", m); err != nil {
+				return err
+			}
 			if seen[m] {
 				return fmt.Errorf("wire: machine %s registered twice", m)
 			}
 			seen[m] = true
 		}
 	}
+	for _, kind := range []struct {
+		name string
+		ids  []string
+	}{
+		{"phase", t.Phases}, {"sensor", t.Sensors}, {"environment sensor", t.EnvSensors},
+	} {
+		for _, id := range kind.ids {
+			if err := ValidIdent(kind.name, id); err != nil {
+				return err
+			}
+		}
+	}
 	if t.SetupDims != 0 && t.SetupDims < 3 {
 		return fmt.Errorf("wire: setup_dims must be >= 3 (index 2 is the setpoint)")
+	}
+	return nil
+}
+
+// ValidIdent rejects identifiers carrying control characters —
+// topology ids (and the free-form job ids the ingest path vets with
+// the same rule) become cube coordinate members, whose keys reserve
+// the 0x1f separator (and sibling control bytes buy nothing but
+// trouble in CSV and log output either). The one policy definition for
+// registration, ingest, and restore gates.
+func ValidIdent(kind, id string) error {
+	for _, r := range id {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("wire: %s id %q contains a control character", kind, id)
+		}
 	}
 	return nil
 }
@@ -255,6 +289,49 @@ type RollupResponse struct {
 	Plant string       `json:"plant"`
 	Level string       `json:"level"`
 	Nodes []RollupNode `json:"nodes"`
+}
+
+// Cube query operations accepted by GET /v1/plants/{id}/cube.
+const (
+	CubeOpSlice     = "slice"
+	CubeOpRollup    = "rollup"
+	CubeOpMembers   = "members"
+	CubeOpDrilldown = "drilldown"
+)
+
+// CubeDims returns the dimension names of the v1 serving cube, in
+// coordinate order — the single definition the server's incremental
+// cube and the SDK's batch builder both construct from.
+func CubeDims() []string {
+	return []string{"line", "machine", "job", "phase", "sensor"}
+}
+
+// CubeCell is one aggregate cell of the OLAP cube: the coordinate
+// along the response's Dims plus the measure aggregates folded from
+// every fact landing in the cell.
+type CubeCell struct {
+	Coord []string `json:"coord"`
+	Count int      `json:"count"`
+	Sum   float64  `json:"sum"`
+	Mean  float64  `json:"mean"`
+	Min   float64  `json:"min"`
+	Max   float64  `json:"max"`
+}
+
+// CubeResponse is the GET cube body: the answer to one slice, rollup,
+// members, or drilldown query over the plant's incrementally
+// maintained cube. Dims names the coordinate axes of Cells (in order);
+// Where echoes the applied dim=member constraints sorted by dimension;
+// TotalCells counts the materialised cells of the full cube the query
+// ran against. Cells are in deterministic coordinate order.
+type CubeResponse struct {
+	Plant      string     `json:"plant"`
+	Op         string     `json:"op"`
+	Dims       []string   `json:"dims"`
+	Where      []string   `json:"where,omitempty"`
+	Members    []string   `json:"members,omitempty"`
+	Cells      []CubeCell `json:"cells,omitempty"`
+	TotalCells int        `json:"total_cells"`
 }
 
 // Alert is one streaming detection event raised at ingest time by the

@@ -49,6 +49,17 @@ func goldenCases() []struct {
 			DataRevision: 12,
 		}},
 		{"rollup_node", RollupNode{Key: "line-1/m1/print", Count: 40, Mean: 1.5, Std: 0.25, Min: 1, Max: 2}},
+		{"cube_cell", CubeCell{Coord: []string{"line-1", "line-1/m1", "j1", "print", "temp-a"}, Count: 40, Sum: 60, Mean: 1.5, Min: 1, Max: 2}},
+		{"cube_response", CubeResponse{
+			Plant: "p1", Op: CubeOpDrilldown, Dims: []string{"line", "machine"},
+			Where:      []string{"line=line-1"},
+			Cells:      []CubeCell{{Coord: []string{"line-1", "line-1/m1"}, Count: 2, Sum: 6, Mean: 3, Min: 2, Max: 4}},
+			TotalCells: 12,
+		}},
+		{"cube_response_members", CubeResponse{
+			Plant: "p1", Op: CubeOpMembers, Dims: []string{"line", "machine", "job", "phase", "sensor"},
+			Members: []string{"print", "recoat"}, TotalCells: 12,
+		}},
 		{"rollup_response", RollupResponse{Plant: "p1", Level: "machine", Nodes: []RollupNode{{Key: "line-1/m1", Count: 2, Mean: 3, Std: 0, Min: 3, Max: 3}}}},
 		{"alert", Alert{Machine: "line-1/m1", Phase: "print", Sensor: "vibration", T: 99, Value: 6.5, Score: 11.25}},
 		{"alerts_response", AlertsResponse{Plant: "p1", Alerts: []Alert{{Machine: "m", Phase: "p", Sensor: "s", T: 1, Value: 2, Score: 9}}}},
