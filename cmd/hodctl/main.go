@@ -14,6 +14,7 @@
 //	hodctl cube    -addr http://host:8080 -plant id [-op slice|rollup|members|drilldown]
 //	hodctl backup  -addr http://host:8080 -plant id -out plant.bak
 //	hodctl restore -addr http://host:8080 -plant id -in plant.bak
+//	hodctl soak    [-config scenario.json] [-short] [-runs 2] [-json]
 //	hodctl list
 package main
 
@@ -57,6 +58,8 @@ func main() {
 		err = cmdBackup(os.Args[2:])
 	case "restore":
 		err = cmdRestore(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
 	case "list":
 		err = cmdList()
 	default:
@@ -80,6 +83,7 @@ func usage() {
   hodctl cube    -addr URL -plant ID [-op slice|rollup|members|drilldown] [-where dim=member,...] [-keep dims] [-dim D] [-json]
   hodctl backup  -addr URL -plant ID -out FILE
   hodctl restore -addr URL -plant ID -in FILE
+  hodctl soak    [-config FILE] [-name S] [-short] [-runs N] [-dir DIR] [-seed N] [-json] [-list] [-v]
   hodctl list`)
 }
 

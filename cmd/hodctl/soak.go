@@ -1,0 +1,171 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// cmdSoak runs the scenario matrix: deterministic fault-injection
+// soaks of an in-process hodserve, each checked byte-for-byte against
+// an offline oracle. Every scenario runs -runs times and the result
+// digests must agree — the determinism gate that makes a soak matrix
+// usable as a regression corpus.
+func cmdSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	config := fs.String("config", "", "scenario JSON file (default: the builtin corpus)")
+	name := fs.String("name", "", "run only the scenario with this name")
+	short := fs.Bool("short", false, "run only scenarios marked short (the CI matrix)")
+	runs := fs.Int("runs", 2, "runs per scenario; same-seed digests must agree")
+	dir := fs.String("dir", "", "root directory for durable scenarios' data dirs (default: a temp dir)")
+	seed := fs.Int64("seed", 0, "override every scenario's seed (0 = keep the config's)")
+	asJSON := fs.Bool("json", false, "emit the full result matrix as JSON")
+	list := fs.Bool("list", false, "list the matrix and exit")
+	verbose := fs.Bool("v", false, "log runner progress to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *runs < 1 {
+		return fmt.Errorf("soak: -runs must be >= 1")
+	}
+
+	var matrix []scenario.Config
+	if *config != "" {
+		cfg, err := scenario.Load(*config)
+		if err != nil {
+			return err
+		}
+		matrix = []scenario.Config{cfg}
+	} else {
+		var err error
+		matrix, err = scenario.Builtin()
+		if err != nil {
+			return err
+		}
+	}
+	filtered := matrix[:0]
+	for _, cfg := range matrix {
+		if *name != "" && cfg.Name != *name {
+			continue
+		}
+		if *short && !cfg.Short {
+			continue
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		filtered = append(filtered, cfg)
+	}
+	matrix = filtered
+	if len(matrix) == 0 {
+		return fmt.Errorf("soak: no scenarios match")
+	}
+	if *list {
+		for _, cfg := range matrix {
+			tag := ""
+			if cfg.Short {
+				tag = " [short]"
+			}
+			fmt.Printf("%-20s seed=%-4d failures=%-2d%s\n  %s\n", cfg.Name, cfg.Seed, len(cfg.Failures), tag, cfg.Notes)
+		}
+		return nil
+	}
+
+	runner := &scenario.Runner{DataDir: *dir}
+	if *verbose {
+		runner.Log = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "soak: "+format+"\n", args...)
+		}
+	}
+
+	outcomes := make([]soakOutcome, 0, len(matrix))
+	failed := 0
+	for _, cfg := range matrix {
+		out := soakOutcome{Name: cfg.Name, Pass: true, Deterministic: true}
+		for i := 0; i < *runs; i++ {
+			res, err := runner.Run(context.Background(), cfg)
+			if err != nil {
+				return fmt.Errorf("soak: scenario %s run %d: %w", cfg.Name, i+1, err)
+			}
+			out.Runs = append(out.Runs, res)
+			if !res.Pass {
+				out.Pass = false
+			}
+			if res.Digest != out.Runs[0].Digest {
+				out.Deterministic = false
+			}
+		}
+		if !out.Pass || !out.Deterministic {
+			failed++
+		}
+		outcomes = append(outcomes, out)
+		if !*asJSON {
+			printOutcome(out)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(outcomes); err != nil {
+			return err
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("soak: %d of %d scenarios failed", failed, len(outcomes))
+	}
+	if !*asJSON {
+		fmt.Printf("soak: %d scenarios, %d runs each: all invariants held, all digests deterministic\n",
+			len(outcomes), *runs)
+	}
+	return nil
+}
+
+// soakOutcome aggregates one scenario's runs plus the cross-run
+// determinism verdict.
+type soakOutcome struct {
+	Name          string             `json:"name"`
+	Pass          bool               `json:"pass"`
+	Deterministic bool               `json:"deterministic"`
+	Runs          []*scenario.Result `json:"runs"`
+}
+
+func printOutcome(out soakOutcome) {
+	first := out.Runs[0]
+	status := "PASS"
+	if !out.Pass {
+		status = "FAIL"
+	} else if !out.Deterministic {
+		status = "NONDET"
+	}
+	kinds := make([]string, 0, len(first.Injected))
+	for kind := range first.Injected {
+		kinds = append(kinds, kind)
+	}
+	sort.Strings(kinds)
+	injected := make([]string, 0, len(kinds))
+	for _, kind := range kinds {
+		injected = append(injected, fmt.Sprintf("%s×%d", kind, first.Injected[kind]))
+	}
+	fmt.Printf("%-6s %-20s batches=%-3d acked=%-6d cells=%-6d restarts=%d retried=%d digest=%.12s [%s]\n",
+		status, out.Name, first.Batches, first.AckedRecords, first.DistinctCells,
+		first.Restarts, first.ClientRetried+first.RunnerRetries, first.Digest,
+		strings.Join(injected, " "))
+	for _, res := range out.Runs {
+		for _, c := range res.Checks {
+			if !c.Pass {
+				fmt.Printf("       FAILED CHECK %s: %s\n", c.Name, c.Detail)
+			}
+		}
+	}
+	if !out.Deterministic {
+		for i, res := range out.Runs {
+			fmt.Printf("       run %d digest %s\n", i+1, res.Digest)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+)
+
+// The committed scenario corpus ships inside the binary so
+// `hodctl soak` works without a checkout.
+//
+//go:embed testdata/scenarios/*.json
+var builtinFS embed.FS
+
+// Builtin returns the committed scenario corpus, sorted by name. Short
+// scenarios (the CI matrix) come back with Short set.
+func Builtin() ([]Config, error) {
+	ents, err := builtinFS.ReadDir("testdata/scenarios")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Config, 0, len(ents))
+	for _, e := range ents {
+		buf, err := builtinFS.ReadFile("testdata/scenarios/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		cfg, err := Parse(buf)
+		if err != nil {
+			return nil, fmt.Errorf("builtin %s: %w", e.Name(), err)
+		}
+		out = append(out, cfg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}

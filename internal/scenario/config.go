@@ -1,0 +1,241 @@
+// Package scenario is the deterministic fault-injection and soak layer
+// of the serving stack. A Config declares, in JSON, a plantsim trace
+// plus a schedule of failures — sensor dropout windows, duplicated and
+// re-sent batches, clock-skewed timestamps, a corrupted WAL tail
+// followed by a restart, kill -9 at scheduled batch offsets, 429
+// storms, 5xx bursts, connection resets on either side of the wire —
+// and the Runner executes it against a real hodserve: it replays the
+// trace through the pkg/hod client, restarts the server in-process
+// from its data dir exactly where the schedule says, and afterwards
+// checks the survivor against an offline oracle fed the same
+// acknowledged stream. Every scenario is seed-deterministic: two runs
+// of the same config produce the same result digest, so a soak matrix
+// doubles as a regression corpus.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Failure kinds a schedule can carry. Trace transforms (dropout,
+// clock_skew) rewrite the record stream before batching; send-schedule
+// faults fire at a batch offset during the replay.
+const (
+	// KindDropout removes a sensor window from the trace — records of
+	// one machine (optionally one sensor) with From <= T < To never
+	// leave the client. The oracle sees the surviving records only.
+	KindDropout = "dropout"
+	// KindClockSkew shifts T by Skew for the matched window — the
+	// misconfigured-edge-gateway story. Skewed samples land in (and
+	// first-seen-win) the shifted cells on server and oracle alike.
+	KindClockSkew = "clock_skew"
+	// KindDuplicate re-sends batch At exactly Count times right after
+	// its first ack. Idempotent ingest must fold the copies to zero
+	// state change.
+	KindDuplicate = "duplicate"
+	// KindResend re-sends the first Count already-acked batches (in
+	// reverse order, for spice) after batch At acks — the client-side
+	// "replay on reconnect" story.
+	KindResend = "resend"
+	// KindReorder swaps batches At and At+1 in the send schedule.
+	KindReorder = "reorder"
+	// KindKill hard-stops the server (no drain, no snapshot) right
+	// before batch At is sent, restarts it from the data dir, and
+	// re-sends everything not yet acked. Durable scenarios only.
+	KindKill = "kill"
+	// KindCorruptWALTail kills the server before batch At, appends
+	// garbage to the newest WAL segment of every shard (a torn tail:
+	// partial frames past the last acked record), then restarts.
+	// Recovery must truncate the tails and lose nothing acked.
+	KindCorruptWALTail = "corrupt_wal_tail"
+	// KindStorm429 arms Count injected 429 responses before batch At;
+	// the client's Retry-After backoff must absorb them.
+	KindStorm429 = "storm_429"
+	// KindStorm5xx arms Count injected 500 responses before batch At;
+	// the runner's outer retry loop must re-send.
+	KindStorm5xx = "storm_5xx"
+	// KindConnReset arms Count injected client-side connection resets
+	// before batch At.
+	KindConnReset = "conn_reset"
+	// KindListenerReset arms Count server-side accept-then-RST drops
+	// before batch At (the fault listener slams the door).
+	KindListenerReset = "listener_reset"
+)
+
+// Failure is one scheduled injection.
+type Failure struct {
+	Kind string `json:"kind"`
+	// Plant targets one plant of the scenario (default: the first).
+	Plant string `json:"plant,omitempty"`
+
+	// Machine/Sensor/From/To select the trace window for dropout and
+	// clock_skew. Empty machine matches environment records; empty
+	// sensor matches every sensor. To == 0 means "to the end".
+	Machine string `json:"machine,omitempty"`
+	Sensor  string `json:"sensor,omitempty"`
+	From    int    `json:"from,omitempty"`
+	To      int    `json:"to,omitempty"`
+	// Skew is the T shift of clock_skew (may be negative; skewing a
+	// record below T=0 rejects it at the server — on both servers).
+	Skew int `json:"skew,omitempty"`
+
+	// At is the zero-based batch offset a send-schedule fault fires at.
+	At int `json:"at,omitempty"`
+	// Count sizes the fault: copies for duplicate, batches for resend,
+	// responses for storms, drops for resets (default 1).
+	Count int `json:"count,omitempty"`
+}
+
+// PlantSpec is one simulated plant of a scenario.
+type PlantSpec struct {
+	ID string `json:"id"`
+	// Simulator shape; zero values take plantsim defaults.
+	Lines           int `json:"lines,omitempty"`
+	MachinesPerLine int `json:"machines_per_line,omitempty"`
+	JobsPerMachine  int `json:"jobs_per_machine,omitempty"`
+	PhaseSamples    int `json:"phase_samples,omitempty"`
+}
+
+// Config is one declarative scenario.
+type Config struct {
+	Name string `json:"name"`
+	Seed int64  `json:"seed"`
+	// Short marks the scenario as part of the CI short matrix.
+	Short bool `json:"short,omitempty"`
+	// Notes is free-form documentation shown by `hodctl soak -list`.
+	Notes string `json:"notes,omitempty"`
+
+	Plants []PlantSpec `json:"plants"`
+
+	// BatchRecords chunks each plant's trace (default 512 records).
+	BatchRecords int `json:"batch_records,omitempty"`
+	// Server shape under test.
+	Shards     int `json:"shards,omitempty"`      // default 3
+	QueueDepth int `json:"queue_depth,omitempty"` // default 64
+	// Durable makes the server run from a data dir (WAL + snapshots).
+	// Required by kill and corrupt_wal_tail.
+	Durable bool   `json:"durable,omitempty"`
+	Fsync   string `json:"fsync,omitempty"` // default "none" (fast, still crash-safe for process kills)
+	// SnapshotIntervalMS tunes the background snapshot loop (default:
+	// off — recovery replays the WAL; kills stay batch-deterministic).
+	SnapshotIntervalMS int `json:"snapshot_interval_ms,omitempty"`
+	// DrainTimeoutMS bounds every WaitDrained (default 60s).
+	DrainTimeoutMS int `json:"drain_timeout_ms,omitempty"`
+
+	Failures []Failure `json:"failures,omitempty"`
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchRecords <= 0 {
+		c.BatchRecords = 512
+	}
+	if c.Shards <= 0 {
+		c.Shards = 3
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Fsync == "" {
+		c.Fsync = "none"
+	}
+	if c.DrainTimeoutMS <= 0 {
+		c.DrainTimeoutMS = int(60 * time.Second / time.Millisecond)
+	}
+	for i := range c.Plants {
+		p := &c.Plants[i]
+		if p.Lines == 0 {
+			p.Lines = 1
+		}
+		if p.MachinesPerLine == 0 {
+			p.MachinesPerLine = 2
+		}
+		if p.JobsPerMachine == 0 {
+			p.JobsPerMachine = 3
+		}
+		if p.PhaseSamples == 0 {
+			p.PhaseSamples = 24
+		}
+	}
+	return c
+}
+
+// kinds every Validate accepts, and whether each needs a durable server.
+var kindNeedsDurable = map[string]bool{
+	KindDropout:        false,
+	KindClockSkew:      false,
+	KindDuplicate:      false,
+	KindResend:         false,
+	KindReorder:        false,
+	KindKill:           true,
+	KindCorruptWALTail: true,
+	KindStorm429:       false,
+	KindStorm5xx:       false,
+	KindConnReset:      false,
+	KindListenerReset:  false,
+}
+
+// Validate rejects configs the runner could not execute
+// deterministically: unknown failure kinds, kills without a data dir,
+// failures aimed at undeclared plants.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("scenario: config needs a name")
+	}
+	if len(c.Plants) == 0 {
+		return fmt.Errorf("scenario %s: needs at least one plant", c.Name)
+	}
+	seen := map[string]bool{}
+	for _, p := range c.Plants {
+		if p.ID == "" {
+			return fmt.Errorf("scenario %s: plant without an id", c.Name)
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("scenario %s: duplicate plant %q", c.Name, p.ID)
+		}
+		seen[p.ID] = true
+	}
+	for i, f := range c.Failures {
+		needsDurable, ok := kindNeedsDurable[f.Kind]
+		if !ok {
+			return fmt.Errorf("scenario %s: failure %d: unknown kind %q", c.Name, i, f.Kind)
+		}
+		if needsDurable && !c.Durable {
+			return fmt.Errorf("scenario %s: failure %d: %s needs \"durable\": true", c.Name, i, f.Kind)
+		}
+		if f.Plant != "" && !seen[f.Plant] {
+			return fmt.Errorf("scenario %s: failure %d: unknown plant %q", c.Name, i, f.Plant)
+		}
+		if f.At < 0 || f.Count < 0 || f.From < 0 || f.To < 0 {
+			return fmt.Errorf("scenario %s: failure %d: negative offsets", c.Name, i)
+		}
+	}
+	return nil
+}
+
+// Load reads and validates one scenario config file.
+func Load(path string) (Config, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return Config{}, err
+	}
+	return Parse(buf)
+}
+
+// Parse decodes and validates one scenario config. Unknown fields are
+// errors, so a typo in a failure schedule cannot silently disarm it.
+func Parse(buf []byte) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("scenario: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,38 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// TestLongMatrix runs the full builtin corpus — the same matrix
+// `hodctl soak` executes — once per scenario. Skipped under -short;
+// CI's short-soak job runs TestShortMatrix instead.
+func TestLongMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long soak matrix: run without -short, or via hodctl soak")
+	}
+	corpus, err := Builtin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range corpus {
+		if cfg.Short {
+			continue // already covered by TestShortMatrix
+		}
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			r := &Runner{DataDir: t.TempDir(), Log: t.Logf}
+			res, err := r.Run(context.Background(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Pass {
+				buf, _ := json.MarshalIndent(res, "", "  ")
+				t.Fatalf("scenario failed:\n%s", buf)
+			}
+		})
+	}
+}

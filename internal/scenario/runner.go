@@ -1,0 +1,563 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+// Runner executes scenarios. The zero value is usable; set DataDir to
+// control where durable scenarios keep their WAL (default: a fresh
+// temp dir per run, removed afterwards).
+type Runner struct {
+	// DataDir roots the per-scenario data dirs of durable runs. Empty
+	// means os.MkdirTemp.
+	DataDir string
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		r.Log(format, args...)
+	}
+}
+
+// sendAttempts bounds the runner's outer retry loop around one batch:
+// injected 5xx and resets surface as errors the typed client does not
+// retry, so the runner re-sends — like any production ingest loop
+// would — until the schedule's armed faults are consumed.
+const sendAttempts = 64
+
+// plantTrace is one plant's prepared replay: the simulated topology,
+// the post-transform record stream cut into batches, and the job
+// metadata that ships after the samples.
+type plantTrace struct {
+	spec  PlantSpec
+	topo  wire.Topology
+	batch [][]wire.Record
+	jobs  []wire.JobMeta
+	// order is the send-schedule permutation (reorder faults applied).
+	order []int
+	// events maps a batch offset (position in order) to its scheduled
+	// faults.
+	events map[int][]Failure
+}
+
+// ackedBatch is one acknowledged send — the unit the oracle replays.
+type ackedBatch struct {
+	plant    string
+	records  []wire.Record
+	admitted int
+}
+
+// Run executes one scenario end to end and reports every invariant
+// check. A non-nil error means the scenario could not be executed at
+// all (bad config, no free port); injection findings land in
+// Result.Checks instead.
+func (r *Runner) Run(ctx context.Context, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	start := time.Now()
+
+	res := &Result{Name: cfg.Name, Seed: cfg.Seed, Injected: map[string]uint64{}}
+	traces, err := prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, tr := range traces {
+		res.Batches += len(tr.batch)
+	}
+
+	dataDir := ""
+	if cfg.Durable {
+		dataDir = r.DataDir
+		if dataDir == "" {
+			tmp, err := os.MkdirTemp("", "hod-scenario-*")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(tmp)
+			dataDir = tmp
+		}
+		dataDir = filepath.Join(dataDir, cfg.Name)
+		if err := os.MkdirAll(dataDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+
+	h, err := newHarness(cfg, dataDir)
+	if err != nil {
+		return nil, err
+	}
+	defer h.shutdown()
+
+	drainTimeout := time.Duration(cfg.DrainTimeoutMS) * time.Millisecond
+	acked, err := r.replay(ctx, cfg, h, traces, res)
+	res.ClientRetried = h.clientRetried()
+	res.ListenerDrops = h.listenerDrops()
+	if err != nil {
+		return nil, err
+	}
+
+	// Drain the victim: every acknowledged record must fold, bounded by
+	// the scenario's drain deadline (a hang here IS a finding).
+	admittedByPlant := map[string]uint64{}
+	for _, ab := range acked {
+		admittedByPlant[ab.plant] += uint64(ab.admitted)
+	}
+	for _, tr := range traces {
+		id := tr.spec.ID
+		dctx, cancel := context.WithTimeout(ctx, drainTimeout)
+		err := h.client.WaitDrained(dctx, id, admittedByPlant[id])
+		cancel()
+		res.check("drain_terminates/"+id, err == nil, errString(err))
+		if errors.Is(err, hod.ErrDrainTimeout) {
+			// No point byte-comparing a wedged server.
+			res.finish(start)
+			return res, nil
+		}
+	}
+
+	// Build the oracle: a fresh in-memory server fed the exact
+	// acknowledged stream, in ack order, then byte-compare every
+	// serving surface.
+	r.verify(ctx, cfg, h, traces, acked, drainTimeout, res)
+	res.finish(start)
+	return res, nil
+}
+
+// prepare simulates every plant, applies the trace transforms, cuts
+// batches, applies reorder faults, and indexes the send-schedule
+// events.
+func prepare(cfg Config) ([]*plantTrace, error) {
+	defaultPlant := cfg.Plants[0].ID
+	traces := make([]*plantTrace, 0, len(cfg.Plants))
+	for pi, spec := range cfg.Plants {
+		// Seed offset keeps multi-plant scenarios from replaying the
+		// same trace into every plant.
+		sim, err := hod.Simulate(hod.SimConfig{
+			Seed:            cfg.Seed + int64(pi),
+			Lines:           spec.Lines,
+			MachinesPerLine: spec.MachinesPerLine,
+			JobsPerMachine:  spec.JobsPerMachine,
+			PhaseSamples:    spec.PhaseSamples,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("scenario %s: simulate %s: %w", cfg.Name, spec.ID, err)
+		}
+		recs := append(sim.Records(), sim.EnvRecords()...)
+		recs = transform(recs, spec.ID, defaultPlant, cfg.Failures)
+		tr := &plantTrace{
+			spec:   spec,
+			topo:   sim.Topology(spec.ID),
+			batch:  chunk(recs, cfg.BatchRecords),
+			jobs:   sim.JobMetas(),
+			events: map[int][]Failure{},
+		}
+		tr.order = make([]int, len(tr.batch))
+		for i := range tr.order {
+			tr.order[i] = i
+		}
+		for _, f := range cfg.Failures {
+			if target(f, defaultPlant) != spec.ID {
+				continue
+			}
+			switch f.Kind {
+			case KindDropout, KindClockSkew:
+				// trace transforms, already applied
+			case KindReorder:
+				if f.At+1 < len(tr.order) {
+					tr.order[f.At], tr.order[f.At+1] = tr.order[f.At+1], tr.order[f.At]
+				}
+			default:
+				at := f.At
+				if at >= len(tr.batch) && len(tr.batch) > 0 {
+					at = len(tr.batch) - 1
+				}
+				tr.events[at] = append(tr.events[at], f)
+			}
+		}
+		traces = append(traces, tr)
+	}
+	return traces, nil
+}
+
+func target(f Failure, defaultPlant string) string {
+	if f.Plant != "" {
+		return f.Plant
+	}
+	return defaultPlant
+}
+
+// transform applies dropout and clock-skew windows to one plant's
+// record stream.
+func transform(recs []wire.Record, plantID, defaultPlant string, failures []Failure) []wire.Record {
+	windows := make([]Failure, 0, 2)
+	for _, f := range failures {
+		if (f.Kind == KindDropout || f.Kind == KindClockSkew) && target(f, defaultPlant) == plantID {
+			windows = append(windows, f)
+		}
+	}
+	if len(windows) == 0 {
+		return recs
+	}
+	out := recs[:0]
+	for _, rec := range recs {
+		keep := true
+		for _, w := range windows {
+			if !matchWindow(rec, w) {
+				continue
+			}
+			if w.Kind == KindDropout {
+				keep = false
+				break
+			}
+			rec.T += w.Skew
+		}
+		if keep {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+func matchWindow(rec wire.Record, w Failure) bool {
+	if w.Machine != "" && rec.Machine != w.Machine {
+		return false
+	}
+	if w.Machine == "" && !rec.Env {
+		return false
+	}
+	if w.Sensor != "" && rec.Sensor != w.Sensor {
+		return false
+	}
+	if rec.T < w.From {
+		return false
+	}
+	if w.To > 0 && rec.T >= w.To {
+		return false
+	}
+	return true
+}
+
+func chunk(recs []wire.Record, n int) [][]wire.Record {
+	var out [][]wire.Record
+	for lo := 0; lo < len(recs); lo += n {
+		hi := lo + n
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		out = append(out, recs[lo:hi])
+	}
+	return out
+}
+
+// replay drives every plant's batch schedule through the harness,
+// firing scheduled faults at their batch offsets, and returns the
+// acknowledged stream in ack order — the oracle's input.
+func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*plantTrace, res *Result) ([]ackedBatch, error) {
+	var acked []ackedBatch
+
+	send := func(plantID string, recs []wire.Record) error {
+		var lastErr error
+		for attempt := 0; attempt < sendAttempts; attempt++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			ack, err := h.client.Ingest(ctx, plantID, recs)
+			if err == nil {
+				acked = append(acked, ackedBatch{plant: plantID, records: recs, admitted: ack.Records})
+				return nil
+			}
+			lastErr = err
+			res.RunnerRetries++
+		}
+		return fmt.Errorf("scenario %s: batch on %s undeliverable after %d attempts: %w",
+			cfg.Name, plantID, sendAttempts, lastErr)
+	}
+
+	for _, tr := range traces {
+		id := tr.spec.ID
+		if _, err := h.client.Register(ctx, tr.topo); err != nil {
+			return nil, fmt.Errorf("scenario %s: register %s: %w", cfg.Name, id, err)
+		}
+		for pos, bi := range tr.order {
+			for _, f := range tr.events[pos] {
+				if err := r.fire(ctx, cfg, h, f, res); err != nil {
+					return nil, err
+				}
+			}
+			if err := send(id, tr.batch[bi]); err != nil {
+				return nil, err
+			}
+			for _, f := range tr.events[pos] {
+				n := f.Count
+				if n <= 0 {
+					n = 1
+				}
+				switch f.Kind {
+				case KindDuplicate:
+					for i := 0; i < n; i++ {
+						if err := send(id, tr.batch[bi]); err != nil {
+							return nil, err
+						}
+					}
+					res.Injected[KindDuplicate] += uint64(n)
+				case KindResend:
+					// Reverse order: the idempotent store must not care.
+					lo := pos - n
+					if lo < 0 {
+						lo = 0
+					}
+					for p := pos - 1; p >= lo; p-- {
+						if err := send(id, tr.batch[tr.order[p]]); err != nil {
+							return nil, err
+						}
+						res.Injected[KindResend]++
+					}
+				}
+			}
+		}
+		if len(tr.jobs) > 0 {
+			if _, err := h.client.Jobs(ctx, id, tr.jobs); err != nil {
+				return nil, fmt.Errorf("scenario %s: jobs %s: %w", cfg.Name, id, err)
+			}
+		}
+	}
+	return acked, nil
+}
+
+// fire executes one pre-batch fault.
+func (r *Runner) fire(ctx context.Context, cfg Config, h *harness, f Failure, res *Result) error {
+	n := f.Count
+	if n <= 0 {
+		n = 1
+	}
+	switch f.Kind {
+	case KindStorm429:
+		faults := make([]hod.Fault, n)
+		for i := range faults {
+			faults[i] = hod.Fault{Status: http.StatusTooManyRequests}
+		}
+		h.injector.InjectNext(faults...)
+		res.Injected[KindStorm429] += uint64(n)
+	case KindStorm5xx:
+		faults := make([]hod.Fault, n)
+		for i := range faults {
+			faults[i] = hod.Fault{Status: http.StatusInternalServerError}
+		}
+		h.injector.InjectNext(faults...)
+		res.Injected[KindStorm5xx] += uint64(n)
+	case KindConnReset:
+		faults := make([]hod.Fault, n)
+		for i := range faults {
+			faults[i] = hod.Fault{}
+		}
+		h.injector.InjectNext(faults...)
+		res.Injected[KindConnReset] += uint64(n)
+	case KindListenerReset:
+		// Force the next sends onto fresh connections so the armed
+		// accept-drops fire deterministically.
+		h.transport.CloseIdleConnections()
+		h.listener.DropNext(n)
+		res.Injected[KindListenerReset] += uint64(n)
+	case KindKill, KindCorruptWALTail:
+		pre, err := h.client.Stats(ctx, firstPlant(cfg))
+		preSeen := err == nil
+		r.logf("scenario %s: %s (restart %d)", cfg.Name, f.Kind, res.Restarts+1)
+		h.kill()
+		if f.Kind == KindCorruptWALTail {
+			if err := corruptWALTails(h.dataDir); err != nil {
+				return fmt.Errorf("scenario %s: corrupting WAL tails: %w", cfg.Name, err)
+			}
+			res.Injected[KindCorruptWALTail]++
+		} else {
+			res.Injected[KindKill]++
+		}
+		if err := h.restart(); err != nil {
+			res.check("recovery_opens", false, err.Error())
+			return fmt.Errorf("scenario %s: restart after %s: %w", cfg.Name, f.Kind, err)
+		}
+		res.Restarts++
+		if preSeen {
+			post, err := h.client.Stats(ctx, firstPlant(cfg))
+			ok := err == nil && post.ReceivedRecords >= pre.ReceivedRecords
+			res.check(fmt.Sprintf("received_monotonic/restart_%d", res.Restarts), ok,
+				fmt.Sprintf("pre-kill %d, post-recovery %d (err=%v)", pre.ReceivedRecords, postReceived(post, err), err))
+		}
+	}
+	return nil
+}
+
+func postReceived(st wire.StatsResponse, err error) uint64 {
+	if err != nil {
+		return 0
+	}
+	return st.ReceivedRecords
+}
+
+func firstPlant(cfg Config) string { return cfg.Plants[0].ID }
+
+// corruptWALTails appends a torn frame — a header claiming an absurd
+// length followed by garbage — to the newest segment of every shard
+// WAL under dataDir. Recovery must truncate exactly this and keep
+// every acked frame before it.
+func corruptWALTails(dataDir string) error {
+	segs, err := filepath.Glob(filepath.Join(dataDir, "*", "wal-shard-*", "seg-*.wal"))
+	if err != nil {
+		return err
+	}
+	newest := map[string]string{}
+	for _, seg := range segs {
+		dir := filepath.Dir(seg)
+		if seg > newest[dir] {
+			newest[dir] = seg
+		}
+	}
+	if len(newest) == 0 {
+		return fmt.Errorf("no WAL segments under %s", dataDir)
+	}
+	dirs := make([]string, 0, len(newest))
+	for d := range newest {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, d := range dirs {
+		f, err := os.OpenFile(newest[d], os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		// 4-byte length claiming ~4 GiB, then a ragged half frame.
+		if _, err := f.Write([]byte{0xff, 0xff, 0xff, 0xef, 0xde, 0xad, 0xbe, 0xef, 0x01}); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// harness owns the server under test, its fault listener, and the
+// fault-injecting client. restart() tears the server down hard and
+// brings a new generation up from the same data dir, keeping the
+// injector and its counters.
+type harness struct {
+	cfg     Config
+	dataDir string
+
+	srv       *server.Server
+	stopHTTP  func()
+	listener  *server.FaultListener
+	injector  *hod.FaultInjector
+	transport *http.Transport
+	client    *hod.Client
+	baseURL   string
+
+	// Accumulated across killed generations (client and listener are
+	// recreated per restart).
+	retriedAccum uint64
+	dropsAccum   uint64
+}
+
+// clientRetried totals the client's automatic 429 retries across every
+// server generation of the run.
+func (h *harness) clientRetried() uint64 { return h.retriedAccum + h.client.Retried() }
+
+// listenerDrops totals the accept-then-RST drops across generations.
+func (h *harness) listenerDrops() uint64 { return h.dropsAccum + h.listener.Dropped() }
+
+func serverOptions(cfg Config, dataDir string) server.Options {
+	opts := server.Options{
+		Shards:     cfg.Shards,
+		QueueDepth: cfg.QueueDepth,
+		DataDir:    dataDir,
+		Fsync:      cfg.Fsync,
+	}
+	if cfg.SnapshotIntervalMS > 0 {
+		opts.SnapshotInterval = time.Duration(cfg.SnapshotIntervalMS) * time.Millisecond
+	} else {
+		opts.SnapshotInterval = time.Hour // scheduled restarts stay deterministic
+	}
+	return opts
+}
+
+func newHarness(cfg Config, dataDir string) (*harness, error) {
+	transport := &http.Transport{}
+	h := &harness{
+		cfg:       cfg,
+		dataDir:   dataDir,
+		transport: transport,
+		injector:  hod.NewFaultInjector(transport),
+	}
+	if err := h.start(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// start boots one server generation: Open (recovery), fault-wrapped
+// listener, fresh client pointed at the new port.
+func (h *harness) start() error {
+	srv := server.New(serverOptions(h.cfg, h.dataDir))
+	if err := srv.Open(); err != nil {
+		srv.Close()
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	h.listener = server.NewFaultListener(ln)
+	h.stopHTTP = srv.ServeListener(h.listener)
+	h.srv = srv
+	h.baseURL = "http://" + ln.Addr().String()
+	h.client = hod.NewClient(h.baseURL,
+		hod.WithHTTPClient(&http.Client{Transport: h.injector, Timeout: 30 * time.Second}))
+	return nil
+}
+
+// kill hard-stops the current generation: listener gone, queues
+// dropped, no snapshot, no drain.
+func (h *harness) kill() {
+	h.stopHTTP()
+	h.transport.CloseIdleConnections()
+	h.srv.Kill()
+	h.retriedAccum += h.client.Retried()
+	h.dropsAccum += h.listener.Dropped()
+}
+
+func (h *harness) restart() error { return h.start() }
+
+// shutdown gracefully closes the final generation.
+func (h *harness) shutdown() {
+	if h.stopHTTP != nil {
+		h.stopHTTP()
+	}
+	if h.srv != nil {
+		h.srv.Close()
+	}
+	h.transport.CloseIdleConnections()
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}

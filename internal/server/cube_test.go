@@ -137,7 +137,7 @@ func TestCubeE2ECrashRecoveryMatchesOffline(t *testing.T) {
 			http.StatusAccepted)
 	}
 	tsV.Close()
-	victim.kill() // no drain, no final snapshot
+	victim.Kill() // no drain, no final snapshot
 
 	restarted := New(durableOptions(dataDir))
 	if err := restarted.Open(); err != nil {

@@ -17,18 +17,6 @@ import (
 	"repro/internal/wal"
 )
 
-// kill abandons the whole server the way a crash would: queued batches
-// are dropped unfolded, no final snapshot is written. Recovery must
-// come from disk alone.
-func (s *Server) kill() {
-	s.closed.Store(true)
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, ps := range s.plants {
-		ps.kill()
-	}
-}
-
 // durableOptions configures a server whose snapshot loop never fires
 // during the test — recovery paths are exercised explicitly.
 func durableOptions(dataDir string) Options {
@@ -126,7 +114,7 @@ func TestCrashRecoveryKillRestart(t *testing.T) {
 	postJobs(t, tsV.URL, plantID, p)
 	postChunks(t, tsV.URL, plantID, chunks[cut:])
 	tsV.Close()
-	victim.kill() // no drain, no snapshot
+	victim.Kill() // no drain, no snapshot
 
 	// Restart from the data dir: Open replays snapshot + WAL tail
 	// through the ingest path before serving.
@@ -319,7 +307,7 @@ func TestBackupRestoreRoundTrip(t *testing.T) {
 
 	// The restored plant is durable: kill and reopen the dir.
 	tsD.Close()
-	dst.kill()
+	dst.Kill()
 	reopened := New(durableOptions(dst.opts.DataDir))
 	if err := reopened.Open(); err != nil {
 		t.Fatal(err)
@@ -352,7 +340,7 @@ func TestWALSurvivesTornTail(t *testing.T) {
 	ingestPlant(t, ts.URL, "plant-torn", p)
 	want := getBody(t, ts.URL+"/v1/plants/plant-torn/report?level=1&top=512")
 	ts.Close()
-	srv.kill()
+	srv.Kill()
 
 	// Append garbage to every shard's active segment.
 	walDirs, err := filepath.Glob(filepath.Join(dataDir, "plant-torn", "wal-shard-*"))

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestFaultListenerDropsArmedAccepts pins the fault listener contract:
+// each armed drop RSTs exactly one accepted connection, unarmed
+// accepts pass through untouched, and the drop counter reflects what
+// actually happened on the wire.
+func TestFaultListenerDropsArmedAccepts(t *testing.T) {
+	srv := New(Options{Shards: 1, QueueDepth: 8})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := NewFaultListener(ln)
+	stop := srv.ServeListener(fl)
+	defer stop()
+	base := "http://" + ln.Addr().String()
+
+	// Each request uses a fresh connection so every accept is observed.
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	if resp, err := client.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-arm health: %v", err)
+	}
+
+	fl.DropNext(2)
+	fails := 0
+	for i := 0; i < 2; i++ {
+		if _, err := client.Get(base + "/healthz"); err != nil {
+			fails++
+		}
+	}
+	if fails != 2 {
+		t.Fatalf("%d of 2 armed connections failed, want 2", fails)
+	}
+	if got := fl.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+
+	// Schedule consumed: the listener is transparent again.
+	if resp, err := client.Get(base + "/healthz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-storm health: %v", err)
+	}
+	if got := fl.Dropped(); got != 2 {
+		t.Fatalf("Dropped() advanced to %d on a clean accept", got)
+	}
+}

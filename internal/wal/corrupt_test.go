@@ -1,0 +1,152 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fillSegments writes count frames into a log rotated after every
+// frame (SegmentBytes: 1), closes it, and returns the directory. With
+// count frames the directory holds count sealed single-frame segments
+// plus one empty active segment.
+func fillSegments(t *testing.T, count int) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Policy: SyncNone, SegmentBytes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < count; i++ {
+		if _, err := l.Append([]byte(fmt.Sprintf("payload-%02d-xxxxxxxxxxxx", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// flipByte corrupts one payload byte of the segment that starts at
+// firstSeq.
+func flipByte(t *testing.T, dir string, firstSeq uint64) string {
+	t.Helper()
+	path := filepath.Join(dir, segName(firstSeq))
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)-1] ^= 0xff
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestSealedMidSegmentCorruptionOnOpen pins the contract for damage in
+// a sealed *middle* segment — neither the first nor the tail, so no
+// torn-tail leniency can apply: Open must fail with ErrCorrupt and the
+// error must name the damaged segment (ordinal and file) instead of
+// silently skipping its records.
+func TestSealedMidSegmentCorruptionOnOpen(t *testing.T) {
+	dir := fillSegments(t, 5)
+	path := flipByte(t, dir, 3) // middle segment: frames 1..5 live in segments 0..4
+
+	_, err := Open(dir, Options{Policy: SyncNone})
+	if err == nil {
+		t.Fatal("Open accepted a log with a corrupt sealed mid segment")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("errors.Is(err, ErrCorrupt) = false: %v", err)
+	}
+	for _, frag := range []string{"segment 2 of 6", path, "CRC mismatch"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not name %q", err, frag)
+		}
+	}
+}
+
+// TestSealedSeqGapIsCorruption: a sealed segment whose frames skip a
+// sequence number hides lost records behind individually valid CRCs.
+// Open must refuse it.
+func TestSealedSeqGapIsCorruption(t *testing.T) {
+	dir := fillSegments(t, 3)
+	// Remove segment 1 (frame 2) entirely: segments 0 and 2 are intact,
+	// but the log now claims seq 3 follows seq 1.
+	if err := os.Remove(filepath.Join(dir, segName(2))); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(dir, Options{Policy: SyncNone})
+	if err == nil {
+		t.Fatal("Open accepted a log with a missing sealed segment")
+	}
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "missing segment") {
+		t.Fatalf("want ErrCorrupt missing-segment, got: %v", err)
+	}
+}
+
+// TestReplayDetectsPostOpenCorruption covers the later window: the
+// segment verified clean at Open is damaged on disk afterwards (bad
+// sector, external truncation). Replay must deliver the intact prefix,
+// then stop with ErrCorrupt naming the segment — never skip past the
+// damage to later frames.
+func TestReplayDetectsPostOpenCorruption(t *testing.T) {
+	dir := fillSegments(t, 5)
+	l, err := Open(dir, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	path := flipByte(t, dir, 3) // damage sealed segment 2 *after* open
+
+	var seen []uint64
+	err = l.Replay(0, func(seq uint64, _ []byte) error {
+		seen = append(seen, seq)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Replay silently skipped a corrupt sealed frame")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("errors.Is(err, ErrCorrupt) = false: %v", err)
+	}
+	for _, frag := range []string{"segment 2 of", path} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not name %q", err, frag)
+		}
+	}
+	// The intact prefix (frames 1 and 2) was delivered in order; frame 3
+	// and everything after it must not have been.
+	if len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("delivered frames %v, want [1 2]", seen)
+	}
+}
+
+// TestReplayDetectsPostOpenTruncation: shrinking a sealed segment under
+// a live log surfaces as corruption, not EOF.
+func TestReplayDetectsPostOpenTruncation(t *testing.T) {
+	dir := fillSegments(t, 4)
+	l, err := Open(dir, Options{Policy: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	path := filepath.Join(dir, segName(2))
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	err = l.Replay(0, func(uint64, []byte) error { return nil })
+	if !errors.Is(err, ErrCorrupt) || !strings.Contains(err.Error(), "segment 1 of") {
+		t.Fatalf("want ErrCorrupt for truncated sealed segment, got: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -94,6 +95,15 @@ func (o Options) withDefaults() Options {
 	}
 	return o
 }
+
+// ErrCorrupt marks corruption in a *sealed* part of the log — any
+// segment but the newest, or the verified prefix of the newest. Unlike
+// a torn tail (a crash mid-write, silently truncated on open), sealed
+// corruption means frames the caller believed durable are damaged, so
+// both Open and Replay refuse to proceed rather than skip records. The
+// wrapped message names the segment file and its ordinal index so an
+// operator knows exactly which file to restore or discard.
+var ErrCorrupt = errors.New("wal: sealed segment corrupt")
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
@@ -193,10 +203,19 @@ func (l *Log) scan() error {
 		last := i == len(firsts)-1
 		validBytes, lastSeq, err := verifySegment(seg.path, first, last)
 		if err != nil {
-			return err
+			return fmt.Errorf("segment %d of %d: %w", i, len(firsts), err)
 		}
 		seg.bytes = validBytes
 		seg.last = lastSeq
+		if len(l.segs) > 0 {
+			// Retained segments must be contiguous: compaction only ever
+			// drops a prefix, so a hole between segments means a sealed
+			// file full of acked frames vanished.
+			if prev := l.segs[len(l.segs)-1]; seg.first != prev.last+1 {
+				return fmt.Errorf("segment %d of %d: %w: %s starts at seq %d but %s ends at %d (missing segment)",
+					i, len(firsts), ErrCorrupt, seg.path, seg.first, prev.path, prev.last)
+			}
+		}
 		if last {
 			if fi, err := os.Stat(seg.path); err == nil && fi.Size() > validBytes {
 				if err := os.Truncate(seg.path, validBytes); err != nil {
@@ -233,7 +252,7 @@ func verifySegment(path string, firstSeq uint64, tolerateTail bool) (validBytes 
 			if tolerateTail {
 				return off, lastSeq, nil
 			}
-			return 0, 0, fmt.Errorf("wal: %s: torn frame header at %d in a non-final segment", path, off)
+			return 0, 0, fmt.Errorf("%w: %s: torn frame header at %d in a non-final segment", ErrCorrupt, path, off)
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
@@ -242,7 +261,7 @@ func verifySegment(path string, firstSeq uint64, tolerateTail bool) (validBytes 
 			if tolerateTail {
 				return off, lastSeq, nil
 			}
-			return 0, 0, fmt.Errorf("wal: %s: frame at %d claims %d bytes", path, off, n)
+			return 0, 0, fmt.Errorf("%w: %s: frame at %d claims %d bytes", ErrCorrupt, path, off, n)
 		}
 		if cap(payload) < int(n) {
 			payload = make([]byte, n)
@@ -252,16 +271,21 @@ func verifySegment(path string, firstSeq uint64, tolerateTail bool) (validBytes 
 			if tolerateTail {
 				return off, lastSeq, nil
 			}
-			return 0, 0, fmt.Errorf("wal: %s: torn payload at %d in a non-final segment", path, off)
+			return 0, 0, fmt.Errorf("%w: %s: torn payload at %d in a non-final segment", ErrCorrupt, path, off)
 		}
 		if got := frameCRC(seq, payload); got != crc {
 			if tolerateTail {
 				return off, lastSeq, nil
 			}
-			return 0, 0, fmt.Errorf("wal: %s: CRC mismatch at %d (frame seq %d)", path, off, seq)
+			return 0, 0, fmt.Errorf("%w: %s: CRC mismatch at %d (frame seq %d)", ErrCorrupt, path, off, seq)
 		}
 		if seq != lastSeq+1 {
-			return 0, 0, fmt.Errorf("wal: %s: seq %d after %d (gap)", path, seq, lastSeq)
+			if tolerateTail && seq <= lastSeq {
+				// A stale frame past the live prefix — the signature of a
+				// rewound-then-overwritten tail. Treat like any torn tail.
+				return off, lastSeq, nil
+			}
+			return 0, 0, fmt.Errorf("%w: %s: seq %d after %d (gap)", ErrCorrupt, path, seq, lastSeq)
 		}
 		lastSeq = seq
 		off += frameHeader + int64(n)
@@ -414,11 +438,14 @@ func (l *Log) Replay(afterSeq uint64, fn func(seq uint64, payload []byte) error)
 	l.mu.Lock()
 	segs := append([]segment(nil), l.segs...)
 	l.mu.Unlock()
-	for _, seg := range segs {
+	for i, seg := range segs {
 		if seg.last < seg.first || seg.last <= afterSeq {
 			continue
 		}
 		if err := replaySegment(seg, afterSeq, fn); err != nil {
+			if errors.Is(err, ErrCorrupt) {
+				return fmt.Errorf("segment %d of %d: %w", i, len(segs), err)
+			}
 			return err
 		}
 	}
@@ -438,17 +465,22 @@ func replaySegment(seg segment, afterSeq uint64, fn func(uint64, []byte) error) 
 			if err == io.EOF {
 				return nil
 			}
-			return fmt.Errorf("wal: %s: %w", seg.path, err)
+			// The prefix was verified at open, so damage here happened
+			// after open: sealed, acked frames are gone mid-file.
+			return fmt.Errorf("%w: %s: torn frame header inside the verified prefix: %v", ErrCorrupt, seg.path, err)
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
 		seq := binary.LittleEndian.Uint64(hdr[8:16])
+		if n > maxFrameBytes {
+			return fmt.Errorf("%w: %s: frame seq %d claims %d bytes", ErrCorrupt, seg.path, seq, n)
+		}
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			return fmt.Errorf("wal: %s: truncated frame seq %d: %w", seg.path, seq, err)
+			return fmt.Errorf("%w: %s: truncated frame seq %d: %v", ErrCorrupt, seg.path, seq, err)
 		}
 		if frameCRC(seq, payload) != crc {
-			return fmt.Errorf("wal: %s: CRC mismatch on frame seq %d", seg.path, seq)
+			return fmt.Errorf("%w: %s: CRC mismatch on frame seq %d", ErrCorrupt, seg.path, seq)
 		}
 		if seq <= afterSeq {
 			continue

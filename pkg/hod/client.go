@@ -393,13 +393,23 @@ func (c *Client) Stats(ctx context.Context, plantID string) (wire.StatsResponse,
 // re-sending an already-ingested trace (the 429-retry and restart
 // replay stories) still drains, where the fresh-cells-only
 // accepted_records would never advance and the wait would hang.
-// Cancel or deadline the context to bound the wait.
+//
+// Cancel or deadline the context to bound the wait: when it fires the
+// error matches both the context cause and ErrDrainTimeout
+// (errors.Is), and carries the last observed progress — the signature
+// of a wedged shard worker is a queue depth that never reaches zero.
 func (c *Client) WaitDrained(ctx context.Context, plantID string, records uint64) error {
+	var last wire.StatsResponse
+	seen := false
 	for {
 		st, err := c.Stats(ctx, plantID)
 		if err != nil {
+			if ctx.Err() != nil {
+				return drainTimeoutErr(plantID, records, last, seen, ctx.Err())
+			}
 			return err
 		}
+		last, seen = st, true
 		drained := st.ReceivedRecords >= records
 		for _, d := range st.QueueDepths {
 			if d > 0 {
@@ -410,9 +420,20 @@ func (c *Client) WaitDrained(ctx context.Context, plantID string, records uint64
 			return nil
 		}
 		if err := sleepCtx(ctx, 10*time.Millisecond); err != nil {
-			return err
+			return drainTimeoutErr(plantID, records, last, seen, err)
 		}
 	}
+}
+
+// drainTimeoutErr wraps a context expiry into the typed drain-timeout
+// error, carrying the last observed drain progress.
+func drainTimeoutErr(plantID string, want uint64, last wire.StatsResponse, seen bool, cause error) error {
+	if !seen {
+		return fmt.Errorf("%w: plant %s: no stats observed before the deadline: %w",
+			ErrDrainTimeout, plantID, cause)
+	}
+	return fmt.Errorf("%w: plant %s at %d/%d received records, queue depths %v: %w",
+		ErrDrainTimeout, plantID, last.ReceivedRecords, want, last.QueueDepths, cause)
 }
 
 // Backup downloads a consistent snapshot of one plant — the binary

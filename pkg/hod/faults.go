@@ -1,0 +1,145 @@
+package hod
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"repro/pkg/hod/wire"
+)
+
+// Fault is one injected client-side failure for FaultInjector: either
+// a synthesized HTTP response (Status != 0 — the request never reaches
+// the server) or a transport error (Status == 0), which surfaces from
+// the http.Client exactly like a connection reset would.
+type Fault struct {
+	// Status synthesizes a response with this status code and a
+	// structured wire error envelope. 429 responses carry a
+	// "Retry-After: 0" header so the client's automatic backoff retries
+	// immediately — fault schedules stay fast and deterministic.
+	Status int
+	// Err is returned as the transport error when Status == 0. Nil
+	// defaults to ErrInjectedReset.
+	Err error
+}
+
+// ErrInjectedReset is the transport error FaultInjector returns for a
+// zero Fault — the injected stand-in for a TCP connection reset.
+var ErrInjectedReset = fmt.Errorf("hod: injected connection reset")
+
+// FaultInjector is an http.RoundTripper that injects a deterministic
+// schedule of faults between a Client and its server: 429 storms, 5xx
+// bursts, and connection resets. Faults are armed with InjectNext and
+// consumed in order, one per matching request; unmatched (or
+// unscheduled) requests pass through to the wrapped transport
+// untouched. It is the client-side half of the scenario engine's fault
+// surface — the server-side half is the serving layer's fault
+// listener. Safe for concurrent use.
+type FaultInjector struct {
+	base  http.RoundTripper
+	match func(*http.Request) bool
+
+	mu       sync.Mutex
+	queue    []Fault
+	injected uint64
+}
+
+// FaultOption tunes a FaultInjector at construction time.
+type FaultOption func(*FaultInjector)
+
+// WithFaultMatch restricts injection to requests the predicate
+// accepts; others always pass through. Default: every request matches.
+func WithFaultMatch(match func(*http.Request) bool) FaultOption {
+	return func(f *FaultInjector) { f.match = match }
+}
+
+// NewFaultInjector wraps base (nil = http.DefaultTransport) with an
+// empty fault schedule. Hand it to a client via
+//
+//	hod.NewClient(url, hod.WithHTTPClient(&http.Client{Transport: inj}))
+func NewFaultInjector(base http.RoundTripper, opts ...FaultOption) *FaultInjector {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	f := &FaultInjector{base: base, match: func(*http.Request) bool { return true }}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// InjectNext appends faults to the schedule; each matching request
+// consumes the head of the queue.
+func (f *FaultInjector) InjectNext(faults ...Fault) {
+	f.mu.Lock()
+	f.queue = append(f.queue, faults...)
+	f.mu.Unlock()
+}
+
+// Injected reports how many faults were consumed so far.
+func (f *FaultInjector) Injected() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.injected
+}
+
+// Pending reports how many armed faults are still unconsumed.
+func (f *FaultInjector) Pending() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.queue)
+}
+
+// RoundTrip consumes the next scheduled fault for a matching request,
+// or forwards to the wrapped transport.
+func (f *FaultInjector) RoundTrip(req *http.Request) (*http.Response, error) {
+	if !f.match(req) {
+		return f.base.RoundTrip(req)
+	}
+	f.mu.Lock()
+	if len(f.queue) == 0 {
+		f.mu.Unlock()
+		return f.base.RoundTrip(req)
+	}
+	fault := f.queue[0]
+	f.queue = f.queue[1:]
+	f.injected++
+	f.mu.Unlock()
+
+	// The transport owns the request body once RoundTrip is called;
+	// a consumed fault means the server never sees it.
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+	if fault.Status == 0 {
+		if fault.Err != nil {
+			return nil, fault.Err
+		}
+		return nil, ErrInjectedReset
+	}
+	code := wire.CodeInternal
+	if fault.Status == http.StatusTooManyRequests {
+		code = wire.CodeBackpressure
+	}
+	body, _ := json.Marshal(wire.ErrorEnvelope{Err: wire.ErrorBody{
+		Code: code, Message: fmt.Sprintf("injected fault (%d)", fault.Status),
+	}})
+	resp := &http.Response{
+		StatusCode: fault.Status,
+		Status:     fmt.Sprintf("%d %s", fault.Status, http.StatusText(fault.Status)),
+		Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+		Header:        make(http.Header),
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+	resp.Header.Set("Content-Type", "application/json")
+	if fault.Status == http.StatusTooManyRequests {
+		resp.Header.Set("Retry-After", "0")
+	}
+	return resp, nil
+}

@@ -1,0 +1,138 @@
+package hod_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+// TestFaultInjector429Storm proves an injected 429 storm is absorbed
+// by the client's automatic backoff: the server sees exactly one
+// request, the upload succeeds, and the retry counter matches the
+// storm length.
+func TestFaultInjector429Storm(t *testing.T) {
+	var serverHits atomic.Int64
+	srv := server.New(server.Options{Shards: 1, QueueDepth: 8})
+	t.Cleanup(srv.Close)
+	counted := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/ingest") {
+			serverHits.Add(1)
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(counted)
+	t.Cleanup(ts.Close)
+
+	inj := hod.NewFaultInjector(nil, hod.WithFaultMatch(func(r *http.Request) bool {
+		return strings.HasSuffix(r.URL.Path, "/ingest")
+	}))
+	client := hod.NewClient(ts.URL, hod.WithHTTPClient(&http.Client{Transport: inj, Timeout: 30 * time.Second}))
+	ctx := context.Background()
+
+	if _, err := client.Register(ctx, wire.Topology{ID: "f", Lines: []wire.TopoLine{{ID: "l", Machines: []string{"m"}}}}); err != nil {
+		t.Fatal(err)
+	}
+	inj.InjectNext(
+		hod.Fault{Status: http.StatusTooManyRequests},
+		hod.Fault{Status: http.StatusTooManyRequests},
+		hod.Fault{Status: http.StatusTooManyRequests},
+	)
+	ack, err := client.Ingest(ctx, "f", []wire.Record{{Machine: "m", Job: "j", Phase: "print", Sensor: "temp-a", T: 0, Value: 1}})
+	if err != nil {
+		t.Fatalf("ingest through 429 storm: %v", err)
+	}
+	if ack.Records != 1 {
+		t.Fatalf("ack %+v", ack)
+	}
+	if got := serverHits.Load(); got != 1 {
+		t.Fatalf("server saw %d ingest requests, want 1 (storm must be client-side)", got)
+	}
+	if client.Retried() != 3 {
+		t.Fatalf("retried = %d, want 3", client.Retried())
+	}
+	if inj.Injected() != 3 || inj.Pending() != 0 {
+		t.Fatalf("injected=%d pending=%d", inj.Injected(), inj.Pending())
+	}
+}
+
+// TestFaultInjector5xxAndReset pins the non-retried fault shapes: a
+// synthesized 500 surfaces as a typed APIError and an injected reset
+// as a transport error — both leaving the armed schedule consumed so a
+// caller's re-send goes through clean.
+func TestFaultInjector5xxAndReset(t *testing.T) {
+	srv := server.New(server.Options{Shards: 1, QueueDepth: 8})
+	t.Cleanup(srv.Close)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	inj := hod.NewFaultInjector(nil)
+	client := hod.NewClient(ts.URL, hod.WithHTTPClient(&http.Client{Transport: inj, Timeout: 30 * time.Second}))
+	ctx := context.Background()
+
+	inj.InjectNext(hod.Fault{Status: http.StatusInternalServerError})
+	err := client.Health(ctx)
+	var apiErr *hod.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusInternalServerError {
+		t.Fatalf("injected 500 surfaced as %v", err)
+	}
+
+	inj.InjectNext(hod.Fault{})
+	if err := client.Health(ctx); err == nil || !strings.Contains(err.Error(), "injected connection reset") {
+		t.Fatalf("injected reset surfaced as %v", err)
+	}
+
+	// Schedule drained: traffic passes through untouched again.
+	if err := client.Health(ctx); err != nil {
+		t.Fatalf("post-fault health: %v", err)
+	}
+}
+
+// TestWaitDrainedTypedTimeout is the regression test for the wedged-
+// worker story: a server whose queue depth never reaches zero must not
+// park WaitDrained forever — the context deadline surfaces as a typed
+// ErrDrainTimeout (still errors.Is-matching the context cause) that
+// names the stuck progress.
+func TestWaitDrainedTypedTimeout(t *testing.T) {
+	wedged := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_ = json.NewEncoder(w).Encode(wire.StatsResponse{
+			Plant: "w", ReceivedRecords: 7, QueueDepths: []int{0, 3},
+		})
+	}))
+	t.Cleanup(wedged.Close)
+
+	client := hod.NewClient(wedged.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	err := client.WaitDrained(ctx, "w", 10)
+	if err == nil {
+		t.Fatal("WaitDrained returned nil against a wedged server")
+	}
+	if !errors.Is(err, hod.ErrDrainTimeout) {
+		t.Fatalf("errors.Is(err, ErrDrainTimeout) = false: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("context cause lost: %v", err)
+	}
+	for _, frag := range []string{"7/10", "[0 3]"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("progress %q missing from %q", frag, err)
+		}
+	}
+
+	// A non-deadline transport failure keeps its own identity.
+	dead := hod.NewClient("http://127.0.0.1:1")
+	err = dead.WaitDrained(context.Background(), "w", 1)
+	if err == nil || errors.Is(err, hod.ErrDrainTimeout) {
+		t.Fatalf("transport failure mislabeled as drain timeout: %v", err)
+	}
+}

@@ -137,6 +137,11 @@ var (
 	// ErrUnsupportedGranularity — the technique does not score the
 	// requested granularity (see TechniqueInfo's capability flags).
 	ErrUnsupportedGranularity = errors.New("hod: technique does not score this granularity")
+	// ErrDrainTimeout — WaitDrained's context expired before the
+	// pipelines drained (a wedged shard worker, or the wait target was
+	// never reachable). The wrapped error also matches the context
+	// cause and carries the last observed progress.
+	ErrDrainTimeout = errors.New("hod: drain timed out")
 )
 
 // ErrNotFitted is returned when scoring precedes training on a
