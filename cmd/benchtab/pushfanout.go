@@ -1,0 +1,189 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/server"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+// pushFanoutSubscribers is the fan-out width of the benchmark: how many
+// concurrent WebSocket subscriptions ride one plant's alert stream.
+const pushFanoutSubscribers = 100
+
+// pushFanoutResult reports the live push benchmark: an in-memory
+// hodserve fed a full simulated trace while pushFanoutSubscribers
+// WebSocket clients hold alerts:bench subscriptions. The wall clock
+// lands in the benchguard baseline as "pushfanout", so hub fan-out and
+// per-subscriber queue costs are gated like the ingest path itself; the
+// printed line carries only deterministic facts — per-subscriber event
+// counts vary with coalescing, so they stay out of stdout. A subscriber
+// "converges" when its final ring-capacity alerts are byte-identical to
+// the polled /alerts ring.
+type pushFanoutResult struct {
+	records     int
+	alerts      int
+	converged   int
+	subscribers int
+}
+
+func (r pushFanoutResult) String() string {
+	return fmt.Sprintf("push fanout: %d records -> %d ring alerts, %d/%d subscribers converged (timing in the -json baseline)",
+		r.records, r.alerts, r.converged, r.subscribers)
+}
+
+// fanoutSub is one subscriber's view of the stream: alerts deduped by
+// Seq (delivery is at-least-once), appended in iterator order.
+type fanoutSub struct {
+	mu      sync.Mutex
+	alerts  []wire.Alert
+	lastSeq uint64
+}
+
+func (f *fanoutSub) consume(ctx context.Context, sub *hod.Subscription) {
+	for {
+		ev, err := sub.Next(ctx)
+		if err != nil {
+			return
+		}
+		if ev.Kind != wire.EventAlert {
+			continue
+		}
+		f.mu.Lock()
+		for _, a := range ev.Alerts {
+			if a.Seq > f.lastSeq {
+				f.alerts = append(f.alerts, a)
+				f.lastSeq = a.Seq
+			}
+		}
+		f.mu.Unlock()
+	}
+}
+
+func (f *fanoutSub) maxSeq() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.lastSeq
+}
+
+func (f *fanoutSub) tail(n int) []wire.Alert {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.alerts) < n {
+		return nil
+	}
+	return append([]wire.Alert(nil), f.alerts[len(f.alerts)-n:]...)
+}
+
+func runPushFanout(seed int64) (fmt.Stringer, error) {
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: seed, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 12,
+		PhaseSamples: 80, FaultRate: 0.3, MeasurementErrorRate: 0.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// One shard keeps the fold order — and with it the alert stream and
+	// the printed ring count — deterministic across runs. The threshold
+	// is low enough that the faulty trace raises a steady alert stream
+	// to fan out.
+	srv := server.New(server.Options{
+		Shards: 1, QueueDepth: 64, AlertThreshold: 4,
+	})
+	if err := srv.Open(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	stop := srv.ServeListener(ln)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	client := hod.NewClient("http://" + ln.Addr().String())
+	if _, err := client.Register(ctx, p.Topology("bench")); err != nil {
+		return nil, err
+	}
+
+	// Attach every subscriber before the first record so each sees the
+	// stream from seq 1 — convergence then measures delivery, not luck.
+	subCtx, stopSubs := context.WithCancel(ctx)
+	defer stopSubs()
+	views := make([]*fanoutSub, pushFanoutSubscribers)
+	var wg sync.WaitGroup
+	for i := range views {
+		sub, err := client.SubscribeAlerts(subCtx, "bench")
+		if err != nil {
+			return nil, fmt.Errorf("subscriber %d: %w", i, err)
+		}
+		defer sub.Close()
+		views[i] = &fanoutSub{}
+		wg.Add(1)
+		go func(f *fanoutSub, s *hod.Subscription) {
+			defer wg.Done()
+			f.consume(subCtx, s)
+		}(views[i], sub)
+	}
+
+	recs := p.Records()
+	const batch = 2000
+	for lo := 0; lo < len(recs); lo += batch {
+		hi := lo + batch
+		if hi > len(recs) {
+			hi = len(recs)
+		}
+		if _, err := client.Ingest(ctx, "bench", recs[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+	if err := client.WaitDrained(ctx, "bench", uint64(len(recs))); err != nil {
+		return nil, err
+	}
+
+	ring, err := client.Alerts(ctx, "bench", 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(ring.Alerts) == 0 {
+		return nil, fmt.Errorf("trace raised no alerts; nothing to fan out")
+	}
+	wantMax := ring.Alerts[len(ring.Alerts)-1].Seq
+	wantJSON, err := json.Marshal(ring.Alerts)
+	if err != nil {
+		return nil, err
+	}
+
+	converged := 0
+	deadline := time.Now().Add(time.Minute)
+	for _, f := range views {
+		for f.maxSeq() < wantMax && ctx.Err() == nil && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		got := f.tail(len(ring.Alerts))
+		gotJSON, err := json.Marshal(got)
+		if err != nil {
+			return nil, err
+		}
+		if got != nil && bytes.Equal(gotJSON, wantJSON) {
+			converged++
+		}
+	}
+	stopSubs()
+	wg.Wait()
+
+	return pushFanoutResult{
+		records: len(recs), alerts: len(ring.Alerts),
+		converged: converged, subscribers: pushFanoutSubscribers,
+	}, nil
+}

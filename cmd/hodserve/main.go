@@ -8,6 +8,7 @@
 //	         [-alert-threshold Z] [-max-outliers N]
 //	         [-data-dir DIR] [-fsync always|interval|none]
 //	         [-snapshot-interval 30s]
+//	         [-tenants tenants.json] [-request-log]
 //
 // With -data-dir the ingest path is durable: every accepted batch is
 // appended to a per-shard CRC-checksummed WAL before it is
@@ -15,6 +16,14 @@
 // is snapshotted and the WAL compacted every -snapshot-interval, and a
 // restart replays snapshot + WAL tail through the ingest path — so a
 // crash mid-trace loses nothing that was acknowledged.
+//
+// With -tenants the v1 surface runs in authenticated multi-tenant
+// mode: the JSON file maps API keys to tenant grants (name, plant
+// scope, optional token-bucket rate limit), requests must carry the
+// key as a bearer token, and live push subscriptions are scoped to the
+// tenant's plants. Without it the server stays open — the back-compat
+// default. -request-log prints one line per request through the
+// middleware chain.
 //
 // Register a plant, replay a plantsim trace, query a report — the
 // whole loop goes through the typed SDK client (pkg/hod.Client), and
@@ -29,7 +38,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -39,6 +50,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/gateway"
 	"repro/internal/server"
 )
 
@@ -53,16 +65,57 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory (WAL + snapshots); empty = in-memory only")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always|interval|none")
 	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "compacting snapshot cadence")
+	tenantsPath := flag.String("tenants", "", "JSON file mapping API keys to tenant grants; empty = open server")
+	requestLog := flag.Bool("request-log", false, "log one line per request through the middleware chain")
 	flag.Parse()
 
-	if err := run(*addr, server.Options{
+	opts := server.Options{
 		Workers: *workers, Shards: *shards, QueueDepth: *queue,
 		AlertThreshold: *alertThreshold, MaxOutliers: *maxOutliers,
 		DataDir: *dataDir, Fsync: *fsync, SnapshotInterval: *snapInterval,
-	}, *drainTimeout); err != nil {
+	}
+	if *tenantsPath != "" {
+		tenants, err := loadTenants(*tenantsPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hodserve:", err)
+			os.Exit(1)
+		}
+		opts.Tenants = tenants
+	}
+	if *requestLog {
+		opts.RequestLog = func(format string, args ...any) {
+			fmt.Printf("hodserve: "+format+"\n", args...)
+		}
+	}
+	if err := run(*addr, opts, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "hodserve:", err)
 		os.Exit(1)
 	}
+}
+
+// loadTenants reads the -tenants file: {"api-key": {"name": "acme",
+// "plants": ["p1"], "rate_per_sec": 50, "burst": 100}, ...}. Unknown
+// fields are errors, so a typo cannot silently widen a grant.
+func loadTenants(path string) (map[string]gateway.Tenant, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var tenants map[string]gateway.Tenant
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tenants); err != nil {
+		return nil, fmt.Errorf("tenants %s: %w", path, err)
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("tenants %s: no API keys defined", path)
+	}
+	for key, t := range tenants {
+		if t.Name == "" {
+			return nil, fmt.Errorf("tenants %s: key %q has no tenant name", path, key)
+		}
+	}
+	return tenants, nil
 }
 
 func run(addr string, opts server.Options, drainTimeout time.Duration) error {

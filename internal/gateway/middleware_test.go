@@ -1,0 +1,157 @@
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chainFor builds the full production stack around a trivial handler,
+// mirroring how the server wraps its routes.
+func chainFor(a *Auth) http.Handler {
+	mux := http.NewServeMux()
+	h := Chain(BearerAuth(a), TenantScope(), RateLimit())(
+		http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			w.Write([]byte("ok"))
+		}))
+	mux.Handle("GET /v1/plants/{id}/alerts", h)
+	return mux
+}
+
+func testAuth() *Auth {
+	return NewAuth(map[string]Tenant{
+		"key-a":  {Name: "acme", Plants: []string{"p1"}},
+		"key-b":  {Name: "bravo", Plants: []string{"p2"}},
+		"key-op": {Name: "op"},
+		"key-rl": {Name: "limited", Plants: []string{"p1"}, RatePerSec: 0.001, Burst: 1},
+	})
+}
+
+func TestMiddlewareTable(t *testing.T) {
+	srv := chainFor(testAuth())
+	cases := []struct {
+		name       string
+		path       string
+		header     map[string]string
+		wantStatus int
+		wantCode   string // error envelope code; "" = success
+		repeat     int    // extra identical requests before the asserted one
+	}{
+		{name: "missing key", path: "/v1/plants/p1/alerts", wantStatus: 401, wantCode: "unauthorized"},
+		{name: "invalid key", path: "/v1/plants/p1/alerts",
+			header: map[string]string{"Authorization": "Bearer nope"}, wantStatus: 401, wantCode: "unauthorized"},
+		{name: "malformed authorization", path: "/v1/plants/p1/alerts",
+			header: map[string]string{"Authorization": "Basic xyz"}, wantStatus: 401, wantCode: "unauthorized"},
+		{name: "scoped tenant own plant", path: "/v1/plants/p1/alerts",
+			header: map[string]string{"Authorization": "Bearer key-a"}, wantStatus: 200},
+		{name: "x-api-key works too", path: "/v1/plants/p1/alerts",
+			header: map[string]string{"X-API-Key": "key-a"}, wantStatus: 200},
+		{name: "foreign tenant", path: "/v1/plants/p1/alerts",
+			header: map[string]string{"Authorization": "Bearer key-b"}, wantStatus: 403, wantCode: "forbidden"},
+		{name: "operator reads any plant", path: "/v1/plants/p2/alerts",
+			header: map[string]string{"Authorization": "Bearer key-op"}, wantStatus: 200},
+		{name: "rate limited", path: "/v1/plants/p1/alerts",
+			header: map[string]string{"Authorization": "Bearer key-rl"}, repeat: 1,
+			wantStatus: 429, wantCode: "rate_limited"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var rec *httptest.ResponseRecorder
+			for i := 0; i <= tc.repeat; i++ {
+				req := httptest.NewRequest(http.MethodGet, tc.path, nil)
+				for k, v := range tc.header {
+					req.Header.Set(k, v)
+				}
+				rec = httptest.NewRecorder()
+				srv.ServeHTTP(rec, req)
+			}
+			if rec.Code != tc.wantStatus {
+				t.Fatalf("status = %d body=%s, want %d", rec.Code, rec.Body, tc.wantStatus)
+			}
+			if tc.wantCode == "" {
+				return
+			}
+			var env struct {
+				Err struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+				t.Fatalf("body %q is not the wire envelope: %v", rec.Body, err)
+			}
+			if env.Err.Code != tc.wantCode || env.Err.Message == "" {
+				t.Fatalf("envelope = %+v, want code %q", env.Err, tc.wantCode)
+			}
+			if tc.wantStatus == 429 && rec.Header().Get("Retry-After") == "" {
+				t.Error("429 without Retry-After")
+			}
+		})
+	}
+}
+
+func TestUnauthenticatedModePassesThrough(t *testing.T) {
+	srv := chainFor(nil) // no tenants configured: back-compat default
+	req := httptest.NewRequest(http.MethodGet, "/v1/plants/p1/alerts", nil)
+	rec := httptest.NewRecorder()
+	srv.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want open access without tenants", rec.Code)
+	}
+}
+
+func TestBucketRefills(t *testing.T) {
+	b := &bucket{rate: 10, cap: 1, tokens: 1}
+	now := time.Unix(0, 0)
+	if ok, _ := b.take(now); !ok {
+		t.Fatal("first take failed")
+	}
+	ok, retry := b.take(now)
+	if ok || retry <= 0 || retry > 200*time.Millisecond {
+		t.Fatalf("second take: ok=%v retry=%v", ok, retry)
+	}
+	if ok, _ := b.take(now.Add(150 * time.Millisecond)); !ok {
+		t.Fatal("bucket did not refill")
+	}
+}
+
+func TestChainOrder(t *testing.T) {
+	var got []string
+	mk := func(name string) Middleware {
+		return func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				got = append(got, name)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	h := Chain(mk("a"), mk("b"), mk("c"))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, "h")
+	}))
+	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/", nil))
+	if strings.Join(got, "") != "abch" {
+		t.Fatalf("order = %v", got)
+	}
+}
+
+func TestRequestLogIncludesTenant(t *testing.T) {
+	var lines []string
+	logf := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	a := testAuth()
+	h := Chain(BearerAuth(a), RequestLog(logf))(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/v1/plants", nil)
+	req.Header.Set("Authorization", "Bearer key-a")
+	h.ServeHTTP(httptest.NewRecorder(), req)
+	if len(lines) != 1 || !strings.Contains(lines[0], "tenant=acme") || !strings.Contains(lines[0], "204") {
+		t.Fatalf("log = %v", lines)
+	}
+}

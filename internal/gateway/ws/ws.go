@@ -1,0 +1,388 @@
+// Package ws is a minimal RFC 6455 WebSocket implementation — just the
+// server handshake, a client dial, and the frame codec — so the live
+// push gateway stays standard-library only. It supports what the
+// gateway needs and nothing more: unfragmented text/binary writes,
+// fragmented reads, ping/pong (pongs answered inside ReadMessage),
+// close handshake, client-side masking. No extensions, no
+// subprotocols, no compression.
+package ws
+
+import (
+	"bufio"
+	"context"
+	"crypto/rand"
+	"crypto/sha1"
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Frame opcodes of RFC 6455 §5.2.
+const (
+	OpText   byte = 0x1
+	OpBinary byte = 0x2
+	OpClose  byte = 0x8
+	OpPing   byte = 0x9
+	OpPong   byte = 0xA
+)
+
+// guid is the fixed handshake GUID of RFC 6455 §1.3.
+const guid = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+
+// MaxMessageBytes caps one assembled message; the gateway's events are
+// small, so anything bigger is a broken or hostile peer.
+const MaxMessageBytes = 1 << 22
+
+// ErrClosed reports that the peer completed the close handshake (or
+// the connection was locally closed).
+var ErrClosed = errors.New("ws: connection closed")
+
+// HandshakeError carries the HTTP status and body of a dial rejected
+// before the upgrade — the server's error envelope travels in Body, so
+// callers can surface the typed API error (401/403/...) behind it.
+type HandshakeError struct {
+	StatusCode int
+	Body       []byte
+}
+
+func (e *HandshakeError) Error() string {
+	return fmt.Sprintf("ws: handshake rejected: status %d", e.StatusCode)
+}
+
+// Conn is one WebSocket connection. Reads must come from a single
+// goroutine; writes are mutex-serialized, so control replies from the
+// read side interleave safely with the owner's message writes.
+type Conn struct {
+	c      net.Conn
+	br     *bufio.Reader
+	client bool // mask outgoing frames
+
+	wmu    sync.Mutex
+	closed bool
+}
+
+// accept computes the Sec-WebSocket-Accept token for a handshake key.
+func accept(key string) string {
+	h := sha1.Sum([]byte(key + guid))
+	return base64.StdEncoding.EncodeToString(h[:])
+}
+
+// Accept upgrades an HTTP request to a WebSocket connection (server
+// side). On failure it writes the HTTP error itself and returns the
+// reason; on success the caller owns the hijacked connection and must
+// Close it.
+func Accept(w http.ResponseWriter, r *http.Request) (*Conn, error) {
+	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
+		!headerContainsToken(r.Header, "Connection", "upgrade") {
+		http.Error(w, "ws: not a websocket handshake", http.StatusBadRequest)
+		return nil, fmt.Errorf("ws: not a websocket handshake")
+	}
+	if r.Header.Get("Sec-WebSocket-Version") != "13" {
+		w.Header().Set("Sec-WebSocket-Version", "13")
+		http.Error(w, "ws: unsupported websocket version", http.StatusUpgradeRequired)
+		return nil, fmt.Errorf("ws: unsupported version %q", r.Header.Get("Sec-WebSocket-Version"))
+	}
+	key := r.Header.Get("Sec-WebSocket-Key")
+	if key == "" {
+		http.Error(w, "ws: missing Sec-WebSocket-Key", http.StatusBadRequest)
+		return nil, fmt.Errorf("ws: missing Sec-WebSocket-Key")
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		http.Error(w, "ws: connection cannot be hijacked", http.StatusInternalServerError)
+		return nil, fmt.Errorf("ws: ResponseWriter does not support hijacking")
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		return nil, fmt.Errorf("ws: hijack: %w", err)
+	}
+	// The handshake response is tiny; a stuck peer should not pin the
+	// handler forever.
+	conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+	resp := "HTTP/1.1 101 Switching Protocols\r\n" +
+		"Upgrade: websocket\r\n" +
+		"Connection: Upgrade\r\n" +
+		"Sec-WebSocket-Accept: " + accept(key) + "\r\n\r\n"
+	if _, err := rw.WriteString(resp); err == nil {
+		err = rw.Flush()
+	}
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake write: %w", err)
+	}
+	conn.SetWriteDeadline(time.Time{})
+	return &Conn{c: conn, br: rw.Reader}, nil
+}
+
+// headerContainsToken reports whether any comma-separated value of the
+// header contains the token (case-insensitive) — "Connection:
+// keep-alive, Upgrade" must match.
+func headerContainsToken(h http.Header, name, token string) bool {
+	for _, v := range h.Values(name) {
+		for _, part := range strings.Split(v, ",") {
+			if strings.EqualFold(strings.TrimSpace(part), token) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Dial opens a client WebSocket connection to rawURL (http://, ws://,
+// or a bare host/path — TLS is not supported) sending the extra
+// headers, typically Authorization. A non-101 response becomes a
+// *HandshakeError carrying the response body.
+func Dial(ctx context.Context, rawURL string, header http.Header) (*Conn, error) {
+	u, err := url.Parse(rawURL)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %q: %w", rawURL, err)
+	}
+	switch u.Scheme {
+	case "http", "ws", "":
+	default:
+		return nil, fmt.Errorf("ws: dial %q: unsupported scheme %q", rawURL, u.Scheme)
+	}
+	host := u.Host
+	if u.Port() == "" {
+		host = net.JoinHostPort(u.Hostname(), "80")
+	}
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", host)
+	if err != nil {
+		return nil, fmt.Errorf("ws: dial %s: %w", host, err)
+	}
+	// The handshake honours the context; established connections are
+	// governed by deadlines the caller sets.
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	}
+	keyBytes := make([]byte, 16)
+	if _, err := rand.Read(keyBytes); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	key := base64.StdEncoding.EncodeToString(keyBytes)
+	path := u.RequestURI()
+	var b strings.Builder
+	b.WriteString("GET " + path + " HTTP/1.1\r\n")
+	b.WriteString("Host: " + u.Host + "\r\n")
+	b.WriteString("Upgrade: websocket\r\n")
+	b.WriteString("Connection: Upgrade\r\n")
+	b.WriteString("Sec-WebSocket-Key: " + key + "\r\n")
+	b.WriteString("Sec-WebSocket-Version: 13\r\n")
+	for name, vals := range header {
+		for _, v := range vals {
+			b.WriteString(name + ": " + v + "\r\n")
+		}
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(conn, b.String()); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake write: %w", err)
+	}
+	br := bufio.NewReader(conn)
+	resp, err := http.ReadResponse(br, &http.Request{Method: http.MethodGet})
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("ws: handshake read: %w", err)
+	}
+	if resp.StatusCode != http.StatusSwitchingProtocols {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		conn.Close()
+		return nil, &HandshakeError{StatusCode: resp.StatusCode, Body: body}
+	}
+	if got := resp.Header.Get("Sec-WebSocket-Accept"); got != accept(key) {
+		conn.Close()
+		return nil, fmt.Errorf("ws: bad Sec-WebSocket-Accept %q", got)
+	}
+	conn.SetDeadline(time.Time{})
+	return &Conn{c: conn, br: br, client: true}, nil
+}
+
+// WriteMessage sends one unfragmented frame.
+func (c *Conn) WriteMessage(op byte, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	return c.writeFrame(op, payload)
+}
+
+// writeFrame emits one FIN frame; the caller holds wmu.
+func (c *Conn) writeFrame(op byte, payload []byte) error {
+	var hdr [14]byte
+	hdr[0] = 0x80 | op // FIN set
+	n := 2
+	switch l := len(payload); {
+	case l < 126:
+		hdr[1] = byte(l)
+	case l < 1<<16:
+		hdr[1] = 126
+		binary.BigEndian.PutUint16(hdr[2:4], uint16(l))
+		n = 4
+	default:
+		hdr[1] = 127
+		binary.BigEndian.PutUint64(hdr[2:10], uint64(l))
+		n = 10
+	}
+	if c.client {
+		hdr[1] |= 0x80
+		var mask [4]byte
+		if _, err := rand.Read(mask[:]); err != nil {
+			return err
+		}
+		copy(hdr[n:], mask[:])
+		n += 4
+		masked := make([]byte, len(payload))
+		for i, b := range payload {
+			masked[i] = b ^ mask[i&3]
+		}
+		payload = masked
+	}
+	if _, err := c.c.Write(hdr[:n]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := c.c.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMessage returns the next text or binary message, reassembling
+// fragments. Pings are answered with pongs, pongs are discarded, and a
+// close frame is echoed before returning ErrClosed.
+func (c *Conn) ReadMessage() (byte, []byte, error) {
+	var msgOp byte
+	var msg []byte
+	for {
+		fin, op, payload, err := c.readFrame()
+		if err != nil {
+			return 0, nil, err
+		}
+		switch op {
+		case OpPing:
+			c.wmu.Lock()
+			if !c.closed {
+				c.writeFrame(OpPong, payload)
+			}
+			c.wmu.Unlock()
+			continue
+		case OpPong:
+			continue
+		case OpClose:
+			c.wmu.Lock()
+			if !c.closed {
+				c.closed = true
+				c.writeFrame(OpClose, payload)
+			}
+			c.wmu.Unlock()
+			return 0, nil, ErrClosed
+		case OpText, OpBinary:
+			if msgOp != 0 {
+				return 0, nil, fmt.Errorf("ws: new message interleaved mid-fragmentation")
+			}
+			msgOp = op
+		case 0x0: // continuation
+			if msgOp == 0 {
+				return 0, nil, fmt.Errorf("ws: continuation frame without a message")
+			}
+		default:
+			return 0, nil, fmt.Errorf("ws: unknown opcode %#x", op)
+		}
+		if len(msg)+len(payload) > MaxMessageBytes {
+			return 0, nil, fmt.Errorf("ws: message exceeds %d bytes", MaxMessageBytes)
+		}
+		msg = append(msg, payload...)
+		if fin {
+			return msgOp, msg, nil
+		}
+	}
+}
+
+// readFrame reads one raw frame.
+func (c *Conn) readFrame() (fin bool, op byte, payload []byte, err error) {
+	var hdr [2]byte
+	if _, err = io.ReadFull(c.br, hdr[:]); err != nil {
+		return false, 0, nil, err
+	}
+	fin = hdr[0]&0x80 != 0
+	if hdr[0]&0x70 != 0 {
+		return false, 0, nil, fmt.Errorf("ws: reserved bits set (extensions unsupported)")
+	}
+	op = hdr[0] & 0x0f
+	masked := hdr[1]&0x80 != 0
+	length := uint64(hdr[1] & 0x7f)
+	if op >= OpClose { // control frames
+		if !fin || length > 125 {
+			return false, 0, nil, fmt.Errorf("ws: malformed control frame")
+		}
+	}
+	switch length {
+	case 126:
+		var ext [2]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = uint64(binary.BigEndian.Uint16(ext[:]))
+	case 127:
+		var ext [8]byte
+		if _, err = io.ReadFull(c.br, ext[:]); err != nil {
+			return false, 0, nil, err
+		}
+		length = binary.BigEndian.Uint64(ext[:])
+	}
+	if length > MaxMessageBytes {
+		return false, 0, nil, fmt.Errorf("ws: frame exceeds %d bytes", MaxMessageBytes)
+	}
+	// RFC 6455 §5.1: clients mask, servers don't. Enforcing the
+	// direction catches proxies mangling the stream early.
+	if c.client == masked {
+		return false, 0, nil, fmt.Errorf("ws: wrong masking direction")
+	}
+	var mask [4]byte
+	if masked {
+		if _, err = io.ReadFull(c.br, mask[:]); err != nil {
+			return false, 0, nil, err
+		}
+	}
+	payload = make([]byte, length)
+	if _, err = io.ReadFull(c.br, payload); err != nil {
+		return false, 0, nil, err
+	}
+	if masked {
+		for i := range payload {
+			payload[i] ^= mask[i&3]
+		}
+	}
+	return fin, op, payload, nil
+}
+
+// SetReadDeadline bounds the next ReadMessage.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.c.SetReadDeadline(t) }
+
+// SetWriteDeadline bounds the next WriteMessage.
+func (c *Conn) SetWriteDeadline(t time.Time) error { return c.c.SetWriteDeadline(t) }
+
+// Close sends a close frame (best effort) and closes the connection.
+func (c *Conn) Close() error {
+	c.wmu.Lock()
+	if !c.closed {
+		c.closed = true
+		c.c.SetWriteDeadline(time.Now().Add(time.Second))
+		c.writeFrame(OpClose, nil)
+	}
+	c.wmu.Unlock()
+	return c.c.Close()
+}

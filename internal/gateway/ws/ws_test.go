@@ -1,0 +1,160 @@
+package ws
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pair dials a real HTTP test server whose handler upgrades, giving a
+// client and server Conn over one TCP connection.
+func pair(t *testing.T) (client, server *Conn) {
+	t.Helper()
+	var (
+		mu sync.Mutex
+		sc *Conn
+	)
+	done := make(chan struct{})
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c, err := Accept(w, r)
+		if err != nil {
+			t.Errorf("accept: %v", err)
+			return
+		}
+		mu.Lock()
+		sc = c
+		mu.Unlock()
+		close(done)
+	}))
+	t.Cleanup(hs.Close)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cc, err := Dial(ctx, hs.URL, nil)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	t.Cleanup(func() { cc.Close(); sc.Close() })
+	return cc, sc
+}
+
+func TestEchoBothDirections(t *testing.T) {
+	cc, sc := pair(t)
+	sizes := []int{0, 1, 125, 126, 4096, 1 << 16, 1<<16 + 3}
+	for _, n := range sizes {
+		msg := bytes.Repeat([]byte{byte(n % 251)}, n)
+		if err := cc.WriteMessage(OpBinary, msg); err != nil {
+			t.Fatalf("client write %d: %v", n, err)
+		}
+		op, got, err := sc.ReadMessage()
+		if err != nil || op != OpBinary || !bytes.Equal(got, msg) {
+			t.Fatalf("server read %d: op=%v len=%d err=%v", n, op, len(got), err)
+		}
+		if err := sc.WriteMessage(OpText, msg); err != nil {
+			t.Fatalf("server write %d: %v", n, err)
+		}
+		op, got, err = cc.ReadMessage()
+		if err != nil || op != OpText || !bytes.Equal(got, msg) {
+			t.Fatalf("client read %d: op=%v len=%d err=%v", n, op, len(got), err)
+		}
+	}
+}
+
+func TestPingAutoPong(t *testing.T) {
+	cc, sc := pair(t)
+	// The server pings; the client answers from inside ReadMessage
+	// while blocked waiting for data.
+	if err := sc.WriteMessage(OpPing, []byte("hb")); err != nil {
+		t.Fatal(err)
+	}
+	readDone := make(chan error, 1)
+	go func() {
+		_, _, err := cc.ReadMessage()
+		readDone <- err
+	}()
+	// The server should observe the pong as a no-op inside its own
+	// read; follow with a real message so both reads terminate.
+	if err := sc.WriteMessage(OpText, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-readDone; err != nil {
+		t.Fatalf("client read after ping: %v", err)
+	}
+	if err := cc.WriteMessage(OpText, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	op, msg, err := sc.ReadMessage()
+	if err != nil || op != OpText || string(msg) != "x" {
+		t.Fatalf("server read: %q %v %v", msg, op, err)
+	}
+}
+
+func TestCloseHandshake(t *testing.T) {
+	cc, sc := pair(t)
+	if err := cc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.ReadMessage(); err != ErrClosed {
+		t.Fatalf("server read after client close: %v, want ErrClosed", err)
+	}
+	if err := sc.WriteMessage(OpText, []byte("late")); err != ErrClosed {
+		t.Fatalf("server write after close handshake: %v, want ErrClosed", err)
+	}
+}
+
+func TestRejectedHandshakeCarriesBody(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusForbidden)
+		w.Write([]byte(`{"error":{"code":"forbidden","message":"no"}}`))
+	}))
+	defer hs.Close()
+	_, err := Dial(context.Background(), hs.URL, nil)
+	he, ok := err.(*HandshakeError)
+	if !ok {
+		t.Fatalf("err = %v, want *HandshakeError", err)
+	}
+	if he.StatusCode != http.StatusForbidden || !strings.Contains(string(he.Body), `"forbidden"`) {
+		t.Fatalf("handshake error = %d %q", he.StatusCode, he.Body)
+	}
+}
+
+func TestAcceptRejectsPlainGET(t *testing.T) {
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/v1/subscribe", nil)
+	if _, err := Accept(rec, req); err == nil {
+		t.Fatal("plain GET accepted as websocket")
+	}
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d", rec.Code)
+	}
+}
+
+func TestDialHeadersReachServer(t *testing.T) {
+	var got string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("Authorization")
+		c, err := Accept(w, r)
+		if err == nil {
+			c.Close()
+		}
+	}))
+	defer hs.Close()
+	h := http.Header{}
+	h.Set("Authorization", "Bearer k1")
+	cc, err := Dial(context.Background(), hs.URL, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Close()
+	if got != "Bearer k1" {
+		t.Fatalf("Authorization = %q", got)
+	}
+}

@@ -3,7 +3,9 @@
 // plus a schedule of failures — sensor dropout windows, duplicated and
 // re-sent batches, clock-skewed timestamps, a corrupted WAL tail
 // followed by a restart, kill -9 at scheduled batch offsets, 429
-// storms, 5xx bursts, connection resets on either side of the wire —
+// storms, 5xx bursts, connection resets on either side of the wire,
+// push-side faults against a live subscriber (a stalled consumer, a
+// severed subscription transport) —
 // and the Runner executes it against a real hodserve: it replays the
 // trace through the pkg/hod client, restarts the server in-process
 // from its data dir exactly where the schedule says, and afterwards
@@ -64,6 +66,16 @@ const (
 	// KindListenerReset arms Count server-side accept-then-RST drops
 	// before batch At (the fault listener slams the door).
 	KindListenerReset = "listener_reset"
+	// KindSlowConsumer stalls the live push subscriber from batch At
+	// on — no reads until the verify phase resumes it. Ingest must be
+	// unaffected (the hub never blocks the fold path) and the resumed
+	// stream must arrive coalesced and converge to the polled ring.
+	// Needs "subscribe": true.
+	KindSlowConsumer = "slow_consumer"
+	// KindWSDisconnect severs the subscriber's transport before batch
+	// At; the subscription must redial and resume from its seq cursor
+	// without replaying or losing alerts. Needs "subscribe": true.
+	KindWSDisconnect = "ws_disconnect"
 )
 
 // Failure is one scheduled injection.
@@ -126,6 +138,22 @@ type Config struct {
 	// DrainTimeoutMS bounds every WaitDrained (default 60s).
 	DrainTimeoutMS int `json:"drain_timeout_ms,omitempty"`
 
+	// Subscribe attaches a live push subscriber (alerts:* through the
+	// gateway) to the victim for the whole replay; the verify phase
+	// then checks the pushed stream, after coalescing, converges to
+	// the same final state as polling /v1/plants/{id}/alerts. Required
+	// by slow_consumer and ws_disconnect; incompatible with restart
+	// faults (recovery re-raises alerts, so push convergence across a
+	// kill is not deterministic).
+	Subscribe bool `json:"subscribe,omitempty"`
+	// SubscribeSSE streams the subscriber over GET /v1/events (SSE)
+	// instead of WebSocket.
+	SubscribeSSE bool `json:"subscribe_sse,omitempty"`
+	// AlertThreshold is the server's streaming alert threshold (zero =
+	// server default). Push scenarios lower it so the trace raises a
+	// dense alert stream worth coalescing.
+	AlertThreshold float64 `json:"alert_threshold,omitempty"`
+
 	Failures []Failure `json:"failures,omitempty"`
 }
 
@@ -176,6 +204,14 @@ var kindNeedsDurable = map[string]bool{
 	KindStorm5xx:       false,
 	KindConnReset:      false,
 	KindListenerReset:  false,
+	KindSlowConsumer:   false,
+	KindWSDisconnect:   false,
+}
+
+// kinds that only make sense with a live subscriber attached.
+var kindNeedsSubscribe = map[string]bool{
+	KindSlowConsumer: true,
+	KindWSDisconnect: true,
 }
 
 // Validate rejects configs the runner could not execute
@@ -205,6 +241,12 @@ func (c Config) Validate() error {
 		}
 		if needsDurable && !c.Durable {
 			return fmt.Errorf("scenario %s: failure %d: %s needs \"durable\": true", c.Name, i, f.Kind)
+		}
+		if kindNeedsSubscribe[f.Kind] && !c.Subscribe {
+			return fmt.Errorf("scenario %s: failure %d: %s needs \"subscribe\": true", c.Name, i, f.Kind)
+		}
+		if needsDurable && c.Subscribe {
+			return fmt.Errorf("scenario %s: failure %d: %s cannot run with a live subscriber — recovery re-raises alerts, so push convergence across a restart is not deterministic", c.Name, i, f.Kind)
 		}
 		if f.Plant != "" && !seen[f.Plant] {
 			return fmt.Errorf("scenario %s: failure %d: unknown plant %q", c.Name, i, f.Plant)

@@ -27,6 +27,13 @@ type Result struct {
 	RunnerRetries uint64            `json:"runner_retries"`
 	ListenerDrops uint64            `json:"listener_drops"`
 
+	// Push-subscriber telemetry of "subscribe" scenarios (zero
+	// otherwise). Informational, like DurationMS: coalescing and
+	// reconnect counts depend on timing and stay out of the digest.
+	PushEvents     uint64 `json:"push_events,omitempty"`
+	PushCoalesced  uint64 `json:"push_coalesced,omitempty"`
+	PushReconnects uint64 `json:"push_reconnects,omitempty"`
+
 	// Digest fingerprints every compared serving surface of the victim
 	// (reports, roll-ups, cube views). Two runs of the same config must
 	// produce the same digest — `hodctl soak -runs 2` enforces it.

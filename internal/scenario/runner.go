@@ -103,6 +103,13 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	defer h.shutdown()
+	if cfg.Subscribe {
+		// Attach the live subscriber before the first register: the
+		// wildcard channel picks plants up as they appear.
+		if err := h.startWatch(ctx); err != nil {
+			return nil, fmt.Errorf("scenario %s: subscribe: %w", cfg.Name, err)
+		}
+	}
 
 	drainTimeout := time.Duration(cfg.DrainTimeoutMS) * time.Millisecond
 	acked, err := r.replay(ctx, cfg, h, traces, res)
@@ -135,6 +142,7 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Result, error) {
 	// acknowledged stream, in ack order, then byte-compare every
 	// serving surface.
 	r.verify(ctx, cfg, h, traces, acked, drainTimeout, res)
+	r.verifyPush(ctx, h, traces, drainTimeout, res)
 	res.finish(start)
 	return res, nil
 }
@@ -374,6 +382,16 @@ func (r *Runner) fire(ctx context.Context, cfg Config, h *harness, f Failure, re
 		h.transport.CloseIdleConnections()
 		h.listener.DropNext(n)
 		res.Injected[KindListenerReset] += uint64(n)
+	case KindSlowConsumer:
+		if h.watch != nil {
+			h.watch.pause()
+			res.Injected[KindSlowConsumer]++
+		}
+	case KindWSDisconnect:
+		if h.watch != nil {
+			h.watch.drop()
+			res.Injected[KindWSDisconnect]++
+		}
 	case KindKill, KindCorruptWALTail:
 		pre, err := h.client.Stats(ctx, firstPlant(cfg))
 		preSeen := err == nil
@@ -467,6 +485,7 @@ type harness struct {
 	transport *http.Transport
 	client    *hod.Client
 	baseURL   string
+	watch     *pushWatcher
 
 	// Accumulated across killed generations (client and listener are
 	// recreated per restart).
@@ -488,6 +507,7 @@ func serverOptions(cfg Config, dataDir string) server.Options {
 		DataDir:    dataDir,
 		Fsync:      cfg.Fsync,
 	}
+	opts.AlertThreshold = cfg.AlertThreshold
 	if cfg.SnapshotIntervalMS > 0 {
 		opts.SnapshotInterval = time.Duration(cfg.SnapshotIntervalMS) * time.Millisecond
 	} else {
@@ -546,6 +566,9 @@ func (h *harness) restart() error { return h.start() }
 
 // shutdown gracefully closes the final generation.
 func (h *harness) shutdown() {
+	if h.watch != nil {
+		h.watch.close()
+	}
 	if h.stopHTTP != nil {
 		h.stopHTTP()
 	}

@@ -91,6 +91,9 @@ func TestConfigValidation(t *testing.T) {
 		{"dup plant", `{"name":"x","plants":[{"id":"p"},{"id":"p"}]}`, "duplicate plant"},
 		{"unknown kind", `{"name":"x","plants":[{"id":"p"}],"failures":[{"kind":"meteor"}]}`, `unknown kind "meteor"`},
 		{"kill needs durable", `{"name":"x","plants":[{"id":"p"}],"failures":[{"kind":"kill","at":1}]}`, "needs \"durable\": true"},
+		{"stall needs subscribe", `{"name":"x","plants":[{"id":"p"}],"failures":[{"kind":"slow_consumer","at":1}]}`, "needs \"subscribe\": true"},
+		{"no kill under subscribe", `{"name":"x","durable":true,"subscribe":true,"plants":[{"id":"p"}],"failures":[{"kind":"kill","at":1}]}`, "not deterministic"},
+		{"valid push", `{"name":"x","subscribe":true,"plants":[{"id":"p"}],"failures":[{"kind":"ws_disconnect","at":1}]}`, ""},
 		{"unknown plant", `{"name":"x","plants":[{"id":"p"}],"failures":[{"kind":"dropout","plant":"q"}]}`, `unknown plant "q"`},
 		{"typo field", `{"name":"x","plants":[{"id":"p"}],"failures":[{"kind":"dropout","form":3}]}`, "unknown field"},
 	}

@@ -1,10 +1,8 @@
 package server
 
 import (
-	"fmt"
 	"log"
 	"net/http"
-	"strings"
 
 	"repro/internal/olap"
 	"repro/pkg/hod/wire"
@@ -81,17 +79,14 @@ func (ps *plantState) queryCube() *olap.Cube {
 // comma-separated dimension list. Cells come back in deterministic
 // coordinate order, so equal queries yield byte-identical bodies.
 func (s *Server) handleCube(w http.ResponseWriter, r *http.Request, ps *plantState) {
-	q := r.URL.Query()
-	query := olap.Query{Op: q.Get("op"), Dim: q.Get("dim")}
-	if keep := q.Get("keep"); keep != "" {
-		query.Keep = strings.Split(keep, ",")
-	}
-	where, err := parseWhere(q["where"])
+	// The grammar is wire.CubeQueryParams — the same Encode/Decode pair
+	// the SDK builds requests with, so client and server cannot drift.
+	p, err := wire.DecodeCubeQueryParams(r.URL.Query())
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}
-	query.Where = where
+	query := olap.Query{Op: p.Op, Dim: p.Dim, Keep: p.Keep, Where: p.Where}
 	res, err := ps.queryCube().Answer(query)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
@@ -101,23 +96,4 @@ func (s *Server) handleCube(w http.ResponseWriter, r *http.Request, ps *plantSta
 		Plant: ps.topo.ID, Op: res.Op, Dims: res.Dims, Where: res.Where,
 		Members: res.Members, Cells: res.Cells, TotalCells: res.TotalCells,
 	})
-}
-
-// parseWhere decodes repeated where=dim=member query values.
-func parseWhere(raw []string) (map[string]string, error) {
-	if len(raw) == 0 {
-		return nil, nil
-	}
-	out := make(map[string]string, len(raw))
-	for _, w := range raw {
-		dim, member, ok := strings.Cut(w, "=")
-		if !ok || dim == "" || member == "" {
-			return nil, fmt.Errorf("bad where constraint %q (want where=dim=member)", w)
-		}
-		if _, dup := out[dim]; dup {
-			return nil, fmt.Errorf("duplicate where constraint for dimension %q", dim)
-		}
-		out[dim] = member
-	}
-	return out, nil
 }

@@ -92,6 +92,7 @@ type (
 		Trackers  []snapTracker
 		CubeCells []snapCubeCell
 		Alerts    []wire.Alert // oldest first
+		AlertSeq  uint64       // plant-wide alert sequence high-water mark
 
 		ShardSeqs   []uint64
 		SnapshotRev uint64
@@ -403,6 +404,9 @@ func (ps *plantState) captureState() *snapState {
 		sh.rollMu.Unlock()
 	}
 	st.Alerts = ps.recentAlerts(0)
+	ps.alertMu.Lock()
+	st.AlertSeq = ps.alertSeq
+	ps.alertMu.Unlock()
 	return st
 }
 
@@ -473,6 +477,15 @@ func (ps *plantState) applyState(st *snapState) {
 	}
 	ps.alerts = append([]Alert(nil), alerts...)
 	ps.alertHead = 0
+	// Resume the alert sequence past everything the snapshot carries —
+	// snapshots from before the sequence existed gob-decode AlertSeq as
+	// zero, so fall back to the ring's own high-water mark.
+	ps.alertSeq = st.AlertSeq
+	for _, a := range alerts {
+		if a.Seq > ps.alertSeq {
+			ps.alertSeq = a.Seq
+		}
+	}
 }
 
 // writeSnapshot captures, persists, and compacts: the snapshot file is
@@ -737,6 +750,10 @@ func (s *Server) loadPlant(dirName string) error {
 		ps.dur.close()
 		return err
 	}
+	// Attach the push hook only after recovery: WAL replay rebuilds
+	// state through the same fold path, and replaying history must not
+	// re-emit it to live subscribers.
+	ps.publish = s.hub.Publish
 	ps.spawn()
 	ps.startSnapshotLoop(s.opts.SnapshotInterval)
 	s.mu.Lock()

@@ -98,6 +98,14 @@ type plantState struct {
 	alertMu   sync.Mutex
 	alerts    []Alert
 	alertHead int
+	alertSeq  uint64 // plant-wide alert sequence, assigned under alertMu
+
+	// publish, when non-nil, fans fold-path events out to the live
+	// push gateway. It is called at batch boundaries only (end of
+	// foldBatch) so event order follows the deterministic fold order,
+	// and it must never block — the hub's bounded coalescing queues
+	// guarantee that.
+	publish func(wire.Event)
 
 	accepted atomic.Uint64 // fresh records folded in
 	received atomic.Uint64 // valid records folded, incl. idempotent replays
@@ -283,6 +291,7 @@ func (ps *plantState) work(sh *shard) {
 func (ps *plantState) foldBatch(sh *shard, batch []Record) {
 	var wrote bool
 	var freshRecs uint64
+	var newAlerts []Alert
 	for _, rec := range batch {
 		if rec.Env {
 			fresh, changed := ps.env.set(rec)
@@ -355,10 +364,10 @@ func (ps *plantState) foldBatch(sh *shard, batch []Record) {
 		score := tr.Add(rec.Value)
 		sh.rollMu.Unlock()
 		if score >= ps.alertThreshold {
-			ps.pushAlert(Alert{
+			newAlerts = append(newAlerts, ps.pushAlert(Alert{
 				Machine: rec.Machine, Phase: rec.Phase, Sensor: rec.Sensor,
 				T: rec.T, Value: rec.Value, Score: score,
-			})
+			}))
 		}
 	}
 	// Revision before counters: drain-watchers (Client.WaitDrained)
@@ -371,17 +380,72 @@ func (ps *plantState) foldBatch(sh *shard, batch []Record) {
 	}
 	ps.accepted.Add(freshRecs)
 	ps.received.Add(uint64(len(batch)))
+	ps.publishBatchEvents(wrote, newAlerts)
 }
 
-func (ps *plantState) pushAlert(a Alert) {
+// publishBatchEvents pushes this batch's fold results to the gateway
+// hub: one alert event carrying the batch's newly raised alerts, a
+// cube_delta notification when the data revision advanced, and a stats
+// snapshot after every batch (counters move even on idempotent
+// replay). Runs at the foldMu batch boundary, so per-shard event order
+// equals fold order; with no gateway attached it is a no-op.
+func (ps *plantState) publishBatchEvents(wrote bool, newAlerts []Alert) {
+	pub := ps.publish
+	if pub == nil {
+		return
+	}
+	if len(newAlerts) > 0 {
+		pub(wire.Event{
+			Kind: wire.EventAlert, Plant: ps.topo.ID,
+			Seq: newAlerts[len(newAlerts)-1].Seq, Alerts: newAlerts,
+		})
+	}
+	rev := ps.dataRev.Load()
+	if wrote {
+		pub(wire.Event{Kind: wire.EventCubeDelta, Plant: ps.topo.ID, Revision: rev})
+	}
+	st := ps.statsNow()
+	pub(wire.Event{Kind: wire.EventStats, Plant: ps.topo.ID, Revision: rev, Stats: &st})
+}
+
+// statsNow assembles the stats snapshot served by GET stats and
+// carried by push stats events.
+func (ps *plantState) statsNow() wire.StatsResponse {
+	walSegments := 0
+	var snapRev uint64
+	if ps.dur != nil {
+		walSegments = ps.dur.segments()
+		snapRev = ps.dur.snapRev.Load()
+	}
+	return wire.StatsResponse{
+		Plant:           ps.topo.ID,
+		AcceptedRecords: ps.accepted.Load(),
+		ReceivedRecords: ps.received.Load(),
+		RejectedRecords: ps.rejected.Load(),
+		ShedBatches:     ps.shed.Load(),
+		DataRevision:    ps.dataRev.Load(),
+		Shards:          len(ps.shards),
+		QueueDepths:     ps.queueDepths(),
+		WALSegments:     walSegments,
+		SnapshotRev:     snapRev,
+	}
+}
+
+// pushAlert stamps the alert with the next plant-wide sequence number
+// and appends it to the ring, returning the stamped alert for the push
+// path.
+func (ps *plantState) pushAlert(a Alert) Alert {
 	ps.alertMu.Lock()
 	defer ps.alertMu.Unlock()
+	ps.alertSeq++
+	a.Seq = ps.alertSeq
 	if len(ps.alerts) < alertRingCap {
 		ps.alerts = append(ps.alerts, a)
-		return
+		return a
 	}
 	ps.alerts[ps.alertHead] = a
 	ps.alertHead = (ps.alertHead + 1) % alertRingCap
+	return a
 }
 
 // recentAlerts returns up to limit alerts, oldest first.

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/gateway"
 	"repro/internal/olap"
 	"repro/internal/wal"
 	"repro/pkg/hod/wire"
@@ -79,6 +80,17 @@ type Options struct {
 	SnapshotInterval time.Duration
 	// SegmentBytes rotates WAL segments at this size (default 8 MiB).
 	SegmentBytes int64
+	// Tenants enables authenticated multi-tenant mode: API key →
+	// tenant grant (name, plant scope, rate limit). Empty keeps the
+	// back-compat default of an open, unauthenticated server.
+	Tenants map[string]gateway.Tenant
+	// RequestLog, when non-nil, logs one line per request through the
+	// middleware chain.
+	RequestLog func(format string, args ...any)
+	// SubscriberQueue bounds the distinct pending (kind, plant) event
+	// slots per push subscriber before coalescing drops the stalest
+	// slot (default gateway.DefaultQueueCap).
+	SubscriberQueue int
 }
 
 func (o Options) withDefaults() Options {
@@ -111,32 +123,38 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts   Options
 	mux    *http.ServeMux
+	hub    *gateway.Hub
+	auth   *gateway.Auth
 	mu     sync.RWMutex
 	plants map[string]*plantState
 	closed atomic.Bool
 }
 
-// New builds a server with the given options.
+// New builds a server with the given options. Every route of the typed
+// route table is wrapped in the gateway middleware chain — bearer
+// auth, tenant scoping, per-tenant rate limits, request logging — all
+// of which pass through untouched when no tenants are configured.
 func New(opts Options) *Server {
 	s := &Server{
 		opts:   opts.withDefaults(),
 		mux:    http.NewServeMux(),
+		hub:    gateway.NewHub(),
 		plants: make(map[string]*plantState),
 	}
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
-	})
-	s.mux.HandleFunc("POST /v1/plants", s.handleRegister)
-	s.mux.HandleFunc("GET /v1/plants", s.handleList)
-	s.mux.HandleFunc("POST /v1/plants/{id}/ingest", s.withPlant(s.handleIngest))
-	s.mux.HandleFunc("POST /v1/plants/{id}/jobs", s.withPlant(s.handleJobs))
-	s.mux.HandleFunc("GET /v1/plants/{id}/report", s.withPlant(s.handleReport))
-	s.mux.HandleFunc("GET /v1/plants/{id}/rollup", s.withPlant(s.handleRollup))
-	s.mux.HandleFunc("GET /v1/plants/{id}/cube", s.withPlant(s.handleCube))
-	s.mux.HandleFunc("GET /v1/plants/{id}/alerts", s.withPlant(s.handleAlerts))
-	s.mux.HandleFunc("GET /v1/plants/{id}/stats", s.withPlant(s.handleStats))
-	s.mux.HandleFunc("GET /v1/plants/{id}/backup", s.withPlant(s.handleBackup))
-	s.mux.HandleFunc("POST /v1/plants/{id}/restore", s.handleRestore)
+	s.auth = gateway.NewAuth(s.opts.Tenants)
+	chain := gateway.Chain(
+		gateway.BearerAuth(s.auth),
+		gateway.TenantScope(),
+		gateway.RateLimit(),
+		gateway.RequestLog(s.opts.RequestLog),
+	)
+	for _, rt := range s.routes() {
+		h := http.Handler(rt.handler)
+		if !rt.open {
+			h = chain(h)
+		}
+		s.mux.Handle(rt.method+" "+rt.pattern, h)
+	}
 	return s
 }
 
@@ -156,11 +174,14 @@ func (s *Server) ServeListener(ln net.Listener) (stop func()) {
 
 // Close stops admission and drains every plant's shard queues; safe to
 // call once the HTTP listener has shut down (or is about to — new
-// ingests get 503).
+// ingests get 503). Push subscribers are closed first: their
+// connections are hijacked from the HTTP server, so nothing else would
+// unblock the writer goroutines.
 func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
+	s.hub.Close()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, ps := range s.plants {
@@ -202,6 +223,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
 		return
 	}
+	// The register route has no {id} path segment for the scope
+	// middleware to vet — the plant id rides in the body, so the
+	// tenant check happens here.
+	if g, ok := gateway.GrantFrom(r.Context()); ok && !g.Allows(topo.ID) {
+		writeErr(w, http.StatusForbidden, wire.CodeForbidden,
+			fmt.Sprintf("tenant %s is not scoped to plant %q", g.Tenant.Name, topo.ID))
+		return
+	}
 	s.mu.Lock()
 	// Re-check under the lock: Close() iterates s.plants under it, so
 	// a registration racing shutdown must not start workers Close will
@@ -219,6 +248,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	ps := newPlantState(topo)
 	ps.makeShards(s.opts.Shards, s.opts.QueueDepth)
 	ps.alertThreshold = s.opts.AlertThreshold
+	ps.publish = s.hub.Publish
 	if s.opts.DataDir != "" {
 		if _, err := s.persistNewPlant(ps, topo); err != nil {
 			s.mu.Unlock()
@@ -240,9 +270,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	g, scoped := gateway.GrantFrom(r.Context())
 	s.mu.RLock()
 	ids := make([]string, 0, len(s.plants))
 	for id := range s.plants {
+		if scoped && !g.Allows(id) {
+			continue // a tenant's list shows only its own plants
+		}
 		ids = append(ids, id)
 	}
 	s.mu.RUnlock()
@@ -403,24 +437,7 @@ func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request, ps *plantS
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request, ps *plantState) {
-	walSegments := 0
-	var snapRev uint64
-	if ps.dur != nil {
-		walSegments = ps.dur.segments()
-		snapRev = ps.dur.snapRev.Load()
-	}
-	writeJSON(w, http.StatusOK, wire.StatsResponse{
-		Plant:           ps.topo.ID,
-		AcceptedRecords: ps.accepted.Load(),
-		ReceivedRecords: ps.received.Load(),
-		RejectedRecords: ps.rejected.Load(),
-		ShedBatches:     ps.shed.Load(),
-		DataRevision:    ps.dataRev.Load(),
-		Shards:          len(ps.shards),
-		QueueDepths:     ps.queueDepths(),
-		WALSegments:     walSegments,
-		SnapshotRev:     snapRev,
-	})
+	writeJSON(w, http.StatusOK, ps.statsNow())
 }
 
 // handleBackup streams a consistent snapshot of the plant — the same
@@ -519,6 +536,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	ps := newPlantState(st.Topo)
 	ps.makeShards(s.opts.Shards, s.opts.QueueDepth)
 	ps.alertThreshold = s.opts.AlertThreshold
+	ps.publish = s.hub.Publish
 	ps.applyState(st)
 	if s.opts.DataDir != "" {
 		cleanup, err := s.persistNewPlant(ps, st.Topo)
@@ -554,9 +572,10 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // writeErr emits the structured error envelope of the v1 protocol:
 // {"error":{"code":"...","message":"..."}}. The code is one of the
 // wire.Code* constants, which the typed client maps onto errors.Is-able
-// sentinel errors.
+// sentinel errors. The encoding itself lives in the gateway package —
+// the one definition handlers and middleware share.
 func writeErr(w http.ResponseWriter, status int, code, msg string) {
-	writeJSON(w, status, wire.ErrorEnvelope{Err: wire.ErrorBody{Code: code, Message: msg}})
+	gateway.WriteError(w, status, code, msg)
 }
 
 // queryInt parses a non-negative integer query parameter. A missing or

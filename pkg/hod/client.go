@@ -8,7 +8,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"sort"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -27,6 +26,7 @@ import (
 type Client struct {
 	base       string
 	hc         *http.Client
+	apiKey     string
 	maxRetries int
 	retryCap   time.Duration
 	retried    atomic.Uint64
@@ -38,6 +38,12 @@ type ClientOption func(*Client)
 // WithHTTPClient substitutes the underlying *http.Client (timeouts,
 // transport, instrumentation).
 func WithHTTPClient(hc *http.Client) ClientOption { return func(c *Client) { c.hc = hc } }
+
+// WithAPIKey authenticates every request (and subscription) with the
+// tenant API key, sent as "Authorization: Bearer {key}". Required when
+// the server runs with tenants configured; a no-op against an open
+// server.
+func WithAPIKey(key string) ClientOption { return func(c *Client) { c.apiKey = key } }
 
 // WithMaxRetries bounds how often one batch is re-sent after a 429
 // before the client gives up with ErrBackpressure (default 120).
@@ -101,6 +107,12 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == wire.CodeNoData
 	case ErrVectorDims:
 		return e.Code == wire.CodeVectorDims
+	case ErrUnauthorized:
+		return e.Code == wire.CodeUnauthorized
+	case ErrForbidden:
+		return e.Code == wire.CodeForbidden
+	case ErrRateLimited:
+		return e.Code == wire.CodeRateLimited
 	}
 	return false
 }
@@ -177,6 +189,7 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		if contentType != "" {
 			req.Header.Set("Content-Type", contentType)
 		}
+		c.authorize(req.Header)
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return err
@@ -203,6 +216,13 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 		default:
 			return apiError(resp.StatusCode, data)
 		}
+	}
+}
+
+// authorize attaches the configured API key, if any.
+func (c *Client) authorize(h http.Header) {
+	if c.apiKey != "" {
+		h.Set("Authorization", "Bearer "+c.apiKey)
 	}
 }
 
@@ -304,37 +324,17 @@ func (c *Client) Rollup(ctx context.Context, plantID, level string) (wire.Rollup
 }
 
 // CubeQuery selects one OLAP question for the Cube call. The zero
-// value is a full-cube slice.
-type CubeQuery struct {
-	Op    string            // wire.CubeOp*; "" = slice
-	Where map[string]string // dimension=member constraints
-	Keep  []string          // rollup: dimensions to keep
-	Dim   string            // members/drilldown: target dimension
-}
+// value is a full-cube slice. It is the wire grammar itself — the same
+// Encode the server's handler decodes with, so the two sides cannot
+// drift.
+type CubeQuery = wire.CubeQueryParams
 
 // Cube runs one OLAP query — slice, rollup, members, or drilldown —
 // against the plant's incrementally maintained cube (dimensions
 // line × machine × job × phase × sensor). Cells come back in
 // deterministic coordinate order.
 func (c *Client) Cube(ctx context.Context, plantID string, q CubeQuery) (wire.CubeResponse, error) {
-	vals := url.Values{}
-	if q.Op != "" {
-		vals.Set("op", q.Op)
-	}
-	if len(q.Keep) > 0 {
-		vals.Set("keep", strings.Join(q.Keep, ","))
-	}
-	if q.Dim != "" {
-		vals.Set("dim", q.Dim)
-	}
-	dims := make([]string, 0, len(q.Where))
-	for d := range q.Where {
-		dims = append(dims, d)
-	}
-	sort.Strings(dims)
-	for _, d := range dims {
-		vals.Add("where", d+"="+q.Where[d])
-	}
+	vals := q.Encode()
 	path := "/v1/plants/" + url.PathEscape(plantID) + "/cube"
 	if len(vals) > 0 {
 		path += "?" + vals.Encode()
@@ -368,11 +368,13 @@ func (c *Client) CubeDrilldown(ctx context.Context, plantID, dim string, where m
 }
 
 // Alerts fetches up to limit recent streaming alerts (0 = server
-// default).
+// default, negative = everything the server's ring holds).
 func (c *Client) Alerts(ctx context.Context, plantID string, limit int) (wire.AlertsResponse, error) {
 	path := "/v1/plants/" + url.PathEscape(plantID) + "/alerts"
 	if limit > 0 {
 		path += "?limit=" + strconv.Itoa(limit)
+	} else if limit < 0 {
+		path += "?limit=0" // the server treats an explicit 0 as unlimited
 	}
 	var al wire.AlertsResponse
 	err := c.do(ctx, http.MethodGet, path, "", nil, &al)
@@ -444,6 +446,7 @@ func (c *Client) Backup(ctx context.Context, plantID string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.authorize(req.Header)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err

@@ -142,6 +142,18 @@ var (
 	// never reachable). The wrapped error also matches the context
 	// cause and carries the last observed progress.
 	ErrDrainTimeout = errors.New("hod: drain timed out")
+	// ErrUnauthorized — the server runs in authenticated mode and the
+	// request carried no API key, or an unknown one (WithAPIKey).
+	ErrUnauthorized = errors.New("hod: unauthorized")
+	// ErrForbidden — the API key's tenant grant does not cover the
+	// requested plant.
+	ErrForbidden = errors.New("hod: forbidden")
+	// ErrRateLimited — the tenant exhausted its token bucket and the
+	// client ran out of 429 retries.
+	ErrRateLimited = errors.New("hod: rate limited")
+	// ErrSubscriptionClosed — Next was called on (or while) a
+	// subscription was closed locally via Close.
+	ErrSubscriptionClosed = errors.New("hod: subscription closed")
 )
 
 // ErrNotFitted is returned when scoring precedes training on a

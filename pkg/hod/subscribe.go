@@ -1,0 +1,388 @@
+package hod
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gateway/ws"
+	"repro/pkg/hod/wire"
+)
+
+// Subscription is a typed iterator over the server's live push stream
+// (GET /v1/subscribe over WebSocket by default, GET /v1/events over
+// SSE with WithSSE). Next blocks for the next event; a broken
+// transport reconnects automatically, resuming alerts from the highest
+// delivered Alert.Seq and suppressing cube_delta replays at or below
+// the highest delivered revision — so across any number of
+// reconnects, delivery is effectively exactly-once for alerts (the
+// at-least-once wire stream deduplicated by Seq) and monotone for
+// revisions. Stats snapshots always flow.
+//
+// Next must be called from one goroutine at a time; Close and Drop are
+// safe to call concurrently with it.
+type Subscription struct {
+	c        *Client
+	channels []string
+	useSSE   bool
+	wait     time.Duration
+
+	// Resume cursors, owned by the Next goroutine.
+	afterSeq map[string]uint64
+	afterRev map[string]uint64
+
+	reconnects atomic.Uint64
+
+	mu        sync.Mutex
+	closed    bool
+	connected bool // a transport was established at least once
+	wsConn    *ws.Conn
+	sseBody   io.ReadCloser
+	sseScan   *bufio.Reader
+}
+
+// SubscribeOption tunes a Subscription at construction time.
+type SubscribeOption func(*Subscription)
+
+// WithSSE streams over GET /v1/events (Server-Sent Events) instead of
+// WebSocket — for environments where only plain HTTP flows.
+func WithSSE() SubscribeOption { return func(s *Subscription) { s.useSSE = true } }
+
+// WithReconnectWait sets the pause before a broken transport is
+// redialed (default 200ms).
+func WithReconnectWait(d time.Duration) SubscribeOption {
+	return func(s *Subscription) { s.wait = d }
+}
+
+// Subscribe opens a live push subscription for the request's channels
+// ("alerts:plant-a", "cube:*", "stats:plant-b"; see wire.ParseChannel
+// for the grammar). The initial connect happens here, so a rejected
+// subscription — bad channel (ErrBadRequest), unknown plant
+// (ErrUnknownPlant), out-of-grant plant (ErrForbidden) — surfaces
+// immediately as a typed API error. The request's AfterSeq/AfterRev
+// seed the resume cursors.
+func (c *Client) Subscribe(ctx context.Context, req wire.SubscribeRequest, opts ...SubscribeOption) (*Subscription, error) {
+	s := &Subscription{
+		c:        c,
+		channels: append([]string(nil), req.Channels...),
+		wait:     200 * time.Millisecond,
+		afterSeq: map[string]uint64{},
+		afterRev: map[string]uint64{},
+	}
+	for p, n := range req.AfterSeq {
+		s.afterSeq[p] = n
+	}
+	for p, n := range req.AfterRev {
+		s.afterRev[p] = n
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if err := s.connect(ctx); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SubscribeAlerts subscribes to the alert stream of the given plants
+// (none = every visible plant via the wildcard channel).
+func (c *Client) SubscribeAlerts(ctx context.Context, plants ...string) (*Subscription, error) {
+	return c.Subscribe(ctx, wire.SubscribeRequest{Channels: kindChannels(wire.EventAlert, plants)})
+}
+
+// SubscribeCube subscribes to cube_delta notifications — "the cube
+// advanced to revision R; re-query what you care about".
+func (c *Client) SubscribeCube(ctx context.Context, plants ...string) (*Subscription, error) {
+	return c.Subscribe(ctx, wire.SubscribeRequest{Channels: kindChannels(wire.EventCubeDelta, plants)})
+}
+
+// SubscribeStats subscribes to per-fold-batch stats snapshots.
+func (c *Client) SubscribeStats(ctx context.Context, plants ...string) (*Subscription, error) {
+	return c.Subscribe(ctx, wire.SubscribeRequest{Channels: kindChannels(wire.EventStats, plants)})
+}
+
+func kindChannels(kind wire.EventKind, plants []string) []string {
+	if len(plants) == 0 {
+		return []string{wire.Channel{Kind: kind, Plant: "*"}.String()}
+	}
+	chans := make([]string, 0, len(plants))
+	for _, p := range plants {
+		chans = append(chans, wire.Channel{Kind: kind, Plant: p}.String())
+	}
+	return chans
+}
+
+// Reconnects reports how many times the subscription redialed after a
+// broken transport.
+func (s *Subscription) Reconnects() uint64 { return s.reconnects.Load() }
+
+// Close tears the subscription down; a concurrent or later Next
+// returns ErrSubscriptionClosed.
+func (s *Subscription) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.dropTransport()
+	return nil
+}
+
+// Drop severs the current transport without closing the subscription —
+// the next Next call reconnects and resumes. A fault hook for tests
+// and fault-injection scenarios.
+func (s *Subscription) Drop() { s.dropTransport() }
+
+func (s *Subscription) dropTransport() {
+	s.mu.Lock()
+	wsc, body := s.wsConn, s.sseBody
+	s.wsConn, s.sseBody, s.sseScan = nil, nil, nil
+	s.mu.Unlock()
+	if wsc != nil {
+		wsc.Close()
+	}
+	if body != nil {
+		body.Close()
+	}
+}
+
+func (s *Subscription) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// resumeQuery renders the subscription request at the current resume
+// cursors.
+func (s *Subscription) resumeQuery() string {
+	req := wire.SubscribeRequest{Channels: s.channels}
+	if len(s.afterSeq) > 0 {
+		req.AfterSeq = s.afterSeq
+	}
+	if len(s.afterRev) > 0 {
+		req.AfterRev = s.afterRev
+	}
+	return req.Encode().Encode()
+}
+
+// connect establishes the transport. A handshake rejected with an HTTP
+// error becomes a typed *APIError (terminal — reconnecting cannot fix
+// a 401/403/404).
+func (s *Subscription) connect(ctx context.Context) error {
+	if s.isClosed() {
+		return ErrSubscriptionClosed
+	}
+	if s.useSSE {
+		return s.connectSSE(ctx)
+	}
+	return s.connectWS(ctx)
+}
+
+func (s *Subscription) connectWS(ctx context.Context) error {
+	header := http.Header{}
+	s.c.authorize(header)
+	conn, err := ws.Dial(ctx, s.c.base+"/v1/subscribe?"+s.resumeQuery(), header)
+	if err != nil {
+		var hs *ws.HandshakeError
+		if errors.As(err, &hs) {
+			return apiError(hs.StatusCode, hs.Body)
+		}
+		return err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return ErrSubscriptionClosed
+	}
+	s.wsConn = conn
+	s.markConnectedLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// markConnectedLocked counts re-established transports; the caller
+// holds s.mu.
+func (s *Subscription) markConnectedLocked() {
+	if s.connected {
+		s.reconnects.Add(1)
+	}
+	s.connected = true
+}
+
+func (s *Subscription) connectSSE(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, s.c.base+"/v1/events?"+s.resumeQuery(), nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	s.c.authorize(req.Header)
+	resp, err := s.c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		return apiError(resp.StatusCode, body)
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		resp.Body.Close()
+		return ErrSubscriptionClosed
+	}
+	s.sseBody = resp.Body
+	s.sseScan = bufio.NewReader(resp.Body)
+	s.markConnectedLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+// Next returns the next event, transparently reconnecting and resuming
+// after transport failures. It returns ErrSubscriptionClosed after
+// Close, the context error when ctx ends, and a typed *APIError when a
+// reconnect is rejected by the server.
+func (s *Subscription) Next(ctx context.Context) (wire.Event, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return wire.Event{}, err
+		}
+		if s.isClosed() {
+			return wire.Event{}, ErrSubscriptionClosed
+		}
+		s.mu.Lock()
+		connected := s.wsConn != nil || s.sseBody != nil
+		s.mu.Unlock()
+		if !connected {
+			if err := s.connect(ctx); err != nil {
+				return wire.Event{}, err
+			}
+		}
+		ev, err := s.read(ctx)
+		if err != nil {
+			s.dropTransport()
+			switch {
+			case s.isClosed():
+				return wire.Event{}, ErrSubscriptionClosed
+			case ctx.Err() != nil:
+				return wire.Event{}, ctx.Err()
+			}
+			if err := sleepCtx(ctx, s.wait); err != nil {
+				return wire.Event{}, err
+			}
+			continue
+		}
+		if out, keep := s.filter(ev); keep {
+			return out, nil
+		}
+	}
+}
+
+// read blocks for one decoded event from the current transport. The
+// context is honoured by a watchdog that severs the transport — both
+// transports only unblock on connection death.
+func (s *Subscription) read(ctx context.Context) (wire.Event, error) {
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			s.dropTransport()
+		case <-stop:
+		}
+	}()
+	s.mu.Lock()
+	wsc, scan := s.wsConn, s.sseScan
+	s.mu.Unlock()
+	switch {
+	case wsc != nil:
+		return readWS(wsc)
+	case scan != nil:
+		return readSSE(scan)
+	default:
+		return wire.Event{}, fmt.Errorf("hod: subscription transport gone")
+	}
+}
+
+func readWS(conn *ws.Conn) (wire.Event, error) {
+	for {
+		op, payload, err := conn.ReadMessage()
+		if err != nil {
+			return wire.Event{}, err
+		}
+		if op != ws.OpText {
+			continue
+		}
+		var ev wire.Event
+		if err := json.Unmarshal(payload, &ev); err != nil {
+			return wire.Event{}, fmt.Errorf("hod: bad push event: %w", err)
+		}
+		return ev, nil
+	}
+}
+
+// readSSE parses one "event:/data:" frame, skipping ": hb" comment
+// heartbeats.
+func readSSE(br *bufio.Reader) (wire.Event, error) {
+	var data strings.Builder
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			return wire.Event{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data.WriteString(strings.TrimPrefix(strings.TrimPrefix(line, "data:"), " "))
+		case line == "" && data.Len() > 0:
+			var ev wire.Event
+			if err := json.Unmarshal([]byte(data.String()), &ev); err != nil {
+				return wire.Event{}, fmt.Errorf("hod: bad push event: %w", err)
+			}
+			return ev, nil
+		default:
+			// comment heartbeat, "event:" name line, or separator
+			// before any data — all carry nothing the JSON lacks.
+		}
+	}
+}
+
+// filter advances the resume cursors and drops what the client already
+// saw: alerts at or below the plant's seq cursor (at-least-once wire
+// stream, exactly-once iterator), and cube_delta at or below the
+// revision cursor. Stats always pass (counters move without the
+// revision advancing).
+func (s *Subscription) filter(ev wire.Event) (wire.Event, bool) {
+	switch ev.Kind {
+	case wire.EventAlert:
+		cursor := s.afterSeq[ev.Plant]
+		fresh := ev.Alerts[:0:0]
+		for _, a := range ev.Alerts {
+			if a.Seq > cursor {
+				fresh = append(fresh, a)
+			}
+		}
+		if len(fresh) == 0 {
+			return wire.Event{}, false
+		}
+		ev.Alerts = fresh
+		ev.Seq = fresh[len(fresh)-1].Seq
+		s.afterSeq[ev.Plant] = ev.Seq
+		return ev, true
+	case wire.EventCubeDelta:
+		if ev.Revision <= s.afterRev[ev.Plant] {
+			return wire.Event{}, false
+		}
+		s.afterRev[ev.Plant] = ev.Revision
+		return ev, true
+	default:
+		return ev, true
+	}
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"fmt"
+	"net/url"
+	"sort"
+	"strings"
+)
+
+// CubeQueryParams is the query-string grammar of GET
+// /v1/plants/{id}/cube — the one definition both the SDK's Cube calls
+// and the server's handler compile against, so the two sides cannot
+// drift. The zero value is a full-cube slice.
+type CubeQueryParams struct {
+	Op    string            // CubeOp*; "" = slice
+	Where map[string]string // dimension=member constraints
+	Keep  []string          // rollup: dimensions to keep
+	Dim   string            // members/drilldown: target dimension
+}
+
+// Encode renders the query as URL values: op, keep (comma-joined),
+// dim, and one "where" value per constraint as "dim=member" sorted by
+// dimension — a deterministic encoding, so equal queries produce
+// byte-identical request lines (and hit the same caches).
+func (p CubeQueryParams) Encode() url.Values {
+	v := url.Values{}
+	if p.Op != "" {
+		v.Set("op", p.Op)
+	}
+	if len(p.Keep) > 0 {
+		v.Set("keep", strings.Join(p.Keep, ","))
+	}
+	if p.Dim != "" {
+		v.Set("dim", p.Dim)
+	}
+	dims := make([]string, 0, len(p.Where))
+	for d := range p.Where {
+		dims = append(dims, d)
+	}
+	sort.Strings(dims)
+	for _, d := range dims {
+		v.Add("where", d+"="+p.Where[d])
+	}
+	return v
+}
+
+// DecodeCubeQueryParams parses what Encode produced (op and keep left
+// empty stay empty; a repeated or malformed where constraint is an
+// error). Semantic validation — known ops, known dimensions — stays
+// with the cube evaluator; this is only the shared grammar.
+func DecodeCubeQueryParams(v url.Values) (CubeQueryParams, error) {
+	p := CubeQueryParams{Op: v.Get("op"), Dim: v.Get("dim")}
+	if keep := v.Get("keep"); keep != "" {
+		p.Keep = strings.Split(keep, ",")
+	}
+	raw := v["where"]
+	if len(raw) == 0 {
+		return p, nil
+	}
+	p.Where = make(map[string]string, len(raw))
+	for _, w := range raw {
+		dim, member, ok := strings.Cut(w, "=")
+		if !ok || dim == "" || member == "" {
+			return CubeQueryParams{}, fmt.Errorf("wire: bad where constraint %q (want where=dim=member)", w)
+		}
+		if _, dup := p.Where[dim]; dup {
+			return CubeQueryParams{}, fmt.Errorf("wire: duplicate where constraint for dimension %q", dim)
+		}
+		p.Where[dim] = member
+	}
+	return p, nil
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"fmt"
+	"math/rand"
+	"net/url"
+	"reflect"
+	"testing"
+)
+
+func TestParseChannel(t *testing.T) {
+	for s, want := range map[string]Channel{
+		"alerts:p1":    {Kind: EventAlert, Plant: "p1"},
+		"cube:*":       {Kind: EventCubeDelta, Plant: "*"},
+		"stats:pl-2":   {Kind: EventStats, Plant: "pl-2"},
+		"alerts:a:b:c": {Kind: EventAlert, Plant: "a:b:c"},
+	} {
+		got, err := ParseChannel(s)
+		if err != nil || got != want {
+			t.Errorf("ParseChannel(%q) = %+v, %v; want %+v", s, got, err, want)
+		}
+		if got.String() != s {
+			t.Errorf("Channel(%q).String() = %q", s, got.String())
+		}
+	}
+	for _, bad := range []string{"", "alerts", "alerts:", "cube", "rollup:p1", "alerts:p\x01"} {
+		if _, err := ParseChannel(bad); err == nil {
+			t.Errorf("ParseChannel(%q) accepted", bad)
+		}
+	}
+}
+
+func TestSubscribeRequestRoundTrip(t *testing.T) {
+	reqs := []SubscribeRequest{
+		{Channels: []string{"alerts:p1"}},
+		{Channels: []string{"alerts:p1", "cube:p1", "stats:*"},
+			AfterSeq: map[string]uint64{"p1": 9, "p,2": 0},
+			AfterRev: map[string]uint64{"p1": 1 << 40}},
+	}
+	for i, req := range reqs {
+		// Through a full URL encode/parse cycle, like the real
+		// transports: query string on the wire, url.Values off it.
+		parsed, err := url.ParseQuery(req.Encode().Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := DecodeSubscribeRequest(parsed)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, req) {
+			t.Errorf("case %d: round trip changed the request\n got: %+v\nwant: %+v", i, got, req)
+		}
+	}
+	for name, bad := range map[string]url.Values{
+		"no channels":   {},
+		"bad channel":   {"channel": {"nope"}},
+		"bad after_seq": {"channel": {"alerts:p"}, "after_seq": {"p"}},
+		"bad number":    {"channel": {"alerts:p"}, "after_seq": {"p=x"}},
+		"dup plant":     {"channel": {"alerts:p"}, "after_rev": {"p=1", "p=2"}},
+	} {
+		if _, err := DecodeSubscribeRequest(bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestCubeQueryParamsRoundTrip is the property test pinning the shared
+// cube query grammar: any params encode to a query string that decodes
+// back to the same params, including through a real URL parse.
+func TestCubeQueryParamsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dims := CubeDims()
+	ops := []string{"", CubeOpSlice, CubeOpRollup, CubeOpMembers, CubeOpDrilldown}
+	for i := 0; i < 500; i++ {
+		p := CubeQueryParams{Op: ops[rng.Intn(len(ops))]}
+		if rng.Intn(2) == 0 {
+			p.Dim = dims[rng.Intn(len(dims))]
+		}
+		for _, d := range dims {
+			if rng.Intn(3) == 0 {
+				if p.Where == nil {
+					p.Where = map[string]string{}
+				}
+				p.Where[d] = fmt.Sprintf("m%d&?/ =x", rng.Intn(50))
+			}
+		}
+		if n := rng.Intn(3); n > 0 {
+			p.Keep = append([]string{}, dims[:n]...)
+		}
+		parsed, err := url.ParseQuery(p.Encode().Encode())
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		got, err := DecodeCubeQueryParams(parsed)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, p) {
+			t.Errorf("case %d: round trip changed the params\n got: %+v\nwant: %+v", i, got, p)
+		}
+	}
+	for name, bad := range map[string]url.Values{
+		"bare where": {"where": {"machine"}},
+		"empty dim":  {"where": {"=m"}},
+		"empty mem":  {"where": {"machine="}},
+		"dup dim":    {"where": {"machine=a", "machine=b"}},
+	} {
+		if _, err := DecodeCubeQueryParams(bad); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -336,7 +336,10 @@ type CubeResponse struct {
 
 // Alert is one streaming detection event raised at ingest time by the
 // per-sensor EWMA tracker — the live complement of the batch report.
+// Seq is the plant-wide alert sequence number assigned in fold order;
+// push subscribers deduplicate and resume by it.
 type Alert struct {
+	Seq     uint64  `json:"seq"`
 	Machine string  `json:"machine"`
 	Phase   string  `json:"phase"`
 	Sensor  string  `json:"sensor"`
@@ -391,6 +394,9 @@ const (
 	CodeNoData            = "no_data"
 	CodeVectorDims        = "vector_dims"
 	CodeInternal          = "internal"
+	CodeUnauthorized      = "unauthorized"
+	CodeForbidden         = "forbidden"
+	CodeRateLimited       = "rate_limited"
 )
 
 // ErrorBody is the machine-readable half of an error response.

@@ -61,11 +61,18 @@ func goldenCases() []struct {
 			Members: []string{"print", "recoat"}, TotalCells: 12,
 		}},
 		{"rollup_response", RollupResponse{Plant: "p1", Level: "machine", Nodes: []RollupNode{{Key: "line-1/m1", Count: 2, Mean: 3, Std: 0, Min: 3, Max: 3}}}},
-		{"alert", Alert{Machine: "line-1/m1", Phase: "print", Sensor: "vibration", T: 99, Value: 6.5, Score: 11.25}},
-		{"alerts_response", AlertsResponse{Plant: "p1", Alerts: []Alert{{Machine: "m", Phase: "p", Sensor: "s", T: 1, Value: 2, Score: 9}}}},
+		{"alert", Alert{Seq: 41, Machine: "line-1/m1", Phase: "print", Sensor: "vibration", T: 99, Value: 6.5, Score: 11.25}},
+		{"alerts_response", AlertsResponse{Plant: "p1", Alerts: []Alert{{Seq: 1, Machine: "m", Phase: "p", Sensor: "s", T: 1, Value: 2, Score: 9}}}},
 		{"stats_response", StatsResponse{Plant: "p1", AcceptedRecords: 1000, ReceivedRecords: 1010, RejectedRecords: 4, ShedBatches: 2, DataRevision: 17, Shards: 4, QueueDepths: []int{0, 1, 0, 0}, WALSegments: 3, SnapshotRev: 2}},
 		{"restore_ack", RestoreAck{ID: "p1", Machines: 6, Records: 1010, SnapshotRev: 2}},
 		{"error_envelope", ErrorEnvelope{Err: ErrorBody{Code: CodeBackpressure, Message: "ingest queue full, retry the batch"}}},
+		{"event_alert", Event{Kind: EventAlert, Plant: "p1", Seq: 42, Coalesced: true,
+			Alerts: []Alert{{Seq: 42, Machine: "line-1/m1", Phase: "print", Sensor: "vibration", T: 99, Value: 6.5, Score: 11.25}}}},
+		{"event_cube_delta", Event{Kind: EventCubeDelta, Plant: "p1", Revision: 17}},
+		{"event_stats", Event{Kind: EventStats, Plant: "p1", Revision: 17,
+			Stats: &StatsResponse{Plant: "p1", AcceptedRecords: 10, ReceivedRecords: 10, DataRevision: 17, Shards: 1, QueueDepths: []int{0}}}},
+		{"subscribe_request", SubscribeRequest{Channels: []string{"alerts:p1", "cube:*"},
+			AfterSeq: map[string]uint64{"p1": 42}, AfterRev: map[string]uint64{"p1": 17}}},
 	}
 }
 
