@@ -1,0 +1,110 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+// clusterIngestResult reports the cluster routing overhead benchmark:
+// the same durable trace ingested twice — once straight into a node,
+// once through the routing proxy fronting that node — so the wall
+// clock of the proxied leg (recorded in the benchguard baseline as
+// "clusteringest") prices the extra hop. The printed line carries only
+// deterministic facts; relative timings live in the -json baseline.
+type clusterIngestResult struct {
+	records int
+	batches int
+}
+
+func (r clusterIngestResult) String() string {
+	return fmt.Sprintf("cluster ingest: %d records in %d batches, direct then router-proxied, one node (timing in the -json baseline)",
+		r.records, r.batches)
+}
+
+func runClusterIngest(seed int64) (fmt.Stringer, error) {
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: seed, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 12,
+		PhaseSamples: 80, FaultRate: 0.3, MeasurementErrorRate: 0.3,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "hod-bench-cluster-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	srv := server.New(server.Options{
+		Shards: 2, QueueDepth: 64, ClusterNodeID: "n1",
+		DataDir: filepath.Join(dir, "n1"), Fsync: "always", SnapshotInterval: time.Hour,
+	})
+	if err := srv.Open(); err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	stop := srv.ServeListener(ln)
+	defer stop()
+	nodeAddr := "http://" + ln.Addr().String()
+
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Peers: []wire.ClusterNode{{ID: "n1", Addr: nodeAddr}},
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := rt.Bootstrap(); err != nil {
+		return nil, err
+	}
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer rt.ServeListener(rln)()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	recs := p.Records()
+	const batch = 2000
+	feed := func(client *hod.Client, plant string) (int, error) {
+		if _, err := client.Register(ctx, p.Topology(plant)); err != nil {
+			return 0, err
+		}
+		batches := 0
+		for lo := 0; lo < len(recs); lo += batch {
+			hi := lo + batch
+			if hi > len(recs) {
+				hi = len(recs)
+			}
+			if _, err := client.Ingest(ctx, plant, recs[lo:hi]); err != nil {
+				return 0, err
+			}
+			batches++
+		}
+		return batches, client.WaitDrained(ctx, plant, uint64(len(recs)))
+	}
+	// The direct leg first: its plant lands on the same node (it is the
+	// only node), so the proxied leg measures routing overhead, not a
+	// different placement.
+	if _, err := feed(hod.NewClient(nodeAddr), "bench-direct"); err != nil {
+		return nil, fmt.Errorf("direct leg: %w", err)
+	}
+	batches, err := feed(hod.NewClient("http://"+rln.Addr().String()), "bench-routed")
+	if err != nil {
+		return nil, fmt.Errorf("routed leg: %w", err)
+	}
+	return clusterIngestResult{records: len(recs), batches: batches}, nil
+}

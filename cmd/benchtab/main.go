@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchtab -exp table1|fig1|fig2|fig3|alg1|ablation|flatvshier|serveingest|cubequery|pushfanout|all [-seed N] [-workers N] [-json FILE]
+//	benchtab -exp table1|fig1|fig2|fig3|alg1|ablation|flatvshier|serveingest|cubequery|pushfanout|clusteringest|all [-seed N] [-workers N] [-json FILE]
 //
 // With -json the per-experiment wall-clock timings are additionally
 // written to FILE (conventionally BENCH_<tag>.json) so successive
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, fig1, fig2, fig3, alg1, ablation, flatvshier, serveingest, cubequery, pushfanout, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, fig1, fig2, fig3, alg1, ablation, flatvshier, serveingest, cubequery, pushfanout, clusteringest, all")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "experiment fan-out width (0 = GOMAXPROCS, 1 = sequential)")
 	jsonPath := flag.String("json", "", "write per-experiment timings to this file (e.g. BENCH_baseline.json)")
@@ -76,6 +76,8 @@ func run(exp string, seed int64, jsonPath string) error {
 			runCubeQuery},
 		{"pushfanout", "Serving layer — live alert push fan-out to concurrent subscribers",
 			runPushFanout},
+		{"clusteringest", "Cluster mode — router-proxied vs direct durable ingest",
+			runClusterIngest},
 	}
 	baseline := benchBaseline{
 		GeneratedUnix: time.Now().Unix(),

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/pkg/hod"
+)
+
+// cmdCluster drives the router's coordinator API: status (membership +
+// placements), join/drain/fail (one node), and rebalance.
+func cmdCluster(args []string) error {
+	if len(args) < 1 {
+		return usagef("cluster: want a subcommand: status, join, drain, fail or rebalance")
+	}
+	sub := args[0]
+	fs := newFlagSet("cluster " + sub)
+	addr := fs.String("addr", "http://localhost:8080", "cluster router base URL")
+	node := fs.String("node", "", "target node id (join, drain, fail)")
+	nodeAddr := fs.String("node-addr", "", "target node base URL (join)")
+	asJSON := fs.Bool("json", false, "emit the raw wire response")
+	if err := fs.Parse(args[1:]); err != nil {
+		return parseErr(err)
+	}
+	ctx := context.Background()
+	client := hod.NewClient(*addr)
+	emit := func(v any) error {
+		if !*asJSON {
+			return nil
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	switch sub {
+	case "status":
+		st, err := client.ClusterStatus(ctx)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(st)
+		}
+		fmt.Printf("cluster epoch %d, %d nodes, %d plants\n", st.Epoch, len(st.Nodes), len(st.Placements))
+		fmt.Printf("%-8s %-10s %s\n", "node", "state", "addr")
+		for _, n := range st.Nodes {
+			fmt.Printf("%-8s %-10s %s\n", n.ID, n.State, n.Addr)
+		}
+		if len(st.Placements) > 0 {
+			fmt.Printf("%-20s %-8s %s\n", "plant", "owner", "standby")
+			for _, p := range st.Placements {
+				standby := p.Standby
+				if standby == "" {
+					standby = "-"
+				}
+				fmt.Printf("%-20s %-8s %s\n", p.Plant, p.Owner, standby)
+			}
+		}
+		return nil
+	case "join":
+		if *node == "" || *nodeAddr == "" {
+			return usagef("cluster join: -node and -node-addr are required")
+		}
+		ack, err := client.ClusterJoin(ctx, *node, *nodeAddr)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(ack)
+		}
+		fmt.Printf("cluster: node %s joined at epoch %d, %d plants moved\n", *node, ack.Epoch, ack.Moved)
+		return nil
+	case "drain":
+		if *node == "" {
+			return usagef("cluster drain: -node is required")
+		}
+		ack, err := client.ClusterDrain(ctx, *node)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(ack)
+		}
+		fmt.Printf("cluster: node %s draining at epoch %d, %d plants moved off\n", *node, ack.Epoch, ack.Moved)
+		return nil
+	case "fail":
+		if *node == "" {
+			return usagef("cluster fail: -node is required")
+		}
+		ack, err := client.ClusterFail(ctx, *node)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(ack)
+		}
+		fmt.Printf("cluster: node %s declared failed at epoch %d, %d standbys promoted or re-seeded\n", *node, ack.Epoch, ack.Moved)
+		return nil
+	case "rebalance":
+		ack, err := client.ClusterRebalance(ctx)
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			return emit(ack)
+		}
+		fmt.Printf("cluster: rebalanced at epoch %d, %d plants moved\n", ack.Epoch, ack.Moved)
+		return nil
+	default:
+		return usagef("cluster: unknown subcommand %q (want status, join, drain, fail or rebalance)", sub)
+	}
+}

@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -14,7 +13,7 @@ import (
 // cmdCube runs one OLAP query against a hodserve plant's cube through
 // the typed SDK client and renders the cells (or members) as a table.
 func cmdCube(args []string) error {
-	fs := flag.NewFlagSet("cube", flag.ExitOnError)
+	fs := newFlagSet("cube")
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
 	plantID := fs.String("plant", "plant-1", "plant ID on the server")
 	op := fs.String("op", "slice", "cube operation: slice, rollup, members, drilldown")
@@ -23,7 +22,7 @@ func cmdCube(args []string) error {
 	dim := fs.String("dim", "", "members/drilldown: target dimension")
 	asJSON := fs.Bool("json", false, "emit the raw wire response")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	q := hod.CubeQuery{Op: *op, Dim: *dim}
 	if *keep != "" {
@@ -34,7 +33,7 @@ func cmdCube(args []string) error {
 		for _, c := range strings.Split(*where, ",") {
 			d, m, ok := strings.Cut(c, "=")
 			if !ok || d == "" || m == "" {
-				return fmt.Errorf("cube: bad -where constraint %q (want dim=member)", c)
+				return usagef("cube: bad -where constraint %q (want dim=member)", c)
 			}
 			q.Where[d] = m
 		}

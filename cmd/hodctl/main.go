@@ -16,12 +16,19 @@
 //	hodctl backup  -addr http://host:8080 -plant id -out plant.bak
 //	hodctl restore -addr http://host:8080 -plant id -in plant.bak
 //	hodctl soak    [-config scenario.json] [-short] [-runs 2] [-json]
+//	hodctl cluster status|join|drain|fail|rebalance -addr http://router:8080
 //	hodctl list
+//
+// Exit codes follow the usual convention: 0 on success (including
+// -h/-help on any subcommand), 1 on a failed operation, 2 on a
+// command-line mistake (unknown subcommand, bad flag, missing required
+// flag) — always with the subcommand's usage on stderr.
 package main
 
 import (
 	"context"
 	"encoding/csv"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -35,48 +42,104 @@ import (
 )
 
 func main() {
-	if len(os.Args) < 2 {
+	os.Exit(run(os.Args[1:]))
+}
+
+// run dispatches one subcommand and maps its error onto the exit code
+// contract; kept separate from main so tests can drive the whole CLI
+// in-process.
+func run(args []string) int {
+	if len(args) < 1 {
 		usage()
-		os.Exit(2)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "detect":
-		err = cmdDetect(os.Args[2:])
+		err = cmdDetect(args[1:])
 	case "hier":
-		err = cmdHier(os.Args[2:])
+		err = cmdHier(args[1:])
 	case "summary":
-		err = cmdSummary(os.Args[2:])
+		err = cmdSummary(args[1:])
 	case "replay":
-		err = cmdReplay(os.Args[2:])
+		err = cmdReplay(args[1:])
 	case "report":
-		err = cmdReport(os.Args[2:])
+		err = cmdReport(args[1:])
 	case "alerts":
-		err = cmdAlerts(os.Args[2:])
+		err = cmdAlerts(args[1:])
 	case "cube":
-		err = cmdCube(os.Args[2:])
+		err = cmdCube(args[1:])
 	case "backup":
-		err = cmdBackup(os.Args[2:])
+		err = cmdBackup(args[1:])
 	case "restore":
-		err = cmdRestore(os.Args[2:])
+		err = cmdRestore(args[1:])
 	case "watch":
-		err = cmdWatch(os.Args[2:])
+		err = cmdWatch(args[1:])
 	case "soak":
-		err = cmdSoak(os.Args[2:])
+		err = cmdSoak(args[1:])
+	case "cluster":
+		err = cmdCluster(args[1:])
 	case "list":
 		err = cmdList()
 	default:
+		fmt.Fprintf(flagOut, "hodctl: unknown command %q\n", args[0])
 		usage()
-		os.Exit(2)
+		return 2
 	}
-	if err != nil {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case isUsageError(err):
+		fmt.Fprintln(flagOut, "hodctl:", err)
+		return 2
+	default:
 		fmt.Fprintln(os.Stderr, "hodctl:", err)
-		os.Exit(1)
+		return 1
 	}
 }
 
+// flagOut receives usage text and command-line diagnostics. Tests swap
+// in a buffer to audit what each subcommand prints.
+var flagOut io.Writer = os.Stderr
+
+// usageError marks a command-line mistake (missing or inconsistent
+// flags); run prints it and exits 2 instead of the operational exit 1.
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Sprintf(format, args...)}
+}
+
+func isUsageError(err error) bool {
+	var ue usageError
+	return errors.As(err, &ue)
+}
+
+// newFlagSet builds a subcommand flag set that reports bad flags back
+// to run (exit 2) instead of exiting mid-parse, printing diagnostics
+// and -h usage to flagOut.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(flagOut)
+	return fs
+}
+
+// parseErr classifies a flag.Parse failure: -h/-help passes through
+// (exit 0), anything else is a usage error — the flag package already
+// printed the problem and the defaults to flagOut.
+func parseErr(err error) error {
+	if errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return usageError{err.Error()}
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage:
+	fmt.Fprintln(flagOut, `usage:
   hodctl detect  -detector NAME -csv FILE [-column N] [-top K] [-fit-csv FILE]
   hodctl hier    [-seed N] [-machine ID] [-level 1..5]
   hodctl summary [-seed N] [-machine ID] [-json]
@@ -88,6 +151,7 @@ func usage() {
   hodctl backup  -addr URL -plant ID -out FILE
   hodctl restore -addr URL -plant ID -in FILE
   hodctl soak    [-config FILE] [-name S] [-short] [-runs N] [-dir DIR] [-seed N] [-json] [-list] [-v]
+  hodctl cluster status|join|drain|fail|rebalance -addr URL [-node ID] [-node-addr URL] [-json]
   hodctl list`)
 }
 
@@ -116,17 +180,17 @@ func capString(info hod.TechniqueInfo) string {
 }
 
 func cmdDetect(args []string) error {
-	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	fs := newFlagSet("detect")
 	name := fs.String("detector", "ar", "detector name (see hodctl list)")
 	csvPath := fs.String("csv", "", "CSV file with the series to score")
 	fitPath := fs.String("fit-csv", "", "optional CSV with clean reference data for fitting")
 	column := fs.Int("column", 0, "zero-based value column")
 	top := fs.Int("top", 10, "print the K highest-scoring points")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	if *csvPath == "" {
-		return fmt.Errorf("detect: -csv is required")
+		return usagef("detect: -csv is required")
 	}
 	tech, err := hod.NewTechnique(*name)
 	if err != nil {
@@ -170,12 +234,12 @@ func cmdDetect(args []string) error {
 }
 
 func cmdHier(args []string) error {
-	fs := flag.NewFlagSet("hier", flag.ExitOnError)
+	fs := newFlagSet("hier")
 	seed := fs.Int64("seed", 1, "plant simulation seed")
 	machine := fs.String("machine", "", "machine ID (default: first)")
 	level := fs.Int("level", 1, "start level 1..5")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	p, err := hod.Simulate(hod.SimConfig{Seed: *seed, FaultRate: 0.25, MeasurementErrorRate: 0.25, JobsPerMachine: 12})
 	if err != nil {
@@ -208,12 +272,12 @@ func cmdHier(args []string) error {
 }
 
 func cmdSummary(args []string) error {
-	fs := flag.NewFlagSet("summary", flag.ExitOnError)
+	fs := newFlagSet("summary")
 	seed := fs.Int64("seed", 1, "plant simulation seed")
 	machine := fs.String("machine", "", "machine ID (default: first)")
 	asJSON := fs.Bool("json", false, "emit JSON instead of a table")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	p, err := plant.Simulate(plant.Config{Seed: *seed, FaultRate: 0.25, MeasurementErrorRate: 0.25, JobsPerMachine: 12})
 	if err != nil {

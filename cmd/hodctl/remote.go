@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 
@@ -14,7 +13,7 @@ import (
 // through the typed SDK client and renders it as a table (or raw
 // JSON).
 func cmdReport(args []string) error {
-	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	fs := newFlagSet("report")
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
 	plantID := fs.String("plant", "plant-1", "plant ID on the server")
 	level := fs.String("level", "phase", "start level 1..5 or name")
@@ -22,7 +21,7 @@ func cmdReport(args []string) error {
 	machine := fs.String("machine", "", "restrict to one machine's drill-down")
 	asJSON := fs.Bool("json", false, "emit the raw wire response")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	lv, err := hod.ParseLevel(*level)
 	if err != nil {
@@ -61,15 +60,15 @@ func cmdReport(args []string) error {
 // durability layer's framed format — to a local file, restorable on
 // any hodserve with `hodctl restore`.
 func cmdBackup(args []string) error {
-	fs := flag.NewFlagSet("backup", flag.ExitOnError)
+	fs := newFlagSet("backup")
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
 	plantID := fs.String("plant", "plant-1", "plant ID on the server")
 	out := fs.String("out", "", "backup file to write (required)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	if *out == "" {
-		return fmt.Errorf("backup: -out is required")
+		return usagef("backup: -out is required")
 	}
 	client := hod.NewClient(*addr)
 	data, err := client.Backup(context.Background(), *plantID)
@@ -86,15 +85,15 @@ func cmdBackup(args []string) error {
 // cmdRestore uploads a backup file to a server where the plant id is
 // not registered yet; the topology rides inside the backup.
 func cmdRestore(args []string) error {
-	fs := flag.NewFlagSet("restore", flag.ExitOnError)
+	fs := newFlagSet("restore")
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
 	plantID := fs.String("plant", "plant-1", "plant ID to restore as")
 	in := fs.String("in", "", "backup file to upload (required)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	if *in == "" {
-		return fmt.Errorf("restore: -in is required")
+		return usagef("restore: -in is required")
 	}
 	data, err := os.ReadFile(*in)
 	if err != nil {
@@ -112,13 +111,13 @@ func cmdRestore(args []string) error {
 
 // cmdAlerts fetches the recent streaming EWMA alerts of one plant.
 func cmdAlerts(args []string) error {
-	fs := flag.NewFlagSet("alerts", flag.ExitOnError)
+	fs := newFlagSet("alerts")
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
 	plantID := fs.String("plant", "plant-1", "plant ID on the server")
 	limit := fs.Int("limit", 20, "most recent alerts to fetch")
 	asJSON := fs.Bool("json", false, "emit the raw wire response")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	ctx := context.Background()
 	client := hod.NewClient(*addr)

@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"context"
 	"encoding/csv"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -22,7 +21,7 @@ import (
 // 429 + Retry-After backoff, so the CLI only batches CSV rows. The
 // summary reports how many shed batches the client had to re-send.
 func cmdReplay(args []string) error {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	fs := newFlagSet("replay")
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
 	plantID := fs.String("plant", "plant-1", "plant ID on the server")
 	sensors := fs.String("sensors", "", "plantsim sensors.csv to replay (required)")
@@ -31,10 +30,10 @@ func cmdReplay(args []string) error {
 	batch := fs.Int("batch", 2000, "CSV rows per ingest request")
 	doRegister := fs.Bool("register", false, "derive the topology from sensors.csv and register the plant first")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	if *sensors == "" {
-		return fmt.Errorf("replay: -sensors is required")
+		return usagef("replay: -sensors is required")
 	}
 	ctx := context.Background()
 	client := hod.NewClient(*addr)

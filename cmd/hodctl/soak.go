@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -18,7 +17,7 @@ import (
 // digests must agree — the determinism gate that makes a soak matrix
 // usable as a regression corpus.
 func cmdSoak(args []string) error {
-	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	fs := newFlagSet("soak")
 	config := fs.String("config", "", "scenario JSON file (default: the builtin corpus)")
 	name := fs.String("name", "", "run only the scenario with this name")
 	short := fs.Bool("short", false, "run only scenarios marked short (the CI matrix)")
@@ -29,10 +28,10 @@ func cmdSoak(args []string) error {
 	list := fs.Bool("list", false, "list the matrix and exit")
 	verbose := fs.Bool("v", false, "log runner progress to stderr")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 	if *runs < 1 {
-		return fmt.Errorf("soak: -runs must be >= 1")
+		return usagef("soak: -runs must be >= 1")
 	}
 
 	var matrix []scenario.Config

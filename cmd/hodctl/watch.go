@@ -3,7 +3,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -19,7 +18,7 @@ import (
 // default) or SSE, reconnecting and resuming automatically. Ctrl-C
 // exits cleanly.
 func cmdWatch(args []string) error {
-	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	fs := newFlagSet("watch")
 	addr := fs.String("addr", "http://localhost:8080", "hodserve base URL")
 	plants := fs.String("plants", "*", "comma-separated plant IDs (\"*\" = every visible plant)")
 	kinds := fs.String("kinds", "alert", "comma-separated event kinds: alert,cube_delta,stats")
@@ -28,7 +27,7 @@ func cmdWatch(args []string) error {
 	count := fs.Int("n", 0, "exit after N events (0 = stream until interrupted)")
 	asJSON := fs.Bool("json", false, "emit raw event JSON, one object per line")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return parseErr(err)
 	}
 
 	var channels []string
@@ -37,7 +36,7 @@ func cmdWatch(args []string) error {
 		switch k {
 		case wire.EventAlert, wire.EventCubeDelta, wire.EventStats:
 		default:
-			return fmt.Errorf("watch: unknown event kind %q (want alert, cube_delta, or stats)", kind)
+			return usagef("watch: unknown event kind %q (want alert, cube_delta, or stats)", kind)
 		}
 		for _, p := range strings.Split(*plants, ",") {
 			channels = append(channels, wire.Channel{Kind: k, Plant: strings.TrimSpace(p)}.String())

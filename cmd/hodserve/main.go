@@ -9,6 +9,16 @@
 //	         [-data-dir DIR] [-fsync always|interval|none]
 //	         [-snapshot-interval 30s]
 //	         [-tenants tenants.json] [-request-log]
+//	         [-role node|router] [-node-id ID] [-peers id=url,...]
+//
+// Cluster mode runs the same binary in two roles. A node
+// (-role=node -node-id n1 -data-dir ...) gates plant-scoped requests
+// on rendezvous ownership and keeps warm standbys by tailing owner
+// WALs. The router (-role=router -peers n1=http://h1:8080,n2=...)
+// proxies the entire /v1 surface to each plant's owning node — one
+// hop, streaming bodies and push subscriptions included — so the
+// typed client works against a cluster unchanged, and serves the
+// coordinator API (/v1/cluster/{status,join,drain,fail,rebalance}).
 //
 // With -data-dir the ingest path is durable: every accepted batch is
 // appended to a per-shard CRC-checksummed WAL before it is
@@ -47,11 +57,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/gateway"
 	"repro/internal/server"
+	"repro/pkg/hod/wire"
 )
 
 func main() {
@@ -67,12 +80,42 @@ func main() {
 	snapInterval := flag.Duration("snapshot-interval", 30*time.Second, "compacting snapshot cadence")
 	tenantsPath := flag.String("tenants", "", "JSON file mapping API keys to tenant grants; empty = open server")
 	requestLog := flag.Bool("request-log", false, "log one line per request through the middleware chain")
+	role := flag.String("role", "node", "process role: node (serves plants) or router (cluster routing proxy)")
+	nodeID := flag.String("node-id", "", "cluster node id; enables ownership gating and warm standbys on a node")
+	peers := flag.String("peers", "", "router peer list as id=url[,id=url...]; required with -role=router")
 	flag.Parse()
+
+	switch *role {
+	case "node":
+		if *peers != "" {
+			fmt.Fprintln(os.Stderr, "hodserve: -peers only applies to -role=router")
+			os.Exit(1)
+		}
+	case "router":
+		if *nodeID != "" || *dataDir != "" || *tenantsPath != "" {
+			fmt.Fprintln(os.Stderr, "hodserve: -role=router takes no -node-id, -data-dir or -tenants (the router holds no plants and fronts an unauthenticated internal network)")
+			os.Exit(1)
+		}
+		nodes, err := parsePeers(*peers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hodserve:", err)
+			os.Exit(1)
+		}
+		if err := runRouter(*addr, nodes, *drainTimeout); err != nil {
+			fmt.Fprintln(os.Stderr, "hodserve:", err)
+			os.Exit(1)
+		}
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "hodserve: unknown -role %q (want node or router)\n", *role)
+		os.Exit(1)
+	}
 
 	opts := server.Options{
 		Workers: *workers, Shards: *shards, QueueDepth: *queue,
 		AlertThreshold: *alertThreshold, MaxOutliers: *maxOutliers,
 		DataDir: *dataDir, Fsync: *fsync, SnapshotInterval: *snapInterval,
+		ClusterNodeID: *nodeID,
 	}
 	if *tenantsPath != "" {
 		tenants, err := loadTenants(*tenantsPath)
@@ -116,6 +159,69 @@ func loadTenants(path string) (map[string]gateway.Tenant, error) {
 		}
 	}
 	return tenants, nil
+}
+
+// parsePeers parses the -peers list: "n1=http://h1:8080,n2=http://h2:8080".
+func parsePeers(s string) ([]wire.ClusterNode, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-role=router needs -peers (id=url[,id=url...])")
+	}
+	var nodes []wire.ClusterNode
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q: want id=url", part)
+		}
+		nodes = append(nodes, wire.ClusterNode{ID: id, Addr: strings.TrimSuffix(addr, "/")})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-peers names no nodes")
+	}
+	return nodes, nil
+}
+
+// runRouter serves the cluster routing proxy: membership push to the
+// peers, plant discovery, then the full /v1 surface proxied to owners.
+func runRouter(addr string, peers []wire.ClusterNode, drainTimeout time.Duration) error {
+	rt, err := cluster.NewRouter(cluster.RouterOptions{
+		Peers: peers,
+		Log: func(format string, args ...any) {
+			fmt.Printf("hodserve: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := rt.Bootstrap(); err != nil {
+		return fmt.Errorf("bootstrapping cluster: %w", err)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: rt.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("hodserve: router listening on %s (%d peers)\n", addr, len(peers))
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Printf("hodserve: %s, draining\n", sig)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	fmt.Println("hodserve: router drained, bye")
+	return nil
 }
 
 func run(addr string, opts server.Options, drainTimeout time.Duration) error {

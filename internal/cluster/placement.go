@@ -1,0 +1,87 @@
+// Package cluster is the horizontal-scale layer of the fleet serving
+// stack: rendezvous-hash placement of plants onto nodes under an
+// epoch-versioned membership table, a single-hop routing proxy that
+// forwards the whole /v1 surface to the owning node, and the
+// coordinator that moves plants (backup → restore) and seeds warm
+// standbys (snapshot + WAL tailing) when membership changes.
+//
+// Placement is a pure function of (membership, plant id): a router and
+// a node holding the same epoch can never disagree on an owner, and no
+// placement state needs replicating besides the table itself.
+package cluster
+
+import (
+	"hash/fnv"
+
+	"repro/pkg/hod/wire"
+)
+
+// score is the rendezvous (highest-random-weight) score of one
+// (node, plant) pair: a stable 64-bit hash, independent of the order
+// nodes appear in the membership table.
+func score(nodeID, plant string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(nodeID))
+	h.Write([]byte{0x1f}) // unit separator: "ab"+"c" must not collide with "a"+"bc"
+	h.Write([]byte(plant))
+	return h.Sum64()
+}
+
+// better reports whether candidate (id a, score sa) beats the current
+// best (id b, score sb). Ties break on the lexicographically smaller
+// id so every replica of the table ranks identically.
+func better(a string, sa uint64, b string, sb uint64) bool {
+	if sa != sb {
+		return sa > sb
+	}
+	return a < b
+}
+
+// Placement ranks the active nodes of m for plant by rendezvous score:
+// the top node owns the plant, the runner-up is its warm standby.
+// Draining and down nodes take no placements — which is exactly why a
+// node death needs no data movement: dropping the owner promotes the
+// old runner-up to the top for precisely that node's plants and
+// changes nothing else.
+func Placement(m wire.ClusterMembership, plant string) (owner, standby wire.ClusterNode, hasOwner, hasStandby bool) {
+	var so, ss uint64
+	for _, n := range m.Nodes {
+		if n.State != wire.NodeActive {
+			continue
+		}
+		sc := score(n.ID, plant)
+		switch {
+		case !hasOwner || better(n.ID, sc, owner.ID, so):
+			if hasOwner {
+				standby, ss, hasStandby = owner, so, true
+			}
+			owner, so, hasOwner = n, sc, true
+		case !hasStandby || better(n.ID, sc, standby.ID, ss):
+			standby, ss, hasStandby = n, sc, true
+		}
+	}
+	return owner, standby, hasOwner, hasStandby
+}
+
+// Owner returns the owning node of plant under m.
+func Owner(m wire.ClusterMembership, plant string) (wire.ClusterNode, bool) {
+	owner, _, ok, _ := Placement(m, plant)
+	return owner, ok
+}
+
+// Standby returns the warm-standby node of plant under m (absent when
+// fewer than two nodes are active).
+func Standby(m wire.ClusterMembership, plant string) (wire.ClusterNode, bool) {
+	_, standby, _, ok := Placement(m, plant)
+	return standby, ok
+}
+
+// NodeByID finds a node in the membership table.
+func NodeByID(m wire.ClusterMembership, id string) (wire.ClusterNode, bool) {
+	for _, n := range m.Nodes {
+		if n.ID == id {
+			return n, true
+		}
+	}
+	return wire.ClusterNode{}, false
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/pkg/hod/wire"
+)
+
+func membershipOf(n int) wire.ClusterMembership {
+	m := wire.ClusterMembership{Epoch: 1}
+	for i := 0; i < n; i++ {
+		m.Nodes = append(m.Nodes, wire.ClusterNode{
+			ID: fmt.Sprintf("n%d", i+1), Addr: fmt.Sprintf("http://10.0.0.%d:7007", i+1), State: wire.NodeActive,
+		})
+	}
+	return m
+}
+
+func plantIDs(n int, rng *rand.Rand) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("plant-%x", rng.Uint64())
+	}
+	return ids
+}
+
+// TestPlacementDeterministic pins the core cluster invariant: placement
+// is a pure function of (membership, plant), so two holders of the same
+// epoch — router and node — can never disagree on an owner, regardless
+// of the order nodes appear in the table.
+func TestPlacementDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := membershipOf(5)
+	shuffled := wire.ClusterMembership{Epoch: m.Epoch, Nodes: append([]wire.ClusterNode(nil), m.Nodes...)}
+	rng.Shuffle(len(shuffled.Nodes), func(i, j int) {
+		shuffled.Nodes[i], shuffled.Nodes[j] = shuffled.Nodes[j], shuffled.Nodes[i]
+	})
+	for _, plant := range plantIDs(500, rng) {
+		o1, s1, ok1, hs1 := Placement(m, plant)
+		o2, s2, ok2, hs2 := Placement(shuffled, plant)
+		if !ok1 || !ok2 || o1.ID != o2.ID || hs1 != hs2 || s1.ID != s2.ID {
+			t.Fatalf("placement of %s depends on node order: (%s,%s) vs (%s,%s)", plant, o1.ID, s1.ID, o2.ID, s2.ID)
+		}
+		if o1.ID == s1.ID {
+			t.Fatalf("plant %s: owner and standby are both %s", plant, o1.ID)
+		}
+	}
+}
+
+// TestRendezvousMinimalMovementOnJoin is the rendezvous property the
+// whole design leans on: adding a node to an N-node cluster moves
+// roughly 1/(N+1) of the plants — exactly the ones the new node now
+// wins — and every other plant keeps its owner.
+func TestRendezvousMinimalMovementOnJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const plants = 2000
+	ids := plantIDs(plants, rng)
+	for _, n := range []int{2, 4, 8} {
+		before := membershipOf(n)
+		after := membershipOf(n + 1) // same first n nodes + one more
+		after.Epoch = 2
+		moved := 0
+		for _, plant := range ids {
+			ob, _ := Owner(before, plant)
+			oa, _ := Owner(after, plant)
+			if ob.ID == oa.ID {
+				continue
+			}
+			moved++
+			// A move must be TO the joiner: rendezvous never reshuffles
+			// plants between surviving nodes.
+			if oa.ID != after.Nodes[n].ID {
+				t.Fatalf("n=%d: plant %s moved %s -> %s, not to the joining node", n, plant, ob.ID, oa.ID)
+			}
+		}
+		want := float64(plants) / float64(n+1)
+		if f := float64(moved); f < want*0.7 || f > want*1.3 {
+			t.Errorf("n=%d: join moved %d of %d plants, want ~%.0f (1/%d)", n, moved, plants, want, n+1)
+		}
+	}
+}
+
+// TestRendezvousMinimalMovementOnDrain mirrors the join property for
+// shrinking: draining one node re-homes only that node's plants, and
+// each lands on what was its warm standby.
+func TestRendezvousMinimalMovementOnDrain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const plants = 2000
+	ids := plantIDs(plants, rng)
+	for _, n := range []int{3, 5, 9} {
+		before := membershipOf(n)
+		after := wire.ClusterMembership{Epoch: 2, Nodes: append([]wire.ClusterNode(nil), before.Nodes...)}
+		after.Nodes[0].State = wire.NodeDraining
+		moved := 0
+		for _, plant := range ids {
+			ob, _ := Owner(before, plant)
+			oa, _ := Owner(after, plant)
+			if ob.ID == oa.ID {
+				continue
+			}
+			moved++
+			if ob.ID != before.Nodes[0].ID {
+				t.Fatalf("n=%d: plant %s moved off %s, which is not the draining node", n, plant, ob.ID)
+			}
+			sb, ok := Standby(before, plant)
+			if !ok || oa.ID != sb.ID {
+				t.Fatalf("n=%d: plant %s re-homed to %s, not its standby %s", n, plant, oa.ID, sb.ID)
+			}
+		}
+		want := float64(plants) / float64(n)
+		if f := float64(moved); f < want*0.7 || f > want*1.3 {
+			t.Errorf("n=%d: drain moved %d of %d plants, want ~%.0f (1/%d)", n, moved, plants, want, n)
+		}
+	}
+}
+
+// TestPlacementSkipsInactiveNodes pins that draining and down nodes
+// take no placements at all, in either seat.
+func TestPlacementSkipsInactiveNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := membershipOf(4)
+	m.Nodes[1].State = wire.NodeDraining
+	m.Nodes[3].State = wire.NodeDown
+	for _, plant := range plantIDs(300, rng) {
+		o, s, ok, hs := Placement(m, plant)
+		if !ok || !hs {
+			t.Fatalf("plant %s: no full placement among 2 active nodes", plant)
+		}
+		for _, id := range []string{o.ID, s.ID} {
+			if id == m.Nodes[1].ID || id == m.Nodes[3].ID {
+				t.Fatalf("plant %s placed on inactive node %s", plant, id)
+			}
+		}
+	}
+}
+
+// TestPlacementSingleNode: a cluster of one has an owner and no standby.
+func TestPlacementSingleNode(t *testing.T) {
+	m := membershipOf(1)
+	o, _, ok, hs := Placement(m, "p")
+	if !ok || o.ID != "n1" || hs {
+		t.Fatalf("single-node placement = (%s, ok=%t, standby=%t), want (n1, true, false)", o.ID, ok, hs)
+	}
+	if _, _, ok, _ := Placement(wire.ClusterMembership{}, "p"); ok {
+		t.Fatal("empty membership produced an owner")
+	}
+}

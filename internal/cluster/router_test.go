@@ -1,0 +1,516 @@
+// Router integration tests: real hodserve nodes behind a real Router,
+// driven by the unchanged pkg/hod client. External test package so the
+// serving layer can be imported without a cycle (server imports
+// cluster for the gate and the route table).
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/server"
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+type testNode struct {
+	node wire.ClusterNode
+	srv  *server.Server
+	stop func()
+}
+
+// startNodes boots n cluster nodes (own data dirs, ids n1..nN), each
+// serving on a loopback listener.
+func startNodes(t *testing.T, n int) []*testNode {
+	t.Helper()
+	nodes := make([]*testNode, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("n%d", i+1)
+		srv := server.New(server.Options{
+			Shards: 2, QueueDepth: 64, DataDir: t.TempDir(), Fsync: "none",
+			SnapshotInterval: time.Hour, ClusterNodeID: id,
+		})
+		if err := srv.Open(); err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			t.Fatal(err)
+		}
+		tn := &testNode{
+			node: wire.ClusterNode{ID: id, Addr: "http://" + ln.Addr().String()},
+			srv:  srv,
+			stop: srv.ServeListener(ln),
+		}
+		t.Cleanup(func() { tn.stop(); tn.srv.Close() })
+		nodes = append(nodes, tn)
+	}
+	return nodes
+}
+
+// startRouter builds a bootstrapped router over the given peers and
+// serves it; returns the router and its base URL.
+func startRouter(t *testing.T, peers []*testNode) (*cluster.Router, string) {
+	t.Helper()
+	nodes := make([]wire.ClusterNode, len(peers))
+	for i, p := range peers {
+		nodes[i] = p.node
+	}
+	rt, err := cluster.NewRouter(cluster.RouterOptions{Peers: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.ServeListener(ln))
+	return rt, "http://" + ln.Addr().String()
+}
+
+// simPlant returns a small deterministic topology + trace for one plant.
+func simPlant(t *testing.T, seed int64, id string) (wire.Topology, []wire.Record) {
+	t.Helper()
+	p, err := hod.Simulate(hod.SimConfig{
+		Seed: seed, Lines: 2, MachinesPerLine: 2, JobsPerMachine: 2,
+		PhaseSamples: 8, FaultRate: 0.3, MeasurementErrorRate: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Topology(id), p.Records()
+}
+
+// placementOf asks the router where a plant lives.
+func placementOf(t *testing.T, ctx context.Context, c *hod.Client, plant string) wire.ClusterPlacement {
+	t.Helper()
+	st, err := c.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range st.Placements {
+		if p.Plant == plant {
+			return p
+		}
+	}
+	t.Fatalf("router status has no placement for plant %q: %+v", plant, st.Placements)
+	return wire.ClusterPlacement{}
+}
+
+func nodeByID(t *testing.T, nodes []*testNode, id string) *testNode {
+	t.Helper()
+	for _, n := range nodes {
+		if n.node.ID == id {
+			return n
+		}
+	}
+	t.Fatalf("no test node %q", id)
+	return nil
+}
+
+// getJSON does a raw GET (optionally with the internal header) and
+// decodes the JSON body into out; non-2xx statuses come back as errors.
+func getJSON(url string, internal bool, out any) error {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	if internal {
+		req.Header.Set(cluster.InternalHeader, "1")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return json.Unmarshal(body, out)
+}
+
+// waitReplicated polls the standby's follower-read cube until it equals
+// the owner's authoritative cube — the standby has drained the WAL tail.
+func waitReplicated(t *testing.T, ownerAddr, standbyAddr, plant string) wire.CubeResponse {
+	t.Helper()
+	var want wire.CubeResponse
+	if err := getJSON(ownerAddr+"/v1/plants/"+plant+"/cube", false, &want); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var got wire.CubeResponse
+		err := getJSON(standbyAddr+"/v1/plants/"+plant+"/cube?consistency=follower", false, &got)
+		if err == nil && reflect.DeepEqual(got, want) {
+			return want
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("standby cube never converged: %v\nowner:   %+v\nstandby: %+v", err, want, got)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestRouterProxiesV1Surface drives the public surface through the
+// router and pins two contracts: every answer is byte-equal to asking
+// the owning node directly (single proxy hop, no rewriting), and the
+// router and every node hold the same epoch and compute the same owner.
+func TestRouterProxiesV1Surface(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	nodes := startNodes(t, 3)
+	_, base := startRouter(t, nodes)
+	client := hod.NewClient(base)
+
+	const plant = "plant-surface"
+	topo, recs := simPlant(t, 21, plant)
+	if _, err := client.Register(ctx, topo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Ingest(ctx, plant, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WaitDrained(ctx, plant, uint64(len(recs))); err != nil {
+		t.Fatal(err)
+	}
+	if plants, err := client.Plants(ctx); err != nil || len(plants) != 1 || plants[0] != plant {
+		t.Fatalf("Plants() through router = %v, %v", plants, err)
+	}
+
+	pl := placementOf(t, ctx, client, plant)
+	owner := nodeByID(t, nodes, pl.Owner)
+	direct := hod.NewClient(owner.node.Addr)
+
+	// Every plant-scoped read through the router equals the owner's
+	// direct answer.
+	viaRouter, err := client.Report(ctx, plant, hod.ReportQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOwner, err := direct.Report(ctx, plant, hod.ReportQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(viaRouter, viaOwner) {
+		t.Fatal("report through router differs from owner's direct report")
+	}
+	for _, q := range []string{"machine", "line", "plant"} {
+		a, err := client.Rollup(ctx, plant, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := direct.Rollup(ctx, plant, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("rollup %q through router differs from direct", q)
+		}
+	}
+	a, err := client.Cube(ctx, plant, hod.CubeQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := direct.Cube(ctx, plant, hod.CubeQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("cube through router differs from direct")
+	}
+	sa, err := client.Stats(ctx, plant)
+	if err != nil || sa.ReceivedRecords != uint64(len(recs)) {
+		t.Fatalf("stats through router: %+v, %v", sa, err)
+	}
+
+	// Epoch agreement: the router and every node report the same epoch,
+	// and each node's locally computed placement matches the router's.
+	rst, err := client.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nodes {
+		var nst wire.ClusterStatusResponse
+		if err := getJSON(n.node.Addr+"/v1/cluster/status", true, &nst); err != nil {
+			t.Fatal(err)
+		}
+		if nst.Epoch != rst.Epoch {
+			t.Fatalf("node %s at epoch %d, router at %d", n.node.ID, nst.Epoch, rst.Epoch)
+		}
+		o, ok := cluster.Owner(wire.ClusterMembership{Epoch: nst.Epoch, Nodes: nst.Nodes}, plant)
+		if !ok || o.ID != pl.Owner {
+			t.Fatalf("node %s computes owner %s, router says %s", n.node.ID, o.ID, pl.Owner)
+		}
+	}
+
+	// A plant nobody registered is a clean 404 through the proxy, not a
+	// routing error.
+	if _, err := client.Stats(ctx, "plant-ghost"); !errors.Is(err, hod.ErrUnknownPlant) {
+		t.Fatalf("unknown plant through router: %v", err)
+	}
+}
+
+// TestRouterFollowerReadAndFailover pins the replica path end to end:
+// an explicit follower read is served by the warm standby; with the
+// owner unreachable, plain GETs fall back to the standby (stale read)
+// while writes surface the retriable failover envelope; and after the
+// router declares the node failed, the promoted standby serves reads
+// and writes as the new owner.
+func TestRouterFollowerReadAndFailover(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	nodes := startNodes(t, 2)
+	_, base := startRouter(t, nodes)
+	client := hod.NewClient(base)
+
+	const plant = "plant-fr"
+	topo, recs := simPlant(t, 22, plant)
+	if _, err := client.Register(ctx, topo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Ingest(ctx, plant, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.WaitDrained(ctx, plant, uint64(len(recs))); err != nil {
+		t.Fatal(err)
+	}
+
+	pl := placementOf(t, ctx, client, plant)
+	if pl.Standby == "" {
+		t.Fatalf("two-node cluster seeded no standby: %+v", pl)
+	}
+	owner := nodeByID(t, nodes, pl.Owner)
+	standby := nodeByID(t, nodes, pl.Standby)
+	ownerCube := waitReplicated(t, owner.node.Addr, standby.node.Addr, plant)
+
+	// Follower read through the router answers from the (converged)
+	// standby and equals the owner's cube.
+	var follower wire.CubeResponse
+	if err := getJSON(base+"/v1/plants/"+plant+"/cube?consistency=follower", false, &follower); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(follower, ownerCube) {
+		t.Fatal("follower read through router differs from owner cube")
+	}
+	report, err := client.Report(ctx, plant, hod.ReportQuery{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Owner drops off the network: idempotent reads fall back to the
+	// standby under the explicit stale-read contract...
+	owner.stop()
+	got, err := client.Report(ctx, plant, hod.ReportQuery{})
+	if err != nil {
+		t.Fatalf("report with owner down (stale fallback): %v", err)
+	}
+	if !reflect.DeepEqual(got, report) {
+		t.Fatal("stale-fallback report differs from pre-failure report")
+	}
+	// ...while writes answer the retriable failover envelope.
+	noRetry := hod.NewClient(base, hod.WithMaxRetries(0))
+	if _, err := noRetry.Ingest(ctx, plant, recs[:1]); !errors.Is(err, hod.ErrFailover) {
+		t.Fatalf("write with owner down = %v, want ErrFailover", err)
+	}
+
+	// The router declares the node failed: the standby promotes with no
+	// data movement and serves reads and writes as the new owner.
+	ack, err := client.ClusterFail(ctx, pl.Owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Epoch < 2 {
+		t.Fatalf("fail did not bump epoch: %+v", ack)
+	}
+	pl2 := placementOf(t, ctx, client, plant)
+	if pl2.Owner != pl.Standby {
+		t.Fatalf("after fail, owner = %s, want promoted standby %s", pl2.Owner, pl.Standby)
+	}
+	got, err = client.Report(ctx, plant, hod.ReportQuery{})
+	if err != nil {
+		t.Fatalf("report after promotion: %v", err)
+	}
+	if !reflect.DeepEqual(got, report) {
+		t.Fatal("promoted standby's report differs from the owner's pre-failure report")
+	}
+	if _, err := client.Ingest(ctx, plant, recs[:1]); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+}
+
+// TestRouterJoinDrainMovesPlants grows then shrinks a live cluster and
+// pins the data path of rebalancing: joins move only plants the new
+// node wins, drains empty the leaving node, and every plant's report is
+// unchanged through both — the backup/restore move framing is lossless.
+func TestRouterJoinDrainMovesPlants(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	nodes := startNodes(t, 3)
+	_, base := startRouter(t, nodes[:2]) // n3 starts outside the cluster
+	client := hod.NewClient(base)
+
+	plants := []string{"plant-a", "plant-b", "plant-c", "plant-d", "plant-e", "plant-f"}
+	reports := make(map[string]wire.ReportResponse)
+	for i, id := range plants {
+		topo, recs := simPlant(t, int64(30+i), id)
+		if _, err := client.Register(ctx, topo); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Ingest(ctx, id, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := client.WaitDrained(ctx, id, uint64(len(recs))); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := client.Report(ctx, id, hod.ReportQuery{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports[id] = rep
+	}
+	checkAll := func(stage string) {
+		t.Helper()
+		for _, id := range plants {
+			got, err := client.Report(ctx, id, hod.ReportQuery{})
+			if err != nil {
+				t.Fatalf("%s: report %s: %v", stage, id, err)
+			}
+			if !reflect.DeepEqual(got, reports[id]) {
+				t.Fatalf("%s: plant %s report changed", stage, id)
+			}
+		}
+	}
+
+	before, err := client.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := client.ClusterJoin(ctx, nodes[2].node.ID, nodes[2].node.Addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Epoch <= before.Epoch {
+		t.Fatalf("join did not bump epoch: %d -> %d", before.Epoch, ack.Epoch)
+	}
+	after, err := client.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for _, p := range after.Placements {
+		for _, q := range before.Placements {
+			if q.Plant == p.Plant && q.Owner != p.Owner {
+				moved++
+				if p.Owner != nodes[2].node.ID {
+					t.Fatalf("join moved plant %s to %s, not the joining node", p.Plant, p.Owner)
+				}
+			}
+		}
+	}
+	if moved != ack.Moved {
+		t.Fatalf("join ack says %d moved, status shows %d", ack.Moved, moved)
+	}
+	checkAll("after join")
+
+	// A balanced cluster has nothing to rebalance.
+	if ack, err := client.ClusterRebalance(ctx); err != nil || ack.Moved != 0 {
+		t.Fatalf("rebalance of balanced cluster moved %d, %v", ack.Moved, err)
+	}
+
+	drainID := nodes[0].node.ID
+	if _, err := client.ClusterDrain(ctx, drainID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := client.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range final.Placements {
+		if p.Owner == drainID || p.Standby == drainID {
+			t.Fatalf("drained node %s still seated for plant %s: %+v", drainID, p.Plant, p)
+		}
+	}
+	for _, n := range final.Nodes {
+		if n.ID == drainID && n.State != wire.NodeDraining {
+			t.Fatalf("drained node state = %s", n.State)
+		}
+	}
+	checkAll("after drain")
+}
+
+// TestRouterRejectsUnroutableSubscriptions pins the push-route policy:
+// wildcard and cross-plant subscriptions are refused with 400s that say
+// why, and a single-plant SSE subscription streams through the proxy.
+func TestRouterRejectsUnroutableSubscriptions(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	nodes := startNodes(t, 2)
+	_, base := startRouter(t, nodes)
+	client := hod.NewClient(base)
+
+	for _, id := range []string{"plant-x", "plant-y"} {
+		topo, _ := simPlant(t, 40, id)
+		if _, err := client.Register(ctx, topo); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	expect400 := func(query, wantSubstr string) {
+		t.Helper()
+		resp, err := http.Get(base + "/v1/events?" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /v1/events?%s = %d, want 400", query, resp.StatusCode)
+		}
+		var env wire.ErrorEnvelope
+		if err := json.Unmarshal(body, &env); err != nil || env.Err.Code != wire.CodeBadRequest {
+			t.Fatalf("GET /v1/events?%s: not a typed envelope: %s", query, body)
+		}
+		if !strings.Contains(env.Err.Message, wantSubstr) {
+			t.Fatalf("GET /v1/events?%s: message %q missing %q", query, env.Err.Message, wantSubstr)
+		}
+	}
+	expect400("channel=alerts:*", "not routable")
+	expect400("channel=alerts:plant-x&channel=cube:plant-y", "span multiple plants")
+
+	// A single-plant SSE subscription proxies through with streaming
+	// headers intact.
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/events?channel=alerts:plant-x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("SSE subscribe through router = %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/event-stream") {
+		t.Fatalf("SSE content type through router = %q", ct)
+	}
+}

@@ -76,6 +76,18 @@ const (
 	// At; the subscription must redial and resume from its seq cursor
 	// without replaying or losing alerts. Needs "subscribe": true.
 	KindWSDisconnect = "ws_disconnect"
+	// KindNodeKill kills the node owning the target plant — listener
+	// gone, queues dropped, no snapshot; a machine death, not a process
+	// restart (that is "kill") — declares it failed at the router, and
+	// re-sends every acked batch. The promoted warm standby must already
+	// hold the replicated prefix and fold the resent stream idempotently
+	// on top. Needs "nodes" >= 2.
+	KindNodeKill = "node_kill"
+	// KindRouterPartition cuts the router→owner network path for the
+	// next Count proxied requests to the target plant's owner. Reads
+	// fall back to the warm standby; writes surface retriable 503s the
+	// client absorbs. Needs "nodes" >= 2.
+	KindRouterPartition = "router_partition"
 )
 
 // Failure is one scheduled injection.
@@ -128,6 +140,12 @@ type Config struct {
 	// Server shape under test.
 	Shards     int `json:"shards,omitempty"`      // default 3
 	QueueDepth int `json:"queue_depth,omitempty"` // default 64
+	// Nodes runs the scenario against a cluster: Nodes hodserve nodes
+	// behind a routing proxy, the client pointed at the router, plants
+	// placed by rendezvous hash with warm standbys tailing the owner's
+	// WAL. Requires "durable": true (standby seeding ships WAL frames).
+	// 0 or 1 means one plain server.
+	Nodes int `json:"nodes,omitempty"`
 	// Durable makes the server run from a data dir (WAL + snapshots).
 	// Required by kill and corrupt_wal_tail.
 	Durable bool   `json:"durable,omitempty"`
@@ -193,25 +211,44 @@ func (c Config) withDefaults() Config {
 
 // kinds every Validate accepts, and whether each needs a durable server.
 var kindNeedsDurable = map[string]bool{
-	KindDropout:        false,
-	KindClockSkew:      false,
-	KindDuplicate:      false,
-	KindResend:         false,
-	KindReorder:        false,
-	KindKill:           true,
-	KindCorruptWALTail: true,
-	KindStorm429:       false,
-	KindStorm5xx:       false,
-	KindConnReset:      false,
-	KindListenerReset:  false,
-	KindSlowConsumer:   false,
-	KindWSDisconnect:   false,
+	KindDropout:         false,
+	KindClockSkew:       false,
+	KindDuplicate:       false,
+	KindResend:          false,
+	KindReorder:         false,
+	KindKill:            true,
+	KindCorruptWALTail:  true,
+	KindStorm429:        false,
+	KindStorm5xx:        false,
+	KindConnReset:       false,
+	KindListenerReset:   false,
+	KindSlowConsumer:    false,
+	KindWSDisconnect:    false,
+	KindNodeKill:        true,
+	KindRouterPartition: false,
 }
 
 // kinds that only make sense with a live subscriber attached.
 var kindNeedsSubscribe = map[string]bool{
 	KindSlowConsumer: true,
 	KindWSDisconnect: true,
+}
+
+// kinds that only make sense against a cluster (nodes >= 2).
+var kindNeedsCluster = map[string]bool{
+	KindNodeKill:        true,
+	KindRouterPartition: true,
+}
+
+// single-server kinds the cluster harness cannot express: the fault
+// listener and the restart loop wrap one process, and the wildcard
+// push subscriber is not routable.
+var kindSingleServer = map[string]bool{
+	KindKill:           true,
+	KindCorruptWALTail: true,
+	KindListenerReset:  true,
+	KindSlowConsumer:   true,
+	KindWSDisconnect:   true,
 }
 
 // Validate rejects configs the runner could not execute
@@ -234,6 +271,17 @@ func (c Config) Validate() error {
 		}
 		seen[p.ID] = true
 	}
+	if c.Nodes < 0 {
+		return fmt.Errorf("scenario %s: negative node count", c.Name)
+	}
+	if c.Nodes > 1 {
+		if !c.Durable {
+			return fmt.Errorf("scenario %s: \"nodes\": %d needs \"durable\": true — standby seeding tails the owner's WAL", c.Name, c.Nodes)
+		}
+		if c.Subscribe {
+			return fmt.Errorf("scenario %s: \"subscribe\" cannot run against a cluster — the wildcard watcher channel is not routable", c.Name)
+		}
+	}
 	for i, f := range c.Failures {
 		needsDurable, ok := kindNeedsDurable[f.Kind]
 		if !ok {
@@ -241,6 +289,12 @@ func (c Config) Validate() error {
 		}
 		if needsDurable && !c.Durable {
 			return fmt.Errorf("scenario %s: failure %d: %s needs \"durable\": true", c.Name, i, f.Kind)
+		}
+		if kindNeedsCluster[f.Kind] && c.Nodes < 2 {
+			return fmt.Errorf("scenario %s: failure %d: %s needs \"nodes\" >= 2", c.Name, i, f.Kind)
+		}
+		if c.Nodes > 1 && kindSingleServer[f.Kind] {
+			return fmt.Errorf("scenario %s: failure %d: %s targets a single server and cannot run against a cluster", c.Name, i, f.Kind)
 		}
 		if kindNeedsSubscribe[f.Kind] && !c.Subscribe {
 			return fmt.Errorf("scenario %s: failure %d: %s needs \"subscribe\": true", c.Name, i, f.Kind)

@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/server"
 	"repro/pkg/hod"
 	"repro/pkg/hod/wire"
@@ -112,7 +114,7 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	drainTimeout := time.Duration(cfg.DrainTimeoutMS) * time.Millisecond
-	acked, err := r.replay(ctx, cfg, h, traces, res)
+	acked, admittedByPlant, err := r.replay(ctx, cfg, h, traces, res)
 	res.ClientRetried = h.clientRetried()
 	res.ListenerDrops = h.listenerDrops()
 	if err != nil {
@@ -120,11 +122,11 @@ func (r *Runner) Run(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Drain the victim: every acknowledged record must fold, bounded by
-	// the scenario's drain deadline (a hang here IS a finding).
-	admittedByPlant := map[string]uint64{}
-	for _, ab := range acked {
-		admittedByPlant[ab.plant] += uint64(ab.admitted)
-	}
+	// the scenario's drain deadline (a hang here IS a finding). The
+	// per-plant targets come from the replay: normally the summed acks,
+	// re-based on the promoted standby's counter after a node_kill
+	// (records acked by the dead node and not yet shipped are the ones
+	// the re-sent stream restores).
 	for _, tr := range traces {
 		id := tr.spec.ID
 		dctx, cancel := context.WithTimeout(ctx, drainTimeout)
@@ -275,9 +277,13 @@ func chunk(recs []wire.Record, n int) [][]wire.Record {
 
 // replay drives every plant's batch schedule through the harness,
 // firing scheduled faults at their batch offsets, and returns the
-// acknowledged stream in ack order — the oracle's input.
-func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*plantTrace, res *Result) ([]ackedBatch, error) {
+// acknowledged stream in ack order — the oracle's input — plus the
+// per-plant drain targets.
+func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*plantTrace, res *Result) ([]ackedBatch, map[string]uint64, error) {
 	var acked []ackedBatch
+	admitted := map[string]uint64{}
+	registered := map[string]bool{}
+	jobsSent := map[string][]wire.JobMeta{}
 
 	send := func(plantID string, recs []wire.Record) error {
 		var lastErr error
@@ -288,6 +294,7 @@ func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*p
 			ack, err := h.client.Ingest(ctx, plantID, recs)
 			if err == nil {
 				acked = append(acked, ackedBatch{plant: plantID, records: recs, admitted: ack.Records})
+				admitted[plantID] += uint64(ack.Records)
 				return nil
 			}
 			lastErr = err
@@ -297,19 +304,51 @@ func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*p
 			cfg.Name, plantID, sendAttempts, lastErr)
 	}
 
+	// resendAcked is the client's failover story: after a node death the
+	// promoted standby holds the replicated prefix, so the at-least-once
+	// client re-sends the whole acked stream and the idempotent folds
+	// restore exactly the lost suffix. Drain targets re-base on what the
+	// survivors actually hold before the re-send tops them up.
+	resendAcked := func() error {
+		for _, tr := range traces {
+			if !registered[tr.spec.ID] {
+				continue
+			}
+			st, err := h.client.Stats(ctx, tr.spec.ID)
+			if err != nil {
+				return fmt.Errorf("scenario %s: stats of %s after failover: %w", cfg.Name, tr.spec.ID, err)
+			}
+			admitted[tr.spec.ID] = st.ReceivedRecords
+		}
+		snap := append([]ackedBatch(nil), acked...)
+		r.logf("scenario %s: re-sending %d acked batches after failover", cfg.Name, len(snap))
+		for _, ab := range snap {
+			if err := send(ab.plant, ab.records); err != nil {
+				return err
+			}
+		}
+		for id, jobs := range jobsSent {
+			if _, err := h.client.Jobs(ctx, id, jobs); err != nil {
+				return fmt.Errorf("scenario %s: re-sending jobs of %s: %w", cfg.Name, id, err)
+			}
+		}
+		return nil
+	}
+
 	for _, tr := range traces {
 		id := tr.spec.ID
 		if _, err := h.client.Register(ctx, tr.topo); err != nil {
-			return nil, fmt.Errorf("scenario %s: register %s: %w", cfg.Name, id, err)
+			return nil, nil, fmt.Errorf("scenario %s: register %s: %w", cfg.Name, id, err)
 		}
+		registered[id] = true
 		for pos, bi := range tr.order {
 			for _, f := range tr.events[pos] {
-				if err := r.fire(ctx, cfg, h, f, res); err != nil {
-					return nil, err
+				if err := r.fire(ctx, cfg, h, f, res, resendAcked); err != nil {
+					return nil, nil, err
 				}
 			}
 			if err := send(id, tr.batch[bi]); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			for _, f := range tr.events[pos] {
 				n := f.Count
@@ -320,7 +359,7 @@ func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*p
 				case KindDuplicate:
 					for i := 0; i < n; i++ {
 						if err := send(id, tr.batch[bi]); err != nil {
-							return nil, err
+							return nil, nil, err
 						}
 					}
 					res.Injected[KindDuplicate] += uint64(n)
@@ -332,7 +371,7 @@ func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*p
 					}
 					for p := pos - 1; p >= lo; p-- {
 						if err := send(id, tr.batch[tr.order[p]]); err != nil {
-							return nil, err
+							return nil, nil, err
 						}
 						res.Injected[KindResend]++
 					}
@@ -341,20 +380,56 @@ func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*p
 		}
 		if len(tr.jobs) > 0 {
 			if _, err := h.client.Jobs(ctx, id, tr.jobs); err != nil {
-				return nil, fmt.Errorf("scenario %s: jobs %s: %w", cfg.Name, id, err)
+				return nil, nil, fmt.Errorf("scenario %s: jobs %s: %w", cfg.Name, id, err)
 			}
+			jobsSent[id] = tr.jobs
 		}
 	}
-	return acked, nil
+	return acked, admitted, nil
 }
 
-// fire executes one pre-batch fault.
-func (r *Runner) fire(ctx context.Context, cfg Config, h *harness, f Failure, res *Result) error {
+// fire executes one pre-batch fault. resendAcked replays the acked
+// stream after a failover (node_kill re-bases the drain targets and
+// re-sends everything, like a production client would).
+func (r *Runner) fire(ctx context.Context, cfg Config, h *harness, f Failure, res *Result, resendAcked func() error) error {
 	n := f.Count
 	if n <= 0 {
 		n = 1
 	}
 	switch f.Kind {
+	case KindNodeKill:
+		plantID := target(f, firstPlant(cfg))
+		owner, standby, err := h.placementOf(ctx, plantID)
+		if err != nil {
+			return fmt.Errorf("scenario %s: node_kill: %w", cfg.Name, err)
+		}
+		if standby == "" {
+			return fmt.Errorf("scenario %s: node_kill: plant %s has no standby to promote", cfg.Name, plantID)
+		}
+		// The standby seeds asynchronously after register; killing the
+		// owner before the copy exists would be a different scenario.
+		if err := h.waitStandbyHolds(ctx, standby, plantID, 10*time.Second); err != nil {
+			return fmt.Errorf("scenario %s: node_kill: %w", cfg.Name, err)
+		}
+		r.logf("scenario %s: node_kill: killing %s (owner of %s), promoting %s", cfg.Name, owner, plantID, standby)
+		if !h.killNode(owner) {
+			return fmt.Errorf("scenario %s: node_kill: node %s is already down", cfg.Name, owner)
+		}
+		if _, err := h.client.ClusterFail(ctx, owner); err != nil {
+			return fmt.Errorf("scenario %s: node_kill: declaring %s failed: %w", cfg.Name, owner, err)
+		}
+		res.Injected[KindNodeKill]++
+		if err := resendAcked(); err != nil {
+			return err
+		}
+	case KindRouterPartition:
+		plantID := target(f, firstPlant(cfg))
+		owner, _, err := h.placementOf(ctx, plantID)
+		if err != nil {
+			return fmt.Errorf("scenario %s: router_partition: %w", cfg.Name, err)
+		}
+		h.router.PartitionNext(owner, n)
+		res.Injected[KindRouterPartition] += uint64(n)
 	case KindStorm429:
 		faults := make([]hod.Fault, n)
 		for i := range faults {
@@ -473,14 +548,23 @@ func corruptWALTails(dataDir string) error {
 // harness owns the server under test, its fault listener, and the
 // fault-injecting client. restart() tears the server down hard and
 // brings a new generation up from the same data dir, keeping the
-// injector and its counters.
+// injector and its counters. With cfg.Nodes > 1 the harness runs a
+// cluster instead: N nodes behind a routing proxy, the client pointed
+// at the router.
 type harness struct {
 	cfg     Config
 	dataDir string
 
-	srv       *server.Server
-	stopHTTP  func()
-	listener  *server.FaultListener
+	srv      *server.Server
+	stopHTTP func()
+	listener *server.FaultListener
+
+	// Cluster mode (cfg.Nodes > 1). The single-server fields above stay
+	// nil; node deaths go through killNode, not kill/restart.
+	nodes      []*clusterNode
+	router     *cluster.Router
+	routerStop func()
+
 	injector  *hod.FaultInjector
 	transport *http.Transport
 	client    *hod.Client
@@ -493,12 +577,26 @@ type harness struct {
 	dropsAccum   uint64
 }
 
+// clusterNode is one hodserve of a cluster harness.
+type clusterNode struct {
+	id   string
+	addr string
+	srv  *server.Server
+	stop func()
+	down bool
+}
+
 // clientRetried totals the client's automatic 429 retries across every
 // server generation of the run.
 func (h *harness) clientRetried() uint64 { return h.retriedAccum + h.client.Retried() }
 
 // listenerDrops totals the accept-then-RST drops across generations.
-func (h *harness) listenerDrops() uint64 { return h.dropsAccum + h.listener.Dropped() }
+func (h *harness) listenerDrops() uint64 {
+	if h.listener == nil {
+		return h.dropsAccum
+	}
+	return h.dropsAccum + h.listener.Dropped()
+}
 
 func serverOptions(cfg Config, dataDir string) server.Options {
 	opts := server.Options{
@@ -531,8 +629,12 @@ func newHarness(cfg Config, dataDir string) (*harness, error) {
 }
 
 // start boots one server generation: Open (recovery), fault-wrapped
-// listener, fresh client pointed at the new port.
+// listener, fresh client pointed at the new port. Cluster configs boot
+// the whole topology instead.
 func (h *harness) start() error {
+	if h.cfg.Nodes > 1 {
+		return h.startCluster()
+	}
 	srv := server.New(serverOptions(h.cfg, h.dataDir))
 	if err := srv.Open(); err != nil {
 		srv.Close()
@@ -552,6 +654,120 @@ func (h *harness) start() error {
 	return nil
 }
 
+// startCluster boots cfg.Nodes cluster nodes (each with its own data
+// dir and -node-id) behind a fresh router, and points the
+// fault-injecting client at the router — the same seat a production
+// client would take.
+func (h *harness) startCluster() error {
+	peers := make([]wire.ClusterNode, 0, h.cfg.Nodes)
+	for i := 0; i < h.cfg.Nodes; i++ {
+		id := fmt.Sprintf("n%d", i+1)
+		dir := filepath.Join(h.dataDir, id)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		opts := serverOptions(h.cfg, dir)
+		opts.ClusterNodeID = id
+		srv := server.New(opts)
+		if err := srv.Open(); err != nil {
+			srv.Close()
+			return err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		node := &clusterNode{id: id, addr: "http://" + ln.Addr().String(), srv: srv, stop: srv.ServeListener(ln)}
+		h.nodes = append(h.nodes, node)
+		peers = append(peers, wire.ClusterNode{ID: id, Addr: node.addr})
+	}
+	rt, err := cluster.NewRouter(cluster.RouterOptions{Peers: peers})
+	if err != nil {
+		return err
+	}
+	if err := rt.Bootstrap(); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	h.router = rt
+	h.routerStop = rt.ServeListener(ln)
+	h.baseURL = "http://" + ln.Addr().String()
+	h.client = hod.NewClient(h.baseURL,
+		hod.WithHTTPClient(&http.Client{Transport: h.injector, Timeout: 30 * time.Second}))
+	return nil
+}
+
+// killNode hard-stops one cluster node the way a machine death would:
+// listener gone, queues dropped, no snapshot, no drain — and no
+// restart. Reports false if the node is unknown or already down.
+func (h *harness) killNode(id string) bool {
+	for _, n := range h.nodes {
+		if n.id == id && !n.down {
+			n.stop()
+			n.srv.Kill()
+			n.down = true
+			return true
+		}
+	}
+	return false
+}
+
+// placementOf asks the router where a plant lives right now.
+func (h *harness) placementOf(ctx context.Context, plantID string) (owner, standby string, err error) {
+	st, err := h.client.ClusterStatus(ctx)
+	if err != nil {
+		return "", "", fmt.Errorf("cluster status: %w", err)
+	}
+	for _, p := range st.Placements {
+		if p.Plant == plantID {
+			return p.Owner, p.Standby, nil
+		}
+	}
+	return "", "", fmt.Errorf("plant %q has no placement at epoch %d", plantID, st.Epoch)
+}
+
+// waitStandbyHolds polls a node's plant list until it holds a copy of
+// the plant — the replicate call register triggers is asynchronous.
+func (h *harness) waitStandbyHolds(ctx context.Context, nodeID, plantID string, timeout time.Duration) error {
+	var node *clusterNode
+	for _, n := range h.nodes {
+		if n.id == nodeID {
+			node = n
+		}
+	}
+	if node == nil {
+		return fmt.Errorf("unknown standby node %q", nodeID)
+	}
+	httpc := newQueryClient()
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := httpc.Get(node.addr + "/v1/plants")
+		if err == nil {
+			var pl wire.PlantList
+			derr := json.NewDecoder(resp.Body).Decode(&pl)
+			resp.Body.Close()
+			if derr == nil {
+				for _, id := range pl.Plants {
+					if id == plantID {
+						return nil
+					}
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("standby %s never received a copy of plant %s", nodeID, plantID)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
 // kill hard-stops the current generation: listener gone, queues
 // dropped, no snapshot, no drain.
 func (h *harness) kill() {
@@ -568,6 +784,15 @@ func (h *harness) restart() error { return h.start() }
 func (h *harness) shutdown() {
 	if h.watch != nil {
 		h.watch.close()
+	}
+	if h.routerStop != nil {
+		h.routerStop()
+	}
+	for _, n := range h.nodes {
+		if !n.down {
+			n.stop()
+		}
+		n.srv.Close() // no-op for killed nodes
 	}
 	if h.stopHTTP != nil {
 		h.stopHTTP()

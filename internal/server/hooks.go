@@ -17,6 +17,7 @@ import (
 // which drains.
 func (s *Server) Kill() {
 	s.closed.Store(true)
+	s.stopAllTailers()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, ps := range s.plants {

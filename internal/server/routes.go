@@ -38,6 +38,17 @@ func (s *Server) routes() []route {
 		{method: "POST", pattern: "/v1/plants/{id}/restore", handler: s.handleRestore},
 		{method: "GET", pattern: "/v1/subscribe", handler: s.handleSubscribe},
 		{method: "GET", pattern: "/v1/events", handler: s.handleEvents},
+		// The node-side cluster control surface (internal/cluster
+		// NodeRoutes): membership pushes, standby seeding, WAL tailing.
+		// Mounted unconditionally — outside cluster mode membership
+		// pushes are refused and the rest is inert — and guarded by the
+		// internal header where it mutates, not by tenant auth: cluster
+		// traffic assumes an unauthenticated internal network.
+		{method: "GET", pattern: "/v1/cluster/status", handler: s.handleClusterStatus},
+		{method: "POST", pattern: "/v1/cluster/membership", handler: s.handleClusterMembership},
+		{method: "POST", pattern: "/v1/cluster/replicate", handler: s.handleClusterReplicate},
+		{method: "POST", pattern: "/v1/cluster/release", handler: s.handleClusterRelease},
+		{method: "GET", pattern: "/v1/plants/{id}/wal", handler: s.handleWalTail},
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cluster"
 	"repro/internal/gateway"
 )
 
@@ -35,6 +36,11 @@ var wantRoutes = []string{
 	"POST /v1/plants/{id}/restore",
 	"GET /v1/subscribe",
 	"GET /v1/events",
+	"GET /v1/cluster/status",
+	"POST /v1/cluster/membership",
+	"POST /v1/cluster/replicate",
+	"POST /v1/cluster/release",
+	"GET /v1/plants/{id}/wal",
 }
 
 func TestRouteTablePinned(t *testing.T) {
@@ -69,6 +75,30 @@ func TestRouteTablePinned(t *testing.T) {
 	}
 	if openCount != 1 {
 		t.Errorf("open routes = %d, want 1 (/healthz)", openCount)
+	}
+}
+
+// TestRouteTableMatchesClusterSpec pins the server's route table
+// against the routing tier's copy of the surface: the router proxies
+// exactly what cluster.V1Routes says, so any drift between the two
+// tables would silently strand an endpoint outside the cluster.
+func TestRouteTableMatchesClusterSpec(t *testing.T) {
+	s := New(Options{})
+	defer s.Close()
+	served := map[string]bool{}
+	for _, rt := range s.routes() {
+		served[rt.method+" "+rt.pattern] = true
+	}
+	specs := append(cluster.V1Routes(), cluster.NodeRoutes()...)
+	for _, sp := range specs {
+		key := sp.Method + " " + sp.Pattern
+		if !served[key] {
+			t.Errorf("cluster route spec %s is not in the server's route table", key)
+		}
+		delete(served, key)
+	}
+	for key := range served {
+		t.Errorf("server route %s is missing from the cluster route specs", key)
 	}
 }
 

@@ -44,6 +44,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/gateway"
 	"repro/internal/olap"
 	"repro/internal/wal"
@@ -91,6 +92,12 @@ type Options struct {
 	// slots per push subscriber before coalescing drops the stalest
 	// slot (default gateway.DefaultQueueCap).
 	SubscriberQueue int
+	// ClusterNodeID enables cluster mode: the node gates plant-scoped
+	// requests on rendezvous ownership under the membership table the
+	// router pushes, and keeps warm standbys by tailing owner WALs.
+	// Cluster mode wants a DataDir (standbys seed over the WAL
+	// contract) and an unauthenticated internal network (no Tenants).
+	ClusterNodeID string
 }
 
 func (o Options) withDefaults() Options {
@@ -128,6 +135,11 @@ type Server struct {
 	mu     sync.RWMutex
 	plants map[string]*plantState
 	closed atomic.Bool
+
+	// cluster is the node's cluster-mode state (membership view + WAL
+	// tailers); clusterHC carries its node-to-node HTTP traffic.
+	cluster   clusterState
+	clusterHC *http.Client
 }
 
 // New builds a server with the given options. Every route of the typed
@@ -136,11 +148,13 @@ type Server struct {
 // of which pass through untouched when no tenants are configured.
 func New(opts Options) *Server {
 	s := &Server{
-		opts:   opts.withDefaults(),
-		mux:    http.NewServeMux(),
-		hub:    gateway.NewHub(),
-		plants: make(map[string]*plantState),
+		opts:      opts.withDefaults(),
+		mux:       http.NewServeMux(),
+		hub:       gateway.NewHub(),
+		plants:    make(map[string]*plantState),
+		clusterHC: &http.Client{Timeout: 30 * time.Second},
 	}
+	s.cluster.tailers = make(map[string]*walTailer)
 	s.auth = gateway.NewAuth(s.opts.Tenants)
 	chain := gateway.Chain(
 		gateway.BearerAuth(s.auth),
@@ -181,6 +195,7 @@ func (s *Server) Close() {
 	if !s.closed.CompareAndSwap(false, true) {
 		return
 	}
+	s.stopAllTailers()
 	s.hub.Close()
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -198,6 +213,12 @@ func (s *Server) plant(id string) (*plantState, bool) {
 
 func (s *Server) withPlant(fn func(http.ResponseWriter, *http.Request, *plantState)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// Ownership gating precedes the plant lookup: in a cluster, "not
+		// registered here" usually means "lives on another node", and the
+		// retriable 503 must win over a terminal 404.
+		if !s.clusterGate(w, r, r.PathValue("id")) {
+			return
+		}
 		ps, ok := s.plant(r.PathValue("id"))
 		if !ok {
 			writeErr(w, http.StatusNotFound, wire.CodeUnknownPlant, fmt.Sprintf("unknown plant %q", r.PathValue("id")))
@@ -229,6 +250,11 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if g, ok := gateway.GrantFrom(r.Context()); ok && !g.Allows(topo.ID) {
 		writeErr(w, http.StatusForbidden, wire.CodeForbidden,
 			fmt.Sprintf("tenant %s is not scoped to plant %q", g.Tenant.Name, topo.ID))
+		return
+	}
+	// Like the tenant check, ownership gating waits for the body: the
+	// plant id a cluster node must own rides inside the topology.
+	if !s.clusterGate(w, r, topo.ID) {
 		return
 	}
 	s.mu.Lock()
@@ -449,8 +475,12 @@ func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request, ps *plantS
 		st.SnapshotRev = ps.dur.snapRev.Load()
 	}
 	// A backup re-seeds fresh WALs on restore; per-shard positions of
-	// *this* server's logs would be poison there.
-	st.ShardSeqs = nil
+	// *this* server's logs would be poison there. The one consumer that
+	// wants them — a standby seeding itself before tailing this node's
+	// WAL — asks with ?positions=1 on the internal cluster path.
+	if !(r.URL.Query().Get("positions") == "1" && r.Header.Get(cluster.InternalHeader) == "1") {
+		st.ShardSeqs = nil
+	}
 	payload, err := encodeState(st)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "encoding snapshot: "+err.Error())
@@ -466,6 +496,9 @@ func (s *Server) handleBackup(w http.ResponseWriter, r *http.Request, ps *plantS
 func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	if s.closed.Load() {
 		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
+		return
+	}
+	if !s.clusterGate(w, r, r.PathValue("id")) {
 		return
 	}
 	// A backup holds the whole plant, not one ingest batch — cap it

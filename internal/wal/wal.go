@@ -123,7 +123,9 @@ type segment struct {
 // Log is a segmented append-only log. Appends are safe for concurrent
 // use; Replay and Compact must not race Append (the serving layer
 // replays before it starts accepting traffic and compacts under its
-// snapshot lock).
+// snapshot lock). ReadAfter is the one read that may race everything —
+// it snapshots the verified byte bounds under the lock and reads only
+// immutable prefixes.
 type Log struct {
 	dir  string
 	opts Options
@@ -489,6 +491,74 @@ func replaySegment(seg segment, afterSeq uint64, fn func(uint64, []byte) error) 
 			return err
 		}
 	}
+}
+
+// ErrCompacted reports a tail read that starts before the oldest
+// retained frame: the requested range was compacted away, and the
+// reader must re-seed from a snapshot instead of the log.
+var ErrCompacted = errors.New("wal: requested frames compacted")
+
+// errReadBudget stops a ReadAfter walk once the byte budget is spent.
+var errReadBudget = errors.New("wal: read budget reached")
+
+// Bounds reports the oldest retained and newest appended sequence
+// numbers. first > last+1 never holds; an empty log reports
+// (nextSeq, nextSeq-1).
+func (l *Log) Bounds() (first, last uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].first, l.appended
+}
+
+// ReadAfter streams retained frames with seq > afterSeq to fn, capped
+// at roughly maxBytes of payload per call (always at least one frame
+// when any is pending). Unlike Replay it is safe to run concurrently
+// with Append, SyncTo, and CompactThrough: it snapshots the segment
+// list and verified byte bounds under the log's lock and reads only
+// those immutable prefixes — a warm standby tails a live owner's log
+// through it. When afterSeq+1 predates the oldest retained frame
+// (compaction won the race), it returns ErrCompacted so the reader
+// falls back to re-seeding from a snapshot.
+func (l *Log) ReadAfter(afterSeq uint64, maxBytes int64, fn func(seq uint64, payload []byte) error) error {
+	l.mu.Lock()
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+	if len(segs) > 0 && afterSeq+1 < segs[0].first {
+		return ErrCompacted
+	}
+	var sent int64
+	for i, seg := range segs {
+		if seg.last < seg.first || seg.last <= afterSeq {
+			continue
+		}
+		err := replaySegment(seg, afterSeq, func(seq uint64, payload []byte) error {
+			if sent > 0 && sent+int64(len(payload)) > maxBytes {
+				return errReadBudget
+			}
+			if err := fn(seq, payload); err != nil {
+				return err
+			}
+			sent += int64(len(payload))
+			return nil
+		})
+		switch {
+		case errors.Is(err, errReadBudget):
+			return nil
+		case os.IsNotExist(err):
+			// The file vanished between the snapshot and the open:
+			// compaction deleted it, so the caller's position predates
+			// the retained log after all.
+			return ErrCompacted
+		case errors.Is(err, ErrCorrupt):
+			return fmt.Errorf("segment %d of %d: %w", i, len(segs), err)
+		case err != nil:
+			return err
+		}
+		if sent >= maxBytes {
+			return nil
+		}
+	}
+	return nil
 }
 
 // CompactThrough deletes full segments whose every frame has

@@ -113,8 +113,25 @@ func (e *APIError) Is(target error) bool {
 		return e.Code == wire.CodeForbidden
 	case ErrRateLimited:
 		return e.Code == wire.CodeRateLimited
+	case ErrFailover:
+		return e.Code == wire.CodeNotOwner || e.Code == wire.CodeFailover
 	}
 	return false
+}
+
+// failoverRetryable reports whether a 503 carries a cluster failover
+// envelope (not_owner / failover): ownership is settling after a node
+// death or a plant move, and the router asked the client to come back
+// after Retry-After. Other 503s — a server shutting down — stay fatal.
+func failoverRetryable(status int, body []byte) bool {
+	if status != http.StatusServiceUnavailable {
+		return false
+	}
+	var env wire.ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		return false
+	}
+	return env.Err.Code == wire.CodeNotOwner || env.Err.Code == wire.CodeFailover
 }
 
 func apiError(status int, body []byte) error {
@@ -174,8 +191,9 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// do issues one request, retrying 429s with the advertised backoff,
-// and decodes a 2xx body into out (when non-nil).
+// do issues one request, retrying 429s — and 503s carrying the
+// cluster failover envelope — with the advertised backoff, and decodes
+// a 2xx body into out (when non-nil).
 func (c *Client) do(ctx context.Context, method, path, contentType string, body []byte, out any) error {
 	for attempt := 0; ; attempt++ {
 		var rd io.Reader
@@ -208,7 +226,8 @@ func (c *Client) do(ctx context.Context, method, path, contentType string, body 
 				return fmt.Errorf("hod: bad response body: %w", err)
 			}
 			return nil
-		case resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries:
+		case resp.StatusCode == http.StatusTooManyRequests && attempt < c.maxRetries,
+			failoverRetryable(resp.StatusCode, data) && attempt < c.maxRetries:
 			c.retried.Add(1)
 			if err := sleepCtx(ctx, retryAfter(resp, time.Now(), c.retryCap)); err != nil {
 				return err
@@ -469,6 +488,50 @@ func (c *Client) Restore(ctx context.Context, plantID string, backup []byte) (wi
 	var ack wire.RestoreAck
 	err := c.do(ctx, http.MethodPost, "/v1/plants/"+url.PathEscape(plantID)+"/restore",
 		"application/octet-stream", backup, &ack)
+	return ack, err
+}
+
+// ClusterStatus fetches a cluster router's membership table and the
+// placement of every plant it routes.
+func (c *Client) ClusterStatus(ctx context.Context) (wire.ClusterStatusResponse, error) {
+	var st wire.ClusterStatusResponse
+	err := c.do(ctx, http.MethodGet, "/v1/cluster/status", "", nil, &st)
+	return st, err
+}
+
+// ClusterJoin adds a node to the cluster and rebalances ~1/N of the
+// plants onto it.
+func (c *Client) ClusterJoin(ctx context.Context, nodeID, addr string) (wire.ClusterAck, error) {
+	return c.clusterNodeOp(ctx, "/v1/cluster/join", wire.ClusterNodeRequest{ID: nodeID, Addr: addr})
+}
+
+// ClusterDrain marks a node draining: it takes no new placements and
+// its plants move off it.
+func (c *Client) ClusterDrain(ctx context.Context, nodeID string) (wire.ClusterAck, error) {
+	return c.clusterNodeOp(ctx, "/v1/cluster/drain", wire.ClusterNodeRequest{ID: nodeID})
+}
+
+// ClusterFail declares a node dead: its plants' warm standbys promote
+// to owner without data movement and fresh standbys are seeded.
+func (c *Client) ClusterFail(ctx context.Context, nodeID string) (wire.ClusterAck, error) {
+	return c.clusterNodeOp(ctx, "/v1/cluster/fail", wire.ClusterNodeRequest{ID: nodeID})
+}
+
+// ClusterRebalance re-runs placement for every plant and moves the
+// misplaced ones to their rendezvous owner.
+func (c *Client) ClusterRebalance(ctx context.Context) (wire.ClusterAck, error) {
+	var ack wire.ClusterAck
+	err := c.do(ctx, http.MethodPost, "/v1/cluster/rebalance", "application/json", []byte("{}"), &ack)
+	return ack, err
+}
+
+func (c *Client) clusterNodeOp(ctx context.Context, path string, req wire.ClusterNodeRequest) (wire.ClusterAck, error) {
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return wire.ClusterAck{}, err
+	}
+	var ack wire.ClusterAck
+	err = c.do(ctx, http.MethodPost, path, "application/json", buf, &ack)
 	return ack, err
 }
 

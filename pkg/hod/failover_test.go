@@ -1,0 +1,121 @@
+package hod_test
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/pkg/hod"
+	"repro/pkg/hod/wire"
+)
+
+// failoverFront simulates a cluster router mid-failover: the first n
+// requests answer 503 with the given failover code and Retry-After: 0,
+// then traffic passes to ok.
+func failoverFront(n int32, code string, ok http.HandlerFunc) (*httptest.Server, *atomic.Int32) {
+	var served atomic.Int32
+	var remaining atomic.Int32
+	remaining.Store(n)
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		if remaining.Add(-1) >= 0 {
+			w.Header().Set("Retry-After", "0")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			var env wire.ErrorEnvelope
+			env.Err.Code = code
+			env.Err.Message = "ownership settling"
+			json.NewEncoder(w).Encode(env)
+			return
+		}
+		ok(w, r)
+	})), &served
+}
+
+// TestClientRetriesFailover503 pins the failover contract the cluster
+// router relies on: a 503 carrying the not_owner or failover envelope
+// (plus Retry-After) is retried automatically — the proxied request
+// lands once ownership settles, and the caller never sees the blip.
+func TestClientRetriesFailover503(t *testing.T) {
+	for _, code := range []string{wire.CodeNotOwner, wire.CodeFailover} {
+		t.Run(code, func(t *testing.T) {
+			front, served := failoverFront(2, code, func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusAccepted)
+				json.NewEncoder(w).Encode(wire.IngestAck{Records: 1})
+			})
+			defer front.Close()
+			c := hod.NewClient(front.URL)
+			ack, err := c.Ingest(context.Background(), "p1", []wire.Record{{Machine: "m", Sensor: "s", Value: 1}})
+			if err != nil {
+				t.Fatalf("ingest across failover: %v", err)
+			}
+			if ack.Records != 1 {
+				t.Fatalf("ack = %+v, want 1 record", ack)
+			}
+			if got := served.Load(); got != 3 {
+				t.Fatalf("server saw %d requests, want 3 (two 503s + success)", got)
+			}
+			if c.Retried() != 2 {
+				t.Fatalf("Retried() = %d, want 2", c.Retried())
+			}
+		})
+	}
+}
+
+// TestClientFailoverExhaustion pins the error surface when failover
+// never settles: the retry budget runs out and the returned *APIError
+// satisfies errors.Is(err, ErrFailover) — for both envelope codes —
+// so callers branch on the sentinel, not on strings.
+func TestClientFailoverExhaustion(t *testing.T) {
+	for _, code := range []string{wire.CodeNotOwner, wire.CodeFailover} {
+		t.Run(code, func(t *testing.T) {
+			front, _ := failoverFront(1<<30, code, nil)
+			defer front.Close()
+			c := hod.NewClient(front.URL, hod.WithMaxRetries(2))
+			_, err := c.Ingest(context.Background(), "p1", []wire.Record{{Machine: "m", Sensor: "s", Value: 1}})
+			if err == nil {
+				t.Fatal("ingest succeeded against a permanently failing-over front")
+			}
+			if !errors.Is(err, hod.ErrFailover) {
+				t.Fatalf("error %v does not satisfy errors.Is(_, ErrFailover)", err)
+			}
+			var apiErr *hod.APIError
+			if !errors.As(err, &apiErr) || apiErr.Code != code {
+				t.Fatalf("error %v does not carry the %s envelope", err, code)
+			}
+		})
+	}
+}
+
+// TestOther503NotRetried pins the boundary: a plain 503 without the
+// failover envelope (a server shutting down) must stay fatal — one
+// request, no retries, and no ErrFailover mapping.
+func TestOther503NotRetried(t *testing.T) {
+	var served atomic.Int32
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		var env wire.ErrorEnvelope
+		env.Err.Code = wire.CodeShuttingDown
+		env.Err.Message = "closing"
+		json.NewEncoder(w).Encode(env)
+	}))
+	defer front.Close()
+	c := hod.NewClient(front.URL)
+	_, err := c.Ingest(context.Background(), "p1", []wire.Record{{Machine: "m", Sensor: "s", Value: 1}})
+	if err == nil || errors.Is(err, hod.ErrFailover) {
+		t.Fatalf("shutdown 503 mapped to failover: %v", err)
+	}
+	if !errors.Is(err, hod.ErrShuttingDown) {
+		t.Fatalf("error %v is not ErrShuttingDown", err)
+	}
+	if served.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no retry)", served.Load())
+	}
+}

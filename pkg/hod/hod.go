@@ -154,6 +154,11 @@ var (
 	// ErrSubscriptionClosed — Next was called on (or while) a
 	// subscription was closed locally via Close.
 	ErrSubscriptionClosed = errors.New("hod: subscription closed")
+	// ErrFailover — plant ownership is settling in a cluster (a node
+	// death promoting the warm standby, or a plant move) and the retry
+	// budget ran out before it did. Matches both the not_owner and
+	// failover envelope codes.
+	ErrFailover = errors.New("hod: cluster failover in progress")
 )
 
 // ErrNotFitted is returned when scoring precedes training on a

@@ -1,0 +1,64 @@
+package wire
+
+// Cluster node states of the membership table. An active node takes
+// plant placements; a draining node keeps serving but receives no new
+// placements; a down node is excluded entirely (its standbys promote).
+const (
+	NodeActive   = "active"
+	NodeDraining = "draining"
+	NodeDown     = "down"
+)
+
+// ClusterNode is one hodserve node of a cluster: its stable identity,
+// its base URL as the router dials it, and its membership state.
+type ClusterNode struct {
+	ID    string `json:"id"`
+	Addr  string `json:"addr"`
+	State string `json:"state"`
+}
+
+// ClusterMembership is the epoch-versioned membership table the router
+// pushes to every node. Placement is a pure function of (membership,
+// plant id), so a router and a node holding the same epoch can never
+// disagree on an owner.
+type ClusterMembership struct {
+	Epoch uint64        `json:"epoch"`
+	Nodes []ClusterNode `json:"nodes"`
+}
+
+// ClusterPlacement reports where one plant lives: the owning node and
+// the warm standby tailing its WAL (empty when the cluster has no
+// second active node).
+type ClusterPlacement struct {
+	Plant   string `json:"plant"`
+	Owner   string `json:"owner"`
+	Standby string `json:"standby,omitempty"`
+}
+
+// ClusterStatusResponse is the router's GET /v1/cluster/status body:
+// the membership table plus the placement of every registered plant.
+type ClusterStatusResponse struct {
+	Epoch      uint64             `json:"epoch"`
+	Nodes      []ClusterNode      `json:"nodes"`
+	Placements []ClusterPlacement `json:"placements,omitempty"`
+}
+
+// ClusterNodeRequest targets one node: join carries ID and Addr,
+// drain/fail carry only the ID.
+type ClusterNodeRequest struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr,omitempty"`
+}
+
+// ClusterPlantRequest targets one plant on a node's internal cluster
+// surface (replicate, release).
+type ClusterPlantRequest struct {
+	Plant string `json:"plant"`
+}
+
+// ClusterAck acknowledges a membership change: the epoch after the
+// change and how many plants were moved or re-seeded because of it.
+type ClusterAck struct {
+	Epoch uint64 `json:"epoch"`
+	Moved int    `json:"moved"`
+}

@@ -397,6 +397,11 @@ const (
 	CodeUnauthorized      = "unauthorized"
 	CodeForbidden         = "forbidden"
 	CodeRateLimited       = "rate_limited"
+	// Cluster-mode codes: the node answering is not the plant's owner
+	// at the current epoch, or ownership is in flux (a promotion or a
+	// plant move). Both ride a 503 + Retry-After and are safe to retry.
+	CodeNotOwner = "not_owner"
+	CodeFailover = "failover"
 )
 
 // ErrorBody is the machine-readable half of an error response.

@@ -73,6 +73,18 @@ func goldenCases() []struct {
 			Stats: &StatsResponse{Plant: "p1", AcceptedRecords: 10, ReceivedRecords: 10, DataRevision: 17, Shards: 1, QueueDepths: []int{0}}}},
 		{"subscribe_request", SubscribeRequest{Channels: []string{"alerts:p1", "cube:*"},
 			AfterSeq: map[string]uint64{"p1": 42}, AfterRev: map[string]uint64{"p1": 17}}},
+		{"cluster_node", ClusterNode{ID: "n1", Addr: "http://10.0.0.1:8080", State: NodeActive}},
+		{"cluster_membership", ClusterMembership{Epoch: 3, Nodes: []ClusterNode{
+			{ID: "n1", Addr: "http://10.0.0.1:8080", State: NodeActive},
+			{ID: "n2", Addr: "http://10.0.0.2:8080", State: NodeDraining}}}},
+		{"cluster_placement", ClusterPlacement{Plant: "p1", Owner: "n1", Standby: "n2"}},
+		{"cluster_status_response", ClusterStatusResponse{Epoch: 3,
+			Nodes:      []ClusterNode{{ID: "n1", Addr: "http://10.0.0.1:8080", State: NodeActive}},
+			Placements: []ClusterPlacement{{Plant: "p1", Owner: "n1"}}}},
+		{"cluster_node_request", ClusterNodeRequest{ID: "n3", Addr: "http://10.0.0.3:8080"}},
+		{"cluster_plant_request", ClusterPlantRequest{Plant: "p1"}},
+		{"cluster_ack", ClusterAck{Epoch: 4, Moved: 2}},
+		{"error_envelope_failover", ErrorEnvelope{Err: ErrorBody{Code: CodeFailover, Message: "plant move in progress"}}},
 	}
 }
 
