@@ -215,6 +215,7 @@ func runRouter(addr string, peers []wire.ClusterNode, drainTimeout time.Duration
 	case sig := <-sigc:
 		fmt.Printf("hodserve: %s, draining\n", sig)
 	}
+	rt.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {

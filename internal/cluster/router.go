@@ -36,6 +36,11 @@ type Router struct {
 	hc        *http.Client      // control plane: membership pushes, moves
 	transport http.RoundTripper // data plane: proxied client requests
 
+	// done ends background reconciliation (membership push retries);
+	// closed by Close, which ServeListener's stop also invokes.
+	done      chan struct{}
+	closeOnce sync.Once
+
 	// opMu serializes membership mutations and the data movement they
 	// trigger — one join/drain/fail/rebalance at a time.
 	opMu sync.Mutex
@@ -83,6 +88,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		opts:       opts,
 		mux:        http.NewServeMux(),
 		hc:         &http.Client{Timeout: 30 * time.Second},
+		done:       make(chan struct{}),
 		mem:        wire.ClusterMembership{Epoch: 1, Nodes: nodes},
 		plants:     make(map[string]bool),
 		located:    make(map[string]string),
@@ -91,9 +97,19 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		proxies:    make(map[string]*httputil.ReverseProxy),
 		parts:      make(map[string]int),
 	}
-	rt.transport = &partitionTransport{rt: rt, base: &http.Transport{}}
+	// The data plane inherits DefaultTransport's pooling and timeout
+	// tuning; a zero-value Transport would drop proxy settings and
+	// idle-connection reuse under load.
+	rt.transport = &partitionTransport{rt: rt, base: http.DefaultTransport.(*http.Transport).Clone()}
 	rt.mount()
 	return rt, nil
+}
+
+// Close stops the router's background reconciliation (membership push
+// retries). Serving stops via the ServeListener stop func, which calls
+// Close itself.
+func (rt *Router) Close() {
+	rt.closeOnce.Do(func() { close(rt.done) })
 }
 
 func (rt *Router) logf(format string, args ...any) {
@@ -119,10 +135,14 @@ func (rt *Router) mount() {
 		case sp.Pattern == "/v1/plants" && sp.Method == "GET":
 			rt.mux.HandleFunc(key, rt.handleList)
 		case sp.Upgrade:
-			rt.mux.HandleFunc(key, rt.handleSubscribe)
-		default: // plant-scoped: proxy to the owner
+			sp := sp
 			rt.mux.HandleFunc(key, func(w http.ResponseWriter, r *http.Request) {
-				rt.proxyPlant(w, r, r.PathValue("id"))
+				rt.handleSubscribe(w, r, sp)
+			})
+		default: // plant-scoped: proxy to the owner
+			sp := sp
+			rt.mux.HandleFunc(key, func(w http.ResponseWriter, r *http.Request) {
+				rt.proxyPlant(w, r, r.PathValue("id"), sp)
 			})
 		}
 	}
@@ -141,7 +161,7 @@ func (rt *Router) Handler() http.Handler { return rt.mux }
 func (rt *Router) ServeListener(ln net.Listener) (stop func()) {
 	hs := &http.Server{Handler: rt.mux}
 	go hs.Serve(ln)
-	return func() { hs.Close() }
+	return func() { rt.Close(); hs.Close() }
 }
 
 // Bootstrap pushes the initial membership to every peer and adopts the
@@ -299,11 +319,12 @@ func (rt *Router) tryProxy(rec *proxyRecorder, r *http.Request, node wire.Cluste
 
 // proxyPlant routes one plant-scoped request: follower reads go to the
 // warm standby, everything else to the owner. When the primary is
-// unreachable and nothing reached the client yet, idempotent GETs
-// retry on the other replica (with the internal header — an explicit
-// stale-read fallback while failover settles); writes answer a
-// retriable 503 and the client re-sends.
-func (rt *Router) proxyPlant(w http.ResponseWriter, r *http.Request, plant string) {
+// unreachable and nothing reached the client yet, the analytic reads
+// (sp.StaleFallback — never /backup or an upgrade) retry on the other
+// replica with the internal header, marked with the stale header when
+// the fallback copy is the standby's; writes answer a retriable 503
+// and the client re-sends.
+func (rt *Router) proxyPlant(w http.ResponseWriter, r *http.Request, plant string, sp RouteSpec) {
 	rt.mu.RLock()
 	moving := rt.moving[plant]
 	mem := rt.mem
@@ -322,7 +343,7 @@ func (rt *Router) proxyPlant(w http.ResponseWriter, r *http.Request, plant strin
 	if sb, hasSb := Standby(mem, plant); hasSb {
 		if FollowerRead(r.Method, r.URL.Path, r.URL.Query()) {
 			primary, secondary = sb, &owner
-		} else if r.Method == http.MethodGet {
+		} else if r.Method == http.MethodGet && sp.StaleFallback {
 			s := sb
 			secondary = &s
 		}
@@ -335,9 +356,15 @@ func (rt *Router) proxyPlant(w http.ResponseWriter, r *http.Request, plant strin
 		r2 := r.Clone(r.Context())
 		r2.Header = r.Header.Clone()
 		r2.Header.Set(InternalHeader, "1")
+		if secondary.ID != owner.ID {
+			// Falling back to the standby, not to the authoritative
+			// owner of a follower read: flag the staleness.
+			w.Header().Set(StaleHeader, "1")
+		}
 		if rt.tryProxy(rec, r2, *secondary) {
 			return
 		}
+		w.Header().Del(StaleHeader)
 	}
 	if !rec.wrote {
 		failover(w, "node %s unreachable; failover pending", primary.ID)
@@ -423,7 +450,7 @@ func (rt *Router) handleList(w http.ResponseWriter, r *http.Request) {
 // handleSubscribe forwards a push subscription to the owner of the one
 // plant its channels name. Wildcard and cross-plant subscriptions are
 // refused: a routed stream follows exactly one plant's owner.
-func (rt *Router) handleSubscribe(w http.ResponseWriter, r *http.Request) {
+func (rt *Router) handleSubscribe(w http.ResponseWriter, r *http.Request, sp RouteSpec) {
 	req, err := wire.DecodeSubscribeRequest(r.URL.Query())
 	if err != nil {
 		gateway.WriteError(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
@@ -449,7 +476,7 @@ func (rt *Router) handleSubscribe(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	rt.proxyPlant(w, r, plant)
+	rt.proxyPlant(w, r, plant, sp)
 }
 
 // --- coordinator API -------------------------------------------------
@@ -631,18 +658,53 @@ func (rt *Router) mutateMembership(fn func([]wire.ClusterNode) ([]wire.ClusterNo
 
 // pushMembership sends the table to every node that could be serving.
 // An unreachable down node is expected; an unreachable live one is
-// returned so join/bootstrap surface it.
+// returned so join/bootstrap surface it — and retried in the
+// background, because clusterGate refuses every proxied request whose
+// stamped epoch differs from the node's view: a single missed push
+// would otherwise wedge that node at the stale epoch until the next
+// membership change.
 func (rt *Router) pushMembership(mem wire.ClusterMembership) error {
 	var firstErr error
 	for _, n := range mem.Nodes {
 		if n.State == wire.NodeDown {
 			continue
 		}
-		if err := rt.nodePost(n, "/v1/cluster/membership", mem, nil); err != nil && firstErr == nil {
-			firstErr = fmt.Errorf("cluster: pushing membership to %s: %w", n.ID, err)
+		if err := rt.nodePost(n, "/v1/cluster/membership", mem, nil); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("cluster: pushing membership to %s: %w", n.ID, err)
+			}
+			rt.retryMembershipPush(n, mem)
 		}
 	}
 	return firstErr
+}
+
+// retryMembershipPush keeps re-pushing mem to one node in the
+// background until it acks. The retrier gives up when the router's
+// epoch moves past mem.Epoch (the newer push spawns its own retrier)
+// or the router shuts down. pushMembership runs under opMu once per
+// epoch, so at most one retrier exists per (node, epoch).
+func (rt *Router) retryMembershipPush(n wire.ClusterNode, mem wire.ClusterMembership) {
+	go func() {
+		backoff := 50 * time.Millisecond
+		for {
+			select {
+			case <-rt.done:
+				return
+			case <-time.After(backoff):
+			}
+			if backoff < time.Second {
+				backoff *= 2
+			}
+			if rt.epoch() != mem.Epoch {
+				return
+			}
+			if err := rt.nodePost(n, "/v1/cluster/membership", mem, nil); err == nil {
+				rt.logf("membership epoch %d reached %s after retry", mem.Epoch, n.ID)
+				return
+			}
+		}
+	}()
 }
 
 // rebalanceLocked moves every plant whose owner under the current

@@ -315,8 +315,20 @@ func TestRouterFollowerReadAndFailover(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Owner drops off the network: idempotent reads fall back to the
-	// standby under the explicit stale-read contract...
+	// With the owner up, responses carry no staleness flag.
+	fresh, err := http.Get(base + "/v1/plants/" + plant + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, fresh.Body)
+	fresh.Body.Close()
+	if fresh.Header.Get(cluster.StaleHeader) != "" {
+		t.Fatalf("owner-served report carries %s", cluster.StaleHeader)
+	}
+
+	// Owner drops off the network: idempotent analytic reads fall back
+	// to the standby under the explicit stale-read contract, flagged
+	// with the stale header...
 	owner.stop()
 	got, err := client.Report(ctx, plant, hod.ReportQuery{})
 	if err != nil {
@@ -324,6 +336,31 @@ func TestRouterFollowerReadAndFailover(t *testing.T) {
 	}
 	if !reflect.DeepEqual(got, report) {
 		t.Fatal("stale-fallback report differs from pre-failure report")
+	}
+	stale, err := http.Get(base + "/v1/plants/" + plant + "/report")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, stale.Body)
+	stale.Body.Close()
+	if stale.StatusCode != http.StatusOK || stale.Header.Get(cluster.StaleHeader) != "1" {
+		t.Fatalf("stale fallback report: status %d, %s=%q, want 200 flagged stale",
+			stale.StatusCode, cluster.StaleHeader, stale.Header.Get(cluster.StaleHeader))
+	}
+	// .../backup never falls back — a stale backup restored later would
+	// silently lose acked data...
+	bk, err := http.Get(base + "/v1/plants/" + plant + "/backup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bkBody, _ := io.ReadAll(bk.Body)
+	bk.Body.Close()
+	if bk.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("backup with owner down = %d, want 503 failover", bk.StatusCode)
+	}
+	var bkEnv wire.ErrorEnvelope
+	if err := json.Unmarshal(bkBody, &bkEnv); err != nil || bkEnv.Err.Code != wire.CodeFailover {
+		t.Fatalf("backup with owner down: not a failover envelope: %s", bkBody)
 	}
 	// ...while writes answer the retriable failover envelope.
 	noRetry := hod.NewClient(base, hod.WithMaxRetries(0))
@@ -353,6 +390,52 @@ func TestRouterFollowerReadAndFailover(t *testing.T) {
 	}
 	if _, err := client.Ingest(ctx, plant, recs[:1]); err != nil {
 		t.Fatalf("write after promotion: %v", err)
+	}
+}
+
+// TestRouterRetriesMissedMembershipPush pins the reconciliation loop:
+// clusterGate refuses every proxied request whose stamped epoch
+// differs from the node's view, so a node that misses one membership
+// push (transient listener outage) would answer 503 forever. The
+// router must keep re-pushing in the background until the node acks.
+func TestRouterRetriesMissedMembershipPush(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	nodes := startNodes(t, 3)
+	_, base := startRouter(t, nodes[:2]) // n3 joins later
+	client := hod.NewClient(base)
+
+	// n2's listener goes away, so it misses the push the join of n3
+	// triggers.
+	addr := strings.TrimPrefix(nodes[1].node.Addr, "http://")
+	nodes[1].stop()
+	if _, err := client.ClusterJoin(ctx, nodes[2].node.ID, nodes[2].node.Addr); err != nil {
+		t.Fatal(err)
+	}
+	want, err := client.ClusterStatus(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// n2 comes back on the same address. No further membership change
+	// happens: only the background retrier can deliver the missed epoch.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(nodes[1].srv.ServeListener(ln))
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var st wire.ClusterStatusResponse
+		err := getJSON(nodes[1].node.Addr+"/v1/cluster/status", true, &st)
+		if err == nil && st.Epoch == want.Epoch {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s never caught up to epoch %d (last status: %+v, err %v)",
+				nodes[1].node.ID, want.Epoch, st, err)
+		}
+		time.Sleep(20 * time.Millisecond)
 	}
 }
 

@@ -18,6 +18,10 @@ const (
 	InternalHeader = "X-Hod-Cluster-Internal"
 	WalFirstHeader = "X-Hod-Wal-First"
 	WalLastHeader  = "X-Hod-Wal-Last"
+	// StaleHeader marks a response the router served from the warm
+	// standby because the owner was unreachable — an implicit stale
+	// read the client did not opt into with ?consistency=follower.
+	StaleHeader = "X-Hod-Cluster-Stale"
 )
 
 // ConsistencyParam is the query knob that opts a /cube or /rollup read
@@ -42,6 +46,12 @@ type RouteSpec struct {
 	// Follower routes may be served by the warm standby under the
 	// explicit ?consistency=follower knob.
 	Follower bool
+	// StaleFallback routes may be retried on the warm standby when the
+	// owner is unreachable and nothing reached the client yet — the
+	// analytic reads, where a slightly stale answer beats a 503 while
+	// failover settles. Never /backup: a stale backup restored later
+	// would silently lose acked data.
+	StaleFallback bool
 	// Upgrade routes are the push endpoints (WebSocket / SSE); the
 	// router forwards them to the owner with streaming flush.
 	Upgrade bool
@@ -61,11 +71,11 @@ func V1Routes() []RouteSpec {
 		{Method: "GET", Pattern: "/v1/plants"},
 		{Method: "POST", Pattern: "/v1/plants/{id}/ingest", PlantScoped: true},
 		{Method: "POST", Pattern: "/v1/plants/{id}/jobs", PlantScoped: true},
-		{Method: "GET", Pattern: "/v1/plants/{id}/report", PlantScoped: true},
-		{Method: "GET", Pattern: "/v1/plants/{id}/rollup", PlantScoped: true, Follower: true},
-		{Method: "GET", Pattern: "/v1/plants/{id}/cube", PlantScoped: true, Follower: true},
-		{Method: "GET", Pattern: "/v1/plants/{id}/alerts", PlantScoped: true},
-		{Method: "GET", Pattern: "/v1/plants/{id}/stats", PlantScoped: true},
+		{Method: "GET", Pattern: "/v1/plants/{id}/report", PlantScoped: true, StaleFallback: true},
+		{Method: "GET", Pattern: "/v1/plants/{id}/rollup", PlantScoped: true, Follower: true, StaleFallback: true},
+		{Method: "GET", Pattern: "/v1/plants/{id}/cube", PlantScoped: true, Follower: true, StaleFallback: true},
+		{Method: "GET", Pattern: "/v1/plants/{id}/alerts", PlantScoped: true, StaleFallback: true},
+		{Method: "GET", Pattern: "/v1/plants/{id}/stats", PlantScoped: true, StaleFallback: true},
 		{Method: "GET", Pattern: "/v1/plants/{id}/backup", PlantScoped: true},
 		{Method: "POST", Pattern: "/v1/plants/{id}/restore", PlantScoped: true},
 		{Method: "GET", Pattern: "/v1/subscribe", Upgrade: true},

@@ -93,6 +93,24 @@ func (s *Server) clusterGate(w http.ResponseWriter, r *http.Request, plantID str
 	return false
 }
 
+// clusterInternal guards the mutating node-side cluster control
+// surface (membership, replicate, release): only a cluster node serves
+// it, and only for traffic marked with the internal header. Without
+// both checks a standalone open server — or any tenant of a
+// multi-tenant one, since TenantScope only scopes {id} routes — could
+// POST /v1/cluster/release and destroy a plant's data dir.
+func (s *Server) clusterInternal(w http.ResponseWriter, r *http.Request) bool {
+	if s.opts.ClusterNodeID == "" {
+		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "not a cluster node (no -node-id)")
+		return false
+	}
+	if r.Header.Get(cluster.InternalHeader) != "1" {
+		writeErr(w, http.StatusForbidden, wire.CodeForbidden, "internal cluster route")
+		return false
+	}
+	return true
+}
+
 // handleClusterStatus reports the node's membership view and the
 // placement of every plant it holds.
 func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
@@ -120,8 +138,7 @@ func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
 // Pushes are idempotent at the same epoch; a stale epoch is refused so
 // a partitioned router cannot roll a node's view backwards.
 func (s *Server) handleClusterMembership(w http.ResponseWriter, r *http.Request) {
-	if s.opts.ClusterNodeID == "" {
-		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "not a cluster node (no -node-id)")
+	if !s.clusterInternal(w, r) {
 		return
 	}
 	var m wire.ClusterMembership
@@ -171,8 +188,7 @@ func (s *Server) reconcileCluster(m wire.ClusterMembership) {
 // drop any stale local copy, seed from the owner's snapshot (with WAL
 // positions), and tail the owner's log from there.
 func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) {
-	if s.opts.ClusterNodeID == "" {
-		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "not a cluster node (no -node-id)")
+	if !s.clusterInternal(w, r) {
 		return
 	}
 	var req wire.ClusterPlantRequest
@@ -190,6 +206,9 @@ func (s *Server) handleClusterReplicate(w http.ResponseWriter, r *http.Request) 
 // handleClusterRelease drops the local copy of a plant (data dir
 // included). Idempotent: releasing a plant the node does not hold acks.
 func (s *Server) handleClusterRelease(w http.ResponseWriter, r *http.Request) {
+	if !s.clusterInternal(w, r) {
+		return
+	}
 	var req wire.ClusterPlantRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil || req.Plant == "" {
 		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, "bad release request")
@@ -387,18 +406,26 @@ func (s *Server) reseedStandby(plantID string) {
 // regular admit path — local WAL, local shard hash, idempotent folds —
 // so a promoted standby serves exactly what it replicated.
 type walTailer struct {
-	s     *Server
-	plant string
-	after []uint64 // applied position per *owner* shard
-	stop  chan struct{}
-	done  chan struct{}
-	once  sync.Once
+	s       *Server
+	plant   string
+	after   []uint64 // applied position per *owner* shard
+	corrupt int      // consecutive polls that hit a corrupt frame
+	stop    chan struct{}
+	done    chan struct{}
+	once    sync.Once
 }
 
 var (
 	errTailerStopped = errors.New("tailer stopped")
 	errTailerReseed  = errors.New("tailer gap: re-seed")
+	errShipCorrupt   = errors.New("corrupt ship frame")
 )
+
+// maxCorruptPolls is how many consecutive corrupt tail responses the
+// tailer tolerates before giving up on its cursor and re-seeding from
+// a snapshot — a genuinely corrupt owner log would otherwise be
+// refetched from the same position forever.
+const maxCorruptPolls = 5
 
 func (s *Server) startTailer(plant string, positions []uint64) {
 	t := &walTailer{
@@ -460,8 +487,21 @@ func (t *walTailer) run() {
 			// tailer and halt waits on our done channel.
 			go t.s.reseedStandby(t.plant)
 			return
+		case errors.Is(err, errShipCorrupt):
+			// Not a torn tail: the owner answered a full frame that does
+			// not decode. Refetching the same cursor would replay the same
+			// bytes, so after a few strikes abandon the cursor entirely.
+			t.corrupt++
+			log.Printf("server: cluster: tailing plant %s: %v", t.plant, err)
+			if t.corrupt >= maxCorruptPolls {
+				log.Printf("server: cluster: plant %s: %d consecutive corrupt tail responses; re-seeding from a snapshot", t.plant, t.corrupt)
+				go t.s.reseedStandby(t.plant)
+				return
+			}
 		case err != nil:
 			log.Printf("server: cluster: tailing plant %s: %v", t.plant, err)
+		default:
+			t.corrupt = 0
 		}
 		if !progress || err != nil {
 			select {
@@ -523,7 +563,9 @@ func (t *walTailer) pollOnce() (bool, error) {
 
 // applyFrames folds one tail response into the local plant. A torn
 // trailing frame is not an error: the cursor only advances past fully
-// applied entries, so the refetch resumes exactly there.
+// applied entries, so the refetch resumes exactly there. Any other
+// decode failure is surfaced as errShipCorrupt — refetching would
+// replay the same bad bytes, so the caller must not retry silently.
 func (t *walTailer) applyFrames(ps *plantState, shardIdx int, body io.Reader) (bool, error) {
 	progress := false
 	for {
@@ -531,12 +573,15 @@ func (t *walTailer) applyFrames(ps *plantState, shardIdx int, body io.Reader) (b
 		if err == io.EOF {
 			return progress, nil
 		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return progress, nil // torn trailing frame: refetch from the cursor
+		}
 		if err != nil {
-			return progress, nil
+			return progress, fmt.Errorf("shard %d: %w: %v", shardIdx, errShipCorrupt, err)
 		}
 		ent, err := decodeEntry(payload)
 		if err != nil {
-			return progress, fmt.Errorf("shard %d seq %d: %w", shardIdx, seq, err)
+			return progress, fmt.Errorf("shard %d seq %d: %w: %v", shardIdx, seq, errShipCorrupt, err)
 		}
 		if err := t.apply(ps, ent); err != nil {
 			return progress, err
