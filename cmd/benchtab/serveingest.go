@@ -14,22 +14,32 @@ import (
 // serveIngestResult reports the durable ingest benchmark: a WAL-on
 // hodserve instance (fsync=always, the production default) fed a full
 // simulated trace over HTTP through the SDK client. The wall clock is
-// recorded by the runner in the benchguard baseline as "serveingest",
-// so WAL overhead on the ingest path is gated like any other hot path;
-// the printed line carries only deterministic facts — benchtab stdout
-// must stay byte-identical across runs and parallelism settings.
+// recorded by the runner in the benchguard baseline as "serveingest"
+// (NDJSON) or "serveingest-binary" (binary columnar frames), so WAL
+// overhead on the ingest path is gated like any other hot path; the
+// printed line carries only deterministic facts — benchtab stdout must
+// stay byte-identical across runs and parallelism settings.
 type serveIngestResult struct {
+	codec       string
 	records     int
 	batches     int
 	walSegments int
 }
 
 func (r serveIngestResult) String() string {
-	return fmt.Sprintf("durable ingest: %d records in %d batches, %d wal segments, fsync=always (timing in the -json baseline)",
-		r.records, r.batches, r.walSegments)
+	return fmt.Sprintf("durable ingest (%s): %d records in %d batches, %d wal segments, fsync=always (timing in the -json baseline)",
+		r.codec, r.records, r.batches, r.walSegments)
 }
 
 func runServeIngest(seed int64) (fmt.Stringer, error) {
+	return runServeIngestCodec(seed, false)
+}
+
+func runServeIngestBinary(seed int64) (fmt.Stringer, error) {
+	return runServeIngestCodec(seed, true)
+}
+
+func runServeIngestCodec(seed int64, binary bool) (fmt.Stringer, error) {
 	p, err := hod.Simulate(hod.SimConfig{
 		Seed: seed, Lines: 2, MachinesPerLine: 3, JobsPerMachine: 12,
 		PhaseSamples: 80, FaultRate: 0.3, MeasurementErrorRate: 0.3,
@@ -65,6 +75,12 @@ func runServeIngest(seed int64) (fmt.Stringer, error) {
 		return nil, err
 	}
 
+	ingest := client.Ingest
+	codec := "ndjson"
+	if binary {
+		ingest = client.IngestBinary
+		codec = "binary"
+	}
 	recs := p.Records()
 	const batch = 2000
 	batches := 0
@@ -73,7 +89,7 @@ func runServeIngest(seed int64) (fmt.Stringer, error) {
 		if hi > len(recs) {
 			hi = len(recs)
 		}
-		if _, err := client.Ingest(ctx, "bench", recs[lo:hi]); err != nil {
+		if _, err := ingest(ctx, "bench", recs[lo:hi]); err != nil {
 			return nil, err
 		}
 		batches++
@@ -86,6 +102,6 @@ func runServeIngest(seed int64) (fmt.Stringer, error) {
 		return nil, err
 	}
 	return serveIngestResult{
-		records: len(recs), batches: batches, walSegments: st.WALSegments,
+		codec: codec, records: len(recs), batches: batches, walSegments: st.WALSegments,
 	}, nil
 }

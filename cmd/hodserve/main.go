@@ -8,7 +8,7 @@
 //	         [-alert-threshold Z] [-max-outliers N]
 //	         [-data-dir DIR] [-fsync always|interval|none]
 //	         [-snapshot-interval 30s]
-//	         [-tenants tenants.json] [-request-log]
+//	         [-tenants tenants.json] [-request-log] [-pprof ADDR]
 //	         [-role node|router] [-node-id ID] [-peers id=url,...]
 //
 // Cluster mode runs the same binary in two roles. A node
@@ -43,6 +43,12 @@
 //	hodctl report -addr http://localhost:8080 -plant p1 -level phase -top 10
 //	curl 'localhost:8080/v1/plants/p1/report?level=phase&top=10'
 //
+// -pprof starts a second HTTP listener serving net/http/pprof on the
+// given address (e.g. -pprof localhost:6060). The profiling surface is
+// kept off the main listener on purpose: it is unauthenticated and
+// belongs on a loopback or otherwise firewalled port, never behind the
+// tenant gateway.
+//
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, then
 // every in-flight ingest batch is drained before exit.
 package main
@@ -54,7 +60,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -83,7 +91,17 @@ func main() {
 	role := flag.String("role", "node", "process role: node (serves plants) or router (cluster routing proxy)")
 	nodeID := flag.String("node-id", "", "cluster node id; enables ownership gating and warm standbys on a node")
 	peers := flag.String("peers", "", "router peer list as id=url[,id=url...]; required with -role=router")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this side address (e.g. localhost:6060); empty = off")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		stopPprof, err := startPprof(*pprofAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hodserve:", err)
+			os.Exit(1)
+		}
+		defer stopPprof()
+	}
 
 	switch *role {
 	case "node":
@@ -159,6 +177,31 @@ func loadTenants(path string) (map[string]gateway.Tenant, error) {
 		}
 	}
 	return tenants, nil
+}
+
+// startPprof serves the net/http/pprof surface on its own listener so
+// profiling never shares a port with the (possibly tenant-gated) v1
+// API. An explicit mux is used instead of the package's DefaultServeMux
+// side effects: only the /debug/pprof/ endpoints exist on this port.
+func startPprof(addr string) (stop func(), err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("pprof listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "hodserve: pprof:", err)
+		}
+	}()
+	fmt.Printf("hodserve: pprof listening on %s\n", ln.Addr())
+	return func() { srv.Close() }, nil
 }
 
 // parsePeers parses the -peers list: "n1=http://h1:8080,n2=http://h2:8080".

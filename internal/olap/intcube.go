@@ -1,0 +1,124 @@
+package olap
+
+import (
+	"fmt"
+	"math"
+)
+
+// The serving layer's ingest path folds facts into per-shard cubes at
+// record rate; joining five strings into a map key per fact is what
+// the zero-alloc ingest work removed. IntCube is the hot-path twin of
+// Cube: coordinates are fixed-arity arrays of interned int32 ids, so a
+// cell lookup is one array-keyed map access with no allocation. The
+// query surface stays on Cube — the shard IntCubes are translated back
+// to string coordinates when a query (or snapshot) merges them.
+
+// IntCoord is one interned cube coordinate: line, machine, job, phase,
+// sensor ids in dimension order.
+type IntCoord [5]int32
+
+// IntCell aggregates the facts sharing one interned coordinate. The
+// measure fields mirror Cell.
+type IntCell struct {
+	Coord IntCoord
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Observe folds one measure into the cell in place — same gates and
+// semantics as Cell.Observe, minus the string coordinate in the error
+// (callers translate ids when surfacing it).
+func (c *IntCell) Observe(value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: %v at %v", ErrNonFinite, value, c.Coord)
+	}
+	sum := c.Sum + value
+	if math.IsInf(sum, 0) {
+		return fmt.Errorf("%w: sum overflow at %v", ErrNonFinite, c.Coord)
+	}
+	if c.Count == 0 {
+		c.Min, c.Max = value, value
+	} else {
+		if value < c.Min {
+			c.Min = value
+		}
+		if value > c.Max {
+			c.Max = value
+		}
+	}
+	c.Count++
+	c.Sum = sum
+	return nil
+}
+
+// IntCube is a sparse cube over interned coordinates.
+type IntCube struct {
+	cells map[IntCoord]*IntCell
+}
+
+// NewIntCube returns an empty interned cube.
+func NewIntCube() *IntCube {
+	return &IntCube{cells: make(map[IntCoord]*IntCell)}
+}
+
+// CellAt returns the cell at coord, or nil.
+func (c *IntCube) CellAt(coord IntCoord) *IntCell { return c.cells[coord] }
+
+// AddFact folds one measure into the cell at coord, creating it on
+// first touch. Non-finite measures and sum overflow are refused with
+// ErrNonFinite, like Cube.AddFact.
+func (c *IntCube) AddFact(coord IntCoord, value float64) error {
+	cell, ok := c.cells[coord]
+	if !ok {
+		if math.IsNaN(value) || math.IsInf(value, 0) {
+			return fmt.Errorf("%w: %v at %v", ErrNonFinite, value, coord)
+		}
+		cell = &IntCell{Coord: coord}
+		c.cells[coord] = cell
+	}
+	return cell.Observe(value)
+}
+
+// AddAggregate merges one pre-aggregated cell — the snapshot-restore
+// primitive, mirroring Cube.AddAggregate's gates.
+func (c *IntCube) AddAggregate(coord IntCoord, count int, sum, min, max float64) error {
+	if count <= 0 {
+		return fmt.Errorf("%w: aggregate count %d at %v", ErrSchema, count, coord)
+	}
+	for _, v := range []float64{sum, min, max} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %v at %v", ErrNonFinite, v, coord)
+		}
+	}
+	cell, ok := c.cells[coord]
+	if !ok {
+		cell = &IntCell{Coord: coord, Min: min, Max: max}
+		c.cells[coord] = cell
+	}
+	merged := cell.Sum + sum
+	if math.IsInf(merged, 0) {
+		return fmt.Errorf("%w: sum overflow at %v", ErrNonFinite, coord)
+	}
+	cell.Count += count
+	cell.Sum = merged
+	if min < cell.Min {
+		cell.Min = min
+	}
+	if max > cell.Max {
+		cell.Max = max
+	}
+	return nil
+}
+
+// Len returns the number of materialised cells.
+func (c *IntCube) Len() int { return len(c.cells) }
+
+// Each visits every cell in map order — callers needing determinism
+// sort after translating ids to strings.
+func (c *IntCube) Each(fn func(*IntCell)) {
+	for _, cell := range c.cells {
+		fn(cell)
+	}
+}

@@ -1,0 +1,85 @@
+package olap
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestIntCubeMirrorsCube(t *testing.T) {
+	ic := NewIntCube()
+	coord := IntCoord{0, 1, 2, 3, 4}
+	for _, v := range []float64{2, -1, 5} {
+		if err := ic.AddFact(coord, v); err != nil {
+			t.Fatalf("AddFact(%v): %v", v, err)
+		}
+	}
+	cell := ic.CellAt(coord)
+	if cell == nil {
+		t.Fatal("cell missing")
+	}
+	if cell.Count != 3 || cell.Sum != 6 || cell.Min != -1 || cell.Max != 5 {
+		t.Fatalf("aggregates drifted: %+v", cell)
+	}
+	if err := ic.AddFact(coord, math.NaN()); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("NaN fact: want ErrNonFinite, got %v", err)
+	}
+	if err := ic.AddFact(IntCoord{9, 9, 9, 9, 9}, math.Inf(1)); !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("Inf first fact: want ErrNonFinite, got %v", err)
+	}
+	if ic.Len() != 1 {
+		t.Fatalf("rejected first fact must not materialise a cell: len %d", ic.Len())
+	}
+	if err := ic.AddAggregate(coord, 0, 1, 1, 1); !errors.Is(err, ErrSchema) {
+		t.Fatalf("zero-count aggregate: want ErrSchema, got %v", err)
+	}
+	if err := ic.AddAggregate(coord, 2, 4, 1, 3); err != nil {
+		t.Fatalf("AddAggregate: %v", err)
+	}
+	if cell.Count != 5 || cell.Sum != 10 || cell.Min != -1 || cell.Max != 5 {
+		t.Fatalf("merged aggregates drifted: %+v", cell)
+	}
+}
+
+// TestObserveFastPathZeroAlloc pins the per-record fold cost: once a
+// cell exists, folding another sample into it — interned or string
+// cube — must not allocate. This is the gate the ingest hot path
+// (foldRefs' cubeLast memo) relies on.
+func TestObserveFastPathZeroAlloc(t *testing.T) {
+	ic := &IntCell{}
+	if err := ic.Observe(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := ic.Observe(2.5); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("IntCell.Observe allocates %v per run, want 0", n)
+	}
+
+	sc := &Cell{Coord: []string{"l", "m", "j", "p", "s"}}
+	if err := sc.Observe(1); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := sc.Observe(2.5); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("Cell.Observe allocates %v per run, want 0", n)
+	}
+
+	cube := NewIntCube()
+	coord := IntCoord{0, 1, 2, 3, 4}
+	if err := cube.AddFact(coord, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := cube.AddFact(coord, 2); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("IntCube.AddFact (existing cell) allocates %v per run, want 0", n)
+	}
+}

@@ -76,6 +76,11 @@ const (
 	// At; the subscription must redial and resume from its seq cursor
 	// without replaying or losing alerts. Needs "subscribe": true.
 	KindWSDisconnect = "ws_disconnect"
+	// KindCorruptFrame posts a structurally corrupt binary columnar
+	// frame (wire.ContentTypeBinary) before batch At. The server must
+	// reject it whole with 400 + bad_frame — and the next valid batch
+	// must still admit: a torn frame can never wedge a shard pipeline.
+	KindCorruptFrame = "corrupt_frame"
 	// KindNodeKill kills the node owning the target plant — listener
 	// gone, queues dropped, no snapshot; a machine death, not a process
 	// restart (that is "kill") — declares it failed at the router, and
@@ -137,6 +142,11 @@ type Config struct {
 
 	// BatchRecords chunks each plant's trace (default 512 records).
 	BatchRecords int `json:"batch_records,omitempty"`
+	// Binary replays the trace as binary columnar frames
+	// (wire.ContentTypeBinary) instead of NDJSON. The oracle still
+	// replays the acked stream as NDJSON, so every bytes_equal check
+	// doubles as a cross-codec equivalence check.
+	Binary bool `json:"binary,omitempty"`
 	// Server shape under test.
 	Shards     int `json:"shards,omitempty"`      // default 3
 	QueueDepth int `json:"queue_depth,omitempty"` // default 64
@@ -218,6 +228,7 @@ var kindNeedsDurable = map[string]bool{
 	KindReorder:         false,
 	KindKill:            true,
 	KindCorruptWALTail:  true,
+	KindCorruptFrame:    false,
 	KindStorm429:        false,
 	KindStorm5xx:        false,
 	KindConnReset:       false,

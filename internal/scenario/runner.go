@@ -285,13 +285,21 @@ func (r *Runner) replay(ctx context.Context, cfg Config, h *harness, traces []*p
 	registered := map[string]bool{}
 	jobsSent := map[string][]wire.JobMeta{}
 
+	// ingest resolves h.client at call time — restarts swap the client
+	// for one pointed at the new generation's port.
+	ingest := func(ctx context.Context, plantID string, recs []wire.Record) (wire.IngestAck, error) {
+		if cfg.Binary {
+			return h.client.IngestBinary(ctx, plantID, recs)
+		}
+		return h.client.Ingest(ctx, plantID, recs)
+	}
 	send := func(plantID string, recs []wire.Record) error {
 		var lastErr error
 		for attempt := 0; attempt < sendAttempts; attempt++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			ack, err := h.client.Ingest(ctx, plantID, recs)
+			ack, err := ingest(ctx, plantID, recs)
 			if err == nil {
 				acked = append(acked, ackedBatch{plant: plantID, records: recs, admitted: ack.Records})
 				admitted[plantID] += uint64(ack.Records)
@@ -430,6 +438,15 @@ func (r *Runner) fire(ctx context.Context, cfg Config, h *harness, f Failure, re
 		}
 		h.router.PartitionNext(owner, n)
 		res.Injected[KindRouterPartition] += uint64(n)
+	case KindCorruptFrame:
+		plantID := target(f, firstPlant(cfg))
+		for i := 0; i < n; i++ {
+			_, err := h.client.IngestBody(ctx, plantID, wire.ContentTypeBinary, corruptFrameBody())
+			rejected := errors.Is(err, hod.ErrBadFrame)
+			res.check(fmt.Sprintf("corrupt_frame_rejected/%s/at_%d_%d", plantID, f.At, i),
+				rejected, fmt.Sprintf("want ErrBadFrame, got %v", err))
+			res.Injected[KindCorruptFrame]++
+		}
 	case KindStorm429:
 		faults := make([]hod.Fault, n)
 		for i := range faults {
@@ -503,6 +520,13 @@ func postReceived(st wire.StatsResponse, err error) uint64 {
 }
 
 func firstPlant(cfg Config) string { return cfg.Plants[0].ID }
+
+// corruptFrameBody is a deterministic structurally invalid binary
+// frame: a plausible length prefix over a payload with the wrong
+// magic. The server must reject it whole with 400 + bad_frame.
+func corruptFrameBody() []byte {
+	return []byte{16, 0, 0, 0, 'H', 'O', 'D', 'X', 1, 0, 0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0, 0, 0}
+}
 
 // corruptWALTails appends a torn frame — a header claiming an absurd
 // length followed by garbage — to the newest segment of every shard

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/plant"
+	"repro/pkg/hod/wire"
+)
+
+func binaryBody(t *testing.T, recs []Record) []byte {
+	t.Helper()
+	body, err := wire.EncodeBinary(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+func postBinaryChunks(t *testing.T, base, plantID string, chunks [][]Record) {
+	t.Helper()
+	for _, c := range chunks {
+		resp := postRetry(t, base+"/v1/plants/"+plantID+"/ingest", wire.ContentTypeBinary, binaryBody(t, c))
+		mustStatus(t, resp, http.StatusAccepted)
+	}
+}
+
+// TestBinaryIngestByteIdenticalToNDJSON is the binary-path acceptance
+// test: the same trace replayed as binary columnar frames into a
+// durable server answers every query byte-identically to an NDJSON
+// replay into an in-memory control — and keeps doing so after a kill
+// and a WAL-replay restart, proving the binary frames logged verbatim
+// in the WAL rebuild the exact same state.
+func TestBinaryIngestByteIdenticalToNDJSON(t *testing.T) {
+	p, err := plant.Simulate(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const plantID = "plant-binary"
+	topo := topoFromPlant(plantID, p)
+	chunks := traceChunks(p, 1500)
+	total := 0
+	for _, c := range chunks {
+		total += len(c)
+	}
+
+	// Control: uninterrupted, in-memory, NDJSON.
+	control := New(Options{Shards: 3, QueueDepth: 64, Workers: 2})
+	defer control.Close()
+	tsC := httptest.NewServer(control.Handler())
+	defer tsC.Close()
+	register(t, tsC.URL, topo)
+	postChunks(t, tsC.URL, plantID, chunks)
+	postJobs(t, tsC.URL, plantID, p)
+	waitDrained(t, tsC.URL, plantID, uint64(total))
+
+	// Subject: durable, binary frames all the way down.
+	dataDir := t.TempDir()
+	subject := New(durableOptions(dataDir))
+	if err := subject.Open(); err != nil {
+		t.Fatal(err)
+	}
+	tsS := httptest.NewServer(subject.Handler())
+	register(t, tsS.URL, topo)
+	postBinaryChunks(t, tsS.URL, plantID, chunks)
+	postJobs(t, tsS.URL, plantID, p)
+	waitDrained(t, tsS.URL, plantID, uint64(total))
+
+	queries := []string{
+		"/report?level=1&top=512",
+		"/report?level=2&top=64",
+		"/report?level=4",
+		"/rollup?level=sensor",
+		"/rollup?level=machine",
+		"/rollup?level=plant",
+		"/cube?op=slice",
+		"/cube?op=rollup&keep=machine,sensor",
+		"/cube?op=drilldown&dim=phase&where=machine%3D" + url.QueryEscape(p.Machines()[0].ID),
+	}
+	for _, q := range queries {
+		want := getBody(t, tsC.URL+"/v1/plants/"+plantID+q)
+		got := getBody(t, tsS.URL+"/v1/plants/"+plantID+q)
+		if string(want) != string(got) {
+			t.Fatalf("binary ingest diverged from NDJSON on %s:\nndjson: %s\nbinary: %s", q, want, got)
+		}
+	}
+
+	// Kill without drain or snapshot: recovery must replay the
+	// binary-tagged WAL frames through the same fold path.
+	tsS.Close()
+	subject.Kill()
+	restarted := New(durableOptions(dataDir))
+	if err := restarted.Open(); err != nil {
+		t.Fatalf("recovery from binary WAL failed: %v", err)
+	}
+	defer restarted.Close()
+	tsR := httptest.NewServer(restarted.Handler())
+	defer tsR.Close()
+	for _, q := range queries {
+		want := getBody(t, tsC.URL+"/v1/plants/"+plantID+q)
+		got := getBody(t, tsR.URL+"/v1/plants/"+plantID+q)
+		if string(want) != string(got) {
+			t.Fatalf("binary WAL recovery diverged on %s:\nndjson: %s\nrecovered: %s", q, want, got)
+		}
+	}
+}
+
+// TestBinaryFrameHTTPRejections pins the admission contract of the
+// binary path: structural damage rejects the whole request with 400
+// and the bad_frame code, identifier drift stays a per-record
+// rejection with the text path's messages — and neither wedges the
+// shard pipelines for the next valid batch.
+func TestBinaryFrameHTTPRejections(t *testing.T) {
+	srv := New(Options{Shards: 2, QueueDepth: 16, Workers: 1})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	topo := Topology{
+		ID:      "plant-frames",
+		Lines:   []TopoLine{{ID: "line-0", Machines: []string{"m-0", "m-1"}}},
+		Phases:  []string{"heat"},
+		Sensors: []string{"temp"},
+	}
+	register(t, ts.URL, topo)
+	ingestURL := ts.URL + "/v1/plants/plant-frames/ingest"
+
+	valid := []Record{
+		{Machine: "m-0", Job: "job-1", Phase: "heat", Sensor: "temp", T: 0, Value: 20},
+		{Machine: "m-1", Job: "job-1", Phase: "heat", Sensor: "temp", T: 0, Value: 21},
+	}
+	// Resolve the server's defaulted phase/sensor names so the frames
+	// reference real identifiers.
+	probe := postRetry(t, ingestURL, "application/x-ndjson", ndjson(valid))
+	body := mustStatus(t, probe, http.StatusAccepted)
+	var ack wire.IngestAck
+	if err := json.Unmarshal(body, &ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Rejected > 0 {
+		t.Fatalf("probe batch rejected: %s", ack.FirstRejection)
+	}
+
+	wantBadFrame := func(t *testing.T, raw []byte) {
+		t.Helper()
+		resp := postRetry(t, ingestURL, wire.ContentTypeBinary, raw)
+		errBody := mustStatus(t, resp, http.StatusBadRequest)
+		var env wire.ErrorEnvelope
+		if err := json.Unmarshal(errBody, &env); err != nil {
+			t.Fatalf("error envelope: %v in %s", err, errBody)
+		}
+		if env.Err.Code != wire.CodeBadFrame {
+			t.Fatalf("error code %q, want %q (%s)", env.Err.Code, wire.CodeBadFrame, errBody)
+		}
+	}
+
+	good := binaryBody(t, valid)
+
+	t.Run("truncated", func(t *testing.T) {
+		wantBadFrame(t, good[:len(good)-3])
+	})
+	t.Run("garbage", func(t *testing.T) {
+		wantBadFrame(t, []byte("this is not a frame at all, not even close"))
+	})
+	t.Run("oversized length prefix", func(t *testing.T) {
+		raw := append([]byte(nil), good...)
+		binary.LittleEndian.PutUint32(raw, wire.MaxFrameBytes+1)
+		wantBadFrame(t, raw)
+	})
+	t.Run("dictionary index out of range", func(t *testing.T) {
+		raw := append([]byte(nil), good...)
+		// The machine column starts right after the u32 record count,
+		// which follows the last sensor dictionary entry.
+		i := len(raw) - 2*(5*4+8) // two records of five i32 columns + one f64
+		binary.LittleEndian.PutUint32(raw[i:], 1<<20)
+		wantBadFrame(t, raw)
+	})
+	t.Run("unknown machine stays per-record", func(t *testing.T) {
+		recs := append([]Record{{Machine: "ghost", Job: "job-1", Phase: "heat", Sensor: "temp", T: 1, Value: 5}}, valid...)
+		recs[1].T, recs[2].T = 1, 1
+		resp := postRetry(t, ingestURL, wire.ContentTypeBinary, binaryBody(t, recs))
+		ackBody := mustStatus(t, resp, http.StatusAccepted)
+		var a wire.IngestAck
+		if err := json.Unmarshal(ackBody, &a); err != nil {
+			t.Fatal(err)
+		}
+		if a.Rejected != 1 || a.Records != 2 {
+			t.Fatalf("ack %+v, want 2 admitted / 1 rejected", a)
+		}
+		if !strings.Contains(a.FirstRejection, `unregistered machine "ghost"`) {
+			t.Fatalf("first rejection %q lost the text path's message", a.FirstRejection)
+		}
+	})
+	t.Run("pipelines not wedged", func(t *testing.T) {
+		recs := append([]Record(nil), valid...)
+		for i := range recs {
+			recs[i].T = 2
+		}
+		resp := postRetry(t, ingestURL, wire.ContentTypeBinary, binaryBody(t, recs))
+		mustStatus(t, resp, http.StatusAccepted)
+		waitDrained(t, ts.URL, "plant-frames", 6)
+	})
+}
+
+// binaryTestTopo is a hand-rolled topology for plantState-level tests:
+// explicit phases/sensors, two machines across two lines.
+func binaryTestTopo() Topology {
+	return Topology{
+		ID:         "plant-intern",
+		Lines:      []TopoLine{{ID: "l0", Machines: []string{"m0"}}, {ID: "l1", Machines: []string{"m1"}}},
+		Phases:     []string{"heat", "cool"},
+		Sensors:    []string{"temp", "pressure"},
+		EnvSensors: []string{"hall-temp"},
+	}
+}
+
+func binaryTestRecords() []Record {
+	return []Record{
+		{Machine: "m0", Job: "job-b", Phase: "heat", Sensor: "temp", T: 0, Value: 1},
+		{Machine: "m0", Job: "job-a", Phase: "cool", Sensor: "pressure", T: 1, Value: 2},
+		{Machine: "m1", Job: "job-c", Phase: "heat", Sensor: "temp", T: 0, Value: 3},
+		{Env: true, Sensor: "hall-temp", T: 0, Value: 19},
+	}
+}
+
+// foldPlant resolves and folds records straight through the shard fold
+// path (no workers), the way WAL replay does.
+func foldPlant(t *testing.T, ps *plantState, recs []Record) {
+	t.Helper()
+	refs, rejected, firstErr := ps.resolveRecords(nil, recs)
+	if rejected > 0 {
+		t.Fatalf("resolve rejected %d: %s", rejected, firstErr)
+	}
+	ps.foldResolved(refs, 0)
+}
+
+// TestSnapshotRoundTripPreservesJobInterns pins the intern-table
+// snapshot contract: a restore reproduces the exact job-id assignment
+// the snapshot was captured under.
+func TestSnapshotRoundTripPreservesJobInterns(t *testing.T) {
+	ps := newPlantState(binaryTestTopo())
+	ps.makeShards(2, 8)
+	ps.alertThreshold = 1e18
+	foldPlant(t, ps, binaryTestRecords())
+
+	st := ps.captureState()
+	if want := ps.in.jobs.Names(); !reflect.DeepEqual(st.JobInterns, want) {
+		t.Fatalf("snapshot JobInterns %v, want %v", st.JobInterns, want)
+	}
+
+	restored := newPlantState(binaryTestTopo())
+	restored.makeShards(2, 8)
+	restored.applyState(st)
+	if got := restored.in.jobs.Names(); !reflect.DeepEqual(got, st.JobInterns) {
+		t.Fatalf("restored interns %v, want %v", got, st.JobInterns)
+	}
+	for wantID, name := range st.JobInterns {
+		if id, ok := restored.in.jobs.ID(name); !ok || int(id) != wantID {
+			t.Fatalf("job %q restored as id %d (ok=%v), want %d", name, id, ok, wantID)
+		}
+	}
+}
+
+// TestLegacySnapshotReintersDeterministically covers snapshots from
+// before interning (JobInterns absent): two independent restores must
+// assign identical job ids, so follower/standby pairs restored from
+// the same backup agree.
+func TestLegacySnapshotReintersDeterministically(t *testing.T) {
+	ps := newPlantState(binaryTestTopo())
+	ps.makeShards(2, 8)
+	ps.alertThreshold = 1e18
+	foldPlant(t, ps, binaryTestRecords())
+	st := ps.captureState()
+	st.JobInterns = nil // simulate a pre-intern snapshot
+
+	restore := func() *plantState {
+		r := newPlantState(binaryTestTopo())
+		r.makeShards(2, 8)
+		r.applyState(st)
+		return r
+	}
+	a, b := restore(), restore()
+	if got, want := a.in.jobs.Names(), b.in.jobs.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("legacy re-intern diverged between restores: %v vs %v", got, want)
+	}
+	if a.in.jobs.Len() != 3 {
+		t.Fatalf("expected 3 re-interned jobs, got %d (%v)", a.in.jobs.Len(), a.in.jobs.Names())
+	}
+	// The restored state must answer like the original, whatever ids it
+	// picked.
+	wantLevel, wantNodes, err := ps.rollup("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotLevel, gotNodes, err := a.rollup("sensor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantLevel != gotLevel || !reflect.DeepEqual(wantNodes, gotNodes) {
+		t.Fatalf("legacy restore rollup drifted:\nwant %v\n got %v", wantNodes, gotNodes)
+	}
+}
+
+// TestIngestSteadyStateZeroAlloc is the zero-alloc gate of the tentpole:
+// once identifiers are interned and cells exist, both halves of the
+// per-record hot path — batch resolution at admission and the shard
+// fold — run without a single allocation.
+func TestIngestSteadyStateZeroAlloc(t *testing.T) {
+	ps := newPlantState(binaryTestTopo())
+	ps.makeShards(1, 8)
+	ps.alertThreshold = 1e18
+	recs := binaryTestRecords()
+	foldPlant(t, ps, recs) // warm: intern jobs, materialise cells
+
+	refs := make([]recordRef, 0, len(recs))
+	if n := testing.AllocsPerRun(1000, func() {
+		var rejected int
+		refs, rejected, _ = ps.resolveRecords(refs[:0], recs)
+		if rejected > 0 {
+			t.Fatal("resolution rejected a warm record")
+		}
+	}); n != 0 {
+		t.Fatalf("resolveRecords allocates %v per run on interned identifiers, want 0", n)
+	}
+
+	sh := ps.shards[0]
+	if n := testing.AllocsPerRun(1000, func() {
+		ps.foldRefs(sh, refs)
+	}); n != 0 {
+		t.Fatalf("foldRefs allocates %v per run on an idempotent replay, want 0", n)
+	}
+
+	// The binary admission path too: a decoded frame of known
+	// identifiers resolves without allocating per record (the dictionary
+	// tables are per frame, amortised across its records).
+	fr := new(wire.Frame)
+	body := binaryBody(t, recs)
+	if err := wire.DecodeFrame(body[4:], fr); err != nil {
+		t.Fatal(err)
+	}
+	perRecord := testing.AllocsPerRun(1000, func() {
+		var rejected int
+		refs, rejected, _ = ps.resolveFrame(refs[:0], fr)
+		if rejected > 0 {
+			t.Fatal("frame resolution rejected a warm record")
+		}
+	}) / float64(len(recs))
+	if perRecord > 2 {
+		t.Fatalf("resolveFrame allocates %v per record, want the dictionary cost amortised (<= 2)", perRecord)
+	}
+}

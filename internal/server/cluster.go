@@ -579,11 +579,10 @@ func (t *walTailer) applyFrames(ps *plantState, shardIdx int, body io.Reader) (b
 		if err != nil {
 			return progress, fmt.Errorf("shard %d: %w: %v", shardIdx, errShipCorrupt, err)
 		}
-		ent, err := decodeEntry(payload)
-		if err != nil {
-			return progress, fmt.Errorf("shard %d seq %d: %w: %v", shardIdx, seq, errShipCorrupt, err)
-		}
-		if err := t.apply(ps, ent); err != nil {
+		if err := t.apply(ps, payload); err != nil {
+			if errors.Is(err, errShipCorrupt) {
+				return progress, fmt.Errorf("shard %d seq %d: %w", shardIdx, seq, err)
+			}
 			return progress, err
 		}
 		t.after[shardIdx] = seq
@@ -591,37 +590,65 @@ func (t *walTailer) applyFrames(ps *plantState, shardIdx int, body io.Reader) (b
 	}
 }
 
-// apply folds one owner WAL entry through the standby's own admit
-// path: re-chunked by the local shard hash (the owner's shard count
-// need not match), durably logged locally, idempotently folded.
-func (t *walTailer) apply(ps *plantState, ent walEntry) error {
-	if len(ent.Recs) > 0 {
-		chunks := make(map[int][]Record)
-		for _, rec := range ent.Recs {
-			idx := ps.shardIndexFor(rec.Machine)
-			chunks[idx] = append(chunks[idx], rec)
+// apply folds one owner WAL payload through the standby's own admit
+// path: resolved against the local intern tables, re-chunked by the
+// local shard placement (the owner's shard count need not match),
+// durably logged locally, idempotently folded. Payloads dispatch like
+// local replay: tagged binary ref frames, else legacy gob entries.
+func (t *walTailer) apply(ps *plantState, payload []byte) error {
+	if len(payload) > 0 && payload[0] == walRefTag {
+		var f wire.Frame
+		if err := wire.DecodeFrame(payload[1:], &f); err != nil {
+			return fmt.Errorf("%w: %v", errShipCorrupt, err)
 		}
-		for idx, chunk := range chunks {
-			for {
-				admitted, err := ps.admit(idx, chunk)
-				if err != nil {
-					return err
-				}
-				if admitted {
-					break
-				}
-				select {
-				case <-t.stop:
-					return errTailerStopped
-				case <-time.After(5 * time.Millisecond):
-				}
-			}
+		refs, rejected, _ := ps.resolveFrame(nil, &f)
+		if rejected > 0 {
+			ps.rejected.Add(uint64(rejected))
+		}
+		return t.admitRefs(ps, refs)
+	}
+	ent, err := decodeEntry(payload)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errShipCorrupt, err)
+	}
+	if len(ent.Recs) > 0 {
+		refs, rejected, _ := ps.resolveRecords(nil, ent.Recs)
+		if rejected > 0 {
+			ps.rejected.Add(uint64(rejected))
+		}
+		if err := t.admitRefs(ps, refs); err != nil {
+			return err
 		}
 	}
 	if len(ent.Jobs) > 0 {
 		ps.applyJobMetas(ent.Jobs)
 		if err := ps.appendJobs(ent.Jobs); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// admitRefs pushes resolved refs through the local admit path, waiting
+// out backpressure — a standby has no client to bounce a 429 to.
+func (t *walTailer) admitRefs(ps *plantState, refs []recordRef) error {
+	for idx, chunk := range ps.chunkRefs(refs) {
+		if len(chunk) == 0 {
+			continue
+		}
+		for {
+			admitted, err := ps.admit(idx, chunk)
+			if err != nil {
+				return err
+			}
+			if admitted {
+				break
+			}
+			select {
+			case <-t.stop:
+				return errTailerStopped
+			case <-time.After(5 * time.Millisecond):
+			}
 		}
 	}
 	return nil

@@ -11,7 +11,7 @@ import (
 // The serving layer maintains one OLAP cube per plant over the machine
 // sensor stream — dimensions line × machine × job × phase × sensor,
 // one fact per first-seen sample — updated incrementally inside the
-// per-shard fold path (foldBatch, under foldMu/rollMu). Because the
+// per-shard fold path (foldRefs, under foldMu/rollMu). Because the
 // cube is folded exactly where the roll-up leaves are, it rides the
 // WAL + snapshot recovery contract for free: replayed batches rebuild
 // it through the same path, and captureState/applyState carry its
@@ -31,23 +31,25 @@ func newServeCube() *olap.Cube {
 	return c
 }
 
-// mergedCube assembles one queryable cube from the shard-local slices.
-// Machines hash onto exactly one shard, so shard cubes never hold the
-// same coordinate; merging in shard order over sorted cells is
-// deterministic regardless. Shard cells always hold finite aggregates
-// (Observe/AddAggregate refuse sum overflow), and distinct coordinates
-// never merge, so AddAggregate failing here should be impossible — but
-// a query handler must not be able to panic the plant, so a failing
-// cell is logged and skipped instead.
+// mergedCube assembles one queryable cube from the shard-local slices,
+// translating interned coordinates back to strings — the query
+// boundary where ids stop. Machines hash onto exactly one shard, so
+// shard cubes never hold the same coordinate, and each translated cell
+// is added exactly once; merge order cannot matter. Shard cells always
+// hold finite aggregates (Observe/AddAggregate refuse sum overflow), so
+// AddAggregate failing here should be impossible — but a query handler
+// must not be able to panic the plant, so a failing cell is logged and
+// skipped instead.
 func (ps *plantState) mergedCube() *olap.Cube {
 	out := newServeCube()
 	for _, sh := range ps.shards {
 		sh.rollMu.Lock()
-		for _, cell := range sh.cube.Cells() {
-			if err := out.AddAggregate(cell.Coord, cell.Count, cell.Sum, cell.Min, cell.Max); err != nil {
-				log.Printf("server: plant %s: cube query skipping cell %v: %v", ps.topo.ID, cell.Coord, err)
+		sh.cube.Each(func(cell *olap.IntCell) {
+			coord := ps.cubeCoordOf(cell.Coord)
+			if err := out.AddAggregate(coord, cell.Count, cell.Sum, cell.Min, cell.Max); err != nil {
+				log.Printf("server: plant %s: cube query skipping cell %v: %v", ps.topo.ID, coord, err)
 			}
-		}
+		})
 		sh.rollMu.Unlock()
 	}
 	return out

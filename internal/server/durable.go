@@ -10,12 +10,14 @@ import (
 	"net/url"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/olap"
 	"repro/internal/stats"
 	"repro/internal/wal"
@@ -32,9 +34,11 @@ import (
 // fold path; the idempotent set-at-index store makes over-replay
 // harmless, so the recovery boundary only has to be conservative.
 
-// walEntry is one durable unit: a shard chunk of validated records, or
-// a batch of applied job metadata (shard 0's log). Encoded with gob —
-// unlike JSON it round-trips the NaN-free floats and needs no escaping.
+// walEntry is one durable unit of the legacy gob encoding: a shard
+// chunk of validated records, or a batch of applied job metadata
+// (shard 0's log). New record chunks are written as tagged binary
+// frames (walRefTag below); gob remains for job metadata and for
+// replaying logs written before the binary format existed.
 type walEntry struct {
 	Recs []wire.Record
 	Jobs []wire.JobMeta
@@ -52,6 +56,76 @@ func decodeEntry(p []byte) (walEntry, error) {
 	var e walEntry
 	err := gob.NewDecoder(bytes.NewReader(p)).Decode(&e)
 	return e, err
+}
+
+// walRefTag marks a WAL payload holding one wire.Frame (without its
+// length prefix — the WAL already frames payloads) instead of a gob
+// walEntry. A gob stream's first byte is an unsigned varint length in
+// 0x01..0x7f (or a 0xf8..0xff length-of-length marker), so 0xB1 never
+// collides with a legacy entry.
+const walRefTag = 0xB1
+
+// The admit path re-encodes each chunk into a frame without touching
+// the JSON machinery; the scratch encode buffers and the replay-side
+// decode frames are pooled so a steady ingest load allocates per batch,
+// not per byte. wal.Log.AppendBuffered copies the payload synchronously,
+// which is what makes returning the buffer to the pool right after the
+// append safe.
+var (
+	walBufPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	}}
+	walFramePool = sync.Pool{New: func() any { return new(wire.Frame) }}
+)
+
+// appendRefFrame encodes one admitted chunk onto dst as a wire.Frame.
+// The identifier dictionaries are the plant's own intern tables (so the
+// per-record columns are the interned ids verbatim, except jobs, which
+// get a chunk-local dictionary to keep frames self-contained), and the
+// sensor dictionary is walSensors — machine sensors followed by
+// environment sensors — so environment refs encode without a separate
+// marker column.
+func (ps *plantState) appendRefFrame(dst []byte, f *wire.Frame, refs []recordRef) ([]byte, error) {
+	f.Reset()
+	f.Machines = append(f.Machines, ps.in.machines.Names()...)
+	f.Phases = append(f.Phases, ps.in.phases.Names()...)
+	f.Sensors = append(f.Sensors, ps.in.walSensors...)
+	nSensors := int32(ps.in.sensors.Len())
+	var jobLocal map[int32]int32
+	for _, ref := range refs {
+		if ref.machine < 0 {
+			f.Machine = append(f.Machine, -1)
+			f.Job = append(f.Job, -1)
+			f.Phase = append(f.Phase, -1)
+			f.Sensor = append(f.Sensor, nSensors+ref.sensor)
+		} else {
+			if jobLocal == nil {
+				jobLocal = make(map[int32]int32, 8)
+			}
+			ji, ok := jobLocal[ref.job]
+			if !ok {
+				ji = int32(len(f.Jobs))
+				f.Jobs = append(f.Jobs, ps.in.jobs.Name(ref.job))
+				jobLocal[ref.job] = ji
+			}
+			f.Machine = append(f.Machine, ref.machine)
+			f.Job = append(f.Job, ji)
+			f.Phase = append(f.Phase, ref.phase)
+			f.Sensor = append(f.Sensor, ref.sensor)
+		}
+		f.T = append(f.T, ref.t)
+		f.Value = append(f.Value, ref.value)
+	}
+	out, err := wire.AppendFrame(dst, f)
+	if err != nil {
+		return dst, err
+	}
+	// Strip the length prefix AppendFrame wrote: the WAL length-frames
+	// payloads itself, and replay hands the payload to DecodeFrame
+	// directly.
+	copy(out[len(dst):], out[len(dst)+4:])
+	return out[:len(out)-4], nil
 }
 
 // Snapshot payload: the full serving state of one plant, captured at a
@@ -96,6 +170,12 @@ type (
 
 		ShardSeqs   []uint64
 		SnapshotRev uint64
+
+		// JobInterns is the job intern table in id order, so a restore
+		// reproduces the exact id assignment the snapshot was captured
+		// under. Absent (nil) in snapshots from before interning; those
+		// re-intern deterministically on apply.
+		JobInterns []string
 	}
 )
 
@@ -283,18 +363,26 @@ func (ps *plantState) startSnapshotLoop(interval time.Duration) {
 // — the batch may already be folding in memory, but the client never
 // gets a 202 for data that is not on disk, and its retry is
 // idempotent.
-func (ps *plantState) admit(idx int, chunk []Record) (bool, error) {
+func (ps *plantState) admit(idx int, chunk []recordRef) (bool, error) {
 	sh := ps.shards[idx]
 	if ps.dur == nil {
-		return sh.q.TryPush(shardBatch{recs: chunk}), nil
+		return sh.q.TryPush(shardBatch{refs: chunk}), nil
 	}
-	payload, err := encodeEntry(walEntry{Recs: chunk})
+	bp := walBufPool.Get().(*[]byte)
+	fr := walFramePool.Get().(*wire.Frame)
+	payload, err := ps.appendRefFrame(append((*bp)[:0], walRefTag), fr, chunk)
+	walFramePool.Put(fr)
 	if err != nil {
+		walBufPool.Put(bp)
 		return false, err
 	}
 	log := ps.dur.logs[idx]
 	sh.admitMu.Lock()
 	seq, err := log.AppendBuffered(payload)
+	// AppendBuffered copied the payload; the scratch buffer can go back
+	// to the pool whatever happened next.
+	*bp = payload
+	walBufPool.Put(bp)
 	if err != nil {
 		sh.admitMu.Unlock()
 		return false, err
@@ -305,7 +393,7 @@ func (ps *plantState) admit(idx int, chunk []Record) (bool, error) {
 	// are within the 429 contract — the client was told the batch was
 	// NOT admitted and must re-send, and its retry is idempotent
 	// whether or not the shed entry resurfaced.
-	admitted := sh.q.TryPush(shardBatch{seq: seq, recs: chunk})
+	admitted := sh.q.TryPush(shardBatch{seq: seq, refs: chunk})
 	sh.admitMu.Unlock()
 	if ps.dur.syncOnAdmit {
 		if err := log.SyncTo(seq); err != nil {
@@ -357,6 +445,7 @@ func (ps *plantState) captureState() *snapState {
 	for i, sh := range ps.shards {
 		st.ShardSeqs[i] = sh.foldedSeq.Load()
 	}
+	st.JobInterns = ps.in.jobs.Names()
 	for id, ms := range ps.machines {
 		ms.mu.Lock()
 		sm := snapMachine{Rev: ms.rev, Jobs: make(map[string]snapJob, len(ms.jobs))}
@@ -368,12 +457,20 @@ func (ps *plantState) captureState() *snapState {
 				HasMeta: js.hasMeta,
 				Phases:  make(map[string]map[string][]float64, len(js.phases)),
 			}
-			for ph, g := range js.phases {
-				cells := make(map[string][]float64, len(g.cells))
-				for sensor, buf := range g.cells {
-					cells[sensor] = append([]float64(nil), buf...)
+			// The snapshot schema carries names, not ids: a backup must
+			// restore into a process whose job-id assignment differs.
+			for phID, g := range js.phases {
+				if g == nil {
+					continue
 				}
-				sj.Phases[ph] = cells
+				cells := make(map[string][]float64, len(g.bufs))
+				for sID, buf := range g.bufs {
+					if len(buf) == 0 {
+						continue
+					}
+					cells[ps.topo.Sensors[sID]] = append([]float64(nil), buf...)
+				}
+				sj.Phases[ps.topo.Phases[phID]] = cells
 			}
 			sm.Jobs[jid] = sj
 		}
@@ -382,27 +479,44 @@ func (ps *plantState) captureState() *snapState {
 	}
 	ps.env.mu.Lock()
 	st.EnvRev = ps.env.rev
-	st.Env = make(map[string][]float64, len(ps.env.sensors))
-	for sensor, buf := range ps.env.sensors {
-		st.Env[sensor] = append([]float64(nil), buf...)
+	st.Env = make(map[string][]float64, len(ps.env.bufs))
+	for id, buf := range ps.env.bufs {
+		if len(buf) == 0 {
+			continue
+		}
+		st.Env[ps.topo.EnvSensors[id]] = append([]float64(nil), buf...)
 	}
 	ps.env.mu.Unlock()
 	for _, sh := range ps.shards {
 		sh.rollMu.Lock()
 		for k, o := range sh.roll {
-			st.Leaves = append(st.Leaves, snapLeaf{Machine: k.machine, Phase: k.phase, Sensor: k.sensor, Roll: o.State()})
+			sk := ps.rollKeyOf(k)
+			st.Leaves = append(st.Leaves, snapLeaf{Machine: sk.machine, Phase: sk.phase, Sensor: sk.sensor, Roll: o.State()})
 		}
 		for k, tr := range sh.trackers {
-			st.Trackers = append(st.Trackers, snapTracker{Machine: k.machine, Sensor: k.sensor, EWMA: tr.State()})
-		}
-		for _, cell := range sh.cube.Cells() {
-			st.CubeCells = append(st.CubeCells, snapCubeCell{
-				Coord: append([]string(nil), cell.Coord...),
-				Count: cell.Count, Sum: cell.Sum, Min: cell.Min, Max: cell.Max,
+			st.Trackers = append(st.Trackers, snapTracker{
+				Machine: ps.in.machines.Name(k.machine), Sensor: ps.in.sensors.Name(k.sensor), EWMA: tr.State(),
 			})
 		}
+		sh.cube.Each(func(cell *olap.IntCell) {
+			st.CubeCells = append(st.CubeCells, snapCubeCell{
+				Coord: ps.cubeCoordOf(cell.Coord),
+				Count: cell.Count, Sum: cell.Sum, Min: cell.Min, Max: cell.Max,
+			})
+		})
 		sh.rollMu.Unlock()
 	}
+	// The shard cubes iterate in map order; sort the translated cells so
+	// two captures of the same state encode to the same bytes.
+	sort.Slice(st.CubeCells, func(i, j int) bool {
+		a, b := st.CubeCells[i].Coord, st.CubeCells[j].Coord
+		for d := range a {
+			if a[d] != b[d] {
+				return a[d] < b[d]
+			}
+		}
+		return false
+	})
 	st.Alerts = ps.recentAlerts(0)
 	ps.alertMu.Lock()
 	st.AlertSeq = ps.alertSeq
@@ -415,6 +529,29 @@ func (ps *plantState) captureState() *snapState {
 // are routed by the *current* machine→shard hash, so a restart with a
 // different shard count still lands them where the worker expects.
 func (ps *plantState) applyState(st *snapState) {
+	// Reproduce the job-id assignment the snapshot was captured under;
+	// snapshots from before interning carry no table, so re-intern in
+	// sorted machine/job order — deterministic regardless of the map
+	// iteration the capture side used.
+	if st.JobInterns != nil {
+		ps.in.jobs = intern.NewDyn(st.JobInterns)
+	} else {
+		machineIDs := make([]string, 0, len(st.Machines))
+		for id := range st.Machines {
+			machineIDs = append(machineIDs, id)
+		}
+		sort.Strings(machineIDs)
+		for _, id := range machineIDs {
+			jobIDs := make([]string, 0, len(st.Machines[id].Jobs))
+			for jid := range st.Machines[id].Jobs {
+				jobIDs = append(jobIDs, jid)
+			}
+			sort.Strings(jobIDs)
+			for _, jid := range jobIDs {
+				ps.in.jobs.Intern(jid)
+			}
+		}
+	}
 	for id, sm := range st.Machines {
 		ms := ps.machines[id]
 		if ms == nil {
@@ -427,21 +564,37 @@ func (ps *plantState) applyState(st *snapState) {
 				caq:     append([]float64(nil), sj.CAQ...),
 				faulty:  sj.Faulty,
 				hasMeta: sj.HasMeta,
-				phases:  make(map[string]*cellGrid, len(sj.Phases)),
+				phases:  make([]*cellGrid, ms.nPhases),
 			}
 			for ph, cells := range sj.Phases {
-				g := &cellGrid{cells: make(map[string][]float64, len(cells))}
-				for sensor, buf := range cells {
-					g.cells[sensor] = append([]float64(nil), buf...)
+				phID, ok := ps.in.phases.ID(ph)
+				if !ok {
+					log.Printf("server: plant %s: dropping snapshot phase %q (not in the registered topology)", ps.topo.ID, ph)
+					continue
 				}
-				js.phases[ph] = g
+				g := &cellGrid{bufs: make([][]float64, ms.nSensors)}
+				for sensor, buf := range cells {
+					sID, ok := ps.in.sensors.ID(sensor)
+					if !ok {
+						log.Printf("server: plant %s: dropping snapshot sensor %q (not in the registered topology)", ps.topo.ID, sensor)
+						continue
+					}
+					g.bufs[sID] = append([]float64(nil), buf...)
+				}
+				js.phases[phID] = g
 			}
 			ms.jobs[jid] = js
+			ms.jobsByID[ps.in.jobs.Intern(jid)] = js
 		}
 	}
 	ps.env.rev = st.EnvRev
 	for sensor, buf := range st.Env {
-		ps.env.sensors[sensor] = append([]float64(nil), buf...)
+		id, ok := ps.in.envSensors.ID(sensor)
+		if !ok {
+			log.Printf("server: plant %s: dropping snapshot environment sensor %q", ps.topo.ID, sensor)
+			continue
+		}
+		ps.env.bufs[id] = append([]float64(nil), buf...)
 	}
 	ps.dataRev.Store(st.DataRev)
 	ps.accepted.Store(st.Accepted)
@@ -449,25 +602,47 @@ func (ps *plantState) applyState(st *snapState) {
 	ps.rejected.Store(st.Rejected)
 	ps.shed.Store(st.Shed)
 	for _, lf := range st.Leaves {
-		sh := ps.shardFor(lf.Machine)
+		mid, ok1 := ps.in.machines.ID(lf.Machine)
+		pid, ok2 := ps.in.phases.ID(lf.Phase)
+		sid, ok3 := ps.in.sensors.ID(lf.Sensor)
+		if !ok1 || !ok2 || !ok3 {
+			log.Printf("server: plant %s: dropping snapshot roll-up leaf %s/%s/%s", ps.topo.ID, lf.Machine, lf.Phase, lf.Sensor)
+			continue
+		}
+		sh := ps.shards[ps.shardOf[mid]]
 		o := stats.OnlineFromState(lf.Roll)
-		sh.roll[rollKey{machine: lf.Machine, phase: lf.Phase, sensor: lf.Sensor}] = &o
+		sh.roll[rollRef{machine: mid, phase: pid, sensor: sid}] = &o
 	}
 	for _, tk := range st.Trackers {
-		sh := ps.shardFor(tk.Machine)
-		sh.trackers[rollKey{machine: tk.Machine, sensor: tk.Sensor}] = stats.EWMAFromState(tk.EWMA)
+		mid, ok1 := ps.in.machines.ID(tk.Machine)
+		sid, ok2 := ps.in.sensors.ID(tk.Sensor)
+		if !ok1 || !ok2 {
+			log.Printf("server: plant %s: dropping snapshot tracker %s/%s", ps.topo.ID, tk.Machine, tk.Sensor)
+			continue
+		}
+		sh := ps.shards[ps.shardOf[mid]]
+		sh.trackers[trackRef{machine: mid, sensor: sid}] = stats.EWMAFromState(tk.EWMA)
 	}
 	for _, cc := range st.CubeCells {
 		if len(cc.Coord) != len(cubeDims) {
 			continue // cube schema drift in an old snapshot
 		}
+		lid, ok0 := ps.in.lines.ID(cc.Coord[0])
+		mid, ok1 := ps.in.machines.ID(cc.Coord[1])
+		pid, ok2 := ps.in.phases.ID(cc.Coord[3])
+		sid, ok3 := ps.in.sensors.ID(cc.Coord[4])
+		if !ok0 || !ok1 || !ok2 || !ok3 {
+			log.Printf("server: plant %s: dropping snapshot cube cell %v (coordinate not in the registered topology)", ps.topo.ID, cc.Coord)
+			continue
+		}
+		coord := olap.IntCoord{lid, mid, ps.in.jobs.Intern(cc.Coord[2]), pid, sid}
 		// Coord[1] is the machine: route the cell to the shard whose
 		// worker folds that machine under the current shard count.
 		// AddAggregate cannot fail on vetted state: our own snapshots
 		// hold only cells the fold path accepted, and restore bodies
 		// passed validateState (arity, count, finiteness, separator).
-		sh := ps.shardFor(cc.Coord[1])
-		if err := sh.cube.AddAggregate(cc.Coord, cc.Count, cc.Sum, cc.Min, cc.Max); err != nil {
+		sh := ps.shards[ps.shardOf[mid]]
+		if err := sh.cube.AddAggregate(coord, cc.Count, cc.Sum, cc.Min, cc.Max); err != nil {
 			log.Printf("server: plant %s: dropping malformed snapshot cube cell %v: %v", ps.topo.ID, cc.Coord, err)
 		}
 	}
@@ -551,11 +726,9 @@ func (ps *plantState) recover() error {
 			after = shardSeqs[i]
 		}
 		if err := l.Replay(after, func(seq uint64, p []byte) error {
-			ent, err := decodeEntry(p)
-			if err != nil {
+			if err := ps.replayPayload(p); err != nil {
 				return err
 			}
-			ps.replayEntry(ent)
 			ps.shards[i].foldedSeq.Store(seq)
 			return nil
 		}); err != nil {
@@ -575,12 +748,7 @@ func (ps *plantState) recover() error {
 			return err
 		}
 		err = l.Replay(0, func(_ uint64, p []byte) error {
-			ent, err := decodeEntry(p)
-			if err != nil {
-				return err
-			}
-			ps.replayEntry(ent)
-			return nil
+			return ps.replayPayload(p)
 		})
 		l.Close()
 		if err != nil {
@@ -598,20 +766,51 @@ func (ps *plantState) recover() error {
 	return nil
 }
 
-// replayEntry folds one WAL entry through the regular ingest path.
+// replayPayload folds one WAL payload through the regular ingest path,
+// dispatching on the leading tag byte: binary ref frames (walRefTag)
+// re-resolve their dictionaries against the current intern tables;
+// everything else is a legacy gob walEntry.
+func (ps *plantState) replayPayload(p []byte) error {
+	if len(p) > 0 && p[0] == walRefTag {
+		var f wire.Frame
+		if err := wire.DecodeFrame(p[1:], &f); err != nil {
+			return err
+		}
+		refs, rejected, _ := ps.resolveFrame(nil, &f)
+		ps.foldResolved(refs, rejected)
+		return nil
+	}
+	ent, err := decodeEntry(p)
+	if err != nil {
+		return err
+	}
+	ps.replayEntry(ent)
+	return nil
+}
+
+// replayEntry folds one legacy gob WAL entry.
 func (ps *plantState) replayEntry(ent walEntry) {
 	if len(ent.Recs) > 0 {
-		chunks := make(map[int][]Record)
-		for _, rec := range ent.Recs {
-			idx := ps.shardIndexFor(rec.Machine)
-			chunks[idx] = append(chunks[idx], rec)
-		}
-		for idx, recs := range chunks {
-			ps.foldBatch(ps.shards[idx], recs)
-		}
+		refs, rejected, _ := ps.resolveRecords(nil, ent.Recs)
+		ps.foldResolved(refs, rejected)
 	}
 	if len(ent.Jobs) > 0 {
 		ps.applyJobMetas(ent.Jobs)
+	}
+}
+
+// foldResolved folds re-resolved replay refs shard by shard. A record
+// the current topology no longer resolves — the WAL was written under a
+// different registration — counts as rejected, the same signal the live
+// path gives its client.
+func (ps *plantState) foldResolved(refs []recordRef, rejected int) {
+	if rejected > 0 {
+		ps.rejected.Add(uint64(rejected))
+	}
+	for idx, chunk := range ps.chunkRefs(refs) {
+		if len(chunk) > 0 {
+			ps.foldRefs(ps.shards[idx], chunk)
+		}
 	}
 }
 
@@ -625,7 +824,7 @@ func (ps *plantState) applyJobMetas(metas []JobMeta) {
 		if ms == nil {
 			continue // topology drift in a replayed entry
 		}
-		if ms.setMeta(m) {
+		if ms.setMeta(ps.in.jobs.Intern(m.Job), m) {
 			changed = true
 		}
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"hash/fnv"
 	"log"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -27,11 +26,23 @@ type rollKey struct {
 	machine, phase, sensor string
 }
 
-// shardBatch is one admitted unit of work: the validated records plus
+// rollRef is the interned form of rollKey the fold path keys the shard
+// maps with — int comparisons and no per-record string hashing; ids
+// translate back to rollKey at the query/snapshot boundary.
+type rollRef struct {
+	machine, phase, sensor int32
+}
+
+// trackRef keys the per-(machine, sensor) alert trackers.
+type trackRef struct {
+	machine, sensor int32
+}
+
+// shardBatch is one admitted unit of work: the resolved records plus
 // the WAL sequence they were logged under (0 when durability is off).
 type shardBatch struct {
 	seq  uint64
-	recs []Record
+	refs []recordRef
 }
 
 // shard is one ingest pipeline: a bounded queue feeding a single
@@ -57,19 +68,20 @@ type shard struct {
 	dead atomic.Bool // kill(): drop queued batches instead of folding
 
 	rollMu   sync.Mutex
-	roll     map[rollKey]*stats.Online
-	trackers map[rollKey]*stats.EWMATracker
+	roll     map[rollRef]*stats.Online
+	trackers map[trackRef]*stats.EWMATracker
 
 	// cube holds this shard's slice of the plant's OLAP cube (the
 	// machines hashed here), folded alongside the roll-up leaves under
-	// rollMu; queries merge the shard cubes. cubeLast memoises the
-	// last-touched cell: consecutive trace records almost always land
-	// in the same cell (t varies fastest), so the hot path skips the
-	// coordinate key join. Guarded by rollMu like the cube itself.
-	cube     *olap.Cube
+	// rollMu; queries merge the shard cubes (translating interned
+	// coordinates back to strings). cubeLast memoises the last-touched
+	// cell: consecutive trace records almost always land in the same
+	// cell (t varies fastest), so the hot path skips even the
+	// array-keyed map access. Guarded by rollMu like the cube itself.
+	cube     *olap.IntCube
 	cubeLast struct {
-		machine, job, phase, sensor string
-		cell                        *olap.Cell
+		coord olap.IntCoord
+		cell  *olap.IntCell
 	}
 }
 
@@ -84,11 +96,16 @@ type Alert = wire.Alert
 type plantState struct {
 	topo        Topology
 	machineLine map[string]string
-	phaseSet    map[string]bool
-	sensorSet   map[string]bool
-	envSet      map[string]bool
+
+	// in is the interned identifier universe assigned at registration
+	// (plus the growable job table); mstores mirrors machines by
+	// interned machine id, and shardOf precomputes each machine's
+	// pipeline index so routing never hashes a string per record.
+	in      *plantInterns
+	shardOf []int32
 
 	machines map[string]*machineStore
+	mstores  []*machineStore
 	env      *envStore
 	dataRev  atomic.Uint64
 
@@ -152,30 +169,24 @@ func newPlantState(topo Topology) *plantState {
 	ps := &plantState{
 		topo:         topo,
 		machineLine:  make(map[string]string),
-		phaseSet:     make(map[string]bool),
-		sensorSet:    make(map[string]bool),
-		envSet:       make(map[string]bool),
+		in:           newPlantInterns(topo),
 		machines:     make(map[string]*machineStore),
-		env:          newEnvStore(),
+		env:          newEnvStore(len(topo.EnvSensors)),
 		machineRevAt: make(map[string]uint64),
 		built:        make(map[string]*plant.Machine),
 		hier:         make(map[string]*core.Hierarchy),
 		reports:      make(map[reportKey]*core.Report),
 	}
+	ps.mstores = make([]*machineStore, ps.in.machines.Len())
 	for _, l := range topo.Lines {
 		for _, m := range l.Machines {
 			ps.machineLine[m] = l.ID
-			ps.machines[m] = newMachineStore()
+			ms := newMachineStore(len(topo.Phases), len(topo.Sensors))
+			ps.machines[m] = ms
+			if id, ok := ps.in.machines.ID(m); ok {
+				ps.mstores[id] = ms
+			}
 		}
-	}
-	for _, p := range topo.Phases {
-		ps.phaseSet[p] = true
-	}
-	for _, s := range topo.Sensors {
-		ps.sensorSet[s] = true
-	}
-	for _, s := range topo.EnvSensors {
-		ps.envSet[s] = true
 	}
 	return ps
 }
@@ -193,10 +204,17 @@ func (ps *plantState) makeShards(shards, queueDepth int) {
 	for i := range ps.shards {
 		ps.shards[i] = &shard{
 			q:        stream.NewQueue[shardBatch](queueDepth),
-			roll:     make(map[rollKey]*stats.Online),
-			trackers: make(map[rollKey]*stats.EWMATracker),
-			cube:     newServeCube(),
+			roll:     make(map[rollRef]*stats.Online),
+			trackers: make(map[trackRef]*stats.EWMATracker),
+			cube:     olap.NewIntCube(),
 		}
+	}
+	// Shard routing is decided once per machine at registration — the
+	// hash function is unchanged (so shard ownership survives restarts
+	// and mixed-version clusters), it just never runs per record again.
+	ps.shardOf = make([]int32, ps.in.machines.Len())
+	for id, name := range ps.in.machines.Names() {
+		ps.shardOf[id] = int32(hashShardIndex(name, len(ps.shards)))
 	}
 }
 
@@ -246,15 +264,26 @@ func (ps *plantState) kill() {
 	}
 }
 
-// shardIndexFor routes a machine to its pipeline index; environment
-// records ride on shard 0.
-func (ps *plantState) shardIndexFor(machine string) int {
-	if len(ps.shards) == 1 || machine == "" {
+// hashShardIndex is the machine→shard placement function, evaluated
+// once per machine when the shards are made.
+func hashShardIndex(machine string, shards int) int {
+	if shards == 1 || machine == "" {
 		return 0
 	}
 	h := fnv.New32a()
 	h.Write([]byte(machine))
-	return int(h.Sum32()) % len(ps.shards)
+	return int(h.Sum32()) % shards
+}
+
+// shardIndexFor routes a machine to its pipeline index; environment
+// records ride on shard 0. Registered machines hit the precomputed
+// table; unknown names (possible on cold paths like stray WAL replay)
+// fall back to the hash.
+func (ps *plantState) shardIndexFor(machine string) int {
+	if id, ok := ps.in.machines.ID(machine); ok {
+		return int(ps.shardOf[id])
+	}
+	return hashShardIndex(machine, len(ps.shards))
 }
 
 func (ps *plantState) shardFor(machine string) *shard {
@@ -274,7 +303,7 @@ func (ps *plantState) work(sh *shard) {
 			continue // killed: simulate losing the backlog
 		}
 		sh.foldMu.Lock()
-		ps.foldBatch(sh, batch.recs)
+		ps.foldRefs(sh, batch.refs)
 		if batch.seq > 0 {
 			sh.foldedSeq.Store(batch.seq)
 		}
@@ -282,36 +311,29 @@ func (ps *plantState) work(sh *shard) {
 	}
 }
 
-// foldBatch folds one validated batch into a shard's state. It is the
-// single ingest fold path: the shard workers run it live, and the
-// durable open path replays snapshot-uncovered WAL entries through it
-// — replay is idempotent by construction because the store reports
-// replayed cells as not fresh, which skips the roll-up and tracker
-// side effects exactly like a client's 429 retry does.
-func (ps *plantState) foldBatch(sh *shard, batch []Record) {
+// foldRefs folds one admitted batch of interned records into a shard's
+// state. It is the single ingest fold path: the shard workers run it
+// live, and the durable open path replays snapshot-uncovered WAL
+// entries through it — replay is idempotent by construction because the
+// store reports replayed cells as not fresh, which skips the roll-up
+// and tracker side effects exactly like a client's 429 retry does.
+// Every per-record step is id-keyed: no string is hashed, joined, or
+// allocated between here and the stores.
+func (ps *plantState) foldRefs(sh *shard, refs []recordRef) {
 	var wrote bool
 	var freshRecs uint64
 	var newAlerts []Alert
-	for _, rec := range batch {
-		if rec.Env {
-			fresh, changed := ps.env.set(rec)
+	for _, ref := range refs {
+		if ref.machine < 0 {
+			fresh, changed := ps.env.set(ref.sensor, int(ref.t), ref.value)
 			if fresh {
 				freshRecs++
 			}
 			wrote = wrote || changed
 			continue
 		}
-		ms := ps.machines[rec.Machine]
-		if ms == nil {
-			// Validation precedes admission, but a record can still
-			// surface here without a store — e.g. replayed from a WAL
-			// written under a different topology. A worker panic would
-			// take the whole process down; count it as rejected
-			// instead.
-			ps.rejected.Add(1)
-			continue
-		}
-		fresh, changed := ms.set(rec)
+		ms := ps.mstores[ref.machine]
+		fresh, changed := ms.setRef(ref, ps.in.jobs)
 		wrote = wrote || changed // corrections must reach the next snapshot
 		if !fresh {
 			// Idempotent replay of an already-seen cell: the store
@@ -322,51 +344,51 @@ func (ps *plantState) foldBatch(sh *shard, batch []Record) {
 			continue
 		}
 		freshRecs++
-		key := rollKey{rec.Machine, rec.Phase, rec.Sensor}
-		trKey := rollKey{machine: rec.Machine, sensor: rec.Sensor}
+		key := rollRef{ref.machine, ref.phase, ref.sensor}
+		trKey := trackRef{machine: ref.machine, sensor: ref.sensor}
 		sh.rollMu.Lock()
 		o, ok := sh.roll[key]
 		if !ok {
 			o = &stats.Online{}
 			sh.roll[key] = o
 		}
-		o.Add(rec.Value)
+		o.Add(ref.value)
 		// The OLAP cube folds each cell's first-seen value, exactly
 		// like the roll-up leaves: its aggregates cannot retract an
-		// observation. Live traffic cannot fail these folds (validation
-		// guarantees finite values and clean identifiers, the arity is
-		// fixed) — but a WAL written before identifier validation
-		// existed can replay a record the cube refuses. The store and
-		// roll-up still folded it, so log the divergence instead of
-		// dropping it silently: /v1/cube would otherwise undercount
-		// against /v1/rollup with no operator signal.
+		// observation. Live traffic cannot fail these folds (admission
+		// guarantees finite values, the arity is fixed) — but a WAL
+		// replay can still surface a sum overflow the cube refuses. The
+		// store and roll-up still folded it, so log the divergence
+		// instead of dropping it silently: /v1/cube would otherwise
+		// undercount against /v1/rollup with no operator signal.
 		cl := &sh.cubeLast
+		coord := olap.IntCoord{ps.in.machineLine[ref.machine], ref.machine, ref.job, ref.phase, ref.sensor}
 		var cubeErr error
-		if cl.cell != nil && cl.machine == rec.Machine && cl.job == rec.Job &&
-			cl.phase == rec.Phase && cl.sensor == rec.Sensor {
-			cubeErr = cl.cell.Observe(rec.Value)
+		if cl.cell != nil && cl.coord == coord {
+			cubeErr = cl.cell.Observe(ref.value)
 		} else {
-			coord := []string{ps.machineLine[rec.Machine], rec.Machine, rec.Job, rec.Phase, rec.Sensor}
-			if cubeErr = sh.cube.AddFact(coord, rec.Value); cubeErr == nil {
-				cl.machine, cl.job, cl.phase, cl.sensor = rec.Machine, rec.Job, rec.Phase, rec.Sensor
+			if cubeErr = sh.cube.AddFact(coord, ref.value); cubeErr == nil {
+				cl.coord = coord
 				cl.cell = sh.cube.CellAt(coord)
 			}
 		}
 		if cubeErr != nil {
 			log.Printf("server: plant %s: cube fold dropped sample (machine %s job %s phase %s sensor %s t %d): %v",
-				ps.topo.ID, rec.Machine, rec.Job, rec.Phase, rec.Sensor, rec.T, cubeErr)
+				ps.topo.ID, ps.in.machines.Name(ref.machine), ps.in.jobs.Name(ref.job),
+				ps.in.phases.Name(ref.phase), ps.in.sensors.Name(ref.sensor), ref.t, cubeErr)
 		}
 		tr, ok := sh.trackers[trKey]
 		if !ok {
 			tr = stats.NewEWMATracker(0.05)
 			sh.trackers[trKey] = tr
 		}
-		score := tr.Add(rec.Value)
+		score := tr.Add(ref.value)
 		sh.rollMu.Unlock()
 		if score >= ps.alertThreshold {
 			newAlerts = append(newAlerts, ps.pushAlert(Alert{
-				Machine: rec.Machine, Phase: rec.Phase, Sensor: rec.Sensor,
-				T: rec.T, Value: rec.Value, Score: score,
+				Machine: ps.in.machines.Name(ref.machine), Phase: ps.in.phases.Name(ref.phase),
+				Sensor: ps.in.sensors.Name(ref.sensor),
+				T:      int(ref.t), Value: ref.value, Score: score,
 			}))
 		}
 	}
@@ -379,7 +401,7 @@ func (ps *plantState) foldBatch(sh *shard, batch []Record) {
 		ps.dataRev.Add(1)
 	}
 	ps.accepted.Add(freshRecs)
-	ps.received.Add(uint64(len(batch)))
+	ps.received.Add(uint64(len(refs)))
 	ps.publishBatchEvents(wrote, newAlerts)
 }
 
@@ -460,41 +482,6 @@ func (ps *plantState) recentAlerts(limit int) []Alert {
 		out = out[len(out)-limit:]
 	}
 	return out
-}
-
-// validate vets one decoded record against the topology.
-func (ps *plantState) validate(rec Record) error {
-	if rec.T < 0 || rec.T >= maxSampleIndex {
-		return fmt.Errorf("t %d out of [0, %d)", rec.T, maxSampleIndex)
-	}
-	if math.IsNaN(rec.Value) || math.IsInf(rec.Value, 0) {
-		return fmt.Errorf("non-finite value")
-	}
-	if rec.Env {
-		if !ps.envSet[rec.Sensor] {
-			return fmt.Errorf("unknown environment sensor %q", rec.Sensor)
-		}
-		return nil
-	}
-	if _, ok := ps.machineLine[rec.Machine]; !ok {
-		return fmt.Errorf("unregistered machine %q", rec.Machine)
-	}
-	if rec.Job == "" {
-		return fmt.Errorf("missing job id")
-	}
-	// Job ids are the one free-form cube coordinate (the others are
-	// vetted at registration): a control character could collide with
-	// the cube's reserved key separator and silently merge cells.
-	if err := wire.ValidIdent("job", rec.Job); err != nil {
-		return err
-	}
-	if !ps.phaseSet[rec.Phase] {
-		return fmt.Errorf("unknown phase %q", rec.Phase)
-	}
-	if !ps.sensorSet[rec.Sensor] {
-		return fmt.Errorf("unknown sensor %q", rec.Sensor)
-	}
-	return nil
 }
 
 // snapshot brings the assembled plant up to the current data revision,
@@ -638,7 +625,7 @@ func (ps *plantState) rollup(level string) (string, []RollupNode, error) {
 	for _, sh := range ps.shards {
 		sh.rollMu.Lock()
 		for k, o := range sh.roll {
-			leaves = append(leaves, leafPair{k, *o})
+			leaves = append(leaves, leafPair{ps.rollKeyOf(k), *o})
 		}
 		sh.rollMu.Unlock()
 	}
@@ -673,6 +660,16 @@ func (ps *plantState) rollup(level string) (string, []RollupNode, error) {
 		})
 	}
 	return resolved, out, nil
+}
+
+// rollKeyOf translates an interned leaf key back to its string form —
+// the query/snapshot boundary where ids stop and names resume.
+func (ps *plantState) rollKeyOf(k rollRef) rollKey {
+	return rollKey{
+		machine: ps.in.machines.Name(k.machine),
+		phase:   ps.in.phases.Name(k.phase),
+		sensor:  ps.in.sensors.Name(k.sensor),
+	}
 }
 
 // RollupNode is one aggregate of the incremental roll-up tree; the

@@ -12,7 +12,7 @@
 //
 //	POST /v1/plants                          register a plant topology
 //	GET  /v1/plants                          list registered plants
-//	POST /v1/plants/{id}/ingest              samples: NDJSON, JSON array, or CSV
+//	POST /v1/plants/{id}/ingest              samples: NDJSON, JSON array, CSV, or binary columnar frames
 //	POST /v1/plants/{id}/jobs                job metadata (setup + CAQ vectors)
 //	GET  /v1/plants/{id}/report              fleet outlier report (?level=&top=&machine=)
 //	GET  /v1/plants/{id}/rollup              incremental aggregates (?level=sensor|phase|machine|line|plant)
@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"mime"
 	"net"
 	"net/http"
 	"sort"
@@ -310,53 +311,81 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.PlantList{Plants: ids})
 }
 
-// handleIngest admits one sample batch: decode, validate, shard, and
-// enqueue. A full shard queue rejects the whole batch with 429 — the
-// store is idempotent (set-at-index), so the client simply retries the
-// batch after Retry-After seconds.
+// handleIngest admits one sample batch: decode, resolve against the
+// plant's intern tables, shard, and enqueue. A full shard queue rejects
+// the whole batch with 429 — the store is idempotent (set-at-index), so
+// the client simply retries the batch after Retry-After seconds. Binary
+// bodies (application/x-hod-batch) skip the Record materialisation
+// entirely: each frame's dictionaries resolve straight to interned ids.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ps *plantState) {
 	if s.closed.Load() {
 		writeErr(w, http.StatusServiceUnavailable, wire.CodeShuttingDown, "server is shutting down")
 		return
 	}
 	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
-	recs, err := wire.DecodeRecords(body, r.Header.Get("Content-Type"))
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
-		return
-	}
-	if len(recs) == 0 {
-		writeJSON(w, http.StatusOK, wire.IngestAck{})
-		return
-	}
-	valid := recs[:0]
-	rejected := 0
-	var firstErr string
-	for _, rec := range recs {
-		if err := ps.validate(rec); err != nil {
-			rejected++
-			if firstErr == "" {
-				firstErr = err.Error()
+	var (
+		refs     []recordRef
+		rejected int
+		firstErr string
+	)
+	if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mt == wire.ContentTypeBinary {
+		fr := walFramePool.Get().(*wire.Frame)
+		defer walFramePool.Put(fr)
+		total := 0
+		for {
+			err := wire.ReadFrame(body, fr)
+			if err == io.EOF {
+				break
 			}
-			continue
+			if err != nil {
+				// A malformed frame is a protocol violation, not a bad
+				// record: reject the request before admitting anything,
+				// like a bad NDJSON line rejects its whole body.
+				writeErr(w, http.StatusBadRequest, wire.CodeBadFrame, err.Error())
+				return
+			}
+			if total += fr.Len(); total > wire.MaxBatchRecords {
+				writeErr(w, http.StatusBadRequest, wire.CodeBadFrame,
+					fmt.Sprintf("batch exceeds the %d-record cap", wire.MaxBatchRecords))
+				return
+			}
+			var rej int
+			var ferr string
+			refs, rej, ferr = ps.resolveFrame(refs, fr)
+			rejected += rej
+			if firstErr == "" {
+				firstErr = ferr
+			}
 		}
-		valid = append(valid, rec)
+		if total == 0 {
+			writeJSON(w, http.StatusOK, wire.IngestAck{})
+			return
+		}
+	} else {
+		recs, err := wire.DecodeRecords(body, r.Header.Get("Content-Type"))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, wire.CodeBadRequest, err.Error())
+			return
+		}
+		if len(recs) == 0 {
+			writeJSON(w, http.StatusOK, wire.IngestAck{})
+			return
+		}
+		refs, rejected, firstErr = ps.resolveRecords(nil, recs)
 	}
 	ps.rejected.Add(uint64(rejected))
 
 	// Partition onto shards preserving order within each machine.
-	chunks := make(map[int][]Record)
-	for _, rec := range valid {
-		idx := ps.shardIndexFor(rec.Machine)
-		chunks[idx] = append(chunks[idx], rec)
-	}
 	// Admission is all-or-nothing per shard; a single overloaded shard
 	// sheds the batch. Chunks already admitted stay admitted — the
 	// idempotent store makes the client's full-batch retry safe. With
 	// durability on, each chunk is WAL-appended (group-committed per
 	// shard) before it is enqueued, so a 202 means the data survives a
 	// crash.
-	for idx, chunk := range chunks {
+	for idx, chunk := range ps.chunkRefs(refs) {
+		if len(chunk) == 0 {
+			continue
+		}
 		admitted, err := ps.admit(idx, chunk)
 		if err != nil {
 			writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "wal append: "+err.Error())
@@ -370,7 +399,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request, ps *plantS
 		}
 	}
 	writeJSON(w, http.StatusAccepted, wire.IngestAck{
-		Records: len(valid), Rejected: rejected, FirstRejection: firstErr,
+		Records: len(refs), Rejected: rejected, FirstRejection: firstErr,
 	})
 }
 

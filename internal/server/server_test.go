@@ -717,9 +717,17 @@ func TestCorrectedValueReachesSnapshot(t *testing.T) {
 
 	m := p.Machines()[0]
 	cell := Record{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 0, Value: 100}
-	if !ps.shardFor(m.ID).q.TryPush(shardBatch{recs: []Record{cell}}) {
-		t.Fatal("push failed")
+	push := func(rec Record) {
+		t.Helper()
+		refs, rejected, firstErr := ps.resolveRecords(nil, []Record{rec})
+		if rejected != 0 {
+			t.Fatalf("record rejected: %s", firstErr)
+		}
+		if !ps.shardFor(rec.Machine).q.TryPush(shardBatch{refs: refs}) {
+			t.Fatal("push failed")
+		}
 	}
+	push(cell)
 	waitRev := func(min uint64) {
 		t.Helper()
 		deadline := time.Now().Add(10 * time.Second)
@@ -747,9 +755,7 @@ func TestCorrectedValueReachesSnapshot(t *testing.T) {
 	// Correction: same cell, new value — not fresh, but must still
 	// reach the next snapshot.
 	cell.Value = 200
-	if !ps.shardFor(m.ID).q.TryPush(shardBatch{recs: []Record{cell}}) {
-		t.Fatal("push failed")
-	}
+	push(cell)
 	waitRev(2)
 	ps.reportMu.Lock()
 	defer ps.reportMu.Unlock()
@@ -765,53 +771,44 @@ func TestCorrectedValueReachesSnapshot(t *testing.T) {
 	}
 }
 
-// TestWorkerSurvivesUnknownMachine is the regression test for the
-// shard-worker crash: a queued record for a machine without a store
-// (validation bypassed, topology drift in a replayed WAL, ...) used to
-// nil-deref and take the whole process down. It must count as rejected
-// and leave the worker alive for the next batch.
-func TestWorkerSurvivesUnknownMachine(t *testing.T) {
+// TestReplaySurvivesUnknownMachine is the successor of the old
+// shard-worker nil-deref regression test: a WAL entry can carry a
+// record for a machine the current topology no longer registers
+// (topology drift in a replayed log). Interning makes the crash
+// structurally impossible — an unresolvable record never becomes a
+// recordRef — but the replay path must still count it as rejected and
+// keep folding the rest of the entry.
+func TestReplaySurvivesUnknownMachine(t *testing.T) {
 	p, err := plant.Simulate(plant.Config{Seed: 2, Lines: 1, MachinesPerLine: 1, JobsPerMachine: 1, PhaseSamples: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	topo := topoWithDefaults(topoFromPlant("plant-ghost", p))
 	ps := newPlantState(topo)
-	ps.start(1, 8, 1e9)
+	ps.makeShards(1, 8)
+	ps.alertThreshold = 1e9
 	defer ps.close()
 
 	m := p.Machines()[0]
-	batch := []Record{
+	ps.replayEntry(walEntry{Recs: []Record{
 		{Machine: "ghost", Job: "j", Phase: "print", Sensor: "temp-a", T: 0, Value: 1},
 		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 0, Value: 1},
-	}
-	if !ps.shards[0].q.TryPush(shardBatch{recs: batch}) {
-		t.Fatal("push failed")
-	}
-	deadline := time.Now().Add(10 * time.Second)
-	for ps.received.Load() < 2 {
-		if time.Now().After(deadline) {
-			t.Fatalf("worker died on unknown machine: received=%d", ps.received.Load())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	}})
 	if got := ps.rejected.Load(); got != 1 {
 		t.Fatalf("rejected = %d, want 1", got)
+	}
+	if got := ps.received.Load(); got != 1 {
+		t.Fatalf("received = %d, want 1", got)
 	}
 	if got := ps.accepted.Load(); got != 1 {
 		t.Fatalf("accepted = %d, want 1", got)
 	}
-	// The worker is still alive: a second batch folds too.
-	if !ps.shards[0].q.TryPush(shardBatch{recs: []Record{
+	// Replay keeps folding after the drift: a second entry lands too.
+	ps.replayEntry(walEntry{Recs: []Record{
 		{Machine: m.ID, Job: m.Jobs[0].ID, Phase: "print", Sensor: "temp-a", T: 1, Value: 2},
-	}}) {
-		t.Fatal("second push failed")
-	}
-	for ps.accepted.Load() < 2 {
-		if time.Now().After(deadline) {
-			t.Fatal("worker did not fold the follow-up batch")
-		}
-		time.Sleep(time.Millisecond)
+	}})
+	if got := ps.accepted.Load(); got != 2 {
+		t.Fatalf("accepted = %d, want 2", got)
 	}
 }
 

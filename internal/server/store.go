@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/intern"
 	"repro/internal/plant"
 	"repro/internal/timeseries"
 	"repro/pkg/hod/wire"
@@ -48,25 +49,26 @@ func topoWithDefaults(t Topology) Topology {
 	return t
 }
 
-// cellGrid holds the per-sensor sample buffers of one (job, phase).
-// Cells are written set-at-index with NaN holes, so replayed batches
-// are idempotent — the retry story after a 429 needs no dedup state.
+// cellGrid holds the per-sensor sample buffers of one (job, phase),
+// indexed by interned sensor id. Cells are written set-at-index with
+// NaN holes, so replayed batches are idempotent — the retry story
+// after a 429 needs no dedup state.
 type cellGrid struct {
-	cells map[string][]float64
+	bufs [][]float64 // sensor id → samples
 }
 
 // set writes one sample and reports whether the cell was previously
 // empty (a fresh observation rather than an idempotent overwrite) and
 // whether the stored value changed at all.
-func (g *cellGrid) set(sensor string, t int, v float64) (fresh, changed bool) {
-	buf := g.cells[sensor]
+func (g *cellGrid) set(sensor int32, t int, v float64) (fresh, changed bool) {
+	buf := g.bufs[sensor]
 	for len(buf) <= t {
 		buf = append(buf, math.NaN())
 	}
 	fresh = math.IsNaN(buf[t])
 	changed = fresh || buf[t] != v
 	buf[t] = v
-	g.cells[sensor] = buf
+	g.bufs[sensor] = buf
 	return fresh, changed
 }
 
@@ -74,41 +76,61 @@ type jobStore struct {
 	setup, caq []float64
 	faulty     bool
 	hasMeta    bool
-	phases     map[string]*cellGrid
+	phases     []*cellGrid // phase id → grid, nil until touched
 }
 
 // machineStore buffers one machine's ingested data. Exactly one shard
 // worker writes it (machines hash onto shards), the lock exists for
-// the report-side snapshot reads.
+// the report-side snapshot reads. Jobs are reachable two ways over the
+// same jobStore pointers: by name for the read/snapshot side and by
+// interned id for the fold path.
 type machineStore struct {
-	mu   sync.Mutex
-	rev  uint64
-	jobs map[string]*jobStore
+	mu                sync.Mutex
+	rev               uint64
+	nPhases, nSensors int
+	jobs              map[string]*jobStore
+	jobsByID          map[int32]*jobStore
 }
 
-func newMachineStore() *machineStore {
-	return &machineStore{jobs: make(map[string]*jobStore)}
+func newMachineStore(nPhases, nSensors int) *machineStore {
+	return &machineStore{
+		nPhases: nPhases, nSensors: nSensors,
+		jobs:     make(map[string]*jobStore),
+		jobsByID: make(map[int32]*jobStore),
+	}
 }
 
-func (ms *machineStore) job(id string) *jobStore {
-	j, ok := ms.jobs[id]
+// job returns (creating if needed) the store of one job. Callers must
+// hold mu and pass the interned id with its name.
+func (ms *machineStore) job(id int32, name string) *jobStore {
+	j, ok := ms.jobsByID[id]
 	if !ok {
-		j = &jobStore{phases: make(map[string]*cellGrid)}
-		ms.jobs[id] = j
+		// The name map can already hold the job when a legacy snapshot
+		// was applied before its id existed; re-link rather than fork.
+		if j, ok = ms.jobs[name]; !ok {
+			j = &jobStore{phases: make([]*cellGrid, ms.nPhases)}
+			ms.jobs[name] = j
+		}
+		ms.jobsByID[id] = j
 	}
 	return j
 }
 
-func (ms *machineStore) set(rec Record) (fresh, changed bool) {
+// setRef folds one interned machine record. jobs resolves the job name
+// on the one-time create path.
+func (ms *machineStore) setRef(ref recordRef, jobs *intern.DynTable) (fresh, changed bool) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
-	j := ms.job(rec.Job)
-	g, ok := j.phases[rec.Phase]
+	j, ok := ms.jobsByID[ref.job]
 	if !ok {
-		g = &cellGrid{cells: make(map[string][]float64)}
-		j.phases[rec.Phase] = g
+		j = ms.job(ref.job, jobs.Name(ref.job))
 	}
-	fresh, changed = g.set(rec.Sensor, rec.T, rec.Value)
+	g := j.phases[ref.phase]
+	if g == nil {
+		g = &cellGrid{bufs: make([][]float64, ms.nSensors)}
+		j.phases[ref.phase] = g
+	}
+	fresh, changed = g.set(ref.sensor, int(ref.t), ref.value)
 	if changed {
 		ms.rev++
 	}
@@ -119,10 +141,10 @@ func (ms *machineStore) set(rec Record) (fresh, changed bool) {
 // changed. Re-applying identical metadata — a client retry or a WAL
 // replay — must not advance the revision, or a recovered server would
 // drift from an uninterrupted one.
-func (ms *machineStore) setMeta(m JobMeta) (changed bool) {
+func (ms *machineStore) setMeta(id int32, m JobMeta) (changed bool) {
 	ms.mu.Lock()
 	defer ms.mu.Unlock()
-	j := ms.job(m.Job)
+	j := ms.job(id, m.Job)
 	if j.hasMeta && j.faulty == m.Faulty && slices.Equal(j.setup, m.Setup) && slices.Equal(j.caq, m.CAQ) {
 		return false
 	}
@@ -134,31 +156,32 @@ func (ms *machineStore) setMeta(m JobMeta) (changed bool) {
 	return true
 }
 
-// envStore buffers the shared shop-floor climate series.
+// envStore buffers the shared shop-floor climate series, indexed by
+// interned environment-sensor id.
 type envStore struct {
-	mu      sync.Mutex
-	rev     uint64
-	sensors map[string][]float64
+	mu   sync.Mutex
+	rev  uint64
+	bufs [][]float64 // env sensor id → samples
 }
 
-func newEnvStore() *envStore {
-	return &envStore{sensors: make(map[string][]float64)}
+func newEnvStore(nSensors int) *envStore {
+	return &envStore{bufs: make([][]float64, nSensors)}
 }
 
-func (es *envStore) set(rec Record) (fresh, changed bool) {
+func (es *envStore) set(sensor int32, t int, v float64) (fresh, changed bool) {
 	es.mu.Lock()
 	defer es.mu.Unlock()
-	buf := es.sensors[rec.Sensor]
-	for len(buf) <= rec.T {
+	buf := es.bufs[sensor]
+	for len(buf) <= t {
 		buf = append(buf, math.NaN())
 	}
-	fresh = math.IsNaN(buf[rec.T])
-	changed = fresh || buf[rec.T] != rec.Value
+	fresh = math.IsNaN(buf[t])
+	changed = fresh || buf[t] != v
 	if changed {
 		es.rev++
 	}
-	buf[rec.T] = rec.Value
-	es.sensors[rec.Sensor] = buf
+	buf[t] = v
+	es.bufs[sensor] = buf
 	return fresh, changed
 }
 
@@ -196,13 +219,16 @@ func buildMachine(topo Topology, lineID, machineID string, ms *machineStore) (*p
 		}
 		job.Setup = padVector(js.setup, topo.SetupDims)
 		job.CAQ = padVector(js.caq, topo.CAQDims)
-		for _, phName := range topo.Phases {
-			g, ok := js.phases[phName]
-			if !ok {
+		for phID, phName := range topo.Phases {
+			if phID >= len(js.phases) {
+				break
+			}
+			g := js.phases[phID]
+			if g == nil {
 				continue
 			}
 			n := 0
-			for _, buf := range g.cells {
+			for _, buf := range g.bufs {
 				if len(buf) > n {
 					n = len(buf)
 				}
@@ -212,10 +238,14 @@ func buildMachine(topo Topology, lineID, machineID string, ms *machineStore) (*p
 			}
 			phStart := assemblyStart.Add(time.Duration(offset) * time.Second)
 			dims := make([]*timeseries.Series, 0, len(topo.Sensors))
-			for _, sensor := range topo.Sensors {
+			for sID, sensor := range topo.Sensors {
+				var cells []float64
+				if sID < len(g.bufs) {
+					cells = g.bufs[sID]
+				}
 				vals := make([]float64, n)
-				copy(vals, g.cells[sensor])
-				for i := len(g.cells[sensor]); i < n; i++ {
+				copy(vals, cells)
+				for i := len(cells); i < n; i++ {
 					vals[i] = math.NaN()
 				}
 				timeseries.Interpolate(vals)
@@ -247,15 +277,19 @@ func (es *envStore) build(topo Topology) (*timeseries.MultiSeries, uint64, error
 	defer es.mu.Unlock()
 	dims := make([]*timeseries.Series, 0, len(topo.EnvSensors))
 	n := 0
-	for _, s := range topo.EnvSensors {
-		if len(es.sensors[s]) > n {
-			n = len(es.sensors[s])
+	for id := range topo.EnvSensors {
+		if id < len(es.bufs) && len(es.bufs[id]) > n {
+			n = len(es.bufs[id])
 		}
 	}
-	for _, s := range topo.EnvSensors {
+	for id, s := range topo.EnvSensors {
+		var cells []float64
+		if id < len(es.bufs) {
+			cells = es.bufs[id]
+		}
 		vals := make([]float64, n)
-		copy(vals, es.sensors[s])
-		for i := len(es.sensors[s]); i < n; i++ {
+		copy(vals, cells)
+		for i := len(cells); i < n; i++ {
 			vals[i] = math.NaN()
 		}
 		timeseries.Interpolate(vals)

@@ -159,6 +159,11 @@ var (
 	// budget ran out before it did. Matches both the not_owner and
 	// failover envelope codes.
 	ErrFailover = errors.New("hod: cluster failover in progress")
+	// ErrBadFrame — the server rejected a binary columnar batch as
+	// structurally malformed (truncated, oversized, bad magic, or an
+	// out-of-range dictionary index). The batch must be re-encoded, not
+	// retried.
+	ErrBadFrame = errors.New("hod: malformed binary frame")
 )
 
 // ErrNotFitted is returned when scoring precedes training on a

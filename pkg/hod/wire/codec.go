@@ -20,6 +20,8 @@ import (
 //   - CSV (text/csv): the plantsim trace schemas — machine-sensor rows
 //     "machine,job,phase,t,<sensor...>" or environment rows
 //     "t,<env-sensor...>"
+//   - binary (application/x-hod-batch): length-prefixed columnar
+//     frames — see frame.go
 //
 // so `hodctl replay` and `curl --data-binary @sensors.csv` both work
 // without client-side conversion.
@@ -33,6 +35,8 @@ func DecodeRecords(r io.Reader, contentType string) ([]Record, error) {
 		return DecodeCSV(r)
 	case "application/json":
 		return DecodeJSONArray(r)
+	case ContentTypeBinary:
+		return DecodeBinary(r)
 	default:
 		return DecodeNDJSON(r)
 	}

@@ -1,0 +1,151 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func frameRecords() []Record {
+	return []Record{
+		{Machine: "line-0/m-0", Job: "job-1", Phase: "print", Sensor: "temp", T: 0, Value: 21.5},
+		{Machine: "line-0/m-0", Job: "job-1", Phase: "print", Sensor: "vibration", T: 0, Value: 0.25},
+		{Machine: "line-0/m-1", Job: "job-2", Phase: "cure", Sensor: "temp", T: 3, Value: math.Inf(1)},
+		{Env: true, Sensor: "hall-temp", T: 1, Value: 19.75},
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := frameRecords()
+	body, err := EncodeBinary(in)
+	if err != nil {
+		t.Fatalf("EncodeBinary: %v", err)
+	}
+	out, err := DecodeBinary(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip drifted:\n in=%v\nout=%v", in, out)
+	}
+	// Two frames in one body concatenate.
+	out, err = DecodeBinary(bytes.NewReader(append(append([]byte(nil), body...), body...)))
+	if err != nil {
+		t.Fatalf("DecodeBinary two frames: %v", err)
+	}
+	if want := append(append([]Record(nil), in...), in...); !reflect.DeepEqual(want, out) {
+		t.Fatalf("two-frame decode drifted: %v", out)
+	}
+}
+
+func TestBinaryDecodeEmptyBody(t *testing.T) {
+	out, err := DecodeBinary(bytes.NewReader(nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty body: got %v, %v", out, err)
+	}
+}
+
+func TestReadFrameCleanEOFOnly(t *testing.T) {
+	body, err := EncodeBinary(frameRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	r := bytes.NewReader(body)
+	if err := ReadFrame(r, &f); err != nil {
+		t.Fatalf("first frame: %v", err)
+	}
+	if err := ReadFrame(r, &f); err != io.EOF {
+		t.Fatalf("clean end: want io.EOF, got %v", err)
+	}
+}
+
+// mutateFrame re-encodes the canonical records and applies fn to the
+// raw body before decoding.
+func mutateFrame(t *testing.T, fn func([]byte) []byte) error {
+	t.Helper()
+	body, err := EncodeBinary(frameRecords())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = DecodeBinary(bytes.NewReader(fn(body)))
+	return err
+}
+
+func TestBinaryDecodeRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func([]byte) []byte
+	}{
+		{"truncated prefix", func(b []byte) []byte { return b[:2] }},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"trailing garbage frame", func(b []byte) []byte { return append(b, 0xde, 0xad) }},
+		{"bad magic", func(b []byte) []byte { b[4] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte { b[8] = 99; return b }},
+		{"oversized length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b, MaxFrameBytes+1)
+			return b
+		}},
+		{"undersized length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b, 3)
+			return b
+		}},
+		{"machine index out of range", func(b []byte) []byte {
+			// First machine column entry sits right after the record
+			// count; overwrite it with a huge index.
+			i := bytes.Index(b, []byte("hall-temp")) + len("hall-temp") + 4
+			binary.LittleEndian.PutUint32(b[i:], 1<<20)
+			return b
+		}},
+		{"inconsistent env marker", func(b []byte) []byte {
+			// Flip the first record's machine index to -1 while its
+			// job/phase indexes stay valid.
+			i := bytes.Index(b, []byte("hall-temp")) + len("hall-temp") + 4
+			binary.LittleEndian.PutUint32(b[i:], uint32(0xffffffff))
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mutateFrame(t, tc.fn)
+			if !errors.Is(err, ErrFrame) {
+				t.Fatalf("want ErrFrame, got %v", err)
+			}
+		})
+	}
+}
+
+func TestAppendFrameRejectsRaggedAndOversized(t *testing.T) {
+	f := &Frame{
+		Machines: []string{"m"}, Jobs: []string{"j"}, Phases: []string{"p"}, Sensors: []string{"s"},
+		Machine: []int32{0, 0}, Job: []int32{0}, Phase: []int32{0}, Sensor: []int32{0},
+		T: []int32{0}, Value: []float64{1},
+	}
+	if _, err := AppendFrame(nil, f); !errors.Is(err, ErrFrame) {
+		t.Fatalf("ragged columns: want ErrFrame, got %v", err)
+	}
+	huge := &Frame{Machines: []string{strings.Repeat("x", maxDictEntries+1)}}
+	if _, err := AppendFrame(nil, huge); !errors.Is(err, ErrFrame) {
+		t.Fatalf("oversized dict entry: want ErrFrame, got %v", err)
+	}
+}
+
+func TestDecodeRecordsBinaryContentType(t *testing.T) {
+	in := frameRecords()
+	body, err := EncodeBinary(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeRecords(bytes.NewReader(body), ContentTypeBinary)
+	if err != nil {
+		t.Fatalf("DecodeRecords binary: %v", err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("DecodeRecords drifted: %v", out)
+	}
+}

@@ -386,6 +386,7 @@ type RestoreAck struct {
 // them onto errors.Is-able sentinel values.
 const (
 	CodeBadRequest        = "bad_request"
+	CodeBadFrame          = "bad_frame"
 	CodeUnknownPlant      = "unknown_plant"
 	CodeUnknownMachine    = "unknown_machine"
 	CodeAlreadyRegistered = "already_registered"
