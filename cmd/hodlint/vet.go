@@ -1,0 +1,128 @@
+package main
+
+// The go vet driver protocol ("unitchecker"): `go vet
+// -vettool=hodlint ./...` invokes the tool once per package with a
+// JSON config file naming the package's sources and the export data
+// of everything it imports. hodlint typechecks from that export data
+// and runs the analyzers per package — whole-program context (the
+// //hod:hotpath root set in *other* packages) is unavailable in this
+// mode, so vettool runs are a per-package subset of the full
+// `hodlint ./...` pass, not a replacement for it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+// vetConfig mirrors the fields of the go vet driver's .cfg file that
+// the shim consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOutput                string
+	VetxOnly                  bool
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit runs one per-package unit of the vet protocol, returning
+// the process exit code.
+func vetUnit(cfgPath string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hodlint: %v\n", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "hodlint: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// The driver demands a facts file even though hodlint exports no
+	// facts; an empty one keeps the build cache happy.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "hodlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	prog := &analysis.Program{Fset: token.NewFileSet()}
+	pkg := &analysis.Package{Path: cfg.ImportPath, Dir: cfg.Dir, Src: map[string][]byte{}}
+	for _, fname := range cfg.GoFiles {
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hodlint: %v\n", err)
+			return 2
+		}
+		f, err := parser.ParseFile(prog.Fset, fname, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "hodlint: %v\n", err)
+			return 2
+		}
+		pkg.Src[fname] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{Importer: importer.ForCompiler(prog.Fset, compiler, lookup)}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	tpkg, err := tconf.Check(cfg.ImportPath, prog.Fset, pkg.Files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "hodlint: typecheck %s: %v\n", cfg.ImportPath, err)
+		return 2
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	prog.Packages = []*analysis.Package{pkg}
+
+	res := analysis.Run(prog, analyzers)
+	for _, d := range res.Diagnostics {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Position, d.Analyzer, d.Message)
+	}
+	if len(res.Diagnostics) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// An AllowTag is one parsed //hod:allow(analyzer,...) reason comment.
+type AllowTag struct {
+	Analyzers []string
+	Reason    string
+	Pos       token.Pos
+}
+
+func (t *AllowTag) covers(analyzer string) bool {
+	for _, a := range t.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// annotations indexes one package's //hod:* comments.
+type annotations struct {
+	// line-level allows: file name -> line -> tags (a tag on line N
+	// covers diagnostics on N and N+1, i.e. the annotated line itself
+	// and the trailing-comment form).
+	byLine map[string]map[int][]*AllowTag
+	// function-level allows from doc comments, keyed by declaration.
+	byFunc []funcAllow
+	// hotpath root declarations.
+	hotpath []*ast.FuncDecl
+	// malformed annotations (missing reason, unknown shape) — these
+	// are diagnostics in their own right.
+	malformed []Diagnostic
+}
+
+// Hotpath returns the declarations whose doc comment carries the
+// //hod:hotpath root marker.
+func (an *annotations) Hotpath() []*ast.FuncDecl { return an.hotpath }
+
+type funcAllow struct {
+	decl *ast.FuncDecl
+	tags []*AllowTag
+}
+
+const (
+	allowPrefix   = "hod:allow("
+	hotpathMarker = "hod:hotpath"
+)
+
+// Annotations parses and caches the package's //hod:* comments.
+func (pkg *Package) Annotations(fset *token.FileSet) *annotations {
+	if pkg.annots != nil {
+		return pkg.annots
+	}
+	an := &annotations{byLine: map[string]map[int][]*AllowTag{}}
+	for _, f := range pkg.Files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "hod:") {
+					continue
+				}
+				if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+					continue // handled via doc comments below
+				}
+				tag, bad := parseAllow(text, c.Pos())
+				if bad != "" {
+					an.malformed = append(an.malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Position: fset.Position(c.Pos()),
+						Analyzer: "hodlint",
+						Message:  bad,
+					})
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				m := an.byLine[fname]
+				if m == nil {
+					m = map[int][]*AllowTag{}
+					an.byLine[fname] = m
+				}
+				m[line] = append(m[line], tag)
+			}
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var tags []*AllowTag
+			for _, c := range fd.Doc.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if text == hotpathMarker || strings.HasPrefix(text, hotpathMarker+" ") {
+					an.hotpath = append(an.hotpath, fd)
+				}
+				if strings.HasPrefix(text, allowPrefix) {
+					if tag, bad := parseAllow(text, c.Pos()); bad == "" {
+						tags = append(tags, tag)
+					}
+				}
+			}
+			if len(tags) > 0 {
+				an.byFunc = append(an.byFunc, funcAllow{decl: fd, tags: tags})
+			}
+		}
+	}
+	pkg.annots = an
+	return an
+}
+
+// parseAllow parses "hod:allow(a,b) reason"; a non-empty second
+// return describes why the annotation is malformed.
+func parseAllow(text string, pos token.Pos) (*AllowTag, string) {
+	if !strings.HasPrefix(text, allowPrefix) {
+		return nil, "unrecognized //hod: annotation (want //hod:hotpath or //hod:allow(analyzer) reason)"
+	}
+	rest := text[len(allowPrefix):]
+	close := strings.IndexByte(rest, ')')
+	if close < 0 {
+		return nil, "malformed //hod:allow: missing ')'"
+	}
+	var names []string
+	for _, n := range strings.Split(rest[:close], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, "malformed //hod:allow: no analyzer named"
+	}
+	reason := strings.TrimSpace(rest[close+1:])
+	if reason == "" {
+		return nil, "//hod:allow(" + rest[:close] + ") needs a reason: a suppression without a why is a landmine"
+	}
+	return &AllowTag{Analyzers: names, Reason: reason, Pos: pos}, ""
+}
+
+// allowFor reports the tag suppressing a diagnostic of the named
+// analyzer at pos, if any: same line, the line above, or the
+// enclosing function's doc comment.
+func (pkg *Package) allowFor(fset *token.FileSet, analyzer string, pos token.Pos) *AllowTag {
+	an := pkg.Annotations(fset)
+	p := fset.Position(pos)
+	if m := an.byLine[p.Filename]; m != nil {
+		for _, line := range [2]int{p.Line, p.Line - 1} {
+			for _, tag := range m[line] {
+				if tag.covers(analyzer) {
+					return tag
+				}
+			}
+		}
+	}
+	for _, fa := range an.byFunc {
+		if fa.decl.Pos() <= pos && pos <= fa.decl.End() {
+			for _, tag := range fa.tags {
+				if tag.covers(analyzer) {
+					return tag
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMalformedAnnotations proves broken //hod: comments are findings
+// in their own right — a suppression without a reason must not parse
+// into silence.
+func TestMalformedAnnotations(t *testing.T) {
+	prog, err := LoadTestdata("testdata", []string{"allowbad/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(prog, nil)
+	wants := []string{
+		"needs a reason",
+		"missing ')'",
+		"unrecognized //hod: annotation",
+	}
+	if len(res.Diagnostics) != len(wants) {
+		t.Fatalf("diagnostics = %d, want %d: %+v", len(res.Diagnostics), len(wants), res.Diagnostics)
+	}
+	for i, w := range wants {
+		if !strings.Contains(res.Diagnostics[i].Message, w) {
+			t.Errorf("diagnostic %d = %q, want it to mention %q", i, res.Diagnostics[i].Message, w)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package analysis is the repo's static-analysis framework: a small,
+// stdlib-only re-creation of the golang.org/x/tools/go/analysis shape
+// (Analyzer / Pass / Diagnostic / suggested fixes) plus a loader that
+// typechecks the whole module from source and a static call graph.
+//
+// It exists because the repo's load-bearing invariants — zero
+// allocations on the admit path, byte-determinism of every serialized
+// surface, no blocking work under shard/plant locks, typed error
+// envelopes on every /v1/* boundary — are otherwise enforced only by
+// runtime tests, which catch a violation on the inputs they happen to
+// run. The analyzers in the sibling packages (hotpath, lockorder,
+// determinism, apierr) prove them at every call site instead, and
+// cmd/hodlint drives them as a multichecker.
+//
+// Two source-level annotations tie the tree to the analyzers:
+//
+//	//hod:hotpath
+//	    in a function's doc comment marks it as an allocation-free
+//	    root; the hotpath analyzer checks everything statically
+//	    reachable from it.
+//
+//	//hod:allow(analyzer[,analyzer]) reason
+//	    on the offending line (or the line above it, or in the
+//	    enclosing function's doc comment) suppresses a diagnostic.
+//	    The reason is mandatory: an allow without one is itself a
+//	    finding. Suppressions are counted and surfaced, never silent.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// An Analyzer describes one named analysis pass. Run is invoked once
+// per loaded package; whole-program analyzers reach the other
+// packages (and the shared call graph) through Pass.Prog.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass is one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+	Pkg      *Package
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed diagnostic (used when attaching a
+// suggested fix).
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	d.Position = p.Prog.Fset.Position(d.Pos)
+	*p.diags = append(*p.diags, d)
+}
+
+// A Diagnostic is one finding, pinned to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Position token.Position
+	Analyzer string
+	Message  string
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding (hodlint -fix applies it, -json emits it).
+	Fix *SuggestedFix
+	// Allow is set on suppressed diagnostics: the annotation that
+	// silenced this finding.
+	Allow *AllowTag
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// A SuggestedFix is a set of text edits that resolves a diagnostic.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
+}
+
+// A TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText string
+}
+
+// A Package is one typechecked module package.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+	// Src maps a file name (as recorded in the FileSet) to its raw
+	// bytes, for suggested-fix extraction and application.
+	Src   map[string][]byte
+	Types *types.Package
+	Info  *types.Info
+
+	annots *annotations // lazily built annotation index
+}
+
+// A Program is the whole loaded module: every package typechecked
+// against shared object identities, so *types.Func values compare
+// equal across package boundaries.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	byPath map[string]*Package
+
+	mu    sync.Mutex
+	graph *CallGraph
+	cache map[string]any
+}
+
+// Package returns the loaded package with the given import path, or
+// nil if the path is outside the loaded set.
+func (pr *Program) Package(path string) *Package { return pr.byPath[path] }
+
+// Cached memoizes a whole-program computation (reachability sets,
+// may-block fixpoints) under a string key, so per-package passes
+// share one result.
+func (pr *Program) Cached(key string, build func() any) any {
+	pr.mu.Lock()
+	if pr.cache == nil {
+		pr.cache = map[string]any{}
+	}
+	v, ok := pr.cache[key]
+	pr.mu.Unlock()
+	if ok {
+		return v
+	}
+	// Built outside the lock: build() may itself need the program
+	// (e.g. the call graph). Passes run sequentially, so the worst
+	// case of a concurrent driver is a duplicated computation.
+	v = build()
+	pr.mu.Lock()
+	pr.cache[key] = v
+	pr.mu.Unlock()
+	return v
+}
+
+// FuncFor returns the declaration node of fn if it is a module
+// function, or nil for stdlib / interface / synthetic functions.
+func (pr *Program) FuncFor(fn *types.Func) *FuncNode { return pr.CallGraph().Nodes[origin(fn)] }
+
+// origin maps an instantiated generic function back to its generic
+// declaration, the identity the call graph is keyed by.
+func origin(fn *types.Func) *types.Func {
+	if fn == nil {
+		return nil
+	}
+	return fn.Origin()
+}

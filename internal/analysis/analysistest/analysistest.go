@@ -1,0 +1,141 @@
+// Package analysistest runs an analyzer over testdata packages and
+// checks its diagnostics against `// want "regexp"` comments — the
+// same contract as golang.org/x/tools/go/analysis/analysistest, on
+// the homegrown framework.
+//
+// A want comment sits on the line the diagnostic is expected on and
+// names one or more quoted regexps:
+//
+//	time.Sleep(d) // want `while holding mutex "s\.mu"`
+//
+// Every emitted diagnostic must match a want on its line and every
+// want must be matched, or the test fails. Diagnostics silenced by
+// //hod:allow are NOT matched against wants — they come back in the
+// Result's Suppressed list for the caller to assert on, mirroring how
+// the real runner reports them.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// Run loads root/src/<pkg> for each named package, applies the
+// analyzer, and matches the emitted diagnostics against the want
+// comments in every loaded file. The full result is returned so tests
+// can additionally assert on suppressions and suggested fixes.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) analysis.Result {
+	t.Helper()
+	prog, err := analysis.LoadTestdata(root, pkgs)
+	if err != nil {
+		t.Fatalf("loading testdata: %v", err)
+	}
+	res := analysis.Run(prog, []*analysis.Analyzer{a})
+
+	type want struct {
+		re      *regexp.Regexp
+		raw     string
+		matched bool
+	}
+	wants := map[string]map[int][]*want{} // file -> line -> pending wants
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := prog.Fset.Position(c.Pos())
+					patterns, err := parseWants(strings.TrimPrefix(text, "want "))
+					if err != nil {
+						t.Fatalf("%s: %v", pos, err)
+					}
+					for _, p := range patterns {
+						re, err := regexp.Compile(p)
+						if err != nil {
+							t.Fatalf("%s: bad want pattern %q: %v", pos, p, err)
+						}
+						m := wants[pos.Filename]
+						if m == nil {
+							m = map[int][]*want{}
+							wants[pos.Filename] = m
+						}
+						m[pos.Line] = append(m[pos.Line], &want{re: re, raw: p})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range res.Diagnostics {
+		matched := false
+		for _, w := range wants[d.Position.Filename][d.Position.Line] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Position, d.Analyzer, d.Message)
+		}
+	}
+	for file, lines := range wants {
+		for line, ws := range lines {
+			for _, w := range ws {
+				if !w.matched {
+					t.Errorf("%s:%d: no diagnostic matched want %q", file, line, w.raw)
+				}
+			}
+		}
+	}
+	return res
+}
+
+// parseWants splits `"a" "b"` (or backquoted forms) into patterns.
+func parseWants(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var end int
+		switch s[0] {
+		case '"':
+			end = 1
+			for end < len(s) {
+				if s[end] == '\\' {
+					end += 2
+					continue
+				}
+				if s[end] == '"' {
+					break
+				}
+				end++
+			}
+		case '`':
+			end = strings.IndexByte(s[1:], '`')
+			if end >= 0 {
+				end++
+			}
+		default:
+			return nil, fmt.Errorf("want: expected quoted pattern, got %q", s)
+		}
+		if end < 1 || end >= len(s) {
+			return nil, fmt.Errorf("want: unterminated pattern %q", s)
+		}
+		p, err := strconv.Unquote(s[:end+1])
+		if err != nil {
+			return nil, fmt.Errorf("want: %q: %v", s[:end+1], err)
+		}
+		out = append(out, p)
+		s = s[end+1:]
+	}
+}

@@ -1,0 +1,96 @@
+package apierr_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/apierr"
+)
+
+func testConfig() apierr.Config {
+	return apierr.Config{
+		BoundaryPkgs: []string{"apierr", "apierrfix"},
+		Helpers: map[string]string{
+			"apierr/a":    "writeErr(%s, %s, %s, %s)",
+			"apierrfix/a": "writeErr(%s, %s, %s, %s)",
+		},
+		FallbackHelper: "writeErr(%s, %s, %s, %s)",
+		CodeForStatus: map[int64]string{
+			400: `"bad_request"`,
+			404: `"not_found"`,
+			500: `"internal"`,
+		},
+		FallbackCode: `"internal"`,
+	}
+}
+
+func TestApierr(t *testing.T) {
+	a := apierr.New(testConfig())
+	res := analysistest.Run(t, "testdata", a, "apierr/a")
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //hod:allow on legacy)", len(res.Suppressed))
+	}
+	// The http.Error finding must carry a fix that keeps the original
+	// writer, status, and message argument text.
+	var found bool
+	for _, d := range res.Diagnostics {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			if e.NewText == `writeErr(w, http.StatusBadRequest, "bad_request", "bad request")` {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no suggested fix rewrote http.Error into the envelope helper; got %+v", res.Diagnostics)
+	}
+}
+
+// TestApplyFixes runs the -fix path end to end: copy the input into a
+// temp tree, apply the suggested fixes in place, compare with golden.
+func TestApplyFixes(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "src", "apierrfix", "a", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tmp := t.TempDir()
+	dir := filepath.Join(tmp, "src", "apierrfix", "a")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	prog, err := analysis.LoadTestdata(tmp, []string{"apierrfix/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := analysis.Run(prog, []*analysis.Analyzer{apierr.New(testConfig())})
+	if len(res.Diagnostics) != 2 {
+		t.Fatalf("diagnostics = %d, want 2 (http.Error + http.NotFound)", len(res.Diagnostics))
+	}
+	written, err := analysis.ApplyFixes(prog, res.Diagnostics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) != 1 {
+		t.Fatalf("files written = %v, want just the copied a.go", written)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "src", "apierrfix", "a", "a.go.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(golden) {
+		t.Errorf("fixed file mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}

@@ -1,0 +1,18 @@
+package a
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad request", http.StatusBadRequest) // want `http\.Error writes a text/plain body outside the typed wire envelope`
+	http.NotFound(w, r)                                 // want `http\.NotFound writes a text/plain body outside the typed wire envelope`
+	writeErr(w, http.StatusBadRequest, "bad_request", "bad request")
+}
+
+// legacy keeps its naked http.Error through the escape hatch.
+//
+//hod:allow(apierr) pre-envelope handshake peers parse this text body
+func legacy(w http.ResponseWriter) {
+	http.Error(w, "nope", http.StatusInternalServerError)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {}

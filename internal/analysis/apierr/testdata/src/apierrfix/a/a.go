@@ -1,0 +1,13 @@
+package a
+
+import "net/http"
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "" {
+		http.Error(w, "missing path", http.StatusBadRequest)
+		return
+	}
+	http.NotFound(w, r)
+}
+
+func writeErr(w http.ResponseWriter, status int, code, msg string) {}

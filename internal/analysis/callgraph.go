@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A FuncNode is one declared module function in the static call
+// graph, with its statically-resolved call sites.
+type FuncNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Calls are the call sites in the function body (including bodies
+	// of function literals declared inside it) whose callee resolves
+	// statically — direct calls and concrete method calls. Calls
+	// through interfaces or stored function values have no edge; the
+	// analyzers that need soundness there are backed by runtime gates.
+	Calls []CallSite
+}
+
+// A CallSite pairs a call expression with its resolved callee.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+	// InGo marks a call that is (or is inside the body spawned by) a
+	// go statement: it runs concurrently, so it does not block the
+	// enclosing function.
+	InGo bool
+	// InFuncLit marks a call inside a function literal: it runs when
+	// the literal runs, which may be never, later, or elsewhere.
+	InFuncLit bool
+}
+
+// A CallGraph maps every declared module function to its node.
+type CallGraph struct {
+	Nodes map[*types.Func]*FuncNode
+}
+
+// CallGraph builds (once) the program-wide static call graph.
+func (pr *Program) CallGraph() *CallGraph {
+	pr.mu.Lock()
+	defer pr.mu.Unlock()
+	if pr.graph != nil {
+		return pr.graph
+	}
+	g := &CallGraph{Nodes: map[*types.Func]*FuncNode{}}
+	for _, pkg := range pr.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &FuncNode{Fn: obj, Pkg: pkg, Decl: fd}
+				var walk func(n ast.Node, inGo, inLit bool)
+				walk = func(n ast.Node, inGo, inLit bool) {
+					switch n := n.(type) {
+					case *ast.GoStmt:
+						walk(n.Call, true, inLit)
+						return
+					case *ast.FuncLit:
+						walk(n.Body, inGo, true)
+						return
+					case *ast.CallExpr:
+						if callee := pkg.CalleeOf(n); callee != nil {
+							node.Calls = append(node.Calls, CallSite{Call: n, Callee: callee, InGo: inGo, InFuncLit: inLit})
+						}
+					}
+					ast.Inspect(n, func(c ast.Node) bool {
+						if c == n || c == nil {
+							return c == n
+						}
+						walk(c, inGo, inLit)
+						return false
+					})
+				}
+				walk(fd.Body, false, false)
+				g.Nodes[obj] = node
+			}
+		}
+	}
+	pr.graph = g
+	return g
+}
+
+// CalleeOf statically resolves a call expression to the function it
+// invokes, or nil for dynamic calls, builtins, and conversions.
+func (pkg *Package) CalleeOf(call *ast.CallExpr) *types.Func {
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion, not a call
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return origin(f)
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				return origin(f)
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.F(...).
+		if f, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return origin(f)
+		}
+	case *ast.IndexExpr: // explicit generic instantiation F[T](...)
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if f, ok := pkg.Info.Uses[id].(*types.Func); ok {
+				return origin(f)
+			}
+		}
+	}
+	return nil
+}
+
+// Reachable computes the set of module functions statically reachable
+// from the roots (inclusive).
+func (g *CallGraph) Reachable(roots []*types.Func) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var stack []*types.Func
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		fn := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node := g.Nodes[fn]
+		if node == nil {
+			continue // stdlib or bodiless: edges end here
+		}
+		for _, cs := range node.Calls {
+			if !seen[cs.Callee] {
+				seen[cs.Callee] = true
+				stack = append(stack, cs.Callee)
+			}
+		}
+	}
+	return seen
+}

@@ -1,0 +1,314 @@
+// Package determinism proves the byte-determinism invariant of the
+// repo's serialized surfaces (reports, roll-ups, cubes, snapshots,
+// WAL frames): inside the surface packages it forbids
+//
+//   - ranging over a map when the iteration order can leak into
+//     ordered output — appending to an outer slice (unless that slice
+//     is sorted afterwards in the same function), writing to an
+//     encoder/writer, sending on a channel, or building a string;
+//   - time.Now outside I/O-deadline plumbing — timestamps that reach
+//     a surface must come through an injected clock seam;
+//   - importing math/rand at all — randomness must come through an
+//     injected, seeded source.
+//
+// Order-insensitive map loops (counting, aggregating into another
+// map, min/max folds) are deliberately not flagged.
+package determinism
+
+import (
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Config scopes the analyzer to the packages whose output is pinned
+// byte-for-byte (golden files, oracle comparisons, WAL replay).
+type Config struct {
+	// SurfacePkgs are import-path prefixes; a package matches if it
+	// equals a prefix or lives under it. The map-iteration-order rule
+	// applies here.
+	SurfacePkgs []string
+	// ClockPkgs scopes the time.Now / math/rand rules: packages whose
+	// *data* is byte-pinned, where a wall-clock read or random draw
+	// breaks replay. Middleware logging, retry backoff, and test
+	// harness timeouts live outside it on purpose — they are
+	// operational wall-clock, not surface bytes.
+	ClockPkgs []string
+}
+
+// DefaultConfig is the repo's production wiring: every package on the
+// serve/persist path whose bytes are pinned by tests or the WAL
+// contract.
+var DefaultConfig = Config{
+	SurfacePkgs: []string{
+		"repro/internal/server",
+		"repro/internal/gateway",
+		"repro/internal/cluster",
+		"repro/internal/olap",
+		"repro/internal/core",
+		"repro/internal/eval",
+		"repro/internal/wal",
+		"repro/internal/stream",
+		"repro/internal/scenario",
+		"repro/pkg/hod",
+	},
+	ClockPkgs: []string{
+		"repro/internal/server",
+		"repro/internal/olap",
+		"repro/internal/core",
+		"repro/internal/eval",
+		"repro/internal/wal",
+		"repro/internal/stream",
+		"repro/pkg/hod/wire",
+	},
+}
+
+// New builds the analyzer with an explicit config (tests use this).
+func New(cfg Config) *analysis.Analyzer {
+	a := &analyzer{cfg: cfg}
+	return &analysis.Analyzer{
+		Name: "determinism",
+		Doc:  "forbid map-iteration order, time.Now and math/rand from leaking into serialized surfaces",
+		Run:  a.run,
+	}
+}
+
+// Analyzer is the production-configured instance.
+var Analyzer = New(DefaultConfig)
+
+type analyzer struct {
+	cfg Config
+}
+
+func inScope(pkgs []string, path string) bool {
+	for _, p := range pkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analyzer) run(pass *analysis.Pass) {
+	if !inScope(a.cfg.SurfacePkgs, pass.Pkg.Path) && !inScope(a.cfg.ClockPkgs, pass.Pkg.Path) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		if inScope(a.cfg.ClockPkgs, pass.Pkg.Path) {
+			a.checkImports(pass, f)
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a.checkFunc(pass, fd)
+		}
+	}
+}
+
+func (a *analyzer) checkImports(pass *analysis.Pass, f *ast.File) {
+	for _, is := range f.Imports {
+		path := strings.Trim(is.Path.Value, `"`)
+		if path == "math/rand" || path == "math/rand/v2" {
+			pass.Reportf(is.Pos(), "surface package imports %s; randomness on a serialized surface must come through an injected seeded source", path)
+		}
+	}
+}
+
+func (a *analyzer) checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	// Collect argument ranges of deadline setters: time.Now there is
+	// I/O plumbing, not surface data.
+	deadlineArgs := []ast.Node{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "SetDeadline", "SetReadDeadline", "SetWriteDeadline":
+				for _, arg := range call.Args {
+					deadlineArgs = append(deadlineArgs, arg)
+				}
+			}
+		}
+		return true
+	})
+	inDeadline := func(pos token.Pos) bool {
+		for _, n := range deadlineArgs {
+			if n.Pos() <= pos && pos <= n.End() {
+				return true
+			}
+		}
+		return false
+	}
+
+	clockScope := inScope(a.cfg.ClockPkgs, pkg.Path)
+	surfaceScope := inScope(a.cfg.SurfacePkgs, pkg.Path)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !clockScope {
+				return true
+			}
+			callee := pkg.CalleeOf(n)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg().Path() == "time" && callee.Name() == "Now" && !inDeadline(n.Pos()) {
+				pass.Reportf(n.Pos(), "%s calls time.Now in a surface package; route timestamps through the injected clock seam so replay stays byte-identical", fd.Name.Name)
+			}
+		case *ast.RangeStmt:
+			if surfaceScope {
+				a.checkMapRange(pass, fd, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRange flags a range over a map whose body leaks iteration
+// order into ordered output.
+func (a *analyzer) checkMapRange(pass *analysis.Pass, fd *ast.FuncDecl, rng *ast.RangeStmt) {
+	pkg := pass.Pkg
+	tv, ok := pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	var sink string
+	var appendTargets []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "sends on a channel"
+			return false
+		case *ast.AssignStmt:
+			// x = append(x, ...) to a variable declared outside the
+			// loop, or s += ... string building.
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 {
+				if tv, ok := pkg.Info.Types[n.Lhs[0]]; ok && tv.Type != nil {
+					if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+						if obj := objOf(pkg, n.Lhs[0]); obj != nil && obj.Pos() < rng.Pos() {
+							sink = "builds a string"
+							return false
+						}
+					}
+				}
+			}
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" && pkg.CalleeOf(call) == nil {
+					if i < len(n.Lhs) {
+						if obj := objOf(pkg, n.Lhs[i]); obj != nil && obj.Pos() < rng.Pos() {
+							appendTargets = append(appendTargets, obj)
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			callee := pkg.CalleeOf(n)
+			if callee == nil || !orderSensitiveEmit(callee.Name()) {
+				return true
+			}
+			// Operational logging is not a serialized surface.
+			if p := callee.Pkg(); p != nil && p.Path() == "log" {
+				return true
+			}
+			sink = "writes to " + callee.Name()
+			return false
+		}
+		return true
+	})
+	if sink == "" && len(appendTargets) > 0 {
+		// The canonical fix — collect keys, sort, iterate — appends
+		// inside the loop and sorts after it. Honor it.
+		for _, obj := range appendTargets {
+			if !sortedAfter(pkg, fd, rng, obj) {
+				sink = "appends to " + obj.Name() + " (never sorted afterwards)"
+				break
+			}
+		}
+	}
+	if sink != "" {
+		pass.Reportf(rng.Pos(), "%s ranges over map %s in nondeterministic order and %s, which feeds a serialized surface; iterate sorted keys instead", fd.Name.Name, exprText(rng.X), sink)
+	}
+}
+
+// orderSensitiveEmit reports whether a callee name is an ordered
+// emission: writers, encoders, printers.
+func orderSensitiveEmit(name string) bool {
+	switch name {
+	case "Write", "WriteString", "WriteByte", "WriteRune", "WriteTo", "Encode", "EncodeToken", "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+		return true
+	}
+	return false
+}
+
+// sortedAfter reports whether obj is passed to a sort call in the
+// statements following the range loop inside the same function.
+func sortedAfter(pkg *analysis.Package, fd *ast.FuncDecl, rng *ast.RangeStmt, obj types.Object) bool {
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted || n == nil || n.Pos() <= rng.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pkg.CalleeOf(call)
+		if callee == nil || callee.Pkg() == nil {
+			return true
+		}
+		switch callee.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		switch name := callee.Name(); {
+		case strings.Contains(name, "Sort"):
+		case name == "Slice" || name == "SliceStable" || name == "Stable":
+		case name == "Strings" || name == "Ints" || name == "Float64s":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			if o := objOf(pkg, arg); o == obj {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+func objOf(pkg *analysis.Package, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if o := pkg.Info.Uses[id]; o != nil {
+			return o
+		}
+		return pkg.Info.Defs[id]
+	}
+	return nil
+}
+
+func exprText(e ast.Expr) string {
+	var b strings.Builder
+	_ = printer.Fprint(&b, token.NewFileSet(), e)
+	return b.String()
+}

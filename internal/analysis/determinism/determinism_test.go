@@ -1,0 +1,19 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := determinism.New(determinism.Config{
+		SurfacePkgs: []string{"determinism/a"},
+		ClockPkgs:   []string{"determinism/a"},
+	})
+	res := analysistest.Run(t, "testdata", a, "determinism/a")
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //hod:allow on Allowed)", len(res.Suppressed))
+	}
+}

@@ -1,0 +1,65 @@
+package a
+
+import (
+	"sort"
+	"time"
+)
+
+// Surface leaks map order into its return value.
+func Surface(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `Surface ranges over map m in nondeterministic order and appends to keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Sorted is the canonical fix: append inside, sort after.
+func Sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count folds order-insensitively: no finding.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Send leaks map order into a channel.
+func Send(m map[string]int, ch chan string) {
+	for k := range m { // want `Send ranges over map m in nondeterministic order and sends on a channel`
+		ch <- k
+	}
+}
+
+// Stamp reads the wall clock on a surface.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `Stamp calls time\.Now in a surface package`
+}
+
+type conn struct{}
+
+func (conn) SetReadDeadline(t time.Time) error { return nil }
+
+// Deadline shows the exempt seam: time.Now inside a deadline-setter
+// argument is I/O plumbing, not surface data.
+func Deadline(c conn) {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+}
+
+// Allowed exercises the escape hatch at function level.
+//
+//hod:allow(determinism) fan-out order across test fixtures is unobservable
+func Allowed(m map[string]struct{}, ch chan string) {
+	for k := range m {
+		ch <- k
+	}
+}

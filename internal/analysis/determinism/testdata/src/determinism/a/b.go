@@ -1,0 +1,6 @@
+package a
+
+import "math/rand" // want `surface package imports math/rand`
+
+// Roll draws from the global, unseeded source.
+func Roll() int { return rand.Int() }

@@ -1,0 +1,202 @@
+// Package hotpath proves the zero-allocation ingest invariant at
+// compile time: every function statically reachable from a
+// //hod:hotpath root (the admit path, cube Observe, WAL append, frame
+// decode) must not call fmt, concatenate strings, convert
+// []byte<->string outside the intern tables, or box values into
+// interface parameters. PR 9's AllocsPerRun gates catch a regression
+// on the inputs they run; this analyzer catches it on every call site.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Config scopes the analyzer. InternPkgs are the packages whose job
+// IS []byte<->string conversion — the interning seam the invariant
+// routes through.
+type Config struct {
+	InternPkgs []string
+}
+
+// DefaultConfig is the repo's production wiring.
+var DefaultConfig = Config{
+	InternPkgs: []string{"repro/internal/intern"},
+}
+
+// New builds the analyzer with an explicit config (tests use this).
+func New(cfg Config) *analysis.Analyzer {
+	a := &analyzer{cfg: cfg}
+	return &analysis.Analyzer{
+		Name: "hotpath",
+		Doc:  "forbid allocation idioms in functions reachable from //hod:hotpath roots",
+		Run:  a.run,
+	}
+}
+
+// Analyzer is the production-configured instance.
+var Analyzer = New(DefaultConfig)
+
+type analyzer struct {
+	cfg Config
+}
+
+// reachableSet computes, once per program, the set of module
+// functions reachable from the //hod:hotpath roots.
+func (a *analyzer) reachableSet(prog *analysis.Program) map[*types.Func]bool {
+	return prog.Cached("hotpath.reachable", func() any {
+		var roots []*types.Func
+		for _, pkg := range prog.Packages {
+			for _, fd := range pkg.Annotations(prog.Fset).Hotpath() {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, fn)
+				}
+			}
+		}
+		return prog.CallGraph().Reachable(roots)
+	}).(map[*types.Func]bool)
+}
+
+func (a *analyzer) run(pass *analysis.Pass) {
+	reachable := a.reachableSet(pass.Prog)
+	if len(reachable) == 0 {
+		return
+	}
+	for _, node := range pass.Prog.CallGraph().Nodes {
+		if node.Pkg != pass.Pkg || !reachable[node.Fn] {
+			continue
+		}
+		a.checkFunc(pass, node)
+	}
+}
+
+func (a *analyzer) isInternPkg(path string) bool {
+	for _, p := range a.cfg.InternPkgs {
+		if p == path {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *analyzer) checkFunc(pass *analysis.Pass, node *analysis.FuncNode) {
+	pkg := pass.Pkg
+	name := node.Fn.Name()
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringExpr(pkg, n) {
+				pass.Reportf(n.OpPos, "%s is on a //hod:hotpath path but concatenates strings (allocates); build into a pooled []byte instead", name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringExpr(pkg, n.Lhs[0]) {
+				pass.Reportf(n.TokPos, "%s is on a //hod:hotpath path but concatenates strings (allocates); build into a pooled []byte instead", name)
+			}
+		case *ast.CallExpr:
+			a.checkCall(pass, node, n)
+		}
+		return true
+	})
+}
+
+func (a *analyzer) checkCall(pass *analysis.Pass, node *analysis.FuncNode, call *ast.CallExpr) {
+	pkg := pass.Pkg
+	name := node.Fn.Name()
+
+	// Conversions: string([]byte) / []byte(string) allocate and must
+	// route through the intern tables.
+	if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if a.isInternPkg(pkg.Path) {
+			return
+		}
+		dst := tv.Type.Underlying()
+		src := pkg.Info.Types[call.Args[0]].Type
+		if src != nil {
+			switch {
+			case isString(dst) && isByteSlice(src.Underlying()):
+				pass.Reportf(call.Pos(), "%s is on a //hod:hotpath path but converts []byte to string (allocates); identifiers must flow through the intern tables as int32 ids", name)
+			case isByteSlice(dst) && isString(src.Underlying()):
+				pass.Reportf(call.Pos(), "%s is on a //hod:hotpath path but converts string to []byte (allocates); identifiers must flow through the intern tables as int32 ids", name)
+			}
+		}
+		return
+	}
+
+	callee := pkg.CalleeOf(call)
+	if callee == nil {
+		return
+	}
+	if cp := callee.Pkg(); cp != nil && cp.Path() == "fmt" {
+		pass.Reportf(call.Pos(), "%s is on a //hod:hotpath path but calls fmt.%s (allocates on every call)", name, callee.Name())
+		return
+	}
+
+	// Boxing: a non-pointer-shaped concrete argument passed to an
+	// interface parameter allocates. Pointer-shaped values (pointers,
+	// maps, chans, funcs) fit in an interface word and do not.
+	sig, ok := callee.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case i < params.Len()-1 || (i < params.Len() && !sig.Variadic()):
+			param = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis != token.NoPos {
+				continue // s... passes the slice through, no boxing
+			}
+			param = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue
+		}
+		if _, isTP := param.(*types.TypeParam); isTP {
+			continue
+		}
+		if !types.IsInterface(param.Underlying()) {
+			continue
+		}
+		at := pkg.Info.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || isPointerShaped(at.Underlying()) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is on a //hod:hotpath path but boxes %s into an interface argument of %s (allocates)", name, types.TypeString(at, types.RelativeTo(pkg.Types)), callee.Name())
+	}
+}
+
+func isStringExpr(pkg *analysis.Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil || tv.Value != nil { // constants fold at compile time
+		return false
+	}
+	return isString(tv.Type.Underlying())
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isPointerShaped(t types.Type) bool {
+	switch t.(type) {
+	case *types.Pointer, *types.Map, *types.Chan, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}

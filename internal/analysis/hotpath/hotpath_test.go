@@ -1,0 +1,21 @@
+package hotpath_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	a := hotpath.New(hotpath.Config{InternPkgs: []string{"hotpath/intern"}})
+	res := analysistest.Run(t, "testdata", a, "hotpath/a")
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //hod:allow in Allowed)", len(res.Suppressed))
+	}
+	sup := res.Suppressed[0]
+	if sup.Allow == nil || !strings.Contains(sup.Allow.Reason, "cold error path") {
+		t.Errorf("suppression lost its reason: %+v", sup.Allow)
+	}
+}

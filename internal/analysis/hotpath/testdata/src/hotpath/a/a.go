@@ -1,0 +1,47 @@
+package a
+
+import (
+	"fmt"
+
+	"hotpath/intern"
+)
+
+// Hot is the admit fast path in miniature.
+//
+//hod:hotpath
+func Hot(b []byte, s string) string {
+	fmt.Println("x")           // want `Hot is on a //hod:hotpath path but calls fmt\.Println`
+	_ = s + s                  // want `Hot is on a //hod:hotpath path but concatenates strings`
+	_ = string(b)              // want `converts \[\]byte to string`
+	_ = []byte(s)              // want `converts string to \[\]byte`
+	sink(42)                   // want `boxes int into an interface argument of sink`
+	sink(&b)                   // pointer-shaped: fits the interface word, no boxing
+	_ = intern.ID(b)           // the sanctioned conversion seam
+	const greeting = "a" + "b" // constant folding, not a runtime concat
+	_ = greeting
+	return helper(s)
+}
+
+// helper is reachable from Hot, so the invariant follows it here.
+func helper(s string) string {
+	var out string
+	out += s // want `helper is on a //hod:hotpath path but concatenates strings`
+	return out
+}
+
+// Cold is not reachable from any root: anything goes.
+func Cold(b []byte) string {
+	fmt.Println("cold")
+	return string(b)
+}
+
+// Allowed exercises the escape hatch: the violation is suppressed and
+// surfaces in the suppression count instead.
+//
+//hod:hotpath
+func Allowed() {
+	//hod:allow(hotpath) cold error path, exercised only in tests
+	fmt.Println("allowed")
+}
+
+func sink(v interface{}) {}

@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// newInfo allocates the types.Info maps every analyzer relies on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// progImporter resolves module packages from the program being built
+// and everything else (the stdlib) from source via the compiler-
+// independent importer, so loading needs neither export data nor
+// network access.
+type progImporter struct {
+	prog *Program
+	std  types.ImporterFrom
+}
+
+func (im *progImporter) Import(path string) (*types.Package, error) {
+	return im.ImportFrom(path, "", 0)
+}
+
+func (im *progImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := im.prog.byPath[path]; p != nil {
+		return p.Types, nil
+	}
+	return im.std.ImportFrom(path, dir, mode)
+}
+
+// listedPackage is the slice of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+}
+
+// LoadModule runs `go list` for the given patterns (default ./...)
+// under dir, then parses and typechecks every listed package in
+// dependency order. Test files are excluded on purpose: the invariants
+// hodlint proves are production-path invariants, and tests earn their
+// fmt.Sprintf calls.
+func LoadModule(dir string, patterns ...string) (*Program, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-e", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list: %v: %s", err, errb.String())
+	}
+	var metas []*listedPackage
+	dec := json.NewDecoder(&out)
+	for dec.More() {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Name == "" || len(lp.GoFiles) == 0 {
+			continue
+		}
+		metas = append(metas, lp)
+	}
+	byPath := make(map[string]*listedPackage, len(metas))
+	for _, m := range metas {
+		byPath[m.ImportPath] = m
+	}
+	// Topological order over the module-internal import edges.
+	var order []*listedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(m *listedPackage) error
+	visit = func(m *listedPackage) error {
+		switch state[m.ImportPath] {
+		case 1:
+			return fmt.Errorf("import cycle through %s", m.ImportPath)
+		case 2:
+			return nil
+		}
+		state[m.ImportPath] = 1
+		for _, imp := range m.Imports {
+			if dep := byPath[imp]; dep != nil {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[m.ImportPath] = 2
+		order = append(order, m)
+		return nil
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ImportPath < metas[j].ImportPath })
+	for _, m := range metas {
+		if err := visit(m); err != nil {
+			return nil, err
+		}
+	}
+
+	prog := &Program{Fset: token.NewFileSet(), byPath: map[string]*Package{}}
+	imp := &progImporter{prog: prog, std: importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom)}
+	for _, m := range order {
+		var files []string
+		for _, f := range m.GoFiles {
+			files = append(files, filepath.Join(m.Dir, f))
+		}
+		pkg, err := typecheck(prog, imp, m.ImportPath, m.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[m.ImportPath] = pkg
+	}
+	return prog, nil
+}
+
+// LoadTestdata loads analysistest-style packages rooted at
+// root/src/<path>, resolving imports between them recursively and the
+// stdlib from source. Used by the analyzer test harness.
+func LoadTestdata(root string, pkgs []string) (*Program, error) {
+	prog := &Program{Fset: token.NewFileSet(), byPath: map[string]*Package{}}
+	imp := &progImporter{prog: prog, std: importer.ForCompiler(prog.Fset, "source", nil).(types.ImporterFrom)}
+	loading := map[string]bool{}
+	var load func(path string) error
+	load = func(path string) error {
+		if prog.byPath[path] != nil {
+			return nil
+		}
+		if loading[path] {
+			return fmt.Errorf("import cycle through %s", path)
+		}
+		loading[path] = true
+		dir := filepath.Join(root, "src", filepath.FromSlash(path))
+		ents, err := os.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("testdata package %s: %v", path, err)
+		}
+		var files []string
+		for _, e := range ents {
+			if !e.IsDir() && filepath.Ext(e.Name()) == ".go" {
+				files = append(files, filepath.Join(dir, e.Name()))
+			}
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("testdata package %s: no .go files", path)
+		}
+		// Resolve sibling testdata imports first so typechecking
+		// finds them in prog.byPath.
+		for _, fname := range files {
+			src, err := os.ReadFile(fname)
+			if err != nil {
+				return err
+			}
+			f, err := parser.ParseFile(token.NewFileSet(), fname, src, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, is := range f.Imports {
+				p, _ := strconv.Unquote(is.Path.Value)
+				if st, err := os.Stat(filepath.Join(root, "src", filepath.FromSlash(p))); err == nil && st.IsDir() {
+					if err := load(p); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		pkg, err := typecheck(prog, imp, path, dir, files)
+		if err != nil {
+			return err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+		prog.byPath[path] = pkg
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := load(p); err != nil {
+			return nil, err
+		}
+	}
+	return prog, nil
+}
+
+// typecheck parses and checks one package's files into the program.
+func typecheck(prog *Program, imp types.Importer, path, dir string, filenames []string) (*Package, error) {
+	pkg := &Package{Path: path, Dir: dir, Src: map[string][]byte{}}
+	for _, fname := range filenames {
+		src, err := os.ReadFile(fname)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(prog.Fset, fname, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %v", fname, err)
+		}
+		pkg.Src[fname] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	conf := types.Config{Importer: imp}
+	info := newInfo()
+	tpkg, err := conf.Check(path, prog.Fset, pkg.Files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+	return pkg, nil
+}

@@ -1,0 +1,16 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	a := lockorder.New(lockorder.Config{OpLocks: []string{"opMu"}})
+	res := analysistest.Run(t, "testdata", a, "lockorder/a")
+	if len(res.Suppressed) != 1 {
+		t.Fatalf("suppressed = %d, want 1 (the //hod:allow in Allowed)", len(res.Suppressed))
+	}
+}

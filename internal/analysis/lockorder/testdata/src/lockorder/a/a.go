@@ -1,0 +1,74 @@
+package a
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	opMu sync.Mutex
+	ch   chan int
+	f    *os.File
+}
+
+// Bad holds a data mutex across every kind of blocking operation.
+func (s *S) Bad() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- 1                    // want `channel send while holding mutex "s\.mu"`
+	<-s.ch                       // want `channel receive while holding mutex "s\.mu"`
+	time.Sleep(time.Millisecond) // want `time\.Sleep sleeps while holding mutex "s\.mu"`
+	_, _ = s.f.Write(nil)        // want `os\.Write does file I/O while holding mutex "s\.mu"`
+	blocker(s.ch)                // want `call to a\.blocker while holding mutex "s\.mu" may block: it receives from a channel`
+	indirect(s.ch)               // want `call to a\.indirect while holding mutex "s\.mu" may block: it calls a\.blocker, which receives from a channel`
+}
+
+// BadRead does it under a read lock.
+func (s *S) BadRead() {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	s.ch <- 2 // want `channel send while holding read lock "s\.rw"`
+}
+
+func blocker(ch chan int) { <-ch }
+
+func indirect(ch chan int) { blocker(ch) }
+
+// Released blocks only after the unlock: clean.
+func (s *S) Released() {
+	s.mu.Lock()
+	v := 1
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// NonBlocking shows the sanctioned patterns under a lock: a select
+// with default, and work handed to a goroutine.
+func (s *S) NonBlocking() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- 1:
+	default:
+	}
+	go func() { <-s.ch }()
+}
+
+// Op holds an operation-serializing lock over the file write — that
+// is the lock's whole job, so the config exempts it.
+func (s *S) Op() {
+	s.opMu.Lock()
+	defer s.opMu.Unlock()
+	_, _ = s.f.Write(nil)
+}
+
+// Allowed exercises the escape hatch.
+func (s *S) Allowed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//hod:allow(lockorder) shutdown-only path, nothing contends by then
+	s.ch <- 9
+}

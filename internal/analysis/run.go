@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+	"go/format"
+	"os"
+	"sort"
+)
+
+// A Result is one multichecker run: findings that stand, findings
+// silenced by //hod:allow (counted, never dropped on the floor), and
+// malformed annotations.
+type Result struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Diagnostic
+}
+
+// Run applies every analyzer to every package of the program,
+// filters the findings through the //hod:allow index, and returns
+// both halves sorted by position.
+func Run(prog *Program, analyzers []*Analyzer) Result {
+	var res Result
+	for _, pkg := range prog.Packages {
+		res.Diagnostics = append(res.Diagnostics, pkg.Annotations(prog.Fset).malformed...)
+	}
+	for _, a := range analyzers {
+		for _, pkg := range prog.Packages {
+			var diags []Diagnostic
+			pass := &Pass{Analyzer: a, Prog: prog, Pkg: pkg, diags: &diags}
+			a.Run(pass)
+			for _, d := range diags {
+				if tag := pkg.allowFor(prog.Fset, a.Name, d.Pos); tag != nil {
+					d.Allow = tag
+					res.Suppressed = append(res.Suppressed, d)
+				} else {
+					res.Diagnostics = append(res.Diagnostics, d)
+				}
+			}
+		}
+	}
+	sortDiags(res.Diagnostics)
+	sortDiags(res.Suppressed)
+	return res
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		a, b := ds[i].Position, ds[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}
+
+// SrcText returns the source bytes behind a [pos, end) range, used to
+// splice original argument text into suggested fixes.
+func (pr *Program) SrcText(pkg *Package, pos, end int, file string) string {
+	src := pkg.Src[file]
+	if src == nil || pos < 0 || end > len(src) || pos > end {
+		return ""
+	}
+	return string(src[pos:end])
+}
+
+// ApplyFixes rewrites the files touched by the diagnostics' suggested
+// fixes in place and returns the file names written. Edits are
+// applied last-to-first per file so earlier offsets stay valid, and
+// the result is gofmt-ed before writing.
+func ApplyFixes(prog *Program, diags []Diagnostic) ([]string, error) {
+	type edit struct {
+		pos, end int
+		text     string
+	}
+	perFile := map[string][]edit{}
+	srcOf := map[string][]byte{}
+	for _, pkg := range prog.Packages {
+		for name, src := range pkg.Src {
+			srcOf[name] = src
+		}
+	}
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		for _, e := range d.Fix.Edits {
+			p := prog.Fset.Position(e.Pos)
+			q := prog.Fset.Position(e.End)
+			if p.Filename != q.Filename {
+				return nil, fmt.Errorf("fix for %s spans files", d.Position)
+			}
+			perFile[p.Filename] = append(perFile[p.Filename], edit{p.Offset, q.Offset, e.NewText})
+		}
+	}
+	var written []string
+	for name, edits := range perFile {
+		src, ok := srcOf[name]
+		if !ok {
+			return nil, fmt.Errorf("no source for %s", name)
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].pos > edits[j].pos })
+		out := append([]byte(nil), src...)
+		last := len(out) + 1
+		for _, e := range edits {
+			if e.end > last {
+				return nil, fmt.Errorf("overlapping fixes in %s", name)
+			}
+			out = append(out[:e.pos], append([]byte(e.text), out[e.end:]...)...)
+			last = e.pos
+		}
+		if fmted, err := format.Source(out); err == nil {
+			out = fmted
+		}
+		if err := os.WriteFile(name, out, 0o644); err != nil {
+			return nil, err
+		}
+		written = append(written, name)
+	}
+	sort.Strings(written)
+	return written, nil
+}

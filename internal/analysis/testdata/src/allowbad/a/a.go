@@ -1,0 +1,10 @@
+package a
+
+//hod:allow(hotpath)
+func MissingReason() {}
+
+//hod:allow(hotpath missing the close paren
+func MissingParens() {}
+
+//hod:frobnicate
+func Unrecognized() {}

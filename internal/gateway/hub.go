@@ -105,6 +105,8 @@ func (h *Hub) Subscribe(channels []wire.Channel, allowed map[string]bool, queueC
 // Publish fans the event out to every matching subscriber. It never
 // blocks: delivery is an enqueue under the subscriber's mutex, with
 // coalescing absorbing any backlog.
+//
+//hod:allow(determinism) fan-out order across independent subscribers is not a serialized surface: each subscriber's own stream stays in publish order
 func (h *Hub) Publish(ev wire.Event) {
 	h.mu.Lock()
 	var targets []*Subscriber
@@ -138,6 +140,8 @@ func (h *Hub) unsubscribe(s *Subscriber) {
 // Close closes every subscriber and refuses new ones — the server's
 // shutdown path, unblocking writer goroutines on hijacked connections
 // the HTTP server no longer owns.
+//
+//hod:allow(determinism) teardown order across independent subscribers is unobservable: each one just sees its own channel close
 func (h *Hub) Close() {
 	h.mu.Lock()
 	h.closed = true

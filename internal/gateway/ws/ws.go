@@ -14,15 +14,19 @@ import (
 	"crypto/sha1"
 	"encoding/base64"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
 	"net/url"
+	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/pkg/hod/wire"
 )
 
 // Frame opcodes of RFC 6455 §5.2.
@@ -75,6 +79,16 @@ func accept(key string) string {
 	return base64.StdEncoding.EncodeToString(h[:])
 }
 
+// writeHandshakeError rejects a pre-upgrade handshake with the v1
+// error envelope: even a failed dial surfaces a typed, machine-
+// readable error (HandshakeError carries the body back to the typed
+// client on the dial side).
+func writeHandshakeError(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(wire.ErrorEnvelope{Err: wire.ErrorBody{Code: code, Message: msg}})
+}
+
 // Accept upgrades an HTTP request to a WebSocket connection (server
 // side). On failure it writes the HTTP error itself and returns the
 // reason; on success the caller owns the hijacked connection and must
@@ -82,22 +96,22 @@ func accept(key string) string {
 func Accept(w http.ResponseWriter, r *http.Request) (*Conn, error) {
 	if !strings.EqualFold(r.Header.Get("Upgrade"), "websocket") ||
 		!headerContainsToken(r.Header, "Connection", "upgrade") {
-		http.Error(w, "ws: not a websocket handshake", http.StatusBadRequest)
+		writeHandshakeError(w, http.StatusBadRequest, wire.CodeBadRequest, "ws: not a websocket handshake")
 		return nil, fmt.Errorf("ws: not a websocket handshake")
 	}
 	if r.Header.Get("Sec-WebSocket-Version") != "13" {
 		w.Header().Set("Sec-WebSocket-Version", "13")
-		http.Error(w, "ws: unsupported websocket version", http.StatusUpgradeRequired)
+		writeHandshakeError(w, http.StatusUpgradeRequired, wire.CodeBadRequest, "ws: unsupported websocket version")
 		return nil, fmt.Errorf("ws: unsupported version %q", r.Header.Get("Sec-WebSocket-Version"))
 	}
 	key := r.Header.Get("Sec-WebSocket-Key")
 	if key == "" {
-		http.Error(w, "ws: missing Sec-WebSocket-Key", http.StatusBadRequest)
+		writeHandshakeError(w, http.StatusBadRequest, wire.CodeBadRequest, "ws: missing Sec-WebSocket-Key")
 		return nil, fmt.Errorf("ws: missing Sec-WebSocket-Key")
 	}
 	hj, ok := w.(http.Hijacker)
 	if !ok {
-		http.Error(w, "ws: connection cannot be hijacked", http.StatusInternalServerError)
+		writeHandshakeError(w, http.StatusInternalServerError, wire.CodeInternal, "ws: connection cannot be hijacked")
 		return nil, fmt.Errorf("ws: ResponseWriter does not support hijacking")
 	}
 	conn, rw, err := hj.Hijack()
@@ -178,8 +192,13 @@ func Dial(ctx context.Context, rawURL string, header http.Header) (*Conn, error)
 	b.WriteString("Connection: Upgrade\r\n")
 	b.WriteString("Sec-WebSocket-Key: " + key + "\r\n")
 	b.WriteString("Sec-WebSocket-Version: 13\r\n")
-	for name, vals := range header {
-		for _, v := range vals {
+	names := make([]string, 0, len(header))
+	for name := range header {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, v := range header[name] {
 			b.WriteString(name + ": " + v + "\r\n")
 		}
 	}

@@ -24,6 +24,15 @@ var ErrSchema = errors.New("olap: schema violation")
 // applies to sample values.
 var ErrNonFinite = errors.New("olap: non-finite measure")
 
+// Preallocated Observe rejections: the per-sample fold path must not
+// allocate even when refusing input, so the coordinate context that
+// AddFact puts in its errors is deliberately absent here — Observe
+// callers already hold the cell and can attach it themselves.
+var (
+	errObserveNonFinite = fmt.Errorf("%w: non-finite observation", ErrNonFinite)
+	errSumOverflow      = fmt.Errorf("%w: sum overflow", ErrNonFinite)
+)
+
 // Cube is a dense-logical, sparse-physical OLAP cube: cells exist only
 // once a fact lands in them.
 type Cube struct {
@@ -53,16 +62,18 @@ func (c *Cell) Mean() float64 {
 // for callers streaming runs of samples into one cell (they look the
 // cell up once and skip the per-fact coordinate key join). The same
 // ErrNonFinite gate as AddFact applies.
+//
+//hod:hotpath
 func (c *Cell) Observe(value float64) error {
 	if math.IsNaN(value) || math.IsInf(value, 0) {
-		return fmt.Errorf("%w: %v at %v", ErrNonFinite, value, c.Coord)
+		return errObserveNonFinite
 	}
 	sum := c.Sum + value
 	if math.IsInf(sum, 0) {
 		// Finite inputs can still overflow the accumulated sum; folding
 		// it would poison the cell forever, so refuse the observation
 		// and keep the every-cell-holds-finite-aggregates invariant.
-		return fmt.Errorf("%w: sum overflow at %v", ErrNonFinite, c.Coord)
+		return errSumOverflow
 	}
 	if c.Count == 0 {
 		c.Min, c.Max = value, value

@@ -30,13 +30,15 @@ type IntCell struct {
 // Observe folds one measure into the cell in place — same gates and
 // semantics as Cell.Observe, minus the string coordinate in the error
 // (callers translate ids when surfacing it).
+//
+//hod:hotpath
 func (c *IntCell) Observe(value float64) error {
 	if math.IsNaN(value) || math.IsInf(value, 0) {
-		return fmt.Errorf("%w: %v at %v", ErrNonFinite, value, c.Coord)
+		return errObserveNonFinite
 	}
 	sum := c.Sum + value
 	if math.IsInf(sum, 0) {
-		return fmt.Errorf("%w: sum overflow at %v", ErrNonFinite, c.Coord)
+		return errSumOverflow
 	}
 	if c.Count == 0 {
 		c.Min, c.Max = value, value

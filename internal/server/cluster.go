@@ -177,6 +177,9 @@ func (s *Server) reconcileCluster(m wire.ClusterMembership) {
 		ids = append(ids, id)
 	}
 	s.mu.RUnlock()
+	// Promote in sorted order: reconciling the same membership epoch
+	// must take the same steps in the same order on every node.
+	sort.Strings(ids)
 	for _, id := range ids {
 		if owner, ok := cluster.Owner(m, id); ok && owner.ID == self {
 			s.stopTailer(id)
@@ -374,11 +377,13 @@ func (s *Server) seedStandby(plantID string) error {
 		return fmt.Errorf("cluster: plant %q reappeared during seeding", plantID)
 	}
 	if s.opts.DataDir != "" {
+		//hod:allow(lockorder) seeding atomicity: the exists-check, plant-dir creation and baseline snapshot must be one critical section or a concurrent re-register of the same plant could interleave
 		cleanup, err := s.persistNewPlant(ps, st.Topo)
 		if err != nil {
 			s.mu.Unlock()
 			return err
 		}
+		//hod:allow(lockorder) same seeding critical section: the baseline must be durable before the plant becomes visible
 		if err := wal.SaveSnapshot(ps.dur.dir, rev, rebased); err != nil {
 			cleanup()
 			s.mu.Unlock()

@@ -363,6 +363,8 @@ func (ps *plantState) startSnapshotLoop(interval time.Duration) {
 // — the batch may already be folding in memory, but the client never
 // gets a 202 for data that is not on disk, and its retry is
 // idempotent.
+//
+//hod:hotpath
 func (ps *plantState) admit(idx int, chunk []recordRef) (bool, error) {
 	sh := ps.shards[idx]
 	if ps.dur == nil {
@@ -378,6 +380,7 @@ func (ps *plantState) admit(idx int, chunk []recordRef) (bool, error) {
 	}
 	log := ps.dur.logs[idx]
 	sh.admitMu.Lock()
+	//hod:allow(lockorder) admitMu exists to make WAL sequence order equal admit order; the buffered append is its critical section, and the fsync is group-committed after release via SyncTo
 	seq, err := log.AppendBuffered(payload)
 	// AppendBuffered copied the payload; the scratch buffer can go back
 	// to the pool whatever happened next.
@@ -958,6 +961,7 @@ func (s *Server) loadPlant(dirName string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, exists := s.plants[topo.ID]; exists {
+		//hod:allow(lockorder) startup-only duplicate-load bail-out: the half-built plant never served traffic, so abandoning its goroutines under the fleet lock cannot stall a request
 		ps.kill()
 		return fmt.Errorf("plant %q loaded twice", topo.ID)
 	}

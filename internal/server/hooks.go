@@ -21,6 +21,7 @@ func (s *Server) Kill() {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, ps := range s.plants {
+		//hod:allow(lockorder) crash simulation: abandoning plant goroutines under the fleet read lock is the point, and closed is already set so no admit path contends
 		ps.kill()
 	}
 }

@@ -201,6 +201,7 @@ func (s *Server) Close() {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	for _, ps := range s.plants {
+		//hod:allow(lockorder) shutdown path: draining every plant under the fleet read lock is Close's contract, and closed is already set so no admit path contends
 		ps.close()
 	}
 }
@@ -277,6 +278,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	ps.alertThreshold = s.opts.AlertThreshold
 	ps.publish = s.hub.Publish
 	if s.opts.DataDir != "" {
+		//hod:allow(lockorder) registration atomicity: the duplicate-ID check and plant-dir creation must be one critical section or two concurrent registers of the same ID could both succeed
 		if _, err := s.persistNewPlant(ps, topo); err != nil {
 			s.mu.Unlock()
 			writeErr(w, http.StatusInternalServerError, wire.CodeInternal, "persisting plant: "+err.Error())
@@ -601,6 +603,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 	ps.publish = s.hub.Publish
 	ps.applyState(st)
 	if s.opts.DataDir != "" {
+		//hod:allow(lockorder) restore atomicity: the exists-check and plant-dir creation must be one critical section or a concurrent register of the same ID could interleave
 		cleanup, err := s.persistNewPlant(ps, st.Topo)
 		if err != nil {
 			s.mu.Unlock()
@@ -609,6 +612,7 @@ func (s *Server) handleRestore(w http.ResponseWriter, r *http.Request) {
 		}
 		// Make the restored baseline itself durable: the fresh WALs are
 		// empty, so everything must come from the snapshot file.
+		//hod:allow(lockorder) same restore critical section: the baseline snapshot must land before the plant becomes visible
 		if err := wal.SaveSnapshot(ps.dur.dir, rev, rebased); err != nil {
 			cleanup()
 			s.mu.Unlock()

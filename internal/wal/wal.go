@@ -177,6 +177,9 @@ func Open(dir string, opts Options) (*Log, error) {
 	return l, nil
 }
 
+// segName formats a segment filename.
+//
+//hod:allow(hotpath) runs once per segment rotation (and at open), never per append
 func segName(firstSeq uint64) string { return fmt.Sprintf("seg-%016x.wal", firstSeq) }
 
 // scan reads every segment in seq order, verifying frames and learning
@@ -325,6 +328,8 @@ func (l *Log) rotateLocked() error {
 // Append writes one frame and returns its sequence number. Under
 // SyncAlways the frame (and, by group commit, every earlier one) is
 // durable when Append returns.
+//
+//hod:hotpath
 func (l *Log) Append(payload []byte) (uint64, error) {
 	seq, err := l.AppendBuffered(payload)
 	if err != nil {
@@ -342,13 +347,17 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 // Callers that hold an admission lock pair it with SyncTo *after*
 // releasing the lock, so concurrent appenders genuinely share one
 // group-committed fsync instead of serializing on it.
+//
+//hod:allow(lockorder) l.mu is the segment-file mutex: serializing buffered writes (and rotation) is its purpose, and the fsync is deliberately outside it in SyncTo
 func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
 	if len(payload) > maxFrameBytes {
+		//hod:allow(hotpath) rejection path: a conforming admit pipeline never builds an oversized frame, so this never runs per-append
 		return 0, fmt.Errorf("wal: payload of %d bytes exceeds the %d cap", len(payload), maxFrameBytes)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
+		//hod:allow(hotpath) closed-log error path, not the append fast path
 		return 0, fmt.Errorf("wal: log is closed")
 	}
 	seq := l.nextSeq
@@ -368,6 +377,7 @@ func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
 		if terr := l.f.Truncate(active.bytes); terr != nil {
 			l.f.Close()
 			l.f = nil
+			//hod:allow(hotpath) double-fault seal path: the disk is already failing, allocation cost is irrelevant
 			return 0, fmt.Errorf("wal: write failed (%v) and rewind failed (%v); log sealed", err, terr)
 		}
 		return 0, err
@@ -388,6 +398,8 @@ func (l *Log) AppendBuffered(payload []byte) (uint64, error) {
 // fsync among concurrent callers: the first waiter syncs everything
 // appended so far, later waiters observe their seq already covered and
 // return without touching the disk.
+//
+//hod:allow(lockorder) syncMu exists to serialize the group fsync; waiters queue on it to piggyback on the in-flight sync
 func (l *Log) SyncTo(seq uint64) error {
 	l.syncMu.Lock()
 	defer l.syncMu.Unlock()
@@ -399,6 +411,7 @@ func (l *Log) SyncTo(seq uint64) error {
 	covered := l.appended
 	l.mu.Unlock()
 	if f == nil {
+		//hod:allow(hotpath) closed-log error path, not the sync fast path
 		return fmt.Errorf("wal: log is closed")
 	}
 	if err := f.Sync(); err != nil {
@@ -564,6 +577,8 @@ func (l *Log) ReadAfter(afterSeq uint64, maxBytes int64, fn func(seq uint64, pay
 // CompactThrough deletes full segments whose every frame has
 // seq <= coveredSeq. The active segment always survives, so appends
 // continue uninterrupted.
+//
+//hod:allow(lockorder) removing a dead segment must be mutually exclusive with rotation picking a new filename; l.mu is the segment-file mutex
 func (l *Log) CompactThrough(coveredSeq uint64) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -603,6 +618,8 @@ func (l *Log) Segments() int {
 }
 
 // Close flushes and closes the active segment. Further Appends fail.
+//
+//hod:allow(lockorder) shutdown path: the final flush+close must exclude concurrent appenders, which is exactly what l.mu is for
 func (l *Log) Close() error {
 	if l.tickStop != nil {
 		close(l.tickStop)

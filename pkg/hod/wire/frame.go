@@ -83,6 +83,9 @@ func (f *Frame) Reset() {
 // u16 count fields; the indexes themselves are trusted (the decoder
 // re-checks them, so a buggy encoder cannot slip past a conforming
 // reader).
+//
+//hod:hotpath
+//hod:allow(hotpath) every fmt.Errorf here sits on a malformed-frame return; the encode success path only appends to dst
 func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
 	n := len(f.Value)
 	if len(f.Machine) != n || len(f.Job) != n || len(f.Phase) != n ||
@@ -154,6 +157,9 @@ func ReadFrame(r io.Reader, f *Frame) error {
 // prefix) into f, resetting it first. Structural violations —
 // truncation, trailing bytes, dictionary indexes out of range,
 // inconsistent environment markers — return ErrFrame.
+//
+//hod:hotpath
+//hod:allow(hotpath) every fmt.Errorf sits on a corrupt-input return, and the magic-check []byte→string comparison is compiler-elided (never escapes)
 func DecodeFrame(p []byte, f *Frame) error {
 	f.Reset()
 	if len(p) < len(frameMagic)+2 || string(p[:len(frameMagic)]) != frameMagic {
@@ -218,6 +224,9 @@ func DecodeFrame(p []byte, f *Frame) error {
 	return nil
 }
 
+// readDict decodes one length-prefixed string dictionary.
+//
+//hod:allow(hotpath) the dictionary is the one sanctioned byte→string boundary: at most 65535 entries per frame, and consumers intern the entries before per-record work
 func readDict(dst []string, p []byte) ([]string, []byte, error) {
 	if len(p) < 2 {
 		return nil, nil, fmt.Errorf("%w: truncated dictionary", ErrFrame)
@@ -239,6 +248,9 @@ func readDict(dst []string, p []byte) ([]string, []byte, error) {
 	return dst, p, nil
 }
 
+// readI32Col decodes one int32 column, range-checking every index.
+//
+//hod:allow(hotpath) the single fmt.Errorf is the out-of-range corrupt-input return; the decode loop itself is fmt-free
 func readI32Col(dst []int32, p []byte, n, dictLen int, name string) ([]int32, []byte, error) {
 	for i := 0; i < n; i++ {
 		v := int32(binary.LittleEndian.Uint32(p[i*4:]))
